@@ -1,0 +1,106 @@
+"""Ablation: double-buffered PEBS drains (Section III-E future work).
+
+The prototype dumps each full PEBS buffer synchronously, stalling the
+traced program for the whole copy; the paper lists double buffering as
+the obvious optimisation and leaves it for future work.  Implemented
+here: on buffer-full the hardware flips to a spare buffer (cheap) and
+the helper drains asynchronously.  With a small buffer (frequent drains)
+the latency overhead drop is clearly visible in the GNET-measured
+latency; the sample stream itself is identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import trace
+from repro.acl.app import ACLApp, ACLAppConfig
+from repro.acl.packets import make_test_stream
+from repro.analysis.reporting import format_table
+from repro.machine.config import MachineSpec
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+
+#: Small buffer so drains happen many times per run.
+SPEC = MachineSpec(pebs_buffer_records=64)
+PER_TYPE = 60
+RESET = 8_000
+
+
+def run(paper_classifier, double: bool | None):
+    """double=None means untraced (the L* control)."""
+    app = ACLApp(
+        [], make_test_stream(PER_TYPE), config=ACLAppConfig(), classifier=paper_classifier
+    )
+    if double is None:
+        Scheduler(Machine(spec=SPEC, n_cores=3), app.threads()).run()
+        return app, None
+    session = trace(
+        app,
+        sample_cores=[ACLApp.ACL_CORE],
+        reset_value=RESET,
+        spec=SPEC,
+        double_buffered=double,
+    )
+    return app, session.units[ACLApp.ACL_CORE]
+
+
+@pytest.fixture(scope="module")
+def runs(paper_classifier):
+    control, _ = run(paper_classifier, None)
+    single_app, single_unit = run(paper_classifier, False)
+    double_app, double_unit = run(paper_classifier, True)
+    return control, (single_app, single_unit), (double_app, double_unit)
+
+
+def test_ablation_double_buffering(runs, report, benchmark, paper_classifier):
+    control, (single_app, single_unit), (double_app, double_unit) = runs
+    l_star = control.tester.mean_latency_us()
+    l_single = single_app.tester.mean_latency_us()
+    l_double = double_app.tester.mean_latency_us()
+    rows = [
+        ["untraced (L*)", f"{l_star:.2f}", "-", "-"],
+        [
+            "single buffer",
+            f"{l_single:.2f}",
+            f"{l_single - l_star:+.2f}",
+            str(single_unit.drains),
+        ],
+        [
+            "double buffered",
+            f"{l_double:.2f}",
+            f"{l_double - l_star:+.2f}",
+            str(double_unit.drains),
+        ],
+    ]
+    saved = (l_single - l_double) / (l_single - l_star)
+    text = format_table(
+        ["configuration", "mean latency (us)", "overhead (us)", "drains"],
+        rows,
+        title=(
+            "Ablation: double-buffered PEBS drains "
+            f"(64-record buffer, R={RESET}).  Total overhead cut by "
+            f"{100 * saved:.0f}% — nearly all of the *drain* cost, but "
+            "the per-sample microcode assist dominates at this rate, so "
+            "the paper's deferred optimisation is second-order; "
+            f"spare-buffer stalls: {double_unit.stall_cycles} cycles"
+        ),
+    )
+    report("ablation_double_buffering", text)
+
+    # Essentially the same sample stream (counts differ only through the
+    # timeline feedback: fewer drain stalls -> shorter queue spins ->
+    # slightly fewer spin-loop samples).
+    assert single_unit.sample_count == pytest.approx(
+        double_unit.sample_count, rel=0.03
+    )
+    assert l_star < l_double < l_single
+    # Double buffering removes most of the drain share of the overhead
+    # (~13% of the total here — the 250 ns/sample assist dominates).
+    assert 0.05 < saved < 0.3
+    # At this sampling rate the async drain keeps up: no stalls.
+    assert double_unit.stall_cycles == 0
+
+    benchmark.pedantic(
+        lambda: run(paper_classifier, True), rounds=1, iterations=1
+    )

@@ -1,0 +1,88 @@
+"""Ablation: full per-function instrumentation vs the hybrid approach.
+
+Quantifies Section II-C's motivating claim on a workload of many ~1 us
+functions (the Fig 2 population): marking every function entry/exit
+inflates the run by tens of percent, while the hybrid's two marks per
+data-item plus PEBS stays far cheaper — and its overhead is adjustable
+via the reset value, which instrumentation's is not (Table I).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.fulltrace import FullInstrumentationTracer
+from repro.core.instrument import MarkingTracer
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
+from repro.runtime.scheduler import Scheduler
+from repro.workloads.synth import FixedSequenceApp, uniform_items
+
+US = 3000
+N_ITEMS = 30
+N_FUNCTIONS = 40
+
+
+def build_app() -> FixedSequenceApp:
+    fns = {f"fn{i:02d}": US for i in range(N_FUNCTIONS)}  # 1 us each
+    return FixedSequenceApp(uniform_items(N_ITEMS, fns))
+
+
+def run(mode: str, reset: int = 8000) -> int:
+    """Returns the worker core's final clock for a tracing mode."""
+    app = build_app()
+    machine = Machine(n_cores=1)
+    tracer = None
+    if mode == "full":
+        tracer = FullInstrumentationTracer(app.mark_ip, cost_ns=200.0, fn_cost_ns=200.0)
+    elif mode == "hybrid":
+        machine.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, reset))
+        tracer = MarkingTracer(app.mark_ip, cost_ns=200.0)
+    elif mode != "none":
+        raise ValueError(mode)
+    Scheduler(machine, app.threads(), tracer=tracer).run()
+    return machine.core(0).clock
+
+
+@pytest.fixture(scope="module")
+def clocks():
+    out = {"none": run("none"), "full": run("full")}
+    for reset in (4_000, 8_000, 16_000, 32_000):
+        out[f"hybrid-R{reset}"] = run("hybrid", reset)
+    return out
+
+
+def test_ablation_instrumentation_overhead(clocks, report, benchmark):
+    base = clocks["none"]
+    rows = []
+    for mode, clock in clocks.items():
+        inflation = 100.0 * (clock - base) / base
+        rows.append([mode, f"{clock / US:.1f}", f"{inflation:+.1f}%"])
+    text = format_table(
+        ["tracing mode", "runtime (us)", "inflation"],
+        rows,
+        title=(
+            f"Ablation: tracing overhead on {N_ITEMS} items x "
+            f"{N_FUNCTIONS} functions of 1 us each"
+        ),
+    )
+    report("ablation_instrumentation", text)
+
+    full_inflation = clocks["full"] - base
+    hybrid_inflation = clocks["hybrid-R8000"] - base
+    # Full instrumentation is several times costlier than the hybrid.
+    assert full_inflation > 3 * hybrid_inflation
+    # Full instrumentation pays 2 marks per function (~40% here).
+    assert full_inflation / base > 0.3
+    # The hybrid's overhead is adjustable via R (Table I); full
+    # instrumentation has no such knob.
+    assert (
+        clocks["hybrid-R4000"]
+        > clocks["hybrid-R8000"]
+        > clocks["hybrid-R16000"]
+        > clocks["hybrid-R32000"]
+    )
+
+    benchmark.pedantic(lambda: run("hybrid"), rounds=2, iterations=1)

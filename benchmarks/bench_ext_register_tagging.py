@@ -1,0 +1,106 @@
+"""Section V-A extension: register tagging for timer-switching systems.
+
+A user-level-threading runtime multiplexes data-items on one core,
+preempting on a time slice; the item ID is parked in a general-purpose
+register (r13) so every PEBS sample carries it.  We compare the
+tag-based mapping against (a) window-based mapping with per-segment
+marks and (b) the known ground truth, on a workload where one item is
+4x heavier than its peers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_table
+from repro.core.instrument import MarkingTracer
+from repro.core.hybrid import integrate
+from repro.core.registertag import integrate_by_tag
+from repro.core.symbols import AddressAllocator
+from repro.machine.block import Block
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
+from repro.runtime.actions import Exec
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import AppThread
+from repro.runtime.ult import ULTask, ULTRuntime
+
+US = 3000
+#: (item id, work blocks of 1000 cycles each): item 1 is the heavy one.
+ITEMS = ((1, 40), (2, 10), (3, 10), (4, 10))
+
+
+def build(mark_switches: bool):
+    alloc = AddressAllocator()
+    sched_ip = alloc.add("ult_scheduler")
+    work_ip = alloc.add("process_item")
+    mark_ip = alloc.add("__mark")
+    symtab = alloc.table()
+
+    def work(n):
+        def body():
+            for _ in range(n):
+                yield Exec(Block(ip=work_ip, uops=4000))
+
+        return body
+
+    rt = ULTRuntime(
+        [ULTask(i, work(n)) for i, n in ITEMS],
+        timeslice_cycles=3000,
+        switch_cost_cycles=150,
+        scheduler_ip=sched_ip,
+        mark_switches=mark_switches,
+    )
+    machine = Machine(n_cores=1)
+    unit = machine.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 800))
+    tracer = MarkingTracer(mark_ip=mark_ip, cost_ns=200.0) if mark_switches else None
+    Scheduler(machine, [AppThread("host", 0, rt.body, 0x1)], tracer=tracer).run()
+    return rt, machine, unit, symtab, tracer
+
+
+@pytest.fixture(scope="module")
+def runs():
+    tagged = build(mark_switches=False)
+    marked = build(mark_switches=True)
+    return tagged, marked
+
+
+def test_ext_register_tagging(runs, report, benchmark):
+    (rt_tag, m_tag, unit_tag, symtab_tag, _) = runs[0]
+    (rt_mark, m_mark, unit_mark, symtab_mark, tracer) = runs[1]
+    t_tag = integrate_by_tag(unit_tag.finalize(), symtab_tag)
+    t_mark = integrate(unit_mark.finalize(), tracer.records_for_core(0), symtab_mark)
+
+    rows = []
+    for item, n_blocks in ITEMS:
+        truth = n_blocks * 1000 / US
+        e_tag = t_tag.elapsed_cycles(item, "process_item") / US
+        e_mark = t_mark.elapsed_cycles(item, "process_item") / US
+        rows.append([str(item), f"{truth:.2f}", f"{e_tag:.2f}", f"{e_mark:.2f}"])
+    # Absolute estimates exceed the unperturbed work because R=800 on a
+    # 4-uops/cycle workload pays ~75% sampling overhead; the attribution
+    # *ratios* are the result under test.
+    text = format_table(
+        ["item", "work w/o sampling (us)", "register-tag est (us)", "marked-window est (us)"],
+        rows,
+        title=(
+            "Section V-A: per-item time under timer-switching "
+            f"(tag run: {rt_tag.preemptions} preemptions, zero instrumentation; "
+            f"marked run: {rt_mark.preemptions} preemptions, "
+            f"{tracer.calls} marking calls)"
+        ),
+    )
+    report("ext_register_tagging", text)
+
+    # Both mappings recover the 4x heavy item despite interleaving.
+    for t in (t_tag, t_mark):
+        e1 = t.elapsed_cycles(1, "process_item")
+        others = [t.elapsed_cycles(i, "process_item") for i in (2, 3, 4)]
+        assert all(e1 > 2.5 * e for e in others)
+    # Register tagging needed zero marking calls; window mapping needed
+    # two per residency segment.
+    assert rt_tag.preemptions > 0
+    assert tracer.calls >= 2 * (rt_mark.preemptions + len(ITEMS))
+
+    benchmark(lambda: integrate_by_tag(unit_tag.finalize(), symtab_tag))

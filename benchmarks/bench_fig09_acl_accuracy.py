@@ -1,0 +1,113 @@
+"""Fig 9: estimated per-packet elapsed time of rte_acl_classify.
+
+Paper setup: the DPDK ACL firewall with the Table III rules in 247
+tries, Table IV packet types A/B/C injected one-by-one by GNET, PEBS on
+UOPS_RETIRED.ALL with reset values 8K..24K; the "baseline" instruments
+only rte_acl_classify (possible there because the bottleneck is known
+a-priori).  Findings reproduced:
+
+* the fluctuation is >100%: type A ~12-14 us vs type C ~6 us;
+* estimates track the baseline closely at small reset values and
+  degrade (fewer estimable packets, growing underestimate) as R grows.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro import trace
+from repro.acl.app import ACLApp, ACLAppConfig
+from repro.acl.packets import make_test_stream
+from repro.acl.rules import paper_ruleset
+from repro.analysis.reporting import format_table
+from repro.core.fulltrace import FullInstrumentationTracer
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+
+RESET_VALUES = (8_000, 12_000, 16_000, 20_000, 24_000)
+PER_TYPE = 100
+US = 3000
+
+
+def make_app(paper_classifier) -> ACLApp:
+    return ACLApp(
+        [],
+        make_test_stream(PER_TYPE),
+        config=ACLAppConfig(),
+        classifier=paper_classifier,
+    )
+
+
+@pytest.fixture(scope="module")
+def results(paper_classifier):
+    out: dict[str, dict[str, tuple[float, float, int]]] = {}
+
+    # Instrumented baseline (no PEBS): the golden per-packet times.
+    app = make_app(paper_classifier)
+    tracer = FullInstrumentationTracer(
+        mark_ip=app.mark_ip, cost_ns=200.0, fn_cost_ns=200.0, only_fns={app.classify_ip}
+    )
+    Scheduler(Machine(n_cores=3), app.threads(), tracer=tracer).run()
+    eb = tracer.elapsed_by_item(ACLApp.ACL_CORE)
+    base: dict[str, list[float]] = {"A": [], "B": [], "C": []}
+    for (item, _), cycles in eb.items():
+        if item > 0:
+            base[app.group_of(item)].append(cycles / US)
+    out["baseline"] = {
+        t: (statistics.mean(v), statistics.stdev(v), len(v)) for t, v in base.items()
+    }
+
+    for reset in RESET_VALUES:
+        app = make_app(paper_classifier)
+        session = trace(app, sample_cores=[ACLApp.ACL_CORE], reset_value=reset)
+        tr = session.trace_for(ACLApp.ACL_CORE)
+        by_type: dict[str, list[float]] = {"A": [], "B": [], "C": []}
+        for pid in tr.items():
+            est = tr.elapsed_cycles(pid, "rte_acl_classify")
+            if est > 0:
+                by_type[app.group_of(pid)].append(est / US)
+        out[str(reset)] = {
+            t: (
+                statistics.mean(v) if v else 0.0,
+                statistics.stdev(v) if len(v) > 1 else 0.0,
+                len(v),
+            )
+            for t, v in by_type.items()
+        }
+    return out
+
+
+def test_fig09_acl_estimate_accuracy(results, report, benchmark, paper_classifier):
+    rows = []
+    for key in ["baseline"] + [str(r) for r in RESET_VALUES]:
+        row = [key]
+        for t in "ABC":
+            mean, sd, n = results[key][t]
+            row.append(f"{mean:.2f} +/- {sd:.2f} (n={n})")
+        rows.append(row)
+    text = format_table(
+        ["reset value", "type A (us)", "type B (us)", "type C (us)"],
+        rows,
+        title="Fig 9: estimated per-packet elapsed time of rte_acl_classify",
+    )
+    report("fig09_acl_accuracy", text)
+
+    base = {t: results["baseline"][t][0] for t in "ABC"}
+    # The >100% fluctuation: A is at least 2x C, near the paper's 12-14
+    # vs ~6 us scale.
+    assert base["A"] / base["C"] > 1.8
+    assert 10.0 < base["A"] < 16.0
+    assert 4.5 < base["C"] < 8.0
+    # Ordering preserved at every reset value.
+    for reset in RESET_VALUES:
+        r = results[str(reset)]
+        assert r["A"][0] > r["B"][0] > r["C"][0]
+    # Small R estimates within ~20% of the baseline for every type.
+    for t in "ABC":
+        assert results["8000"][t][0] == pytest.approx(base[t], rel=0.25)
+    # Estimable count decays with R for the short type C (Section V-B1).
+    assert results["24000"]["C"][2] <= results["8000"]["C"][2]
+
+    benchmark(lambda: paper_classifier.classify(0xC0A80A04, 0xC0A80B05, 10001, 10002))

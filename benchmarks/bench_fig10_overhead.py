@@ -1,0 +1,70 @@
+"""Fig 10 + the Section IV-C3 data-volume analysis.
+
+Overhead of the method vs reset value, measured exactly as the paper
+does: the GNET hardware tester's mean packet latency with tracing (L_R)
+minus without any profiling (L*).  The overhead must decrease
+monotonically with R and sit at microsecond order for the smallest R.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import trace
+from repro.acl.app import ACLApp, ACLAppConfig
+from repro.acl.packets import make_test_stream
+from repro.analysis.reporting import format_table
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+
+RESET_VALUES = (8_000, 12_000, 16_000, 20_000, 24_000)
+PER_TYPE = 60
+
+
+def make_app(paper_classifier) -> ACLApp:
+    return ACLApp(
+        [], make_test_stream(PER_TYPE), config=ACLAppConfig(), classifier=paper_classifier
+    )
+
+
+@pytest.fixture(scope="module")
+def overheads(paper_classifier):
+    # L*: untraced control run.
+    control = make_app(paper_classifier)
+    Scheduler(Machine(n_cores=3), control.threads()).run()
+    l_star = control.tester.mean_latency_us()
+    rows = {}
+    for reset in RESET_VALUES:
+        app = make_app(paper_classifier)
+        session = trace(app, sample_cores=[ACLApp.ACL_CORE], reset_value=reset)
+        l_r = app.tester.mean_latency_us()
+        unit = session.units[ACLApp.ACL_CORE]
+        rows[reset] = (l_r - l_star, unit.sample_count)
+    return l_star, rows
+
+
+def test_fig10_overhead_vs_reset_value(overheads, report, benchmark, paper_classifier):
+    l_star, rows = overheads
+    table = [
+        [str(r), f"{delta:.2f}", str(n)] for r, (delta, n) in sorted(rows.items())
+    ]
+    text = format_table(
+        ["reset value", "latency increase (us)", "PEBS samples"],
+        table,
+        title=f"Fig 10: overhead (L_R - L*) vs reset value; L* = {l_star:.2f} us",
+    )
+    report("fig10_overhead", text)
+
+    deltas = [rows[r][0] for r in RESET_VALUES]
+    # Positive overhead, decreasing in R (allowing tiny numerical slack).
+    assert all(d > 0 for d in deltas)
+    for a, b in zip(deltas, deltas[1:]):
+        assert b <= a * 1.05
+    # Microsecond order at R=8K (the paper's trade-off sweet spot talk).
+    assert 0.3 < deltas[0] < 8.0
+
+    def one_traced_run():
+        app = make_app(paper_classifier)
+        trace(app, sample_cores=[ACLApp.ACL_CORE], reset_value=16_000)
+
+    benchmark.pedantic(one_traced_run, rounds=2, iterations=1)

@@ -1,0 +1,41 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every bench reproduces one table or figure of the paper: it runs the
+experiment once (cached at session scope where expensive), prints the
+paper-style rows, writes them to ``benchmarks/results/<name>.txt``, and
+hands a representative hot operation to pytest-benchmark for timing.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline; they are always written to the results directory).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.acl.rules import paper_ruleset
+from repro.acl.trie import MultiTrieClassifier
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writer: report(name, text) prints and persists a result table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def write(name: str, text: str) -> None:
+        print(f"\n{text}\n")
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def paper_classifier() -> MultiTrieClassifier:
+    """The Table III classifier (50 000 rules, 247 tries), built once."""
+    clf = MultiTrieClassifier(paper_ruleset(), max_rules_per_trie=203)
+    assert clf.n_tries == 247
+    return clf

@@ -1,0 +1,67 @@
+"""Section V-A extension: tracing a timer-switching (NGINX-like) system.
+
+Self-switching systems (DPDK, MariaDB) process one item to completion
+per core, so two marks per item suffice.  Timer-switching systems
+preempt items on a time slice; this example shows the paper's proposed
+fix — park the data-item ID in a general-purpose register (r13) so every
+PEBS sample carries it — and compares the recovered per-item times with
+the ground truth, with **zero instrumentation** in the target.
+
+Run:  python examples/timer_switching.py
+"""
+
+from repro.core import AddressAllocator, integrate_by_tag
+from repro.machine import Block, HWEvent, Machine, PEBSConfig
+from repro.runtime import AppThread, Exec, Scheduler, ULTRuntime, ULTask
+
+
+def main() -> None:
+    alloc = AddressAllocator()
+    sched_ip = alloc.add("ult_scheduler")
+    handler_ip = alloc.add("handle_request")
+    symtab = alloc.table()
+
+    # Four requests multiplexed on one core; request 1 is 4x heavier.
+    def request_work(blocks: int):
+        def body():
+            for _ in range(blocks):
+                yield Exec(Block(ip=handler_ip, uops=4000))
+
+        return body
+
+    work = {1: 40, 2: 10, 3: 10, 4: 10}
+    runtime = ULTRuntime(
+        [ULTask(rid, request_work(n)) for rid, n in work.items()],
+        timeslice_cycles=3000,       # preempt every ~1 us
+        switch_cost_cycles=150,
+        scheduler_ip=sched_ip,
+        mark_switches=False,         # NO instrumentation at all
+        tag_items=True,              # item id lives in r13
+    )
+
+    machine = Machine(n_cores=1)
+    unit = machine.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 2000))
+    Scheduler(machine, [AppThread("worker", 0, runtime.body, sched_ip)]).run()
+
+    trace = integrate_by_tag(unit.finalize(), symtab)
+    print(
+        f"{runtime.preemptions} preemptions, {unit.sample_count} PEBS samples, "
+        "0 marking calls.\n"
+    )
+    print("Recovered per-request handler time (relative to request 2):")
+    base = trace.elapsed_cycles(2, "handle_request")
+    for rid, blocks in work.items():
+        est = trace.elapsed_cycles(rid, "handle_request")
+        print(
+            f"  request {rid}: {est / 3000:7.2f} us "
+            f"(= {est / base:4.2f}x;  true work ratio {blocks / work[2]:.2f}x)"
+        )
+    unmapped = trace.unmapped_samples
+    print(
+        f"\n{unmapped} samples fell in the scheduler itself (tag cleared) "
+        "and were left unattributed — the conservative choice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""repro — hybrid instrumentation + hardware-sampling fluctuation tracer.
+
+A production-shaped reproduction of *"Diagnosing Performance Fluctuations
+of High-throughput Software for Multi-core CPUs"* (Akiyama, Hirofuchi,
+Takano; 2018) on a simulated multicore substrate.  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for paper-vs-measured results.
+
+Quick start::
+
+    from repro import trace
+    from repro.workloads import SampleApp
+
+    app = SampleApp()
+    session = trace(app, reset_value=8000)
+    t = session.trace_for(SampleApp.WORKER_CORE)
+    for qid in t.items():
+        print(qid, t.breakdown(qid))
+
+Layers (each fully public):
+
+* :mod:`repro.machine`  — simulated cores, caches, PMU, PEBS, perf-style
+  software sampling.
+* :mod:`repro.runtime`  — pinned threads, SPSC queues, the DES scheduler,
+  user-level threading.
+* :mod:`repro.core`     — the paper's contribution: marking
+  instrumentation, hybrid integration, diagnosis, baselines.
+* :mod:`repro.workloads`, :mod:`repro.acl` — the evaluated applications.
+* :mod:`repro.analysis` — experiment statistics and report rendering.
+"""
+
+from repro.errors import ReproError
+from repro.session import TraceSession, trace
+
+__version__ = "1.0.0"
+
+__all__ = ["ReproError", "TraceSession", "trace", "__version__"]

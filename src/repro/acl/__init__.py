@@ -1,0 +1,37 @@
+"""DPDK-like Access Control List subsystem (paper Section IV-C).
+
+A real (not scripted) reimplementation of the behaviour that makes the
+paper's ACL case study fluctuate:
+
+* :mod:`~repro.acl.rules` — ACL rules and the Table III 50 000-rule set.
+* :mod:`~repro.acl.trie` — the byte-wise multi-trie classifier modelled on
+  ``rte_acl``: rules are partitioned into many tries, a lookup walks each
+  trie over the 12-byte key (src addr, dst addr, src/dst ports) and stops
+  at the first non-matching byte — so the per-packet cost depends on *how
+  far into the key* each trie can match, which is the fluctuation.
+* :mod:`~repro.acl.packets` — packets and the Table IV type A/B/C test
+  generators.
+* :mod:`~repro.acl.app` — the RX -> ACL -> TX pinned-thread pipeline.
+* :mod:`~repro.acl.tester` — the GNET-like hardware tester measuring
+  end-to-end latency outside the traced program.
+"""
+
+from repro.acl.app import ACLApp, ACLAppConfig
+from repro.acl.packets import PACKET_TYPES, Packet, make_packet, make_test_stream
+from repro.acl.rules import ACLRule, paper_ruleset
+from repro.acl.tester import GNETTester
+from repro.acl.trie import MultiTrieClassifier, TrieCostModel
+
+__all__ = [
+    "ACLApp",
+    "ACLAppConfig",
+    "ACLRule",
+    "GNETTester",
+    "MultiTrieClassifier",
+    "PACKET_TYPES",
+    "Packet",
+    "TrieCostModel",
+    "make_packet",
+    "make_test_stream",
+    "paper_ruleset",
+]

@@ -1,0 +1,206 @@
+"""The DPDK ACL sample application: RX -> ACL -> TX pinned pipeline.
+
+Paper Section IV-C: three worker threads pinned to designated cores.  RX
+receives packets and pushes them into a software ring; the ACL thread
+pops, checks the rules (the ``rte_acl_classify`` hot function), and pushes
+survivors to the TX ring; TX sends them out the second NIC, where the
+GNET tester timestamps them.
+
+Instrumentation follows the paper exactly: only the ACL thread is marked,
+"right after it retrieves a packet from the RX thread and right before it
+pushes a packet to the TX thread" — the self-switching architecture makes
+those two points trivial to find.  ``FnEnter/FnLeave`` markers around the
+classify section exist so the Fig 9 "baseline" (selective instrumentation
+of the known-bottleneck function) can run from the same source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.acl.packets import Packet
+from repro.acl.rules import ACLRule
+from repro.acl.tester import GNETTester
+from repro.acl.trie import MultiTrieClassifier, TrieCostModel
+from repro.core.symbols import AddressAllocator, SymbolTable
+from repro.errors import WorkloadError
+from repro.machine.block import Block
+from repro.runtime.actions import Exec, FnEnter, FnLeave, IdleUntil, Mark, Pop, Push, SwitchKind
+from repro.runtime.queue import SPSCQueue
+from repro.runtime.thread import AppThread
+
+
+@dataclass(frozen=True)
+class ACLAppConfig:
+    """Pipeline and cost configuration.
+
+    ``max_rules_per_trie=203`` reproduces the paper's modified DPDK: the
+    Table III rule set lands in ceil(50000/203) = 247 tries.  Set it to
+    None to get vanilla DPDK's at-most-``max_tries`` behaviour.
+    """
+
+    max_rules_per_trie: int | None = 203
+    max_tries: int = 8
+    tries_per_block: int = 8
+    inter_packet_gap_ns: float = 25_000.0
+    #: Packets per rte_eth_rx_burst.  1 = the paper's setting ("packets
+    #: are sent one by one ... so that DPDK does not batch them").  With
+    #: batching > 1 the data-item switch marks can only bracket the whole
+    #: batch — per-packet IDs inside a batch are exactly the open problem
+    #: the paper defers (Section IV-C2); the batching extension bench
+    #: quantifies what that granularity loss costs.
+    batch_size: int = 1
+    rx_uops: int = 300
+    pre_uops: int = 200
+    post_uops: int = 100
+    tx_uops: int = 300
+    ring_capacity: int = 1024
+    cost_model: TrieCostModel = field(default_factory=TrieCostModel)
+    freq_ghz: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.tries_per_block < 1:
+            raise WorkloadError("tries_per_block must be >= 1")
+        if min(self.rx_uops, self.pre_uops, self.post_uops, self.tx_uops) < 1:
+            raise WorkloadError("stage costs must be >= 1 uop")
+        if self.batch_size < 1:
+            raise WorkloadError("batch_size must be >= 1")
+
+
+class ACLApp:
+    """Builds the three pinned threads around a (shareable) classifier."""
+
+    RX_CORE = 0
+    ACL_CORE = 1
+    TX_CORE = 2
+
+    #: Data-item ids for batches start here (clear of any packet id).
+    BATCH_ID_BASE = 10_000_000
+
+    def __init__(
+        self,
+        rules: list[ACLRule],
+        packets: list[Packet],
+        config: ACLAppConfig = ACLAppConfig(),
+        classifier: MultiTrieClassifier | None = None,
+    ) -> None:
+        self.config = config
+        self.packets = list(packets)
+        if classifier is None:
+            classifier = MultiTrieClassifier(
+                rules,
+                max_tries=config.max_tries,
+                max_rules_per_trie=config.max_rules_per_trie,
+            )
+        self.classifier = classifier
+        self.tester = GNETTester(
+            packets,
+            inter_packet_gap_ns=config.inter_packet_gap_ns,
+            freq_ghz=config.freq_ghz,
+        )
+        alloc = AddressAllocator()
+        self.rx_poll_ip = alloc.add("rx_main_loop")
+        self.rx_recv_ip = alloc.add("rte_eth_rx_burst")
+        self.acl_poll_ip = alloc.add("acl_main_loop")
+        self.pre_ip = alloc.add("pkt_setup")
+        self.classify_ip = alloc.add("rte_acl_classify")
+        self.post_ip = alloc.add("pkt_verdict")
+        self.tx_poll_ip = alloc.add("tx_main_loop")
+        self.tx_send_ip = alloc.add("rte_eth_tx_burst")
+        self.mark_ip = alloc.add("__mark")
+        self.symtab: SymbolTable = alloc.table()
+        self.ring_rx = SPSCQueue("ring_rx", capacity=config.ring_capacity)
+        self.ring_tx = SPSCQueue("ring_tx", capacity=config.ring_capacity)
+        #: pkt_id -> verdict ('allow'/'drop'), filled during the run.
+        self.verdicts: dict[int, str] = {}
+        #: batch item id -> tuple of member packet ids (batching mode).
+        self.batch_members: dict[int, tuple[int, ...]] = {}
+
+    # -- thread bodies -------------------------------------------------------
+    def _rx_body(self):
+        batch: list = []
+        for pkt in self.packets:
+            yield IdleUntil(self.tester.ingress_ts(pkt.pkt_id))
+            yield Exec(Block(ip=self.rx_recv_ip, uops=self.config.rx_uops, branches=10))
+            batch.append(pkt)
+            if len(batch) >= self.config.batch_size:
+                yield Push(self.ring_rx, tuple(batch))
+                batch = []
+        if batch:
+            yield Push(self.ring_rx, tuple(batch))
+        yield Push(self.ring_rx, None)
+
+    def _classify_actions(self, pkt):
+        """The per-packet classify work (shared by both batch modes)."""
+        cfg = self.config
+        cm = cfg.cost_model
+        yield Exec(Block(ip=self.pre_ip, uops=cfg.pre_uops, branches=8))
+        result = self.classifier.classify(*pkt.key)
+        yield FnEnter(self.classify_ip)
+        visits = result.visits
+        for start in range(0, visits.shape[0], cfg.tries_per_block):
+            chunk = visits[start : start + cfg.tries_per_block]
+            uops, stalls = cm.chunk_cost(chunk)
+            yield Exec(
+                Block(
+                    ip=self.classify_ip,
+                    uops=uops,
+                    branches=int(chunk.sum()),
+                    extra_cycles=stalls,
+                )
+            )
+        yield FnLeave(self.classify_ip)
+        yield Exec(Block(ip=self.post_ip, uops=cfg.post_uops, branches=4))
+        self.verdicts[pkt.pkt_id] = result.action
+        if result.action != "drop":
+            yield Push(self.ring_tx, pkt)
+
+    def _acl_body(self):
+        batch_seq = 0
+        while True:
+            batch = yield Pop(self.ring_rx)
+            if batch is None:
+                yield Push(self.ring_tx, None)
+                return
+            if len(batch) == 1:
+                # The paper's setting: the data-item is the packet.
+                pkt = batch[0]
+                yield Mark(SwitchKind.ITEM_START, pkt.pkt_id)
+                yield from self._classify_actions(pkt)
+                yield Mark(SwitchKind.ITEM_END, pkt.pkt_id)
+            else:
+                # Batching: marks can only bracket the whole burst — the
+                # per-packet granularity inside is lost (Section IV-C2).
+                batch_id = self.BATCH_ID_BASE + batch_seq
+                batch_seq += 1
+                self.batch_members[batch_id] = tuple(p.pkt_id for p in batch)
+                yield Mark(SwitchKind.ITEM_START, batch_id)
+                for pkt in batch:
+                    yield from self._classify_actions(pkt)
+                yield Mark(SwitchKind.ITEM_END, batch_id)
+
+    def _tx_body(self):
+        while True:
+            pkt = yield Pop(self.ring_tx)
+            if pkt is None:
+                return
+            outcome = yield Exec(
+                Block(ip=self.tx_send_ip, uops=self.config.tx_uops, branches=10)
+            )
+            self.tester.record_egress(pkt.pkt_id, outcome.end)
+
+    # -- public ----------------------------------------------------------------
+    def threads(self) -> list[AppThread]:
+        """The three pinned threads (RX, ACL, TX)."""
+        return [
+            AppThread("RX", self.RX_CORE, self._rx_body, self.rx_poll_ip),
+            AppThread("ACL", self.ACL_CORE, self._acl_body, self.acl_poll_ip),
+            AppThread("TX", self.TX_CORE, self._tx_body, self.tx_poll_ip),
+        ]
+
+    def group_of(self, pkt_id: int) -> str:
+        """Similarity key for diagnosis: the packet's Table IV type."""
+        for p in self.packets:
+            if p.pkt_id == pkt_id:
+                return p.ptype
+        raise WorkloadError(f"unknown packet id {pkt_id}")

@@ -1,0 +1,83 @@
+"""Packets and the paper's Table IV test packet types.
+
+* Type A — both addresses match rules; tries are walked through the port
+  section too (longest walk, highest latency).
+* Type B — source matches, destination does not; the walk stops inside
+  the destination-address section.
+* Type C — nothing matches; the walk stops inside the source-address
+  section (shortest walk, lowest latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.acl.rules import parse_ipv4
+from repro.errors import ACLError
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A minimal TCP/IPv4 packet: the classification 4-tuple plus identity."""
+
+    pkt_id: int
+    src_addr: int
+    dst_addr: int
+    src_port: int
+    dst_port: int
+    ptype: str = "?"
+
+    def __post_init__(self) -> None:
+        if self.pkt_id < 0:
+            raise ACLError(f"packet id must be >= 0, got {self.pkt_id}")
+        for port in (self.src_port, self.dst_port):
+            if not 0 <= port <= 0xFFFF:
+                raise ACLError(f"invalid port {port}")
+
+    @property
+    def key(self) -> tuple[int, int, int, int]:
+        return (self.src_addr, self.dst_addr, self.src_port, self.dst_port)
+
+
+#: Table IV: the three test packet 4-tuples.
+PACKET_TYPES: dict[str, tuple[str, str, int, int]] = {
+    "A": ("192.168.10.4", "192.168.11.5", 10001, 10002),
+    "B": ("192.168.10.4", "192.168.22.2", 10001, 10002),
+    "C": ("192.168.12.4", "192.168.22.2", 10001, 10002),
+}
+
+
+def make_packet(ptype: str, pkt_id: int) -> Packet:
+    """One Table IV packet of the given type."""
+    try:
+        src, dst, sp, dp = PACKET_TYPES[ptype]
+    except KeyError:
+        raise ACLError(f"unknown packet type {ptype!r}; choose from A/B/C")
+    return Packet(
+        pkt_id=pkt_id,
+        src_addr=parse_ipv4(src),
+        dst_addr=parse_ipv4(dst),
+        src_port=sp,
+        dst_port=dp,
+        ptype=ptype,
+    )
+
+
+def make_test_stream(per_type: int, types: str = "ABC") -> list[Packet]:
+    """An interleaved A/B/C/A/B/C... stream, ``per_type`` of each type.
+
+    Interleaving (rather than blocks per type) keeps the experiment honest:
+    consecutive packets genuinely differ, so per-packet attribution cannot
+    ride on temporal locality.
+    """
+    if per_type < 1:
+        raise ACLError("per_type must be >= 1")
+    if not types or any(t not in PACKET_TYPES for t in types):
+        raise ACLError(f"types must be drawn from {sorted(PACKET_TYPES)}")
+    out: list[Packet] = []
+    pkt_id = 1
+    for _ in range(per_type):
+        for t in types:
+            out.append(make_packet(t, pkt_id))
+            pkt_id += 1
+    return out

@@ -1,0 +1,97 @@
+"""GNET-like hardware network tester (paper ref [17]).
+
+The paper measures packet latency *outside* the traced machine: GNET
+injects packets one by one with a short interval (so DPDK never batches)
+and timestamps them on the way out.  The simulated tester does the same —
+it owns the injection schedule and collects egress timestamps from the TX
+thread, so its latency numbers are independent of any instrumentation
+inside the application (which is what makes them a fair overhead probe for
+Fig 10).
+"""
+
+from __future__ import annotations
+
+from statistics import mean, stdev
+
+from repro.acl.packets import Packet
+from repro.errors import WorkloadError
+from repro.units import ns_to_cycles
+
+
+class GNETTester:
+    """Injection schedule + egress capture + latency statistics."""
+
+    def __init__(
+        self,
+        packets: list[Packet],
+        inter_packet_gap_ns: float = 25_000.0,
+        freq_ghz: float = 3.0,
+    ) -> None:
+        if not packets:
+            raise WorkloadError("need at least one packet")
+        ids = [p.pkt_id for p in packets]
+        if len(set(ids)) != len(ids):
+            raise WorkloadError("packet ids must be unique")
+        if inter_packet_gap_ns <= 0:
+            raise WorkloadError("inter-packet gap must be positive")
+        self.packets = list(packets)
+        self.freq_ghz = freq_ghz
+        gap = ns_to_cycles(inter_packet_gap_ns, freq_ghz)
+        self._ingress: dict[int, int] = {
+            p.pkt_id: (i + 1) * gap for i, p in enumerate(packets)
+        }
+        self._egress: dict[int, int] = {}
+        self._ptype: dict[int, str] = {p.pkt_id: p.ptype for p in packets}
+
+    def ingress_ts(self, pkt_id: int) -> int:
+        """When the packet arrives at the device's NIC (cycles)."""
+        try:
+            return self._ingress[pkt_id]
+        except KeyError:
+            raise WorkloadError(f"unknown packet id {pkt_id}")
+
+    def record_egress(self, pkt_id: int, ts: int) -> None:
+        """Called by the TX thread when the packet leaves NIC 1."""
+        if pkt_id not in self._ingress:
+            raise WorkloadError(f"egress for unknown packet id {pkt_id}")
+        if pkt_id in self._egress:
+            raise WorkloadError(f"duplicate egress for packet {pkt_id}")
+        if ts < self._ingress[pkt_id]:
+            raise WorkloadError(
+                f"packet {pkt_id} egressed at {ts} before ingress at "
+                f"{self._ingress[pkt_id]}"
+            )
+        self._egress[pkt_id] = ts
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def completed(self) -> int:
+        return len(self._egress)
+
+    def latency_cycles(self, pkt_id: int) -> int:
+        try:
+            return self._egress[pkt_id] - self._ingress[pkt_id]
+        except KeyError:
+            raise WorkloadError(f"packet {pkt_id} has not egressed")
+
+    def latencies_us(self, ptype: str | None = None) -> list[float]:
+        """Per-packet latencies in µs, optionally filtered by type."""
+        out = []
+        for pkt_id, egress in self._egress.items():
+            if ptype is not None and self._ptype[pkt_id] != ptype:
+                continue
+            cycles = egress - self._ingress[pkt_id]
+            out.append(cycles / self.freq_ghz / 1_000.0)
+        return out
+
+    def mean_latency_us(self, ptype: str | None = None) -> float:
+        vals = self.latencies_us(ptype)
+        if not vals:
+            raise WorkloadError(f"no completed packets for type {ptype!r}")
+        return mean(vals)
+
+    def std_latency_us(self, ptype: str | None = None) -> float:
+        vals = self.latencies_us(ptype)
+        if len(vals) < 2:
+            return 0.0
+        return stdev(vals)

@@ -1,0 +1,101 @@
+"""Randomised packet traffic for the ACL pipeline.
+
+Table IV's three fixed packets probe three specific walk depths; real
+traffic sits on a continuum.  This generator draws packets whose key
+fields match the rule set's address/port structure with configurable
+probabilities, so walk depths — and therefore per-packet classify times —
+form a distribution rather than three spikes.  Used by the per-packet
+accuracy study (does the hybrid estimate *correlate* with each packet's
+true cost, not just class means?).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.acl.packets import Packet
+from repro.acl.rules import parse_ipv4
+from repro.errors import ACLError
+
+
+@dataclass(frozen=True)
+class TrafficMix:
+    """Probabilities that a drawn packet matches each key section.
+
+    ``p_src_match`` — source address inside 192.168.10.0/24;
+    ``p_dst_match`` — destination inside 192.168.11.0/24 (given src match);
+    ``p_port_match`` — ports inside the rule grid (given both addresses).
+    Mismatching fields are drawn to diverge at a random byte, so shallow
+    and deep early-exits both occur.
+    """
+
+    p_src_match: float = 0.6
+    p_dst_match: float = 0.6
+    p_port_match: float = 0.3
+
+    def __post_init__(self) -> None:
+        for p in (self.p_src_match, self.p_dst_match, self.p_port_match):
+            if not 0.0 <= p <= 1.0:
+                raise ACLError(f"probabilities must be in [0, 1], got {p}")
+
+
+def random_traffic(
+    n_packets: int,
+    mix: TrafficMix = TrafficMix(),
+    seed: int = 7,
+    first_id: int = 1,
+) -> list[Packet]:
+    """Draw ``n_packets`` random packets against the Table III structure."""
+    if n_packets < 1:
+        raise ACLError("need at least one packet")
+    rng = np.random.default_rng(seed)
+    src_net = parse_ipv4("192.168.10.0")
+    dst_net = parse_ipv4("192.168.11.0")
+    out: list[Packet] = []
+    for i in range(n_packets):
+        if rng.random() < mix.p_src_match:
+            src = src_net | int(rng.integers(1, 255))
+            if rng.random() < mix.p_dst_match:
+                dst = dst_net | int(rng.integers(1, 255))
+                if rng.random() < mix.p_port_match:
+                    sp = int(rng.integers(1, 67))
+                    dp = int(rng.integers(1, 751))
+                else:
+                    sp = int(rng.integers(1024, 65535))
+                    dp = int(rng.integers(1024, 65535))
+            else:
+                # Diverge the destination at a random byte depth.
+                depth = int(rng.integers(0, 3))  # byte 0, 1 or 2 differs
+                dst = _diverge(dst_net, depth, rng)
+                sp = int(rng.integers(1024, 65535))
+                dp = int(rng.integers(1024, 65535))
+        else:
+            depth = int(rng.integers(0, 3))
+            src = _diverge(src_net, depth, rng)
+            dst = dst_net | int(rng.integers(1, 255))
+            sp = int(rng.integers(1024, 65535))
+            dp = int(rng.integers(1024, 65535))
+        out.append(
+            Packet(
+                pkt_id=first_id + i,
+                src_addr=src,
+                dst_addr=dst,
+                src_port=sp,
+                dst_port=dp,
+                ptype="R",  # randomised
+            )
+        )
+    return out
+
+
+def _diverge(net: int, byte_index: int, rng: np.random.Generator) -> int:
+    """An address sharing ``byte_index`` leading bytes with ``net``."""
+    shift = (3 - byte_index) * 8
+    original = (net >> shift) & 0xFF
+    candidates = [b for b in range(256) if b != original]
+    wrong = int(rng.choice(candidates))
+    mask_keep = (0xFFFF_FFFF << (shift + 8)) & 0xFFFF_FFFF
+    tail = int(rng.integers(0, 1 << shift)) if shift else 0
+    return (net & mask_keep) | (wrong << shift) | tail

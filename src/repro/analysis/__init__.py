@@ -1,0 +1,24 @@
+"""Experiment analysis: interval statistics, regressions, report rendering."""
+
+from repro.analysis.distribution import LatencyStats, latency_stats, text_histogram
+from repro.analysis.export import to_chrome_trace, to_csv, write_chrome_trace
+from repro.analysis.intervals import IntervalStats, interval_stats
+from repro.analysis.linearity import LinearFit, fit_interval_linearity
+from repro.analysis.reporting import ascii_series, format_table
+from repro.analysis.timeline import render_item_timeline
+
+__all__ = [
+    "IntervalStats",
+    "LatencyStats",
+    "LinearFit",
+    "ascii_series",
+    "fit_interval_linearity",
+    "format_table",
+    "interval_stats",
+    "latency_stats",
+    "render_item_timeline",
+    "text_histogram",
+    "to_chrome_trace",
+    "to_csv",
+    "write_chrome_trace",
+]

@@ -1,0 +1,81 @@
+"""Latency-distribution statistics (the tail vocabulary of Section II-A).
+
+The paper's motivation speaks in distribution terms — means, standard
+deviations, 99th percentiles, "an order of magnitude greater".  This
+module provides those statistics over any latency list plus a compact
+text histogram, shared by workload summaries and benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary of a latency sample (unit-agnostic)."""
+
+    n: int
+    mean: float
+    std: float
+    p50: float
+    p90: float
+    p99: float
+    p999: float
+    max_value: float
+
+    @property
+    def std_over_mean(self) -> float:
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def p99_over_mean(self) -> float:
+        return self.p99 / self.mean if self.mean else 0.0
+
+
+def latency_stats(values) -> LatencyStats:
+    """Compute the summary; needs at least two observations."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size < 2:
+        raise TraceError(f"need >= 2 latencies, got {arr.size}")
+    if np.any(arr < 0):
+        raise TraceError("latencies must be >= 0")
+    return LatencyStats(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)),
+        p50=float(np.percentile(arr, 50)),
+        p90=float(np.percentile(arr, 90)),
+        p99=float(np.percentile(arr, 99)),
+        p999=float(np.percentile(arr, 99.9)),
+        max_value=float(arr.max()),
+    )
+
+
+def text_histogram(values, bins: int = 10, width: int = 40, log: bool = False) -> str:
+    """A fixed-width histogram; ``log=True`` uses log-spaced bins (tails)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.size == 0:
+        return "(no data)"
+    if bins < 1 or width < 1:
+        raise TraceError("bins and width must be >= 1")
+    lo, hi = float(arr.min()), float(arr.max())
+    if lo == hi:
+        return f"all {arr.size} values = {lo:g}"
+    if log:
+        lo_pos = max(lo, hi * 1e-6, np.min(arr[arr > 0], initial=hi))
+        edges = np.geomspace(lo_pos, hi, bins + 1)
+        edges[0] = lo
+    else:
+        edges = np.linspace(lo, hi, bins + 1)
+    counts, _ = np.histogram(arr, bins=edges)
+    top = counts.max()
+    lines = []
+    for i, c in enumerate(counts):
+        bar = "#" * (round(width * c / top) if top else 0)
+        lines.append(f"[{edges[i]:10.2f}, {edges[i + 1]:10.2f})  {c:6d}  {bar}")
+    return "\n".join(lines)

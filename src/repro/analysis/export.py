@@ -1,0 +1,127 @@
+"""Exporting traces to standard viewer formats.
+
+* :func:`to_chrome_trace` — the Chrome trace-event JSON format, loadable
+  in ``chrome://tracing`` / Perfetto: one row per core, a complete ("X")
+  event per data-item window, nested events for per-function estimates,
+  and instant events for the raw PEBS samples.  This is the interactive
+  counterpart of the paper's Fig 8 stacked bars.
+* :func:`to_csv` — flat per-(item, function) rows for spreadsheet
+  analysis.
+
+Cycle timestamps are converted to microseconds (the trace-event unit).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.hybrid import HybridTrace
+from repro.core.records import SwitchRecords, build_windows
+from repro.errors import TraceError
+from repro.machine.pebs import SampleArrays
+
+
+def to_chrome_trace(
+    traces_by_core: dict[int, HybridTrace],
+    samples_by_core: dict[int, SampleArrays] | None = None,
+    freq_ghz: float = 3.0,
+    min_samples: int = 2,
+) -> dict:
+    """Build a trace-event JSON object from per-core hybrid traces.
+
+    Items become complete events on the core's row; each function
+    estimate becomes a nested complete event (its first-to-last sample
+    span); raw samples (optional) become instant events named by their
+    resolved function.
+    """
+    if not traces_by_core:
+        raise TraceError("need at least one core's trace")
+
+    def cyc_to_us(c: int) -> float:
+        # cycles -> microseconds at freq_ghz GHz (1000 cycles/us per GHz).
+        return c / (freq_ghz * 1_000.0)
+
+    events: list[dict] = []
+    for core, trace in sorted(traces_by_core.items()):
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": core,
+                "args": {"name": f"core {core}"},
+            }
+        )
+        for w in trace.windows:
+            events.append(
+                {
+                    "name": f"item {w.item_id}",
+                    "cat": "item",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": core,
+                    "ts": cyc_to_us(w.t_start),
+                    "dur": cyc_to_us(w.duration),
+                    "args": {"item_id": w.item_id},
+                }
+            )
+        for est in trace.rows(min_samples=min_samples):
+            if est.elapsed_cycles <= 0:
+                continue
+            events.append(
+                {
+                    "name": est.fn_name,
+                    "cat": "function",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": core,
+                    "ts": cyc_to_us(est.t_first),
+                    "dur": cyc_to_us(est.elapsed_cycles),
+                    "args": {
+                        "item_id": est.item_id,
+                        "n_samples": est.n_samples,
+                    },
+                }
+            )
+        if samples_by_core and core in samples_by_core:
+            s = samples_by_core[core]
+            fidx = trace.symtab.lookup_many(s.ip)
+            names = trace.symtab.names
+            for ts, fi in zip(s.ts, fidx):
+                events.append(
+                    {
+                        "name": names[int(fi)] if fi >= 0 else "<unknown>",
+                        "cat": "sample",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": 1,
+                        "tid": core,
+                        "ts": cyc_to_us(int(ts)),
+                    }
+                )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | pathlib.Path,
+    traces_by_core: dict[int, HybridTrace],
+    samples_by_core: dict[int, SampleArrays] | None = None,
+    freq_ghz: float = 3.0,
+) -> None:
+    """Serialise :func:`to_chrome_trace` to a file."""
+    doc = to_chrome_trace(traces_by_core, samples_by_core, freq_ghz)
+    pathlib.Path(path).write_text(json.dumps(doc))
+
+
+def to_csv(trace: HybridTrace, freq_ghz: float = 3.0, min_samples: int = 2) -> str:
+    """Flat CSV: item_id, function, samples, elapsed_us, window_us."""
+    lines = ["item_id,function,n_samples,elapsed_us,window_us"]
+    for est in trace.rows(min_samples=min_samples):
+        window = trace.item_window_cycles(est.item_id)
+        lines.append(
+            f"{est.item_id},{est.fn_name},{est.n_samples},"
+            f"{est.elapsed_cycles / freq_ghz / 1000:.3f},"
+            f"{window / freq_ghz / 1000:.3f}"
+        )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,57 @@
+"""Sample-interval statistics (the quantity Fig 4 plots).
+
+A *sample interval* is the time difference between two consecutive
+samples (paper Section III-B).  For interval studies the workload should
+be steady-state; percentiles let tests check both the central tendency
+and the floor behaviour of software sampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.machine.pebs import SampleArrays
+from repro.units import cycles_to_us
+
+
+@dataclass(frozen=True)
+class IntervalStats:
+    """Distribution summary of achieved sample intervals (in cycles)."""
+
+    n_samples: int
+    mean_cycles: float
+    median_cycles: float
+    p5_cycles: float
+    p95_cycles: float
+    min_cycles: int
+    max_cycles: int
+
+    def mean_us(self, freq_ghz: float) -> float:
+        return cycles_to_us(self.mean_cycles, freq_ghz)
+
+    def median_us(self, freq_ghz: float) -> float:
+        return cycles_to_us(self.median_cycles, freq_ghz)
+
+
+def interval_stats(samples: SampleArrays) -> IntervalStats:
+    """Compute interval statistics from one core's sample stream."""
+    ts = samples.ts
+    if ts.shape[0] < 2:
+        raise TraceError(
+            f"need at least 2 samples to measure intervals, got {ts.shape[0]}"
+        )
+    iv = np.diff(ts)
+    if np.any(iv < 0):
+        raise TraceError("sample timestamps are not sorted")
+    return IntervalStats(
+        n_samples=int(ts.shape[0]),
+        mean_cycles=float(iv.mean()),
+        median_cycles=float(np.median(iv)),
+        p5_cycles=float(np.percentile(iv, 5)),
+        p95_cycles=float(np.percentile(iv, 95)),
+        min_cycles=int(iv.min()),
+        max_cycles=int(iv.max()),
+    )

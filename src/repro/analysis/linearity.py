@@ -1,0 +1,44 @@
+"""Reset-value <-> sample-interval linearity (paper Section V-C).
+
+The paper verifies that for the ACL workload the achieved sample interval
+"has a strong linearity with the reset values and the deviations are very
+small", making the interval predictable from R.  This module fits and
+scores that relation so the extension bench can report slope, intercept
+and R².
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """interval ~ slope * reset_value + intercept."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, reset_value: float) -> float:
+        return self.slope * reset_value + self.intercept
+
+
+def fit_interval_linearity(
+    reset_values: np.ndarray, intervals_cycles: np.ndarray
+) -> LinearFit:
+    """Least-squares fit of achieved interval against reset value."""
+    x = np.asarray(reset_values, dtype=np.float64)
+    y = np.asarray(intervals_cycles, dtype=np.float64)
+    if x.shape != y.shape or x.shape[0] < 2:
+        raise ConfigError("need >= 2 (reset value, interval) pairs of equal length")
+    slope, intercept = np.polyfit(x, y, deg=1)
+    pred = slope * x + intercept
+    ss_res = float(np.sum((y - pred) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r2 = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r2)

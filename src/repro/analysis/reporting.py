@@ -1,0 +1,53 @@
+"""Plain-text rendering for benchmark output.
+
+Benchmarks print the same rows/series the paper's tables and figures
+show; these helpers keep that output aligned and consistent without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str | None = None
+) -> str:
+    """Fixed-width table with a header rule, ready for printing."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    def fmt_row(row: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(row, widths))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(r) for r in cells)
+    return "\n".join(lines)
+
+
+def ascii_series(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 50,
+    label: str = "",
+) -> str:
+    """A one-line-per-point log-friendly bar rendering of a series."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not ys:
+        return f"{label}: (empty)"
+    top = max(ys)
+    lines = [f"{label}:"] if label else []
+    for x, y in zip(xs, ys):
+        bar = "#" * max(1, int(round(width * (y / top)))) if top > 0 else ""
+        lines.append(f"  {x:>12g}  {y:>12.3f}  {bar}")
+    return "\n".join(lines)

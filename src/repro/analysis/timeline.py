@@ -1,0 +1,70 @@
+"""ASCII timeline of one data-item: where its samples landed.
+
+The visual counterpart of the paper's Fig 3/Fig 6 — the item's window on
+one core, one row per function, a mark in every time bucket holding at
+least one sample of that function.  Gaps (buckets with no sample in any
+function) are the stall/off-CPU signature discussed in
+:meth:`~repro.core.hybrid.HybridTrace.unattributed_cycles`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.records import SwitchRecords, build_windows
+from repro.core.symbols import UNKNOWN, SymbolTable
+from repro.errors import TraceError
+from repro.machine.pebs import SampleArrays
+
+
+def render_item_timeline(
+    samples: SampleArrays,
+    switches: SwitchRecords,
+    symtab: SymbolTable,
+    item_id: int,
+    width: int = 72,
+    freq_ghz: float = 3.0,
+) -> str:
+    """Render one item's sample timeline as fixed-width text."""
+    if width < 8:
+        raise TraceError(f"width must be >= 8, got {width}")
+    windows = [w for w in build_windows(switches) if w.item_id == item_id]
+    if not windows:
+        raise TraceError(f"no window recorded for item {item_id}")
+    start = min(w.t_start for w in windows)
+    end = max(w.t_end for w in windows)
+    span = max(1, end - start)
+    in_item = (samples.ts >= start) & (samples.ts <= end)
+    fidx = symtab.lookup_many(samples.ip)
+    lines = [
+        f"item {item_id}: window {span / freq_ghz / 1000:.2f} us "
+        f"({len(windows)} residenc{'y' if len(windows) == 1 else 'ies'}, "
+        f"{int(np.count_nonzero(in_item))} samples)"
+    ]
+    name_w = max((len(n) for n in symtab.names), default=4)
+    any_col = np.zeros(width, dtype=bool)
+    for fi, name in enumerate(symtab.names):
+        mask = in_item & (fidx == fi)
+        if not np.any(mask):
+            continue
+        cols = np.minimum(
+            ((samples.ts[mask] - start) * width) // span, width - 1
+        ).astype(np.int64)
+        row = np.full(width, ".", dtype="U1")
+        row[cols] = "#"
+        any_col[cols] = True
+        lines.append(f"{name.rjust(name_w)} |{''.join(row)}|")
+    unknown_mask = in_item & (fidx == UNKNOWN)
+    if np.any(unknown_mask):
+        cols = np.minimum(
+            ((samples.ts[unknown_mask] - start) * width) // span, width - 1
+        ).astype(np.int64)
+        row = np.full(width, ".", dtype="U1")
+        row[cols] = "?"
+        any_col[cols] = True
+        lines.append(f"{'<unknown>'.rjust(name_w)} |{''.join(row)}|")
+    # Bottom rail: '-' where no function had a sample (stall signature).
+    rail = np.full(width, " ", dtype="U1")
+    rail[~any_col] = "-"
+    lines.append(f"{'(no samples)'.rjust(name_w)} |{''.join(rail)}|")
+    return "\n".join(lines)

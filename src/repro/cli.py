@@ -1,0 +1,297 @@
+"""Command-line front-end: run traced workloads, analyse trace files.
+
+The split mirrors the paper's prototype: an *online* part that runs the
+instrumented workload and dumps raw samples + switch records to a file,
+and an *offline* part that integrates, diagnoses, and renders — usable
+on any machine, long after the run.
+
+Usage::
+
+    python -m repro.cli run --workload sampleapp --out trace.npz
+    python -m repro.cli info trace.npz
+    python -m repro.cli report trace.npz --core 1 --diagnose
+    python -m repro.cli callgraph trace.npz --core 1
+
+Run ``python -m repro.cli <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reporting import format_table
+from repro.core.callgraph import guess_call_edges
+from repro.core.fluctuation import diagnose
+from repro.core.tracefile import load_trace, save_session
+from repro.errors import ReproError
+from repro.machine.events import HWEvent
+from repro.session import trace as run_trace
+
+#: Events selectable from the command line.
+EVENTS = {
+    "uops": HWEvent.UOPS_RETIRED_ALL,
+    "insts": HWEvent.INST_RETIRED,
+    "branches": HWEvent.BR_RETIRED,
+    "l3-miss": HWEvent.MEM_LOAD_RETIRED_L3_MISS,
+}
+
+US = 3000.0  # cycles per microsecond at the default 3 GHz
+
+
+def _build_workload(args):
+    """Instantiate the requested workload; returns (app, group_map)."""
+    if args.workload == "sampleapp":
+        from repro.workloads.sampleapp import SampleApp
+
+        app = SampleApp()
+        groups = {q.qid: f"n={q.n}" for q in app.config.queries}
+        return app, groups
+    if args.workload == "nginx":
+        from repro.workloads.nginxmodel import NginxModel, NginxModelConfig
+
+        app = NginxModel(NginxModelConfig(n_requests=args.items))
+        return app, {r: "request" for r in range(1, args.items + 1)}
+    if args.workload == "acl":
+        from repro.acl.app import ACLApp, ACLAppConfig
+        from repro.acl.packets import make_test_stream
+        from repro.acl.rules import paper_ruleset, small_ruleset
+
+        rules = paper_ruleset() if args.full_rules else small_ruleset(8, 8)
+        pkts = make_test_stream(max(1, args.items // 3))
+        app = ACLApp(rules, pkts, config=ACLAppConfig())
+        return app, {p.pkt_id: p.ptype for p in pkts}
+    if args.workload == "dbpool":
+        from repro.workloads.dbpool import DBPoolApp, DBPoolConfig
+
+        app = DBPoolApp(DBPoolConfig(n_queries=args.items))
+        return app, {q.qid: q.qclass.value for q in app.queries}
+    raise ReproError(f"unknown workload {args.workload!r}")
+
+
+def cmd_run(args) -> int:
+    app, groups = _build_workload(args)
+    session = run_trace(
+        app,
+        reset_value=args.reset_value,
+        event=EVENTS[args.event],
+        double_buffered=args.double_buffered,
+    )
+    meta = {
+        "workload": args.workload,
+        "reset_value": args.reset_value,
+        "event": args.event,
+        "groups": {str(k): str(v) for k, v in groups.items()},
+    }
+    save_session(args.out, session, app.symtab, meta=meta)
+    total = sum(u.sample_count for u in session.units.values())
+    print(
+        f"traced {args.workload}: {total} samples, "
+        f"{session.tracer.calls} marking calls -> {args.out}"
+    )
+    return 0
+
+
+def cmd_info(args) -> int:
+    tf = load_trace(args.tracefile)
+    rows = [["workload", tf.meta.get("workload", "?")]]
+    rows.append(["event", tf.meta.get("event", "?")])
+    rows.append(["reset value", tf.meta.get("reset_value", "?")])
+    rows.append(["functions", len(tf.symtab)])
+    for core in tf.sample_cores:
+        rows.append([f"core {core} samples", len(tf.samples(core))])
+        rows.append([f"core {core} switch records", len(tf.switches(core))])
+    print(format_table(["field", "value"], rows, title=str(args.tracefile)))
+    return 0
+
+
+def _pick_core(tf, requested: int | None) -> int:
+    if requested is not None:
+        return requested
+    # Default to the core with the most switch records (the worker).
+    return max(tf.sample_cores, key=lambda c: len(tf.switches(c)))
+
+
+def cmd_report(args) -> int:
+    tf = load_trace(args.tracefile)
+    core = _pick_core(tf, args.core)
+    t = tf.integrate(core)
+    if args.item is not None:
+        from repro.analysis.timeline import render_item_timeline
+
+        print(
+            render_item_timeline(
+                tf.samples(core), tf.switches(core), tf.symtab, args.item
+            )
+        )
+        bd = t.breakdown(args.item)
+        for fn, cy in sorted(bd.items(), key=lambda x: -x[1]):
+            print(f"  {fn}: {cy / US:.2f} us")
+        unattr = t.unattributed_cycles(args.item)
+        if unattr:
+            print(f"  (unattributed/stall): {unattr / US:.2f} us")
+        return 0
+    rows = []
+    for item in t.items():
+        bd = t.breakdown(item)
+        total_us = t.item_window_cycles(item) / US
+        top = ", ".join(
+            f"{fn}={cy / US:.2f}us" for fn, cy in sorted(bd.items(), key=lambda x: -x[1])
+        )
+        rows.append([str(item), f"{total_us:.2f}", top or "(below sampling resolution)"])
+    print(
+        format_table(
+            ["item", "total (us)", "per-function breakdown"],
+            rows,
+            title=f"core {core}: {len(rows)} data-items",
+        )
+    )
+    if args.diagnose:
+        groups = {int(k): v for k, v in tf.meta.get("groups", {}).items()}
+        if not groups:
+            print("\n(no group metadata in trace file; cannot diagnose)")
+            return 1
+        rep = diagnose(t, lambda i: groups.get(i, "?"), threshold=args.threshold)
+        print()
+        if not rep.outliers:
+            print("no fluctuations above threshold")
+        for o in rep.outliers:
+            print(o.describe())
+    return 0
+
+
+def cmd_profile(args) -> int:
+    tf = load_trace(args.tracefile)
+    core = _pick_core(tf, args.core)
+    from repro.core.profilelib import build_profile
+    from repro.core.records import build_windows
+
+    samples = tf.samples(core)
+    windows = build_windows(tf.switches(core))
+    total = int(samples.ts[-1] - samples.ts[0]) if len(samples) > 1 else 0
+    prof = build_profile(samples, tf.symtab, total)
+    rows = [
+        [r.name, str(r.n_samples), f"{r.est_cycles / US:.1f}", f"{100 * r.fraction:.1f}%"]
+        for r in prof
+    ]
+    print(
+        format_table(
+            ["function", "samples", "est total (us)", "share"],
+            rows,
+            title=(
+                f"core {core} profile over {len(windows)} items — averaged: "
+                "cannot show per-item fluctuations (use `report` for those)"
+            ),
+        )
+    )
+    return 0
+
+
+def cmd_export(args) -> int:
+    tf = load_trace(args.tracefile)
+    if args.format == "chrome":
+        from repro.analysis.export import write_chrome_trace
+
+        traces = {c: tf.integrate(c) for c in tf.sample_cores}
+        samples = (
+            {c: tf.samples(c) for c in tf.sample_cores} if args.samples else None
+        )
+        write_chrome_trace(args.out, traces, samples)
+        print(f"wrote {args.out} — load it in chrome://tracing or Perfetto")
+    else:  # csv
+        from repro.analysis.export import to_csv
+
+        core = _pick_core(tf, args.core)
+        with open(args.out, "w") as fh:
+            fh.write(to_csv(tf.integrate(core)))
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_callgraph(args) -> int:
+    tf = load_trace(args.tracefile)
+    core = _pick_core(tf, args.core)
+    guess = guess_call_edges(tf.samples(core), tf.switches(core), tf.symtab)
+    if args.dot:
+        print(guess.dot())
+    else:
+        rows = [
+            [g.caller, g.callee, str(g.occurrences)] for g in guess.as_list()
+        ]
+        print(
+            format_table(
+                ["caller (guessed)", "callee", "occurrences"],
+                rows,
+                title="call edges guessed from sample order (Section V-B2 — "
+                "guesses, not ground truth)",
+            )
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run a traced workload, write a trace file")
+    p_run.add_argument(
+        "--workload", choices=["sampleapp", "nginx", "acl", "dbpool"], required=True
+    )
+    p_run.add_argument("--out", required=True, help="output trace file (.npz)")
+    p_run.add_argument("--reset-value", type=int, default=8000)
+    p_run.add_argument("--event", choices=sorted(EVENTS), default="uops")
+    p_run.add_argument("--items", type=int, default=60, help="workload size")
+    p_run.add_argument("--full-rules", action="store_true", help="ACL: the 50k-rule Table III set")
+    p_run.add_argument("--double-buffered", action="store_true")
+    p_run.set_defaults(func=cmd_run)
+
+    p_info = sub.add_parser("info", help="show trace file contents")
+    p_info.add_argument("tracefile")
+    p_info.set_defaults(func=cmd_info)
+
+    p_rep = sub.add_parser("report", help="per-item per-function breakdown")
+    p_rep.add_argument("tracefile")
+    p_rep.add_argument("--core", type=int, default=None)
+    p_rep.add_argument("--diagnose", action="store_true")
+    p_rep.add_argument("--threshold", type=float, default=1.5)
+    p_rep.add_argument(
+        "--item", type=int, default=None, help="render one item's sample timeline"
+    )
+    p_rep.set_defaults(func=cmd_report)
+
+    p_exp = sub.add_parser("export", help="export to viewer formats")
+    p_exp.add_argument("tracefile")
+    p_exp.add_argument("--format", choices=["chrome", "csv"], default="chrome")
+    p_exp.add_argument("--out", required=True)
+    p_exp.add_argument("--core", type=int, default=None, help="csv: which core")
+    p_exp.add_argument(
+        "--samples", action="store_true", help="chrome: include raw sample instants"
+    )
+    p_exp.set_defaults(func=cmd_export)
+
+    p_prof = sub.add_parser("profile", help="whole-run averaged profile")
+    p_prof.add_argument("tracefile")
+    p_prof.add_argument("--core", type=int, default=None)
+    p_prof.set_defaults(func=cmd_profile)
+
+    p_cg = sub.add_parser("callgraph", help="guess call edges from sample order")
+    p_cg.add_argument("tracefile")
+    p_cg.add_argument("--core", type=int, default=None)
+    p_cg.add_argument("--dot", action="store_true", help="emit graphviz")
+    p_cg.set_defaults(func=cmd_callgraph)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

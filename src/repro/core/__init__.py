@@ -1,0 +1,68 @@
+"""The paper's contribution: hybrid coarse-instrumentation + PEBS tracing.
+
+Public surface:
+
+* :class:`~repro.core.instrument.MarkingTracer` — the coarse instrumentation
+  (a marking function only at data-item switches).
+* :class:`~repro.core.fulltrace.FullInstrumentationTracer` — the gprof-style
+  per-function baseline the paper compares against.
+* :func:`~repro.core.hybrid.integrate` — merge PEBS samples with switch
+  records and a symbol table into per-data-item, per-function elapsed-time
+  estimates (paper Section III-D steps 2 and 3).
+* :mod:`~repro.core.profilelib` — averaged profiles (what traces are *not*).
+* :mod:`~repro.core.fluctuation` — turning a trace into a diagnosis.
+* :mod:`~repro.core.online` — divergence-triggered raw-sample dumping.
+* :mod:`~repro.core.registertag` — Section V-A register-tag mapping.
+* :mod:`~repro.core.overhead` — ref [6]-style overhead prediction.
+* :mod:`~repro.core.storage` — trace encoding and data-rate accounting.
+"""
+
+from repro.core.adaptive import AdaptiveResetController
+from repro.core.callgraph import CallGraphGuess, guess_call_edges
+from repro.core.compare import AccuracyReport, compare_with_truth
+from repro.core.fluctuation import FluctuationReport, diagnose
+from repro.core.fulltrace import FullInstrumentationTracer
+from repro.core.hybrid import HybridTrace, integrate, merge_traces
+from repro.core.instrument import MarkingTracer
+from repro.core.online import OnlineDiagnoser
+from repro.core.overhead import OverheadModel
+from repro.core.profilelib import FunctionProfile, build_profile
+from repro.core.records import (
+    ItemWindow,
+    SwitchRecords,
+    build_windows,
+    build_windows_lenient,
+)
+from repro.core.tracefile import TraceFile, load_trace, save_session, save_trace
+from repro.core.registertag import integrate_by_tag
+from repro.core.symbols import AddressAllocator, SymbolTable
+
+__all__ = [
+    "AccuracyReport",
+    "AdaptiveResetController",
+    "AddressAllocator",
+    "CallGraphGuess",
+    "compare_with_truth",
+    "FluctuationReport",
+    "FullInstrumentationTracer",
+    "FunctionProfile",
+    "HybridTrace",
+    "ItemWindow",
+    "MarkingTracer",
+    "OnlineDiagnoser",
+    "OverheadModel",
+    "SwitchRecords",
+    "SymbolTable",
+    "TraceFile",
+    "build_profile",
+    "build_windows",
+    "build_windows_lenient",
+    "diagnose",
+    "guess_call_edges",
+    "integrate",
+    "integrate_by_tag",
+    "load_trace",
+    "merge_traces",
+    "save_session",
+    "save_trace",
+]

@@ -1,0 +1,113 @@
+"""Call-graph *guessing* from sample order (paper Section V-B2).
+
+PEBS records no call stack, so nesting can only be guessed: "if a sample
+mapped to function g exists between samples mapped to another function
+f, we can only guess that g is called by f but cannot guarantee it".
+This module implements that guess — and deliberately preserves its
+documented failure mode: a top-level sequence ``f(); g(); f();`` yields
+the same sample pattern as a nested call and is mis-guessed as ``f -> g``
+("this may lead to wrong understanding when a small utility function is
+called many times").
+
+Use the output as a hint, never as ground truth; the tests encode both
+the correct inference and the inherent false positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.records import SwitchRecords, build_windows, windows_as_arrays
+from repro.core.symbols import UNKNOWN, SymbolTable
+from repro.machine.pebs import SampleArrays
+
+
+@dataclass(frozen=True)
+class CallEdgeGuess:
+    """One guessed edge: ``callee`` appeared sandwiched inside ``caller``."""
+
+    caller: str
+    callee: str
+    occurrences: int
+
+
+@dataclass
+class CallGraphGuess:
+    """All guessed edges of a trace, with query helpers."""
+
+    edges: dict[tuple[str, str], int] = field(default_factory=dict)
+
+    def add(self, caller: str, callee: str) -> None:
+        key = (caller, callee)
+        self.edges[key] = self.edges.get(key, 0) + 1
+
+    def as_list(self) -> list[CallEdgeGuess]:
+        """Edges sorted by occurrence count (most frequent first)."""
+        return sorted(
+            (CallEdgeGuess(c, e, n) for (c, e), n in self.edges.items()),
+            key=lambda g: (-g.occurrences, g.caller, g.callee),
+        )
+
+    def callees_of(self, caller: str) -> list[str]:
+        return sorted(e for (c, e) in self.edges if c == caller)
+
+    def dot(self) -> str:
+        """Graphviz rendering of the guessed graph (edges labelled with
+        counts; all edges are guesses — see the module docstring)."""
+        lines = ["digraph guessed_calls {"]
+        for g in self.as_list():
+            lines.append(
+                f'  "{g.caller}" -> "{g.callee}" [label="{g.occurrences}"];'
+            )
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _runs(seq: list[str]) -> list[str]:
+    """Collapse consecutive duplicates: f f g g f -> f g f."""
+    out: list[str] = []
+    for fn in seq:
+        if not out or out[-1] != fn:
+            out.append(fn)
+    return out
+
+
+def guess_call_edges(
+    samples: SampleArrays,
+    switches: SwitchRecords,
+    symtab: SymbolTable,
+) -> CallGraphGuess:
+    """Guess call edges from per-item sample order.
+
+    Within each data-item window the time-ordered function sequence is
+    collapsed into runs; every run of g with the *same* function f on
+    both sides contributes one guessed edge f -> g.
+    """
+    windows = build_windows(switches)
+    starts, ends, _ = windows_as_arrays(windows)
+    guess = CallGraphGuess()
+    if samples.ts.shape[0] == 0 or starts.shape[0] == 0:
+        return guess
+    widx = np.searchsorted(starts, samples.ts, side="right") - 1
+    in_window = (widx >= 0) & (samples.ts <= ends[np.clip(widx, 0, None)])
+    fidx = symtab.lookup_many(samples.ip)
+    valid = in_window & (fidx != UNKNOWN)
+    for w in np.unique(widx[valid]):
+        mask = valid & (widx == w)
+        seq = [symtab.names[int(i)] for i in fidx[mask]]
+        runs = _runs(seq)
+        # Iteratively collapse innermost sandwiches so hierarchical
+        # nesting resolves outward: f g h g f -> (g->h) -> f g f ->
+        # (f->g) -> f.
+        changed = True
+        while changed:
+            changed = False
+            for i in range(1, len(runs) - 1):
+                if runs[i - 1] == runs[i + 1] and runs[i] != runs[i - 1]:
+                    guess.add(caller=runs[i - 1], callee=runs[i])
+                    runs = _runs(runs[:i] + runs[i + 1 :])
+                    changed = True
+                    break
+    return guess

@@ -1,0 +1,107 @@
+"""Comparing hybrid estimates against instrumented ground truth.
+
+The paper's Fig 9 evaluates the method by comparing its estimates with a
+"baseline" obtained from selective instrumentation.  This module makes
+that comparison a reusable operation: pair a
+:class:`~repro.core.hybrid.HybridTrace` with the exact per-(item,
+function) elapsed times of a
+:class:`~repro.core.fulltrace.FullInstrumentationTracer` run (or any
+truth mapping) and report the error distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hybrid import HybridTrace
+from repro.core.symbols import SymbolTable
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class PairError:
+    """One (item, function) comparison."""
+
+    item_id: int
+    fn_name: str
+    estimate_cycles: int
+    truth_cycles: int
+
+    @property
+    def abs_error_cycles(self) -> int:
+        return abs(self.estimate_cycles - self.truth_cycles)
+
+    @property
+    def rel_error(self) -> float:
+        if self.truth_cycles == 0:
+            return 0.0 if self.estimate_cycles == 0 else float("inf")
+        return (self.estimate_cycles - self.truth_cycles) / self.truth_cycles
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Error distribution of a hybrid trace against ground truth."""
+
+    pairs: list[PairError]
+    unestimable: int
+
+    @property
+    def n(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def mean_abs_error_cycles(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return sum(p.abs_error_cycles for p in self.pairs) / len(self.pairs)
+
+    @property
+    def mean_rel_error(self) -> float:
+        """Signed mean relative error (negative = systematic underestimate)."""
+        finite = [p.rel_error for p in self.pairs if p.rel_error != float("inf")]
+        if not finite:
+            return 0.0
+        return sum(finite) / len(finite)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of truth pairs the hybrid could estimate at all."""
+        total = len(self.pairs) + self.unestimable
+        return len(self.pairs) / total if total else 0.0
+
+
+def compare_with_truth(
+    trace: HybridTrace,
+    truth: dict[tuple[int, int], int],
+    symtab: SymbolTable,
+    min_samples: int = 2,
+) -> AccuracyReport:
+    """Compare against ``{(item_id, fn_ip): cycles}`` ground truth.
+
+    The truth keys use entry-point ips (what
+    :meth:`FullInstrumentationTracer.elapsed_by_item` returns); they are
+    resolved through the symbol table.  Truth entries for item -1
+    (outside any window) are ignored.
+    """
+    pairs: list[PairError] = []
+    unestimable = 0
+    for (item, fn_ip), truth_cycles in truth.items():
+        if item < 0:
+            continue
+        name = symtab.lookup(fn_ip)
+        if name is None:
+            raise TraceError(f"truth references unknown ip {fn_ip:#x}")
+        est = trace.estimate(item, name)
+        if est is None or est.n_samples < min_samples:
+            unestimable += 1
+            continue
+        pairs.append(
+            PairError(
+                item_id=item,
+                fn_name=name,
+                estimate_cycles=est.elapsed_cycles,
+                truth_cycles=truth_cycles,
+            )
+        )
+    pairs.sort(key=lambda p: (p.item_id, p.fn_name))
+    return AccuracyReport(pairs=pairs, unestimable=unestimable)

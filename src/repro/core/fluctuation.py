@@ -1,0 +1,153 @@
+"""Turning a per-item trace into a fluctuation diagnosis.
+
+The paper's end goal: find data-items whose latency deviates from that of
+*similar or identical* items, and name the function responsible.  The
+caller supplies the similarity grouping (e.g. the query's ``n`` value in
+the Fig 8 sample app, or the packet type in the ACL study); within each
+group we compare an item's total against the group median and break the
+excess down per function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import median
+from typing import Callable, Hashable, Mapping
+
+from repro.core.hybrid import HybridTrace
+from repro.errors import TraceError
+
+#: Pseudo-function name for window time no sampled function covers —
+#: the stall/off-CPU signature (see HybridTrace.unattributed_cycles).
+UNATTRIBUTED = "(unattributed/stall)"
+
+
+@dataclass(frozen=True)
+class ItemDiagnosis:
+    """One flagged data-item and where its extra time went."""
+
+    item_id: int
+    group: Hashable
+    total_cycles: int
+    group_median_cycles: float
+    ratio: float
+    per_fn_excess: dict[str, int]
+    culprit: str | None
+
+    def describe(self, freq_ghz: float = 3.0) -> str:
+        """One-line human-readable summary (times in µs)."""
+        total_us = self.total_cycles / freq_ghz / 1_000
+        med_us = self.group_median_cycles / freq_ghz / 1_000
+        culprit = self.culprit or "<unresolved>"
+        return (
+            f"item {self.item_id} (group {self.group!r}): {total_us:.2f} us vs "
+            f"group median {med_us:.2f} us ({self.ratio:.2f}x); "
+            f"dominant excess in {culprit}"
+        )
+
+
+@dataclass(frozen=True)
+class GroupStats:
+    """Latency statistics of one similarity group."""
+
+    group: Hashable
+    n_items: int
+    median_cycles: float
+    min_cycles: int
+    max_cycles: int
+
+
+@dataclass(frozen=True)
+class FluctuationReport:
+    """Diagnosis result: flagged items plus per-group context."""
+
+    outliers: list[ItemDiagnosis]
+    groups: list[GroupStats]
+
+    @property
+    def fluctuating(self) -> bool:
+        return bool(self.outliers)
+
+
+def diagnose(
+    trace: HybridTrace,
+    group_of: Mapping[int, Hashable] | Callable[[int], Hashable],
+    threshold: float = 1.5,
+    min_samples: int = 2,
+) -> FluctuationReport:
+    """Flag items whose total residency exceeds ``threshold`` x group median.
+
+    ``group_of`` maps an item id to its similarity key.  Totals come from
+    the instrumented item windows (exact); the per-function excess uses the
+    sampled estimates, so the culprit attribution inherits sampling
+    resolution.
+    """
+    if threshold <= 1.0:
+        raise TraceError(f"threshold must be > 1.0, got {threshold}")
+    lookup = group_of if callable(group_of) else group_of.__getitem__
+
+    items = trace.items()
+    if not items:
+        return FluctuationReport(outliers=[], groups=[])
+    totals = {i: trace.item_window_cycles(i) for i in items}
+    by_group: dict[Hashable, list[int]] = {}
+    for i in items:
+        by_group.setdefault(lookup(i), []).append(i)
+
+    groups: list[GroupStats] = []
+    outliers: list[ItemDiagnosis] = []
+    for key, members in by_group.items():
+        vals = [totals[i] for i in members]
+        med = float(median(vals))
+        groups.append(
+            GroupStats(
+                group=key,
+                n_items=len(members),
+                median_cycles=med,
+                min_cycles=min(vals),
+                max_cycles=max(vals),
+            )
+        )
+        if med <= 0:
+            continue
+        # Per-function group medians, for the excess breakdown.  Window
+        # time that no function estimate covers is tracked as the
+        # UNATTRIBUTED pseudo-function, so stall-dominated outliers (IO,
+        # lock waits — invisible to retirement-event sampling) are named
+        # rather than silently unexplained.
+        fn_names: set[str] = set()
+        per_item_bd = {}
+        for i in members:
+            bd = dict(trace.breakdown(i, min_samples=min_samples))
+            bd[UNATTRIBUTED] = trace.unattributed_cycles(i, min_samples=min_samples)
+            per_item_bd[i] = bd
+        for bd in per_item_bd.values():
+            fn_names.update(bd)
+        fn_median = {
+            fn: float(median(per_item_bd[i].get(fn, 0) for i in members))
+            for fn in fn_names
+        }
+        for i in members:
+            ratio = totals[i] / med
+            if ratio < threshold:
+                continue
+            excess = {
+                fn: int(per_item_bd[i].get(fn, 0) - fn_median[fn])
+                for fn in fn_names
+            }
+            positive = {fn: v for fn, v in excess.items() if v > 0}
+            culprit = max(positive, key=positive.__getitem__) if positive else None
+            outliers.append(
+                ItemDiagnosis(
+                    item_id=i,
+                    group=key,
+                    total_cycles=totals[i],
+                    group_median_cycles=med,
+                    ratio=ratio,
+                    per_fn_excess=excess,
+                    culprit=culprit,
+                )
+            )
+    outliers.sort(key=lambda d: d.ratio, reverse=True)
+    groups.sort(key=lambda g: str(g.group))
+    return FluctuationReport(outliers=outliers, groups=groups)

@@ -1,0 +1,337 @@
+"""Hybrid integration: PEBS samples × switch records × symbol table.
+
+Paper Section III-D, steps 2 and 3:
+
+2. Each PEBS sample's timestamp is compared with the timestamps recorded
+   at data-item switches to find the data-item it belongs to, and its
+   instruction pointer is compared with the symbol table to find the
+   function it was taken in.
+3. The elapsed time of function *f* for data-item *M* is the difference
+   between the timestamps of the first and the last sample belonging to
+   {f, M}.
+
+The whole integration is vectorised: one ``searchsorted`` maps every
+sample to a window, one maps every ip to a symbol, and a lexsort +
+``reduceat``-style grouping computes first/last/count per (window,
+function) — the per-sample hot path never enters a Python loop.
+
+Under timer-switching an item can occupy several windows; per-window
+estimates are summed per (item, function), matching how the paper's
+method would treat resumed items.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.records import ItemWindow, SwitchRecords, build_windows, windows_as_arrays
+from repro.core.symbols import UNKNOWN, SymbolTable
+from repro.errors import IntegrationError
+from repro.machine.pebs import SampleArrays
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Estimated elapsed time of one function for one data-item."""
+
+    item_id: int
+    fn_name: str
+    n_samples: int
+    elapsed_cycles: int
+    t_first: int
+    t_last: int
+
+
+@dataclass
+class HybridTrace:
+    """Result of the integration: per-(item, function) estimates.
+
+    ``estimable`` (Section V-B1): a (item, function) pair needs at least
+    two samples for an elapsed-time estimate; pairs seen once are kept
+    with ``elapsed_cycles == 0`` and can be filtered via ``min_samples``
+    arguments on the query methods.
+    """
+
+    symtab: SymbolTable
+    windows: list[ItemWindow]
+    item_ids: np.ndarray
+    fn_idx: np.ndarray
+    n_samples: np.ndarray
+    elapsed: np.ndarray
+    t_first: np.ndarray
+    t_last: np.ndarray
+    total_samples: int
+    unmapped_samples: int
+    unknown_ip_samples: int
+    _by_key: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._by_key = {
+            (int(it), int(fi)): row
+            for row, (it, fi) in enumerate(zip(self.item_ids, self.fn_idx))
+        }
+
+    # -- queries ---------------------------------------------------------
+    def items(self) -> list[int]:
+        """Distinct item ids with at least one mapped sample, ascending."""
+        return sorted(set(int(i) for i in self.item_ids))
+
+    def functions(self) -> list[str]:
+        """Function names observed in the trace, in symbol order."""
+        idx = sorted(set(int(i) for i in self.fn_idx))
+        return [self.symtab.names[i] for i in idx]
+
+    def estimate(self, item_id: int, fn_name: str) -> Estimate | None:
+        """The estimate for one (item, function), or None if unsampled."""
+        fi = self.symtab.index_of(fn_name)
+        row = self._by_key.get((item_id, fi))
+        if row is None:
+            return None
+        return Estimate(
+            item_id=item_id,
+            fn_name=fn_name,
+            n_samples=int(self.n_samples[row]),
+            elapsed_cycles=int(self.elapsed[row]),
+            t_first=int(self.t_first[row]),
+            t_last=int(self.t_last[row]),
+        )
+
+    def elapsed_cycles(self, item_id: int, fn_name: str, min_samples: int = 2) -> int:
+        """Elapsed cycles of a function for an item (0 when not estimable)."""
+        est = self.estimate(item_id, fn_name)
+        if est is None or est.n_samples < min_samples:
+            return 0
+        return est.elapsed_cycles
+
+    def breakdown(self, item_id: int, min_samples: int = 2) -> dict[str, int]:
+        """Per-function elapsed cycles for one item (Fig 8's stacked bars)."""
+        out: dict[str, int] = {}
+        mask = self.item_ids == item_id
+        for row in np.nonzero(mask)[0]:
+            if int(self.n_samples[row]) < min_samples:
+                continue
+            out[self.symtab.names[int(self.fn_idx[row])]] = int(self.elapsed[row])
+        return out
+
+    def unattributed_cycles(self, item_id: int, min_samples: int = 2) -> int:
+        """Window time no function estimate covers (clamped at zero).
+
+        Off-CPU and stall-dominated stretches (a synchronous page read, a
+        lock wait) retire almost no micro-ops, so a retirement-event PEBS
+        counter takes (almost) no samples there: the time is real — it is
+        inside the item's instrumented window — but no function claims
+        it.  A large unattributed share is therefore the *signature of
+        stalls* under this method; the paper's Section V-D event-swapping
+        can then identify the stall source.
+        """
+        gap = self.item_window_cycles(item_id) - sum(
+            self.breakdown(item_id, min_samples=min_samples).values()
+        )
+        return max(0, gap)
+
+    def item_window_cycles(self, item_id: int) -> int:
+        """Instrumented ground-truth residency of the item (window length)."""
+        total = sum(w.duration for w in self.windows if w.item_id == item_id)
+        if total == 0 and all(w.item_id != item_id for w in self.windows):
+            raise IntegrationError(f"no window recorded for item {item_id}")
+        return total
+
+    def rows(self, min_samples: int = 2) -> list[Estimate]:
+        """All estimates as a flat list, ordered by (item, function)."""
+        out: list[Estimate] = []
+        order = np.lexsort((self.fn_idx, self.item_ids))
+        for row in order:
+            if int(self.n_samples[row]) < min_samples:
+                continue
+            out.append(
+                Estimate(
+                    item_id=int(self.item_ids[row]),
+                    fn_name=self.symtab.names[int(self.fn_idx[row])],
+                    n_samples=int(self.n_samples[row]),
+                    elapsed_cycles=int(self.elapsed[row]),
+                    t_first=int(self.t_first[row]),
+                    t_last=int(self.t_last[row]),
+                )
+            )
+        return out
+
+    @property
+    def mapped_fraction(self) -> float:
+        """Fraction of samples that landed in a window with a known symbol."""
+        if self.total_samples == 0:
+            return 0.0
+        mapped = self.total_samples - self.unmapped_samples - self.unknown_ip_samples
+        return mapped / self.total_samples
+
+
+def _group_min_max_count(
+    keys: np.ndarray, ts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """For sorted-by-key ``keys`` return (uniq, count, t_min, t_max).
+
+    ``ts`` must be time-ordered within equal keys (guaranteed by a stable
+    sort of time-sorted samples).
+    """
+    uniq, start = np.unique(keys, return_index=True)
+    counts = np.diff(np.append(start, keys.shape[0]))
+    t_min = ts[start]
+    t_max = ts[start + counts - 1]
+    return uniq, counts, t_min, t_max
+
+
+def merge_traces(traces: list[HybridTrace]) -> HybridTrace:
+    """Combine per-core traces into one (multi-worker applications).
+
+    Items processed on different cores are simply concatenated; if the
+    same (item, function) pair appears on several cores (an item migrated
+    between residencies), counts and elapsed times are summed like
+    multiple windows of one item.
+    """
+    if not traces:
+        raise IntegrationError("need at least one trace to merge")
+    symtab = traces[0].symtab
+    for t in traces[1:]:
+        if t.symtab is not symtab and t.symtab.names != symtab.names:
+            raise IntegrationError("traces to merge must share a symbol table")
+    nfn = len(symtab)
+    item_ids = np.concatenate([t.item_ids for t in traces])
+    fn_idx = np.concatenate([t.fn_idx for t in traces])
+    n_samples = np.concatenate([t.n_samples for t in traces])
+    elapsed = np.concatenate([t.elapsed for t in traces])
+    t_first = np.concatenate([t.t_first for t in traces])
+    t_last = np.concatenate([t.t_last for t in traces])
+
+    combined = item_ids * nfn + fn_idx
+    order = np.argsort(combined, kind="stable")
+    uniq, start = np.unique(combined[order], return_index=True)
+    seg_end = np.append(start[1:], combined.shape[0])
+    n_rows = uniq.shape[0]
+    out_items = (uniq // nfn).astype(np.int64)
+    out_fns = (uniq % nfn).astype(np.int64)
+    out_counts = np.empty(n_rows, dtype=np.int64)
+    out_elapsed = np.empty(n_rows, dtype=np.int64)
+    out_first = np.empty(n_rows, dtype=np.int64)
+    out_last = np.empty(n_rows, dtype=np.int64)
+    c_o, e_o = n_samples[order], elapsed[order]
+    f_o, l_o = t_first[order], t_last[order]
+    for i, (a, b) in enumerate(zip(start, seg_end)):
+        out_counts[i] = c_o[a:b].sum()
+        out_elapsed[i] = e_o[a:b].sum()
+        out_first[i] = f_o[a:b].min()
+        out_last[i] = l_o[a:b].max()
+
+    return HybridTrace(
+        symtab=symtab,
+        windows=[w for t in traces for w in t.windows],
+        item_ids=out_items,
+        fn_idx=out_fns,
+        n_samples=out_counts,
+        elapsed=out_elapsed,
+        t_first=out_first,
+        t_last=out_last,
+        total_samples=sum(t.total_samples for t in traces),
+        unmapped_samples=sum(t.unmapped_samples for t in traces),
+        unknown_ip_samples=sum(t.unknown_ip_samples for t in traces),
+    )
+
+
+def integrate(
+    samples: SampleArrays,
+    switches: SwitchRecords,
+    symtab: SymbolTable,
+) -> HybridTrace:
+    """Merge one core's PEBS samples and switch records into a trace.
+
+    Samples whose timestamp falls outside every item window (busy-poll
+    spinning, scheduler code) are counted in ``unmapped_samples``; samples
+    inside a window whose ip resolves to no symbol are counted in
+    ``unknown_ip_samples``.
+
+    Window boundaries are inclusive on both ends; when two windows share a
+    boundary instant (item N's END and item N+1's START logged at the same
+    timestamp) a sample exactly there is assigned to the **later** window —
+    at that instant the marking function has already recorded the new
+    item's start.
+    """
+    windows = build_windows(switches)
+    starts, ends, win_items = windows_as_arrays(windows)
+    ts = samples.ts
+    if ts.shape[0] and np.any(np.diff(ts) < 0):
+        raise IntegrationError("sample timestamps must be sorted")
+    n = int(ts.shape[0])
+    nfn = len(symtab)
+    if n == 0 or starts.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return HybridTrace(
+            symtab=symtab,
+            windows=windows,
+            item_ids=empty,
+            fn_idx=empty.copy(),
+            n_samples=empty.copy(),
+            elapsed=empty.copy(),
+            t_first=empty.copy(),
+            t_last=empty.copy(),
+            total_samples=n,
+            unmapped_samples=n,
+            unknown_ip_samples=0,
+        )
+    # Step 2a: sample timestamp -> window (t_start <= ts <= t_end).
+    widx = np.searchsorted(starts, ts, side="right") - 1
+    in_window = (widx >= 0) & (ts <= ends[np.clip(widx, 0, None)])
+    # Step 2b: sample ip -> function.
+    fidx = symtab.lookup_many(samples.ip)
+    known = fidx != UNKNOWN
+    valid = in_window & known
+    unmapped = int(np.count_nonzero(~in_window))
+    unknown_ip = int(np.count_nonzero(in_window & ~known))
+
+    wv = widx[valid]
+    fv = fidx[valid]
+    tv = ts[valid]
+    # Step 3 per (window, function): first/last sample timestamps.
+    combined = wv * nfn + fv
+    order = np.argsort(combined, kind="stable")
+    uniq, counts, t_min, t_max = _group_min_max_count(combined[order], tv[order])
+    win_of = (uniq // nfn).astype(np.int64)
+    fn_of = (uniq % nfn).astype(np.int64)
+    item_of = win_items[win_of]
+    per_win_elapsed = t_max - t_min
+
+    # Aggregate windows of the same item (timer-switching): sum elapsed,
+    # sum counts, min/max the boundary timestamps.
+    combined2 = item_of * nfn + fn_of
+    order2 = np.argsort(combined2, kind="stable")
+    uniq2, start2 = np.unique(combined2[order2], return_index=True)
+    seg_end = np.append(start2[1:], combined2.shape[0])
+    n_rows = uniq2.shape[0]
+    item_ids = (uniq2 // nfn).astype(np.int64)
+    fn_rows = (uniq2 % nfn).astype(np.int64)
+    agg_counts = np.empty(n_rows, dtype=np.int64)
+    agg_elapsed = np.empty(n_rows, dtype=np.int64)
+    agg_first = np.empty(n_rows, dtype=np.int64)
+    agg_last = np.empty(n_rows, dtype=np.int64)
+    counts_o = counts[order2]
+    elapsed_o = per_win_elapsed[order2]
+    tmin_o = t_min[order2]
+    tmax_o = t_max[order2]
+    for i, (a, b) in enumerate(zip(start2, seg_end)):
+        agg_counts[i] = counts_o[a:b].sum()
+        agg_elapsed[i] = elapsed_o[a:b].sum()
+        agg_first[i] = tmin_o[a:b].min()
+        agg_last[i] = tmax_o[a:b].max()
+
+    return HybridTrace(
+        symtab=symtab,
+        windows=windows,
+        item_ids=item_ids,
+        fn_idx=fn_rows,
+        n_samples=agg_counts,
+        elapsed=agg_elapsed,
+        t_first=agg_first,
+        t_last=agg_last,
+        total_samples=n,
+        unmapped_samples=unmapped,
+        unknown_ip_samples=unknown_ip,
+    )

@@ -1,0 +1,107 @@
+"""Coarse instrumentation: the marking function at data-item switches.
+
+This is half of the paper's hybrid approach (Section III-C).  The marking
+function is invoked exactly twice per data-item — at the switch-in and
+switch-out points — and records ``(timestamp, item_id)``.  Its cost
+(default 200 ns: format + store a log record, prototype Section III-E)
+is charged to the calling core by the scheduler, and the code executes at
+its own symbol address, so PEBS samples can legitimately land inside the
+marking function itself.
+"""
+
+from __future__ import annotations
+
+from repro.core.records import SwitchRecords
+from repro.machine.core import SimCore
+from repro.runtime.actions import SwitchKind
+from repro.runtime.thread import AppThread
+from repro.units import ns_to_cycles
+
+#: Bytes one switch log record occupies (timestamp + item id, Section III-E).
+SWITCH_RECORD_BYTES = 16
+
+
+class MarkingTracer:
+    """Records data-item switches; ignores per-function markers.
+
+    Implements the scheduler's ``InstrumentationHook`` protocol.  Function
+    entry/exit markers cost nothing — under the hybrid approach they are
+    not instrumented at all.
+
+    Parameters
+    ----------
+    mark_ip:
+        Address of the marking function (allocate one via
+        :class:`~repro.core.symbols.AddressAllocator` so it appears in the
+        symbol table).
+    cost_ns:
+        Wall time of one marking call.  The prototype prints to SSD
+        (~200 ns); Section III-E notes the records could instead be
+        "temporarily stored to the main memory and periodically dumped
+        to minimise the overhead" — model that with a small ``cost_ns``
+        (~20 ns for a memory store) plus ``buffer_records`` /
+        ``dump_cost_ns``.
+    buffer_records:
+        When set, every ``buffer_records``-th call on a core additionally
+        pays ``dump_cost_ns`` (the periodic dump of the in-memory log).
+    freq_ghz:
+        Core frequency, to convert the costs into cycles.
+    """
+
+    def __init__(
+        self,
+        mark_ip: int,
+        cost_ns: float = 200.0,
+        freq_ghz: float = 3.0,
+        buffer_records: int | None = None,
+        dump_cost_ns: float = 2_000.0,
+    ) -> None:
+        if cost_ns < 0:
+            raise ValueError(f"cost_ns must be >= 0, got {cost_ns}")
+        if buffer_records is not None and buffer_records < 1:
+            raise ValueError(f"buffer_records must be >= 1, got {buffer_records}")
+        if dump_cost_ns < 0:
+            raise ValueError(f"dump_cost_ns must be >= 0, got {dump_cost_ns}")
+        self.mark_ip = mark_ip
+        self.cost_cycles = ns_to_cycles(cost_ns, freq_ghz)
+        self.buffer_records = buffer_records
+        self.dump_cost_cycles = ns_to_cycles(dump_cost_ns, freq_ghz)
+        self._buffered: dict[int, int] = {}
+        self.dumps = 0
+        self._records: dict[int, SwitchRecords] = {}
+        self.calls = 0
+
+    def records_for_core(self, core_id: int) -> SwitchRecords:
+        """The switch log of one core (created on first use)."""
+        if core_id not in self._records:
+            self._records[core_id] = SwitchRecords(core_id)
+        return self._records[core_id]
+
+    @property
+    def bytes_logged(self) -> int:
+        """Total instrumentation log volume (for overhead accounting)."""
+        return self.calls * SWITCH_RECORD_BYTES
+
+    # -- InstrumentationHook -------------------------------------------------
+    def on_mark(
+        self, thread: AppThread, core: SimCore, kind: SwitchKind, item_id: int
+    ) -> tuple[int, int]:
+        # The timestamp logged is read at the top of the marking function,
+        # before its cost is paid (the paper's log(d.id, timestamp)).
+        self.records_for_core(core.core_id).append(core.clock, item_id, kind)
+        self.calls += 1
+        cost = self.cost_cycles
+        if self.buffer_records is not None:
+            n = self._buffered.get(core.core_id, 0) + 1
+            if n >= self.buffer_records:
+                cost += self.dump_cost_cycles
+                self.dumps += 1
+                n = 0
+            self._buffered[core.core_id] = n
+        return (cost, self.mark_ip)
+
+    def on_fn_enter(self, thread: AppThread, core: SimCore, fn_ip: int) -> tuple[int, int]:
+        return (0, 0)
+
+    def on_fn_leave(self, thread: AppThread, core: SimCore, fn_ip: int) -> tuple[int, int]:
+        return (0, 0)

@@ -1,0 +1,134 @@
+"""Online divergence-triggered sample retention (paper Section IV-C3).
+
+Dumping every PEBS sample to storage costs hundreds of MB/s per core.  The
+paper suggests estimating elapsed times online and dumping raw samples
+*only* when an estimate diverges from the running average — keeping the
+forensic detail for anomalous items while discarding the boring bulk.
+
+:class:`OnlineDiagnoser` implements that policy with Welford running
+mean/variance per (function) statistic and a k-sigma divergence rule, and
+accounts the bytes kept vs saved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TraceError
+
+
+@dataclass
+class _Welford:
+    n: int = 0
+    mean: float = 0.0
+    m2: float = 0.0
+
+    def update(self, x: float) -> None:
+        self.n += 1
+        delta = x - self.mean
+        self.mean += delta / self.n
+        self.m2 += delta * (x - self.mean)
+
+    @property
+    def std(self) -> float:
+        if self.n < 2:
+            return 0.0
+        return (self.m2 / (self.n - 1)) ** 0.5
+
+
+@dataclass(frozen=True)
+class ItemDecision:
+    """Outcome of observing one item online."""
+
+    item_id: int
+    dumped: bool
+    trigger_fn: str | None
+    raw_bytes: int
+
+
+@dataclass
+class OnlineDiagnoser:
+    """Streaming estimator with divergence-triggered raw-sample dumping.
+
+    Parameters
+    ----------
+    k_sigma:
+        Dump when any function's elapsed time deviates from its running
+        mean by more than ``k_sigma`` standard deviations.
+    min_baseline:
+        Items to observe per function before the rule can fire (the
+        running statistics need a baseline; early items are never dumped).
+    unseen_fn_triggers:
+        Also dump when a function *first appears* after the baseline is
+        established — a code path that steady-state items never execute
+        (e.g. a recompute path on a cache miss) is itself a divergence.
+    """
+
+    k_sigma: float = 3.0
+    min_baseline: int = 5
+    unseen_fn_triggers: bool = True
+    items_observed: int = 0
+    _stats: dict[str, _Welford] = field(default_factory=dict)
+    decisions: list[ItemDecision] = field(default_factory=list)
+    bytes_dumped: int = 0
+    bytes_discarded: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k_sigma <= 0:
+            raise TraceError(f"k_sigma must be positive, got {self.k_sigma}")
+        if self.min_baseline < 1:
+            raise TraceError(f"min_baseline must be >= 1, got {self.min_baseline}")
+
+    def observe_item(
+        self, item_id: int, breakdown: dict[str, int], raw_bytes: int
+    ) -> ItemDecision:
+        """Feed one item's per-function estimates; decide dump vs discard.
+
+        ``raw_bytes`` is the size of the item's raw PEBS samples, accounted
+        to whichever bucket the decision selects.  Statistics are updated
+        with the item either way (anomalies shift the running mean, as any
+        online estimator must accept).
+        """
+        trigger: str | None = None
+        for fn, elapsed in breakdown.items():
+            st = self._stats.get(fn)
+            if st is None:
+                if (
+                    self.unseen_fn_triggers
+                    and self.items_observed >= self.min_baseline
+                ):
+                    trigger = fn
+                    break
+                continue
+            if st.n >= self.min_baseline and st.std > 0:
+                if abs(elapsed - st.mean) > self.k_sigma * st.std:
+                    trigger = fn
+                    break
+        # Update statistics for every function this item ran, and count 0
+        # for known functions it did not run (absence is information).
+        for fn in set(self._stats) | set(breakdown):
+            self._stats.setdefault(fn, _Welford()).update(float(breakdown.get(fn, 0)))
+        self.items_observed += 1
+        dumped = trigger is not None
+        if dumped:
+            self.bytes_dumped += raw_bytes
+        else:
+            self.bytes_discarded += raw_bytes
+        decision = ItemDecision(
+            item_id=item_id, dumped=dumped, trigger_fn=trigger, raw_bytes=raw_bytes
+        )
+        self.decisions.append(decision)
+        return decision
+
+    @property
+    def reduction_factor(self) -> float:
+        """How much storage the policy saved (total / kept)."""
+        total = self.bytes_dumped + self.bytes_discarded
+        if self.bytes_dumped == 0:
+            return float("inf") if total > 0 else 1.0
+        return total / self.bytes_dumped
+
+    def mean_of(self, fn: str) -> float:
+        """Running mean elapsed time of a function (0.0 if unseen)."""
+        st = self._stats.get(fn)
+        return st.mean if st is not None else 0.0

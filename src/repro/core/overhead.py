@@ -1,0 +1,98 @@
+"""Overhead modelling and reset-value selection (paper Section V-C, ref [6]).
+
+Ref [6] found that the extra execution time a traced program pays is
+accurately predictable from the *number of samples taken*, almost
+regardless of application characteristics.  :class:`OverheadModel` fits
+that linear relation from measured (sample count, extra time) pairs and
+inverts it to choose a reset value for a given overhead budget — the
+"finding a right spot within the trade-off" workflow of Section V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class OverheadModel:
+    """Linear overhead model: extra_cycles ~ per_sample_cycles * n + fixed."""
+
+    per_sample_cycles: float = 0.0
+    fixed_cycles: float = 0.0
+    residual_rms: float = 0.0
+    fitted: bool = False
+
+    @classmethod
+    def fit(cls, sample_counts: np.ndarray, extra_cycles: np.ndarray) -> "OverheadModel":
+        """Least-squares fit over measured runs (needs >= 2 points)."""
+        x = np.asarray(sample_counts, dtype=np.float64)
+        y = np.asarray(extra_cycles, dtype=np.float64)
+        if x.shape != y.shape or x.shape[0] < 2:
+            raise ConfigError("need >= 2 (sample count, overhead) pairs of equal length")
+        slope, intercept = np.polyfit(x, y, deg=1)
+        resid = y - (slope * x + intercept)
+        return cls(
+            per_sample_cycles=float(slope),
+            fixed_cycles=float(intercept),
+            residual_rms=float(np.sqrt(np.mean(resid**2))),
+            fitted=True,
+        )
+
+    def predict_extra_cycles(self, n_samples: float) -> float:
+        """Predicted extra execution time for a run taking n samples."""
+        if not self.fitted:
+            raise ConfigError("model has not been fitted")
+        return self.per_sample_cycles * n_samples + self.fixed_cycles
+
+    def r_squared(self, sample_counts: np.ndarray, extra_cycles: np.ndarray) -> float:
+        """Goodness of fit on a (possibly held-out) data set."""
+        x = np.asarray(sample_counts, dtype=np.float64)
+        y = np.asarray(extra_cycles, dtype=np.float64)
+        pred = self.per_sample_cycles * x + self.fixed_cycles
+        ss_res = float(np.sum((y - pred) ** 2))
+        ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+        if ss_tot == 0.0:
+            return 1.0 if ss_res == 0.0 else 0.0
+        return 1.0 - ss_res / ss_tot
+
+
+def reset_value_for_budget(
+    event_rate_per_cycle: float,
+    per_sample_cycles: float,
+    budget_fraction: float,
+) -> int:
+    """Smallest reset value keeping sampling overhead within a budget.
+
+    With an event rate e (events/cycle) and reset value R, samples arrive
+    at e/R per cycle and cost ``per_sample_cycles`` each, so the overhead
+    fraction is ``e * per_sample_cycles / R``.  Returns the smallest
+    integer R meeting ``budget_fraction``.
+    """
+    if event_rate_per_cycle <= 0:
+        raise ConfigError(f"event rate must be positive, got {event_rate_per_cycle}")
+    if per_sample_cycles <= 0:
+        raise ConfigError(f"per-sample cost must be positive, got {per_sample_cycles}")
+    if not 0 < budget_fraction < 1:
+        raise ConfigError(f"budget fraction must be in (0, 1), got {budget_fraction}")
+    r = event_rate_per_cycle * per_sample_cycles / budget_fraction
+    return max(1, int(np.ceil(r)))
+
+
+def expected_sample_interval_cycles(
+    reset_value: int, event_rate_per_cycle: float, per_sample_cycles: float = 0.0
+) -> float:
+    """Predicted achieved sample interval for a reset value (Section V-C).
+
+    The interval is linear in R (events arrive at a near-constant rate for
+    a steady workload) plus the per-sample cost itself, which is why the
+    paper finds "a strong linearity with the reset values".
+    """
+    if reset_value < 1:
+        raise ConfigError(f"reset value must be >= 1, got {reset_value}")
+    if event_rate_per_cycle <= 0:
+        raise ConfigError(f"event rate must be positive, got {event_rate_per_cycle}")
+    return reset_value / event_rate_per_cycle + per_sample_cycles

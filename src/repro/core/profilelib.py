@@ -1,0 +1,69 @@
+"""Profiles: the averaged view that traces are not (paper Fig 1, §V-B1).
+
+A profile summarises a whole run: per function, how many samples landed in
+it and the estimated total time ``T * n / N`` (Section V-B1's estimator,
+where T is total elapsed time, n the function's samples, N all samples).
+Profiles are useful context but *cannot* show a fluctuation — a point the
+Fig 1 bench demonstrates by building both views from the same run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hybrid import HybridTrace
+from repro.core.symbols import UNKNOWN, SymbolTable
+from repro.machine.pebs import SampleArrays
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """One profile row: a function's aggregate over the whole run."""
+
+    name: str
+    n_samples: int
+    est_cycles: float
+    fraction: float
+
+
+def build_profile(
+    samples: SampleArrays, symtab: SymbolTable, total_cycles: int
+) -> list[FunctionProfile]:
+    """The T*n/N sample-count profile, descending by estimated time.
+
+    Unlike the per-data-item trace, this estimator is meaningful even for
+    functions shorter than the sample interval, because it averages over
+    the whole run (Section V-B1).
+    """
+    fidx = symtab.lookup_many(samples.ip)
+    known = fidx[fidx != UNKNOWN]
+    total = int(samples.ts.shape[0])
+    if total == 0:
+        return []
+    counts = np.bincount(known, minlength=len(symtab))
+    rows = [
+        FunctionProfile(
+            name=symtab.names[i],
+            n_samples=int(counts[i]),
+            est_cycles=total_cycles * counts[i] / total,
+            fraction=counts[i] / total,
+        )
+        for i in range(len(symtab))
+        if counts[i] > 0
+    ]
+    rows.sort(key=lambda r: r.est_cycles, reverse=True)
+    return rows
+
+
+def profile_from_trace(trace: HybridTrace, min_samples: int = 2) -> dict[str, int]:
+    """Collapse a per-item trace into per-function totals (Fig 1, right).
+
+    This is exactly the information loss the paper warns about: summing
+    over items hides that one item took 9x longer than another.
+    """
+    out: dict[str, int] = {}
+    for est in trace.rows(min_samples=min_samples):
+        out[est.fn_name] = out.get(est.fn_name, 0) + est.elapsed_cycles
+    return out

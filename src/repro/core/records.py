@@ -1,0 +1,165 @@
+"""Trace record types produced by instrumentation.
+
+A :class:`SwitchRecords` accumulates ``(timestamp, item_id, kind)`` triples
+per core — exactly what the paper's marking function logs (Section III-C).
+:func:`build_windows` pairs starts with ends into per-item residency
+windows, validating the pairing discipline (no nesting: one item at a time
+per core, the defining property of the Fig 5 architecture).
+
+Under the self-switching architecture an item has exactly one window per
+core; under timer-switching (Section V-A) an item may have several
+disjoint windows — ``build_windows`` supports both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TraceError
+from repro.runtime.actions import SwitchKind
+
+
+@dataclass(frozen=True)
+class ItemWindow:
+    """One residency of a data-item on a core: [t_start, t_end]."""
+
+    item_id: int
+    t_start: int
+    t_end: int
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise TraceError(
+                f"item {self.item_id}: window end {self.t_end} before start {self.t_start}"
+            )
+
+    @property
+    def duration(self) -> int:
+        return self.t_end - self.t_start
+
+
+class SwitchRecords:
+    """Append-only log of data-item switch marks for one core."""
+
+    def __init__(self, core_id: int) -> None:
+        self.core_id = core_id
+        self._ts: list[int] = []
+        self._item: list[int] = []
+        self._kind: list[SwitchKind] = []
+
+    def append(self, ts: int, item_id: int, kind: SwitchKind) -> None:
+        self._ts.append(ts)
+        self._item.append(item_id)
+        self._kind.append(kind)
+
+    def __len__(self) -> int:
+        return len(self._ts)
+
+    @property
+    def ts(self) -> np.ndarray:
+        return np.asarray(self._ts, dtype=np.int64)
+
+    @property
+    def item(self) -> np.ndarray:
+        return np.asarray(self._item, dtype=np.int64)
+
+    @property
+    def kinds(self) -> list[SwitchKind]:
+        return list(self._kind)
+
+
+def build_windows(records: SwitchRecords) -> list[ItemWindow]:
+    """Pair START/END marks into windows, enforcing one-item-at-a-time.
+
+    Raises :class:`~repro.errors.TraceError` on a malformed log: an END
+    without a START, a START while another item is open, mismatched ids,
+    or a dangling START at the end of the log.
+    """
+    windows: list[ItemWindow] = []
+    open_item: int | None = None
+    open_ts = 0
+    for ts, item, kind in zip(records._ts, records._item, records._kind):
+        if kind is SwitchKind.ITEM_START:
+            if open_item is not None:
+                raise TraceError(
+                    f"core {records.core_id}: item {item} started at {ts} while "
+                    f"item {open_item} is still open (one item per core at a time)"
+                )
+            open_item = item
+            open_ts = ts
+        elif kind is SwitchKind.ITEM_END:
+            if open_item is None:
+                raise TraceError(
+                    f"core {records.core_id}: item {item} ended at {ts} with no open item"
+                )
+            if open_item != item:
+                raise TraceError(
+                    f"core {records.core_id}: item {item} ended at {ts} but "
+                    f"item {open_item} was open"
+                )
+            windows.append(ItemWindow(item_id=item, t_start=open_ts, t_end=ts))
+            open_item = None
+        else:  # pragma: no cover - exhaustive enum
+            raise TraceError(f"unknown switch kind {kind!r}")
+    if open_item is not None:
+        raise TraceError(
+            f"core {records.core_id}: item {open_item} never ended (dangling START)"
+        )
+    return windows
+
+
+def build_windows_lenient(records: SwitchRecords) -> tuple[list[ItemWindow], int]:
+    """Best-effort pairing for *lossy* switch logs.
+
+    A production marking path can drop records (log-buffer overruns,
+    sampled logging).  Policy: an END with no matching open START is
+    dropped; a START arriving while another item is open drops the open
+    one (its END was evidently lost); a dangling START at end-of-log is
+    dropped.  Returns ``(windows, dropped_marks)`` — every returned
+    window corresponds to a genuinely paired START/END of one item, so
+    integration stays sound and merely loses the affected items.
+    """
+    windows: list[ItemWindow] = []
+    dropped = 0
+    open_item: int | None = None
+    open_ts = 0
+    for ts, item, kind in zip(records._ts, records._item, records._kind):
+        if kind is SwitchKind.ITEM_START:
+            if open_item is not None:
+                dropped += 1  # the open item's END was lost
+            open_item = item
+            open_ts = ts
+        else:  # ITEM_END
+            if open_item == item:
+                windows.append(ItemWindow(item_id=item, t_start=open_ts, t_end=ts))
+                open_item = None
+            else:
+                dropped += 1
+                if open_item is not None:
+                    # Mismatched END also invalidates the open window.
+                    open_item = None
+                    dropped += 1
+    if open_item is not None:
+        dropped += 1
+    return windows, dropped
+
+
+def windows_as_arrays(windows: list[ItemWindow]) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Column view (starts, ends, item_ids) sorted by start time.
+
+    Validates that windows do not overlap — they cannot, on one core, if
+    the marking discipline was followed.
+    """
+    if not windows:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty.copy(), empty.copy()
+    starts = np.asarray([w.t_start for w in windows], dtype=np.int64)
+    ends = np.asarray([w.t_end for w in windows], dtype=np.int64)
+    items = np.asarray([w.item_id for w in windows], dtype=np.int64)
+    order = np.argsort(starts, kind="stable")
+    starts, ends, items = starts[order], ends[order], items[order]
+    if np.any(starts[1:] < ends[:-1]):
+        raise TraceError("item windows overlap on one core")
+    return starts, ends, items

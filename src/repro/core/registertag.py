@@ -1,0 +1,126 @@
+"""Register-tag mapping for the timer-switching architecture (Section V-A).
+
+Instead of timestamp windows, every PEBS sample carries the data-item ID
+that a user-level-threading runtime parked in a general-purpose register
+(r13).  Mapping becomes trivial — group samples by tag — and survives
+preemptive item switches that window-based mapping would need per-segment
+marks for.
+
+An item's samples may be split into several contiguous *runs* by
+preemption; estimating elapsed time as (last - first) over all of an
+item's samples would wrongly include the time other items ran in between.
+We therefore segment by tag-change first, estimate per run, and sum runs
+per (item, function) — mirroring what the hybrid integration does with
+multiple windows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hybrid import HybridTrace, _group_min_max_count
+from repro.core.records import ItemWindow
+from repro.core.symbols import UNKNOWN, SymbolTable
+from repro.errors import IntegrationError
+from repro.machine.pebs import TAG_NONE, SampleArrays
+
+
+def integrate_by_tag(samples: SampleArrays, symtab: SymbolTable) -> HybridTrace:
+    """Build a :class:`~repro.core.hybrid.HybridTrace` from sample tags.
+
+    Samples with ``tag == TAG_NONE`` (scheduler code, untagged threads) are
+    counted as unmapped.  Item "windows" in the result are inferred from
+    the first/last sample of each tag run, so ``item_window_cycles`` is a
+    sampling-resolution approximation rather than instrumented truth.
+    """
+    ts = samples.ts
+    if ts.shape[0] and np.any(np.diff(ts) < 0):
+        raise IntegrationError("sample timestamps must be sorted")
+    n = int(ts.shape[0])
+    nfn = len(symtab)
+    tagged = samples.tag != TAG_NONE
+    fidx = symtab.lookup_many(samples.ip)
+    known = fidx != UNKNOWN
+    valid = tagged & known
+    unmapped = int(np.count_nonzero(~tagged))
+    unknown_ip = int(np.count_nonzero(tagged & ~known))
+    if not np.any(valid):
+        empty = np.empty(0, dtype=np.int64)
+        return HybridTrace(
+            symtab=symtab,
+            windows=[],
+            item_ids=empty,
+            fn_idx=empty.copy(),
+            n_samples=empty.copy(),
+            elapsed=empty.copy(),
+            t_first=empty.copy(),
+            t_last=empty.copy(),
+            total_samples=n,
+            unmapped_samples=unmapped,
+            unknown_ip_samples=unknown_ip,
+        )
+
+    tags = samples.tag[valid]
+    fv = fidx[valid]
+    tv = ts[valid]
+    # Segment into contiguous runs of one tag (preemption boundaries).
+    change = np.empty(tags.shape[0], dtype=bool)
+    change[0] = True
+    change[1:] = tags[1:] != tags[:-1]
+    run_id = np.cumsum(change) - 1
+    n_runs = int(run_id[-1]) + 1
+
+    # Per-run windows (for item_window_cycles and reporting).
+    run_start_idx = np.nonzero(change)[0]
+    run_end_idx = np.append(run_start_idx[1:], tags.shape[0]) - 1
+    windows = [
+        ItemWindow(
+            item_id=int(tags[a]),
+            t_start=int(tv[a]),
+            t_end=int(tv[b]),
+        )
+        for a, b in zip(run_start_idx, run_end_idx)
+    ]
+
+    combined = run_id * nfn + fv
+    order = np.argsort(combined, kind="stable")
+    uniq, counts, t_min, t_max = _group_min_max_count(combined[order], tv[order])
+    run_of = (uniq // nfn).astype(np.int64)
+    fn_of = (uniq % nfn).astype(np.int64)
+    item_of = tags[run_start_idx][run_of]
+    per_run_elapsed = t_max - t_min
+
+    combined2 = item_of * nfn + fn_of
+    order2 = np.argsort(combined2, kind="stable")
+    uniq2, start2 = np.unique(combined2[order2], return_index=True)
+    seg_end = np.append(start2[1:], combined2.shape[0])
+    counts_o = counts[order2]
+    elapsed_o = per_run_elapsed[order2]
+    tmin_o = t_min[order2]
+    tmax_o = t_max[order2]
+    n_rows = uniq2.shape[0]
+    item_ids = (uniq2 // nfn).astype(np.int64)
+    fn_rows = (uniq2 % nfn).astype(np.int64)
+    agg_counts = np.empty(n_rows, dtype=np.int64)
+    agg_elapsed = np.empty(n_rows, dtype=np.int64)
+    agg_first = np.empty(n_rows, dtype=np.int64)
+    agg_last = np.empty(n_rows, dtype=np.int64)
+    for i, (a, b) in enumerate(zip(start2, seg_end)):
+        agg_counts[i] = counts_o[a:b].sum()
+        agg_elapsed[i] = elapsed_o[a:b].sum()
+        agg_first[i] = tmin_o[a:b].min()
+        agg_last[i] = tmax_o[a:b].max()
+
+    return HybridTrace(
+        symtab=symtab,
+        windows=windows,
+        item_ids=item_ids,
+        fn_idx=fn_rows,
+        n_samples=agg_counts,
+        elapsed=agg_elapsed,
+        t_first=agg_first,
+        t_last=agg_last,
+        total_samples=n,
+        unmapped_samples=unmapped,
+        unknown_ip_samples=unknown_ip,
+    )

@@ -1,0 +1,95 @@
+"""Trace storage: record encoding and data-rate accounting (§IV-C3).
+
+The paper reports the PEBS sample volume of the ACL experiment — 270 MB/s
+at R = 8K down to 106 MB/s at R = 24K per core — extrapolates to a 16-core
+CPU, and compares against the 127.8 GB/s memory bandwidth of a 6-channel
+DDR4-2666 socket.  This module provides the byte accounting behind those
+numbers plus a binary encoding for sample/switch records (what the
+prototype's helper program writes to the SSD).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.instrument import SWITCH_RECORD_BYTES
+from repro.errors import TraceError
+from repro.machine.pebs import PEBSUnit, SampleArrays
+from repro.units import cycles_to_seconds
+
+#: dtype of one encoded PEBS record: timestamp, ip, tag register.
+SAMPLE_DTYPE = np.dtype([("ts", "<i8"), ("ip", "<i8"), ("tag", "<i8")])
+
+
+def encode_samples(samples: SampleArrays) -> bytes:
+    """Serialise samples to the on-disk format (little-endian packed)."""
+    arr = np.empty(len(samples), dtype=SAMPLE_DTYPE)
+    arr["ts"] = samples.ts
+    arr["ip"] = samples.ip
+    arr["tag"] = samples.tag
+    return arr.tobytes()
+
+
+def decode_samples(data: bytes) -> SampleArrays:
+    """Inverse of :func:`encode_samples`."""
+    if len(data) % SAMPLE_DTYPE.itemsize != 0:
+        raise TraceError(
+            f"encoded sample stream length {len(data)} is not a multiple of "
+            f"{SAMPLE_DTYPE.itemsize}"
+        )
+    arr = np.frombuffer(data, dtype=SAMPLE_DTYPE)
+    return SampleArrays(
+        ts=arr["ts"].astype(np.int64),
+        ip=arr["ip"].astype(np.int64),
+        tag=arr["tag"].astype(np.int64),
+    )
+
+
+@dataclass(frozen=True)
+class DataRateReport:
+    """Storage cost of one traced core, with the paper's extrapolations."""
+
+    reset_value: int
+    sample_count: int
+    switch_records: int
+    duration_s: float
+    sample_bytes: int
+    switch_bytes: int
+    mb_per_s: float
+    per_cpu_gb_s: float
+    mem_bw_fraction: float
+
+
+def datarate_report(
+    unit: PEBSUnit,
+    duration_cycles: int,
+    freq_ghz: float,
+    switch_records: int = 0,
+    extrapolate_cores: int = 16,
+    mem_bw_gb_s: float = 127.8,
+) -> DataRateReport:
+    """Compute MB/s for one core and the paper's 16-core / bandwidth view.
+
+    ``mem_bw_gb_s`` defaults to the Intel Xeon Platinum 8153 figure the
+    paper quotes (16 cores, 6 channels of DDR4-2666).
+    """
+    if duration_cycles <= 0:
+        raise TraceError(f"duration must be positive, got {duration_cycles}")
+    duration_s = cycles_to_seconds(duration_cycles, freq_ghz)
+    sample_bytes = unit.sample_count * unit.spec.pebs_record_bytes
+    switch_bytes = switch_records * SWITCH_RECORD_BYTES
+    mb_per_s = (sample_bytes / duration_s) / 1e6
+    per_cpu_gb_s = mb_per_s * extrapolate_cores / 1e3
+    return DataRateReport(
+        reset_value=unit.config.reset_value,
+        sample_count=unit.sample_count,
+        switch_records=switch_records,
+        duration_s=duration_s,
+        sample_bytes=sample_bytes,
+        switch_bytes=switch_bytes,
+        mb_per_s=mb_per_s,
+        per_cpu_gb_s=per_cpu_gb_s,
+        mem_bw_fraction=per_cpu_gb_s / mem_bw_gb_s,
+    )

@@ -1,0 +1,148 @@
+"""Symbol tables: mapping instruction pointers to function names.
+
+Paper Section III-D step 2: "the values of the instruction pointer included
+in each PEBS sample are compared with the symbol table of the target
+program.  Symbols are the names of functions and the addresses of their
+beginning and ending points obtained from the binary."
+
+Lookup over many sample ips is the integration hot path, so it is fully
+vectorised: one ``np.searchsorted`` over the sorted range starts plus a
+bounds check (per the HPC guide — never loop over samples in Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SymbolError
+
+#: Function index meaning "ip not covered by any symbol".
+UNKNOWN = -1
+
+
+@dataclass(frozen=True)
+class FunctionSymbol:
+    """One function: name plus the half-open address range [lo, hi)."""
+
+    name: str
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SymbolError("symbol name must be non-empty")
+        if self.lo < 0 or self.hi <= self.lo:
+            raise SymbolError(f"invalid range [{self.lo}, {self.hi}) for {self.name!r}")
+
+    @property
+    def size(self) -> int:
+        return self.hi - self.lo
+
+    def contains(self, ip: int) -> bool:
+        return self.lo <= ip < self.hi
+
+
+class SymbolTable:
+    """An immutable-after-build table of non-overlapping function ranges."""
+
+    def __init__(self, symbols: list[FunctionSymbol]) -> None:
+        ordered = sorted(symbols, key=lambda s: s.lo)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.lo < a.hi:
+                raise SymbolError(
+                    f"symbols {a.name!r} [{a.lo},{a.hi}) and {b.name!r} "
+                    f"[{b.lo},{b.hi}) overlap"
+                )
+        names = [s.name for s in ordered]
+        if len(set(names)) != len(names):
+            raise SymbolError("duplicate symbol names")
+        self._symbols = ordered
+        self._lo = np.asarray([s.lo for s in ordered], dtype=np.int64)
+        self._hi = np.asarray([s.hi for s in ordered], dtype=np.int64)
+        self._names = names
+
+    @classmethod
+    def from_ranges(cls, ranges: dict[str, tuple[int, int]]) -> "SymbolTable":
+        """Build from ``{name: (lo, hi)}``."""
+        return cls([FunctionSymbol(n, lo, hi) for n, (lo, hi) in ranges.items()])
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+    def __iter__(self):
+        return iter(self._symbols)
+
+    @property
+    def names(self) -> list[str]:
+        """Function names in address order."""
+        return list(self._names)
+
+    def index_of(self, name: str) -> int:
+        """Index of a function by name (raises SymbolError if absent)."""
+        try:
+            return self._names.index(name)
+        except ValueError:
+            raise SymbolError(f"no symbol named {name!r}")
+
+    def symbol(self, idx: int) -> FunctionSymbol:
+        return self._symbols[idx]
+
+    def range_of(self, name: str) -> tuple[int, int]:
+        s = self._symbols[self.index_of(name)]
+        return (s.lo, s.hi)
+
+    def lookup(self, ip: int) -> str | None:
+        """Name of the function containing ``ip``, or None."""
+        idx = self.lookup_many(np.asarray([ip], dtype=np.int64))[0]
+        return None if idx == UNKNOWN else self._names[idx]
+
+    def lookup_many(self, ips: np.ndarray) -> np.ndarray:
+        """Vectorised ip -> function-index lookup (UNKNOWN for misses)."""
+        ips = np.asarray(ips, dtype=np.int64)
+        idx = np.searchsorted(self._lo, ips, side="right") - 1
+        ok = (idx >= 0) & (ips < self._hi[np.clip(idx, 0, None)])
+        return np.where(ok, idx, UNKNOWN)
+
+
+class AddressAllocator:
+    """Assigns non-overlapping address ranges to function names.
+
+    Simulated applications use this to lay out their "binary": every
+    function gets a range, block ips point inside it, and the resulting
+    :class:`SymbolTable` is what the analysis side sees.
+    """
+
+    def __init__(self, base: int = 0x40_0000, default_size: int = 0x400) -> None:
+        if default_size < 1:
+            raise SymbolError("default_size must be >= 1")
+        self._next = base
+        self._default_size = default_size
+        self._ranges: dict[str, tuple[int, int]] = {}
+
+    def add(self, name: str, size: int | None = None) -> int:
+        """Allocate a range for ``name``; returns its entry point (lo)."""
+        if name in self._ranges:
+            raise SymbolError(f"function {name!r} already allocated")
+        sz = self._default_size if size is None else size
+        if sz < 1:
+            raise SymbolError(f"size must be >= 1, got {sz}")
+        lo = self._next
+        self._next += sz
+        self._ranges[name] = (lo, lo + sz)
+        return lo
+
+    def ip_of(self, name: str, offset: int = 0) -> int:
+        """An ip inside ``name`` (entry point + offset, bounds-checked)."""
+        try:
+            lo, hi = self._ranges[name]
+        except KeyError:
+            raise SymbolError(f"function {name!r} not allocated")
+        if not 0 <= offset < hi - lo:
+            raise SymbolError(f"offset {offset} outside {name!r} (size {hi - lo})")
+        return lo + offset
+
+    def table(self) -> SymbolTable:
+        """Freeze the allocations into a SymbolTable."""
+        return SymbolTable.from_ranges(dict(self._ranges))

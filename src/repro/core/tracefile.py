@@ -1,0 +1,144 @@
+"""Persistent trace files: dump a session, analyse offline.
+
+The paper's prototype writes PEBS samples and switch logs to an SSD and
+integrates them later (Section III-E).  This module is that workflow's
+file format: one ``.npz`` container holding, per core, the raw sample
+columns and switch records, plus the symbol table and free-form
+metadata.  Loading gives everything needed to rerun the integration,
+diagnosis, or call-graph guessing without the original process.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hybrid import HybridTrace, integrate
+from repro.core.records import SwitchRecords
+from repro.core.symbols import SymbolTable
+from repro.errors import TraceError
+from repro.machine.pebs import SampleArrays
+from repro.runtime.actions import SwitchKind
+
+#: Format version written into every file; bumped on layout changes.
+FORMAT_VERSION = 1
+
+_KIND_CODE = {SwitchKind.ITEM_START: 0, SwitchKind.ITEM_END: 1}
+_CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+
+def save_trace(
+    path: str | pathlib.Path,
+    samples_by_core: dict[int, SampleArrays],
+    switches_by_core: dict[int, SwitchRecords],
+    symtab: SymbolTable,
+    meta: dict | None = None,
+) -> None:
+    """Write one trace container (compressed npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    header = {
+        "version": FORMAT_VERSION,
+        "sample_cores": sorted(samples_by_core),
+        "switch_cores": sorted(switches_by_core),
+        "meta": meta or {},
+    }
+    arrays["header_json"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    arrays["sym_lo"] = np.asarray([s.lo for s in symtab], dtype=np.int64)
+    arrays["sym_hi"] = np.asarray([s.hi for s in symtab], dtype=np.int64)
+    arrays["sym_names"] = np.asarray([s.name for s in symtab], dtype="U128")
+    for core, s in samples_by_core.items():
+        arrays[f"core{core}_sample_ts"] = s.ts
+        arrays[f"core{core}_sample_ip"] = s.ip
+        arrays[f"core{core}_sample_tag"] = s.tag
+    for core, r in switches_by_core.items():
+        arrays[f"core{core}_switch_ts"] = r.ts
+        arrays[f"core{core}_switch_item"] = r.item
+        arrays[f"core{core}_switch_kind"] = np.asarray(
+            [_KIND_CODE[k] for k in r.kinds], dtype=np.int8
+        )
+    np.savez_compressed(str(path), **arrays)
+
+
+@dataclass
+class TraceFile:
+    """A loaded trace container."""
+
+    symtab: SymbolTable
+    meta: dict
+    _samples: dict[int, SampleArrays]
+    _switches: dict[int, SwitchRecords]
+
+    @property
+    def sample_cores(self) -> list[int]:
+        return sorted(self._samples)
+
+    def samples(self, core: int) -> SampleArrays:
+        try:
+            return self._samples[core]
+        except KeyError:
+            raise TraceError(f"trace file has no samples for core {core}")
+
+    def switches(self, core: int) -> SwitchRecords:
+        try:
+            return self._switches[core]
+        except KeyError:
+            raise TraceError(f"trace file has no switch records for core {core}")
+
+    def integrate(self, core: int) -> HybridTrace:
+        """Run the paper's integration for one core, offline."""
+        return integrate(self.samples(core), self.switches(core), self.symtab)
+
+
+def load_trace(path: str | pathlib.Path) -> TraceFile:
+    """Read a container written by :func:`save_trace`."""
+    try:
+        data = np.load(str(path), allow_pickle=False)
+    except Exception as exc:
+        raise TraceError(f"cannot read trace file {path}: {exc}") from exc
+    if "header_json" not in data:
+        raise TraceError(f"{path} is not a repro trace file (no header)")
+    header = json.loads(bytes(data["header_json"]).decode("utf-8"))
+    if header.get("version") != FORMAT_VERSION:
+        raise TraceError(
+            f"trace file version {header.get('version')} unsupported "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    symtab = SymbolTable.from_ranges(
+        {
+            str(name): (int(lo), int(hi))
+            for name, lo, hi in zip(data["sym_names"], data["sym_lo"], data["sym_hi"])
+        }
+    )
+    samples: dict[int, SampleArrays] = {}
+    for core in header["sample_cores"]:
+        samples[core] = SampleArrays(
+            ts=data[f"core{core}_sample_ts"],
+            ip=data[f"core{core}_sample_ip"],
+            tag=data[f"core{core}_sample_tag"],
+        )
+    switches: dict[int, SwitchRecords] = {}
+    for core in header["switch_cores"]:
+        r = SwitchRecords(core)
+        kinds = data[f"core{core}_switch_kind"]
+        for ts, item, kind in zip(
+            data[f"core{core}_switch_ts"], data[f"core{core}_switch_item"], kinds
+        ):
+            r.append(int(ts), int(item), _CODE_KIND[int(kind)])
+        switches[core] = r
+    return TraceFile(
+        symtab=symtab, meta=header["meta"], _samples=samples, _switches=switches
+    )
+
+
+def save_session(path: str | pathlib.Path, session, symtab: SymbolTable, meta: dict | None = None) -> None:
+    """Persist a :class:`~repro.session.TraceSession` (samples + switches)."""
+    samples = {c: u.finalize() for c, u in session.units.items()}
+    switches = {
+        c: session.tracer.records_for_core(c) for c in session.units
+    }
+    save_trace(path, samples, switches, symtab, meta)

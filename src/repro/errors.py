@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this package derive from
+:class:`ReproError`, so callers can catch package failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """Invalid machine, sampler, or tracer configuration."""
+
+
+class SimulationError(ReproError):
+    """The simulated machine or scheduler reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All runnable threads are blocked and no queue can make progress."""
+
+
+class SymbolError(ReproError):
+    """Symbol table construction or lookup failed (overlap, unknown name)."""
+
+
+class TraceError(ReproError):
+    """Trace records are malformed or inconsistent (e.g. unmatched switch)."""
+
+
+class IntegrationError(TraceError):
+    """Hybrid sample/instrumentation integration failed."""
+
+
+class WorkloadError(ReproError):
+    """A workload was configured with invalid parameters."""
+
+
+class ACLError(WorkloadError):
+    """ACL rule set or classifier construction failed."""

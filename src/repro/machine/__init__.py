@@ -1,0 +1,41 @@
+"""Simulated multicore machine substrate.
+
+This package stands in for the hardware the paper measures on: Skylake-like
+cores with a cycle-accurate-ish clock, a cache hierarchy, programmable
+performance counters, PEBS (hardware sampling of timestamp + instruction
+pointer with a ~250 ns per-sample assist cost), and a perf-style
+software sampler driven by counter-overflow interrupts.
+
+The substrate executes :class:`~repro.machine.block.Block` quanta emitted by
+application code and charges cycles, counts hardware events, and produces
+samples exactly where a real PMU would.
+"""
+
+from repro.machine.block import Block, BlockOutcome, MemRef
+from repro.machine.cache import CacheHierarchy, SetAssocCache
+from repro.machine.config import MachineSpec
+from repro.machine.core import SimCore
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig, PEBSUnit, Sample
+from repro.machine.pmu import PMU, CounterConfig
+from repro.machine.sampler import SoftwareSampler, SoftwareSamplerConfig
+
+__all__ = [
+    "Block",
+    "BlockOutcome",
+    "CacheHierarchy",
+    "CounterConfig",
+    "HWEvent",
+    "Machine",
+    "MachineSpec",
+    "MemRef",
+    "PEBSConfig",
+    "PEBSUnit",
+    "PMU",
+    "Sample",
+    "SetAssocCache",
+    "SimCore",
+    "SoftwareSampler",
+    "SoftwareSamplerConfig",
+]

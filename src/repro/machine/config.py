@@ -1,0 +1,117 @@
+"""Machine configuration.
+
+Defaults model the paper's evaluation machine (Table II: a commodity
+Skylake-generation Xeon).  Exact cache geometry and penalties are standard
+Skylake-client figures; the experiments' conclusions depend only on the
+orders of magnitude (a function of a high-throughput server takes ~1 µs;
+a PEBS sample costs ~250 ns; a software sampling interrupt costs ~10 µs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CacheLevelSpec:
+    """Geometry and hit latency of one cache level."""
+
+    size_bytes: int
+    ways: int
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.ways <= 0:
+            raise ConfigError(f"invalid cache geometry: {self}")
+        if self.size_bytes % (self.ways * 64) != 0:
+            raise ConfigError(
+                f"cache size {self.size_bytes} not divisible into {self.ways}-way 64B sets"
+            )
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Full description of the simulated machine.
+
+    Attributes
+    ----------
+    freq_ghz:
+        Core clock frequency; the TSC ticks at this rate (invariant TSC,
+        synchronised across cores, as on real Skylake).
+    ipc:
+        Peak sustained micro-op retirement per cycle for straight-line code.
+        Block base cost = ceil(uops / ipc).
+    l1 / l2 / llc:
+        Private L1D, private L2, shared LLC geometry.  ``llc`` is shared by
+        all cores of the machine.
+    dram_latency_cycles:
+        Charge for an access that misses every level.
+    branch_miss_penalty_cycles:
+        Charge per mispredicted branch.
+    pebs_assist_ns:
+        Microcode assist cost per PEBS sample (paper/ref [6]: ~250 ns).
+    pebs_record_bytes:
+        Bytes one PEBS record occupies in the PEBS buffer.  Calibrated so
+        the ACL experiment's data rates land near the paper's 270 MB/s at
+        R = 8000 (Skylake's full PEBS record is 240 bytes; simple-pebs
+        copies fixed-size records).
+    pebs_buffer_records:
+        PEBS buffer capacity in records; the CPU raises an interrupt only
+        when the buffer becomes full (paper Section III-B).
+    pebs_drain_base_ns / pebs_drain_per_kb_ns:
+        Cost of the buffer-full interrupt plus copying the buffer out
+        (kernel module + helper program path of Section III-E).
+    pebs_switch_ns:
+        With double buffering (the Section III-E future-work
+        optimisation, implemented here): cost of flipping to the spare
+        buffer on the interrupt; the drain itself proceeds asynchronously
+        and only stalls the core if the spare fills before it finishes.
+    sw_handler_ns:
+        Time a perf-style software sampling interrupt steals from the
+        interrupted thread per serviced overflow.  Produces the >= 10 µs
+        achieved sample interval of Fig 4.
+    """
+
+    freq_ghz: float = 3.0
+    ipc: float = 4.0
+    l1: CacheLevelSpec = field(default_factory=lambda: CacheLevelSpec(32 * 1024, 8, 4))
+    l2: CacheLevelSpec = field(default_factory=lambda: CacheLevelSpec(256 * 1024, 8, 12))
+    llc: CacheLevelSpec = field(default_factory=lambda: CacheLevelSpec(8 * 1024 * 1024, 16, 42))
+    dram_latency_cycles: int = 200
+    branch_miss_penalty_cycles: int = 15
+    pebs_assist_ns: float = 250.0
+    pebs_record_bytes: int = 240
+    pebs_buffer_records: int = 4096
+    pebs_drain_base_ns: float = 2_000.0
+    pebs_drain_per_kb_ns: float = 30.0
+    pebs_switch_ns: float = 200.0
+    sw_handler_ns: float = 9_500.0
+    #: Whether PEBS records include the TSC.  Table II: the paper needs a
+    #: Skylake CPU "because sampling timestamps with PEBS is only
+    #: supported since Skylake" — older generations cannot run the
+    #: method at all, which the PEBS unit enforces.
+    pebs_has_timestamps: bool = True
+
+    def __post_init__(self) -> None:
+        if self.freq_ghz <= 0:
+            raise ConfigError(f"freq_ghz must be positive, got {self.freq_ghz}")
+        if self.ipc <= 0:
+            raise ConfigError(f"ipc must be positive, got {self.ipc}")
+        if self.dram_latency_cycles <= 0:
+            raise ConfigError("dram_latency_cycles must be positive")
+        if self.pebs_assist_ns < 0 or self.sw_handler_ns < 0:
+            raise ConfigError("overhead costs must be >= 0")
+        if self.pebs_buffer_records <= 0:
+            raise ConfigError("pebs_buffer_records must be positive")
+        if self.pebs_record_bytes <= 0:
+            raise ConfigError("pebs_record_bytes must be positive")
+
+
+#: The default spec used by experiments unless they override it.
+SKYLAKE_LIKE = MachineSpec()
+
+#: A pre-Skylake part: PEBS exists but records carry no timestamp, so
+#: the paper's method cannot run on it (attachment raises ConfigError).
+BROADWELL_LIKE = MachineSpec(pebs_has_timestamps=False)

@@ -1,0 +1,119 @@
+"""One simulated CPU core: clock, block execution, PMU integration.
+
+A core owns an integer cycle clock (its TSC — invariant and synchronised
+across cores, as on real Skylake), optionally a private cache hierarchy, and
+a PMU.  It executes :class:`~repro.machine.block.Block` quanta: charging
+base cycles (``ceil(uops / ipc)``), cache penalties, branch-miss penalties,
+then letting the PMU advance its counters and charge sampling overhead.
+
+``tag_register`` models the general-purpose register (r13 in the paper's
+Section V-A discussion) where a timer-switching runtime can park the
+current data-item ID; PEBS records capture it.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import SimulationError
+from repro.machine.block import Block, BlockOutcome
+from repro.machine.cache import CacheHierarchy
+from repro.machine.config import MachineSpec
+from repro.machine.events import HWEvent
+from repro.machine.pebs import TAG_NONE
+from repro.machine.pmu import PMU
+
+
+class SimCore:
+    """A single core with its own clock, caches, and PMU."""
+
+    def __init__(
+        self,
+        core_id: int,
+        spec: MachineSpec,
+        hierarchy: CacheHierarchy | None = None,
+        pmu: PMU | None = None,
+    ) -> None:
+        self.core_id = core_id
+        self.spec = spec
+        self.hierarchy = hierarchy
+        self.pmu = pmu if pmu is not None else PMU()
+        self.clock: int = 0
+        self.tag_register: int = TAG_NONE
+        self.blocks_executed = 0
+        self.uops_retired = 0
+        self.idle_cycles = 0
+
+    @property
+    def tsc(self) -> int:
+        """Current timestamp-counter value (cycles)."""
+        return self.clock
+
+    def execute(self, block: Block) -> BlockOutcome:
+        """Run one block to retirement; advance the clock; feed the PMU."""
+        start = self.clock
+        lines = block.line_addresses()
+        if lines.shape[0] and self.hierarchy is not None:
+            mem = self.hierarchy.access_lines(lines)
+            penalty = math.ceil(mem.penalty_cycles / block.mem_mlp)
+            l1_miss, l2_miss, llc_miss = mem.l1_misses, mem.l2_misses, mem.llc_misses
+        else:
+            penalty = 0
+            l1_miss = l2_miss = llc_miss = 0
+        base = math.ceil(block.uops / self.spec.ipc)
+        cycles = (
+            base
+            + penalty
+            + block.mispredicts * self.spec.branch_miss_penalty_cycles
+            + block.extra_cycles
+        )
+        event_counts = {
+            HWEvent.UOPS_RETIRED_ALL: block.uops,
+            HWEvent.INST_RETIRED: block.resolved_insts,
+            HWEvent.CYCLES: cycles,
+            HWEvent.BR_RETIRED: block.branches,
+            HWEvent.BR_MISP_RETIRED: block.mispredicts,
+            HWEvent.MEM_LOAD_RETIRED_ALL: int(lines.shape[0]),
+            HWEvent.MEM_LOAD_RETIRED_L1_MISS: l1_miss,
+            HWEvent.MEM_LOAD_RETIRED_L2_MISS: l2_miss,
+            HWEvent.MEM_LOAD_RETIRED_L3_MISS: llc_miss,
+        }
+        overhead = self.pmu.process_block(
+            block.ip, start, cycles, event_counts, self.tag_register
+        )
+        self.clock = start + cycles + overhead
+        self.blocks_executed += 1
+        self.uops_retired += block.uops
+        return BlockOutcome(
+            start=start, cycles=cycles, overhead_cycles=overhead, event_counts=event_counts
+        )
+
+    def advance_to(self, t: int) -> None:
+        """Jump the clock forward to ``t`` without retiring anything.
+
+        Used for genuinely idle time (a source thread pacing its input).
+        No events occur, so attached samplers see nothing — unlike
+        :meth:`spin_until`, which models busy-polling.
+        """
+        if t < self.clock:
+            raise SimulationError(
+                f"core {self.core_id}: cannot advance clock backwards "
+                f"({self.clock} -> {t})"
+            )
+        self.idle_cycles += t - self.clock
+        self.clock = t
+
+    def spin_until(self, t: int, spin_ip: int) -> BlockOutcome | None:
+        """Busy-poll (retiring pause-loop uops at ~1 uop/cycle) until ``t``.
+
+        This is how a pinned DPDK-style worker waits on an empty queue: it
+        keeps retiring instructions, so PEBS keeps sampling, and those
+        samples carry the poll loop's ip.  Returns the outcome of the
+        aggregated spin block, or None if no wait was needed.
+        """
+        gap = t - self.clock
+        if gap <= 0:
+            return None
+        base = math.ceil(gap / self.spec.ipc)
+        block = Block(ip=spin_ip, uops=gap, extra_cycles=gap - base)
+        return self.execute(block)

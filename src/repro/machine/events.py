@@ -1,0 +1,54 @@
+"""Hardware performance events counted by the simulated PMU.
+
+The paper configures PEBS with ``UOPS_RETIRED.ALL`` for all experiments and
+notes (Section V-D) that other per-core events — cache misses, branch
+mispredictions, loads — can be sampled the same way.  Section V-C notes that
+PEBS cannot count bare cycles; we preserve that restriction
+(:data:`HWEvent.CYCLES` is valid for traditional counters but rejected by
+the PEBS unit).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class HWEvent(enum.Enum):
+    """Events a counter can be programmed with.
+
+    Values are short stable strings used in reports and trace metadata.
+    """
+
+    UOPS_RETIRED_ALL = "uops_retired.all"
+    INST_RETIRED = "inst_retired.any"
+    CYCLES = "cpu_clk_unhalted"
+    BR_RETIRED = "br_inst_retired.all"
+    BR_MISP_RETIRED = "br_misp_retired.all"
+    MEM_LOAD_RETIRED_ALL = "mem_load_retired.all"
+    MEM_LOAD_RETIRED_L1_MISS = "mem_load_retired.l1_miss"
+    MEM_LOAD_RETIRED_L2_MISS = "mem_load_retired.l2_miss"
+    MEM_LOAD_RETIRED_L3_MISS = "mem_load_retired.l3_miss"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Events PEBS hardware can sample on.  Mirrors the paper's observation that
+#: PEBS counts retirement-class events but not bare cycles.
+PEBS_CAPABLE_EVENTS = frozenset(
+    {
+        HWEvent.UOPS_RETIRED_ALL,
+        HWEvent.INST_RETIRED,
+        HWEvent.BR_RETIRED,
+        HWEvent.BR_MISP_RETIRED,
+        HWEvent.MEM_LOAD_RETIRED_ALL,
+        HWEvent.MEM_LOAD_RETIRED_L1_MISS,
+        HWEvent.MEM_LOAD_RETIRED_L2_MISS,
+        HWEvent.MEM_LOAD_RETIRED_L3_MISS,
+    }
+)
+
+
+def pebs_supports(event: HWEvent) -> bool:
+    """Return True if the simulated PEBS unit can sample on ``event``."""
+    return event in PEBS_CAPABLE_EVENTS

@@ -1,0 +1,98 @@
+"""The whole simulated machine: cores, shared LLC, sampler attachment.
+
+This is the top-level substrate object experiments construct.  Tracing
+mechanisms (PEBS units, software samplers) are attached per core, mirroring
+the paper's setup where PEBS samples core-local events on every core
+simultaneously (Section III-D).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.machine.cache import CacheHierarchy, SetAssocCache
+from repro.machine.config import SKYLAKE_LIKE, MachineSpec
+from repro.machine.core import SimCore
+from repro.machine.pebs import PEBSConfig, PEBSUnit
+from repro.machine.pmu import CounterConfig
+from repro.machine.sampler import SoftwareSampler, SoftwareSamplerConfig
+
+
+class Machine:
+    """N cores sharing one LLC (when cache modelling is enabled).
+
+    Parameters
+    ----------
+    spec:
+        Hardware parameters; defaults to the Skylake-like evaluation box.
+    n_cores:
+        Number of cores.  Threads are pinned 1:1 to cores by the runtime.
+    with_caches:
+        When True every core gets a private L1/L2 in front of a shared LLC
+        and memory-touching blocks pay real hit/miss penalties.  Experiments
+        that do not study cache behaviour leave this off for speed.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec = SKYLAKE_LIKE,
+        n_cores: int = 2,
+        with_caches: bool = False,
+    ) -> None:
+        if n_cores < 1:
+            raise ConfigError(f"need at least one core, got {n_cores}")
+        self.spec = spec
+        self.llc: SetAssocCache | None = None
+        if with_caches:
+            self.llc = SetAssocCache(spec.llc)
+        self.cores: list[SimCore] = []
+        for i in range(n_cores):
+            hierarchy = CacheHierarchy(spec, llc=self.llc) if with_caches else None
+            self.cores.append(SimCore(i, spec, hierarchy=hierarchy))
+        self._pebs_units: dict[int, list[PEBSUnit]] = {}
+        self._sw_samplers: dict[int, list[SoftwareSampler]] = {}
+
+    def core(self, core_id: int) -> SimCore:
+        """Return the core with the given id."""
+        try:
+            return self.cores[core_id]
+        except IndexError:
+            raise ConfigError(f"no core {core_id} on a {len(self.cores)}-core machine")
+
+    # -- sampler attachment -------------------------------------------------
+    def attach_pebs(self, core_id: int, config: PEBSConfig) -> PEBSUnit:
+        """Enable PEBS on one core; returns the unit holding its samples."""
+        core = self.core(core_id)
+        unit = PEBSUnit(config, self.spec)
+        core.pmu.add_counter(CounterConfig(config.event, config.reset_value), unit)
+        self._pebs_units.setdefault(core_id, []).append(unit)
+        return unit
+
+    def attach_software_sampler(
+        self, core_id: int, config: SoftwareSamplerConfig
+    ) -> SoftwareSampler:
+        """Enable perf-style interrupt-driven sampling on one core."""
+        core = self.core(core_id)
+        sampler = SoftwareSampler(config, self.spec)
+        core.pmu.add_counter(CounterConfig(config.event, config.reset_value), sampler)
+        self._sw_samplers.setdefault(core_id, []).append(sampler)
+        return sampler
+
+    def pebs_units(self, core_id: int) -> list[PEBSUnit]:
+        """PEBS units attached to a core (empty list when none)."""
+        return list(self._pebs_units.get(core_id, []))
+
+    def flush_pebs(self) -> None:
+        """End-of-run drain of partially filled PEBS buffers.
+
+        The drain cost lands on the owning core's clock, matching the
+        prototype where the helper program copies the final buffer out.
+        """
+        for core_id, units in self._pebs_units.items():
+            core = self.core(core_id)
+            for unit in units:
+                core.clock += unit.flush()
+
+    @property
+    def max_clock(self) -> int:
+        """Latest TSC value across cores (end-of-run timestamp)."""
+        return max(c.clock for c in self.cores)

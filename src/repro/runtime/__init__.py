@@ -1,0 +1,46 @@
+"""Software-architecture substrate: pinned threads, queues, scheduling.
+
+Models the "modern software architecture for high scalability" of paper
+Fig 5: one thread pinned per core, threads connected by software queues,
+each core processing one data-item at a time.  Applications are written as
+generator functions yielding :mod:`~repro.runtime.actions` and are run to
+completion by the conservative discrete-event :class:`~repro.runtime.scheduler.Scheduler`.
+
+:mod:`~repro.runtime.ult` adds the *timer-switching* architecture
+(user-level threads preempted by a timer) used by the Section V-A
+extension.
+"""
+
+from repro.runtime.actions import (
+    Exec,
+    FnEnter,
+    FnLeave,
+    IdleUntil,
+    Mark,
+    Pop,
+    Push,
+    SetTag,
+    SwitchKind,
+)
+from repro.runtime.queue import MPMCQueue, SPSCQueue
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import AppThread
+from repro.runtime.ult import ULTask, ULTRuntime
+
+__all__ = [
+    "AppThread",
+    "Exec",
+    "FnEnter",
+    "FnLeave",
+    "IdleUntil",
+    "Mark",
+    "MPMCQueue",
+    "Pop",
+    "Push",
+    "SetTag",
+    "SPSCQueue",
+    "Scheduler",
+    "SwitchKind",
+    "ULTRuntime",
+    "ULTask",
+]

@@ -1,0 +1,105 @@
+"""Actions an application thread can yield to the scheduler.
+
+Application code is a generator; each ``yield`` hands the scheduler one of
+these action objects.  ``Pop`` is the only action whose result matters:
+the popped item is delivered back as the value of the ``yield`` expression.
+
+``Mark`` is the paper's coarse instrumentation point (a *data-item switch*,
+Section III-C): the attached tracer decides its cost and what gets
+recorded.  ``FnEnter``/``FnLeave`` exist so the *same* application source
+can also be run under the gprof-style full-instrumentation baseline; when
+no full tracer is attached they cost nothing (instrumentation compiled
+out).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from repro.machine.block import Block
+
+
+class SwitchKind(enum.Enum):
+    """Which side of a data-item switch a Mark action records."""
+
+    ITEM_START = "start"
+    ITEM_END = "end"
+
+
+@dataclass(frozen=True)
+class Exec:
+    """Execute one block on the thread's core.
+
+    The ``yield`` expression evaluates to the
+    :class:`~repro.machine.block.BlockOutcome`, so bodies that need virtual
+    time (e.g. the user-level-thread runtime tracking its time slice) can
+    observe how long the block actually took.
+    """
+
+    block: Block
+
+
+@dataclass(frozen=True)
+class SetTag:
+    """Write a value into the core's tag register (r13 in Section V-A).
+
+    Costs nothing (a single mov).  PEBS samples taken afterwards carry the
+    value, which is how the timer-switching extension maps samples to
+    data-items without timestamp windows.
+    """
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Push:
+    """Enqueue ``item`` onto ``queue`` (blocks while the queue is full)."""
+
+    queue: Any  # SPSCQueue; typed loosely to avoid a circular import
+    item: Any
+
+
+@dataclass(frozen=True)
+class Pop:
+    """Dequeue from ``queue`` (busy-polls while empty); yields the item."""
+
+    queue: Any
+
+
+@dataclass(frozen=True)
+class Mark:
+    """Data-item switch instrumentation point (start or end of an item)."""
+
+    kind: SwitchKind
+    item_id: int
+
+
+@dataclass(frozen=True)
+class FnEnter:
+    """Function-entry marker for the full-instrumentation baseline."""
+
+    fn_ip: int
+
+
+@dataclass(frozen=True)
+class FnLeave:
+    """Function-exit marker for the full-instrumentation baseline."""
+
+    fn_ip: int
+
+
+@dataclass(frozen=True)
+class IdleUntil:
+    """Advance the core clock to an absolute time without retiring work.
+
+    Used by paced sources (e.g. the GNET tester injecting packets "one by
+    one with a short interval", Section IV-C2).  No samples are taken while
+    idle — unlike busy-polling on an empty queue.
+    """
+
+    t: int
+
+
+Action = Exec | Push | Pop | Mark | FnEnter | FnLeave | IdleUntil | SetTag

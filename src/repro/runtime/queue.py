@@ -1,0 +1,179 @@
+"""Single-producer single-consumer software queues with timing semantics.
+
+DPDK-style pipelines pass data-items between pinned threads through
+lock-free ring buffers.  The simulated queue carries, for every item, the
+virtual timestamp at which the producer made it visible; the consumer can
+only observe it from that time on.  Bounded capacity produces backpressure:
+a push can only complete once the slot freed by the (i - capacity)-th pop
+exists.
+
+Enqueue/dequeue costs default to DPDK ``rte_ring`` order-of-magnitude
+values (tens of cycles).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class _Entry:
+    avail_ts: int
+    item: Any
+
+
+class SPSCQueue:
+    """FIFO between exactly one producer and one consumer thread.
+
+    Parameters
+    ----------
+    name:
+        For diagnostics.
+    capacity:
+        Maximum items in flight; None means unbounded (no backpressure).
+    push_cost / pop_cost:
+        Cycles charged to the producing / consuming core per operation.
+
+    The single-producer/single-consumer discipline is enforced: the
+    scheduler registers the first thread that pushes (pops) as the
+    producer (consumer), and a different thread doing the same raises.
+    Use :class:`MPMCQueue` for shared dispatch queues.
+    """
+
+    #: Whether the producer/consumer roles are exclusive to one thread.
+    exclusive = True
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int | None = None,
+        push_cost: int = 40,
+        pop_cost: int = 40,
+    ) -> None:
+        if capacity is not None and capacity < 1:
+            raise SimulationError(f"queue capacity must be >= 1, got {capacity}")
+        if push_cost < 0 or pop_cost < 0:
+            raise SimulationError("queue op costs must be >= 0")
+        self.name = name
+        self.capacity = capacity
+        self.push_cost = push_cost
+        self.pop_cost = pop_cost
+        self._roles: dict[str, str] = {}
+        self._entries: deque[_Entry] = deque()
+        # Virtual timestamps of every pop, in order.  The i-th push (from 0)
+        # of a capacity-C queue cannot complete before the (i-C)-th pop: the
+        # ring slot it reuses is only freed at that pop's virtual time.
+        self._pop_ts: list[int] = []
+        self.total_pushed = 0
+        self.total_popped = 0
+        self.closed = False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._entries) >= self.capacity
+
+    def close(self) -> None:
+        """Mark end-of-stream; a pop on a closed empty queue raises."""
+        self.closed = True
+
+    def check_role(self, role: str, thread_name: str) -> None:
+        """Enforce the queue's threading discipline (called by the
+        scheduler with the acting thread's name)."""
+        if not self.exclusive:
+            return
+        bound = self._roles.setdefault(role, thread_name)
+        if bound != thread_name:
+            raise SimulationError(
+                f"queue {self.name}: {role} role is bound to thread "
+                f"{bound!r} but {thread_name!r} used it — this is an SPSC "
+                "queue; use MPMCQueue for shared queues"
+            )
+
+    def earliest_push_ts(self, producer_clock: int) -> int | None:
+        """When could a push issued now complete?  None if indefinitely blocked.
+
+        For a bounded queue the next push reuses the slot freed by the pop
+        ``capacity`` positions earlier; if that pop has not happened yet in
+        simulation, the producer must block (the scheduler will retry once
+        the consumer has run).
+        """
+        if self.capacity is None:
+            return producer_clock
+        slot_idx = self.total_pushed - self.capacity
+        if slot_idx < 0:
+            return producer_clock
+        if slot_idx < len(self._pop_ts):
+            return max(producer_clock, self._pop_ts[slot_idx])
+        return None
+
+    def push(self, item: Any, ts: int) -> None:
+        """Make ``item`` visible to the consumer from time ``ts``.
+
+        Caller (the scheduler) is responsible for honouring capacity via
+        :meth:`earliest_push_ts`; pushing into a full queue is an error.
+        """
+        if self.closed:
+            raise SimulationError(f"queue {self.name}: push after close")
+        earliest = self.earliest_push_ts(ts)
+        if earliest is None or ts < earliest:
+            raise SimulationError(
+                f"queue {self.name}: push at {ts} before its ring slot is free"
+            )
+        self._entries.append(_Entry(avail_ts=ts, item=item))
+        self.total_pushed += 1
+
+    def head_avail_ts(self) -> int | None:
+        """Availability timestamp of the head item, or None when empty."""
+        if not self._entries:
+            return None
+        return self._entries[0].avail_ts
+
+    def pop(self, ts: int) -> Any:
+        """Remove and return the head item; ``ts`` is when the pop happens."""
+        if not self._entries:
+            raise SimulationError(f"queue {self.name}: pop from empty queue")
+        entry = self._entries.popleft()
+        if ts < entry.avail_ts:
+            raise SimulationError(
+                f"queue {self.name}: pop at {ts} before item available at {entry.avail_ts}"
+            )
+        self._pop_ts.append(ts)
+        self.total_popped += 1
+        return entry.item
+
+
+class MPMCQueue(SPSCQueue):
+    """Multi-producer multi-consumer queue (a locked/CAS ring).
+
+    The shape MariaDB-style thread pools use: one dispatcher (or many)
+    feeding a shared run queue drained by one worker per core.  Operations
+    cost more than the SPSC ring (CAS/lock traffic); defaults are roughly
+    2x DPDK's rte_ring figures.
+
+    Virtual-time semantics are inherited: items become visible at the
+    pusher's timestamp and the scheduler wakes blocked poppers
+    earliest-clock-first, so the consumer that would really have won the
+    race gets the item.
+    """
+
+    exclusive = False
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int | None = None,
+        push_cost: int = 90,
+        pop_cost: int = 90,
+    ) -> None:
+        super().__init__(name, capacity=capacity, push_cost=push_cost, pop_cost=pop_cost)

@@ -1,0 +1,281 @@
+"""Conservative discrete-event scheduler for pinned-thread applications.
+
+Each :class:`~repro.runtime.thread.AppThread` owns its core exclusively
+(the Fig 5 architecture), so threads only interact through
+:class:`~repro.runtime.queue.SPSCQueue` timestamps.  The scheduler advances
+one thread at a time until it blocks (empty pop / full push) or finishes,
+then rotates.  Because queues are FIFO and per-queue producer/consumer are
+unique, any interleaving of *host* execution yields the same virtual-time
+behaviour — the conservative property that makes the simulation
+deterministic.
+
+A tracer can be attached via the :class:`InstrumentationHook` protocol; the
+scheduler calls it at data-item switches (``Mark``) and function
+entries/exits (``FnEnter``/``FnLeave``) and charges whatever cost it
+returns to the thread's core as retired work, so instrumentation overhead
+perturbs the timeline exactly like real log-printing statements would
+(Section III-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol
+
+from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.machine.block import timed_block
+from repro.machine.machine import Machine
+from repro.runtime.actions import (
+    Action,
+    Exec,
+    FnEnter,
+    FnLeave,
+    IdleUntil,
+    Mark,
+    Pop,
+    Push,
+    SetTag,
+)
+from repro.runtime.queue import SPSCQueue
+from repro.runtime.thread import AppThread
+
+
+class InstrumentationHook(Protocol):
+    """What a tracer must implement to observe a scheduled application.
+
+    Each hook returns ``(cost_cycles, ip)``: the cycles the instrumentation
+    code takes and the instruction pointer it executes at (its own symbol —
+    samples can land inside the marking function).  Return ``(0, 0)`` for
+    "not instrumented".
+    """
+
+    def on_mark(self, thread: AppThread, core: Any, kind: Any, item_id: int) -> tuple[int, int]:
+        ...
+
+    def on_fn_enter(self, thread: AppThread, core: Any, fn_ip: int) -> tuple[int, int]:
+        ...
+
+    def on_fn_leave(self, thread: AppThread, core: Any, fn_ip: int) -> tuple[int, int]:
+        ...
+
+
+@dataclass
+class _ThreadState:
+    thread: AppThread
+    gen: Any
+    send_value: Any = None
+    blocked_on: SPSCQueue | None = None
+    blocked_kind: str | None = None  # "pop" | "push"
+    pending_action: Action | None = None
+    finished: bool = False
+    actions_run: int = field(default=0)
+
+
+class Scheduler:
+    """Runs a set of pinned threads on a machine to completion."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        threads: list[AppThread],
+        tracer: InstrumentationHook | None = None,
+        max_actions: int = 50_000_000,
+        lockstep: bool = False,
+    ) -> None:
+        """``lockstep=True`` advances exactly one action at a time, always
+        on the thread with the smallest core clock.  Queue-only workloads
+        do not need it (queue timestamps enforce causality), but threads
+        that interact through **shared cache state** (the contention
+        study) do: run-until-blocked would let one thread's entire run
+        hit the cache before the other starts."""
+        seen_cores: set[int] = set()
+        for t in threads:
+            if t.core_id in seen_cores:
+                raise ConfigError(
+                    f"two threads pinned to core {t.core_id}; the Fig 5 "
+                    "architecture allows one thread per core"
+                )
+            machine.core(t.core_id)  # validates the id
+            seen_cores.add(t.core_id)
+        self.machine = machine
+        self.threads = threads
+        self.tracer = tracer
+        self.max_actions = max_actions
+        self.lockstep = lockstep
+        self._total_actions = 0
+
+    # -- public -------------------------------------------------------------
+    def run(self) -> None:
+        """Drive every thread to StopIteration; flush PEBS buffers at the end.
+
+        Each round visits threads earliest-core-clock first, so when
+        several consumers wait on one shared (MPMC) queue the one whose
+        virtual time is smallest gets the item — the thread that would
+        really have won the race.
+        """
+        states = [ _ThreadState(thread=t, gen=t.start()) for t in self.threads ]
+        while True:
+            progressed = False
+            by_clock = sorted(
+                states, key=lambda st: self.machine.core(st.thread.core_id).clock
+            )
+            for st in by_clock:
+                if st.finished:
+                    continue
+                if st.blocked_on is not None and not self._unblock(st):
+                    continue
+                if self.lockstep:
+                    self._advance_one(st)
+                    progressed = True
+                    break
+                progressed |= self._advance(st)
+            if all(st.finished for st in states):
+                break
+            if not progressed:
+                blocked = [
+                    f"{st.thread.name} ({st.blocked_kind} on {st.blocked_on.name})"
+                    for st in states
+                    if not st.finished and st.blocked_on is not None
+                ]
+                raise DeadlockError(
+                    "no thread can make progress; blocked: " + ", ".join(blocked)
+                )
+        for st in states:
+            st.thread.finished = True
+        self.machine.flush_pebs()
+
+    # -- internals ------------------------------------------------------------
+    def _unblock(self, st: _ThreadState) -> bool:
+        """Try to clear a blocked thread; True if it became runnable."""
+        q = st.blocked_on
+        assert q is not None and st.pending_action is not None
+        core = self.machine.core(st.thread.core_id)
+        if st.blocked_kind == "pop":
+            if q.empty:
+                return False
+            action = st.pending_action
+            st.blocked_on = None
+            st.blocked_kind = None
+            st.pending_action = None
+            self._perform_pop(st, core, action)
+            return True
+        # push
+        if q.earliest_push_ts(core.clock) is None:
+            return False
+        action = st.pending_action
+        st.blocked_on = None
+        st.blocked_kind = None
+        st.pending_action = None
+        self._perform_push(st, core, action)
+        return True
+
+    def _advance_one(self, st: _ThreadState) -> None:
+        """Run exactly one action of a runnable thread (lockstep mode)."""
+        try:
+            action = st.gen.send(st.send_value)
+        except StopIteration:
+            st.finished = True
+            return
+        st.send_value = None
+        self._count_action()
+        self._dispatch(st, action)
+
+    def _advance(self, st: _ThreadState) -> bool:
+        """Run one thread until it blocks or finishes.  True if any action ran."""
+        ran = False
+        while st.blocked_on is None and not st.finished:
+            try:
+                action = st.gen.send(st.send_value)
+            except StopIteration:
+                st.finished = True
+                break
+            st.send_value = None
+            ran = True
+            self._count_action()
+            self._dispatch(st, action)
+        return ran
+
+    def _count_action(self) -> None:
+        self._total_actions += 1
+        if self._total_actions > self.max_actions:
+            raise SimulationError(
+                f"exceeded max_actions={self.max_actions}; "
+                "likely an application-level livelock"
+            )
+
+    def _dispatch(self, st: _ThreadState, action: Action) -> None:
+        core = self.machine.core(st.thread.core_id)
+        if isinstance(action, Exec):
+            st.send_value = core.execute(action.block)
+        elif isinstance(action, SetTag):
+            core.tag_register = action.value
+        elif isinstance(action, IdleUntil):
+            if action.t > core.clock:
+                core.advance_to(action.t)
+        elif isinstance(action, Mark):
+            if self.tracer is not None:
+                cost, ip = self.tracer.on_mark(st.thread, core, action.kind, action.item_id)
+                if cost > 0:
+                    core.execute(timed_block(ip, cost, self.machine.spec.ipc))
+        elif isinstance(action, FnEnter):
+            if self.tracer is not None:
+                cost, ip = self.tracer.on_fn_enter(st.thread, core, action.fn_ip)
+                if cost > 0:
+                    core.execute(timed_block(ip, cost, self.machine.spec.ipc))
+        elif isinstance(action, FnLeave):
+            if self.tracer is not None:
+                cost, ip = self.tracer.on_fn_leave(st.thread, core, action.fn_ip)
+                if cost > 0:
+                    core.execute(timed_block(ip, cost, self.machine.spec.ipc))
+        elif isinstance(action, Push):
+            self._do_push(st, core, action)
+        elif isinstance(action, Pop):
+            self._do_pop(st, core, action)
+        else:
+            raise SimulationError(f"unknown action {action!r}")
+
+    def _do_push(self, st: _ThreadState, core: Any, action: Push) -> None:
+        q: SPSCQueue = action.queue
+        q.check_role("producer", st.thread.name)
+        if q.earliest_push_ts(core.clock) is None:
+            st.blocked_on = q
+            st.blocked_kind = "push"
+            st.pending_action = action
+            return
+        self._perform_push(st, core, action)
+
+    def _perform_push(self, st: _ThreadState, core: Any, action: Push) -> None:
+        q: SPSCQueue = action.queue
+        ts = q.earliest_push_ts(core.clock)
+        assert ts is not None
+        if ts > core.clock:
+            # Backpressure: the producer busy-polls for a free slot.
+            core.spin_until(ts, st.thread.poll_ip)
+        if q.push_cost > 0:
+            core.execute(timed_block(st.thread.poll_ip, q.push_cost, self.machine.spec.ipc))
+        q.push(action.item, core.clock)
+
+    def _do_pop(self, st: _ThreadState, core: Any, action: Pop) -> None:
+        """Pops are block-first: the thread parks and the round loop (which
+        visits threads earliest-clock-first) hands items out.  For shared
+        (MPMC) queues this is what makes the *earliest-free* consumer take
+        the head item — an inline pop would let a consumer far ahead in
+        virtual time spin forward and starve its idle peers.  For SPSC
+        queues the detour is behaviour-preserving (single consumer)."""
+        q: SPSCQueue = action.queue
+        q.check_role("consumer", st.thread.name)
+        st.blocked_on = q
+        st.blocked_kind = "pop"
+        st.pending_action = action
+
+    def _perform_pop(self, st: _ThreadState, core: Any, action: Pop) -> None:
+        q: SPSCQueue = action.queue
+        avail = q.head_avail_ts()
+        assert avail is not None
+        if avail > core.clock:
+            # The consumer spins in its poll loop until the item shows up;
+            # PEBS keeps sampling and attributes the spin to poll_ip.
+            core.spin_until(avail, st.thread.poll_ip)
+        if q.pop_cost > 0:
+            core.execute(timed_block(st.thread.poll_ip, q.pop_cost, self.machine.spec.ipc))
+        st.send_value = q.pop(core.clock)

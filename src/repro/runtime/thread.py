@@ -1,0 +1,47 @@
+"""Application threads: a generator body pinned to one core.
+
+The body is any generator yielding :mod:`~repro.runtime.actions`.  Each
+thread declares a ``poll_ip`` — the address of its dispatch/busy-poll loop.
+Samples taken while the thread waits on an empty queue carry this ip, as on
+a real DPDK worker spinning in its poll loop (DESIGN.md, "samples during
+busy-polling").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator
+
+from repro.runtime.actions import Action
+
+#: The generator protocol application bodies must follow.
+Body = Generator[Action, Any, None]
+
+
+@dataclass
+class AppThread:
+    """One pinned thread of a simulated application.
+
+    Parameters
+    ----------
+    name:
+        Diagnostic name ("RX", "ACL", "TX", ...).
+    core_id:
+        The core this thread is pinned to.  Exactly one thread per core
+        (the Fig 5 architecture); the scheduler enforces this.
+    body_factory:
+        Zero-argument callable returning the generator to run.  A factory
+        (not a generator) so a thread description can be reused across runs.
+    poll_ip:
+        Instruction pointer attributed to busy-poll spinning.
+    """
+
+    name: str
+    core_id: int
+    body_factory: Callable[[], Body]
+    poll_ip: int
+    finished: bool = field(default=False, init=False)
+
+    def start(self) -> Body:
+        """Instantiate the generator body for one run."""
+        return self.body_factory()

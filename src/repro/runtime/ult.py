@@ -1,0 +1,146 @@
+"""User-level threading: the *timer-switching* architecture of Section V-A.
+
+NGINX-style systems forcefully switch data-items when one takes too long,
+typically via a timer plus user-level threading.  This module models that:
+several :class:`ULTask` item-processors are multiplexed on **one** pinned
+thread/core; a task is preempted when it exhausts its time slice (at the
+next block boundary — our preemption granularity) and the runtime switches
+to the next ready task round-robin, paying a context-switch cost.
+
+Two mapping aids from the paper are implemented:
+
+* **Switch marking** — each residency segment of an item on the core is
+  bracketed with data-item switch marks, so window-based hybrid
+  integration still works (with multiple windows per item).
+* **Register tagging** (the paper's key extension idea) — the runtime parks
+  the current item ID in the core's tag register (r13); every PEBS sample
+  then carries the ID directly, with no instrumentation at all.  During the
+  runtime's own scheduling code the tag is cleared, conservatively leaving
+  scheduler samples unattributed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.errors import ConfigError
+from repro.machine.block import Block, BlockOutcome
+from repro.machine.pebs import TAG_NONE
+from repro.runtime.actions import Action, Exec, Mark, SetTag, SwitchKind
+from repro.runtime.thread import Body
+
+#: A task body yields Exec (and optionally FnEnter/FnLeave) actions and is
+#: sent back each Exec's BlockOutcome.
+TaskBody = Generator[Action, BlockOutcome, None]
+
+
+@dataclass(frozen=True)
+class ULTask:
+    """One data-item's work, to be run as a user-level thread."""
+
+    item_id: int
+    body_factory: Callable[[], TaskBody]
+
+
+class ULTRuntime:
+    """Round-robin preemptive user-level scheduler for one core.
+
+    Use :meth:`body` as the ``body_factory`` of an
+    :class:`~repro.runtime.thread.AppThread`.
+
+    Parameters
+    ----------
+    tasks:
+        The user-level threads, started in list order.
+    timeslice_cycles:
+        Budget per scheduling; a task is preempted at the first block
+        boundary at or past the budget.
+    switch_cost_cycles:
+        Context-switch cost (register save/restore, scheduler bookkeeping).
+    scheduler_ip:
+        Instruction pointer of the runtime's own code; switch-cost blocks
+        and their samples are attributed to it.
+    tag_items:
+        Park the running item's ID in the core tag register (Section V-A).
+    mark_switches:
+        Emit Mark actions bracketing every residency segment.
+    ipc:
+        The machine's retirement IPC, used to shape the switch-cost block
+        so it takes exactly ``switch_cost_cycles`` on that machine.
+    """
+
+    def __init__(
+        self,
+        tasks: list[ULTask],
+        timeslice_cycles: int,
+        switch_cost_cycles: int,
+        scheduler_ip: int,
+        tag_items: bool = True,
+        mark_switches: bool = True,
+        ipc: float = 4.0,
+    ) -> None:
+        if timeslice_cycles < 1:
+            raise ConfigError(f"timeslice must be >= 1 cycle, got {timeslice_cycles}")
+        if switch_cost_cycles < 0:
+            raise ConfigError("switch cost must be >= 0")
+        ids = [t.item_id for t in tasks]
+        if len(set(ids)) != len(ids):
+            raise ConfigError("ULTask item ids must be unique")
+        self.tasks = tasks
+        self.timeslice_cycles = timeslice_cycles
+        self.switch_cost_cycles = switch_cost_cycles
+        self.scheduler_ip = scheduler_ip
+        self.tag_items = tag_items
+        self.mark_switches = mark_switches
+        self.ipc = ipc
+        self.preemptions = 0
+        self.completions = 0
+
+    def body(self) -> Body:
+        """Generator to install as an AppThread body."""
+        ready: deque[tuple[ULTask, TaskBody]] = deque(
+            (t, t.body_factory()) for t in self.tasks
+        )
+        first = True
+        while ready:
+            task, gen = ready.popleft()
+            if not first and self.switch_cost_cycles > 0:
+                yield Exec(self._switch_block())
+            first = False
+            if self.tag_items:
+                yield SetTag(task.item_id)
+            if self.mark_switches:
+                yield Mark(SwitchKind.ITEM_START, task.item_id)
+            consumed = 0
+            preempted = False
+            send_val: BlockOutcome | None = None
+            while True:
+                try:
+                    action = gen.send(send_val)
+                except StopIteration:
+                    self.completions += 1
+                    break
+                send_val = None
+                outcome = yield action
+                if isinstance(action, Exec):
+                    assert isinstance(outcome, BlockOutcome)
+                    send_val = outcome
+                    consumed += outcome.cycles + outcome.overhead_cycles
+                    if consumed >= self.timeslice_cycles:
+                        preempted = True
+                        break
+            if self.mark_switches:
+                yield Mark(SwitchKind.ITEM_END, task.item_id)
+            if self.tag_items:
+                yield SetTag(TAG_NONE)
+            if preempted:
+                self.preemptions += 1
+                ready.append((task, gen))
+
+    def _switch_block(self) -> Block:
+        cost = self.switch_cost_cycles
+        base = math.ceil(cost / self.ipc)
+        return Block(ip=self.scheduler_ip, uops=cost, extra_cycles=max(0, cost - base))

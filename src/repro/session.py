@@ -1,0 +1,96 @@
+"""High-level one-call API: run an application under the hybrid tracer.
+
+Workload objects in this package share a small convention: they expose
+``threads()`` (pinned :class:`~repro.runtime.thread.AppThread` objects),
+``symtab`` (their symbol table) and ``mark_ip`` (the address allocated for
+the marking function).  :func:`trace` wires such an app to a machine,
+attaches PEBS to the requested cores, runs it, and integrates the result —
+the whole paper pipeline in one call.
+
+For anything unusual (software samplers, multiple counters, custom
+tracers) assemble the pieces manually; every layer is public.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.core.hybrid import HybridTrace, integrate
+from repro.core.instrument import MarkingTracer
+from repro.core.symbols import SymbolTable
+from repro.errors import ConfigError
+from repro.machine.config import SKYLAKE_LIKE, MachineSpec
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig, PEBSUnit
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import AppThread
+
+
+class TraceableApp(Protocol):
+    """The workload convention :func:`trace` relies on."""
+
+    symtab: SymbolTable
+    mark_ip: int
+
+    def threads(self) -> list[AppThread]:
+        ...
+
+
+@dataclass
+class TraceSession:
+    """Everything produced by one traced run."""
+
+    machine: Machine
+    tracer: MarkingTracer
+    units: dict[int, PEBSUnit]
+    traces: dict[int, HybridTrace]
+
+    def trace_for(self, core_id: int) -> HybridTrace:
+        """The integrated trace of one sampled core."""
+        try:
+            return self.traces[core_id]
+        except KeyError:
+            raise ConfigError(f"core {core_id} was not sampled")
+
+
+def trace(
+    app: TraceableApp,
+    sample_cores: list[int] | None = None,
+    reset_value: int = 8000,
+    event: HWEvent = HWEvent.UOPS_RETIRED_ALL,
+    spec: MachineSpec = SKYLAKE_LIKE,
+    with_caches: bool = False,
+    mark_cost_ns: float = 200.0,
+    double_buffered: bool = False,
+    lockstep: bool = False,
+) -> TraceSession:
+    """Run ``app`` with instrumentation + PEBS and integrate per core.
+
+    ``sample_cores`` defaults to every core an app thread is pinned to
+    (the paper enables PEBS on all relevant cores simultaneously).
+    ``lockstep`` interleaves threads action-by-action in virtual time —
+    required when threads interact through shared cache state.
+    """
+    threads = app.threads()
+    if not threads:
+        raise ConfigError("app has no threads")
+    n_cores = max(t.core_id for t in threads) + 1
+    machine = Machine(spec=spec, n_cores=n_cores, with_caches=with_caches)
+    cores = sample_cores if sample_cores is not None else [t.core_id for t in threads]
+    units = {
+        c: machine.attach_pebs(
+            c, PEBSConfig(event, reset_value, double_buffered=double_buffered)
+        )
+        for c in cores
+    }
+    tracer = MarkingTracer(
+        mark_ip=app.mark_ip, cost_ns=mark_cost_ns, freq_ghz=spec.freq_ghz
+    )
+    Scheduler(machine, threads, tracer=tracer, lockstep=lockstep).run()
+    traces = {
+        c: integrate(unit.finalize(), tracer.records_for_core(c), app.symtab)
+        for c, unit in units.items()
+    }
+    return TraceSession(machine=machine, tracer=tracer, units=units, traces=traces)

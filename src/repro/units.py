@@ -1,0 +1,54 @@
+"""Time and frequency unit helpers.
+
+Everything inside the simulator runs on an integer cycle clock.  Conversions
+to wall-clock units (nanoseconds, microseconds) happen only at configuration
+and reporting boundaries, and always go through this module so that the unit
+of every quantity is explicit at the call site.
+
+The default frequency is Skylake-like 3.0 GHz, i.e. 3 cycles per nanosecond.
+"""
+
+from __future__ import annotations
+
+NS_PER_US = 1_000.0
+NS_PER_MS = 1_000_000.0
+NS_PER_S = 1_000_000_000.0
+
+
+def cycles_to_ns(cycles: float, freq_ghz: float) -> float:
+    """Convert a cycle count to nanoseconds at ``freq_ghz`` GHz."""
+    if freq_ghz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return cycles / freq_ghz
+
+
+def ns_to_cycles(ns: float, freq_ghz: float) -> int:
+    """Convert nanoseconds to a whole number of cycles (rounded to nearest).
+
+    Costs configured in nanoseconds (e.g. the 250 ns PEBS assist) become
+    integer cycle charges on the core clock.
+    """
+    if freq_ghz <= 0.0:
+        raise ValueError(f"frequency must be positive, got {freq_ghz}")
+    return round(ns * freq_ghz)
+
+
+def cycles_to_us(cycles: float, freq_ghz: float) -> float:
+    """Convert a cycle count to microseconds at ``freq_ghz`` GHz."""
+    return cycles_to_ns(cycles, freq_ghz) / NS_PER_US
+
+
+def us_to_cycles(us: float, freq_ghz: float) -> int:
+    """Convert microseconds to a whole number of cycles (rounded)."""
+    return ns_to_cycles(us * NS_PER_US, freq_ghz)
+
+
+def cycles_to_seconds(cycles: float, freq_ghz: float) -> float:
+    """Convert a cycle count to seconds at ``freq_ghz`` GHz."""
+    return cycles_to_ns(cycles, freq_ghz) / NS_PER_S
+
+
+def bytes_per_cycle_to_mb_per_s(bytes_per_cycle: float, freq_ghz: float) -> float:
+    """Convert a byte rate per cycle into MB/s (1 MB = 1e6 bytes)."""
+    bytes_per_s = bytes_per_cycle * freq_ghz * NS_PER_S
+    return bytes_per_s / 1e6

@@ -1,0 +1,34 @@
+"""Workloads the paper evaluates on (or close stand-ins for them).
+
+* :mod:`~repro.workloads.sampleapp` — the Fig 7 proof-of-concept query app
+  with an in-memory result cache.
+* :mod:`~repro.workloads.nginxmodel` — the NGINX measurement behind Fig 2.
+* :mod:`~repro.workloads.spec` — SPEC CPU 2006 stand-ins (astar / bzip2 /
+  gcc) with distinct retirement rates, for the Fig 4 sample-interval study.
+* :mod:`~repro.workloads.synth` — generic synthetic builders for tests and
+  ablations.
+"""
+
+from repro.workloads.sampleapp import PAPER_QUERIES, Query, SampleApp, SampleAppConfig
+from repro.workloads.contention import ContentionApp, ContentionConfig
+from repro.workloads.dbpool import BufferPool, DBPoolApp, DBPoolConfig, QueryClass
+from repro.workloads.nginxmodel import NginxModel, NginxModelConfig
+from repro.workloads.spec import SPEC_KERNELS, SpecKernel, spec_kernel
+
+__all__ = [
+    "BufferPool",
+    "ContentionApp",
+    "ContentionConfig",
+    "DBPoolApp",
+    "DBPoolConfig",
+    "NginxModel",
+    "NginxModelConfig",
+    "PAPER_QUERIES",
+    "Query",
+    "QueryClass",
+    "SampleApp",
+    "SampleAppConfig",
+    "SPEC_KERNELS",
+    "SpecKernel",
+    "spec_kernel",
+]

@@ -1,0 +1,307 @@
+"""A MariaDB-style thread-pool database engine (paper §I / §II-A).
+
+The paper motivates fluctuation diagnosis with Huang et al.'s TPC-C
+measurement on production databases: *"the standard deviation was twice
+the mean"* and *"the 99th percentile was an order of magnitude greater
+than the mean"*.  This workload reproduces that latency shape from
+first principles and gives the tracer something to diagnose:
+
+* **architecture** — one dispatcher thread feeding a shared
+  :class:`~repro.runtime.queue.MPMCQueue`, one worker per core (MariaDB's
+  "single active thread for each CPU", the self-switching architecture);
+* **query mix** — mostly point selects, some range scans, rare
+  analytic queries (the TPC-C-ish skew that creates the tail);
+* **buffer pool** — a real LRU page cache shared by the workers; a cold
+  page stalls the query for a synchronous read, so two identical
+  queries differ by whether their pages are resident — the per-item
+  non-functional state the tracer must expose;
+* **functions** — parse_sql / plan_query / fetch_pages / execute_op /
+  commit_log, so a hybrid trace attributes an outlier's excess (it
+  lands in fetch_pages when the pool was cold).
+
+Latencies are recorded externally (dispatch timestamp vs completion),
+like the GNET tester: queue waiting counts, instrumentation does not
+perturb the ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.symbols import AddressAllocator, SymbolTable
+from repro.errors import WorkloadError
+from repro.machine.block import Block
+from repro.runtime.actions import Exec, FnEnter, FnLeave, IdleUntil, Mark, Pop, Push, SwitchKind
+from repro.runtime.queue import MPMCQueue
+from repro.runtime.thread import AppThread
+from repro.units import ns_to_cycles
+
+
+class QueryClass(enum.Enum):
+    """The three-tier query mix behind the TPC-C-like tail."""
+
+    POINT = "point"
+    RANGE = "range"
+    ANALYTIC = "analytic"
+
+
+@dataclass(frozen=True)
+class _ClassShape:
+    """Pages touched and compute uops of one query class."""
+
+    pages: int
+    plan_uops: int
+    execute_uops: int
+    page_region: str  # 'hot' | 'warm' | 'cold'
+
+
+_SHAPES: dict[QueryClass, _ClassShape] = {
+    QueryClass.POINT: _ClassShape(pages=2, plan_uops=2_000, execute_uops=180_000, page_region="hot"),
+    QueryClass.RANGE: _ClassShape(pages=16, plan_uops=8_000, execute_uops=1_500_000, page_region="warm"),
+    QueryClass.ANALYTIC: _ClassShape(pages=24, plan_uops=20_000, execute_uops=4_800_000, page_region="cold"),
+}
+
+#: Page-id spans per region.  Hot pages recur constantly (always resident
+#: after warm-up); the warm region fits the pool comfortably, so range
+#: queries are fast once resident but pay IO during warm-up (the
+#: within-class fluctuation the tracer should catch); the cold region
+#: never fits, so analytic queries always pay.
+_REGIONS = {"hot": (0, 256), "warm": (10_000, 10_512), "cold": (100_000, 165_536)}
+
+#: uops charged per page visited in fetch_pages (pointer chasing, latching).
+_FETCH_UOPS_PER_PAGE = 1_500
+
+#: Chunk size for large execute blocks (keeps sampling granular).
+_EXEC_CHUNK_UOPS = 100_000
+
+
+@dataclass(frozen=True)
+class DBQuery:
+    """One data-item: a query with its page working set."""
+
+    qid: int
+    qclass: QueryClass
+    pages: tuple[int, ...]
+
+
+class BufferPool:
+    """Shared LRU page cache; misses cost a synchronous page read."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise WorkloadError("buffer pool needs >= 1 page")
+        self.capacity = capacity_pages
+        self._pages: OrderedDict[int, bool] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        """Touch one page; True on hit.  Misses insert with LRU eviction."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        if len(self._pages) >= self.capacity:
+            self._pages.popitem(last=False)
+        self._pages[page] = True
+        self.misses += 1
+        return False
+
+    def access_many(self, pages: tuple[int, ...]) -> int:
+        """Touch pages in order; returns the number of misses."""
+        return sum(0 if self.access(p) else 1 for p in pages)
+
+
+@dataclass(frozen=True)
+class DBPoolConfig:
+    """Workload shape and machine-facing costs."""
+
+    n_workers: int = 3
+    n_queries: int = 1200
+    mix: tuple[float, float, float] = (0.80, 0.18, 0.02)  # point/range/analytic
+    inter_arrival_ns: float = 100_000.0
+    buffer_pool_pages: int = 4_096
+    io_stall_cycles: int = 90_000  # ~30 us synchronous page read
+    queue_capacity: int = 512
+    prewarm_hot: bool = True
+    seed: int = 42
+    freq_ghz: float = 3.0
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise WorkloadError("need at least one worker")
+        if self.n_queries < 1:
+            raise WorkloadError("need at least one query")
+        if abs(sum(self.mix) - 1.0) > 1e-9 or any(m < 0 for m in self.mix):
+            raise WorkloadError(f"mix must be a distribution, got {self.mix}")
+        if self.io_stall_cycles < 0:
+            raise WorkloadError("io_stall_cycles must be >= 0")
+
+
+class DBPoolApp:
+    """Dispatcher + N pinned workers around a shared run queue."""
+
+    DISPATCHER_CORE = 0
+
+    def __init__(self, config: DBPoolConfig = DBPoolConfig()) -> None:
+        self.config = config
+        alloc = AddressAllocator()
+        self._alloc = alloc
+        self.dispatch_ip = alloc.add("dispatcher_loop")
+        self.worker_ip = alloc.add("worker_loop")
+        self.parse_ip = alloc.add("parse_sql")
+        self.plan_ip = alloc.add("plan_query")
+        self.fetch_ip = alloc.add("fetch_pages")
+        self.execute_ip = alloc.add("execute_op")
+        self.commit_ip = alloc.add("commit_log")
+        self.mark_ip = alloc.add("__mark")
+        self.symtab: SymbolTable = alloc.table()
+        self.queue = MPMCQueue("run_queue", capacity=config.queue_capacity)
+        self.pool = BufferPool(config.buffer_pool_pages)
+        if config.prewarm_hot:
+            # A production database's hot set is resident before any
+            # measurement window starts; without this, most of the run is
+            # hot-set coupon collecting rather than steady-state traffic.
+            lo, hi = _REGIONS["hot"]
+            for page in range(lo, hi):
+                self.pool.access(page)
+            self.pool.hits = self.pool.misses = 0
+        self.queries = self._generate_queries()
+        #: qid -> dispatch timestamp (cycles), recorded by the dispatcher.
+        self.dispatched: dict[int, int] = {}
+        #: qid -> completion timestamp (cycles), recorded by workers.
+        self.completed: dict[int, int] = {}
+        #: qid -> page misses this query suffered (ground truth).
+        self.page_misses: dict[int, int] = {}
+
+    # -- workload generation --------------------------------------------------
+    def _generate_queries(self) -> list[DBQuery]:
+        rng = np.random.default_rng(self.config.seed)
+        classes = list(QueryClass)
+        out: list[DBQuery] = []
+        for qid in range(1, self.config.n_queries + 1):
+            qclass = classes[int(rng.choice(3, p=self.config.mix))]
+            shape = _SHAPES[qclass]
+            lo, hi = _REGIONS[shape.page_region]
+            pages = tuple(
+                int(p) for p in rng.integers(lo, hi, size=shape.pages)
+            )
+            out.append(DBQuery(qid=qid, qclass=qclass, pages=pages))
+        return out
+
+    # -- thread bodies -----------------------------------------------------------
+    def _dispatcher(self):
+        gap = ns_to_cycles(self.config.inter_arrival_ns, self.config.freq_ghz)
+        t = 0
+        for q in self.queries:
+            t += gap
+            yield IdleUntil(t)
+            out = yield Exec(Block(ip=self.dispatch_ip, uops=600, branches=20))
+            self.dispatched[q.qid] = out.end
+            yield Push(self.queue, q)
+        for _ in range(self.config.n_workers):
+            yield Push(self.queue, None)
+
+    def _worker(self):
+        cfg = self.config
+        while True:
+            q = yield Pop(self.queue)
+            if q is None:
+                return
+            shape = _SHAPES[q.qclass]
+            yield Mark(SwitchKind.ITEM_START, q.qid)
+
+            yield FnEnter(self.parse_ip)
+            yield Exec(Block(ip=self.parse_ip, uops=1_500, branches=60, mispredicts=2))
+            yield FnLeave(self.parse_ip)
+
+            yield FnEnter(self.plan_ip)
+            yield Exec(Block(ip=self.plan_ip, uops=shape.plan_uops, branches=shape.plan_uops // 20))
+            yield FnLeave(self.plan_ip)
+
+            # fetch_pages: real buffer-pool lookups; misses stall for IO.
+            yield FnEnter(self.fetch_ip)
+            misses = self.pool.access_many(q.pages)
+            self.page_misses[q.qid] = misses
+            yield Exec(
+                Block(
+                    ip=self.fetch_ip,
+                    uops=len(q.pages) * _FETCH_UOPS_PER_PAGE,
+                    branches=len(q.pages) * 8,
+                    extra_cycles=misses * cfg.io_stall_cycles,
+                )
+            )
+            yield FnLeave(self.fetch_ip)
+
+            yield FnEnter(self.execute_ip)
+            remaining = shape.execute_uops
+            while remaining > 0:
+                chunk = min(_EXEC_CHUNK_UOPS, remaining)
+                yield Exec(Block(ip=self.execute_ip, uops=chunk, branches=chunk // 30))
+                remaining -= chunk
+            yield FnLeave(self.execute_ip)
+
+            yield FnEnter(self.commit_ip)
+            out = yield Exec(Block(ip=self.commit_ip, uops=900, branches=10))
+            yield FnLeave(self.commit_ip)
+
+            yield Mark(SwitchKind.ITEM_END, q.qid)
+            self.completed[q.qid] = out.end
+
+    # -- public -----------------------------------------------------------------
+    def threads(self) -> list[AppThread]:
+        """Dispatcher on core 0, workers on cores 1..n."""
+        threads = [
+            AppThread("dispatcher", self.DISPATCHER_CORE, self._dispatcher, self.dispatch_ip)
+        ]
+        for i in range(self.config.n_workers):
+            threads.append(
+                AppThread(f"worker{i}", 1 + i, self._worker, self.worker_ip)
+            )
+        return threads
+
+    @property
+    def worker_cores(self) -> list[int]:
+        return [1 + i for i in range(self.config.n_workers)]
+
+    def group_of(self, qid: int) -> str:
+        """Similarity key for diagnosis: the query class."""
+        return self.queries[qid - 1].qclass.value
+
+    # -- latency statistics ---------------------------------------------------------
+    def latency_us(self, qid: int) -> float:
+        """Dispatch-to-completion latency (includes queue wait), in µs."""
+        try:
+            cycles = self.completed[qid] - self.dispatched[qid]
+        except KeyError:
+            raise WorkloadError(f"query {qid} has not completed")
+        return cycles / self.config.freq_ghz / 1_000.0
+
+    def latencies_us(self, qclass: QueryClass | None = None) -> list[float]:
+        out = []
+        for q in self.queries:
+            if qclass is not None and q.qclass is not qclass:
+                continue
+            if q.qid in self.completed:
+                out.append(self.latency_us(q.qid))
+        return out
+
+    def latency_summary(self) -> dict[str, float]:
+        """The Huang-et-al. statistics: mean, std, p99 and their ratios."""
+        lats = np.asarray(self.latencies_us())
+        if lats.size < 2:
+            raise WorkloadError("not enough completed queries for statistics")
+        mean = float(lats.mean())
+        std = float(lats.std(ddof=1))
+        p99 = float(np.percentile(lats, 99))
+        return {
+            "mean_us": mean,
+            "std_us": std,
+            "p99_us": p99,
+            "std_over_mean": std / mean,
+            "p99_over_mean": p99 / mean,
+        }

@@ -1,0 +1,237 @@
+"""The paper's proof-of-concept sample application (Fig 7 / Fig 8).
+
+Two threads pinned to two cores.  Thread 0 receives queries and passes
+them one by one to Thread 1 through a software queue.  A query is
+``(id, n)``; Thread 1 applies linear transformations to ``n * 1000``
+points and returns the results.  The app keeps an **in-memory result
+cache**: points whose transform was already computed are not recomputed —
+so the elapsed time of an identical query fluctuates with cache warmth,
+which is exactly the phenomenon the tracer must expose.
+
+Thread 1's loop body calls three functions (as in Fig 7):
+
+* ``f1_parse``   — fixed-cost query decoding,
+* ``f2_cache_lookup`` — per-point membership check over all N points,
+* ``f3_compute`` — the linear transform for every *uncached* point
+  (plus cache insertion); this is the function whose time collapses once
+  the points are warm.
+
+The data-item switch instrumentation brackets the whole loop body (two
+``Mark`` actions), not the three functions — the paper's coarse
+instrumentation.  ``FnEnter``/``FnLeave`` markers are also emitted so the
+same app can run under the full-instrumentation baseline for ablations.
+
+With ``use_cpu_caches`` the result store is laid out in simulated memory
+and f2/f3 really touch it, so the Section V-D experiment (PEBS on an
+LLC-miss event) sees genuine cold/warm behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.machine.block import Block, MemRef
+from repro.runtime.actions import Exec, FnEnter, FnLeave, IdleUntil, Mark, Pop, Push, SwitchKind
+from repro.runtime.queue import SPSCQueue
+from repro.runtime.thread import AppThread
+from repro.core.symbols import AddressAllocator, SymbolTable
+from repro.units import ns_to_cycles
+
+#: Bytes one cached point result occupies in the result store.
+POINT_BYTES = 8
+
+#: Points per transform chunk (one Block each) — keeps sampling granular.
+CHUNK_POINTS = 1000
+
+
+@dataclass(frozen=True)
+class Query:
+    """One data-item: a unique id and the point-count multiplier n."""
+
+    qid: int
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.qid < 0:
+            raise WorkloadError(f"query id must be >= 0, got {self.qid}")
+        if self.n < 1:
+            raise WorkloadError(f"query n must be >= 1, got {self.n}")
+
+
+#: The ten queries of the paper's Fig 8: ids 1..10; queries 1, 2, 4, 8
+#: share n=3 (the 1st pays the cold cache), queries 5, 7, 9 share n=5
+#: (the 5th pays for the 2000 points not covered by earlier queries).
+PAPER_QUERIES: tuple[Query, ...] = tuple(
+    Query(qid, n) for qid, n in zip(range(1, 11), (3, 3, 2, 3, 5, 1, 5, 3, 5, 2))
+)
+
+
+@dataclass(frozen=True)
+class SampleAppConfig:
+    """Tunable knobs of the sample application.
+
+    Default costs put a cold n=3 query near 17 µs and a warm one near
+    3 µs on the 3 GHz machine — the "much longer" contrast of Fig 8.
+    """
+
+    queries: tuple[Query, ...] = PAPER_QUERIES
+    points_per_n: int = 1000
+    f1_uops: int = 20000
+    f2_uops_per_point: int = 8
+    f3_uops_per_point: int = 60
+    inter_query_gap_ns: float = 1000.0
+    use_cpu_caches: bool = False
+    result_store_base: int = 0x1000_0000
+    freq_ghz: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not self.queries:
+            raise WorkloadError("need at least one query")
+        ids = [q.qid for q in self.queries]
+        if len(set(ids)) != len(ids):
+            raise WorkloadError("query ids must be unique")
+        if self.points_per_n < 1:
+            raise WorkloadError("points_per_n must be >= 1")
+        if min(self.f1_uops, self.f2_uops_per_point, self.f3_uops_per_point) < 1:
+            raise WorkloadError("function costs must be >= 1 uop")
+
+
+class SampleApp:
+    """Builds the two pinned threads and the symbol layout of the app."""
+
+    RECEIVER_CORE = 0
+    WORKER_CORE = 1
+
+    def __init__(self, config: SampleAppConfig = SampleAppConfig()) -> None:
+        self.config = config
+        alloc = AddressAllocator()
+        self._alloc = alloc
+        self.poll_ip = alloc.add("poll_loop")
+        self.recv_ip = alloc.add("receive_query")
+        self.f1_ip = alloc.add("f1_parse")
+        self.f2_ip = alloc.add("f2_cache_lookup")
+        self.f3_ip = alloc.add("f3_compute")
+        self.mark_ip = alloc.add("__mark")
+        self.symtab: SymbolTable = alloc.table()
+        self.queue = SPSCQueue("query_q", capacity=64)
+        max_points = max(q.n for q in config.queries) * config.points_per_n
+        # Host-side model of the in-memory result cache: True = computed.
+        self._cached = np.zeros(max_points, dtype=bool)
+        #: (qid -> number of points f3 had to compute) — ground truth for tests.
+        self.computed_points: dict[int, int] = {}
+
+    # -- thread bodies -------------------------------------------------------
+    def _receiver(self):
+        gap = ns_to_cycles(self.config.inter_query_gap_ns, self.config.freq_ghz)
+        t = 0
+        for q in self.config.queries:
+            t += gap
+            yield IdleUntil(t)
+            yield Exec(Block(ip=self.recv_ip, uops=500, branches=20, mispredicts=1))
+            yield Push(self.queue, q)
+        yield Push(self.queue, None)
+
+    def _worker(self):
+        cfg = self.config
+        while True:
+            q = yield Pop(self.queue)
+            if q is None:
+                return
+            n_points = q.n * cfg.points_per_n
+            yield Mark(SwitchKind.ITEM_START, q.qid)
+
+            # f1: parse / prepare the query.
+            yield FnEnter(self.f1_ip)
+            yield Exec(Block(ip=self.f1_ip, uops=cfg.f1_uops, branches=cfg.f1_uops // 20))
+            yield FnLeave(self.f1_ip)
+
+            # f2: check every point against the result cache.  The lookup
+            # touches the *tag* region (hash-bucket tags), not the values.
+            yield FnEnter(self.f2_ip)
+            uncached = int(np.count_nonzero(~self._cached[:n_points]))
+            mem = self._tag_ref(0, n_points) if cfg.use_cpu_caches else None
+            yield Exec(
+                Block(
+                    ip=self.f2_ip,
+                    uops=n_points * cfg.f2_uops_per_point,
+                    mem=mem,
+                    branches=n_points,
+                    mispredicts=max(1, uncached // 64),
+                )
+            )
+            yield FnLeave(self.f2_ip)
+
+            # f3: transform the uncached points, chunk by chunk, and
+            # insert results into the cache.
+            yield FnEnter(self.f3_ip)
+            self.computed_points[q.qid] = uncached
+            if uncached > 0:
+                todo = np.nonzero(~self._cached[:n_points])[0]
+                self._cached[todo] = True
+                for start in range(0, uncached, CHUNK_POINTS):
+                    chunk = min(CHUNK_POINTS, uncached - start)
+                    mem = (
+                        self._result_ref(int(todo[start]), chunk)
+                        if cfg.use_cpu_caches
+                        else None
+                    )
+                    yield Exec(
+                        Block(
+                            ip=self.f3_ip,
+                            uops=chunk * cfg.f3_uops_per_point,
+                            mem=mem,
+                            branches=chunk,
+                        )
+                    )
+            else:
+                # Even a fully-cached query executes the loop header once.
+                yield Exec(Block(ip=self.f3_ip, uops=50, branches=2))
+            yield FnLeave(self.f3_ip)
+
+            yield Mark(SwitchKind.ITEM_END, q.qid)
+
+    #: Offset separating the tag region (read by f2's lookups) from the
+    #: result-value region (written by f3's compute) in the store layout.
+    _RESULT_REGION_OFFSET = 0x0800_0000
+
+    def _tag_ref(self, first_point: int, count: int) -> MemRef:
+        """Accesses over the hash-bucket tag region (f2's lookups)."""
+        base = self.config.result_store_base + first_point * POINT_BYTES
+        return MemRef(base=base, count=count, stride=POINT_BYTES)
+
+    def _result_ref(self, first_point: int, count: int) -> MemRef:
+        """Accesses over the result-value region (f3's inserts)."""
+        base = (
+            self.config.result_store_base
+            + self._RESULT_REGION_OFFSET
+            + first_point * POINT_BYTES
+        )
+        return MemRef(base=base, count=count, stride=POINT_BYTES)
+
+    # -- public ----------------------------------------------------------------
+    def reset(self) -> None:
+        """Clear the result cache and stats; required between runs.
+
+        One SampleApp instance holds the application-level cache state, so
+        reusing it without a reset would make the second run fully warm.
+        """
+        self._cached[:] = False
+        self.computed_points.clear()
+        self.queue = SPSCQueue("query_q", capacity=64)
+
+    def threads(self) -> list[AppThread]:
+        """The two pinned threads (fresh generators each call)."""
+        return [
+            AppThread("thread0-recv", self.RECEIVER_CORE, self._receiver, self.poll_ip),
+            AppThread("thread1-work", self.WORKER_CORE, self._worker, self.poll_ip),
+        ]
+
+    def group_of(self, qid: int) -> int:
+        """Similarity key for fluctuation diagnosis: the query's n."""
+        for q in self.config.queries:
+            if q.qid == qid:
+                return q.n
+        raise WorkloadError(f"unknown query id {qid}")

@@ -1,0 +1,122 @@
+"""SPEC CPU 2006 stand-ins for the Fig 4 sample-interval study.
+
+Fig 4 runs astar, bzip2 and gcc under PEBS and under perf's software
+sampling, sweeping the reset value.  The only workload property that
+matters there is the *retirement rate* (micro-ops per cycle): at a given
+reset value of a UOPS_RETIRED counter, a lower-IPC workload overflows less
+often, so its achieved sample interval is longer — that is why the paper's
+curves for the three benchmarks are offset from each other.
+
+The stand-ins reproduce the qualitative IPC ordering of the originals:
+
+* ``bzip2`` — dense compute, high retirement rate (~2.2 uops/cycle),
+* ``astar`` — branchy pathfinding, mid rate (~1.4 uops/cycle),
+* ``gcc``  — pointer-heavy with frequent stalls, low rate (~0.9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.symbols import AddressAllocator, SymbolTable
+from repro.errors import WorkloadError
+from repro.machine.block import Block
+from repro.runtime.actions import Exec
+from repro.runtime.thread import AppThread
+
+
+@dataclass(frozen=True)
+class KernelShape:
+    """Per-block shape of one kernel (before jitter)."""
+
+    uops: int
+    branches: int
+    mispredicts: int
+    stall_cycles: int
+
+
+#: Block shapes calibrated to the target retirement rates on the default
+#: 3 GHz / IPC-4 machine (base + mispredict penalty + stalls).
+SPEC_KERNELS: dict[str, KernelShape] = {
+    "astar": KernelShape(uops=2000, branches=400, mispredicts=40, stall_cycles=300),
+    "bzip2": KernelShape(uops=3000, branches=300, mispredicts=10, stall_cycles=450),
+    "gcc": KernelShape(uops=1500, branches=300, mispredicts=15, stall_cycles=1070),
+}
+
+
+class SpecKernel:
+    """One single-threaded kernel run for a fixed virtual duration."""
+
+    CORE = 0
+
+    def __init__(
+        self,
+        name: str,
+        duration_cycles: int = 30_000_000,
+        seed: int = 2006,
+        jitter: float = 0.1,
+    ) -> None:
+        """``duration_cycles`` is the kernel's own work; wall-clock time
+        additionally includes whatever sampling overhead is attached."""
+        if name not in SPEC_KERNELS:
+            raise WorkloadError(
+                f"unknown kernel {name!r}; choose from {sorted(SPEC_KERNELS)}"
+            )
+        if duration_cycles < 1:
+            raise WorkloadError("duration must be >= 1 cycle")
+        if not 0.0 <= jitter < 1.0:
+            raise WorkloadError(f"jitter must be in [0, 1), got {jitter}")
+        self.name = name
+        self.shape = SPEC_KERNELS[name]
+        self.duration_cycles = duration_cycles
+        self.seed = seed
+        self.jitter = jitter
+        alloc = AddressAllocator()
+        self.poll_ip = alloc.add(f"{name}_dispatch")
+        self.main_ip = alloc.add(f"{name}_main")
+        self.symtab: SymbolTable = alloc.table()
+        self.uops_retired = 0
+        self.cycles_run = 0
+
+    def _body(self):
+        rng = np.random.default_rng(self.seed)
+        shape = self.shape
+        consumed = 0
+        while consumed < self.duration_cycles:
+            if self.jitter > 0.0:
+                f = float(rng.uniform(1.0 - self.jitter, 1.0 + self.jitter))
+            else:
+                f = 1.0
+            uops = max(1, int(shape.uops * f))
+            block = Block(
+                ip=self.main_ip,
+                uops=uops,
+                branches=shape.branches,
+                mispredicts=shape.mispredicts,
+                extra_cycles=int(shape.stall_cycles * f),
+            )
+            outcome = yield Exec(block)
+            # Count only the kernel's own cycles: the amount of *work* is
+            # fixed, so attached samplers lengthen the wall clock instead
+            # of shrinking the workload (needed for overhead studies).
+            consumed += outcome.cycles
+            self.uops_retired += uops
+        self.cycles_run = consumed
+
+    def threads(self) -> list[AppThread]:
+        """The kernel's single thread."""
+        return [AppThread(self.name, self.CORE, self._body, self.poll_ip)]
+
+    @property
+    def uops_per_cycle(self) -> float:
+        """Measured retirement rate of the last run."""
+        if self.cycles_run == 0:
+            raise WorkloadError("run the kernel before asking for its rate")
+        return self.uops_retired / self.cycles_run
+
+
+def spec_kernel(name: str, **kwargs) -> SpecKernel:
+    """Factory matching the paper's benchmark naming."""
+    return SpecKernel(name, **kwargs)

@@ -1,0 +1,74 @@
+"""Synthetic workload builders for tests and ablation benchmarks.
+
+These produce minimal but complete applications (symbols + threads) with
+precisely known ground truth, so tests can assert exact properties of the
+tracing pipeline without the noise of the realistic workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.symbols import AddressAllocator, SymbolTable
+from repro.errors import WorkloadError
+from repro.machine.block import timed_block
+from repro.runtime.actions import Exec, FnEnter, FnLeave, Mark, SwitchKind
+from repro.runtime.thread import AppThread
+
+
+@dataclass(frozen=True)
+class FixedItem:
+    """One item processed as a fixed sequence of (fn_name, cycles) steps."""
+
+    item_id: int
+    steps: tuple[tuple[str, int], ...]
+
+
+class FixedSequenceApp:
+    """Single-thread app processing items with exactly-known function times.
+
+    Every function takes exactly the requested number of cycles (modulo
+    sampling overhead), so tests can compare tracer estimates against
+    arithmetic truth.
+    """
+
+    CORE = 0
+
+    def __init__(self, items: list[FixedItem]) -> None:
+        if not items:
+            raise WorkloadError("need at least one item")
+        names: set[str] = set()
+        for it in items:
+            for fn, cycles in it.steps:
+                if cycles < 1:
+                    raise WorkloadError(f"step cycles must be >= 1, got {cycles}")
+                names.add(fn)
+        alloc = AddressAllocator()
+        self.poll_ip = alloc.add("dispatch_loop")
+        self.fn_ips = {name: alloc.add(name) for name in sorted(names)}
+        self.mark_ip = alloc.add("__mark")
+        self.symtab: SymbolTable = alloc.table()
+        self.items = list(items)
+
+    def _body(self):
+        for it in self.items:
+            yield Mark(SwitchKind.ITEM_START, it.item_id)
+            for fn, cycles in it.steps:
+                ip = self.fn_ips[fn]
+                yield FnEnter(ip)
+                yield Exec(timed_block(ip, cycles))
+                yield FnLeave(ip)
+            yield Mark(SwitchKind.ITEM_END, it.item_id)
+
+    def threads(self) -> list[AppThread]:
+        return [AppThread("fixed-seq", self.CORE, self._body, self.poll_ip)]
+
+
+def uniform_items(
+    n_items: int, fn_cycles: dict[str, int], first_id: int = 1
+) -> list[FixedItem]:
+    """n identical items, each running every function once."""
+    if n_items < 1:
+        raise WorkloadError("need at least one item")
+    steps = tuple(fn_cycles.items())
+    return [FixedItem(item_id=first_id + i, steps=steps) for i in range(n_items)]

@@ -1,0 +1,133 @@
+"""Tests for the RX->ACL->TX pipeline application."""
+
+import pytest
+
+from repro.acl.app import ACLApp, ACLAppConfig
+from repro.acl.packets import make_test_stream
+from repro.acl.rules import small_ruleset
+from repro.acl.trie import MultiTrieClassifier
+from repro.errors import WorkloadError
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+
+RULES = small_ruleset(6, 6)
+CLF = MultiTrieClassifier(RULES, max_rules_per_trie=6)  # 6 tries
+
+
+def small_app(per_type=4, **cfg_kw) -> ACLApp:
+    cfg = ACLAppConfig(inter_packet_gap_ns=5_000.0, **cfg_kw)
+    return ACLApp(RULES, make_test_stream(per_type), config=cfg, classifier=CLF)
+
+
+def run_app(app: ACLApp, tracer=None) -> Machine:
+    m = Machine(n_cores=3)
+    Scheduler(m, app.threads(), tracer=tracer).run()
+    return m
+
+
+class TestPipeline:
+    def test_all_packets_complete(self):
+        app = small_app(per_type=4)
+        run_app(app)
+        assert app.tester.completed == 12
+
+    def test_all_packets_allowed(self):
+        # Table IV packets match no rule fully -> default allow -> forwarded.
+        app = small_app()
+        run_app(app)
+        assert set(app.verdicts.values()) == {"allow"}
+
+    def test_matching_packet_dropped_and_not_forwarded(self):
+        from repro.acl.packets import Packet
+        from repro.acl.rules import parse_ipv4
+
+        pkt = Packet(
+            1,
+            parse_ipv4("192.168.10.9"),
+            parse_ipv4("192.168.11.9"),
+            3,
+            3,
+            ptype="A",
+        )
+        app = ACLApp(RULES, [pkt], classifier=CLF)
+        run_app(app)
+        assert app.verdicts[1] == "drop"
+        assert app.tester.completed == 0
+
+    def test_latency_ordering_a_b_c(self):
+        app = small_app(per_type=6)
+        run_app(app)
+        a = app.tester.mean_latency_us("A")
+        b = app.tester.mean_latency_us("B")
+        c = app.tester.mean_latency_us("C")
+        assert a > b > c
+
+    def test_group_of(self):
+        app = small_app(per_type=1)
+        assert app.group_of(1) == "A"
+        with pytest.raises(WorkloadError):
+            app.group_of(12345)
+
+    def test_classifier_shared_across_apps(self):
+        app1 = small_app()
+        app2 = small_app()
+        assert app1.classifier is app2.classifier
+
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            ACLAppConfig(tries_per_block=0)
+        with pytest.raises(WorkloadError):
+            ACLAppConfig(rx_uops=0)
+
+
+class TestInstrumentationPoints:
+    def test_marks_bracket_classify(self):
+        from repro.core.instrument import MarkingTracer
+        from repro.core.records import build_windows
+
+        app = small_app(per_type=2)
+        tracer = MarkingTracer(mark_ip=app.mark_ip, cost_ns=0.0)
+        run_app(app, tracer=tracer)
+        windows = build_windows(tracer.records_for_core(ACLApp.ACL_CORE))
+        assert len(windows) == 6
+        assert {w.item_id for w in windows} == {1, 2, 3, 4, 5, 6}
+
+    def test_only_acl_core_marked(self):
+        from repro.core.instrument import MarkingTracer
+
+        app = small_app(per_type=1)
+        tracer = MarkingTracer(mark_ip=app.mark_ip, cost_ns=0.0)
+        run_app(app, tracer=tracer)
+        assert len(tracer.records_for_core(ACLApp.RX_CORE)) == 0
+        assert len(tracer.records_for_core(ACLApp.TX_CORE)) == 0
+
+    def test_baseline_instrumentation_of_classify(self):
+        from repro.core.fulltrace import FullInstrumentationTracer
+
+        app = small_app(per_type=2)
+        tracer = FullInstrumentationTracer(
+            mark_ip=app.mark_ip,
+            cost_ns=0,
+            fn_cost_ns=0,
+            only_fns={app.classify_ip},
+        )
+        run_app(app, tracer=tracer)
+        eb = tracer.elapsed_by_item(ACLApp.ACL_CORE)
+        # 6 packets, one classify interval each.
+        assert len(eb) == 6
+        # Per-packet ground truth ordering: A > B > C.
+        a = eb[(1, app.classify_ip)]
+        b = eb[(2, app.classify_ip)]
+        c = eb[(3, app.classify_ip)]
+        assert a > b > c
+
+
+class TestChunking:
+    def test_tries_per_block_does_not_change_totals(self):
+        lat = {}
+        for tpb in (1, 4, 247):
+            app = small_app(per_type=2, tries_per_block=tpb)
+            run_app(app)
+            lat[tpb] = app.tester.mean_latency_us("A")
+        assert lat[1] == pytest.approx(lat[4], rel=0.02)
+        assert lat[4] == pytest.approx(lat[247], rel=0.02)

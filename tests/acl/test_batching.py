@@ -1,0 +1,71 @@
+"""Tests for batched data-items in the ACL pipeline (§IV-C2 future work)."""
+
+import pytest
+
+from repro.acl.app import ACLApp, ACLAppConfig
+from repro.acl.packets import make_test_stream
+from repro.acl.rules import small_ruleset
+from repro.acl.trie import MultiTrieClassifier
+from repro.core.instrument import MarkingTracer
+from repro.core.records import build_windows
+from repro.errors import WorkloadError
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+
+RULES = small_ruleset(4, 4)
+CLF = MultiTrieClassifier(RULES, max_rules_per_trie=4)
+
+
+def run(batch_size, per_type=4, gap_ns=2_000.0):
+    app = ACLApp(
+        RULES,
+        make_test_stream(per_type),
+        config=ACLAppConfig(inter_packet_gap_ns=gap_ns, batch_size=batch_size),
+        classifier=CLF,
+    )
+    m = Machine(n_cores=3)
+    tracer = MarkingTracer(mark_ip=app.mark_ip, cost_ns=0.0)
+    Scheduler(m, app.threads(), tracer=tracer).run()
+    return app, tracer
+
+
+class TestBatching:
+    def test_batch_size_validation(self):
+        with pytest.raises(WorkloadError):
+            ACLAppConfig(batch_size=0)
+
+    def test_all_packets_processed_regardless_of_batching(self):
+        for bs in (1, 3, 4, 5):
+            app, _ = run(bs)
+            assert len(app.verdicts) == 12
+            assert app.tester.completed == 12
+
+    def test_batch_size_one_marks_per_packet(self):
+        app, tracer = run(1)
+        windows = build_windows(tracer.records_for_core(ACLApp.ACL_CORE))
+        assert len(windows) == 12
+        assert all(w.item_id < ACLApp.BATCH_ID_BASE for w in windows)
+        assert app.batch_members == {}
+
+    def test_batching_marks_per_batch(self):
+        app, tracer = run(4)
+        windows = build_windows(tracer.records_for_core(ACLApp.ACL_CORE))
+        assert len(windows) == 3  # 12 packets / 4
+        assert all(w.item_id >= ACLApp.BATCH_ID_BASE for w in windows)
+        members = [app.batch_members[w.item_id] for w in windows]
+        assert sorted(p for m in members for p in m) == list(range(1, 13))
+
+    def test_partial_final_batch_flushed(self):
+        app, tracer = run(5)  # 12 packets -> batches of 5, 5, 2
+        windows = build_windows(tracer.records_for_core(ACLApp.ACL_CORE))
+        sizes = [len(app.batch_members[w.item_id]) for w in windows]
+        assert sizes == [5, 5, 2]
+
+    def test_batch_window_covers_member_work(self):
+        """A batch window is roughly the sum of its members' times."""
+        app1, tracer1 = run(1)
+        w1 = {w.item_id: w.duration for w in build_windows(tracer1.records_for_core(1))}
+        app4, tracer4 = run(4)
+        for w in build_windows(tracer4.records_for_core(1)):
+            member_sum = sum(w1[p] for p in app4.batch_members[w.item_id])
+            assert w.duration == pytest.approx(member_sum, rel=0.2)

@@ -1,0 +1,63 @@
+"""Tests for packet generation (Table IV)."""
+
+import pytest
+
+from repro.acl.packets import PACKET_TYPES, Packet, make_packet, make_test_stream
+from repro.acl.rules import parse_ipv4
+from repro.errors import ACLError
+
+
+class TestPacket:
+    def test_key_tuple(self):
+        p = Packet(1, 10, 20, 30, 40)
+        assert p.key == (10, 20, 30, 40)
+
+    def test_invalid_id(self):
+        with pytest.raises(ACLError):
+            Packet(-1, 0, 0, 0, 0)
+
+    def test_invalid_port(self):
+        with pytest.raises(ACLError):
+            Packet(1, 0, 0, 99999, 0)
+
+
+class TestMakePacket:
+    def test_table_iv_values(self):
+        a = make_packet("A", 1)
+        assert a.src_addr == parse_ipv4("192.168.10.4")
+        assert a.dst_addr == parse_ipv4("192.168.11.5")
+        assert (a.src_port, a.dst_port) == (10001, 10002)
+        b = make_packet("B", 2)
+        assert b.dst_addr == parse_ipv4("192.168.22.2")
+        c = make_packet("C", 3)
+        assert c.src_addr == parse_ipv4("192.168.12.4")
+
+    def test_unknown_type(self):
+        with pytest.raises(ACLError):
+            make_packet("D", 1)
+
+    def test_types_registry(self):
+        assert set(PACKET_TYPES) == {"A", "B", "C"}
+
+
+class TestStream:
+    def test_interleaved(self):
+        s = make_test_stream(2)
+        assert [p.ptype for p in s] == ["A", "B", "C", "A", "B", "C"]
+
+    def test_unique_ids(self):
+        s = make_test_stream(5)
+        ids = [p.pkt_id for p in s]
+        assert len(set(ids)) == len(ids)
+
+    def test_subset_types(self):
+        s = make_test_stream(3, types="AC")
+        assert [p.ptype for p in s] == ["A", "C"] * 3
+
+    def test_validation(self):
+        with pytest.raises(ACLError):
+            make_test_stream(0)
+        with pytest.raises(ACLError):
+            make_test_stream(1, types="XYZ")
+        with pytest.raises(ACLError):
+            make_test_stream(1, types="")

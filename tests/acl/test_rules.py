@@ -1,0 +1,91 @@
+"""Tests for ACL rules and the Table III generator."""
+
+import pytest
+
+from repro.acl.rules import (
+    ACLRule,
+    format_ipv4,
+    paper_ruleset,
+    parse_cidr,
+    parse_ipv4,
+    small_ruleset,
+)
+from repro.errors import ACLError
+
+
+class TestParsing:
+    def test_parse_ipv4(self):
+        assert parse_ipv4("192.168.10.4") == (192 << 24) | (168 << 16) | (10 << 8) | 4
+
+    def test_parse_ipv4_invalid(self):
+        for bad in ("1.2.3", "1.2.3.256", "a.b.c.d", "1.2.3.4.5"):
+            with pytest.raises(ACLError):
+                parse_ipv4(bad)
+
+    def test_parse_cidr(self):
+        net, plen = parse_cidr("192.168.10.0/24")
+        assert plen == 24
+        assert net == parse_ipv4("192.168.10.0")
+
+    def test_parse_cidr_masks_host_bits(self):
+        net, _ = parse_cidr("192.168.10.77/24")
+        assert net == parse_ipv4("192.168.10.0")
+
+    def test_parse_cidr_default_full(self):
+        net, plen = parse_cidr("10.0.0.1")
+        assert plen == 32
+
+    def test_parse_cidr_invalid_prefix(self):
+        with pytest.raises(ACLError):
+            parse_cidr("1.2.3.4/33")
+        with pytest.raises(ACLError):
+            parse_cidr("1.2.3.4/x")
+
+    def test_format_roundtrip(self):
+        assert format_ipv4(parse_ipv4("10.20.30.40")) == "10.20.30.40"
+
+
+class TestACLRule:
+    def test_matches_reference_semantics(self):
+        r = ACLRule.from_strings("192.168.10.0/24", "192.168.11.0/24", 5, 7)
+        assert r.matches(parse_ipv4("192.168.10.200"), parse_ipv4("192.168.11.1"), 5, 7)
+        assert not r.matches(parse_ipv4("192.168.12.1"), parse_ipv4("192.168.11.1"), 5, 7)
+        assert not r.matches(parse_ipv4("192.168.10.1"), parse_ipv4("192.168.11.1"), 5, 8)
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ACLError):
+            ACLRule.from_strings("10.0.0.0/8", "10.0.0.0/8", 70_000, 1)
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ACLError):
+            ACLRule(src_net=(0, 40), dst_net=(0, 8), src_port=1, dst_port=1)
+
+
+class TestRulesets:
+    def test_paper_ruleset_is_50k(self):
+        rules = paper_ruleset()
+        assert len(rules) == 50_000
+
+    def test_paper_ruleset_all_drop_same_nets(self):
+        rules = paper_ruleset()
+        src, dst = parse_cidr("192.168.10.0/24"), parse_cidr("192.168.11.0/24")
+        sample = rules[:: 5000]
+        assert all(r.action == "drop" for r in sample)
+        assert all(r.src_net == src and r.dst_net == dst for r in sample)
+
+    def test_paper_ruleset_port_grid(self):
+        rules = paper_ruleset()
+        pairs = {(r.src_port, r.dst_port) for r in rules}
+        assert len(pairs) == 50_000  # all distinct
+        assert (1, 1) in pairs
+        assert (66, 750) in pairs
+        assert (67, 500) in pairs
+        assert (67, 501) not in pairs
+
+    def test_small_ruleset(self):
+        rules = small_ruleset(3, 4)
+        assert len(rules) == 12
+
+    def test_small_ruleset_validation(self):
+        with pytest.raises(ACLError):
+            small_ruleset(0, 1)

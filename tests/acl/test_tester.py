@@ -1,0 +1,84 @@
+"""Tests for the GNET-like hardware tester."""
+
+import pytest
+
+from repro.acl.packets import make_test_stream
+from repro.acl.tester import GNETTester
+from repro.errors import WorkloadError
+
+
+def make_tester(per_type=2, gap_ns=1000.0) -> GNETTester:
+    return GNETTester(make_test_stream(per_type), inter_packet_gap_ns=gap_ns)
+
+
+class TestSchedule:
+    def test_ingress_times_are_paced(self):
+        t = make_tester(gap_ns=1000.0)  # 3000 cycles at 3 GHz
+        assert t.ingress_ts(1) == 3000
+        assert t.ingress_ts(2) == 6000
+
+    def test_unknown_packet(self):
+        with pytest.raises(WorkloadError):
+            make_tester().ingress_ts(999)
+
+    def test_duplicate_ids_rejected(self):
+        pkts = make_test_stream(1)
+        with pytest.raises(WorkloadError):
+            GNETTester(pkts + pkts)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            GNETTester([])
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(WorkloadError):
+            GNETTester(make_test_stream(1), inter_packet_gap_ns=0)
+
+
+class TestEgress:
+    def test_latency(self):
+        t = make_tester()
+        t.record_egress(1, t.ingress_ts(1) + 30_000)
+        assert t.latency_cycles(1) == 30_000
+        assert t.latencies_us() == [pytest.approx(10.0)]
+
+    def test_egress_before_ingress_rejected(self):
+        t = make_tester()
+        with pytest.raises(WorkloadError):
+            t.record_egress(1, 0)
+
+    def test_duplicate_egress_rejected(self):
+        t = make_tester()
+        t.record_egress(1, t.ingress_ts(1) + 1)
+        with pytest.raises(WorkloadError):
+            t.record_egress(1, t.ingress_ts(1) + 2)
+
+    def test_unknown_egress_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_tester().record_egress(999, 100)
+
+    def test_latency_of_pending_packet_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_tester().latency_cycles(1)
+
+
+class TestStatistics:
+    def test_per_type_filtering(self):
+        t = make_tester(per_type=2)
+        # Types interleave A,B,C,A,B,C with ids 1..6.
+        for pkt_id, lat in ((1, 39_000), (4, 39_000), (2, 21_000), (5, 21_000)):
+            t.record_egress(pkt_id, t.ingress_ts(pkt_id) + lat)
+        assert t.mean_latency_us("A") == pytest.approx(13.0)
+        assert t.mean_latency_us("B") == pytest.approx(7.0)
+        assert t.completed == 4
+
+    def test_std(self):
+        t = make_tester(per_type=2)
+        t.record_egress(1, t.ingress_ts(1) + 30_000)
+        t.record_egress(4, t.ingress_ts(4) + 36_000)
+        assert t.std_latency_us("A") > 0
+        assert t.std_latency_us("C") == 0.0  # fewer than 2 samples
+
+    def test_mean_without_completions_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_tester().mean_latency_us("A")

@@ -1,0 +1,65 @@
+"""Tests for the randomised traffic generator."""
+
+import numpy as np
+import pytest
+
+from repro.acl.rules import parse_ipv4, small_ruleset
+from repro.acl.traffic import TrafficMix, random_traffic
+from repro.acl.trie import MultiTrieClassifier
+from repro.errors import ACLError
+
+
+class TestGeneration:
+    def test_count_and_ids(self):
+        pkts = random_traffic(50, first_id=10)
+        assert len(pkts) == 50
+        assert [p.pkt_id for p in pkts] == list(range(10, 60))
+
+    def test_deterministic(self):
+        a = random_traffic(30, seed=3)
+        b = random_traffic(30, seed=3)
+        assert [p.key for p in a] == [p.key for p in b]
+
+    def test_seed_changes_traffic(self):
+        a = random_traffic(30, seed=3)
+        b = random_traffic(30, seed=4)
+        assert [p.key for p in a] != [p.key for p in b]
+
+    def test_validation(self):
+        with pytest.raises(ACLError):
+            random_traffic(0)
+        with pytest.raises(ACLError):
+            TrafficMix(p_src_match=1.5)
+
+    def test_all_match_mix(self):
+        pkts = random_traffic(
+            40, TrafficMix(p_src_match=1.0, p_dst_match=1.0, p_port_match=1.0)
+        )
+        net = parse_ipv4("192.168.10.0")
+        assert all((p.src_addr & 0xFFFFFF00) == net for p in pkts)
+        assert all(1 <= p.src_port <= 66 for p in pkts)
+
+    def test_no_match_mix(self):
+        pkts = random_traffic(40, TrafficMix(p_src_match=0.0))
+        net = parse_ipv4("192.168.10.0")
+        assert all((p.src_addr & 0xFFFFFF00) != net for p in pkts)
+
+
+class TestWalkDepthDistribution:
+    def test_depths_form_a_continuum(self):
+        clf = MultiTrieClassifier(small_ruleset(8, 8), max_rules_per_trie=8)
+        pkts = random_traffic(200, seed=11)
+        depths = set()
+        for p in pkts:
+            res = clf.classify(*p.key)
+            depths.add(int(res.visits[0]))
+        # More distinct walk depths than Table IV's three.
+        assert len(depths) >= 5
+
+    def test_port_matches_hit_rules(self):
+        clf = MultiTrieClassifier(small_ruleset(66, 750), max_rules_per_trie=5000)
+        pkts = random_traffic(
+            60, TrafficMix(p_src_match=1.0, p_dst_match=1.0, p_port_match=1.0)
+        )
+        matched = sum(1 for p in pkts if clf.classify(*p.key).matched)
+        assert matched == 60

@@ -1,0 +1,180 @@
+"""Tests for the multi-trie classifier."""
+
+import numpy as np
+import pytest
+
+from repro.acl.packets import make_packet
+from repro.acl.rules import ACLRule, paper_ruleset, parse_ipv4, small_ruleset
+from repro.acl.trie import (
+    KEY_BYTES,
+    MultiTrieClassifier,
+    Trie,
+    TrieCostModel,
+    key_bytes,
+)
+from repro.errors import ACLError
+
+
+class TestKeyBytes:
+    def test_twelve_bytes(self):
+        k = key_bytes(0, 0, 0, 0)
+        assert len(k) == KEY_BYTES
+
+    def test_layout(self):
+        k = key_bytes(parse_ipv4("1.2.3.4"), parse_ipv4("5.6.7.8"), 0x1234, 0xABCD)
+        assert k == [1, 2, 3, 4, 5, 6, 7, 8, 0x12, 0x34, 0xAB, 0xCD]
+
+
+class TestSingleTrie:
+    def rule(self, sp=5, dp=9) -> ACLRule:
+        return ACLRule.from_strings("192.168.10.0/24", "192.168.11.0/24", sp, dp)
+
+    def test_exact_match(self):
+        t = Trie()
+        t.insert(self.rule())
+        key = key_bytes(parse_ipv4("192.168.10.7"), parse_ipv4("192.168.11.1"), 5, 9)
+        rule, visits = t.lookup(key)
+        assert rule is not None
+        assert visits == 12
+
+    def test_miss_at_first_byte(self):
+        t = Trie()
+        t.insert(self.rule())
+        key = key_bytes(parse_ipv4("10.0.0.1"), parse_ipv4("192.168.11.1"), 5, 9)
+        rule, visits = t.lookup(key)
+        assert rule is None
+        assert visits == 1
+
+    def test_miss_depth_reflects_shared_prefix(self):
+        t = Trie()
+        t.insert(self.rule())
+        # src 192.168.12.x shares two bytes -> fails at the 3rd lookup.
+        key = key_bytes(parse_ipv4("192.168.12.1"), parse_ipv4("192.168.11.1"), 5, 9)
+        assert t.lookup(key)[1] == 3
+
+    def test_wildcard_last_addr_byte(self):
+        t = Trie()
+        t.insert(self.rule())
+        for host in (0, 1, 128, 255):
+            key = key_bytes(
+                parse_ipv4(f"192.168.10.{host}"), parse_ipv4("192.168.11.1"), 5, 9
+            )
+            assert t.lookup(key)[0] is not None
+
+    def test_port_mismatch_walk_length(self):
+        t = Trie()
+        t.insert(self.rule(sp=5, dp=9))
+        # Port 10001 = 0x2711 -> high byte 0x27 differs from 0x00 -> 9 visits.
+        key = key_bytes(parse_ipv4("192.168.10.1"), parse_ipv4("192.168.11.1"), 10001, 9)
+        assert t.lookup(key) == (None, 9)
+
+    def test_priority_wins(self):
+        t = Trie()
+        low = ACLRule.from_strings("1.0.0.0/8", "2.0.0.0/8", 1, 1, action="drop", priority=1)
+        high = ACLRule.from_strings("1.0.0.0/8", "2.0.0.0/8", 1, 1, action="allow", priority=9)
+        t.insert(low)
+        t.insert(high)
+        key = key_bytes(parse_ipv4("1.1.1.1"), parse_ipv4("2.2.2.2"), 1, 1)
+        assert t.lookup(key)[0].action == "allow"
+
+    def test_mixed_specificity_rejected(self):
+        t = Trie()
+        t.insert(ACLRule.from_strings("1.0.0.0/8", "2.0.0.0/8", 1, 1))
+        with pytest.raises(ACLError, match="mixed specificity"):
+            t.insert(ACLRule.from_strings("1.2.0.0/16", "2.0.0.0/8", 1, 1))
+
+    def test_non_byte_prefix_rejected(self):
+        with pytest.raises(ACLError, match="multiple of 8"):
+            t = Trie()
+            t.insert(ACLRule(src_net=(0, 20), dst_net=(0, 8), src_port=1, dst_port=1))
+
+    def test_node_count_shares_prefixes(self):
+        t = Trie()
+        t.insert(ACLRule.from_strings("1.0.0.0/8", "2.0.0.0/8", 1, 1))
+        n1 = t.n_nodes
+        t.insert(ACLRule.from_strings("1.0.0.0/8", "2.0.0.0/8", 1, 2))
+        # Only the final dst-port byte forks: one new node.
+        assert t.n_nodes == n1 + 1
+
+
+class TestMultiTrie:
+    def test_partitioning_by_rules_per_trie(self):
+        clf = MultiTrieClassifier(small_ruleset(10, 10), max_rules_per_trie=30)
+        assert clf.n_tries == 4  # ceil(100/30)
+        assert sum(t.n_rules for t in clf.tries) == 100
+
+    def test_vanilla_max_tries(self):
+        clf = MultiTrieClassifier(small_ruleset(10, 10), max_tries=8)
+        assert clf.n_tries <= 8
+
+    def test_paper_config_is_247_tries(self):
+        clf = MultiTrieClassifier(paper_ruleset(), max_rules_per_trie=203)
+        assert clf.n_tries == 247
+
+    def test_classify_agrees_with_linear_scan(self):
+        rules = small_ruleset(5, 5)
+        clf = MultiTrieClassifier(rules, max_rules_per_trie=7)
+        probes = [
+            (parse_ipv4("192.168.10.1"), parse_ipv4("192.168.11.1"), 3, 4),
+            (parse_ipv4("192.168.10.1"), parse_ipv4("192.168.11.1"), 3, 99),
+            (parse_ipv4("9.9.9.9"), parse_ipv4("192.168.11.1"), 3, 4),
+        ]
+        for key in probes:
+            res = clf.classify(*key)
+            linear = any(r.matches(*key) for r in rules)
+            assert (res.matched is not None) == linear
+
+    def test_visits_per_packet_type(self):
+        """The Fig 9 mechanism: walk depth A=9 > B=7 > C=3 per trie."""
+        clf = MultiTrieClassifier(small_ruleset(4, 4), max_rules_per_trie=4)
+        depth = {}
+        for t in "ABC":
+            p = make_packet(t, 1)
+            res = clf.classify(*p.key)
+            depths = set(res.visits.tolist())
+            assert len(depths) == 1  # every trie walks the same depth
+            depth[t] = depths.pop()
+        assert depth == {"A": 9, "B": 7, "C": 3}
+
+    def test_memoisation_returns_same_object(self):
+        clf = MultiTrieClassifier(small_ruleset(2, 2))
+        p = make_packet("A", 1)
+        assert clf.classify(*p.key) is clf.classify(*p.key)
+
+    def test_empty_rules_rejected(self):
+        with pytest.raises(ACLError):
+            MultiTrieClassifier([])
+
+    def test_invalid_partitioning(self):
+        with pytest.raises(ACLError):
+            MultiTrieClassifier(small_ruleset(2, 2), max_rules_per_trie=0)
+        with pytest.raises(ACLError):
+            MultiTrieClassifier(small_ruleset(2, 2), max_tries=0)
+
+    def test_matching_packet_found_across_tries(self):
+        # A packet matching a rule that lives in the *last* trie.
+        rules = small_ruleset(5, 5)
+        clf = MultiTrieClassifier(rules, max_rules_per_trie=7)
+        key = (parse_ipv4("192.168.10.1"), parse_ipv4("192.168.11.1"), 5, 5)
+        assert clf.classify(*key).matched is not None
+
+
+class TestCostModel:
+    def test_chunk_cost_formula(self):
+        cm = TrieCostModel(
+            per_visit_uops=10, per_visit_stall_cycles=2, per_trie_uops=5, per_trie_stall_cycles=1
+        )
+        uops, stalls = cm.chunk_cost(np.asarray([3, 4]))
+        assert uops == 2 * 5 + 7 * 10
+        assert stalls == 2 * 1 + 7 * 2
+
+    def test_default_calibration_scale(self):
+        """247 tries with the default model land near the paper's Fig 9
+        latencies: A ~12.8 us, C ~5.9 us at 3 GHz."""
+        cm = TrieCostModel()
+        for depth, low, high in ((9, 11.5, 14.0), (3, 5.0, 7.0)):
+            visits = np.full(247, depth, dtype=np.int64)
+            uops, stalls = cm.chunk_cost(visits)
+            cycles = -(-uops // 4) + stalls
+            us = cycles / 3000
+            assert low < us < high

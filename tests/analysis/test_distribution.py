@@ -1,0 +1,68 @@
+"""Tests for latency-distribution statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.distribution import LatencyStats, latency_stats, text_histogram
+from repro.errors import TraceError
+
+
+class TestLatencyStats:
+    def test_basic_statistics(self):
+        s = latency_stats([10.0] * 99 + [1000.0])
+        assert s.n == 100
+        assert s.p50 == 10.0
+        assert s.max_value == 1000.0
+        assert s.mean == pytest.approx(19.9)
+
+    def test_tail_ratios(self):
+        vals = [10.0] * 98 + [500.0, 600.0]
+        s = latency_stats(vals)
+        assert s.p99_over_mean > 5
+        assert s.std_over_mean > 1
+
+    def test_percentile_ordering(self):
+        rng = np.random.default_rng(0)
+        s = latency_stats(rng.lognormal(3, 1, 500))
+        assert s.p50 <= s.p90 <= s.p99 <= s.p999 <= s.max_value
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            latency_stats([1.0])
+        with pytest.raises(TraceError):
+            latency_stats([1.0, -2.0])
+
+    def test_matches_dbpool_summary(self):
+        """The shared implementation agrees with the workload's own."""
+        from repro.machine.machine import Machine
+        from repro.runtime.scheduler import Scheduler
+        from repro.workloads.dbpool import DBPoolApp, DBPoolConfig
+
+        app = DBPoolApp(DBPoolConfig(n_queries=150))
+        Scheduler(Machine(n_cores=4), app.threads()).run()
+        ours = latency_stats(app.latencies_us())
+        theirs = app.latency_summary()
+        assert ours.mean == pytest.approx(theirs["mean_us"])
+        assert ours.std == pytest.approx(theirs["std_us"])
+        assert ours.p99 == pytest.approx(theirs["p99_us"])
+
+
+class TestHistogram:
+    def test_bars_scale_with_counts(self):
+        out = text_histogram([1] * 90 + [10] * 10, bins=2, width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 1
+
+    def test_log_bins_resolve_tails(self):
+        vals = [1.0] * 900 + list(np.linspace(10, 1000, 100))
+        out = text_histogram(vals, bins=8, log=True)
+        assert len(out.splitlines()) == 8
+
+    def test_degenerate_cases(self):
+        assert "(no data)" in text_histogram([])
+        assert "all 3 values" in text_histogram([5, 5, 5])
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            text_histogram([1, 2], bins=0)

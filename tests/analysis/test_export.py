@@ -1,0 +1,92 @@
+"""Tests for trace-event JSON and CSV export."""
+
+import json
+
+import pytest
+
+from repro import trace
+from repro.analysis.export import to_chrome_trace, to_csv, write_chrome_trace
+from repro.errors import TraceError
+from repro.workloads.sampleapp import SampleApp
+
+
+@pytest.fixture(scope="module")
+def session_and_app():
+    app = SampleApp()
+    return trace(app, reset_value=8000), app
+
+
+class TestChromeTrace:
+    def test_structure(self, session_and_app):
+        session, app = session_and_app
+        t = session.trace_for(SampleApp.WORKER_CORE)
+        doc = to_chrome_trace({1: t})
+        assert "traceEvents" in doc
+        kinds = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X"} <= kinds
+
+    def test_item_events_cover_all_queries(self, session_and_app):
+        session, app = session_and_app
+        t = session.trace_for(SampleApp.WORKER_CORE)
+        doc = to_chrome_trace({1: t})
+        items = [
+            e["args"]["item_id"]
+            for e in doc["traceEvents"]
+            if e.get("cat") == "item"
+        ]
+        assert sorted(items) == list(range(1, 11))
+
+    def test_function_events_nested_inside_items(self, session_and_app):
+        session, app = session_and_app
+        t = session.trace_for(SampleApp.WORKER_CORE)
+        doc = to_chrome_trace({1: t})
+        by_item = {}
+        for e in doc["traceEvents"]:
+            if e.get("cat") == "item":
+                by_item[e["args"]["item_id"]] = (e["ts"], e["ts"] + e["dur"])
+        for e in doc["traceEvents"]:
+            if e.get("cat") == "function":
+                lo, hi = by_item[e["args"]["item_id"]]
+                assert lo <= e["ts"] and e["ts"] + e["dur"] <= hi + 1e-9
+
+    def test_sample_instants_included_when_given(self, session_and_app):
+        session, app = session_and_app
+        t = session.trace_for(SampleApp.WORKER_CORE)
+        s = session.units[SampleApp.WORKER_CORE].finalize()
+        doc = to_chrome_trace({1: t}, {1: s})
+        instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(s)
+
+    def test_timestamps_in_microseconds(self, session_and_app):
+        session, app = session_and_app
+        t = session.trace_for(SampleApp.WORKER_CORE)
+        doc = to_chrome_trace({1: t}, freq_ghz=3.0)
+        first_item = next(e for e in doc["traceEvents"] if e.get("cat") == "item")
+        window_cycles = t.item_window_cycles(first_item["args"]["item_id"])
+        assert first_item["dur"] == pytest.approx(window_cycles / 3000.0)
+
+    def test_json_serialisable_roundtrip(self, session_and_app, tmp_path):
+        session, app = session_and_app
+        t = session.trace_for(SampleApp.WORKER_CORE)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, {1: t})
+        loaded = json.loads(path.read_text())
+        assert loaded["traceEvents"]
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            to_chrome_trace({})
+
+
+class TestCSV:
+    def test_header_and_rows(self, session_and_app):
+        session, app = session_and_app
+        t = session.trace_for(SampleApp.WORKER_CORE)
+        csv = to_csv(t)
+        lines = csv.strip().splitlines()
+        assert lines[0] == "item_id,function,n_samples,elapsed_us,window_us"
+        assert len(lines) > 5
+        # Query 1's f3 row exists with a plausible magnitude.
+        row = next(l for l in lines if l.startswith("1,f3_compute"))
+        elapsed = float(row.split(",")[3])
+        assert 10.0 < elapsed < 30.0

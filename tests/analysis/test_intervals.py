@@ -1,0 +1,49 @@
+"""Tests for sample-interval statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.intervals import interval_stats
+from repro.errors import TraceError
+from repro.machine.pebs import SampleArrays
+
+
+def samples_from_ts(ts) -> SampleArrays:
+    ts = np.asarray(ts, dtype=np.int64)
+    return SampleArrays(ts=ts, ip=np.zeros_like(ts), tag=np.full_like(ts, -1))
+
+
+class TestIntervalStats:
+    def test_uniform_intervals(self):
+        s = interval_stats(samples_from_ts(range(0, 1000, 100)))
+        assert s.mean_cycles == 100.0
+        assert s.median_cycles == 100.0
+        assert s.min_cycles == s.max_cycles == 100
+
+    def test_mixed_intervals(self):
+        s = interval_stats(samples_from_ts([0, 10, 30, 60]))
+        assert s.mean_cycles == 20.0
+        assert s.min_cycles == 10
+        assert s.max_cycles == 30
+
+    def test_unit_conversion(self):
+        s = interval_stats(samples_from_ts([0, 3000]))
+        assert s.mean_us(3.0) == pytest.approx(1.0)
+        assert s.median_us(3.0) == pytest.approx(1.0)
+
+    def test_percentiles(self):
+        ts = np.cumsum(np.concatenate([np.full(95, 10), np.full(5, 1000)]))
+        s = interval_stats(samples_from_ts(np.concatenate([[0], ts])))
+        assert s.p5_cycles == 10.0
+        assert s.p95_cycles <= 1000.0
+
+    def test_too_few_samples(self):
+        with pytest.raises(TraceError):
+            interval_stats(samples_from_ts([5]))
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(TraceError):
+            interval_stats(samples_from_ts([10, 5, 20]))
+
+    def test_n_samples(self):
+        assert interval_stats(samples_from_ts([0, 1, 2])).n_samples == 3

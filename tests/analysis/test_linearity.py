@@ -1,0 +1,34 @@
+"""Tests for the reset-value linearity fit (Section V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.linearity import fit_interval_linearity
+from repro.errors import ConfigError
+
+
+class TestLinearFit:
+    def test_exact_line_recovered(self):
+        r = np.asarray([8000, 12000, 16000, 20000, 24000])
+        iv = 0.5 * r + 750
+        fit = fit_interval_linearity(r, iv)
+        assert fit.slope == pytest.approx(0.5)
+        assert fit.intercept == pytest.approx(750.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_interval_linearity(np.asarray([1, 2]), np.asarray([10.0, 20.0]))
+        assert fit.predict(3) == pytest.approx(30.0)
+
+    def test_noisy_fit_r2_below_one(self):
+        rng = np.random.default_rng(0)
+        r = np.linspace(1000, 30_000, 30)
+        iv = 0.5 * r + rng.normal(0, 2000, 30)
+        fit = fit_interval_linearity(r, iv)
+        assert 0.8 < fit.r_squared < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            fit_interval_linearity(np.asarray([1]), np.asarray([1.0]))
+        with pytest.raises(ConfigError):
+            fit_interval_linearity(np.asarray([1, 2]), np.asarray([1.0]))

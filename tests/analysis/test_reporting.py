@@ -1,0 +1,48 @@
+"""Tests for plain-text report rendering."""
+
+import pytest
+
+from repro.analysis.reporting import ascii_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert all(len(l) == len(lines[0]) for l in lines[1:])
+
+    def test_title(self):
+        out = format_table(["x"], [["1"]], title="My Table")
+        assert out.splitlines()[0] == "My Table"
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestAsciiSeries:
+    def test_bars_scale(self):
+        out = ascii_series([1, 2], [10.0, 20.0], width=10)
+        lines = out.splitlines()
+        assert lines[0].count("#") == 5
+        assert lines[1].count("#") == 10
+
+    def test_label(self):
+        out = ascii_series([1], [1.0], label="series")
+        assert out.startswith("series:")
+
+    def test_empty(self):
+        assert "(empty)" in ascii_series([], [], label="x")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_series([1], [1.0, 2.0])
+
+    def test_zero_values(self):
+        out = ascii_series([1, 2], [0.0, 0.0])
+        assert "#" not in out

@@ -1,0 +1,76 @@
+"""Tests for the ASCII item timeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeline import render_item_timeline
+from repro.core.records import SwitchRecords
+from repro.core.symbols import SymbolTable
+from repro.errors import TraceError
+from repro.machine.pebs import SampleArrays
+from repro.runtime.actions import SwitchKind
+
+SYMTAB = SymbolTable.from_ranges({"fa": (100, 200), "fb": (200, 300)})
+
+
+def make(sample_points, windows):
+    r = SwitchRecords(0)
+    for item, a, b in windows:
+        r.append(a, item, SwitchKind.ITEM_START)
+        r.append(b, item, SwitchKind.ITEM_END)
+    ts = np.asarray([p[0] for p in sample_points], dtype=np.int64)
+    ip = np.asarray([p[1] for p in sample_points], dtype=np.int64)
+    s = SampleArrays(ts=ts, ip=ip, tag=np.full(len(ts), -1, dtype=np.int64))
+    return s, r
+
+
+class TestTimeline:
+    def test_rows_for_sampled_functions_only(self):
+        s, r = make([(10, 150), (90, 150)], [(1, 0, 100)])
+        out = render_item_timeline(s, r, SYMTAB, 1)
+        assert "fa |" in out
+        assert "fb |" not in out
+
+    def test_marks_at_expected_positions(self):
+        s, r = make([(0, 150), (99, 250)], [(1, 0, 100)])
+        out = render_item_timeline(s, r, SYMTAB, 1, width=10)
+        fa_row = next(l for l in out.splitlines() if "fa |" in l)
+        fb_row = next(l for l in out.splitlines() if "fb |" in l)
+        assert fa_row.split("|")[1][0] == "#"
+        assert fb_row.split("|")[1][-1] == "#"
+
+    def test_unknown_ips_rendered(self):
+        s, r = make([(10, 9999)], [(1, 0, 100)])
+        out = render_item_timeline(s, r, SYMTAB, 1)
+        assert "<unknown>" in out
+        assert "?" in out
+
+    def test_gap_rail_shows_stalls(self):
+        s, r = make([(5, 150), (95, 150)], [(1, 0, 100)])
+        out = render_item_timeline(s, r, SYMTAB, 1, width=20)
+        rail = next(l for l in out.splitlines() if "(no samples)" in l)
+        assert "-" in rail
+
+    def test_header_mentions_span_and_count(self):
+        s, r = make([(10, 150)], [(1, 0, 3000)])
+        out = render_item_timeline(s, r, SYMTAB, 1)
+        assert "1.00 us" in out
+        assert "1 samples" in out
+
+    def test_unknown_item_rejected(self):
+        s, r = make([(10, 150)], [(1, 0, 100)])
+        with pytest.raises(TraceError):
+            render_item_timeline(s, r, SYMTAB, 42)
+
+    def test_narrow_width_rejected(self):
+        s, r = make([(10, 150)], [(1, 0, 100)])
+        with pytest.raises(TraceError):
+            render_item_timeline(s, r, SYMTAB, 1, width=4)
+
+    def test_multi_window_item(self):
+        s, r = make(
+            [(10, 150), (210, 150)],
+            [(1, 0, 100), (2, 100, 200), (1, 200, 300)],
+        )
+        out = render_item_timeline(s, r, SYMTAB, 1)
+        assert "2 residencies" in out

@@ -1,0 +1,32 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.symbols import AddressAllocator
+from repro.machine.config import MachineSpec
+from repro.machine.machine import Machine
+
+#: Default evaluation frequency used throughout assertions (GHz).
+FREQ = 3.0
+
+
+@pytest.fixture
+def spec() -> MachineSpec:
+    return MachineSpec()
+
+
+@pytest.fixture
+def machine(spec: MachineSpec) -> Machine:
+    return Machine(spec=spec, n_cores=2)
+
+
+@pytest.fixture
+def machine_with_caches(spec: MachineSpec) -> Machine:
+    return Machine(spec=spec, n_cores=2, with_caches=True)
+
+
+@pytest.fixture
+def alloc() -> AddressAllocator:
+    return AddressAllocator()

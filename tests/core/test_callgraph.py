@@ -1,0 +1,100 @@
+"""Tests for call-graph guessing (Section V-B2) — including its documented
+false positive."""
+
+import numpy as np
+
+from repro.core.callgraph import guess_call_edges
+from repro.core.records import SwitchRecords
+from repro.core.symbols import SymbolTable
+from repro.machine.pebs import SampleArrays
+from repro.runtime.actions import SwitchKind
+
+SYMTAB = SymbolTable.from_ranges(
+    {"f": (100, 200), "g": (200, 300), "h": (300, 400)}
+)
+
+
+def trace_of(sample_points, window_end=10_000):
+    r = SwitchRecords(0)
+    r.append(0, 1, SwitchKind.ITEM_START)
+    r.append(window_end, 1, SwitchKind.ITEM_END)
+    ts = np.asarray([p[0] for p in sample_points], dtype=np.int64)
+    ip = np.asarray([p[1] for p in sample_points], dtype=np.int64)
+    s = SampleArrays(ts=ts, ip=ip, tag=np.full(len(ts), -1, dtype=np.int64))
+    return s, r
+
+
+class TestGuessing:
+    def test_sandwiched_callee_guessed(self):
+        s, r = trace_of([(10, 150), (20, 150), (30, 250), (40, 250), (50, 150)])
+        guess = guess_call_edges(s, r, SYMTAB)
+        assert guess.edges == {("f", "g"): 1}
+
+    def test_repeated_calls_counted(self):
+        s, r = trace_of(
+            [(10, 150), (20, 250), (30, 150), (40, 250), (50, 150)]
+        )
+        guess = guess_call_edges(s, r, SYMTAB)
+        assert guess.edges[("f", "g")] == 2
+
+    def test_nested_two_levels(self):
+        # f .. g .. h .. g .. f: h guessed under g, g under f.
+        s, r = trace_of(
+            [(10, 150), (20, 250), (30, 350), (40, 250), (50, 150)]
+        )
+        guess = guess_call_edges(s, r, SYMTAB)
+        assert ("g", "h") in guess.edges
+        assert ("f", "g") in guess.edges
+
+    def test_no_edge_for_plain_sequence(self):
+        # f then g, never returning to f: no sandwich, no guess.
+        s, r = trace_of([(10, 150), (20, 150), (30, 250), (40, 250)])
+        guess = guess_call_edges(s, r, SYMTAB)
+        assert guess.edges == {}
+
+    def test_the_paper_false_positive(self):
+        """Section V-B2's warning, encoded: a *sequential* f(); g(); f()
+        at top level is indistinguishable from nesting and is wrongly
+        guessed as f -> g.  This is inherent to stack-less sampling."""
+        s, r = trace_of([(10, 150), (30, 250), (50, 150)])
+        guess = guess_call_edges(s, r, SYMTAB)
+        assert guess.edges == {("f", "g"): 1}  # wrong, and unavoidable
+
+    def test_windows_isolate_items(self):
+        # g at the start of item 2 must not look called-by-f of item 1.
+        r = SwitchRecords(0)
+        r.append(0, 1, SwitchKind.ITEM_START)
+        r.append(100, 1, SwitchKind.ITEM_END)
+        r.append(200, 2, SwitchKind.ITEM_START)
+        r.append(300, 2, SwitchKind.ITEM_END)
+        ts = np.asarray([10, 90, 210, 290], dtype=np.int64)
+        ip = np.asarray([150, 150, 250, 150], dtype=np.int64)
+        s = SampleArrays(ts=ts, ip=ip, tag=np.full(4, -1, dtype=np.int64))
+        guess = guess_call_edges(s, r, SYMTAB)
+        assert guess.edges == {}
+
+    def test_empty_inputs(self):
+        s, r = trace_of([])
+        assert guess_call_edges(s, r, SYMTAB).edges == {}
+
+    def test_as_list_sorted(self):
+        s, r = trace_of(
+            [(10, 150), (20, 250), (30, 150), (40, 250), (50, 150),
+             (60, 350), (70, 150)]
+        )
+        guess = guess_call_edges(s, r, SYMTAB)
+        lst = guess.as_list()
+        assert lst[0].occurrences >= lst[-1].occurrences
+
+    def test_callees_of(self):
+        s, r = trace_of(
+            [(10, 150), (20, 250), (30, 150), (40, 350), (50, 150)]
+        )
+        guess = guess_call_edges(s, r, SYMTAB)
+        assert guess.callees_of("f") == ["g", "h"]
+
+    def test_dot_output(self):
+        s, r = trace_of([(10, 150), (20, 250), (30, 150)])
+        dot = guess_call_edges(s, r, SYMTAB).dot()
+        assert dot.startswith("digraph")
+        assert '"f" -> "g"' in dot

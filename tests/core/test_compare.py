@@ -1,0 +1,80 @@
+"""Tests for the accuracy-comparison utility."""
+
+import pytest
+
+from repro.core.compare import AccuracyReport, PairError, compare_with_truth
+from repro.core.fulltrace import FullInstrumentationTracer
+from repro.core.hybrid import integrate
+from repro.core.instrument import MarkingTracer
+from repro.errors import TraceError
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
+from repro.runtime.scheduler import Scheduler
+from repro.workloads.synth import FixedSequenceApp, uniform_items
+
+US = 3000
+
+
+class TestPairError:
+    def test_abs_and_rel(self):
+        p = PairError(1, "f", estimate_cycles=900, truth_cycles=1000)
+        assert p.abs_error_cycles == 100
+        assert p.rel_error == pytest.approx(-0.1)
+
+    def test_zero_truth(self):
+        assert PairError(1, "f", 0, 0).rel_error == 0.0
+        assert PairError(1, "f", 5, 0).rel_error == float("inf")
+
+
+class TestAccuracyReport:
+    def test_empty(self):
+        rep = AccuracyReport(pairs=[], unestimable=0)
+        assert rep.mean_abs_error_cycles == 0.0
+        assert rep.coverage == 0.0
+
+    def test_coverage(self):
+        rep = AccuracyReport(
+            pairs=[PairError(1, "f", 10, 10)], unestimable=3
+        )
+        assert rep.coverage == 0.25
+
+
+class TestEndToEnd:
+    def build(self, reset):
+        """Same app run twice: once hybrid-traced, once fully instrumented."""
+        app = FixedSequenceApp(uniform_items(10, {"fa": 6 * US, "fb": 18 * US}))
+        machine = Machine(n_cores=1)
+        unit = machine.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, reset))
+        hybrid_tracer = MarkingTracer(app.mark_ip, cost_ns=200.0)
+        Scheduler(machine, app.threads(), tracer=hybrid_tracer).run()
+        trace = integrate(
+            unit.finalize(), hybrid_tracer.records_for_core(0), app.symtab
+        )
+        app2 = FixedSequenceApp(uniform_items(10, {"fa": 6 * US, "fb": 18 * US}))
+        full = FullInstrumentationTracer(app2.mark_ip, cost_ns=0, fn_cost_ns=0)
+        Scheduler(Machine(n_cores=1), app2.threads(), tracer=full).run()
+        truth = full.elapsed_by_item(0)
+        return trace, truth, app.symtab
+
+    def test_small_r_high_coverage_low_error(self):
+        trace, truth, symtab = self.build(reset=2000)
+        rep = compare_with_truth(trace, truth, symtab)
+        assert rep.coverage == 1.0
+        # Within ~40% of unperturbed truth (sampling dilation included).
+        assert abs(rep.mean_rel_error) < 0.4
+
+    def test_large_r_loses_coverage(self):
+        trace, truth, symtab = self.build(reset=40_000)
+        rep = compare_with_truth(trace, truth, symtab)
+        assert rep.unestimable > 0
+
+    def test_unknown_truth_ip_rejected(self):
+        trace, truth, symtab = self.build(reset=2000)
+        with pytest.raises(TraceError):
+            compare_with_truth(trace, {(1, 0xDEAD0000): 5}, symtab)
+
+    def test_negative_item_ignored(self):
+        trace, truth, symtab = self.build(reset=2000)
+        rep = compare_with_truth(trace, {(-1, next(iter(truth))[1]): 5}, symtab)
+        assert rep.n == 0 and rep.unestimable == 0

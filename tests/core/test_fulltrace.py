@@ -1,0 +1,159 @@
+"""Tests for the gprof-style full-instrumentation baseline."""
+
+import pytest
+
+from repro.core.fulltrace import FullInstrumentationTracer
+from repro.errors import TraceError
+from repro.machine.block import Block
+from repro.machine.machine import Machine
+from repro.runtime.actions import Exec, FnEnter, FnLeave, Mark, SwitchKind
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import AppThread
+
+
+def run_app(tracer, body):
+    m = Machine(n_cores=1)
+    Scheduler(m, [AppThread("w", 0, body, 0x1)], tracer=tracer).run()
+    return m
+
+
+class TestFunctionIntervals:
+    def test_simple_pairing(self):
+        tracer = FullInstrumentationTracer(mark_ip=0x5000, cost_ns=0, fn_cost_ns=0)
+
+        def body():
+            yield FnEnter(0xA)
+            yield Exec(Block(ip=0xA, uops=400))
+            yield FnLeave(0xA)
+
+        run_app(tracer, body)
+        ivs = tracer.function_intervals(0)
+        assert len(ivs) == 1
+        assert ivs[0].duration == 100
+
+    def test_recursion_pairs_lifo(self):
+        tracer = FullInstrumentationTracer(mark_ip=0x5000, cost_ns=0, fn_cost_ns=0)
+
+        def body():
+            yield FnEnter(0xA)
+            yield Exec(Block(ip=0xA, uops=400))
+            yield FnEnter(0xA)
+            yield Exec(Block(ip=0xA, uops=400))
+            yield FnLeave(0xA)
+            yield Exec(Block(ip=0xA, uops=400))
+            yield FnLeave(0xA)
+
+        run_app(tracer, body)
+        ivs = tracer.function_intervals(0)
+        durations = sorted(iv.duration for iv in ivs)
+        assert durations == [100, 300]
+
+    def test_unbalanced_exit_rejected(self):
+        tracer = FullInstrumentationTracer(mark_ip=0x5000, cost_ns=0, fn_cost_ns=0)
+
+        def body():
+            yield FnLeave(0xA)
+
+        run_app(tracer, body)
+        with pytest.raises(TraceError, match="without entry"):
+            tracer.function_intervals(0)
+
+    def test_dangling_entry_rejected(self):
+        tracer = FullInstrumentationTracer(mark_ip=0x5000, cost_ns=0, fn_cost_ns=0)
+
+        def body():
+            yield FnEnter(0xA)
+
+        run_app(tracer, body)
+        with pytest.raises(TraceError, match="never exited"):
+            tracer.function_intervals(0)
+
+
+class TestSelectiveInstrumentation:
+    def test_only_fns_filter(self):
+        tracer = FullInstrumentationTracer(
+            mark_ip=0x5000, cost_ns=0, fn_cost_ns=0, only_fns={0xA}
+        )
+
+        def body():
+            yield FnEnter(0xA)
+            yield FnLeave(0xA)
+            yield FnEnter(0xB)
+            yield FnLeave(0xB)
+
+        run_app(tracer, body)
+        assert {iv.fn_ip for iv in tracer.function_intervals(0)} == {0xA}
+
+    def test_uninstrumented_fn_costs_nothing(self):
+        tracer = FullInstrumentationTracer(
+            mark_ip=0x5000, cost_ns=0, fn_cost_ns=300, only_fns=set()
+        )
+
+        def body():
+            yield FnEnter(0xB)
+            yield FnLeave(0xB)
+
+        m = run_app(tracer, body)
+        assert m.core(0).clock == 0
+
+
+class TestOverheadPerturbation:
+    def test_instrumentation_inflates_runtime(self):
+        """The paper's core motivation: per-function marking at ns-scale
+        costs is heavy when functions take ~1 us."""
+
+        def body():
+            for _ in range(100):
+                yield FnEnter(0xA)
+                yield Exec(Block(ip=0xA, uops=1200))  # 300 cycles = 100 ns
+                yield FnLeave(0xA)
+
+        plain = run_app(FullInstrumentationTracer(0x5000, cost_ns=0, fn_cost_ns=0), body)
+        heavy = run_app(FullInstrumentationTracer(0x5000, cost_ns=0, fn_cost_ns=200), body)
+        inflation = heavy.core(0).clock / plain.core(0).clock
+        assert inflation > 4.0  # 2 x 200ns of marking per 100ns of work
+
+
+class TestElapsedByItem:
+    def test_per_item_per_fn_truth(self):
+        tracer = FullInstrumentationTracer(mark_ip=0x5000, cost_ns=0, fn_cost_ns=0)
+
+        def body():
+            for item, uops in ((1, 400), (2, 1200)):
+                yield Mark(SwitchKind.ITEM_START, item)
+                yield FnEnter(0xA)
+                yield Exec(Block(ip=0xA, uops=uops))
+                yield FnLeave(0xA)
+                yield Mark(SwitchKind.ITEM_END, item)
+
+        run_app(tracer, body)
+        eb = tracer.elapsed_by_item(0)
+        assert eb[(1, 0xA)] == 100
+        assert eb[(2, 0xA)] == 300
+
+    def test_repeated_call_sums(self):
+        tracer = FullInstrumentationTracer(mark_ip=0x5000, cost_ns=0, fn_cost_ns=0)
+
+        def body():
+            yield Mark(SwitchKind.ITEM_START, 1)
+            for _ in range(3):
+                yield FnEnter(0xA)
+                yield Exec(Block(ip=0xA, uops=400))
+                yield FnLeave(0xA)
+            yield Mark(SwitchKind.ITEM_END, 1)
+
+        run_app(tracer, body)
+        assert tracer.elapsed_by_item(0)[(1, 0xA)] == 300
+
+    def test_interval_outside_windows_is_item_minus_one(self):
+        tracer = FullInstrumentationTracer(mark_ip=0x5000, cost_ns=0, fn_cost_ns=0)
+
+        def body():
+            yield FnEnter(0xA)
+            yield Exec(Block(ip=0xA, uops=400))
+            yield FnLeave(0xA)
+            yield Mark(SwitchKind.ITEM_START, 1)
+            yield Mark(SwitchKind.ITEM_END, 1)
+
+        run_app(tracer, body)
+        assert (-1, 0xA) in tracer.elapsed_by_item(0)

@@ -1,0 +1,170 @@
+"""Tests for the coarse marking instrumentation."""
+
+import pytest
+
+from repro.core.instrument import SWITCH_RECORD_BYTES, MarkingTracer
+from repro.core.records import build_windows
+from repro.machine.block import Block
+from repro.machine.machine import Machine
+from repro.runtime.actions import Exec, FnEnter, FnLeave, Mark, SwitchKind
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import AppThread
+
+
+def run_marked(tracer, n_items=3, work_uops=4000):
+    m = Machine(n_cores=1)
+
+    def body():
+        for i in range(1, n_items + 1):
+            yield Mark(SwitchKind.ITEM_START, i)
+            yield FnEnter(0xAA)
+            yield Exec(Block(ip=0xAA, uops=work_uops))
+            yield FnLeave(0xAA)
+            yield Mark(SwitchKind.ITEM_END, i)
+
+    Scheduler(m, [AppThread("w", 0, body, 0x1)], tracer=tracer).run()
+    return m
+
+
+class TestMarkingTracer:
+    def test_two_marks_per_item(self):
+        tracer = MarkingTracer(mark_ip=0x5000)
+        run_marked(tracer, n_items=5)
+        assert tracer.calls == 10
+        assert len(tracer.records_for_core(0)) == 10
+
+    def test_windows_reconstruct(self):
+        tracer = MarkingTracer(mark_ip=0x5000)
+        run_marked(tracer, n_items=3, work_uops=4000)
+        windows = build_windows(tracer.records_for_core(0))
+        assert [w.item_id for w in windows] == [1, 2, 3]
+        # Each window covers the work (1000 cycles) plus the start-mark cost.
+        for w in windows:
+            assert w.duration >= 1000
+
+    def test_cost_charged_per_mark(self):
+        free = MarkingTracer(mark_ip=0x5000, cost_ns=0.0)
+        m_free = run_marked(free, n_items=2)
+        paid = MarkingTracer(mark_ip=0x5000, cost_ns=200.0)
+        m_paid = run_marked(paid, n_items=2)
+        # 4 marks at 600 cycles each.
+        assert m_paid.core(0).clock - m_free.core(0).clock == 4 * 600
+
+    def test_fn_markers_free_under_hybrid(self):
+        tracer = MarkingTracer(mark_ip=0x5000, cost_ns=0.0)
+        m = run_marked(tracer, n_items=1)
+        assert m.core(0).clock == 1000  # only the exec block
+
+    def test_timestamp_recorded_before_cost(self):
+        tracer = MarkingTracer(mark_ip=0x5000, cost_ns=200.0)
+        run_marked(tracer, n_items=1, work_uops=4000)
+        r = tracer.records_for_core(0)
+        # START logged at t=0 (before its 600-cycle cost), END at 600+1000.
+        assert r.ts.tolist() == [0, 1600]
+
+    def test_bytes_logged(self):
+        tracer = MarkingTracer(mark_ip=0x5000)
+        run_marked(tracer, n_items=4)
+        assert tracer.bytes_logged == 8 * SWITCH_RECORD_BYTES
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            MarkingTracer(mark_ip=0, cost_ns=-1.0)
+
+    def test_per_core_records_separated(self):
+        tracer = MarkingTracer(mark_ip=0x5000, cost_ns=0.0)
+        m = Machine(n_cores=2)
+
+        def body(item):
+            def gen():
+                yield Mark(SwitchKind.ITEM_START, item)
+                yield Mark(SwitchKind.ITEM_END, item)
+
+            return gen
+
+        threads = [
+            AppThread("a", 0, body(1), 0),
+            AppThread("b", 1, body(2), 0),
+        ]
+        Scheduler(m, threads, tracer=tracer).run()
+        assert tracer.records_for_core(0).item.tolist() == [1, 1]
+        assert tracer.records_for_core(1).item.tolist() == [2, 2]
+
+    def test_samples_can_land_in_marking_function(self):
+        from repro.machine.events import HWEvent
+        from repro.machine.pebs import PEBSConfig
+
+        tracer = MarkingTracer(mark_ip=0x5000, cost_ns=500.0)
+        m = Machine(n_cores=1)
+        unit = m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 900))
+
+        def body():
+            for i in range(20):
+                yield Mark(SwitchKind.ITEM_START, i)
+                yield Exec(Block(ip=0xAA, uops=2000))
+                yield Mark(SwitchKind.ITEM_END, i)
+
+        Scheduler(m, [AppThread("w", 0, body, 0x1)], tracer=tracer).run()
+        assert 0x5000 in set(unit.finalize().ip.tolist())
+
+
+class TestBufferedMarking:
+    """Section III-E: store marks to memory, dump periodically."""
+
+    def test_dump_every_n_calls(self):
+        tracer = MarkingTracer(
+            mark_ip=0x5000, cost_ns=20.0, buffer_records=4, dump_cost_ns=2000.0
+        )
+        run_marked(tracer, n_items=10)  # 20 marking calls -> 5 dumps
+        assert tracer.dumps == 5
+
+    def test_buffered_mode_is_cheaper_than_direct_ssd(self):
+        direct = MarkingTracer(mark_ip=0x5000, cost_ns=200.0)
+        m_direct = run_marked(direct, n_items=50)
+        buffered = MarkingTracer(
+            mark_ip=0x5000, cost_ns=20.0, buffer_records=64, dump_cost_ns=2000.0
+        )
+        m_buffered = run_marked(buffered, n_items=50)
+        assert m_buffered.core(0).clock < m_direct.core(0).clock
+
+    def test_records_identical_either_way(self):
+        direct = MarkingTracer(mark_ip=0x5000, cost_ns=0.0)
+        run_marked(direct, n_items=5)
+        buffered = MarkingTracer(
+            mark_ip=0x5000, cost_ns=0.0, buffer_records=3, dump_cost_ns=0.0
+        )
+        run_marked(buffered, n_items=5)
+        assert direct.records_for_core(0).item.tolist() == (
+            buffered.records_for_core(0).item.tolist()
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MarkingTracer(0, buffer_records=0)
+        with pytest.raises(ValueError):
+            MarkingTracer(0, dump_cost_ns=-1.0)
+
+    def test_per_core_buffers_independent(self):
+        from repro.machine.machine import Machine
+        from repro.runtime.scheduler import Scheduler
+        from repro.runtime.thread import AppThread
+
+        tracer = MarkingTracer(
+            mark_ip=0x5000, cost_ns=0.0, buffer_records=2, dump_cost_ns=100.0
+        )
+        m = Machine(n_cores=2)
+
+        def body(item):
+            def gen():
+                yield Mark(SwitchKind.ITEM_START, item)
+                yield Mark(SwitchKind.ITEM_END, item)
+
+            return gen
+
+        Scheduler(
+            m,
+            [AppThread("a", 0, body(1), 0), AppThread("b", 1, body(2), 0)],
+            tracer=tracer,
+        ).run()
+        # Each core hit its own 2-record buffer exactly once.
+        assert tracer.dumps == 2

@@ -1,0 +1,95 @@
+"""Tests for best-effort window pairing under lossy marking."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import SwitchRecords, build_windows, build_windows_lenient
+from repro.runtime.actions import SwitchKind
+
+S, E = SwitchKind.ITEM_START, SwitchKind.ITEM_END
+
+
+def recs(events) -> SwitchRecords:
+    r = SwitchRecords(0)
+    for ts, item, kind in events:
+        r.append(ts, item, kind)
+    return r
+
+
+class TestLenientPolicy:
+    def test_clean_log_identical_to_strict(self):
+        events = [(0, 1, S), (10, 1, E), (20, 2, S), (35, 2, E)]
+        strict = build_windows(recs(events))
+        lenient, dropped = build_windows_lenient(recs(events))
+        assert lenient == strict
+        assert dropped == 0
+
+    def test_lost_end_drops_item(self):
+        events = [(0, 1, S), (20, 2, S), (35, 2, E)]
+        windows, dropped = build_windows_lenient(recs(events))
+        assert [w.item_id for w in windows] == [2]
+        assert dropped == 1
+
+    def test_lost_start_drops_end(self):
+        events = [(10, 1, E), (20, 2, S), (35, 2, E)]
+        windows, dropped = build_windows_lenient(recs(events))
+        assert [w.item_id for w in windows] == [2]
+        assert dropped == 1
+
+    def test_mismatched_end_drops_both(self):
+        events = [(0, 1, S), (10, 2, E), (20, 3, S), (30, 3, E)]
+        windows, dropped = build_windows_lenient(recs(events))
+        assert [w.item_id for w in windows] == [3]
+        assert dropped == 2
+
+    def test_dangling_start_dropped(self):
+        windows, dropped = build_windows_lenient(recs([(0, 1, S)]))
+        assert windows == []
+        assert dropped == 1
+
+    def test_empty_log(self):
+        windows, dropped = build_windows_lenient(recs([]))
+        assert windows == [] and dropped == 0
+
+
+@st.composite
+def lossy_log(draw):
+    """A valid mark log with a random subset of records deleted."""
+    n_items = draw(st.integers(min_value=1, max_value=12))
+    events = []
+    t = 0
+    truth = {}
+    for item in range(1, n_items + 1):
+        gap = draw(st.integers(min_value=0, max_value=10))
+        dur = draw(st.integers(min_value=0, max_value=50))
+        start = t + gap
+        end = start + dur
+        events.append((start, item, S))
+        events.append((end, item, E))
+        truth[item] = (start, end)
+        t = end
+    keep = [draw(st.booleans()) for _ in events]
+    kept = [e for e, k in zip(events, keep) if k]
+    return kept, truth, len(events) - len(kept)
+
+
+class TestLossyProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(data=lossy_log())
+    def test_never_raises_and_windows_are_true_pairs(self, data):
+        kept, truth, _ = data
+        windows, dropped = build_windows_lenient(recs(kept))
+        for w in windows:
+            # Every produced window matches the item's true boundaries.
+            assert truth[w.item_id] == (w.t_start, w.t_end)
+        # Windows stay disjoint and ordered.
+        for a, b in zip(windows, windows[1:]):
+            assert a.t_end <= b.t_start
+
+    @settings(max_examples=200, deadline=None)
+    @given(data=lossy_log())
+    def test_accounting_covers_all_marks(self, data):
+        kept, _, _ = data
+        windows, dropped = build_windows_lenient(recs(kept))
+        # Every kept mark is either part of a window or counted dropped.
+        assert 2 * len(windows) + dropped == len(kept)

@@ -1,0 +1,70 @@
+"""Tests for merging per-core traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.hybrid import integrate, merge_traces
+from repro.core.records import SwitchRecords
+from repro.core.symbols import SymbolTable
+from repro.errors import IntegrationError
+from repro.machine.pebs import SampleArrays
+from repro.runtime.actions import SwitchKind
+
+SYMTAB = SymbolTable.from_ranges({"f": (100, 200), "g": (200, 300)})
+
+
+def one_core_trace(core_id, items):
+    """items: [(item_id, start, end, fn_ip)] — two samples per item."""
+    r = SwitchRecords(core_id)
+    entries = []
+    for item, a, b, ip in items:
+        r.append(a, item, SwitchKind.ITEM_START)
+        r.append(b, item, SwitchKind.ITEM_END)
+        entries += [(a + 1, ip), (b - 1, ip)]
+    ts = np.asarray([e[0] for e in entries], dtype=np.int64)
+    ip = np.asarray([e[1] for e in entries], dtype=np.int64)
+    order = np.argsort(ts)
+    s = SampleArrays(ts=ts[order], ip=ip[order], tag=np.full(len(ts), -1, dtype=np.int64))
+    return integrate(s, r, SYMTAB)
+
+
+class TestMergeTraces:
+    def test_disjoint_items_concatenate(self):
+        t0 = one_core_trace(0, [(1, 0, 100, 150)])
+        t1 = one_core_trace(1, [(2, 0, 200, 150)])
+        merged = merge_traces([t0, t1])
+        assert merged.items() == [1, 2]
+        assert merged.elapsed_cycles(1, "f") == 98
+        assert merged.elapsed_cycles(2, "f") == 198
+
+    def test_same_item_across_cores_sums(self):
+        t0 = one_core_trace(0, [(1, 0, 100, 150)])
+        t1 = one_core_trace(1, [(1, 500, 600, 150)])
+        merged = merge_traces([t0, t1])
+        assert merged.elapsed_cycles(1, "f") == 98 + 98
+        assert merged.estimate(1, "f").n_samples == 4
+        assert merged.item_window_cycles(1) == 200
+
+    def test_counters_summed(self):
+        t0 = one_core_trace(0, [(1, 0, 100, 150)])
+        t1 = one_core_trace(1, [(2, 0, 100, 150)])
+        merged = merge_traces([t0, t1])
+        assert merged.total_samples == t0.total_samples + t1.total_samples
+
+    def test_single_trace_identity(self):
+        t0 = one_core_trace(0, [(1, 0, 100, 150), (2, 200, 400, 250)])
+        merged = merge_traces([t0])
+        assert merged.breakdown(1) == t0.breakdown(1)
+        assert merged.breakdown(2) == t0.breakdown(2)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(IntegrationError):
+            merge_traces([])
+
+    def test_mismatched_symtabs_rejected(self):
+        other = SymbolTable.from_ranges({"x": (0, 10)})
+        t0 = one_core_trace(0, [(1, 0, 100, 150)])
+        t1 = one_core_trace(1, [(2, 0, 100, 150)])
+        t1.symtab = other
+        with pytest.raises(IntegrationError):
+            merge_traces([t0, t1])

@@ -1,0 +1,91 @@
+"""Tests for the overhead model and reset-value selection (Section V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.core.overhead import (
+    OverheadModel,
+    expected_sample_interval_cycles,
+    reset_value_for_budget,
+)
+from repro.errors import ConfigError
+
+
+class TestOverheadModel:
+    def test_fit_recovers_linear_relation(self):
+        n = np.asarray([100, 200, 400, 800, 1600])
+        y = 750.0 * n + 5000.0
+        model = OverheadModel.fit(n, y)
+        assert model.per_sample_cycles == pytest.approx(750.0)
+        assert model.fixed_cycles == pytest.approx(5000.0, abs=1.0)
+        assert model.residual_rms == pytest.approx(0.0, abs=1e-6)
+
+    def test_predict(self):
+        model = OverheadModel.fit(
+            np.asarray([0, 1000]), np.asarray([0.0, 750_000.0])
+        )
+        assert model.predict_extra_cycles(500) == pytest.approx(375_000.0)
+
+    def test_r_squared_perfect(self):
+        n = np.asarray([1, 2, 3, 4])
+        y = 2.0 * n
+        model = OverheadModel.fit(n, y)
+        assert model.r_squared(n, y) == pytest.approx(1.0)
+
+    def test_r_squared_noisy_lower(self):
+        rng = np.random.default_rng(1)
+        n = np.linspace(100, 1000, 20)
+        y = 750 * n + rng.normal(0, 50_000, 20)
+        model = OverheadModel.fit(n, y)
+        assert 0.5 < model.r_squared(n, y) <= 1.0
+
+    def test_unfitted_predict_rejected(self):
+        with pytest.raises(ConfigError):
+            OverheadModel().predict_extra_cycles(10)
+
+    def test_fit_needs_two_points(self):
+        with pytest.raises(ConfigError):
+            OverheadModel.fit(np.asarray([1]), np.asarray([2.0]))
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ConfigError):
+            OverheadModel.fit(np.asarray([1, 2]), np.asarray([1.0]))
+
+
+class TestResetValueForBudget:
+    def test_formula(self):
+        # 2 events/cycle, 750 cycles/sample, 5% budget -> R >= 30_000.
+        assert reset_value_for_budget(2.0, 750.0, 0.05) == 30_000
+
+    def test_budget_met(self):
+        rate, cost = 2.5, 750.0
+        for budget in (0.01, 0.05, 0.2):
+            r = reset_value_for_budget(rate, cost, budget)
+            overhead = rate * cost / r
+            assert overhead <= budget * 1.001
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            reset_value_for_budget(0, 750, 0.05)
+        with pytest.raises(ConfigError):
+            reset_value_for_budget(1, 0, 0.05)
+        with pytest.raises(ConfigError):
+            reset_value_for_budget(1, 750, 1.5)
+
+
+class TestExpectedInterval:
+    def test_linear_in_reset_value(self):
+        a = expected_sample_interval_cycles(8000, 2.0)
+        b = expected_sample_interval_cycles(16000, 2.0)
+        assert b == pytest.approx(2 * a)
+
+    def test_per_sample_cost_added(self):
+        base = expected_sample_interval_cycles(8000, 2.0)
+        with_cost = expected_sample_interval_cycles(8000, 2.0, per_sample_cycles=750)
+        assert with_cost == base + 750
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            expected_sample_interval_cycles(0, 1.0)
+        with pytest.raises(ConfigError):
+            expected_sample_interval_cycles(100, 0.0)

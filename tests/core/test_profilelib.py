@@ -1,0 +1,83 @@
+"""Tests for profile construction (the averaged view of Fig 1 / V-B1)."""
+
+import numpy as np
+
+from repro.core.profilelib import build_profile, profile_from_trace
+from repro.core.symbols import SymbolTable
+from repro.machine.pebs import SampleArrays
+
+SYMTAB = SymbolTable.from_ranges({"a": (0, 100), "b": (100, 200), "c": (200, 300)})
+
+
+def samples_at(ips) -> SampleArrays:
+    n = len(ips)
+    return SampleArrays(
+        ts=np.arange(n, dtype=np.int64) * 100,
+        ip=np.asarray(ips, dtype=np.int64),
+        tag=np.full(n, -1, dtype=np.int64),
+    )
+
+
+class TestBuildProfile:
+    def test_t_n_over_capital_n_estimator(self):
+        # 4 samples: 2 in a, 1 in b, 1 in c; T = 1000.
+        prof = build_profile(samples_at([50, 50, 150, 250]), SYMTAB, total_cycles=1000)
+        by_name = {r.name: r for r in prof}
+        assert by_name["a"].est_cycles == 500.0
+        assert by_name["b"].est_cycles == 250.0
+        assert by_name["a"].fraction == 0.5
+
+    def test_sorted_descending(self):
+        prof = build_profile(samples_at([150, 150, 50]), SYMTAB, total_cycles=300)
+        assert [r.name for r in prof] == ["b", "a"]
+
+    def test_unknown_ips_count_in_total(self):
+        # A sample outside every symbol still counts toward N.
+        prof = build_profile(samples_at([50, 9999]), SYMTAB, total_cycles=100)
+        assert prof[0].fraction == 0.5
+
+    def test_zero_count_functions_omitted(self):
+        prof = build_profile(samples_at([50]), SYMTAB, total_cycles=100)
+        assert [r.name for r in prof] == ["a"]
+
+    def test_empty_samples(self):
+        assert build_profile(samples_at([]), SYMTAB, total_cycles=100) == []
+
+    def test_profile_estimates_sub_interval_functions(self):
+        """V-B1: a profile can estimate functions shorter than the sample
+        interval because it averages over many executions."""
+        # b gets 1 sample out of 100 -> est 1% of T even though a single
+        # execution of b would never catch 2 samples.
+        ips = [50] * 99 + [150]
+        prof = build_profile(samples_at(ips), SYMTAB, total_cycles=10_000)
+        by_name = {r.name: r for r in prof}
+        assert by_name["b"].est_cycles == 100.0
+
+
+class TestProfileFromTrace:
+    def test_sums_over_items_and_hides_fluctuation(self):
+        """Fig 1's point: the profile cannot distinguish one slow item."""
+        from repro.core.hybrid import integrate
+        from repro.core.records import SwitchRecords
+        from repro.runtime.actions import SwitchKind
+
+        r = SwitchRecords(0)
+        # Item 1: a takes 900; item 2: a takes 100.
+        for ts, item, kind in [
+            (0, 1, SwitchKind.ITEM_START),
+            (1000, 1, SwitchKind.ITEM_END),
+            (1000, 2, SwitchKind.ITEM_START),
+            (1200, 2, SwitchKind.ITEM_END),
+        ]:
+            r.append(ts, item, kind)
+        s = SampleArrays(
+            ts=np.asarray([50, 950, 1050, 1150], dtype=np.int64),
+            ip=np.asarray([50, 50, 50, 50], dtype=np.int64),
+            tag=np.full(4, -1, dtype=np.int64),
+        )
+        trace = integrate(s, r, SYMTAB)
+        prof = profile_from_trace(trace)
+        assert prof == {"a": 1000}  # 900 + 100, fluctuation invisible
+        # ... while the trace preserves it:
+        assert trace.elapsed_cycles(1, "a") == 900
+        assert trace.elapsed_cycles(2, "a") == 100

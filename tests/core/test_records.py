@@ -1,0 +1,84 @@
+"""Tests for switch records and window construction."""
+
+import pytest
+
+from repro.core.records import ItemWindow, SwitchRecords, build_windows, windows_as_arrays
+from repro.errors import TraceError
+from repro.runtime.actions import SwitchKind
+
+
+def recs(*events) -> SwitchRecords:
+    r = SwitchRecords(core_id=0)
+    for ts, item, kind in events:
+        r.append(ts, item, kind)
+    return r
+
+
+S, E = SwitchKind.ITEM_START, SwitchKind.ITEM_END
+
+
+class TestItemWindow:
+    def test_duration(self):
+        assert ItemWindow(1, 10, 25).duration == 15
+
+    def test_inverted_window_rejected(self):
+        with pytest.raises(TraceError):
+            ItemWindow(1, 25, 10)
+
+    def test_zero_length_allowed(self):
+        assert ItemWindow(1, 10, 10).duration == 0
+
+
+class TestBuildWindows:
+    def test_simple_pairing(self):
+        w = build_windows(recs((10, 1, S), (20, 1, E), (30, 2, S), (45, 2, E)))
+        assert [(x.item_id, x.t_start, x.t_end) for x in w] == [(1, 10, 20), (2, 30, 45)]
+
+    def test_empty_log(self):
+        assert build_windows(recs()) == []
+
+    def test_nested_start_rejected(self):
+        with pytest.raises(TraceError, match="still open"):
+            build_windows(recs((10, 1, S), (15, 2, S)))
+
+    def test_end_without_start_rejected(self):
+        with pytest.raises(TraceError, match="no open item"):
+            build_windows(recs((10, 1, E)))
+
+    def test_mismatched_end_rejected(self):
+        with pytest.raises(TraceError, match="was open"):
+            build_windows(recs((10, 1, S), (20, 2, E)))
+
+    def test_dangling_start_rejected(self):
+        with pytest.raises(TraceError, match="never ended"):
+            build_windows(recs((10, 1, S)))
+
+    def test_same_item_multiple_windows(self):
+        # Timer-switching: one item, several residencies.
+        w = build_windows(recs((0, 1, S), (10, 1, E), (20, 1, S), (30, 1, E)))
+        assert len(w) == 2
+        assert all(x.item_id == 1 for x in w)
+
+
+class TestWindowsAsArrays:
+    def test_columns_sorted(self):
+        w = [ItemWindow(2, 30, 40), ItemWindow(1, 0, 10)]
+        starts, ends, items = windows_as_arrays(w)
+        assert starts.tolist() == [0, 30]
+        assert items.tolist() == [1, 2]
+
+    def test_overlap_detected(self):
+        w = [ItemWindow(1, 0, 20), ItemWindow(2, 10, 30)]
+        with pytest.raises(TraceError, match="overlap"):
+            windows_as_arrays(w)
+
+    def test_empty(self):
+        starts, ends, items = windows_as_arrays([])
+        assert starts.shape == (0,)
+
+    def test_records_column_access(self):
+        r = recs((10, 1, S), (20, 1, E))
+        assert r.ts.tolist() == [10, 20]
+        assert r.item.tolist() == [1, 1]
+        assert r.kinds == [S, E]
+        assert len(r) == 2

@@ -1,0 +1,99 @@
+"""Tests for register-tag based integration (Section V-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.registertag import integrate_by_tag
+from repro.core.symbols import SymbolTable
+from repro.errors import IntegrationError
+from repro.machine.pebs import TAG_NONE, SampleArrays
+
+SYMTAB = SymbolTable.from_ranges({"f": (100, 200), "g": (200, 300)})
+
+
+def samples(entries) -> SampleArrays:
+    ts = np.asarray([e[0] for e in entries], dtype=np.int64)
+    ip = np.asarray([e[1] for e in entries], dtype=np.int64)
+    tag = np.asarray([e[2] for e in entries], dtype=np.int64)
+    return SampleArrays(ts=ts, ip=ip, tag=tag)
+
+
+class TestTagIntegration:
+    def test_basic_grouping(self):
+        t = integrate_by_tag(
+            samples([(0, 150, 1), (100, 150, 1), (200, 150, 2), (260, 150, 2)]),
+            SYMTAB,
+        )
+        assert t.elapsed_cycles(1, "f") == 100
+        assert t.elapsed_cycles(2, "f") == 60
+
+    def test_untagged_samples_unmapped(self):
+        t = integrate_by_tag(
+            samples([(0, 150, TAG_NONE), (10, 150, 5), (20, 150, 5)]), SYMTAB
+        )
+        assert t.unmapped_samples == 1
+        assert t.elapsed_cycles(5, "f") == 10
+
+    def test_preempted_item_sums_runs_not_span(self):
+        """Item 1 runs 0-100, is preempted while 2 runs 200-300, resumes
+        400-500.  Its elapsed must be 100+100, not 500."""
+        t = integrate_by_tag(
+            samples(
+                [
+                    (0, 150, 1),
+                    (100, 150, 1),
+                    (200, 150, 2),
+                    (300, 150, 2),
+                    (400, 150, 1),
+                    (500, 150, 1),
+                ]
+            ),
+            SYMTAB,
+        )
+        assert t.elapsed_cycles(1, "f") == 200
+        assert t.elapsed_cycles(2, "f") == 100
+
+    def test_windows_inferred_from_runs(self):
+        t = integrate_by_tag(
+            samples([(0, 150, 1), (100, 150, 1), (200, 150, 2), (300, 150, 2)]),
+            SYMTAB,
+        )
+        assert len(t.windows) == 2
+        assert t.item_window_cycles(1) == 100
+
+    def test_unknown_ip_counted(self):
+        t = integrate_by_tag(samples([(0, 9999, 1), (10, 150, 1), (20, 150, 1)]), SYMTAB)
+        assert t.unknown_ip_samples == 1
+
+    def test_per_function_within_item(self):
+        t = integrate_by_tag(
+            samples([(0, 150, 1), (50, 150, 1), (60, 250, 1), (90, 250, 1)]), SYMTAB
+        )
+        bd = t.breakdown(1)
+        assert bd == {"f": 50, "g": 30}
+
+    def test_all_untagged(self):
+        t = integrate_by_tag(samples([(0, 150, TAG_NONE)]), SYMTAB)
+        assert t.items() == []
+        assert t.unmapped_samples == 1
+
+    def test_empty(self):
+        t = integrate_by_tag(samples([]), SYMTAB)
+        assert t.total_samples == 0
+
+    def test_unsorted_rejected(self):
+        bad = SampleArrays(
+            ts=np.asarray([10, 5], dtype=np.int64),
+            ip=np.asarray([150, 150], dtype=np.int64),
+            tag=np.asarray([1, 1], dtype=np.int64),
+        )
+        with pytest.raises(IntegrationError):
+            integrate_by_tag(bad, SYMTAB)
+
+    def test_alternating_single_samples(self):
+        # Runs of length 1: no elapsed estimate but counted.
+        t = integrate_by_tag(
+            samples([(0, 150, 1), (10, 150, 2), (20, 150, 1), (30, 150, 2)]), SYMTAB
+        )
+        assert t.estimate(1, "f").n_samples == 2
+        assert t.elapsed_cycles(1, "f", min_samples=2) == 0  # two runs of max-min 0

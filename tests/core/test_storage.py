@@ -1,0 +1,97 @@
+"""Tests for trace encoding and data-rate accounting (Section IV-C3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.storage import (
+    SAMPLE_DTYPE,
+    DataRateReport,
+    datarate_report,
+    decode_samples,
+    encode_samples,
+)
+from repro.errors import TraceError
+from repro.machine.config import MachineSpec
+from repro.machine.events import HWEvent
+from repro.machine.pebs import PEBSConfig, PEBSUnit, SampleArrays
+
+
+def make_samples(n=10) -> SampleArrays:
+    return SampleArrays(
+        ts=np.arange(n, dtype=np.int64) * 100,
+        ip=np.arange(n, dtype=np.int64) + 0x400000,
+        tag=np.full(n, -1, dtype=np.int64),
+    )
+
+
+class TestEncoding:
+    def test_roundtrip(self):
+        s = make_samples(37)
+        out = decode_samples(encode_samples(s))
+        assert np.array_equal(out.ts, s.ts)
+        assert np.array_equal(out.ip, s.ip)
+        assert np.array_equal(out.tag, s.tag)
+
+    def test_record_size(self):
+        data = encode_samples(make_samples(5))
+        assert len(data) == 5 * SAMPLE_DTYPE.itemsize
+
+    def test_empty_roundtrip(self):
+        out = decode_samples(encode_samples(make_samples(0)))
+        assert len(out) == 0
+
+    def test_truncated_stream_rejected(self):
+        data = encode_samples(make_samples(2))
+        with pytest.raises(TraceError):
+            decode_samples(data[:-3])
+
+
+class TestDataRate:
+    def unit_with_samples(self, n, reset=8000) -> PEBSUnit:
+        spec = MachineSpec()
+        unit = PEBSUnit(PEBSConfig(HWEvent.UOPS_RETIRED_ALL, reset), spec)
+        unit.on_overflows(np.arange(n, dtype=np.int64), 0, -1)
+        return unit
+
+    def test_mb_per_s(self):
+        # 1000 samples of 240 B over 3e6 cycles at 3 GHz = 1 ms -> 240 MB/s.
+        unit = self.unit_with_samples(1000)
+        rep = datarate_report(unit, duration_cycles=3_000_000, freq_ghz=3.0)
+        assert rep.mb_per_s == pytest.approx(240.0)
+
+    def test_16_core_extrapolation(self):
+        unit = self.unit_with_samples(1000)
+        rep = datarate_report(unit, duration_cycles=3_000_000, freq_ghz=3.0)
+        assert rep.per_cpu_gb_s == pytest.approx(240.0 * 16 / 1000)
+
+    def test_memory_bandwidth_fraction(self):
+        # Paper: 4.3 GB/s is < 4% of 127.8 GB/s.
+        unit = self.unit_with_samples(1000)
+        rep = datarate_report(unit, duration_cycles=3_000_000, freq_ghz=3.0)
+        assert rep.mem_bw_fraction == pytest.approx(rep.per_cpu_gb_s / 127.8)
+
+    def test_switch_bytes_accounted(self):
+        unit = self.unit_with_samples(10)
+        rep = datarate_report(
+            unit, duration_cycles=1000, freq_ghz=3.0, switch_records=100
+        )
+        assert rep.switch_bytes == 100 * 16
+
+    def test_invalid_duration(self):
+        unit = self.unit_with_samples(1)
+        with pytest.raises(TraceError):
+            datarate_report(unit, duration_cycles=0, freq_ghz=3.0)
+
+    def test_rate_inverse_in_reset_value(self):
+        """Doubling R halves the sample count for the same run, halving MB/s
+        (the shape of the paper's 270 -> 106 MB/s progression)."""
+        duration = 3_000_000
+        rates = {}
+        for reset in (8000, 16000):
+            spec = MachineSpec()
+            unit = PEBSUnit(PEBSConfig(HWEvent.UOPS_RETIRED_ALL, reset), spec)
+            # Simulate uniform event flow: one overflow per reset*0.5 cycles.
+            n = duration // reset
+            unit.on_overflows(np.arange(n, dtype=np.int64), 0, -1)
+            rates[reset] = datarate_report(unit, duration, 3.0).mb_per_s
+        assert rates[8000] == pytest.approx(2 * rates[16000], rel=0.01)

@@ -1,0 +1,136 @@
+"""Tests for symbol tables and the address allocator."""
+
+import numpy as np
+import pytest
+
+from repro.core.symbols import UNKNOWN, AddressAllocator, FunctionSymbol, SymbolTable
+from repro.errors import SymbolError
+
+
+class TestFunctionSymbol:
+    def test_valid_symbol(self):
+        s = FunctionSymbol("f", 100, 200)
+        assert s.size == 100
+        assert s.contains(100) and s.contains(199)
+        assert not s.contains(200)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SymbolError):
+            FunctionSymbol("", 0, 10)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SymbolError):
+            FunctionSymbol("f", 10, 10)
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(SymbolError):
+            FunctionSymbol("f", 10, 5)
+
+
+class TestSymbolTable:
+    def test_lookup_hits_and_misses(self):
+        t = SymbolTable.from_ranges({"a": (0, 100), "b": (200, 300)})
+        assert t.lookup(50) == "a"
+        assert t.lookup(250) == "b"
+        assert t.lookup(150) is None
+        assert t.lookup(300) is None
+
+    def test_lookup_boundaries(self):
+        t = SymbolTable.from_ranges({"a": (100, 200)})
+        assert t.lookup(100) == "a"
+        assert t.lookup(199) == "a"
+        assert t.lookup(99) is None
+        assert t.lookup(200) is None
+
+    def test_overlap_rejected(self):
+        with pytest.raises(SymbolError, match="overlap"):
+            SymbolTable.from_ranges({"a": (0, 100), "b": (50, 150)})
+
+    def test_adjacent_ranges_allowed(self):
+        t = SymbolTable.from_ranges({"a": (0, 100), "b": (100, 200)})
+        assert t.lookup(99) == "a"
+        assert t.lookup(100) == "b"
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SymbolError):
+            SymbolTable([FunctionSymbol("a", 0, 10), FunctionSymbol("a", 20, 30)])
+
+    def test_names_in_address_order(self):
+        t = SymbolTable.from_ranges({"z": (0, 10), "a": (20, 30)})
+        assert t.names == ["z", "a"]
+
+    def test_index_of(self):
+        t = SymbolTable.from_ranges({"a": (0, 10), "b": (20, 30)})
+        assert t.index_of("b") == 1
+        with pytest.raises(SymbolError):
+            t.index_of("nope")
+
+    def test_range_of(self):
+        t = SymbolTable.from_ranges({"a": (5, 15)})
+        assert t.range_of("a") == (5, 15)
+
+    def test_lookup_many_vectorized(self):
+        t = SymbolTable.from_ranges({"a": (0, 100), "b": (200, 300)})
+        ips = np.asarray([0, 50, 99, 100, 199, 200, 299, 1000])
+        idx = t.lookup_many(ips)
+        assert idx.tolist() == [0, 0, 0, UNKNOWN, UNKNOWN, 1, 1, UNKNOWN]
+
+    def test_lookup_many_empty(self):
+        t = SymbolTable.from_ranges({"a": (0, 10)})
+        assert t.lookup_many(np.empty(0, dtype=np.int64)).shape == (0,)
+
+    def test_len_and_iter(self):
+        t = SymbolTable.from_ranges({"a": (0, 10), "b": (20, 30)})
+        assert len(t) == 2
+        assert [s.name for s in t] == ["a", "b"]
+
+
+class TestAddressAllocator:
+    def test_sequential_non_overlapping(self):
+        a = AddressAllocator()
+        a.add("f")
+        a.add("g")
+        t = a.table()
+        f_lo, f_hi = t.range_of("f")
+        g_lo, g_hi = t.range_of("g")
+        assert f_hi <= g_lo
+
+    def test_ip_of_with_offset(self):
+        a = AddressAllocator()
+        lo = a.add("f", size=16)
+        assert a.ip_of("f") == lo
+        assert a.ip_of("f", 15) == lo + 15
+        with pytest.raises(SymbolError):
+            a.ip_of("f", 16)
+
+    def test_unknown_function_rejected(self):
+        a = AddressAllocator()
+        with pytest.raises(SymbolError):
+            a.ip_of("missing")
+
+    def test_duplicate_add_rejected(self):
+        a = AddressAllocator()
+        a.add("f")
+        with pytest.raises(SymbolError):
+            a.add("f")
+
+    def test_custom_size(self):
+        a = AddressAllocator()
+        a.add("f", size=0x1000)
+        t = a.table()
+        lo, hi = t.range_of("f")
+        assert hi - lo == 0x1000
+
+    def test_invalid_size_rejected(self):
+        a = AddressAllocator()
+        with pytest.raises(SymbolError):
+            a.add("f", size=0)
+
+    def test_table_covers_all_ips(self):
+        a = AddressAllocator()
+        names = [f"fn{i}" for i in range(20)]
+        for n in names:
+            a.add(n)
+        t = a.table()
+        for n in names:
+            assert t.lookup(a.ip_of(n)) == n

@@ -1,0 +1,90 @@
+"""Tests for the persistent trace container."""
+
+import numpy as np
+import pytest
+
+from repro import trace
+from repro.core.tracefile import FORMAT_VERSION, load_trace, save_session, save_trace
+from repro.errors import TraceError
+from repro.workloads.sampleapp import SampleApp
+
+
+@pytest.fixture(scope="module")
+def session_and_app():
+    app = SampleApp()
+    return trace(app, reset_value=8000), app
+
+
+class TestRoundtrip:
+    def test_save_load_roundtrip(self, session_and_app, tmp_path):
+        session, app = session_and_app
+        path = tmp_path / "trace.npz"
+        save_session(path, session, app.symtab, meta={"workload": "sampleapp"})
+        tf = load_trace(path)
+        assert tf.meta == {"workload": "sampleapp"}
+        assert tf.sample_cores == [0, 1]
+        orig = session.units[1].finalize()
+        assert np.array_equal(tf.samples(1).ts, orig.ts)
+        assert np.array_equal(tf.samples(1).ip, orig.ip)
+
+    def test_offline_integration_matches_online(self, session_and_app, tmp_path):
+        session, app = session_and_app
+        path = tmp_path / "trace.npz"
+        save_session(path, session, app.symtab)
+        offline = load_trace(path).integrate(SampleApp.WORKER_CORE)
+        online = session.trace_for(SampleApp.WORKER_CORE)
+        for qid in online.items():
+            assert offline.breakdown(qid) == online.breakdown(qid)
+            assert offline.item_window_cycles(qid) == online.item_window_cycles(qid)
+
+    def test_symbols_survive(self, session_and_app, tmp_path):
+        session, app = session_and_app
+        path = tmp_path / "trace.npz"
+        save_session(path, session, app.symtab)
+        tf = load_trace(path)
+        assert tf.symtab.names == app.symtab.names
+        for name in app.symtab.names:
+            assert tf.symtab.range_of(name) == app.symtab.range_of(name)
+
+    def test_missing_core_rejected(self, session_and_app, tmp_path):
+        session, app = session_and_app
+        path = tmp_path / "trace.npz"
+        save_session(path, session, app.symtab)
+        tf = load_trace(path)
+        with pytest.raises(TraceError):
+            tf.samples(99)
+        with pytest.raises(TraceError):
+            tf.switches(99)
+
+
+class TestValidation:
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(TraceError, match="not a repro trace file"):
+            load_trace(path)
+
+    def test_unreadable_file(self, tmp_path):
+        path = tmp_path / "garbage.npz"
+        path.write_bytes(b"this is not a zip")
+        with pytest.raises(TraceError, match="cannot read"):
+            load_trace(path)
+
+    def test_version_check(self, tmp_path, session_and_app, monkeypatch):
+        session, app = session_and_app
+        import repro.core.tracefile as tf_mod
+
+        monkeypatch.setattr(tf_mod, "FORMAT_VERSION", FORMAT_VERSION + 1)
+        path = tmp_path / "future.npz"
+        save_session(path, session, app.symtab)
+        monkeypatch.setattr(tf_mod, "FORMAT_VERSION", FORMAT_VERSION)
+        with pytest.raises(TraceError, match="version"):
+            load_trace(path)
+
+    def test_empty_trace_saves(self, tmp_path):
+        from repro.core.symbols import SymbolTable
+
+        path = tmp_path / "empty.npz"
+        save_trace(path, {}, {}, SymbolTable.from_ranges({"f": (0, 10)}))
+        tf = load_trace(path)
+        assert tf.sample_cores == []

@@ -1,0 +1,141 @@
+"""Tests for the command-line front-end."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def sampleapp_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "trace.npz"
+    rc = main(["run", "--workload", "sampleapp", "--out", str(path)])
+    assert rc == 0
+    return path
+
+
+class TestRun:
+    def test_run_writes_file(self, sampleapp_trace):
+        assert sampleapp_trace.exists()
+
+    def test_run_prints_summary(self, sampleapp_trace, capsys):
+        # re-run into a new file to capture output deterministically
+        out = sampleapp_trace.parent / "t2.npz"
+        main(["run", "--workload", "sampleapp", "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert "samples" in captured and "marking calls" in captured
+
+    def test_run_dbpool(self, tmp_path):
+        out = tmp_path / "db.npz"
+        rc = main(
+            ["run", "--workload", "dbpool", "--items", "60", "--out", str(out)]
+        )
+        assert rc == 0 and out.exists()
+
+    def test_run_acl_small(self, tmp_path):
+        out = tmp_path / "acl.npz"
+        rc = main(["run", "--workload", "acl", "--items", "9", "--out", str(out)])
+        assert rc == 0 and out.exists()
+
+    def test_run_l3_event(self, tmp_path):
+        out = tmp_path / "m.npz"
+        rc = main(
+            [
+                "run",
+                "--workload",
+                "sampleapp",
+                "--event",
+                "l3-miss",
+                "--out",
+                str(out),
+            ]
+        )
+        assert rc == 0
+
+
+class TestInfo:
+    def test_info(self, sampleapp_trace, capsys):
+        rc = main(["info", str(sampleapp_trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sampleapp" in out
+        assert "core 1 samples" in out
+
+
+class TestReport:
+    def test_report_defaults_to_worker_core(self, sampleapp_trace, capsys):
+        rc = main(["report", str(sampleapp_trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "data-items" in out
+        assert "f3_compute" in out
+
+    def test_report_diagnose(self, sampleapp_trace, capsys):
+        rc = main(["report", str(sampleapp_trace), "--diagnose"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "item 1" in out
+        assert "f3_compute" in out
+
+    def test_report_explicit_core(self, sampleapp_trace, capsys):
+        rc = main(["report", str(sampleapp_trace), "--core", "1"])
+        assert rc == 0
+
+
+class TestProfile:
+    def test_profile_output(self, sampleapp_trace, capsys):
+        rc = main(["profile", str(sampleapp_trace)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "averaged" in out
+        assert "f3_compute" in out
+
+
+class TestTimeline:
+    def test_item_timeline(self, sampleapp_trace, capsys):
+        rc = main(["report", str(sampleapp_trace), "--item", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "item 1: window" in out
+        assert "#" in out
+
+
+class TestCallgraph:
+    def test_callgraph_table(self, sampleapp_trace, capsys):
+        rc = main(["callgraph", str(sampleapp_trace)])
+        assert rc == 0
+        assert "guessed" in capsys.readouterr().out
+
+    def test_callgraph_dot(self, sampleapp_trace, capsys):
+        rc = main(["callgraph", str(sampleapp_trace), "--dot"])
+        assert rc == 0
+        assert capsys.readouterr().out.startswith("digraph")
+
+
+class TestExport:
+    def test_chrome_export(self, sampleapp_trace, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(
+            ["export", str(sampleapp_trace), "--out", str(out), "--samples"]
+        )
+        assert rc == 0
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+
+    def test_csv_export(self, sampleapp_trace, tmp_path):
+        out = tmp_path / "trace.csv"
+        rc = main(
+            ["export", str(sampleapp_trace), "--format", "csv", "--out", str(out)]
+        )
+        assert rc == 0
+        assert out.read_text().startswith("item_id,function")
+
+
+class TestErrors:
+    def test_bad_tracefile(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"nope")
+        rc = main(["info", str(bad)])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err

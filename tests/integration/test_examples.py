@@ -1,0 +1,36 @@
+"""Smoke tests: the quick example scripts run and say the right things.
+
+(The two slow examples — acl_firewall and noisy_neighbor — are exercised
+by their benchmark equivalents; running them here would double the suite
+time for no extra coverage.)
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+QUICK = {
+    "quickstart.py": ["Diagnosis", "f3_compute"],
+    "custom_workload.py": ["visible only in the trace", "handle_io"],
+    "timer_switching.py": ["preemptions", "0 marking calls"],
+    "online_monitoring.py": ["DUMP", "storage reduction"],
+    "scaling_pipeline.py": ["speedup", "type A"],
+    "database_tail.py": ["p99", "buffer-pool"],
+}
+
+
+@pytest.mark.parametrize("script", sorted(QUICK))
+def test_example_runs_and_reports(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+    assert proc.returncode == 0, proc.stderr
+    for needle in QUICK[script]:
+        assert needle in proc.stdout, f"{script}: missing {needle!r}"

@@ -1,0 +1,110 @@
+"""Integration test: tracing a multi-worker pipeline on every core at once."""
+
+import statistics
+
+from repro.core import MarkingTracer, integrate, merge_traces
+from repro.core.symbols import AddressAllocator
+from repro.machine import Block, HWEvent, Machine, PEBSConfig
+from repro.runtime import (
+    AppThread,
+    Exec,
+    IdleUntil,
+    Mark,
+    MPMCQueue,
+    Pop,
+    Push,
+    Scheduler,
+    SPSCQueue,
+    SwitchKind,
+)
+
+
+def build_and_run(n_workers: int, n_items: int = 60, heavy_every: int = 5):
+    """RX -> n workers -> TX; every ``heavy_every``-th item is 4x work."""
+    alloc = AddressAllocator()
+    rx_ip = alloc.add("rx_loop")
+    work_ip = alloc.add("process_item")
+    tx_ip = alloc.add("tx_loop")
+    mark_ip = alloc.add("__mark")
+    symtab = alloc.table()
+
+    rings = [SPSCQueue(f"r{i}", capacity=64) for i in range(n_workers)]
+    ring_tx = MPMCQueue("tx", capacity=128)
+    done = {}
+
+    def rx():
+        for i in range(1, n_items + 1):
+            yield IdleUntil(i * 2_000)
+            yield Push(rings[(i - 1) % n_workers], i)
+        for ring in rings:
+            yield Push(ring, None)
+
+    def worker(idx):
+        def body():
+            while True:
+                item = yield Pop(rings[idx])
+                if item is None:
+                    yield Push(ring_tx, None)
+                    return
+                yield Mark(SwitchKind.ITEM_START, item)
+                uops = 24_000 if item % heavy_every == 0 else 6_000
+                yield Exec(Block(ip=work_ip, uops=uops))
+                yield Mark(SwitchKind.ITEM_END, item)
+                yield Push(ring_tx, item)
+
+        return body
+
+    def tx():
+        eos = 0
+        while eos < n_workers:
+            item = yield Pop(ring_tx)
+            if item is None:
+                eos += 1
+                continue
+            out = yield Exec(Block(ip=tx_ip, uops=200))
+            done[item] = out.end
+
+    threads = [AppThread("RX", 0, rx, rx_ip)]
+    for i in range(n_workers):
+        threads.append(AppThread(f"W{i}", 1 + i, worker(i), work_ip))
+    threads.append(AppThread("TX", 1 + n_workers, tx, tx_ip))
+
+    machine = Machine(n_cores=2 + n_workers)
+    units = {
+        1 + i: machine.attach_pebs(1 + i, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 800))
+        for i in range(n_workers)
+    }
+    tracer = MarkingTracer(mark_ip=mark_ip, cost_ns=100.0)
+    Scheduler(machine, threads, tracer=tracer).run()
+    traces = [
+        integrate(u.finalize(), tracer.records_for_core(c), symtab)
+        for c, u in units.items()
+    ]
+    return merge_traces(traces), done
+
+
+class TestMultiWorkerTracing:
+    def test_every_item_traced_exactly_once(self):
+        merged, done = build_and_run(3)
+        assert merged.items() == list(range(1, 61))
+        assert len(done) == 60
+
+    def test_heavy_items_stand_out_in_merged_trace(self):
+        merged, _ = build_and_run(3)
+        heavy = [merged.item_window_cycles(i) for i in range(5, 61, 5)]
+        light = [merged.item_window_cycles(i) for i in range(1, 61) if i % 5]
+        assert min(heavy) > 2 * statistics.mean(light)
+
+    def test_work_split_across_workers(self):
+        merged, _ = build_and_run(3)
+        # Every worker contributed windows (items round-robin).
+        assert len(merged.windows) == 60
+
+    def test_single_worker_equivalent_totals(self):
+        one, _ = build_and_run(1)
+        three, _ = build_and_run(3)
+        for item in (7, 20, 33):
+            a = one.elapsed_cycles(item, "process_item")
+            b = three.elapsed_cycles(item, "process_item")
+            assert a > 0 and b > 0
+            assert abs(a - b) < 0.35 * max(a, b)

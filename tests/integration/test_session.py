@@ -1,0 +1,77 @@
+"""Tests for the high-level trace() session API."""
+
+import pytest
+
+from repro import TraceSession, trace
+from repro.errors import ConfigError
+from repro.machine.events import HWEvent
+from repro.workloads.sampleapp import SampleApp
+from repro.workloads.synth import FixedSequenceApp, uniform_items
+
+
+class TestTraceSession:
+    def test_defaults_sample_every_thread_core(self):
+        session = trace(SampleApp())
+        assert set(session.units) == {0, 1}
+        assert set(session.traces) == {0, 1}
+
+    def test_explicit_core_selection(self):
+        session = trace(SampleApp(), sample_cores=[1])
+        assert set(session.units) == {1}
+        with pytest.raises(ConfigError):
+            session.trace_for(0)
+
+    def test_reset_value_controls_sample_count(self):
+        a = trace(SampleApp(), reset_value=4000)
+        b = trace(SampleApp(), reset_value=16000)
+        assert a.units[1].sample_count > b.units[1].sample_count
+
+    def test_custom_event(self):
+        from repro.machine.config import MachineSpec
+
+        session = trace(
+            SampleApp(),
+            event=HWEvent.BR_RETIRED,
+            reset_value=500,
+        )
+        assert session.units[1].config.event is HWEvent.BR_RETIRED
+
+    def test_tracer_records_present(self):
+        session = trace(SampleApp())
+        assert session.tracer.calls == 20  # 10 queries x 2 marks
+
+    def test_deterministic_across_runs(self):
+        a = trace(SampleApp(), reset_value=8000)
+        b = trace(SampleApp(), reset_value=8000)
+        ta, tb = a.trace_for(1), b.trace_for(1)
+        assert [ta.item_window_cycles(i) for i in ta.items()] == [
+            tb.item_window_cycles(i) for i in tb.items()
+        ]
+        assert ta.breakdown(1) == tb.breakdown(1)
+
+    def test_works_with_synth_app(self):
+        app = FixedSequenceApp(uniform_items(5, {"f": 9000, "g": 3000}))
+        session = trace(app, reset_value=1000)
+        t = session.trace_for(0)
+        assert t.items() == [1, 2, 3, 4, 5]
+        for i in t.items():
+            bd = t.breakdown(i)
+            assert bd["f"] > bd["g"]
+
+    def test_mark_cost_configurable(self):
+        cheap = trace(SampleApp(), mark_cost_ns=0.0)
+        costly = trace(SampleApp(), mark_cost_ns=500.0)
+        assert (
+            costly.machine.core(1).clock > cheap.machine.core(1).clock
+        )
+
+    def test_empty_app_rejected(self):
+        class Empty:
+            symtab = None
+            mark_ip = 0
+
+            def threads(self):
+                return []
+
+        with pytest.raises(ConfigError):
+            trace(Empty())

@@ -1,0 +1,97 @@
+"""Tests for the Block execution quantum and MemRef descriptors."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine.block import LINE_BYTES, Block, MemRef, timed_block
+
+
+class TestMemRef:
+    def test_addresses_are_strided(self):
+        ref = MemRef(base=1000, count=4, stride=8)
+        assert ref.addresses().tolist() == [1000, 1008, 1016, 1024]
+
+    def test_zero_count_yields_empty(self):
+        assert MemRef(base=0, count=0).addresses().shape == (0,)
+
+    def test_line_addresses_divide_by_line_size(self):
+        ref = MemRef(base=0, count=3, stride=LINE_BYTES)
+        assert ref.line_addresses().tolist() == [0, 1, 2]
+
+    def test_sub_line_stride_repeats_lines(self):
+        ref = MemRef(base=0, count=8, stride=8)
+        assert ref.line_addresses().tolist() == [0] * 8
+
+    def test_zero_stride_is_allowed(self):
+        ref = MemRef(base=128, count=5, stride=0)
+        assert set(ref.line_addresses().tolist()) == {2}
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(SimulationError):
+            MemRef(base=0, count=-1)
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(SimulationError):
+            MemRef(base=-64, count=1)
+
+
+class TestBlock:
+    def test_minimal_block(self):
+        b = Block(ip=0x400, uops=10)
+        assert b.uops == 10
+        assert b.line_addresses().shape == (0,)
+
+    def test_zero_uops_rejected(self):
+        with pytest.raises(SimulationError):
+            Block(ip=0, uops=0)
+
+    def test_negative_ip_rejected(self):
+        with pytest.raises(SimulationError):
+            Block(ip=-1, uops=1)
+
+    def test_mispredicts_cannot_exceed_branches(self):
+        with pytest.raises(SimulationError):
+            Block(ip=0, uops=10, branches=2, mispredicts=3)
+
+    def test_negative_extra_cycles_rejected(self):
+        with pytest.raises(SimulationError):
+            Block(ip=0, uops=1, extra_cycles=-1)
+
+    def test_default_insts_derived_from_uops(self):
+        assert Block(ip=0, uops=12).resolved_insts == 10
+        assert Block(ip=0, uops=1).resolved_insts == 1
+
+    def test_explicit_insts_kept(self):
+        assert Block(ip=0, uops=10, insts=7).resolved_insts == 7
+
+    def test_mem_array_accepted(self):
+        b = Block(ip=0, uops=1, mem=np.asarray([0, 64, 128]))
+        assert b.line_addresses().tolist() == [0, 1, 2]
+
+    def test_mem_2d_array_rejected(self):
+        with pytest.raises(SimulationError):
+            Block(ip=0, uops=1, mem=np.zeros((2, 2), dtype=np.int64)).line_addresses()
+
+    def test_memref_accepted(self):
+        b = Block(ip=0, uops=1, mem=MemRef(base=64, count=2))
+        assert b.line_addresses().tolist() == [1, 2]
+
+
+class TestTimedBlock:
+    @pytest.mark.parametrize("cycles", [1, 7, 100, 12345])
+    def test_takes_exactly_requested_cycles(self, cycles):
+        from repro.machine.core import SimCore
+        from repro.machine.config import MachineSpec
+
+        core = SimCore(0, MachineSpec())
+        outcome = core.execute(timed_block(0x10, cycles, ipc=4.0))
+        assert outcome.cycles == cycles
+
+    def test_retires_one_uop_per_cycle(self):
+        b = timed_block(0x10, 100, ipc=4.0)
+        assert b.uops == 100
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(SimulationError):
+            timed_block(0, 0)

@@ -1,0 +1,145 @@
+"""Tests for the set-associative caches and the hierarchy."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.cache import CacheHierarchy, SetAssocCache
+from repro.machine.config import CacheLevelSpec, MachineSpec
+
+
+def tiny_cache(sets: int = 4, ways: int = 2) -> SetAssocCache:
+    return SetAssocCache(CacheLevelSpec(sets * ways * 64, ways, 4))
+
+
+class TestSetAssocCache:
+    def test_first_access_misses_second_hits(self):
+        c = tiny_cache()
+        assert c.access(0) is False
+        assert c.access(0) is True
+        assert (c.hits, c.misses) == (1, 1)
+
+    def test_distinct_sets_do_not_conflict(self):
+        c = tiny_cache(sets=4, ways=1)
+        for addr in range(4):
+            c.access(addr)
+        for addr in range(4):
+            assert c.contains(addr)
+
+    def test_lru_eviction_order(self):
+        c = tiny_cache(sets=1, ways=2)
+        c.access(0)
+        c.access(1)
+        c.access(0)  # 1 is now LRU
+        c.access(2)  # evicts 1
+        assert c.contains(0)
+        assert not c.contains(1)
+        assert c.contains(2)
+
+    def test_way_count_respected(self):
+        c = tiny_cache(sets=1, ways=4)
+        for a in range(4):
+            c.access(a)
+        assert all(c.contains(a) for a in range(4))
+        c.access(4)
+        assert not c.contains(0)  # LRU victim
+
+    def test_contains_does_not_mutate(self):
+        c = tiny_cache(sets=1, ways=2)
+        c.access(0)
+        c.access(1)
+        c.contains(0)  # must not refresh recency
+        c.access(2)
+        assert not c.contains(0)
+
+    def test_flush_empties_cache(self):
+        c = tiny_cache()
+        c.access(0)
+        c.flush()
+        assert not c.contains(0)
+        assert c.occupancy == 0.0
+        assert (c.hits, c.misses) == (0, 0)
+
+    def test_reset_stats_keeps_contents(self):
+        c = tiny_cache()
+        c.access(0)
+        c.reset_stats()
+        assert c.contains(0)
+        assert (c.hits, c.misses) == (0, 0)
+
+    def test_access_lines_mask(self):
+        c = tiny_cache()
+        mask = c.access_lines(np.asarray([5, 5, 9, 5]))
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_occupancy_grows(self):
+        c = tiny_cache(sets=2, ways=2)
+        assert c.occupancy == 0.0
+        c.access(0)
+        assert c.occupancy == 0.25
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheLevelSpec(1000, 3, 4)  # not divisible into 64B ways
+
+
+class TestCacheHierarchy:
+    def test_cold_access_charges_dram(self, spec: MachineSpec):
+        h = CacheHierarchy(spec)
+        res = h.access_lines(np.asarray([12345]))
+        assert res.llc_misses == 1
+        assert res.penalty_cycles == spec.dram_latency_cycles
+
+    def test_warm_access_is_free(self, spec: MachineSpec):
+        h = CacheHierarchy(spec)
+        h.access_lines(np.asarray([7]))
+        res = h.access_lines(np.asarray([7]))
+        assert res.l1_misses == 0
+        assert res.penalty_cycles == 0
+
+    def test_l2_hit_costs_l2_latency(self, spec: MachineSpec):
+        h = CacheHierarchy(spec)
+        h.access_lines(np.asarray([7]))
+        # Evict line 7 from L1 only: touch enough distinct lines mapping to
+        # the same L1 set but different L2 sets.
+        l1_sets = h.l1.n_sets
+        evictors = np.asarray([7 + l1_sets * (i + 1) for i in range(spec.l1.ways)])
+        h.access_lines(evictors)
+        assert not h.l1.contains(7)
+        assert h.l2.contains(7)
+        res = h.access_lines(np.asarray([7]))
+        assert res.l1_misses == 1
+        assert res.l2_misses == 0
+        assert res.penalty_cycles == spec.l2.latency_cycles
+
+    def test_empty_access_batch(self, spec: MachineSpec):
+        h = CacheHierarchy(spec)
+        res = h.access_lines(np.empty(0, dtype=np.int64))
+        assert res.accesses == 0
+        assert res.penalty_cycles == 0
+
+    def test_flush_clears_all_levels(self, spec: MachineSpec):
+        h = CacheHierarchy(spec)
+        h.access_lines(np.asarray([1, 2, 3]))
+        h.flush()
+        res = h.access_lines(np.asarray([1]))
+        assert res.llc_misses == 1
+
+    def test_shared_llc_between_hierarchies(self, spec: MachineSpec):
+        from repro.machine.cache import SetAssocCache
+
+        llc = SetAssocCache(spec.llc)
+        h0 = CacheHierarchy(spec, llc=llc)
+        h1 = CacheHierarchy(spec, llc=llc)
+        h0.access_lines(np.asarray([99]))
+        # Core 1's private levels miss but the shared LLC hits.
+        res = h1.access_lines(np.asarray([99]))
+        assert res.l1_misses == 1
+        assert res.llc_misses == 0
+        assert res.penalty_cycles == spec.llc.latency_cycles
+
+    def test_miss_counts_are_monotone(self, spec: MachineSpec):
+        h = CacheHierarchy(spec)
+        res = h.access_lines(np.arange(100, dtype=np.int64))
+        assert res.accesses == 100
+        assert res.l1_misses >= res.l2_misses >= res.llc_misses

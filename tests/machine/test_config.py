@@ -1,0 +1,84 @@
+"""Tests for MachineSpec validation and units helpers."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import SKYLAKE_LIKE, CacheLevelSpec, MachineSpec
+from repro import units
+
+
+class TestMachineSpec:
+    def test_default_is_skylake_like(self):
+        assert SKYLAKE_LIKE.freq_ghz == 3.0
+        assert SKYLAKE_LIKE.pebs_assist_ns == 250.0
+
+    def test_invalid_frequency(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(freq_ghz=0)
+
+    def test_invalid_ipc(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(ipc=-1)
+
+    def test_invalid_buffer(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(pebs_buffer_records=0)
+
+    def test_invalid_record_size(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(pebs_record_bytes=0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineSpec(pebs_assist_ns=-1)
+
+    def test_cache_level_validation(self):
+        with pytest.raises(ConfigError):
+            CacheLevelSpec(0, 8, 4)
+
+
+class TestUnits:
+    def test_cycles_to_ns_roundtrip(self):
+        assert units.ns_to_cycles(250.0, 3.0) == 750
+        assert units.cycles_to_ns(750, 3.0) == 250.0
+
+    def test_us_conversion(self):
+        assert units.us_to_cycles(1.0, 3.0) == 3000
+        assert units.cycles_to_us(3000, 3.0) == 1.0
+
+    def test_seconds(self):
+        assert units.cycles_to_seconds(3_000_000_000, 3.0) == pytest.approx(1.0)
+
+    def test_rate_conversion(self):
+        # 1 byte/cycle at 3 GHz = 3 GB/s = 3000 MB/s.
+        assert units.bytes_per_cycle_to_mb_per_s(1.0, 3.0) == pytest.approx(3000.0)
+
+    def test_zero_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            units.cycles_to_ns(1, 0.0)
+        with pytest.raises(ValueError):
+            units.ns_to_cycles(1.0, -2.0)
+
+
+class TestGenerationGate:
+    def test_broadwell_like_rejects_pebs(self):
+        from repro.machine.config import BROADWELL_LIKE
+        from repro.machine.events import HWEvent
+        from repro.machine.machine import Machine
+        from repro.machine.pebs import PEBSConfig
+
+        m = Machine(spec=BROADWELL_LIKE, n_cores=1)
+        with pytest.raises(ConfigError, match="since Skylake"):
+            m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+
+    def test_broadwell_like_still_allows_software_sampling(self):
+        from repro.machine.config import BROADWELL_LIKE
+        from repro.machine.events import HWEvent
+        from repro.machine.machine import Machine
+        from repro.machine.sampler import SoftwareSamplerConfig
+
+        m = Machine(spec=BROADWELL_LIKE, n_cores=1)
+        s = m.attach_software_sampler(
+            0, SoftwareSamplerConfig(HWEvent.UOPS_RETIRED_ALL, 1000)
+        )
+        assert s is not None

@@ -1,0 +1,63 @@
+"""Tests for double-buffered PEBS (Section III-E future work, implemented)."""
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineSpec
+from repro.machine.events import HWEvent
+from repro.machine.pebs import TAG_NONE, PEBSConfig, PEBSUnit
+from repro.units import ns_to_cycles
+
+
+def make_unit(double=False, **spec_kw) -> PEBSUnit:
+    spec = MachineSpec(**spec_kw)
+    cfg = PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000, double_buffered=double)
+    return PEBSUnit(cfg, spec)
+
+
+class TestDoubleBuffering:
+    def test_switch_cheaper_than_drain(self):
+        single = make_unit(False, pebs_buffer_records=4)
+        double = make_unit(True, pebs_buffer_records=4)
+        # Fill one buffer; overflows far apart so the async drain finishes.
+        ts = np.asarray([0, 100_000, 200_000, 300_000])
+        cost_single = single.on_overflows(ts, 0, TAG_NONE)
+        cost_double = double.on_overflows(ts, 0, TAG_NONE)
+        assert cost_double < cost_single
+        # The difference is the drain minus the switch cost.
+        drain = single._drain_cost_cycles(4)
+        switch = ns_to_cycles(200.0, 3.0)
+        assert cost_single - cost_double == drain - switch
+
+    def test_spare_fill_during_drain_stalls(self):
+        # Buffer of 2; overflows packed so the second fill happens while
+        # the first drain is still in flight.
+        double = make_unit(True, pebs_buffer_records=2)
+        double.on_overflows(np.asarray([0, 10, 20, 30]), 0, TAG_NONE)
+        assert double.stall_cycles > 0
+
+    def test_no_stall_when_drains_finish_in_time(self):
+        double = make_unit(True, pebs_buffer_records=2)
+        double.on_overflows(
+            np.asarray([0, 10, 1_000_000, 1_000_010]), 0, TAG_NONE
+        )
+        assert double.stall_cycles == 0
+
+    def test_bytes_accounting_identical(self):
+        single = make_unit(False, pebs_buffer_records=4)
+        double = make_unit(True, pebs_buffer_records=4)
+        ts = np.arange(0, 16) * 50_000
+        single.on_overflows(ts, 0, TAG_NONE)
+        double.on_overflows(ts, 0, TAG_NONE)
+        assert single.bytes_written == double.bytes_written
+        assert single.drains == double.drains
+
+    def test_sample_streams_identical_up_to_shift(self):
+        """Double buffering changes costs, not which samples exist."""
+        single = make_unit(False, pebs_buffer_records=4)
+        double = make_unit(True, pebs_buffer_records=4)
+        ts = np.arange(0, 12) * 80_000
+        single.on_overflows(ts, 0xA, 7)
+        double.on_overflows(ts, 0xA, 7)
+        assert single.sample_count == double.sample_count
+        assert single.finalize().ip.tolist() == double.finalize().ip.tolist()

@@ -1,0 +1,65 @@
+"""Tests that the stack respects a non-default core frequency.
+
+Cost constants are specified in wall time (250 ns assist, 200 ns mark,
+9.5 µs handler); cycle charges must scale with the machine's frequency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.block import Block
+from repro.machine.config import MachineSpec
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
+from repro.machine.sampler import SoftwareSamplerConfig
+
+
+class TestFrequencyScaling:
+    def test_assist_cycles_scale(self):
+        def overhead_at(freq):
+            m = Machine(spec=MachineSpec(freq_ghz=freq), n_cores=1)
+            m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+            out = m.core(0).execute(Block(ip=0, uops=10_000))
+            return out.overhead_cycles
+
+        assert overhead_at(2.0) == 10 * 500  # 250 ns at 2 GHz
+        assert overhead_at(4.0) == 10 * 1000
+
+    def test_handler_cycles_scale(self):
+        def handler_cost(freq):
+            m = Machine(spec=MachineSpec(freq_ghz=freq), n_cores=1)
+            s = m.attach_software_sampler(
+                0, SoftwareSamplerConfig(HWEvent.UOPS_RETIRED_ALL, 1000)
+            )
+            m.core(0).execute(Block(ip=0, uops=1000))
+            return m.core(0).clock - 250  # minus the block's own cycles
+
+        assert handler_cost(2.0) == round(9500 * 2.0)
+
+    def test_wall_interval_is_work_over_freq_plus_assist(self):
+        """interval_ns = (R / uops-per-cycle) / freq + 250 ns: the work
+        part scales with frequency, the microcode assist does not."""
+        from repro.analysis.intervals import interval_stats
+
+        for freq in (1.5, 3.0, 4.0):
+            m = Machine(spec=MachineSpec(freq_ghz=freq), n_cores=1)
+            unit = m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 4000))
+            core = m.core(0)
+            for _ in range(200):
+                core.execute(Block(ip=0, uops=4000))
+            iv = interval_stats(unit.finalize())
+            expected_ns = (4000 / 4.0) / freq + 250.0
+            assert iv.mean_cycles / freq == pytest.approx(expected_ns, rel=0.01)
+
+    def test_trace_session_uses_spec_frequency(self):
+        from repro import trace
+        from repro.workloads.synth import FixedSequenceApp, uniform_items
+
+        app = FixedSequenceApp(uniform_items(3, {"f": 9000}))
+        spec = MachineSpec(freq_ghz=2.0)
+        session = trace(app, reset_value=1000, spec=spec)
+        # Marking cost of 200 ns at 2 GHz = 400 cycles: windows include it.
+        t = session.trace_for(0)
+        for item in t.items():
+            assert t.item_window_cycles(item) >= 9000 + 400

@@ -1,0 +1,102 @@
+"""Tests for the Machine facade: cores, LLC sharing, sampler attachment."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.block import Block, MemRef
+from repro.machine.config import MachineSpec
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
+from repro.machine.sampler import SoftwareSamplerConfig
+
+
+class TestConstruction:
+    def test_default_two_cores(self):
+        m = Machine()
+        assert len(m.cores) == 2
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ConfigError):
+            Machine(n_cores=0)
+
+    def test_core_lookup(self):
+        m = Machine(n_cores=3)
+        assert m.core(2).core_id == 2
+        with pytest.raises(ConfigError):
+            m.core(3)
+
+    def test_no_caches_by_default(self):
+        m = Machine()
+        assert m.core(0).hierarchy is None
+        assert m.llc is None
+
+    def test_with_caches_shares_llc(self):
+        m = Machine(n_cores=2, with_caches=True)
+        assert m.core(0).hierarchy.llc is m.core(1).hierarchy.llc
+        # private L1s are distinct
+        assert m.core(0).hierarchy.l1 is not m.core(1).hierarchy.l1
+
+    def test_llc_sharing_is_observable(self):
+        m = Machine(n_cores=2, with_caches=True)
+        spec = m.spec
+        m.core(0).execute(Block(ip=0, uops=4, mem=MemRef(0, 1)))
+        out = m.core(1).execute(Block(ip=0, uops=4, mem=MemRef(0, 1)))
+        assert out.cycles == 1 + spec.llc.latency_cycles
+
+
+class TestSamplerAttachment:
+    def test_attach_pebs_returns_unit(self):
+        m = Machine()
+        unit = m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+        m.core(0).execute(Block(ip=0, uops=5000))
+        assert unit.sample_count == 5
+
+    def test_pebs_on_one_core_does_not_sample_another(self):
+        m = Machine()
+        unit = m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+        m.core(1).execute(Block(ip=0, uops=50_000))
+        assert unit.sample_count == 0
+
+    def test_pebs_on_all_cores_simultaneously(self):
+        # Section III-D: PEBS samples core events on every core at once.
+        m = Machine(n_cores=4)
+        units = [
+            m.attach_pebs(i, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+            for i in range(4)
+        ]
+        for i in range(4):
+            m.core(i).execute(Block(ip=i, uops=10_000))
+        assert all(u.sample_count == 10 for u in units)
+
+    def test_attach_software_sampler(self):
+        m = Machine()
+        s = m.attach_software_sampler(
+            0, SoftwareSamplerConfig(HWEvent.UOPS_RETIRED_ALL, 1000)
+        )
+        m.core(0).execute(Block(ip=0, uops=2000))
+        assert s.sample_count >= 1
+
+    def test_attach_to_bad_core_rejected(self):
+        m = Machine()
+        with pytest.raises(ConfigError):
+            m.attach_pebs(7, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+
+    def test_pebs_units_listing(self):
+        m = Machine()
+        u = m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+        assert m.pebs_units(0) == [u]
+        assert m.pebs_units(1) == []
+
+    def test_flush_pebs_charges_owning_core(self):
+        m = Machine()
+        m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+        m.core(0).execute(Block(ip=0, uops=1500))  # one buffered sample
+        before = m.core(0).clock
+        m.flush_pebs()
+        assert m.core(0).clock > before
+
+    def test_max_clock(self):
+        m = Machine(n_cores=2)
+        m.core(1).advance_to(777)
+        assert m.max_clock == 777

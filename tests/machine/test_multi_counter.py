@@ -1,0 +1,52 @@
+"""Tests for several simultaneous PEBS counters on one core (§V-D setup)."""
+
+from repro.machine.block import Block, MemRef
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
+
+
+class TestSimultaneousCounters:
+    def test_uops_and_miss_counters_independent(self):
+        m = Machine(n_cores=1, with_caches=True)
+        uops_unit = m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+        miss_unit = m.attach_pebs(0, PEBSConfig(HWEvent.MEM_LOAD_RETIRED_L3_MISS, 4))
+        core = m.core(0)
+        # 20 blocks touching fresh lines: uops flow and misses flow.
+        for i in range(20):
+            core.execute(
+                Block(ip=0x100, uops=2000, mem=MemRef(i * 64 * 64, 16))
+            )
+        assert uops_unit.sample_count == 20 * 2000 // 1000
+        assert miss_unit.sample_count == 20 * 16 // 4
+
+    def test_miss_counter_goes_quiet_when_warm(self):
+        m = Machine(n_cores=1, with_caches=True)
+        miss_unit = m.attach_pebs(0, PEBSConfig(HWEvent.MEM_LOAD_RETIRED_L3_MISS, 4))
+        core = m.core(0)
+        ref = MemRef(0, 64)
+        core.execute(Block(ip=0x100, uops=100, mem=ref))  # cold
+        cold = miss_unit.sample_count
+        for _ in range(10):
+            core.execute(Block(ip=0x100, uops=100, mem=ref))  # warm
+        assert miss_unit.sample_count == cold
+
+    def test_both_overheads_charged(self):
+        def run(with_second):
+            m = Machine(n_cores=1, with_caches=True)
+            m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+            if with_second:
+                m.attach_pebs(0, PEBSConfig(HWEvent.MEM_LOAD_RETIRED_L3_MISS, 2))
+            core = m.core(0)
+            for i in range(10):
+                core.execute(Block(ip=0, uops=4000, mem=MemRef(i * 64 * 64, 32)))
+            return core.clock
+
+        assert run(True) > run(False)
+
+    def test_counter_count(self):
+        m = Machine(n_cores=1)
+        m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+        m.attach_pebs(0, PEBSConfig(HWEvent.BR_RETIRED, 100))
+        assert m.core(0).pmu.counter_count == 2
+        assert len(m.pebs_units(0)) == 2

@@ -1,0 +1,91 @@
+"""Property tests: the set-associative LRU cache against a reference model."""
+
+from collections import OrderedDict
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.cache import SetAssocCache
+from repro.machine.config import CacheLevelSpec
+
+
+class RefCache:
+    """Reference model: per-set OrderedDict LRU."""
+
+    def __init__(self, n_sets: int, ways: int):
+        self.n_sets = n_sets
+        self.ways = ways
+        self.sets = [OrderedDict() for _ in range(n_sets)]
+
+    def access(self, line: int) -> bool:
+        s = self.sets[line % self.n_sets]
+        tag = line // self.n_sets
+        if tag in s:
+            s.move_to_end(tag)
+            return True
+        if len(s) >= self.ways:
+            s.popitem(last=False)
+        s[tag] = True
+        return False
+
+
+def make_pair(sets: int, ways: int):
+    spec = CacheLevelSpec(sets * ways * 64, ways, 4)
+    return SetAssocCache(spec), RefCache(sets, ways)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=300),
+    geometry=st.sampled_from([(1, 2), (2, 2), (4, 4), (8, 1), (2, 8)]),
+)
+def test_hit_miss_sequence_matches_reference(addrs, geometry):
+    sets, ways = geometry
+    cache, ref = make_pair(sets, ways)
+    for a in addrs:
+        assert cache.access(a) == ref.access(a), f"divergence at line {a}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    addrs=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=200)
+)
+def test_contains_agrees_with_reference(addrs):
+    cache, ref = make_pair(4, 2)
+    for a in addrs:
+        cache.access(a)
+        ref.access(a)
+    for line in range(64):
+        assert cache.contains(line) == (line // 4 in ref.sets[line % 4])
+
+
+@settings(max_examples=100, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=1000), max_size=200))
+def test_stats_sum_to_accesses(addrs):
+    cache, _ = make_pair(4, 4)
+    cache.access_lines(np.asarray(addrs, dtype=np.int64))
+    assert cache.hits + cache.misses == len(addrs)
+
+
+@settings(max_examples=50, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=100))
+def test_hierarchy_miss_monotonicity(addrs):
+    """L1 misses >= L2 misses >= LLC misses, always."""
+    from repro.machine.cache import CacheHierarchy
+    from repro.machine.config import MachineSpec
+
+    h = CacheHierarchy(MachineSpec())
+    res = h.access_lines(np.asarray(addrs, dtype=np.int64))
+    assert res.accesses >= res.l1_misses >= res.l2_misses >= res.llc_misses >= 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(addrs=st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=60))
+def test_second_pass_of_small_set_all_hits(addrs):
+    """A working set smaller than the cache never misses on re-access."""
+    cache, _ = make_pair(8, 8)  # 64 lines capacity, addrs <= 31 distinct
+    cache.access_lines(np.asarray(addrs, dtype=np.int64))
+    cache.reset_stats()
+    cache.access_lines(np.asarray(addrs, dtype=np.int64))
+    assert cache.misses == 0

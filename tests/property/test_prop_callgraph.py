@@ -1,0 +1,101 @@
+"""Property tests: call-graph guessing on synthesised call trees."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.callgraph import guess_call_edges
+from repro.core.records import SwitchRecords
+from repro.core.symbols import SymbolTable
+from repro.machine.pebs import SampleArrays
+from repro.runtime.actions import SwitchKind
+
+NAMES = ["f0", "f1", "f2", "f3", "f4"]
+SYMTAB = SymbolTable.from_ranges(
+    {name: (100 * (i + 1), 100 * (i + 2)) for i, name in enumerate(NAMES)}
+)
+IP = {name: 100 * (i + 1) + 50 for i, name in enumerate(NAMES)}
+
+
+@st.composite
+def call_tree(draw, depth=0, forbidden=frozenset()):
+    """A random call tree with no (mutual) recursion.
+
+    A function re-entered under its own ancestor (f0 -> f1 -> f0)
+    produces a sample sequence indistinguishable from two sibling calls
+    — stack-less order-based guessing cannot recover it, so recursive
+    shapes are excluded from the completeness property (they belong to
+    the documented V-B2 limitations, like the sequential-call false
+    positive).
+    """
+    fn = draw(st.sampled_from([n for n in NAMES if n not in forbidden]))
+    if depth >= 3 or len(forbidden) >= len(NAMES) - 1:
+        return (fn, [])
+    n_children = draw(st.integers(min_value=0, max_value=2 if depth < 2 else 0))
+    children = []
+    for _ in range(n_children):
+        child = draw(
+            call_tree(depth=depth + 1, forbidden=forbidden | {fn})
+        )
+        children.append(child)
+    return (fn, children)
+
+
+def sample_sequence(tree):
+    """Emit the ip sequence of an ideally-sampled execution of the tree:
+    >= 2 samples in the caller around every child call."""
+    fn, children = tree
+    seq = [IP[fn], IP[fn]]
+    for child in children:
+        seq += sample_sequence(child)
+        seq += [IP[fn], IP[fn]]
+    return seq
+
+
+def true_edges(tree, acc=None):
+    acc = acc if acc is not None else set()
+    fn, children = tree
+    for child in children:
+        acc.add((fn, child[0]))
+        true_edges(child, acc)
+    return acc
+
+
+@settings(max_examples=200, deadline=None)
+@given(tree=call_tree())
+def test_guess_superset_of_true_edges(tree):
+    """With dense sampling, every true edge is guessed.
+
+    (The converse does not hold — sequential calls create the documented
+    V-B2 false positives — so we assert superset, not equality.)
+    """
+    ips = sample_sequence(tree)
+    ts = np.arange(len(ips), dtype=np.int64) * 10
+    samples = SampleArrays(
+        ts=ts, ip=np.asarray(ips, dtype=np.int64), tag=np.full(len(ips), -1, dtype=np.int64)
+    )
+    r = SwitchRecords(0)
+    r.append(-1, 1, SwitchKind.ITEM_START)
+    r.append(int(ts[-1]) + 1, 1, SwitchKind.ITEM_END)
+    guess = guess_call_edges(samples, r, SYMTAB)
+    got = set(guess.edges)
+    missing = true_edges(tree) - got
+    assert not missing, f"missing edges {missing} from sequence {ips}"
+
+
+@settings(max_examples=100, deadline=None)
+@given(tree=call_tree())
+def test_edge_counts_positive_and_endpoints_known(tree):
+    ips = sample_sequence(tree)
+    ts = np.arange(len(ips), dtype=np.int64) * 10
+    samples = SampleArrays(
+        ts=ts, ip=np.asarray(ips, dtype=np.int64), tag=np.full(len(ips), -1, dtype=np.int64)
+    )
+    r = SwitchRecords(0)
+    r.append(-1, 1, SwitchKind.ITEM_START)
+    r.append(int(ts[-1]) + 1, 1, SwitchKind.ITEM_END)
+    guess = guess_call_edges(samples, r, SYMTAB)
+    for (caller, callee), count in guess.edges.items():
+        assert count >= 1
+        assert caller in NAMES and callee in NAMES
+        assert caller != callee

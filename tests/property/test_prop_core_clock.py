@@ -1,0 +1,82 @@
+"""Property tests: core clock monotonicity under arbitrary action mixes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.block import Block, MemRef
+from repro.machine.config import MachineSpec
+from repro.machine.core import SimCore
+from repro.machine.cache import CacheHierarchy
+from repro.machine.events import HWEvent
+from repro.machine.pebs import PEBSConfig, PEBSUnit
+from repro.machine.pmu import CounterConfig
+
+
+@st.composite
+def action_mix(draw):
+    """A random sequence of execute / advance / spin operations."""
+    n = draw(st.integers(min_value=1, max_value=40))
+    out = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(["exec", "exec_mem", "advance", "spin"]))
+        if kind == "exec":
+            out.append(("exec", draw(st.integers(min_value=1, max_value=20_000))))
+        elif kind == "exec_mem":
+            out.append(
+                (
+                    "exec_mem",
+                    draw(st.integers(min_value=1, max_value=2_000)),
+                    draw(st.integers(min_value=0, max_value=1_000_000)),
+                    draw(st.integers(min_value=1, max_value=64)),
+                )
+            )
+        else:
+            out.append((kind, draw(st.integers(min_value=1, max_value=50_000))))
+    return out
+
+
+def run_mix(mix, with_pebs: bool, with_cache: bool):
+    spec = MachineSpec()
+    hierarchy = CacheHierarchy(spec) if with_cache else None
+    core = SimCore(0, spec, hierarchy=hierarchy)
+    unit = None
+    if with_pebs:
+        unit = PEBSUnit(PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 777), spec)
+        core.pmu.add_counter(CounterConfig(HWEvent.UOPS_RETIRED_ALL, 777), unit)
+    clocks = [core.clock]
+    for op in mix:
+        if op[0] == "exec":
+            core.execute(Block(ip=0x10, uops=op[1]))
+        elif op[0] == "exec_mem":
+            core.execute(
+                Block(ip=0x10, uops=op[1], mem=MemRef(op[2] * 64, op[3]))
+            )
+        elif op[0] == "advance":
+            core.advance_to(core.clock + op[1])
+        else:  # spin
+            core.spin_until(core.clock + op[1], spin_ip=0x20)
+        clocks.append(core.clock)
+    return core, unit, clocks
+
+
+@settings(max_examples=100, deadline=None)
+@given(mix=action_mix(), pebs=st.booleans(), cache=st.booleans())
+def test_clock_monotone_and_samples_ordered(mix, pebs, cache):
+    core, unit, clocks = run_mix(mix, pebs, cache)
+    assert all(b >= a for a, b in zip(clocks, clocks[1:]))
+    if unit is not None:
+        ts = unit.finalize().ts
+        assert np.all(np.diff(ts) >= 0)
+        # Every sample timestamp lies within the run.
+        if len(ts):
+            assert 0 <= ts[0] and ts[-1] <= core.clock
+
+
+@settings(max_examples=60, deadline=None)
+@given(mix=action_mix())
+def test_pebs_only_adds_time(mix):
+    plain, _, _ = run_mix(mix, with_pebs=False, with_cache=False)
+    sampled, _, _ = run_mix(mix, with_pebs=True, with_cache=False)
+    assert sampled.clock >= plain.clock
+    assert sampled.uops_retired == plain.uops_retired

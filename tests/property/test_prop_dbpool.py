@@ -1,0 +1,57 @@
+"""Property tests: the DB buffer pool against a reference LRU."""
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.dbpool import BufferPool
+
+
+class RefLRU:
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.d = OrderedDict()
+
+    def access(self, page):
+        if page in self.d:
+            self.d.move_to_end(page)
+            return True
+        if len(self.d) >= self.capacity:
+            self.d.popitem(last=False)
+        self.d[page] = True
+        return False
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=32),
+    pages=st.lists(st.integers(min_value=0, max_value=100), max_size=300),
+)
+def test_pool_matches_reference(capacity, pages):
+    pool = BufferPool(capacity)
+    ref = RefLRU(capacity)
+    for p in pages:
+        assert pool.access(p) == ref.access(p)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    capacity=st.integers(min_value=1, max_value=32),
+    pages=st.lists(st.integers(min_value=0, max_value=100), max_size=200),
+)
+def test_stats_conservation(capacity, pages):
+    pool = BufferPool(capacity)
+    misses = pool.access_many(tuple(pages))
+    assert pool.hits + pool.misses == len(pages)
+    assert pool.misses == misses
+
+
+@settings(max_examples=100, deadline=None)
+@given(pages=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=100))
+def test_working_set_within_capacity_never_remisses(pages):
+    pool = BufferPool(16)
+    pool.access_many(tuple(pages))
+    pool.hits = pool.misses = 0
+    pool.access_many(tuple(pages))
+    assert pool.misses == 0

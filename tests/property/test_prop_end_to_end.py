@@ -1,0 +1,87 @@
+"""End-to-end property tests: random workloads through the whole pipeline."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import trace
+from repro.workloads.synth import FixedItem, FixedSequenceApp
+
+FN_NAMES = ("alpha", "beta", "gamma")
+
+
+@st.composite
+def workload(draw):
+    n_items = draw(st.integers(min_value=1, max_value=8))
+    items = []
+    for i in range(n_items):
+        n_steps = draw(st.integers(min_value=1, max_value=4))
+        steps = tuple(
+            (
+                draw(st.sampled_from(FN_NAMES)),
+                draw(st.integers(min_value=200, max_value=40_000)),
+            )
+            for _ in range(n_steps)
+        )
+        items.append(FixedItem(item_id=i + 1, steps=steps))
+    reset = draw(st.sampled_from([500, 2_000, 8_000, 32_000]))
+    return items, reset
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=workload())
+def test_pipeline_invariants(data):
+    items, reset = data
+    app = FixedSequenceApp(items)
+    session = trace(app, reset_value=reset)
+    t = session.trace_for(0)
+
+    # Every item has a window, whatever the sampling produced.
+    window_ids = sorted({w.item_id for w in t.windows})
+    assert window_ids == [it.item_id for it in items]
+
+    # Sample conservation.
+    mapped = int(t.n_samples.sum()) if len(t.n_samples) else 0
+    assert mapped + t.unmapped_samples + t.unknown_ip_samples == t.total_samples
+
+    for it in items:
+        window = t.item_window_cycles(it.item_id)
+        bd = t.breakdown(it.item_id)
+        # Each estimate is bounded by the instrumented window.  (Their
+        # SUM may exceed it: when a function's occurrences interleave
+        # with others inside one item, its max-minus-min estimate spans
+        # the interlopers — the paper's V-B2 positional limitation.)
+        for est in bd.values():
+            assert est <= window
+        # Unattributed time is the clamped complement.
+        assert t.unattributed_cycles(it.item_id) == max(
+            0, window - sum(bd.values())
+        )
+        # The window covers at least the item's nominal work.
+        assert window >= sum(c for _, c in it.steps)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=workload())
+def test_determinism_end_to_end(data):
+    items, reset = data
+    a = trace(FixedSequenceApp(items), reset_value=reset).trace_for(0)
+    b = trace(FixedSequenceApp(items), reset_value=reset).trace_for(0)
+    assert a.total_samples == b.total_samples
+    for it in items:
+        assert a.breakdown(it.item_id) == b.breakdown(it.item_id)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=workload())
+def test_tracefile_roundtrip_end_to_end(data, tmp_path_factory):
+    from repro.core.tracefile import load_trace, save_session
+
+    items, reset = data
+    app = FixedSequenceApp(items)
+    session = trace(app, reset_value=reset)
+    path = tmp_path_factory.mktemp("prop") / "t.npz"
+    save_session(path, session, app.symtab)
+    offline = load_trace(path).integrate(0)
+    online = session.trace_for(0)
+    for it in items:
+        assert offline.breakdown(it.item_id) == online.breakdown(it.item_id)

@@ -1,0 +1,128 @@
+"""Property tests: hybrid integration against a naive reference."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hybrid import integrate
+from repro.core.records import SwitchRecords
+from repro.core.symbols import SymbolTable
+from repro.machine.pebs import SampleArrays
+from repro.runtime.actions import SwitchKind
+
+SYMTAB = SymbolTable.from_ranges({"f0": (0, 100), "f1": (100, 200), "f2": (200, 300)})
+
+
+@st.composite
+def trace_inputs(draw):
+    """Random non-overlapping windows plus random samples."""
+    n_windows = draw(st.integers(min_value=0, max_value=8))
+    windows = []
+    t = 0
+    for i in range(n_windows):
+        gap = draw(st.integers(min_value=0, max_value=50))
+        dur = draw(st.integers(min_value=0, max_value=200))
+        start = t + gap
+        windows.append((i + 1, start, start + dur))
+        t = start + dur
+    horizon = t + 100
+    n_samples = draw(st.integers(min_value=0, max_value=60))
+    ts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=horizon),
+                min_size=n_samples,
+                max_size=n_samples,
+            )
+        )
+    )
+    ips = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=350),
+            min_size=n_samples,
+            max_size=n_samples,
+        )
+    )
+    return windows, ts, ips
+
+
+def reference_integrate(windows, ts, ips):
+    """O(n*m) reference implementation of Section III-D steps 2-3.
+
+    Tie-break matches the library: a sample on a shared boundary belongs
+    to the later window (scan in reverse, first hit wins).
+    """
+    names = SYMTAB.names
+    groups: dict[tuple[int, int], list[int]] = {}
+    for t, ip in zip(ts, ips):
+        item = None
+        for wid, a, b in reversed(windows):
+            if a <= t <= b:
+                item = wid
+                break
+        fn = SYMTAB.lookup(ip)
+        if item is None or fn is None:
+            continue
+        groups.setdefault((item, names.index(fn)), []).append(t)
+    # Each generated item has exactly one window, so the per-item elapsed
+    # estimate is simply last - first of its mapped samples.
+    return {
+        (item, names[fn]): (len(samples), max(samples) - min(samples))
+        for (item, fn), samples in groups.items()
+    }
+
+
+def build_records(windows) -> SwitchRecords:
+    r = SwitchRecords(0)
+    for wid, a, b in windows:
+        r.append(a, wid, SwitchKind.ITEM_START)
+        r.append(b, wid, SwitchKind.ITEM_END)
+    return r
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=trace_inputs())
+def test_integration_matches_reference(data):
+    windows, ts, ips = data
+    samples = SampleArrays(
+        ts=np.asarray(ts, dtype=np.int64),
+        ip=np.asarray(ips, dtype=np.int64),
+        tag=np.full(len(ts), -1, dtype=np.int64),
+    )
+    trace = integrate(samples, build_records(windows), SYMTAB)
+    ref = reference_integrate(windows, ts, ips)
+    got = {
+        (est.item_id, est.fn_name): (est.n_samples, est.elapsed_cycles)
+        for est in trace.rows(min_samples=1)
+    }
+    assert got == ref
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=trace_inputs())
+def test_sample_conservation(data):
+    """mapped + unmapped + unknown-ip == total, always."""
+    windows, ts, ips = data
+    samples = SampleArrays(
+        ts=np.asarray(ts, dtype=np.int64),
+        ip=np.asarray(ips, dtype=np.int64),
+        tag=np.full(len(ts), -1, dtype=np.int64),
+    )
+    trace = integrate(samples, build_records(windows), SYMTAB)
+    mapped = int(trace.n_samples.sum()) if len(trace.n_samples) else 0
+    assert mapped + trace.unmapped_samples + trace.unknown_ip_samples == len(ts)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=trace_inputs())
+def test_estimates_bounded_by_window(data):
+    """An estimate can never exceed the item's total residency."""
+    windows, ts, ips = data
+    samples = SampleArrays(
+        ts=np.asarray(ts, dtype=np.int64),
+        ip=np.asarray(ips, dtype=np.int64),
+        tag=np.full(len(ts), -1, dtype=np.int64),
+    )
+    trace = integrate(samples, build_records(windows), SYMTAB)
+    for est in trace.rows(min_samples=1):
+        assert est.elapsed_cycles <= trace.item_window_cycles(est.item_id)

@@ -1,0 +1,111 @@
+"""Property tests: symbols, storage roundtrip, queue FIFO, records."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import SwitchRecords, build_windows
+from repro.core.storage import decode_samples, encode_samples
+from repro.core.symbols import UNKNOWN, SymbolTable
+from repro.machine.pebs import SampleArrays
+from repro.runtime.actions import SwitchKind
+from repro.runtime.queue import SPSCQueue
+
+
+@st.composite
+def symbol_table(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=10_000),
+                min_size=2 * n,
+                max_size=2 * n,
+                unique=True,
+            )
+        )
+    )
+    ranges = {}
+    for i in range(n):
+        lo, hi = cuts[2 * i], cuts[2 * i + 1]
+        ranges[f"fn{i}"] = (lo, hi)
+    return SymbolTable.from_ranges(ranges)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    table=symbol_table(),
+    ips=st.lists(st.integers(min_value=0, max_value=11_000), max_size=100),
+)
+def test_vectorised_lookup_matches_scalar(table, ips):
+    arr = np.asarray(ips, dtype=np.int64)
+    vec = table.lookup_many(arr)
+    for ip, idx in zip(ips, vec):
+        name = table.lookup(ip)
+        if idx == UNKNOWN:
+            assert name is None
+        else:
+            assert table.names[idx] == name
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=2**62),
+            st.integers(min_value=0, max_value=2**62),
+            st.integers(min_value=-1, max_value=2**31),
+        ),
+        max_size=100,
+    )
+)
+def test_storage_roundtrip(entries):
+    entries.sort()
+    s = SampleArrays(
+        ts=np.asarray([e[0] for e in entries], dtype=np.int64),
+        ip=np.asarray([e[1] for e in entries], dtype=np.int64),
+        tag=np.asarray([e[2] for e in entries], dtype=np.int64),
+    )
+    out = decode_samples(encode_samples(s))
+    assert np.array_equal(out.ts, s.ts)
+    assert np.array_equal(out.ip, s.ip)
+    assert np.array_equal(out.tag, s.tag)
+
+
+@settings(max_examples=200, deadline=None)
+@given(items=st.lists(st.integers(), min_size=1, max_size=80))
+def test_queue_fifo(items):
+    q = SPSCQueue("q")
+    t = 0
+    for x in items:
+        q.push(x, t)
+        t += 1
+    out = [q.pop(t + i) for i in range(len(items))]
+    assert out == items
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    durations=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),  # gap
+            st.integers(min_value=0, max_value=100),  # duration
+        ),
+        min_size=1,
+        max_size=40,
+    )
+)
+def test_windows_roundtrip(durations):
+    """START/END logs always rebuild into the same windows."""
+    r = SwitchRecords(0)
+    expect = []
+    t = 0
+    for i, (gap, dur) in enumerate(durations):
+        start = t + gap
+        end = start + dur
+        r.append(start, i, SwitchKind.ITEM_START)
+        r.append(end, i, SwitchKind.ITEM_END)
+        expect.append((i, start, end))
+        t = end
+    windows = build_windows(r)
+    assert [(w.item_id, w.t_start, w.t_end) for w in windows] == expect

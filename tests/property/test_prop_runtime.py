@@ -1,0 +1,130 @@
+"""Property tests: scheduler/queue/ULT invariants over random workloads."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.block import Block
+from repro.machine.machine import Machine
+from repro.runtime.actions import Exec, Pop, Push
+from repro.runtime.queue import MPMCQueue, SPSCQueue
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import AppThread
+from repro.runtime.ult import ULTask, ULTRuntime
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    work=st.lists(st.integers(min_value=1, max_value=5000), min_size=1, max_size=30),
+    capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+)
+def test_pipeline_delivers_in_order_with_any_capacity(work, capacity):
+    m = Machine(n_cores=2)
+    q = SPSCQueue("q", capacity=capacity)
+    got = []
+
+    def producer():
+        for i, uops in enumerate(work):
+            yield Exec(Block(ip=0, uops=uops))
+            yield Push(q, i)
+        yield Push(q, None)
+
+    def consumer():
+        while True:
+            item = yield Pop(q)
+            if item is None:
+                return
+            got.append(item)
+            yield Exec(Block(ip=0, uops=100))
+
+    Scheduler(
+        m,
+        [AppThread("p", 0, producer, 0), AppThread("c", 1, consumer, 0)],
+    ).run()
+    assert got == list(range(len(work)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n_items=st.integers(min_value=1, max_value=20),
+    n_consumers=st.integers(min_value=1, max_value=3),
+    uops=st.integers(min_value=100, max_value=20_000),
+)
+def test_mpmc_delivers_every_item_exactly_once(n_items, n_consumers, uops):
+    m = Machine(n_cores=1 + n_consumers)
+    q = MPMCQueue("q")
+    got = []
+
+    def producer():
+        for i in range(n_items):
+            yield Push(q, i)
+        for _ in range(n_consumers):
+            yield Push(q, None)
+
+    def consumer():
+        while True:
+            item = yield Pop(q)
+            if item is None:
+                return
+            got.append(item)
+            yield Exec(Block(ip=0, uops=uops))
+
+    threads = [AppThread("p", 0, producer, 0)] + [
+        AppThread(f"c{i}", 1 + i, consumer, 0) for i in range(n_consumers)
+    ]
+    Scheduler(m, threads).run()
+    assert sorted(got) == list(range(n_items))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    blocks=st.lists(st.integers(min_value=1, max_value=12), min_size=1, max_size=5),
+    timeslice=st.integers(min_value=500, max_value=20_000),
+    switch_cost=st.integers(min_value=0, max_value=500),
+)
+def test_ult_conserves_all_work(blocks, timeslice, switch_cost):
+    """Whatever the timeslice, every task's every block retires."""
+
+    def work(n):
+        def body():
+            for _ in range(n):
+                yield Exec(Block(ip=0x100, uops=4000))
+
+        return body
+
+    rt = ULTRuntime(
+        [ULTask(i + 1, work(n)) for i, n in enumerate(blocks)],
+        timeslice_cycles=timeslice,
+        switch_cost_cycles=switch_cost,
+        scheduler_ip=0x9,
+        mark_switches=False,
+    )
+    m = Machine(n_cores=1)
+    Scheduler(m, [AppThread("h", 0, rt.body, 0x1)]).run()
+    work_uops = sum(n * 4000 for n in blocks)
+    assert rt.completions == len(blocks)
+    # Core retired at least the task work (plus switch blocks).
+    assert m.core(0).uops_retired >= work_uops
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    uops=st.lists(st.integers(min_value=1, max_value=50_000), min_size=1, max_size=20),
+    reset=st.integers(min_value=100, max_value=20_000),
+)
+def test_sampling_never_changes_retired_work(uops, reset):
+    """Attached PEBS inflates time, never the retired uop count."""
+    from repro.machine.events import HWEvent
+    from repro.machine.pebs import PEBSConfig
+
+    def body():
+        for u in uops:
+            yield Exec(Block(ip=0, uops=u))
+
+    plain = Machine(n_cores=1)
+    Scheduler(plain, [AppThread("x", 0, body, 0)]).run()
+    sampled = Machine(n_cores=1)
+    sampled.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, reset))
+    Scheduler(sampled, [AppThread("x", 0, body, 0)]).run()
+    assert plain.core(0).uops_retired == sampled.core(0).uops_retired
+    assert sampled.core(0).clock >= plain.core(0).clock

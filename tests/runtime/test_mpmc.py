@@ -1,0 +1,202 @@
+"""Tests for MPMC queues and multi-consumer scheduling causality."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine.block import Block
+from repro.machine.machine import Machine
+from repro.runtime.actions import Exec, Pop, Push
+from repro.runtime.queue import MPMCQueue, SPSCQueue
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import AppThread
+
+
+class TestRoleEnforcement:
+    def test_spsc_second_consumer_rejected(self):
+        m = Machine(n_cores=3)
+        q = SPSCQueue("q")
+
+        def producer():
+            for i in range(4):
+                yield Push(q, i)
+            yield Push(q, None)
+            yield Push(q, None)
+
+        def consumer():
+            while True:
+                item = yield Pop(q)
+                if item is None:
+                    return
+
+        threads = [
+            AppThread("prod", 0, producer, 0),
+            AppThread("cons-a", 1, consumer, 0),
+            AppThread("cons-b", 2, consumer, 0),
+        ]
+        with pytest.raises(SimulationError, match="SPSC"):
+            Scheduler(m, threads).run()
+
+    def test_mpmc_allows_multiple_consumers(self):
+        m = Machine(n_cores=3)
+        q = MPMCQueue("q")
+        got = []
+
+        def producer():
+            for i in range(10):
+                yield Push(q, i)
+            yield Push(q, None)
+            yield Push(q, None)
+
+        def consumer(tag):
+            def body():
+                while True:
+                    item = yield Pop(q)
+                    if item is None:
+                        return
+                    got.append((tag, item))
+                    yield Exec(Block(ip=0, uops=4000))
+
+            return body
+
+        threads = [
+            AppThread("prod", 0, producer, 0),
+            AppThread("cons-a", 1, consumer("a"), 0),
+            AppThread("cons-b", 2, consumer("b"), 0),
+        ]
+        Scheduler(m, threads).run()
+        assert sorted(i for _, i in got) == list(range(10))
+        # Both consumers actually participated.
+        assert {t for t, _ in got} == {"a", "b"}
+
+    def test_mpmc_allows_multiple_producers(self):
+        m = Machine(n_cores=3)
+        q = MPMCQueue("q")
+        got = []
+
+        def producer(base):
+            def body():
+                for i in range(5):
+                    yield Push(q, base + i)
+
+            return body
+
+        def consumer():
+            for _ in range(10):
+                item = yield Pop(q)
+                got.append(item)
+
+        threads = [
+            AppThread("p1", 0, producer(0), 0),
+            AppThread("p2", 1, producer(100), 0),
+            AppThread("cons", 2, consumer, 0),
+        ]
+        Scheduler(m, threads).run()
+        assert sorted(got) == [0, 1, 2, 3, 4, 100, 101, 102, 103, 104]
+
+
+class TestMultiConsumerCausality:
+    def test_idle_consumer_gets_the_item(self):
+        """An item available at t goes to the consumer that is free
+        earliest, not to whichever the host visits first."""
+        m = Machine(n_cores=3)
+        q = MPMCQueue("q", push_cost=0, pop_cost=0)
+        takers = {}
+
+        def producer():
+            yield Exec(Block(ip=0, uops=40_000))  # push at t=10_000
+            yield Push(q, "item")
+            yield Push(q, None)
+            yield Push(q, None)
+
+        def busy_consumer():
+            # Busy until t = 50_000; must NOT win the item.
+            yield Exec(Block(ip=0, uops=200_000))
+            while True:
+                item = yield Pop(q)
+                if item is None:
+                    return
+                takers["busy"] = item
+
+        def idle_consumer():
+            while True:
+                item = yield Pop(q)
+                if item is None:
+                    return
+                takers["idle"] = item
+
+        threads = [
+            AppThread("prod", 0, producer, 0),
+            AppThread("busy", 1, busy_consumer, 0),
+            AppThread("idle", 2, idle_consumer, 0),
+        ]
+        Scheduler(m, threads).run()
+        assert takers == {"idle": "item"}
+        # The idle consumer took it at the availability time, not later.
+        assert m.core(2).clock < 50_000
+
+    def test_load_is_balanced_under_contention(self):
+        """Equal consumers split a steady stream roughly evenly."""
+        m = Machine(n_cores=3)
+        q = MPMCQueue("q")
+        counts = {1: 0, 2: 0}
+
+        def producer():
+            for i in range(100):
+                yield Exec(Block(ip=0, uops=4000))
+                yield Push(q, i)
+            yield Push(q, None)
+            yield Push(q, None)
+
+        def consumer(core):
+            def body():
+                while True:
+                    item = yield Pop(q)
+                    if item is None:
+                        return
+                    counts[core] += 1
+                    yield Exec(Block(ip=0, uops=8000))
+
+            return body
+
+        threads = [
+            AppThread("prod", 0, producer, 0),
+            AppThread("c1", 1, consumer(1), 0),
+            AppThread("c2", 2, consumer(2), 0),
+        ]
+        Scheduler(m, threads).run()
+        assert counts[1] + counts[2] == 100
+        assert abs(counts[1] - counts[2]) < 20
+
+    def test_mpmc_pop_timestamps_causal(self):
+        """No consumer pops an item before its availability time."""
+        m = Machine(n_cores=3)
+        q = MPMCQueue("q", push_cost=0, pop_cost=0)
+        pops = []
+
+        def producer():
+            for i in range(20):
+                yield Exec(Block(ip=0, uops=8000))
+                yield Push(q, i)
+            yield Push(q, None)
+            yield Push(q, None)
+
+        def consumer(core_id):
+            def body():
+                core = m.core(core_id)
+                while True:
+                    item = yield Pop(q)
+                    if item is None:
+                        return
+                    pops.append((item, core.clock))
+
+            return body
+
+        threads = [
+            AppThread("prod", 0, producer, 0),
+            AppThread("c1", 1, consumer(1), 0),
+            AppThread("c2", 2, consumer(2), 0),
+        ]
+        Scheduler(m, threads).run()
+        # Item i is pushed at >= (i+1) * 2000 cycles.
+        for item, ts in pops:
+            assert ts >= (item + 1) * 2000

@@ -1,0 +1,104 @@
+"""Tests for SPSC queue timing and backpressure semantics."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.runtime.queue import SPSCQueue
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        q = SPSCQueue("q")
+        q.push("a", 10)
+        q.push("b", 20)
+        assert q.pop(30) == "a"
+        assert q.pop(30) == "b"
+
+    def test_len_and_empty(self):
+        q = SPSCQueue("q")
+        assert q.empty and len(q) == 0
+        q.push(1, 0)
+        assert not q.empty and len(q) == 1
+
+    def test_pop_before_available_rejected(self):
+        q = SPSCQueue("q")
+        q.push("x", 100)
+        with pytest.raises(SimulationError):
+            q.pop(50)
+
+    def test_pop_empty_rejected(self):
+        q = SPSCQueue("q")
+        with pytest.raises(SimulationError):
+            q.pop(0)
+
+    def test_head_avail_ts(self):
+        q = SPSCQueue("q")
+        assert q.head_avail_ts() is None
+        q.push("x", 42)
+        assert q.head_avail_ts() == 42
+
+    def test_counters(self):
+        q = SPSCQueue("q")
+        q.push(1, 0)
+        q.push(2, 0)
+        q.pop(5)
+        assert q.total_pushed == 2
+        assert q.total_popped == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(SimulationError):
+            SPSCQueue("q", capacity=0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(SimulationError):
+            SPSCQueue("q", push_cost=-1)
+
+    def test_close_then_push_rejected(self):
+        q = SPSCQueue("q")
+        q.close()
+        with pytest.raises(SimulationError):
+            q.push(1, 0)
+
+
+class TestBackpressure:
+    def test_unbounded_never_full(self):
+        q = SPSCQueue("q")
+        for i in range(1000):
+            q.push(i, i)
+        assert not q.full
+        assert q.earliest_push_ts(0) == 0
+
+    def test_full_detection(self):
+        q = SPSCQueue("q", capacity=2)
+        q.push(1, 0)
+        q.push(2, 0)
+        assert q.full
+
+    def test_push_blocked_without_free_slot(self):
+        q = SPSCQueue("q", capacity=1)
+        q.push(1, 0)
+        assert q.earliest_push_ts(10) is None  # no pop has happened yet
+
+    def test_push_waits_for_slot_freed_by_pop(self):
+        q = SPSCQueue("q", capacity=1)
+        q.push(1, 0)
+        q.pop(500)
+        # Producer at t=100 must wait until the pop at t=500 freed the slot.
+        assert q.earliest_push_ts(100) == 500
+        # Producer already past the free time pushes at its own clock.
+        assert q.earliest_push_ts(900) == 900
+
+    def test_push_into_full_queue_raises(self):
+        q = SPSCQueue("q", capacity=1)
+        q.push(1, 0)
+        with pytest.raises(SimulationError):
+            q.push(2, 0)
+
+    def test_slot_consumed_once(self):
+        q = SPSCQueue("q", capacity=1)
+        q.push(1, 0)
+        q.pop(100)
+        q.push(2, 100)
+        q.pop(200)
+        q.push(3, 200)
+        assert q.total_pushed == 3

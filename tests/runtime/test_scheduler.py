@@ -1,0 +1,333 @@
+"""Tests for the discrete-event scheduler: pipelines, blocking, hooks."""
+
+import pytest
+
+from repro.errors import ConfigError, DeadlockError, SimulationError
+from repro.machine.block import Block
+from repro.machine.machine import Machine
+from repro.runtime.actions import (
+    Exec,
+    FnEnter,
+    FnLeave,
+    IdleUntil,
+    Mark,
+    Pop,
+    Push,
+    SetTag,
+    SwitchKind,
+)
+from repro.runtime.queue import SPSCQueue
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import AppThread
+
+
+def run_pipeline(machine, producer_body, consumer_body, tracer=None):
+    t0 = AppThread("prod", 0, producer_body, poll_ip=0x10)
+    t1 = AppThread("cons", 1, consumer_body, poll_ip=0x20)
+    Scheduler(machine, [t0, t1], tracer=tracer).run()
+    return t0, t1
+
+
+class TestBasicExecution:
+    def test_single_thread_runs_to_completion(self):
+        m = Machine(n_cores=1)
+
+        def body():
+            for _ in range(10):
+                yield Exec(Block(ip=0, uops=400))
+
+        t = AppThread("solo", 0, body, poll_ip=0)
+        Scheduler(m, [t]).run()
+        assert t.finished
+        assert m.core(0).clock == 10 * 100
+
+    def test_exec_returns_outcome(self):
+        m = Machine(n_cores=1)
+        seen = []
+
+        def body():
+            out = yield Exec(Block(ip=0, uops=400))
+            seen.append(out)
+
+        Scheduler(m, [AppThread("x", 0, body, 0)]).run()
+        assert seen[0].cycles == 100
+
+    def test_two_cores_pinned(self):
+        m = Machine(n_cores=2)
+
+        def producer():
+            yield Exec(Block(ip=0, uops=4000))
+
+        def consumer():
+            yield Exec(Block(ip=0, uops=8000))
+
+        run_pipeline(m, producer, consumer)
+        assert m.core(0).clock == 1000
+        assert m.core(1).clock == 2000
+
+    def test_duplicate_core_pinning_rejected(self):
+        m = Machine(n_cores=2)
+        t0 = AppThread("a", 0, lambda: iter(()), 0)
+        t1 = AppThread("b", 0, lambda: iter(()), 0)
+        with pytest.raises(ConfigError, match="one thread per core"):
+            Scheduler(m, [t0, t1])
+
+    def test_bad_core_id_rejected(self):
+        m = Machine(n_cores=1)
+        t = AppThread("a", 5, lambda: iter(()), 0)
+        with pytest.raises(ConfigError):
+            Scheduler(m, [t])
+
+    def test_idle_until(self):
+        m = Machine(n_cores=1)
+
+        def body():
+            yield IdleUntil(9999)
+
+        Scheduler(m, [AppThread("x", 0, body, 0)]).run()
+        assert m.core(0).clock == 9999
+        assert m.core(0).idle_cycles == 9999
+
+    def test_idle_until_past_time_is_noop(self):
+        m = Machine(n_cores=1)
+
+        def body():
+            yield Exec(Block(ip=0, uops=40_000))
+            yield IdleUntil(10)  # already past
+
+        Scheduler(m, [AppThread("x", 0, body, 0)]).run()
+        assert m.core(0).clock == 10_000
+
+    def test_set_tag(self):
+        m = Machine(n_cores=1)
+
+        def body():
+            yield SetTag(77)
+            yield Exec(Block(ip=0, uops=4))
+
+        Scheduler(m, [AppThread("x", 0, body, 0)]).run()
+        assert m.core(0).tag_register == 77
+
+    def test_unknown_action_rejected(self):
+        m = Machine(n_cores=1)
+
+        def body():
+            yield "not an action"
+
+        with pytest.raises(SimulationError, match="unknown action"):
+            Scheduler(m, [AppThread("x", 0, body, 0)]).run()
+
+    def test_max_actions_guard(self):
+        m = Machine(n_cores=1)
+
+        def forever():
+            while True:
+                yield Exec(Block(ip=0, uops=4))
+
+        with pytest.raises(SimulationError, match="max_actions"):
+            Scheduler(m, [AppThread("x", 0, forever, 0)], max_actions=100).run()
+
+
+class TestQueueInteraction:
+    def test_items_flow_through(self):
+        m = Machine(n_cores=2)
+        q = SPSCQueue("q")
+        received = []
+
+        def producer():
+            for i in range(5):
+                yield Push(q, i)
+            yield Push(q, None)
+
+        def consumer():
+            while True:
+                item = yield Pop(q)
+                if item is None:
+                    return
+                received.append(item)
+
+        run_pipeline(m, producer, consumer)
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_consumer_spins_until_item_available(self):
+        m = Machine(n_cores=2)
+        q = SPSCQueue("q", push_cost=0, pop_cost=0)
+
+        def producer():
+            yield Exec(Block(ip=0, uops=40_000))  # 10_000 cycles
+            yield Push(q, "late")
+
+        def consumer():
+            item = yield Pop(q)
+            assert item == "late"
+
+        run_pipeline(m, producer, consumer)
+        # Consumer spun from 0 to >= 10_000.
+        assert m.core(1).clock >= 10_000
+        assert m.core(1).uops_retired >= 9_000  # spin retired uops
+
+    def test_consumer_ahead_pops_at_own_clock(self):
+        m = Machine(n_cores=2)
+        q = SPSCQueue("q", push_cost=0, pop_cost=0)
+
+        def producer():
+            yield Push(q, "early")
+
+        def consumer():
+            yield Exec(Block(ip=0, uops=40_000))
+            item = yield Pop(q)
+            assert item == "early"
+
+        run_pipeline(m, producer, consumer)
+        assert m.core(1).clock == 10_000
+
+    def test_pop_cost_charged(self):
+        m = Machine(n_cores=2)
+        q = SPSCQueue("q", push_cost=0, pop_cost=40)
+
+        def producer():
+            yield Push(q, 1)
+
+        def consumer():
+            yield Pop(q)
+
+        run_pipeline(m, producer, consumer)
+        assert m.core(1).clock == 40
+
+    def test_bounded_queue_backpressure(self):
+        m = Machine(n_cores=2)
+        q = SPSCQueue("q", capacity=1, push_cost=0, pop_cost=0)
+
+        def producer():
+            for i in range(3):
+                yield Push(q, i)
+
+        def consumer():
+            for _ in range(3):
+                yield Pop(q)
+                yield Exec(Block(ip=0, uops=40_000))  # slow consumer
+
+        run_pipeline(m, producer, consumer)
+        # Producer had to wait for slots: its clock advanced past 10_000.
+        assert m.core(0).clock >= 10_000
+
+    def test_deadlock_detected(self):
+        m = Machine(n_cores=2)
+        q1, q2 = SPSCQueue("q1"), SPSCQueue("q2")
+
+        def a():
+            yield Pop(q1)
+
+        def b():
+            yield Pop(q2)
+
+        with pytest.raises(DeadlockError, match="blocked"):
+            run_pipeline(m, a, b)
+
+    def test_three_stage_pipeline(self):
+        m = Machine(n_cores=3)
+        q1, q2 = SPSCQueue("q1"), SPSCQueue("q2")
+        out = []
+
+        def stage0():
+            for i in range(10):
+                yield Push(q1, i)
+            yield Push(q1, None)
+
+        def stage1():
+            while True:
+                x = yield Pop(q1)
+                yield Push(q2, x)
+                if x is None:
+                    return
+
+        def stage2():
+            while True:
+                x = yield Pop(q2)
+                if x is None:
+                    return
+                out.append(x * 2)
+
+        threads = [
+            AppThread("s0", 0, stage0, 0),
+            AppThread("s1", 1, stage1, 0),
+            AppThread("s2", 2, stage2, 0),
+        ]
+        Scheduler(m, threads).run()
+        assert out == [i * 2 for i in range(10)]
+
+
+class RecordingTracer:
+    """Hook that records calls and charges a fixed cost at a fixed ip."""
+
+    def __init__(self, cost=0, ip=0x999):
+        self.cost = cost
+        self.ip = ip
+        self.marks = []
+        self.enters = []
+        self.leaves = []
+
+    def on_mark(self, thread, core, kind, item_id):
+        self.marks.append((thread.name, core.clock, kind, item_id))
+        return (self.cost, self.ip)
+
+    def on_fn_enter(self, thread, core, fn_ip):
+        self.enters.append((core.clock, fn_ip))
+        return (self.cost, self.ip)
+
+    def on_fn_leave(self, thread, core, fn_ip):
+        self.leaves.append((core.clock, fn_ip))
+        return (self.cost, self.ip)
+
+
+class TestTracerHooks:
+    def test_marks_delivered_with_timestamps(self):
+        m = Machine(n_cores=1)
+        tracer = RecordingTracer()
+
+        def body():
+            yield Mark(SwitchKind.ITEM_START, 7)
+            yield Exec(Block(ip=0, uops=400))
+            yield Mark(SwitchKind.ITEM_END, 7)
+
+        Scheduler(m, [AppThread("x", 0, body, 0)], tracer=tracer).run()
+        assert [(k, i) for (_, _, k, i) in tracer.marks] == [
+            (SwitchKind.ITEM_START, 7),
+            (SwitchKind.ITEM_END, 7),
+        ]
+        assert tracer.marks[1][1] == 100  # END recorded at post-exec clock
+
+    def test_mark_cost_charged_to_core(self):
+        m = Machine(n_cores=1)
+        tracer = RecordingTracer(cost=600)
+
+        def body():
+            yield Mark(SwitchKind.ITEM_START, 1)
+
+        Scheduler(m, [AppThread("x", 0, body, 0)], tracer=tracer).run()
+        assert m.core(0).clock == 600
+
+    def test_fn_hooks_called(self):
+        m = Machine(n_cores=1)
+        tracer = RecordingTracer()
+
+        def body():
+            yield FnEnter(0xAA)
+            yield Exec(Block(ip=0xAA, uops=400))
+            yield FnLeave(0xAA)
+
+        Scheduler(m, [AppThread("x", 0, body, 0)], tracer=tracer).run()
+        assert tracer.enters == [(0, 0xAA)]
+        assert tracer.leaves == [(100, 0xAA)]
+
+    def test_no_tracer_means_zero_cost(self):
+        m = Machine(n_cores=1)
+
+        def body():
+            yield Mark(SwitchKind.ITEM_START, 1)
+            yield FnEnter(0xAA)
+            yield FnLeave(0xAA)
+            yield Mark(SwitchKind.ITEM_END, 1)
+
+        Scheduler(m, [AppThread("x", 0, body, 0)]).run()
+        assert m.core(0).clock == 0

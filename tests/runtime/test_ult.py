@@ -1,0 +1,166 @@
+"""Tests for user-level threading (timer-switching architecture)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.block import Block
+from repro.machine.machine import Machine
+from repro.machine.pebs import TAG_NONE
+from repro.runtime.actions import Exec, SwitchKind
+from repro.runtime.scheduler import Scheduler
+from repro.runtime.thread import AppThread
+from repro.runtime.ult import ULTask, ULTRuntime
+
+
+def blocks_task(n_blocks: int, uops: int = 4000, ip: int = 0x100):
+    def body():
+        for _ in range(n_blocks):
+            yield Exec(Block(ip=ip, uops=uops))
+
+    return body
+
+
+def run_ult(runtime: ULTRuntime, machine=None, tracer=None) -> Machine:
+    m = machine or Machine(n_cores=1)
+    Scheduler(m, [AppThread("ult-host", 0, runtime.body, 0x1)], tracer=tracer).run()
+    return m
+
+
+class TestRoundRobin:
+    def test_single_task_completes(self):
+        rt = ULTRuntime(
+            [ULTask(1, blocks_task(3))],
+            timeslice_cycles=10_000,
+            switch_cost_cycles=0,
+            scheduler_ip=0x9,
+        )
+        run_ult(rt)
+        assert rt.completions == 1
+        assert rt.preemptions == 0
+
+    def test_long_task_preempted(self):
+        # Each block is 1000 cycles; timeslice 2500 -> preempt after 3 blocks.
+        rt = ULTRuntime(
+            [ULTask(1, blocks_task(10)), ULTask(2, blocks_task(10))],
+            timeslice_cycles=2500,
+            switch_cost_cycles=0,
+            scheduler_ip=0x9,
+        )
+        run_ult(rt)
+        assert rt.completions == 2
+        assert rt.preemptions > 0
+
+    def test_all_work_executes(self):
+        m = Machine(n_cores=1)
+        rt = ULTRuntime(
+            [ULTask(i, blocks_task(4)) for i in range(1, 4)],
+            timeslice_cycles=1500,
+            switch_cost_cycles=0,
+            scheduler_ip=0x9,
+            mark_switches=False,
+        )
+        run_ult(rt, machine=m)
+        assert m.core(0).uops_retired == 3 * 4 * 4000
+
+    def test_switch_cost_charged(self):
+        m0 = Machine(n_cores=1)
+        rt0 = ULTRuntime(
+            [ULTask(1, blocks_task(4)), ULTask(2, blocks_task(4))],
+            timeslice_cycles=1500,
+            switch_cost_cycles=0,
+            scheduler_ip=0x9,
+        )
+        run_ult(rt0, machine=m0)
+        m1 = Machine(n_cores=1)
+        rt1 = ULTRuntime(
+            [ULTask(1, blocks_task(4)), ULTask(2, blocks_task(4))],
+            timeslice_cycles=1500,
+            switch_cost_cycles=300,
+            scheduler_ip=0x9,
+        )
+        run_ult(rt1, machine=m1)
+        assert m1.core(0).clock > m0.core(0).clock
+
+    def test_duplicate_item_ids_rejected(self):
+        with pytest.raises(ConfigError):
+            ULTRuntime(
+                [ULTask(1, blocks_task(1)), ULTask(1, blocks_task(1))],
+                timeslice_cycles=100,
+                switch_cost_cycles=0,
+                scheduler_ip=0,
+            )
+
+    def test_invalid_timeslice_rejected(self):
+        with pytest.raises(ConfigError):
+            ULTRuntime([ULTask(1, blocks_task(1))], 0, 0, 0)
+
+
+class TestRegisterTagging:
+    def test_tag_cleared_after_run(self):
+        m = Machine(n_cores=1)
+        rt = ULTRuntime(
+            [ULTask(5, blocks_task(2))],
+            timeslice_cycles=10_000,
+            switch_cost_cycles=0,
+            scheduler_ip=0x9,
+        )
+        run_ult(rt, machine=m)
+        assert m.core(0).tag_register == TAG_NONE
+
+    def test_samples_carry_item_tag(self):
+        from repro.machine.events import HWEvent
+        from repro.machine.pebs import PEBSConfig
+
+        m = Machine(n_cores=1)
+        unit = m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+        rt = ULTRuntime(
+            [ULTask(5, blocks_task(3)), ULTask(6, blocks_task(3))],
+            timeslice_cycles=1500,
+            switch_cost_cycles=0,
+            scheduler_ip=0x9,
+            mark_switches=False,
+        )
+        run_ult(rt, machine=m)
+        tags = set(unit.finalize().tag.tolist())
+        assert {5, 6} <= tags
+
+    def test_tagging_disabled(self):
+        from repro.machine.events import HWEvent
+        from repro.machine.pebs import PEBSConfig
+
+        m = Machine(n_cores=1)
+        unit = m.attach_pebs(0, PEBSConfig(HWEvent.UOPS_RETIRED_ALL, 1000))
+        rt = ULTRuntime(
+            [ULTask(5, blocks_task(3))],
+            timeslice_cycles=10_000,
+            switch_cost_cycles=0,
+            scheduler_ip=0x9,
+            tag_items=False,
+            mark_switches=False,
+        )
+        run_ult(rt, machine=m)
+        assert set(unit.finalize().tag.tolist()) == {TAG_NONE}
+
+
+class TestSwitchMarking:
+    def test_residency_segments_marked(self):
+        from repro.core.instrument import MarkingTracer
+        from repro.core.records import build_windows
+
+        m = Machine(n_cores=1)
+        tracer = MarkingTracer(mark_ip=0x5000, cost_ns=0.0)
+        rt = ULTRuntime(
+            [ULTask(1, blocks_task(6)), ULTask(2, blocks_task(6))],
+            timeslice_cycles=2500,
+            switch_cost_cycles=100,
+            scheduler_ip=0x9,
+        )
+        run_ult(rt, machine=m, tracer=tracer)
+        windows = build_windows(tracer.records_for_core(0))
+        # Both items preempted at least once -> more windows than items.
+        assert len(windows) > 2
+        items = {w.item_id for w in windows}
+        assert items == {1, 2}
+        # Windows are disjoint and ordered.
+        for a, b in zip(windows, windows[1:]):
+            assert a.t_end <= b.t_start

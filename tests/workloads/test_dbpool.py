@@ -1,0 +1,149 @@
+"""Tests for the thread-pool database workload."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+from repro.workloads.dbpool import (
+    BufferPool,
+    DBPoolApp,
+    DBPoolConfig,
+    QueryClass,
+)
+
+
+def run_app(config=None) -> DBPoolApp:
+    app = DBPoolApp(config or DBPoolConfig(n_queries=200))
+    m = Machine(n_cores=1 + app.config.n_workers)
+    Scheduler(m, app.threads()).run()
+    return app
+
+
+class TestBufferPool:
+    def test_hit_after_insert(self):
+        p = BufferPool(4)
+        assert p.access(1) is False
+        assert p.access(1) is True
+
+    def test_lru_eviction(self):
+        p = BufferPool(2)
+        p.access(1)
+        p.access(2)
+        p.access(1)  # 2 becomes LRU
+        p.access(3)  # evicts 2
+        assert p.access(1) is True
+        assert p.access(2) is False
+
+    def test_access_many_counts_misses(self):
+        p = BufferPool(10)
+        assert p.access_many((1, 2, 1, 3)) == 3
+
+    def test_capacity_validation(self):
+        with pytest.raises(WorkloadError):
+            BufferPool(0)
+
+    def test_stats(self):
+        p = BufferPool(10)
+        p.access_many((1, 2, 1))
+        assert (p.hits, p.misses) == (1, 2)
+
+
+class TestConfigValidation:
+    def test_bad_mix(self):
+        with pytest.raises(WorkloadError):
+            DBPoolConfig(mix=(0.5, 0.5, 0.5))
+
+    def test_bad_workers(self):
+        with pytest.raises(WorkloadError):
+            DBPoolConfig(n_workers=0)
+
+    def test_bad_queries(self):
+        with pytest.raises(WorkloadError):
+            DBPoolConfig(n_queries=0)
+
+
+class TestExecution:
+    def test_all_queries_complete(self):
+        app = run_app()
+        assert len(app.completed) == app.config.n_queries
+        assert len(app.dispatched) == app.config.n_queries
+
+    def test_workers_share_the_load(self):
+        """With a shared MPMC queue, no worker starves: each of the 3
+        workers processes a substantial share."""
+        from repro.core.instrument import MarkingTracer
+
+        app = DBPoolApp(DBPoolConfig(n_queries=200))
+        m = Machine(n_cores=1 + app.config.n_workers)
+        tracer = MarkingTracer(mark_ip=app.mark_ip, cost_ns=0.0)
+        Scheduler(m, app.threads(), tracer=tracer).run()
+        per_core = [
+            len(tracer.records_for_core(c)) // 2 for c in app.worker_cores
+        ]
+        assert sum(per_core) == 200
+        assert min(per_core) > 200 // app.config.n_workers // 3
+
+    def test_latency_positive_and_bounded(self):
+        app = run_app()
+        lats = app.latencies_us()
+        assert all(l > 0 for l in lats)
+        # Stable system: nothing should exceed ~10 ms in this config.
+        assert max(lats) < 10_000
+
+    def test_class_means_ordered(self):
+        app = run_app(DBPoolConfig(n_queries=400))
+        mean = {
+            qc: sum(app.latencies_us(qc)) / len(app.latencies_us(qc))
+            for qc in QueryClass
+        }
+        assert mean[QueryClass.ANALYTIC] > mean[QueryClass.RANGE] > mean[QueryClass.POINT]
+
+    def test_warm_point_query_is_fast(self):
+        app = run_app()
+        # Late point queries (warm pool, low congestion) run near the
+        # unqueued service time.
+        late_points = [
+            app.latency_us(q.qid)
+            for q in app.queries[-50:]
+            if q.qclass is QueryClass.POINT
+        ]
+        assert min(late_points) < 40.0
+
+    def test_page_misses_recorded(self):
+        app = run_app()
+        assert set(app.page_misses) == {q.qid for q in app.queries}
+        # Analytic queries always miss (cold region)...
+        for q in app.queries:
+            if q.qclass is QueryClass.ANALYTIC:
+                assert app.page_misses[q.qid] > 0
+
+    def test_determinism(self):
+        a = run_app(DBPoolConfig(n_queries=150, seed=9))
+        b = run_app(DBPoolConfig(n_queries=150, seed=9))
+        assert a.latencies_us() == b.latencies_us()
+
+    def test_latency_of_pending_query_rejected(self):
+        app = DBPoolApp(DBPoolConfig(n_queries=50))
+        with pytest.raises(WorkloadError):
+            app.latency_us(1)
+
+    def test_summary_fields(self):
+        app = run_app()
+        s = app.latency_summary()
+        assert s["p99_us"] >= s["mean_us"]
+        assert s["std_over_mean"] > 0
+
+    def test_group_of(self):
+        app = DBPoolApp(DBPoolConfig(n_queries=10))
+        assert app.group_of(1) in {"point", "range", "analytic"}
+
+
+class TestTailShape:
+    def test_huang_et_al_statistics(self):
+        """The paper's Section I motivation: std ~ 2x mean, p99 ~ 10x mean
+        (we assert the same order of magnitude)."""
+        app = run_app(DBPoolConfig())  # full default workload
+        s = app.latency_summary()
+        assert 1.2 < s["std_over_mean"] < 3.5
+        assert s["p99_over_mean"] > 6.0

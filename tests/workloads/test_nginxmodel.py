@@ -1,0 +1,70 @@
+"""Tests for the NGINX model behind Fig 2."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+from repro.workloads.nginxmodel import NGINX_FUNCTIONS, NginxModel, NginxModelConfig
+
+
+def run_model(config=None) -> NginxModel:
+    model = NginxModel(config or NginxModelConfig(n_requests=50))
+    m = Machine(n_cores=1)
+    Scheduler(m, model.threads()).run()
+    return model
+
+
+class TestCalibration:
+    def test_mean_request_near_149us(self):
+        model = run_model()
+        assert model.mean_request_us() == pytest.approx(149.0, rel=0.10)
+
+    def test_most_functions_under_4us(self):
+        """The Fig 2 finding that motivates the whole paper."""
+        model = run_model()
+        per_req = [model.per_request_us(name) for name, _ in NGINX_FUNCTIONS]
+        under_4 = sum(1 for us in per_req if us < 4.0)
+        assert under_4 >= len(per_req) // 2
+
+    def test_writev_dominates(self):
+        model = run_model()
+        us = {name: model.per_request_us(name) for name, _ in NGINX_FUNCTIONS}
+        assert max(us, key=us.get) == "ngx_writev"
+
+    def test_unknown_function_rejected(self):
+        model = run_model()
+        with pytest.raises(WorkloadError):
+            model.per_request_us("nope")
+
+    def test_results_require_run(self):
+        model = NginxModel()
+        with pytest.raises(WorkloadError):
+            model.mean_request_us()
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        a = run_model(NginxModelConfig(n_requests=20, seed=5))
+        b = run_model(NginxModelConfig(n_requests=20, seed=5))
+        assert a.true_cycles == b.true_cycles
+
+    def test_different_seed_differs(self):
+        a = run_model(NginxModelConfig(n_requests=20, seed=5))
+        b = run_model(NginxModelConfig(n_requests=20, seed=6))
+        assert a.true_cycles != b.true_cycles
+
+    def test_zero_jitter_is_exact(self):
+        model = run_model(NginxModelConfig(n_requests=10, jitter_cv=0.0))
+        for name, mean_cycles in NGINX_FUNCTIONS:
+            assert model.true_cycles[name] == 10 * mean_cycles
+
+
+class TestValidation:
+    def test_bad_request_count(self):
+        with pytest.raises(WorkloadError):
+            NginxModelConfig(n_requests=0)
+
+    def test_bad_jitter(self):
+        with pytest.raises(WorkloadError):
+            NginxModelConfig(jitter_cv=1.5)

@@ -1,0 +1,117 @@
+"""Tests for the Fig 7 sample application."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+from repro.workloads.sampleapp import PAPER_QUERIES, Query, SampleApp, SampleAppConfig
+
+
+def run_plain(app: SampleApp) -> Machine:
+    m = Machine(n_cores=2)
+    Scheduler(m, app.threads()).run()
+    return m
+
+
+class TestConfigValidation:
+    def test_paper_queries_shape(self):
+        assert len(PAPER_QUERIES) == 10
+        assert [q.n for q in PAPER_QUERIES] == [3, 3, 2, 3, 5, 1, 5, 3, 5, 2]
+        assert [q.qid for q in PAPER_QUERIES] == list(range(1, 11))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(WorkloadError):
+            SampleAppConfig(queries=(Query(1, 1), Query(1, 2)))
+
+    def test_empty_queries_rejected(self):
+        with pytest.raises(WorkloadError):
+            SampleAppConfig(queries=())
+
+    def test_invalid_query(self):
+        with pytest.raises(WorkloadError):
+            Query(1, 0)
+        with pytest.raises(WorkloadError):
+            Query(-1, 1)
+
+
+class TestCacheSemantics:
+    def test_first_query_computes_all_points(self):
+        app = SampleApp()
+        run_plain(app)
+        assert app.computed_points[1] == 3000  # n=3, cold
+
+    def test_repeat_query_computes_nothing(self):
+        app = SampleApp()
+        run_plain(app)
+        assert app.computed_points[2] == 0  # same n=3, warm
+
+    def test_partial_overlap(self):
+        # Query 5 (n=5): 3000 points cached by n=3 queries; 2000 new.
+        app = SampleApp()
+        run_plain(app)
+        assert app.computed_points[5] == 2000
+
+    def test_subset_query_fully_cached(self):
+        app = SampleApp()
+        run_plain(app)
+        assert app.computed_points[3] == 0  # n=2 subset of n=3
+        assert app.computed_points[6] == 0  # n=1
+
+    def test_reset_clears_cache(self):
+        app = SampleApp()
+        run_plain(app)
+        app.reset()
+        run_plain(app)
+        assert app.computed_points[1] == 3000
+
+    def test_rerun_without_reset_is_warm(self):
+        from repro.runtime.queue import SPSCQueue
+
+        app = SampleApp()
+        run_plain(app)
+        # Fresh queue but the application-level point cache is kept: the
+        # second run sees everything warm — the reason reset() exists.
+        app.queue = SPSCQueue("query_q", capacity=64)
+        run_plain(app)
+        assert app.computed_points[1] == 0
+
+
+class TestFluctuationGroundTruth:
+    def test_cold_item_takes_longer(self):
+        """Without any tracer: window-free ground truth from core clocks."""
+        from repro.core.instrument import MarkingTracer
+        from repro.core.records import build_windows
+
+        app = SampleApp()
+        m = Machine(n_cores=2)
+        tracer = MarkingTracer(mark_ip=app.mark_ip, cost_ns=0.0)
+        Scheduler(m, app.threads(), tracer=tracer).run()
+        windows = {w.item_id: w.duration for w in build_windows(tracer.records_for_core(1))}
+        # Query 1 (cold n=3) much slower than query 2 (warm n=3).
+        assert windows[1] > 3 * windows[2]
+        # Query 5 (2000 new points) slower than query 7 (warm n=5).
+        assert windows[5] > 2 * windows[7]
+
+    def test_group_of(self):
+        app = SampleApp()
+        assert app.group_of(1) == 3
+        assert app.group_of(5) == 5
+        with pytest.raises(WorkloadError):
+            app.group_of(99)
+
+
+class TestCPUCacheMode:
+    def test_runs_with_cpu_caches(self):
+        cfg = SampleAppConfig(use_cpu_caches=True)
+        app = SampleApp(cfg)
+        m = Machine(n_cores=2, with_caches=True)
+        Scheduler(m, app.threads()).run()
+        # The worker's hierarchy saw real misses.
+        h = m.core(1).hierarchy
+        assert h.llc.misses > 0
+
+    def test_all_queries_processed(self):
+        app = SampleApp()
+        run_plain(app)
+        assert set(app.computed_points) == {q.qid for q in PAPER_QUERIES}

@@ -1,0 +1,60 @@
+"""Tests for the SPEC stand-in kernels (Fig 4 workloads)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+from repro.workloads.spec import SPEC_KERNELS, SpecKernel, spec_kernel
+
+
+def run_kernel(name, duration=1_000_000, **kw) -> SpecKernel:
+    k = SpecKernel(name, duration_cycles=duration, **kw)
+    m = Machine(n_cores=1)
+    Scheduler(m, k.threads()).run()
+    return k
+
+
+class TestKernels:
+    def test_all_names_run(self):
+        for name in SPEC_KERNELS:
+            k = run_kernel(name, duration=200_000)
+            assert k.cycles_run >= 200_000
+
+    def test_ipc_ordering_matches_design(self):
+        """bzip2 > astar > gcc in retirement rate (Fig 4 curve offsets)."""
+        rates = {name: run_kernel(name).uops_per_cycle for name in SPEC_KERNELS}
+        assert rates["bzip2"] > rates["astar"] > rates["gcc"]
+
+    def test_rates_near_targets(self):
+        assert run_kernel("bzip2").uops_per_cycle == pytest.approx(2.2, rel=0.15)
+        assert run_kernel("astar").uops_per_cycle == pytest.approx(1.4, rel=0.15)
+        assert run_kernel("gcc").uops_per_cycle == pytest.approx(0.9, rel=0.15)
+
+    def test_duration_respected(self):
+        k = run_kernel("astar", duration=500_000)
+        assert 500_000 <= k.cycles_run < 510_000
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(WorkloadError):
+            SpecKernel("povray")
+
+    def test_invalid_duration(self):
+        with pytest.raises(WorkloadError):
+            SpecKernel("astar", duration_cycles=0)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(WorkloadError):
+            SpecKernel("astar", jitter=1.0)
+
+    def test_rate_requires_run(self):
+        with pytest.raises(WorkloadError):
+            SpecKernel("astar").uops_per_cycle
+
+    def test_factory(self):
+        assert spec_kernel("gcc").name == "gcc"
+
+    def test_determinism(self):
+        a = run_kernel("astar", seed=3)
+        b = run_kernel("astar", seed=3)
+        assert a.uops_retired == b.uops_retired

@@ -1,0 +1,54 @@
+"""Tests for the synthetic fixed-sequence workload builder."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.machine.machine import Machine
+from repro.runtime.scheduler import Scheduler
+from repro.workloads.synth import FixedItem, FixedSequenceApp, uniform_items
+
+
+class TestFixedSequenceApp:
+    def test_exact_ground_truth(self):
+        from repro.core.fulltrace import FullInstrumentationTracer
+
+        app = FixedSequenceApp(uniform_items(2, {"f": 500, "g": 1500}))
+        m = Machine(n_cores=1)
+        tracer = FullInstrumentationTracer(app.mark_ip, cost_ns=0, fn_cost_ns=0)
+        Scheduler(m, app.threads(), tracer=tracer).run()
+        eb = tracer.elapsed_by_item(0)
+        f_ip, g_ip = app.fn_ips["f"], app.fn_ips["g"]
+        assert eb[(1, f_ip)] == 500
+        assert eb[(1, g_ip)] == 1500
+        assert eb[(2, f_ip)] == 500
+
+    def test_symbols_cover_functions(self):
+        app = FixedSequenceApp(uniform_items(1, {"alpha": 10, "beta": 20}))
+        assert app.symtab.lookup(app.fn_ips["alpha"]) == "alpha"
+        assert app.symtab.lookup(app.mark_ip) == "__mark"
+
+    def test_empty_items_rejected(self):
+        with pytest.raises(WorkloadError):
+            FixedSequenceApp([])
+
+    def test_zero_cycle_step_rejected(self):
+        with pytest.raises(WorkloadError):
+            FixedSequenceApp([FixedItem(1, (("f", 0),))])
+
+    def test_uniform_items_ids(self):
+        items = uniform_items(3, {"f": 10}, first_id=5)
+        assert [i.item_id for i in items] == [5, 6, 7]
+
+    def test_uniform_items_validation(self):
+        with pytest.raises(WorkloadError):
+            uniform_items(0, {"f": 10})
+
+    def test_heterogeneous_items(self):
+        items = [
+            FixedItem(1, (("f", 100),)),
+            FixedItem(2, (("f", 100), ("g", 900))),
+        ]
+        app = FixedSequenceApp(items)
+        m = Machine(n_cores=1)
+        Scheduler(m, app.threads()).run()
+        assert m.core(0).clock == 100 + 100 + 900
