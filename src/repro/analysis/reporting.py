@@ -34,6 +34,33 @@ def format_table(
     return "\n".join(lines)
 
 
+def format_ingest_report(stats, diag_summary: dict | None = None) -> str:
+    """Render one streaming-ingest run's throughput (and online policy).
+
+    ``stats`` is an :class:`~repro.core.streaming.IngestStats`;
+    ``diag_summary`` the dict from ``OnlineDiagnoser.summary()`` when an
+    online estimator rode along with the ingest.
+    """
+    rows = [
+        ["cores", ", ".join(str(c) for c in stats.cores)],
+        ["workers", f"{stats.workers} ({stats.pool})"],
+        ["chunk size (samples)", stats.chunk_size or "(whole shard)"],
+        ["chunks", stats.chunks],
+        ["samples", stats.samples],
+        ["wall time (s)", f"{stats.wall_s:.3f}"],
+        ["throughput (MB/s)", f"{stats.mb_per_s:.1f}"],
+        ["throughput (samples/s)", f"{stats.samples_per_s:,.0f}"],
+    ]
+    if diag_summary is not None:
+        rows.append(["items observed online", diag_summary["items_observed"]])
+        rows.append(["items dumped", diag_summary["items_dumped"]])
+        red = diag_summary["reduction_factor"]
+        rows.append(
+            ["storage reduction", "inf" if red == float("inf") else f"{red:.1f}x"]
+        )
+    return format_table(["metric", "value"], rows, title="streaming ingest")
+
+
 def ascii_series(
     xs: Sequence[float],
     ys: Sequence[float],

@@ -83,7 +83,14 @@ def cmd_run(args) -> int:
         "event": args.event,
         "groups": {str(k): str(v) for k, v in groups.items()},
     }
-    save_session(args.out, session, app.symtab, meta=meta)
+    save_session(
+        args.out,
+        session,
+        app.symtab,
+        meta=meta,
+        chunk_size=args.chunk_size,
+        compress=not args.uncompressed,
+    )
     total = sum(u.sample_count for u in session.units.values())
     print(
         f"traced {args.workload}: {total} samples, "
@@ -113,6 +120,8 @@ def _pick_core(tf, requested: int | None) -> int:
 
 
 def cmd_report(args) -> int:
+    if args.stream and args.item is None:
+        return _report_streamed(args)
     tf = load_trace(args.tracefile)
     core = _pick_core(tf, args.core)
     t = tf.integrate(core)
@@ -131,6 +140,11 @@ def cmd_report(args) -> int:
         if unattr:
             print(f"  (unattributed/stall): {unattr / US:.2f} us")
         return 0
+    _print_breakdown_table(t, core)
+    return _diagnose_block(t, tf.meta, args)
+
+
+def _print_breakdown_table(t, core: int) -> None:
     rows = []
     for item in t.items():
         bd = t.breakdown(item)
@@ -146,18 +160,58 @@ def cmd_report(args) -> int:
             title=f"core {core}: {len(rows)} data-items",
         )
     )
-    if args.diagnose:
-        groups = {int(k): v for k, v in tf.meta.get("groups", {}).items()}
-        if not groups:
-            print("\n(no group metadata in trace file; cannot diagnose)")
-            return 1
-        rep = diagnose(t, lambda i: groups.get(i, "?"), threshold=args.threshold)
-        print()
-        if not rep.outliers:
-            print("no fluctuations above threshold")
-        for o in rep.outliers:
-            print(o.describe())
+
+
+def _diagnose_block(t, meta: dict, args) -> int:
+    if not args.diagnose:
+        return 0
+    groups = {int(k): v for k, v in meta.get("groups", {}).items()}
+    if not groups:
+        print("\n(no group metadata in trace file; cannot diagnose)")
+        return 1
+    rep = diagnose(t, lambda i: groups.get(i, "?"), threshold=args.threshold)
+    print()
+    if not rep.outliers:
+        print("no fluctuations above threshold")
+    for o in rep.outliers:
+        print(o.describe())
     return 0
+
+
+def _report_streamed(args) -> int:
+    """`report --stream`: chunked ingestion + the usual per-item table."""
+    from repro.analysis.reporting import format_ingest_report
+    from repro.core.online import OnlineDiagnoser
+    from repro.core.streaming import ingest_trace
+    from repro.core.tracefile import TraceReader
+
+    diag = OnlineDiagnoser()
+    result = ingest_trace(
+        args.tracefile,
+        cores=[args.core] if args.core is not None else None,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+        pool=args.pool,
+        diagnoser=diag,
+    )
+    if args.core is not None:
+        core = args.core
+    else:
+        with TraceReader(args.tracefile) as reader:
+            core = max(result.per_core, key=lambda c: reader.n_switch_records(c))
+    print(format_ingest_report(result.stats, diag.summary()))
+    print()
+    t = result.per_core[core]
+    _print_breakdown_table(t, core)
+    return _diagnose_block(t, _load_meta(args.tracefile), args)
+
+
+def _load_meta(path) -> dict:
+    """Header metadata of a container without loading its arrays."""
+    from repro.core.tracefile import TraceReader
+
+    with TraceReader(path) as reader:
+        return reader.meta
 
 
 def cmd_profile(args) -> int:
@@ -245,6 +299,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--items", type=int, default=60, help="workload size")
     p_run.add_argument("--full-rules", action="store_true", help="ACL: the 50k-rule Table III set")
     p_run.add_argument("--double-buffered", action="store_true")
+    p_run.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="write the v2 chunked layout with this many samples per chunk",
+    )
+    p_run.add_argument(
+        "--uncompressed",
+        action="store_true",
+        help="store raw (no zlib) — for ingest-rate experiments",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_info = sub.add_parser("info", help="show trace file contents")
@@ -258,6 +323,29 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep.add_argument("--threshold", type=float, default=1.5)
     p_rep.add_argument(
         "--item", type=int, default=None, help="render one item's sample timeline"
+    )
+    p_rep.add_argument(
+        "--stream",
+        action="store_true",
+        help="chunked, bounded-memory ingestion (online estimator rides along)",
+    )
+    p_rep.add_argument(
+        "--chunk-size",
+        type=int,
+        default=65536,
+        help="stream: samples per chunk",
+    )
+    p_rep.add_argument(
+        "--pool",
+        choices=["auto", "thread", "process"],
+        default="auto",
+        help="stream: worker backend (auto = processes unless single-CPU)",
+    )
+    p_rep.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="stream: integrate core-shards with this many workers",
     )
     p_rep.set_defaults(func=cmd_report)
 

@@ -22,11 +22,17 @@ method would treat resumed items.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.records import ItemWindow, SwitchRecords, build_windows, windows_as_arrays
+from repro.core.records import (
+    ItemWindow,
+    SwitchRecords,
+    WindowColumns,
+    build_windows,
+    windows_as_arrays,
+)
 from repro.core.symbols import UNKNOWN, SymbolTable
 from repro.errors import IntegrationError
 from repro.machine.pebs import SampleArrays
@@ -44,7 +50,6 @@ class Estimate:
     t_last: int
 
 
-@dataclass
 class HybridTrace:
     """Result of the integration: per-(item, function) estimates.
 
@@ -52,26 +57,77 @@ class HybridTrace:
     two samples for an elapsed-time estimate; pairs seen once are kept
     with ``elapsed_cycles == 0`` and can be filtered via ``min_samples``
     arguments on the query methods.
+
+    ``windows`` may be handed in as ``list[ItemWindow]`` or as
+    :class:`~repro.core.records.WindowColumns`; the object list is
+    materialised lazily on first access, so ingestion pipelines that only
+    consume whole columns never pay for one Python object per window.
     """
 
-    symtab: SymbolTable
-    windows: list[ItemWindow]
-    item_ids: np.ndarray
-    fn_idx: np.ndarray
-    n_samples: np.ndarray
-    elapsed: np.ndarray
-    t_first: np.ndarray
-    t_last: np.ndarray
-    total_samples: int
-    unmapped_samples: int
-    unknown_ip_samples: int
-    _by_key: dict[tuple[int, int], int] = field(default_factory=dict, repr=False)
+    def __init__(
+        self,
+        *,
+        symtab: SymbolTable,
+        windows: list[ItemWindow] | WindowColumns,
+        item_ids: np.ndarray,
+        fn_idx: np.ndarray,
+        n_samples: np.ndarray,
+        elapsed: np.ndarray,
+        t_first: np.ndarray,
+        t_last: np.ndarray,
+        total_samples: int,
+        unmapped_samples: int,
+        unknown_ip_samples: int,
+    ) -> None:
+        self.symtab = symtab
+        self._windows_raw = windows
+        self.item_ids = item_ids
+        self.fn_idx = fn_idx
+        self.n_samples = n_samples
+        self.elapsed = elapsed
+        self.t_first = t_first
+        self.t_last = t_last
+        self.total_samples = total_samples
+        self.unmapped_samples = unmapped_samples
+        self.unknown_ip_samples = unknown_ip_samples
+        self._by_key_cache: dict[tuple[int, int], int] | None = None
 
-    def __post_init__(self) -> None:
-        self._by_key = {
-            (int(it), int(fi)): row
-            for row, (it, fi) in enumerate(zip(self.item_ids, self.fn_idx))
-        }
+    @property
+    def windows(self) -> list[ItemWindow]:
+        if not isinstance(self._windows_raw, list):
+            self._windows_raw = self._windows_raw.to_windows()
+        return self._windows_raw
+
+    @property
+    def window_columns(self) -> WindowColumns:
+        """Windows as columns, whichever representation is held."""
+        if isinstance(self._windows_raw, WindowColumns):
+            return self._windows_raw
+        return WindowColumns.from_windows(self._windows_raw)
+
+    @property
+    def _by_key(self) -> dict[tuple[int, int], int]:
+        # Built lazily on the first point query: ingestion pipelines create
+        # (and merge, and pickle) many traces whose rows are only ever
+        # consumed as whole columns.
+        if self._by_key_cache is None:
+            self._by_key_cache = {
+                (int(it), int(fi)): row
+                for row, (it, fi) in enumerate(zip(self.item_ids, self.fn_idx))
+            }
+        return self._by_key_cache
+
+    # Traces cross process boundaries when per-core shards are integrated
+    # in a worker pool; ship windows as columns so pickling is array-speed
+    # instead of one dataclass per window.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_by_key_cache"] = None
+        state["_windows_raw"] = self.window_columns
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # -- queries ---------------------------------------------------------
     def items(self) -> list[int]:
@@ -181,6 +237,92 @@ def _group_min_max_count(
     return uniq, counts, t_min, t_max
 
 
+def finalize_window_groups(
+    symtab: SymbolTable,
+    windows: list[ItemWindow] | WindowColumns,
+    win_items: np.ndarray,
+    keys: np.ndarray,
+    counts: np.ndarray,
+    t_min: np.ndarray,
+    t_max: np.ndarray,
+    *,
+    total_samples: int,
+    unmapped_samples: int,
+    unknown_ip_samples: int,
+) -> HybridTrace:
+    """Turn per-(window, function) groups into the final per-item trace.
+
+    ``keys`` are unique, ascending ``window_index * len(symtab) + fn_index``
+    group keys with their sample ``counts`` and first/last timestamps.
+    This is the single construction point shared by one-shot
+    :func:`integrate` and the chunked path in :mod:`repro.core.streaming`,
+    which is what makes streaming results bitwise-identical to one-shot.
+    """
+    nfn = len(symtab)
+    if keys.shape[0] == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return HybridTrace(
+            symtab=symtab,
+            windows=windows,
+            item_ids=empty,
+            fn_idx=empty.copy(),
+            n_samples=empty.copy(),
+            elapsed=empty.copy(),
+            t_first=empty.copy(),
+            t_last=empty.copy(),
+            total_samples=total_samples,
+            unmapped_samples=unmapped_samples,
+            unknown_ip_samples=unknown_ip_samples,
+        )
+    win_of = (keys // nfn).astype(np.int64)
+    fn_of = (keys % nfn).astype(np.int64)
+    item_of = win_items[win_of]
+    per_win_elapsed = t_max - t_min
+
+    # Aggregate windows of the same item (timer-switching): sum elapsed,
+    # sum counts, min/max the boundary timestamps.
+    combined2 = item_of * nfn + fn_of
+    order2 = np.argsort(combined2, kind="stable")
+    uniq2, start2 = np.unique(combined2[order2], return_index=True)
+    item_ids = (uniq2 // nfn).astype(np.int64)
+    fn_rows = (uniq2 % nfn).astype(np.int64)
+    agg_counts = np.add.reduceat(counts[order2], start2)
+    agg_elapsed = np.add.reduceat(per_win_elapsed[order2], start2)
+    agg_first = np.minimum.reduceat(t_min[order2], start2)
+    agg_last = np.maximum.reduceat(t_max[order2], start2)
+
+    return HybridTrace(
+        symtab=symtab,
+        windows=windows,
+        item_ids=item_ids,
+        fn_idx=fn_rows,
+        n_samples=agg_counts,
+        elapsed=agg_elapsed,
+        t_first=agg_first,
+        t_last=agg_last,
+        total_samples=total_samples,
+        unmapped_samples=unmapped_samples,
+        unknown_ip_samples=unknown_ip_samples,
+    )
+
+
+def traces_equal(a: HybridTrace, b: HybridTrace) -> bool:
+    """Bitwise equality of two traces (arrays, windows, and counters)."""
+    return (
+        a.symtab.names == b.symtab.names
+        and a.windows == b.windows
+        and np.array_equal(a.item_ids, b.item_ids)
+        and np.array_equal(a.fn_idx, b.fn_idx)
+        and np.array_equal(a.n_samples, b.n_samples)
+        and np.array_equal(a.elapsed, b.elapsed)
+        and np.array_equal(a.t_first, b.t_first)
+        and np.array_equal(a.t_last, b.t_last)
+        and a.total_samples == b.total_samples
+        and a.unmapped_samples == b.unmapped_samples
+        and a.unknown_ip_samples == b.unknown_ip_samples
+    )
+
+
 def merge_traces(traces: list[HybridTrace]) -> HybridTrace:
     """Combine per-core traces into one (multi-worker applications).
 
@@ -206,25 +348,27 @@ def merge_traces(traces: list[HybridTrace]) -> HybridTrace:
     combined = item_ids * nfn + fn_idx
     order = np.argsort(combined, kind="stable")
     uniq, start = np.unique(combined[order], return_index=True)
-    seg_end = np.append(start[1:], combined.shape[0])
-    n_rows = uniq.shape[0]
     out_items = (uniq // nfn).astype(np.int64)
     out_fns = (uniq % nfn).astype(np.int64)
-    out_counts = np.empty(n_rows, dtype=np.int64)
-    out_elapsed = np.empty(n_rows, dtype=np.int64)
-    out_first = np.empty(n_rows, dtype=np.int64)
-    out_last = np.empty(n_rows, dtype=np.int64)
-    c_o, e_o = n_samples[order], elapsed[order]
-    f_o, l_o = t_first[order], t_last[order]
-    for i, (a, b) in enumerate(zip(start, seg_end)):
-        out_counts[i] = c_o[a:b].sum()
-        out_elapsed[i] = e_o[a:b].sum()
-        out_first[i] = f_o[a:b].min()
-        out_last[i] = l_o[a:b].max()
+    if uniq.shape[0]:
+        out_counts = np.add.reduceat(n_samples[order], start)
+        out_elapsed = np.add.reduceat(elapsed[order], start)
+        out_first = np.minimum.reduceat(t_first[order], start)
+        out_last = np.maximum.reduceat(t_last[order], start)
+    else:  # all-empty shards (e.g. cores that took no mapped samples)
+        out_counts = np.empty(0, dtype=np.int64)
+        out_elapsed = np.empty(0, dtype=np.int64)
+        out_first = np.empty(0, dtype=np.int64)
+        out_last = np.empty(0, dtype=np.int64)
 
+    merged_cols = [t.window_columns for t in traces]
     return HybridTrace(
         symtab=symtab,
-        windows=[w for t in traces for w in t.windows],
+        windows=WindowColumns(
+            item_id=np.concatenate([c.item_id for c in merged_cols]),
+            t_start=np.concatenate([c.t_start for c in merged_cols]),
+            t_end=np.concatenate([c.t_end for c in merged_cols]),
+        ),
         item_ids=out_items,
         fn_idx=out_fns,
         n_samples=out_counts,
@@ -264,15 +408,14 @@ def integrate(
     nfn = len(symtab)
     if n == 0 or starts.shape[0] == 0:
         empty = np.empty(0, dtype=np.int64)
-        return HybridTrace(
-            symtab=symtab,
-            windows=windows,
-            item_ids=empty,
-            fn_idx=empty.copy(),
-            n_samples=empty.copy(),
-            elapsed=empty.copy(),
-            t_first=empty.copy(),
-            t_last=empty.copy(),
+        return finalize_window_groups(
+            symtab,
+            windows,
+            win_items,
+            empty,
+            empty.copy(),
+            empty.copy(),
+            empty.copy(),
             total_samples=n,
             unmapped_samples=n,
             unknown_ip_samples=0,
@@ -294,43 +437,14 @@ def integrate(
     combined = wv * nfn + fv
     order = np.argsort(combined, kind="stable")
     uniq, counts, t_min, t_max = _group_min_max_count(combined[order], tv[order])
-    win_of = (uniq // nfn).astype(np.int64)
-    fn_of = (uniq % nfn).astype(np.int64)
-    item_of = win_items[win_of]
-    per_win_elapsed = t_max - t_min
-
-    # Aggregate windows of the same item (timer-switching): sum elapsed,
-    # sum counts, min/max the boundary timestamps.
-    combined2 = item_of * nfn + fn_of
-    order2 = np.argsort(combined2, kind="stable")
-    uniq2, start2 = np.unique(combined2[order2], return_index=True)
-    seg_end = np.append(start2[1:], combined2.shape[0])
-    n_rows = uniq2.shape[0]
-    item_ids = (uniq2 // nfn).astype(np.int64)
-    fn_rows = (uniq2 % nfn).astype(np.int64)
-    agg_counts = np.empty(n_rows, dtype=np.int64)
-    agg_elapsed = np.empty(n_rows, dtype=np.int64)
-    agg_first = np.empty(n_rows, dtype=np.int64)
-    agg_last = np.empty(n_rows, dtype=np.int64)
-    counts_o = counts[order2]
-    elapsed_o = per_win_elapsed[order2]
-    tmin_o = t_min[order2]
-    tmax_o = t_max[order2]
-    for i, (a, b) in enumerate(zip(start2, seg_end)):
-        agg_counts[i] = counts_o[a:b].sum()
-        agg_elapsed[i] = elapsed_o[a:b].sum()
-        agg_first[i] = tmin_o[a:b].min()
-        agg_last[i] = tmax_o[a:b].max()
-
-    return HybridTrace(
-        symtab=symtab,
-        windows=windows,
-        item_ids=item_ids,
-        fn_idx=fn_rows,
-        n_samples=agg_counts,
-        elapsed=agg_elapsed,
-        t_first=agg_first,
-        t_last=agg_last,
+    return finalize_window_groups(
+        symtab,
+        windows,
+        win_items,
+        uniq,
+        counts,
+        t_min,
+        t_max,
         total_samples=n,
         unmapped_samples=unmapped,
         unknown_ip_samples=unknown_ip,

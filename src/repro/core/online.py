@@ -132,3 +132,15 @@ class OnlineDiagnoser:
         """Running mean elapsed time of a function (0.0 if unseen)."""
         st = self._stats.get(fn)
         return st.mean if st is not None else 0.0
+
+    def summary(self) -> dict:
+        """Policy outcome counters (for ingest reports and logs)."""
+        dumped = sum(1 for d in self.decisions if d.dumped)
+        return {
+            "items_observed": self.items_observed,
+            "items_dumped": dumped,
+            "items_discarded": self.items_observed - dumped,
+            "bytes_dumped": self.bytes_dumped,
+            "bytes_discarded": self.bytes_discarded,
+            "reduction_factor": self.reduction_factor,
+        }

@@ -40,6 +40,58 @@ class ItemWindow:
         return self.t_end - self.t_start
 
 
+@dataclass(frozen=True)
+class WindowColumns:
+    """Array-backed window columns: the object-free twin of ``list[ItemWindow]``.
+
+    The streaming pipeline carries windows in this form so that
+    million-item shards never materialise one Python object per window
+    (two switch marks per data-item make windows the largest per-item
+    population in a trace).  :meth:`to_windows` converts when
+    object-level access is wanted; :class:`~repro.core.hybrid.HybridTrace`
+    does that lazily on first touch of ``.windows``.
+    """
+
+    item_id: np.ndarray
+    t_start: np.ndarray
+    t_end: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.item_id.shape[0])
+
+    @classmethod
+    def from_windows(cls, windows: list[ItemWindow]) -> "WindowColumns":
+        return cls(
+            item_id=np.asarray([w.item_id for w in windows], dtype=np.int64),
+            t_start=np.asarray([w.t_start for w in windows], dtype=np.int64),
+            t_end=np.asarray([w.t_end for w in windows], dtype=np.int64),
+        )
+
+    def to_windows(self) -> list[ItemWindow]:
+        return [
+            ItemWindow(item_id=i, t_start=a, t_end=b)
+            for i, a, b in zip(
+                self.item_id.tolist(), self.t_start.tolist(), self.t_end.tolist()
+            )
+        ]
+
+    def as_sorted_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(starts, ends, item_ids) sorted by start, overlap-checked.
+
+        Array-native equivalent of :func:`windows_as_arrays`.
+        """
+        if not len(self):
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        order = np.argsort(self.t_start, kind="stable")
+        starts = self.t_start[order]
+        ends = self.t_end[order]
+        items = self.item_id[order]
+        if np.any(starts[1:] < ends[:-1]):
+            raise TraceError("item windows overlap on one core")
+        return starts, ends, items
+
+
 class SwitchRecords:
     """Append-only log of data-item switch marks for one core."""
 
@@ -48,6 +100,26 @@ class SwitchRecords:
         self._ts: list[int] = []
         self._item: list[int] = []
         self._kind: list[SwitchKind] = []
+
+    @classmethod
+    def from_arrays(
+        cls,
+        core_id: int,
+        ts: np.ndarray,
+        item: np.ndarray,
+        kinds: list[SwitchKind],
+    ) -> "SwitchRecords":
+        """Build a log from column data (trace-file loading, generators)."""
+        if not (ts.shape[0] == item.shape[0] == len(kinds)):
+            raise TraceError(
+                f"core {core_id}: switch columns disagree in length "
+                f"({ts.shape[0]}, {item.shape[0]}, {len(kinds)})"
+            )
+        r = cls(core_id)
+        r._ts = [int(t) for t in ts.tolist()]
+        r._item = [int(i) for i in item.tolist()]
+        r._kind = list(kinds)
+        return r
 
     def append(self, ts: int, item_id: int, kind: SwitchKind) -> None:
         self._ts.append(ts)
@@ -108,6 +180,69 @@ def build_windows(records: SwitchRecords) -> list[ItemWindow]:
             f"core {records.core_id}: item {open_item} never ended (dangling START)"
         )
     return windows
+
+
+def pair_switch_columns(
+    core_id: int,
+    ts: np.ndarray,
+    item: np.ndarray,
+    kind_codes: np.ndarray,
+    *,
+    start_code: int = 0,
+    end_code: int = 1,
+) -> WindowColumns:
+    """Vectorised window pairing straight from switch column arrays.
+
+    A *valid* one-item-at-a-time log is strictly alternating
+    START, END, START, END, … with matching item ids, so the pairing can
+    be checked with a handful of array comparisons instead of a
+    per-record Python loop — this is the streaming-ingest hot path for
+    traces with millions of data-items (two marks per item).  Any log
+    that fails the vectorised checks is re-run through the per-record
+    :func:`build_windows` state machine, which raises the precise
+    :class:`~repro.errors.TraceError` for the first offending record.
+    """
+    n = int(ts.shape[0])
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return WindowColumns(item_id=empty, t_start=empty.copy(), t_end=empty.copy())
+    ts = np.asarray(ts, dtype=np.int64)
+    item = np.asarray(item, dtype=np.int64)
+    kind_codes = np.asarray(kind_codes)
+    valid = (
+        n % 2 == 0
+        and bool(np.all(kind_codes[0::2] == start_code))
+        and bool(np.all(kind_codes[1::2] == end_code))
+        and bool(np.all(item[0::2] == item[1::2]))
+        and bool(np.all(ts[1::2] >= ts[0::2]))
+    )
+    if not valid:
+        # Fall back to the state machine for exact error reporting.
+        kinds = [
+            SwitchKind.ITEM_START if c == start_code else SwitchKind.ITEM_END
+            for c in kind_codes.tolist()
+        ]
+        return WindowColumns.from_windows(
+            build_windows(SwitchRecords.from_arrays(core_id, ts, item, kinds))
+        )
+    return WindowColumns(
+        item_id=item[0::2].copy(), t_start=ts[0::2].copy(), t_end=ts[1::2].copy()
+    )
+
+
+def build_windows_from_arrays(
+    core_id: int,
+    ts: np.ndarray,
+    item: np.ndarray,
+    kind_codes: np.ndarray,
+    *,
+    start_code: int = 0,
+    end_code: int = 1,
+) -> list[ItemWindow]:
+    """Like :func:`pair_switch_columns`, but materialised as objects."""
+    return pair_switch_columns(
+        core_id, ts, item, kind_codes, start_code=start_code, end_code=end_code
+    ).to_windows()
 
 
 def build_windows_lenient(records: SwitchRecords) -> tuple[list[ItemWindow], int]:

@@ -1,0 +1,508 @@
+"""Streaming, sharded trace ingestion.
+
+The paper's data-rate analysis (Section IV-C3) puts the raw PEBS stream
+at 106–270 MB/s *per core*; a 16-core trace of any useful length does
+not fit in memory.  This module turns the one-shot
+:func:`~repro.core.hybrid.integrate` into a pipeline that never holds
+more than one chunk of one core's samples:
+
+* :class:`StreamingIntegrator` consumes a core's samples chunk by chunk,
+  carrying per-(window, function) first/last/count state across chunk
+  boundaries; :meth:`StreamingIntegrator.finalize` routes through the
+  same :func:`~repro.core.hybrid.finalize_window_groups` as one-shot
+  integration, so the resulting :class:`~repro.core.hybrid.HybridTrace`
+  is **bitwise-identical** to ``integrate()`` on the concatenated
+  samples.
+* :func:`ingest_trace` drives a whole container: sequentially (feeding
+  an :class:`~repro.core.online.OnlineDiagnoser` as items complete, so
+  diagnosis runs *while* ingesting), or fanned out per core-shard over a
+  ``multiprocessing`` pool, with per-core partial traces combined by
+  :func:`~repro.core.hybrid.merge_traces`.
+
+Switch logs are two records per data-item — tiny next to the sample
+stream — so window state is built whole per core; only samples stream.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import multiprocessing.pool
+import os
+import pathlib
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hybrid import (
+    HybridTrace,
+    _group_min_max_count,
+    finalize_window_groups,
+    merge_traces,
+)
+from repro.core.online import OnlineDiagnoser
+from repro.core.records import (
+    ItemWindow,
+    SwitchRecords,
+    WindowColumns,
+    build_windows,
+    windows_as_arrays,
+)
+from repro.core.symbols import UNKNOWN, SymbolTable
+from repro.core.tracefile import TraceReader
+from repro.errors import IntegrationError, TraceError
+from repro.machine.pebs import SampleArrays
+
+#: Default samples per chunk (~1.5 MB of raw columns at 24 B/sample).
+DEFAULT_CHUNK_SIZE = 65536
+
+#: Default raw PEBS record size for byte accounting (MachineSpec default).
+DEFAULT_RECORD_BYTES = 240
+
+
+@dataclass(frozen=True)
+class CompletedItem:
+    """One data-item whose residency windows are all behind the stream."""
+
+    item_id: int
+    #: Per-function elapsed cycles (same filter as ``HybridTrace.breakdown``).
+    breakdown: dict[str, int]
+    #: Mapped samples the item contributed (all functions, unfiltered).
+    n_samples: int
+    #: Timestamp of the item's last window end.
+    t_done: int
+
+
+class StreamingIntegrator:
+    """Incremental per-core integration over bounded sample chunks.
+
+    Feed time-ordered chunks with :meth:`feed`; between chunks,
+    :meth:`drain_completed` hands out items whose windows are fully in
+    the past (for online diagnosis); :meth:`finalize` produces the exact
+    one-shot :class:`HybridTrace`.
+    """
+
+    def __init__(
+        self, symtab: SymbolTable, windows: list[ItemWindow] | WindowColumns
+    ) -> None:
+        self.symtab = symtab
+        self.windows = windows
+        if isinstance(windows, WindowColumns):
+            self._starts, self._ends, self._win_items = windows.as_sorted_arrays()
+        else:
+            self._starts, self._ends, self._win_items = windows_as_arrays(windows)
+        self._nfn = len(symtab)
+        empty = np.empty(0, dtype=np.int64)
+        self._keys = empty
+        self._counts = empty.copy()
+        self._tmin = empty.copy()
+        self._tmax = empty.copy()
+        #: Finalized (keys, counts, tmin, tmax) runs, strictly below the
+        #: active tail; concatenating them with the tail yields the full
+        #: sorted-unique state.
+        self._seg: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._total = 0
+        self._unmapped = 0
+        self._unknown = 0
+        self._last_ts: int | None = None
+        self._emitted: set[int] = set()
+        #: item id -> end of its last window; built on first drain only.
+        self._item_done_cache: dict[int, int] | None = None
+        self._result: HybridTrace | None = None
+
+    @property
+    def _item_done(self) -> dict[int, int]:
+        if self._item_done_cache is None:
+            if self._win_items.shape[0]:
+                order = np.argsort(self._win_items, kind="stable")
+                items_o = self._win_items[order]
+                uniq, start = np.unique(items_o, return_index=True)
+                last_end = np.maximum.reduceat(self._ends[order], start)
+                self._item_done_cache = dict(
+                    zip(uniq.tolist(), last_end.tolist())
+                )
+            else:
+                self._item_done_cache = {}
+        return self._item_done_cache
+
+    @classmethod
+    def from_switches(
+        cls, symtab: SymbolTable, switches: SwitchRecords
+    ) -> "StreamingIntegrator":
+        return cls(symtab, build_windows(switches))
+
+    # -- streaming -------------------------------------------------------
+    @property
+    def total_samples(self) -> int:
+        return self._total
+
+    def feed(self, chunk: SampleArrays) -> None:
+        """Consume one chunk (must continue the core's time order)."""
+        if self._result is not None:
+            raise IntegrationError("cannot feed a finalized StreamingIntegrator")
+        ts = chunk.ts
+        n = int(ts.shape[0])
+        if n == 0:
+            return
+        if np.any(np.diff(ts) < 0) or (
+            self._last_ts is not None and int(ts[0]) < self._last_ts
+        ):
+            raise IntegrationError("sample timestamps must be sorted")
+        self._last_ts = int(ts[-1])
+        self._total += n
+        if self._starts.shape[0] == 0:
+            self._unmapped += n
+            return
+        # Same step 2a/2b as one-shot integrate(), per chunk.
+        widx = np.searchsorted(self._starts, ts, side="right") - 1
+        in_window = (widx >= 0) & (ts <= self._ends[np.clip(widx, 0, None)])
+        fidx = self.symtab.lookup_many(chunk.ip)
+        known = fidx != UNKNOWN
+        valid = in_window & known
+        self._unmapped += int(np.count_nonzero(~in_window))
+        self._unknown += int(np.count_nonzero(in_window & ~known))
+        if not np.any(valid):
+            return
+        combined = widx[valid] * self._nfn + fidx[valid]
+        tv = ts[valid]
+        order = np.argsort(combined, kind="stable")
+        uniq, counts, t_min, t_max = _group_min_max_count(combined[order], tv[order])
+        self._merge_groups(uniq, counts, t_min, t_max)
+        # Window indices are non-decreasing in time, so every future
+        # sample lands in a window >= this chunk's last one: state below
+        # it is final.  Retiring it keeps the per-chunk merge bounded by
+        # the chunk, not by everything carried so far.
+        self._retire((int(uniq[-1]) // self._nfn) * self._nfn)
+
+    def _merge_groups(
+        self,
+        keys: np.ndarray,
+        counts: np.ndarray,
+        t_min: np.ndarray,
+        t_max: np.ndarray,
+    ) -> None:
+        """Fold a chunk's (window, function) groups into the carried state.
+
+        Both sides hold unique sorted keys, so each merged key occurs at
+        most twice; ``reduceat`` combines the duplicates vectorised.
+        """
+        if self._keys.shape[0] == 0:
+            self._keys, self._counts, self._tmin, self._tmax = keys, counts, t_min, t_max
+            return
+        all_keys = np.concatenate([self._keys, keys])
+        order = np.argsort(all_keys, kind="stable")
+        sorted_keys = all_keys[order]
+        uniq, start = np.unique(sorted_keys, return_index=True)
+        self._keys = uniq
+        self._counts = np.add.reduceat(
+            np.concatenate([self._counts, counts])[order], start
+        )
+        self._tmin = np.minimum.reduceat(
+            np.concatenate([self._tmin, t_min])[order], start
+        )
+        self._tmax = np.maximum.reduceat(
+            np.concatenate([self._tmax, t_max])[order], start
+        )
+
+    def _retire(self, active_min_key: int) -> None:
+        """Move carried state below ``active_min_key`` into ``_seg``."""
+        cut = int(np.searchsorted(self._keys, active_min_key))
+        if cut:
+            self._seg.append(
+                (
+                    self._keys[:cut],
+                    self._counts[:cut],
+                    self._tmin[:cut],
+                    self._tmax[:cut],
+                )
+            )
+            self._keys = self._keys[cut:]
+            self._counts = self._counts[cut:]
+            self._tmin = self._tmin[cut:]
+            self._tmax = self._tmax[cut:]
+
+    def _collapse(self) -> None:
+        """Fold retired segments back into one contiguous state."""
+        if self._seg:
+            segs = self._seg
+            self._seg = []
+            self._keys = np.concatenate([s[0] for s in segs] + [self._keys])
+            self._counts = np.concatenate([s[1] for s in segs] + [self._counts])
+            self._tmin = np.concatenate([s[2] for s in segs] + [self._tmin])
+            self._tmax = np.concatenate([s[3] for s in segs] + [self._tmax])
+
+    # -- online hand-off -------------------------------------------------
+    def drain_completed(
+        self, min_samples: int = 2, final: bool = False
+    ) -> list[CompletedItem]:
+        """Items whose last window ended before the stream position.
+
+        An item is *complete* when its last window's end is strictly
+        before the newest timestamp fed (later samples can no longer land
+        in it); ``final=True`` drains everything left (end of stream).
+        Only items with at least one mapped sample are reported — the
+        same population ``HybridTrace.items()`` sees.  Each item is
+        reported exactly once, in completion order.
+        """
+        self._collapse()
+        if self._keys.shape[0] == 0:
+            return []
+        win_of = (self._keys // self._nfn).astype(np.int64)
+        fn_of = (self._keys % self._nfn).astype(np.int64)
+        item_of = self._win_items[win_of]
+        elapsed = self._tmax - self._tmin
+        ready: list[tuple[int, int]] = []  # (t_done, item_id)
+        for item in np.unique(item_of).tolist():
+            if item in self._emitted:
+                continue
+            t_done = self._item_done[item]
+            if final or (self._last_ts is not None and t_done < self._last_ts):
+                ready.append((t_done, item))
+        ready.sort()
+        out: list[CompletedItem] = []
+        for t_done, item in ready:
+            mask = item_of == item
+            agg: dict[int, tuple[int, int]] = {}
+            for fn, cnt, el in zip(
+                fn_of[mask].tolist(),
+                self._counts[mask].tolist(),
+                elapsed[mask].tolist(),
+            ):
+                c0, e0 = agg.get(fn, (0, 0))
+                agg[fn] = (c0 + cnt, e0 + el)
+            breakdown = {
+                self.symtab.names[fn]: el
+                for fn, (cnt, el) in agg.items()
+                if cnt >= min_samples
+            }
+            n_item = sum(cnt for cnt, _ in agg.values())
+            out.append(
+                CompletedItem(
+                    item_id=item,
+                    breakdown=breakdown,
+                    n_samples=n_item,
+                    t_done=t_done,
+                )
+            )
+            self._emitted.add(item)
+        return out
+
+    # -- result ----------------------------------------------------------
+    def finalize(self) -> HybridTrace:
+        """The exact trace one-shot ``integrate()`` would have produced."""
+        if self._result is None:
+            self._collapse()
+            self._result = finalize_window_groups(
+                self.symtab,
+                self.windows,
+                self._win_items,
+                self._keys,
+                self._counts,
+                self._tmin,
+                self._tmax,
+                total_samples=self._total,
+                unmapped_samples=self._unmapped,
+                unknown_ip_samples=self._unknown,
+            )
+        return self._result
+
+
+# ---------------------------------------------------------------------------
+# Whole-container ingestion
+
+
+@dataclass(frozen=True)
+class IngestStats:
+    """Throughput accounting for one :func:`ingest_trace` run."""
+
+    cores: tuple[int, ...]
+    chunks: int
+    samples: int
+    sample_bytes: int
+    workers: int
+    chunk_size: int
+    wall_s: float
+    #: Resolved worker backend: "inline" (workers=1), "thread", "process".
+    pool: str = "inline"
+
+    @property
+    def mb_per_s(self) -> float:
+        return self.sample_bytes / 1e6 / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def samples_per_s(self) -> float:
+        return self.samples / self.wall_s if self.wall_s > 0 else 0.0
+
+
+@dataclass
+class IngestResult:
+    """Merged trace + per-core shards + throughput stats."""
+
+    trace: HybridTrace
+    per_core: dict[int, HybridTrace]
+    stats: IngestStats
+
+
+def _integrate_core_shard(
+    path: str, core: int, chunk_size: int | None
+) -> tuple[int, HybridTrace, int]:
+    """Worker: stream-integrate one core's shard of a container.
+
+    Module-level so it pickles into a multiprocessing pool; each worker
+    opens its own reader and touches only its core's members.
+    """
+    with TraceReader(path) as reader:
+        integ = StreamingIntegrator(
+            reader.symtab, reader.switch_window_columns(core)
+        )
+        chunks = 0
+        for chunk in reader.iter_sample_chunks(core, chunk_size):
+            integ.feed(chunk)
+            chunks += 1
+        return core, integ.finalize(), chunks
+
+
+def replay_into(
+    diagnoser: OnlineDiagnoser,
+    trace: HybridTrace,
+    record_bytes: int = DEFAULT_RECORD_BYTES,
+    min_samples: int = 2,
+) -> None:
+    """Feed a finished trace's items to an online estimator in completion order.
+
+    Used after a parallel ingest, where per-core workers cannot share one
+    estimator: the merged trace is replayed item by item, ordered by each
+    item's last sample timestamp, approximating what the sequential
+    streaming path observes live.
+    """
+    done: dict[int, int] = {}
+    n_of: dict[int, int] = {}
+    for item, t_last, n in zip(
+        trace.item_ids.tolist(), trace.t_last.tolist(), trace.n_samples.tolist()
+    ):
+        done[item] = max(done.get(item, t_last), t_last)
+        n_of[item] = n_of.get(item, 0) + n
+    for _, item in sorted((t, i) for i, t in done.items()):
+        diagnoser.observe_item(
+            item,
+            trace.breakdown(item, min_samples=min_samples),
+            n_of[item] * record_bytes,
+        )
+
+
+def _use_threads(pool: str) -> bool:
+    if pool == "thread":
+        return True
+    if pool == "process":
+        return False
+    if pool == "auto":
+        # With a single CPU the process pool is pure overhead: forking,
+        # shipping shard results between address spaces, and faulting in
+        # copy-on-write pages can never be repaid by parallelism that
+        # does not exist.  Threads share the address space, and the hot
+        # numpy ops release the GIL, so they also scale on real hosts.
+        return (os.cpu_count() or 1) < 2
+    raise TraceError(f"pool must be 'auto', 'thread' or 'process', got {pool!r}")
+
+
+def ingest_trace(
+    path: str | pathlib.Path,
+    *,
+    cores: list[int] | None = None,
+    chunk_size: int | None = DEFAULT_CHUNK_SIZE,
+    workers: int = 1,
+    pool: str = "auto",
+    diagnoser: OnlineDiagnoser | None = None,
+    record_bytes: int = DEFAULT_RECORD_BYTES,
+) -> IngestResult:
+    """Stream-integrate a trace container and merge the per-core shards.
+
+    ``workers > 1`` fans core-shards out to a worker pool (each worker
+    reads only its own core's chunk members); ``pool`` selects processes
+    or threads, with ``"auto"`` picking threads on single-CPU hosts where
+    process fan-out cannot pay for itself.  With one worker, cores are
+    streamed in-process and ``diagnoser`` — if given — observes each item
+    the moment its windows complete, i.e. diagnosis runs while ingesting.
+    After a parallel ingest the diagnoser is fed by replaying the merged
+    trace in item-completion order instead.
+    """
+    if workers < 1:
+        raise TraceError(f"workers must be >= 1, got {workers}")
+    threads = _use_threads(pool)  # validate `pool` before doing any work
+    t0 = time.perf_counter()
+    path = str(path)
+    per_core: dict[int, HybridTrace] = {}
+    total_chunks = 0
+    if workers == 1:
+        with TraceReader(path) as reader:
+            use_cores = cores if cores is not None else reader.sample_cores
+            for core in use_cores:
+                integ = StreamingIntegrator(
+                    reader.symtab, reader.switch_window_columns(core)
+                )
+                for chunk in reader.iter_sample_chunks(core, chunk_size):
+                    integ.feed(chunk)
+                    total_chunks += 1
+                    if diagnoser is not None:
+                        for done in integ.drain_completed():
+                            diagnoser.observe_item(
+                                done.item_id,
+                                done.breakdown,
+                                done.n_samples * record_bytes,
+                            )
+                if diagnoser is not None:
+                    for done in integ.drain_completed(final=True):
+                        diagnoser.observe_item(
+                            done.item_id,
+                            done.breakdown,
+                            done.n_samples * record_bytes,
+                        )
+                per_core[core] = integ.finalize()
+    else:
+        with TraceReader(path) as reader:
+            use_cores = cores if cores is not None else reader.sample_cores
+            for core in use_cores:  # fail fast on unknown cores
+                reader._check_core(core)
+        n_procs = min(workers, max(len(use_cores), 1))
+        jobs = [(path, core, chunk_size) for core in use_cores]
+        if threads:
+            with multiprocessing.pool.ThreadPool(processes=n_procs) as p:
+                parts = p.starmap(_integrate_core_shard, jobs)
+        else:
+            try:
+                ctx = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX hosts
+                ctx = multiprocessing.get_context("spawn")
+            # Freeze the parent heap before forking: without this, the
+            # first garbage collection in each child touches every
+            # inherited object and copy-on-write duplicates the whole
+            # parent heap per worker.
+            gc.collect()
+            gc.freeze()
+            try:
+                with ctx.Pool(processes=n_procs) as p:
+                    parts = p.starmap(_integrate_core_shard, jobs)
+            finally:
+                gc.unfreeze()
+        for core, trace, chunks in parts:
+            per_core[core] = trace
+            total_chunks += chunks
+    if not per_core:
+        raise TraceError(f"trace file {path} has no sampled cores to ingest")
+    merged = merge_traces([per_core[c] for c in sorted(per_core)])
+    if diagnoser is not None and workers > 1:
+        replay_into(diagnoser, merged, record_bytes=record_bytes)
+    wall = time.perf_counter() - t0
+    n_samples = sum(t.total_samples for t in per_core.values())
+    stats = IngestStats(
+        cores=tuple(sorted(per_core)),
+        chunks=total_chunks,
+        samples=n_samples,
+        sample_bytes=n_samples * 24,  # three int64 columns per sample
+        workers=workers,
+        chunk_size=chunk_size if chunk_size is not None else 0,
+        wall_s=wall,
+        pool="inline" if workers == 1 else ("thread" if threads else "process"),
+    )
+    return IngestResult(trace=merged, per_core=per_core, stats=stats)

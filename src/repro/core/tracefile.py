@@ -6,6 +6,21 @@ file format: one ``.npz`` container holding, per core, the raw sample
 columns and switch records, plus the symbol table and free-form
 metadata.  Loading gives everything needed to rerun the integration,
 diagnosis, or call-graph guessing without the original process.
+
+Two layouts share the container:
+
+* **flat** (format version 1, still written when ``chunk_size`` is not
+  given): one member per sample column per core.
+* **chunked** (format version 2): each core's sample columns are split
+  into bounded-size chunk members (``core{c}_s{k}_ts`` …).  Because npz
+  members are decompressed individually on access, a chunked file can be
+  integrated with bounded memory via :class:`TraceReader` — the layout
+  behind :mod:`repro.core.streaming`.  The paper's data-rate analysis
+  (Section IV-C3: 106–270 MB/s per core) is why this matters: a
+  production trace does not fit in memory.
+
+:func:`load_trace` reads both layouts; files written by version-1 code
+load unchanged.
 """
 
 from __future__ import annotations
@@ -17,17 +32,36 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.hybrid import HybridTrace, integrate
-from repro.core.records import SwitchRecords
+from repro.core.records import (
+    ItemWindow,
+    SwitchRecords,
+    WindowColumns,
+    pair_switch_columns,
+)
 from repro.core.symbols import SymbolTable
 from repro.errors import TraceError
 from repro.machine.pebs import SampleArrays
 from repro.runtime.actions import SwitchKind
 
 #: Format version written into every file; bumped on layout changes.
-FORMAT_VERSION = 1
+#: Version 1 = flat per-core sample columns; version 2 adds the chunked
+#: layout.  Readers accept 1..FORMAT_VERSION.
+FORMAT_VERSION = 2
 
 _KIND_CODE = {SwitchKind.ITEM_START: 0, SwitchKind.ITEM_END: 1}
 _CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+
+def _symbol_arrays(symtab: SymbolTable) -> dict[str, np.ndarray]:
+    names = [s.name for s in symtab]
+    # Exact-width unicode dtype: a fixed "U128" silently truncated longer
+    # symbol names (C++ mangled names easily exceed 128 chars).
+    width = max((len(n) for n in names), default=1)
+    return {
+        "sym_lo": np.asarray([s.lo for s in symtab], dtype=np.int64),
+        "sym_hi": np.asarray([s.hi for s in symtab], dtype=np.int64),
+        "sym_names": np.asarray(names, dtype=f"U{max(width, 1)}"),
+    }
 
 
 def save_trace(
@@ -36,32 +70,55 @@ def save_trace(
     switches_by_core: dict[int, SwitchRecords],
     symtab: SymbolTable,
     meta: dict | None = None,
+    *,
+    chunk_size: int | None = None,
+    compress: bool = True,
 ) -> None:
-    """Write one trace container (compressed npz)."""
+    """Write one trace container.
+
+    ``chunk_size`` selects the version-2 chunked layout (each core's
+    sample columns split into members of at most ``chunk_size`` samples);
+    ``None`` keeps the flat layout that version-1 readers understand.
+    ``compress=False`` writes a stored (uncompressed) zip — at the
+    paper's per-core data rates, zlib becomes the ingest bottleneck.
+    """
+    if chunk_size is not None and chunk_size < 1:
+        raise TraceError(f"chunk_size must be >= 1, got {chunk_size}")
     arrays: dict[str, np.ndarray] = {}
-    header = {
+    header: dict = {
         "version": FORMAT_VERSION,
         "sample_cores": sorted(samples_by_core),
         "switch_cores": sorted(switches_by_core),
         "meta": meta or {},
     }
-    arrays["header_json"] = np.frombuffer(
-        json.dumps(header).encode("utf-8"), dtype=np.uint8
-    ).copy()
-    arrays["sym_lo"] = np.asarray([s.lo for s in symtab], dtype=np.int64)
-    arrays["sym_hi"] = np.asarray([s.hi for s in symtab], dtype=np.int64)
-    arrays["sym_names"] = np.asarray([s.name for s in symtab], dtype="U128")
+    if chunk_size is not None:
+        header["chunk_size"] = chunk_size
+        header["sample_chunks"] = {}
+    arrays.update(_symbol_arrays(symtab))
     for core, s in samples_by_core.items():
-        arrays[f"core{core}_sample_ts"] = s.ts
-        arrays[f"core{core}_sample_ip"] = s.ip
-        arrays[f"core{core}_sample_tag"] = s.tag
+        if chunk_size is None:
+            arrays[f"core{core}_sample_ts"] = s.ts
+            arrays[f"core{core}_sample_ip"] = s.ip
+            arrays[f"core{core}_sample_tag"] = s.tag
+        else:
+            n_chunks = 0
+            for k, chunk in enumerate(s.iter_chunks(chunk_size)):
+                arrays[f"core{core}_s{k}_ts"] = chunk.ts
+                arrays[f"core{core}_s{k}_ip"] = chunk.ip
+                arrays[f"core{core}_s{k}_tag"] = chunk.tag
+                n_chunks = k + 1
+            header["sample_chunks"][str(core)] = n_chunks
     for core, r in switches_by_core.items():
         arrays[f"core{core}_switch_ts"] = r.ts
         arrays[f"core{core}_switch_item"] = r.item
         arrays[f"core{core}_switch_kind"] = np.asarray(
             [_KIND_CODE[k] for k in r.kinds], dtype=np.int8
         )
-    np.savez_compressed(str(path), **arrays)
+    arrays["header_json"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    writer = np.savez_compressed if compress else np.savez
+    writer(str(path), **arrays)
 
 
 @dataclass
@@ -94,51 +151,231 @@ class TraceFile:
         return integrate(self.samples(core), self.switches(core), self.symtab)
 
 
-def load_trace(path: str | pathlib.Path) -> TraceFile:
-    """Read a container written by :func:`save_trace`."""
+def _open_container(path: str | pathlib.Path):
+    """np.load + header parse shared by load_trace and TraceReader."""
     try:
         data = np.load(str(path), allow_pickle=False)
     except Exception as exc:
         raise TraceError(f"cannot read trace file {path}: {exc}") from exc
     if "header_json" not in data:
+        data.close()
         raise TraceError(f"{path} is not a repro trace file (no header)")
-    header = json.loads(bytes(data["header_json"]).decode("utf-8"))
-    if header.get("version") != FORMAT_VERSION:
+    try:
+        header = json.loads(bytes(data["header_json"]).decode("utf-8"))
+    except Exception as exc:
+        data.close()
+        raise TraceError(f"{path} has a corrupt header: {exc}") from exc
+    version = header.get("version")
+    if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
+        data.close()
         raise TraceError(
-            f"trace file version {header.get('version')} unsupported "
-            f"(this build reads version {FORMAT_VERSION})"
+            f"trace file version {version} unsupported "
+            f"(this build reads versions 1..{FORMAT_VERSION})"
         )
-    symtab = SymbolTable.from_ranges(
+    return data, header
+
+
+def _load_symtab(data) -> SymbolTable:
+    return SymbolTable.from_ranges(
         {
             str(name): (int(lo), int(hi))
             for name, lo, hi in zip(data["sym_names"], data["sym_lo"], data["sym_hi"])
         }
     )
-    samples: dict[int, SampleArrays] = {}
-    for core in header["sample_cores"]:
-        samples[core] = SampleArrays(
-            ts=data[f"core{core}_sample_ts"],
-            ip=data[f"core{core}_sample_ip"],
-            tag=data[f"core{core}_sample_tag"],
-        )
-    switches: dict[int, SwitchRecords] = {}
-    for core in header["switch_cores"]:
-        r = SwitchRecords(core)
-        kinds = data[f"core{core}_switch_kind"]
-        for ts, item, kind in zip(
-            data[f"core{core}_switch_ts"], data[f"core{core}_switch_item"], kinds
-        ):
-            r.append(int(ts), int(item), _CODE_KIND[int(kind)])
-        switches[core] = r
+
+
+def _sample_chunk_keys(header: dict, core: int) -> list[tuple[str, str, str]]:
+    """Member-name triples (ts, ip, tag) for one core, in chunk order."""
+    chunks = header.get("sample_chunks")
+    if chunks is None:  # flat layout (v1, or v2 without chunking)
+        return [
+            (
+                f"core{core}_sample_ts",
+                f"core{core}_sample_ip",
+                f"core{core}_sample_tag",
+            )
+        ]
+    return [
+        (f"core{core}_s{k}_ts", f"core{core}_s{k}_ip", f"core{core}_s{k}_tag")
+        for k in range(int(chunks[str(core)]))
+    ]
+
+
+def load_trace(path: str | pathlib.Path) -> TraceFile:
+    """Read a container written by :func:`save_trace` (any layout)."""
+    data, header = _open_container(path)
+    with data:
+        symtab = _load_symtab(data)
+        samples: dict[int, SampleArrays] = {}
+        for core in header["sample_cores"]:
+            try:
+                parts = [
+                    SampleArrays(ts=data[kt], ip=data[ki], tag=data[kg])
+                    for kt, ki, kg in _sample_chunk_keys(header, core)
+                ]
+            except KeyError as exc:
+                raise TraceError(
+                    f"{path} is truncated: missing sample member {exc}"
+                ) from exc
+            if len(parts) == 1:
+                samples[core] = parts[0]
+            elif not parts:  # a sampled core that took no samples
+                empty = np.empty(0, dtype=np.int64)
+                samples[core] = SampleArrays(ts=empty, ip=empty.copy(), tag=empty.copy())
+            else:
+                samples[core] = SampleArrays(
+                    ts=np.concatenate([p.ts for p in parts]),
+                    ip=np.concatenate([p.ip for p in parts]),
+                    tag=np.concatenate([p.tag for p in parts]),
+                )
+        switches: dict[int, SwitchRecords] = {}
+        for core in header["switch_cores"]:
+            kinds = [
+                _CODE_KIND[int(c)] for c in data[f"core{core}_switch_kind"].tolist()
+            ]
+            switches[core] = SwitchRecords.from_arrays(
+                core, data[f"core{core}_switch_ts"], data[f"core{core}_switch_item"], kinds
+            )
     return TraceFile(
         symtab=symtab, meta=header["meta"], _samples=samples, _switches=switches
     )
 
 
-def save_session(path: str | pathlib.Path, session, symtab: SymbolTable, meta: dict | None = None) -> None:
+class TraceReader:
+    """Bounded-memory view of a trace container.
+
+    Unlike :func:`load_trace`, which materialises every core's columns,
+    a reader parses only the header and symbol table up front and hands
+    out sample *chunks* on demand — npz members are decompressed
+    individually, so a chunked (version-2) file never needs more than one
+    chunk of one core in memory.  Flat files are supported for backward
+    compatibility, but their per-core columns are decompressed whole on
+    first access (the best a v1 layout allows); chunk iteration then
+    slices views.
+
+    Use as a context manager, or call :meth:`close`.
+    """
+
+    def __init__(self, path: str | pathlib.Path) -> None:
+        self.path = pathlib.Path(path)
+        self._npz, self._header = _open_container(path)
+        self.symtab = _load_symtab(self._npz)
+        self.meta: dict = self._header["meta"]
+        self.version: int = self._header["version"]
+        #: Chunk size the file was written with (None for flat layouts).
+        self.stored_chunk_size: int | None = self._header.get("chunk_size")
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        self._npz.close()
+
+    def __enter__(self) -> "TraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- structure -------------------------------------------------------
+    @property
+    def sample_cores(self) -> list[int]:
+        return sorted(self._header["sample_cores"])
+
+    @property
+    def switch_cores(self) -> list[int]:
+        return sorted(self._header["switch_cores"])
+
+    def _check_core(self, core: int) -> None:
+        if core not in self._header["sample_cores"]:
+            raise TraceError(f"trace file has no samples for core {core}")
+
+    def n_switch_records(self, core: int) -> int:
+        if core not in self._header["switch_cores"]:
+            raise TraceError(f"trace file has no switch records for core {core}")
+        return int(self._npz[f"core{core}_switch_ts"].shape[0])
+
+    # -- data ------------------------------------------------------------
+    def iter_sample_chunks(self, core: int, chunk_size: int | None = None):
+        """Yield one core's samples as bounded chunks, in time order.
+
+        ``chunk_size`` re-slices stored chunks (or a flat column) into
+        pieces of at most that many samples; ``None`` yields the file's
+        own chunking (the whole column for flat files).
+        """
+        self._check_core(core)
+        if chunk_size is not None and chunk_size < 1:
+            raise TraceError(f"chunk_size must be >= 1, got {chunk_size}")
+        for kt, ki, kg in _sample_chunk_keys(self._header, core):
+            try:
+                stored = SampleArrays(
+                    ts=self._npz[kt], ip=self._npz[ki], tag=self._npz[kg]
+                )
+            except KeyError as exc:
+                raise TraceError(
+                    f"{self.path} is truncated: missing sample member {exc}"
+                ) from exc
+            if chunk_size is None:
+                yield stored
+            else:
+                yield from stored.iter_chunks(chunk_size)
+
+    def switch_window_columns(self, core: int) -> WindowColumns:
+        """Per-item residency windows for one core, as column arrays.
+
+        Switch logs are two records per data-item — small next to the
+        sample stream — so they are read whole; the pairing itself avoids
+        the per-record state machine on well-formed logs, and the column
+        form never materialises per-window Python objects.
+        """
+        if core not in self._header["switch_cores"]:
+            raise TraceError(f"trace file has no switch records for core {core}")
+        return pair_switch_columns(
+            core,
+            self._npz[f"core{core}_switch_ts"],
+            self._npz[f"core{core}_switch_item"],
+            self._npz[f"core{core}_switch_kind"],
+            start_code=_KIND_CODE[SwitchKind.ITEM_START],
+            end_code=_KIND_CODE[SwitchKind.ITEM_END],
+        )
+
+    def switch_windows(self, core: int) -> list[ItemWindow]:
+        """Per-item residency windows for one core, as objects."""
+        return self.switch_window_columns(core).to_windows()
+
+    def switches(self, core: int) -> SwitchRecords:
+        """One core's switch log as a :class:`SwitchRecords` object."""
+        if core not in self._header["switch_cores"]:
+            raise TraceError(f"trace file has no switch records for core {core}")
+        kinds = [
+            _CODE_KIND[int(c)] for c in self._npz[f"core{core}_switch_kind"].tolist()
+        ]
+        return SwitchRecords.from_arrays(
+            core,
+            self._npz[f"core{core}_switch_ts"],
+            self._npz[f"core{core}_switch_item"],
+            kinds,
+        )
+
+
+def save_session(
+    path: str | pathlib.Path,
+    session,
+    symtab: SymbolTable,
+    meta: dict | None = None,
+    *,
+    chunk_size: int | None = None,
+    compress: bool = True,
+) -> None:
     """Persist a :class:`~repro.session.TraceSession` (samples + switches)."""
     samples = {c: u.finalize() for c, u in session.units.items()}
     switches = {
         c: session.tracer.records_for_core(c) for c in session.units
     }
-    save_trace(path, samples, switches, symtab, meta)
+    save_trace(
+        path,
+        samples,
+        switches,
+        symtab,
+        meta,
+        chunk_size=chunk_size,
+        compress=compress,
+    )

@@ -84,6 +84,24 @@ class SampleArrays:
     def __getitem__(self, idx: int) -> Sample:
         return Sample(int(self.ts[idx]), int(self.ip[idx]), int(self.tag[idx]))
 
+    @property
+    def nbytes(self) -> int:
+        """Raw in-memory size of the three columns."""
+        return int(self.ts.nbytes + self.ip.nbytes + self.tag.nbytes)
+
+    def slice(self, start: int, stop: int) -> "SampleArrays":
+        """A zero-copy view of samples ``[start, stop)``."""
+        return SampleArrays(
+            ts=self.ts[start:stop], ip=self.ip[start:stop], tag=self.tag[start:stop]
+        )
+
+    def iter_chunks(self, chunk_size: int):
+        """Yield bounded-size views in timestamp order (streaming ingest)."""
+        if chunk_size < 1:
+            raise ConfigError(f"chunk_size must be >= 1, got {chunk_size}")
+        for start in range(0, len(self), chunk_size):
+            yield self.slice(start, start + chunk_size)
+
 
 class PEBSUnit:
     """Per-core PEBS machinery: buffer, assist cost, drain interrupts."""

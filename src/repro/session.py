@@ -46,6 +46,9 @@ class TraceSession:
     tracer: MarkingTracer
     units: dict[int, PEBSUnit]
     traces: dict[int, HybridTrace]
+    #: Symbol table of the traced app (set by :func:`trace`); lets the
+    #: session persist itself without the workload object at hand.
+    symtab: SymbolTable | None = None
 
     def trace_for(self, core_id: int) -> HybridTrace:
         """The integrated trace of one sampled core."""
@@ -53,6 +56,32 @@ class TraceSession:
             return self.traces[core_id]
         except KeyError:
             raise ConfigError(f"core {core_id} was not sampled")
+
+    def save(
+        self,
+        path,
+        meta: dict | None = None,
+        *,
+        chunk_size: int | None = None,
+        compress: bool = True,
+    ) -> None:
+        """Persist samples + switches to a trace container.
+
+        ``chunk_size`` writes the version-2 chunked layout that
+        :mod:`repro.core.streaming` ingests with bounded memory.
+        """
+        if self.symtab is None:
+            raise ConfigError("session has no symbol table; use save_session()")
+        from repro.core.tracefile import save_session
+
+        save_session(
+            path,
+            self,
+            self.symtab,
+            meta=meta,
+            chunk_size=chunk_size,
+            compress=compress,
+        )
 
 
 def trace(
@@ -93,4 +122,6 @@ def trace(
         c: integrate(unit.finalize(), tracer.records_for_core(c), app.symtab)
         for c, unit in units.items()
     }
-    return TraceSession(machine=machine, tracer=tracer, units=units, traces=traces)
+    return TraceSession(
+        machine=machine, tracer=tracer, units=units, traces=traces, symtab=app.symtab
+    )

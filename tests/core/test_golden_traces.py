@@ -1,0 +1,109 @@
+"""Golden-trace regression suite.
+
+``tests/data/golden_*.npz`` are small seeded traces whose exact
+``integrate()`` / ``breakdown()`` outputs are pinned in
+``golden_expected.json``.  Any change to the integration path — however
+innocent-looking — must keep these byte-for-byte, or consciously
+regenerate the goldens via ``tests/data/make_golden.py`` (and explain
+why in the PR).  They also anchor the streaming pipeline: chunked and
+multi-process ingestion must be *bitwise-identical* to one-shot
+integration on every golden, for several chunk sizes and worker counts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.hybrid import merge_traces, traces_equal
+from repro.core.streaming import ingest_trace
+from repro.core.tracefile import load_trace
+
+DATA_DIR = pathlib.Path(__file__).resolve().parents[1] / "data"
+EXPECTED = json.loads((DATA_DIR / "golden_expected.json").read_text())
+GOLDENS = sorted(EXPECTED)
+
+#: Chunk sizes the streaming path must reproduce one-shot results at:
+#: pathologically small, mid-size, and larger-than-the-trace.
+CHUNK_SIZES = (7, 64, 1_000_000)
+
+
+def _trace_path(name: str) -> pathlib.Path:
+    return DATA_DIR / f"{name}.npz"
+
+
+@pytest.fixture(scope="module", params=GOLDENS)
+def golden(request):
+    name = request.param
+    return name, load_trace(_trace_path(name)), EXPECTED[name]
+
+
+class TestGoldenIntegration:
+    def test_per_core_outputs_exact(self, golden):
+        name, tf, exp = golden
+        assert sorted(int(c) for c in exp["cores"]) == tf.sample_cores
+        for core_str, want in exp["cores"].items():
+            t = tf.integrate(int(core_str))
+            assert t.items() == want["items"]
+            got_rows = [
+                [e.item_id, e.fn_name, e.n_samples, e.elapsed_cycles, e.t_first, e.t_last]
+                for e in t.rows(min_samples=1)
+            ]
+            assert got_rows == want["rows"]
+            assert t.total_samples == want["total_samples"]
+            assert t.unmapped_samples == want["unmapped_samples"]
+            assert t.unknown_ip_samples == want["unknown_ip_samples"]
+            assert t.mapped_fraction == want["mapped_fraction"]
+
+    def test_breakdowns_exact(self, golden):
+        name, tf, exp = golden
+        for core_str, want in exp["cores"].items():
+            t = tf.integrate(int(core_str))
+            for item_str, bd in want["breakdowns"].items():
+                assert t.breakdown(int(item_str)) == bd
+            for item_str, cyc in want["window_cycles"].items():
+                assert t.item_window_cycles(int(item_str)) == cyc
+
+    def test_merged_outputs_exact(self, golden):
+        name, tf, exp = golden
+        merged = merge_traces([tf.integrate(c) for c in tf.sample_cores])
+        assert merged.items() == exp["merged"]["items"]
+        for item_str, bd in exp["merged"]["breakdowns"].items():
+            assert merged.breakdown(int(item_str)) == bd
+
+
+class TestGoldenStreaming:
+    """Acceptance: streaming ≡ one-shot on all goldens, 3 chunk sizes × 1/2/4 workers."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_streaming_bitwise_identical(self, golden, workers):
+        name, tf, _ = golden
+        one_shot = {c: tf.integrate(c) for c in tf.sample_cores}
+        merged = merge_traces([one_shot[c] for c in tf.sample_cores])
+        for chunk_size in CHUNK_SIZES:
+            res = ingest_trace(
+                _trace_path(name), chunk_size=chunk_size, workers=workers
+            )
+            assert sorted(res.per_core) == tf.sample_cores
+            for core, t in res.per_core.items():
+                assert traces_equal(t, one_shot[core]), (name, workers, chunk_size, core)
+            assert traces_equal(res.trace, merged), (name, workers, chunk_size)
+
+
+class TestGoldenFormat:
+    def test_long_symbol_name_survives(self):
+        # golden_c carries a >128-char symbol: the old U128 dtype would
+        # have truncated it on save.
+        tf = load_trace(_trace_path("golden_c"))
+        assert any(len(n) > 128 for n in tf.symtab.names)
+
+    def test_golden_c_is_chunked_v2(self):
+        from repro.core.tracefile import TraceReader
+
+        with TraceReader(_trace_path("golden_c")) as reader:
+            assert reader.version == 2
+            assert reader.stored_chunk_size == 64
+            chunks = list(reader.iter_sample_chunks(0))
+            assert all(len(c) <= 64 for c in chunks)

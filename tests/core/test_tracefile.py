@@ -88,3 +88,55 @@ class TestValidation:
         save_trace(path, {}, {}, SymbolTable.from_ranges({"f": (0, 10)}))
         tf = load_trace(path)
         assert tf.sample_cores == []
+
+
+class TestSymbolNames:
+    def test_long_symbol_name_roundtrips(self, tmp_path):
+        # Regression: a fixed U128 dtype silently truncated long names
+        # (mangled C++ symbols easily exceed 128 chars).
+        from repro.core.symbols import SymbolTable
+
+        long_name = "z" * 300 + "::operator()"
+        symtab = SymbolTable.from_ranges({long_name: (0, 100), "short": (100, 200)})
+        path = tmp_path / "long.npz"
+        save_trace(path, {}, {}, symtab)
+        tf = load_trace(path)
+        assert sorted(tf.symtab.names) == sorted([long_name, "short"])
+        assert tf.symtab.range_of(long_name) == (0, 100)
+
+
+class TestChunkedLayout:
+    def test_chunked_save_load_matches_flat(self, session_and_app, tmp_path):
+        session, app = session_and_app
+        flat = tmp_path / "flat.npz"
+        chunked = tmp_path / "chunked.npz"
+        save_session(flat, session, app.symtab)
+        save_session(chunked, session, app.symtab, chunk_size=300)
+        a, b = load_trace(flat), load_trace(chunked)
+        assert a.sample_cores == b.sample_cores
+        for core in a.sample_cores:
+            assert np.array_equal(a.samples(core).ts, b.samples(core).ts)
+            assert np.array_equal(a.samples(core).ip, b.samples(core).ip)
+            assert np.array_equal(a.samples(core).tag, b.samples(core).tag)
+            assert len(a.switches(core)) == len(b.switches(core))
+
+    def test_chunked_integration_matches(self, session_and_app, tmp_path):
+        session, app = session_and_app
+        path = tmp_path / "chunked.npz"
+        save_session(path, session, app.symtab, chunk_size=128)
+        offline = load_trace(path).integrate(SampleApp.WORKER_CORE)
+        online = session.trace_for(SampleApp.WORKER_CORE)
+        for qid in online.items():
+            assert offline.breakdown(qid) == online.breakdown(qid)
+
+    def test_uncompressed_container_loads(self, session_and_app, tmp_path):
+        session, app = session_and_app
+        path = tmp_path / "raw.npz"
+        save_session(path, session, app.symtab, chunk_size=256, compress=False)
+        tf = load_trace(path)
+        assert tf.sample_cores == [0, 1]
+
+    def test_bad_chunk_size_rejected(self, session_and_app, tmp_path):
+        session, app = session_and_app
+        with pytest.raises(TraceError, match="chunk_size"):
+            save_session(tmp_path / "x.npz", session, app.symtab, chunk_size=0)

@@ -1,0 +1,127 @@
+"""End-to-end CLI tests for the streaming path, via ``python -m repro``.
+
+Unlike ``test_cli.py`` (which calls ``main()`` in-process), these run
+the real interpreter entry point in a temp directory: run → save →
+``report --stream``, the v1 backward-compat load path, and a corrupt
+file failing with a clean error and non-zero exit.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+SRC = str(pathlib.Path(__file__).resolve().parents[2] / "src")
+
+
+def repro_cmd(*args: str, cwd) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("cli_stream")
+
+
+@pytest.fixture(scope="module")
+def chunked_trace(workdir):
+    proc = repro_cmd(
+        "run",
+        "--workload",
+        "sampleapp",
+        "--out",
+        "chunked.npz",
+        "--chunk-size",
+        "512",
+        cwd=workdir,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return workdir / "chunked.npz"
+
+
+@pytest.fixture(scope="module")
+def flat_trace(workdir):
+    # No --chunk-size: the flat layout any v1 reader would produce.
+    proc = repro_cmd(
+        "run", "--workload", "sampleapp", "--out", "flat.npz", cwd=workdir
+    )
+    assert proc.returncode == 0, proc.stderr
+    return workdir / "flat.npz"
+
+
+class TestStreamReport:
+    def test_stream_report_end_to_end(self, chunked_trace, workdir):
+        proc = repro_cmd(
+            "report",
+            "chunked.npz",
+            "--stream",
+            "--chunk-size",
+            "256",
+            "--workers",
+            "2",
+            cwd=workdir,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "streaming ingest" in proc.stdout
+        assert "throughput (MB/s)" in proc.stdout
+        assert "data-items" in proc.stdout
+        assert "f3_compute" in proc.stdout
+
+    def test_stream_matches_non_stream_table(self, chunked_trace, workdir):
+        streamed = repro_cmd(
+            "report", "chunked.npz", "--stream", cwd=workdir
+        )
+        plain = repro_cmd("report", "chunked.npz", cwd=workdir)
+        assert streamed.returncode == 0 and plain.returncode == 0
+        # The per-item table (everything from the title on) is identical.
+        tail = streamed.stdout[streamed.stdout.index("core ") :]
+        assert tail.strip() == plain.stdout.strip()
+
+    def test_stream_diagnose(self, chunked_trace, workdir):
+        proc = repro_cmd(
+            "report", "chunked.npz", "--stream", "--diagnose", cwd=workdir
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "items observed online" in proc.stdout
+
+    def test_stream_reads_v1_flat_layout(self, flat_trace, workdir):
+        proc = repro_cmd(
+            "report", "flat.npz", "--stream", "--workers", "2", cwd=workdir
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "data-items" in proc.stdout
+
+    def test_info_reads_chunked_layout(self, chunked_trace, workdir):
+        proc = repro_cmd("info", "chunked.npz", cwd=workdir)
+        assert proc.returncode == 0, proc.stderr
+        assert "sampleapp" in proc.stdout
+
+
+class TestStreamErrors:
+    def test_truncated_file_clean_error(self, chunked_trace, workdir):
+        raw = chunked_trace.read_bytes()
+        (workdir / "trunc.npz").write_bytes(raw[: len(raw) // 3])
+        proc = repro_cmd("report", "trunc.npz", "--stream", cwd=workdir)
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "Traceback" not in proc.stderr
+
+    def test_not_a_trace_file_clean_error(self, workdir):
+        (workdir / "junk.npz").write_bytes(b"not a zip at all")
+        proc = repro_cmd("report", "junk.npz", "--stream", cwd=workdir)
+        assert proc.returncode == 2
+        assert proc.stderr.startswith("error:")
+        assert "Traceback" not in proc.stderr

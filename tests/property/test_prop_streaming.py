@@ -1,0 +1,131 @@
+"""Property tests: streaming integration ≡ one-shot, merge order-invariance.
+
+For random windows, samples, chunk sizes, and worker counts, the chunked
+pipeline must be *bitwise-identical* to one-shot ``integrate()``, and
+``merge_traces`` must not care in which order per-core shards arrive.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hybrid import integrate, merge_traces, traces_equal
+from repro.core.records import SwitchRecords
+from repro.core.streaming import StreamingIntegrator, ingest_trace
+from repro.core.symbols import SymbolTable
+from repro.core.tracefile import save_trace
+from repro.machine.pebs import SampleArrays
+from repro.runtime.actions import SwitchKind
+
+SYMTAB = SymbolTable.from_ranges({"f0": (0, 100), "f1": (100, 200), "f2": (200, 300)})
+
+
+@st.composite
+def core_trace(draw, max_items=8, max_samples=60):
+    """One core's random windows (items may recur) and sorted samples."""
+    n_windows = draw(st.integers(min_value=0, max_value=max_items))
+    records = SwitchRecords(draw(st.integers(min_value=0, max_value=3)))
+    t = 0
+    for _ in range(n_windows):
+        gap = draw(st.integers(min_value=0, max_value=50))
+        dur = draw(st.integers(min_value=0, max_value=200))
+        item = draw(st.integers(min_value=1, max_value=5))
+        start = t + gap
+        records.append(start, item, SwitchKind.ITEM_START)
+        records.append(start + dur, item, SwitchKind.ITEM_END)
+        t = start + dur
+    horizon = t + 100
+    n_samples = draw(st.integers(min_value=0, max_value=max_samples))
+    ts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=horizon),
+                min_size=n_samples,
+                max_size=n_samples,
+            )
+        )
+    )
+    ips = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=350),
+            min_size=n_samples,
+            max_size=n_samples,
+        )
+    )
+    samples = SampleArrays(
+        ts=np.asarray(ts, dtype=np.int64),
+        ip=np.asarray(ips, dtype=np.int64),
+        tag=np.full(n_samples, -1, dtype=np.int64),
+    )
+    return samples, records
+
+
+@given(data=core_trace(), chunk_size=st.integers(min_value=1, max_value=80))
+@settings(max_examples=60, deadline=None)
+def test_streaming_equals_one_shot(data, chunk_size):
+    samples, records = data
+    one_shot = integrate(samples, records, SYMTAB)
+    integ = StreamingIntegrator.from_switches(SYMTAB, records)
+    for chunk in samples.iter_chunks(chunk_size):
+        integ.feed(chunk)
+    assert traces_equal(integ.finalize(), one_shot)
+
+
+@given(
+    shards=st.lists(core_trace(max_items=5, max_samples=30), min_size=1, max_size=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=40, deadline=None)
+def test_merge_traces_order_invariant(shards, seed):
+    traces = [integrate(s, r, SYMTAB) for s, r in shards]
+    merged = merge_traces(traces)
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(len(traces)).tolist()
+    shuffled = merge_traces([traces[i] for i in perm])
+    # Window concatenation order follows shard order; everything the
+    # queries see — the per-(item, function) rows — must be identical.
+    assert np.array_equal(merged.item_ids, shuffled.item_ids)
+    assert np.array_equal(merged.fn_idx, shuffled.fn_idx)
+    assert np.array_equal(merged.n_samples, shuffled.n_samples)
+    assert np.array_equal(merged.elapsed, shuffled.elapsed)
+    assert np.array_equal(merged.t_first, shuffled.t_first)
+    assert np.array_equal(merged.t_last, shuffled.t_last)
+    assert sorted(merged.windows, key=lambda w: (w.t_start, w.item_id)) == sorted(
+        shuffled.windows, key=lambda w: (w.t_start, w.item_id)
+    )
+
+
+@pytest.mark.slow
+@given(
+    shards=st.lists(core_trace(max_items=4, max_samples=25), min_size=1, max_size=3),
+    chunk_size=st.integers(min_value=1, max_value=40),
+    workers=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=8, deadline=None)
+def test_ingest_trace_file_roundtrip(shards, chunk_size, workers):
+    """Through the file format and the worker pool, still bitwise-equal."""
+    samples_by_core: dict[int, SampleArrays] = {}
+    switches_by_core: dict[int, SwitchRecords] = {}
+    for core, (s, r) in enumerate(shards):
+        r.core_id = core
+        samples_by_core[core] = s
+        switches_by_core[core] = r
+    one_shot = {
+        c: integrate(samples_by_core[c], switches_by_core[c], SYMTAB)
+        for c in samples_by_core
+    }
+    merged = merge_traces([one_shot[c] for c in sorted(one_shot)])
+    with tempfile.TemporaryDirectory() as d:
+        path = f"{d}/t.npz"
+        save_trace(
+            path, samples_by_core, switches_by_core, SYMTAB, chunk_size=chunk_size
+        )
+        res = ingest_trace(path, chunk_size=chunk_size, workers=workers)
+    for core, t in res.per_core.items():
+        assert traces_equal(t, one_shot[core])
+    assert traces_equal(res.trace, merged)
