@@ -34,12 +34,17 @@ def format_table(
     return "\n".join(lines)
 
 
-def format_ingest_report(stats, diag_summary: dict | None = None) -> str:
+def format_ingest_report(
+    stats, diag_summary: dict | None = None, coverage: dict | None = None
+) -> str:
     """Render one streaming-ingest run's throughput (and online policy).
 
     ``stats`` is an :class:`~repro.core.streaming.IngestStats`;
     ``diag_summary`` the dict from ``OnlineDiagnoser.summary()`` when an
-    online estimator rode along with the ingest.
+    online estimator rode along with the ingest; ``coverage`` the
+    per-core :class:`~repro.core.integrity.CoverageStats` of a lenient
+    run — cores whose data survived incomplete get a coverage row so a
+    degraded report is never mistaken for a clean one.
     """
     rows = [
         ["cores", ", ".join(str(c) for c in stats.cores)],
@@ -51,6 +56,29 @@ def format_ingest_report(stats, diag_summary: dict | None = None) -> str:
         ["throughput (MB/s)", f"{stats.mb_per_s:.1f}"],
         ["throughput (samples/s)", f"{stats.samples_per_s:,.0f}"],
     ]
+    if stats.failed_cores:
+        rows.append(
+            ["FAILED cores", ", ".join(str(c) for c in stats.failed_cores)]
+        )
+    if coverage is not None:
+        for core in sorted(coverage):
+            cov = coverage[core]
+            if cov.complete:
+                continue
+            detail = (
+                "shard failed"
+                if cov.shard_failed
+                else f"samples {cov.sample_coverage:.1%}, "
+                f"windows {cov.window_coverage:.1%}"
+                + (
+                    f", degraded items: "
+                    + ", ".join(str(i) for i in cov.degraded_items)
+                    if cov.degraded_items
+                    else ""
+                )
+                + (", extent unknown" if cov.unknown_extent else "")
+            )
+            rows.append([f"core {core} coverage", detail])
     if diag_summary is not None:
         rows.append(["items observed online", diag_summary["items_observed"]])
         rows.append(["items dumped", diag_summary["items_dumped"]])

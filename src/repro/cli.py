@@ -23,8 +23,9 @@ import sys
 from repro.analysis.reporting import format_table
 from repro.core.callgraph import guess_call_edges
 from repro.core.fluctuation import diagnose
+from repro.core.integrity import POLICIES
 from repro.core.tracefile import load_trace, save_session
-from repro.errors import ReproError
+from repro.errors import ReproError, TraceError
 from repro.machine.events import HWEvent
 from repro.session import trace as run_trace
 
@@ -90,6 +91,7 @@ def cmd_run(args) -> int:
         meta=meta,
         chunk_size=args.chunk_size,
         compress=not args.uncompressed,
+        checksums=not args.no_checksums,
     )
     total = sum(u.sample_count for u in session.units.values())
     print(
@@ -144,7 +146,8 @@ def cmd_report(args) -> int:
     return _diagnose_block(t, tf.meta, args)
 
 
-def _print_breakdown_table(t, core: int) -> None:
+def _print_breakdown_table(t, core: int, degraded: set[int] | None = None) -> None:
+    degraded = degraded or set()
     rows = []
     for item in t.items():
         bd = t.breakdown(item)
@@ -152,7 +155,8 @@ def _print_breakdown_table(t, core: int) -> None:
         top = ", ".join(
             f"{fn}={cy / US:.2f}us" for fn, cy in sorted(bd.items(), key=lambda x: -x[1])
         )
-        rows.append([str(item), f"{total_us:.2f}", top or "(below sampling resolution)"])
+        label = f"{item}*" if item in degraded else str(item)
+        rows.append([label, f"{total_us:.2f}", top or "(below sampling resolution)"])
     print(
         format_table(
             ["item", "total (us)", "per-function breakdown"],
@@ -160,6 +164,8 @@ def _print_breakdown_table(t, core: int) -> None:
             title=f"core {core}: {len(rows)} data-items",
         )
     )
+    if degraded:
+        print("  * diagnosed from incomplete data (see coverage above)")
 
 
 def _diagnose_block(t, meta: dict, args) -> int:
@@ -193,16 +199,26 @@ def _report_streamed(args) -> int:
         workers=args.workers,
         pool=args.pool,
         diagnoser=diag,
+        on_corruption=args.on_corruption,
+        shard_timeout=args.shard_timeout,
+        max_retries=args.max_retries,
     )
+    if result.quarantine:
+        # Defect accounting goes to stderr: stdout stays parseable.
+        print(result.quarantine.summary(), file=sys.stderr)
     if args.core is not None:
         core = args.core
     else:
         with TraceReader(args.tracefile) as reader:
             core = max(result.per_core, key=lambda c: reader.n_switch_records(c))
-    print(format_ingest_report(result.stats, diag.summary()))
+    print(format_ingest_report(result.stats, diag.summary(), result.coverage))
     print()
     t = result.per_core[core]
-    _print_breakdown_table(t, core)
+    cov = result.coverage.get(core)
+    degraded = set(cov.degraded_items) if cov is not None else set()
+    if cov is not None and cov.unknown_extent:
+        degraded = set(t.items())
+    _print_breakdown_table(t, core, degraded=degraded)
     return _diagnose_block(t, _load_meta(args.tracefile), args)
 
 
@@ -310,6 +326,11 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="store raw (no zlib) — for ingest-rate experiments",
     )
+    p_run.add_argument(
+        "--no-checksums",
+        action="store_true",
+        help="omit the v3 per-chunk CRCs (bit rot then goes undetected)",
+    )
     p_run.set_defaults(func=cmd_run)
 
     p_info = sub.add_parser("info", help="show trace file contents")
@@ -347,6 +368,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="stream: integrate core-shards with this many workers",
     )
+    p_rep.add_argument(
+        "--on-corruption",
+        choices=list(POLICIES),
+        default="strict",
+        help=(
+            "stream: what a failed integrity check does — strict raises, "
+            "quarantine skips the damaged chunk, repair drops only the "
+            "offending records (coverage is reported either way)"
+        ),
+    )
+    p_rep.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="stream: seconds before a parallel core-shard is declared hung",
+    )
+    p_rep.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="stream: retries for timed-out or crashed shards",
+    )
     p_rep.set_defaults(func=cmd_report)
 
     p_exp = sub.add_parser("export", help="export to viewer formats")
@@ -372,13 +415,25 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+#: Exit codes: argparse uses 2 for usage errors, so package errors get
+#: distinct codes — trace-data problems (corruption, malformed records,
+#: failed shards) exit 3, any other package error exits 2.  Scripts
+#: driving the CLI can tell "your data is damaged" from "your invocation
+#: is wrong" without parsing stderr.
+EXIT_REPRO_ERROR = 2
+EXIT_TRACE_ERROR = 3
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except TraceError as exc:
+        print(f"trace error: {exc}", file=sys.stderr)
+        return EXIT_TRACE_ERROR
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_REPRO_ERROR
 
 
 if __name__ == "__main__":

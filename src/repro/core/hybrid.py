@@ -26,16 +26,19 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.integrity import CoverageStats
 from repro.core.records import (
     ItemWindow,
     SwitchRecords,
     WindowColumns,
     build_windows,
+    pair_switch_columns_lenient,
     windows_as_arrays,
 )
 from repro.core.symbols import UNKNOWN, SymbolTable
 from repro.errors import IntegrationError
 from repro.machine.pebs import SampleArrays
+from repro.runtime.actions import SwitchKind
 
 
 @dataclass(frozen=True)
@@ -400,10 +403,29 @@ def integrate(
     item's start.
     """
     windows = build_windows(switches)
-    starts, ends, win_items = windows_as_arrays(windows)
     ts = samples.ts
     if ts.shape[0] and np.any(np.diff(ts) < 0):
         raise IntegrationError("sample timestamps must be sorted")
+    return _integrate_columns(samples, windows, symtab)
+
+
+def _integrate_columns(
+    samples: SampleArrays,
+    windows: list[ItemWindow] | WindowColumns,
+    symtab: SymbolTable,
+) -> HybridTrace:
+    """Steps 2–3 of the integration over already-built, sorted inputs.
+
+    Shared by strict :func:`integrate` (which validates first) and
+    :func:`integrate_degraded` (which repairs first); the sample
+    timestamps must already be non-decreasing and the windows
+    non-overlapping.
+    """
+    if isinstance(windows, WindowColumns):
+        starts, ends, win_items = windows.as_sorted_arrays()
+    else:
+        starts, ends, win_items = windows_as_arrays(windows)
+    ts = samples.ts
     n = int(ts.shape[0])
     nfn = len(symtab)
     if n == 0 or starts.shape[0] == 0:
@@ -449,3 +471,49 @@ def integrate(
         unmapped_samples=unmapped,
         unknown_ip_samples=unknown_ip,
     )
+
+
+def integrate_degraded(
+    samples: SampleArrays,
+    switches: SwitchRecords,
+    symtab: SymbolTable,
+) -> tuple[HybridTrace, CoverageStats]:
+    """One-shot integration of possibly-damaged inputs, with coverage.
+
+    Where :func:`integrate` raises on the failure modes a real deployment
+    produces — clock skew leaving sample timestamps out of order, switch
+    marks dropped by a log-buffer overrun — this variant repairs what it
+    can and accounts for what it cannot:
+
+    * out-of-order sample timestamps are stably sorted (clock skew
+      reorders observations but loses none, so no samples are dropped);
+    * the switch log goes through best-effort pairing
+      (:func:`~repro.core.records.pair_switch_columns_lenient`): every
+      window used is a genuinely paired START/END, dropped marks are
+      counted, and the items involved land in
+      :attr:`~repro.core.integrity.CoverageStats.degraded_items`.
+
+    Returns the trace together with the :class:`CoverageStats` that a
+    degraded report must carry.
+    """
+    coverage = CoverageStats(core=switches.core_id)
+    kind_codes = np.asarray(
+        [0 if k is SwitchKind.ITEM_START else 1 for k in switches.kinds],
+        dtype=np.int8,
+    )
+    lw = pair_switch_columns_lenient(
+        switches.core_id, switches.ts, switches.item, kind_codes
+    )
+    coverage.switch_marks = lw.total_marks
+    coverage.switch_marks_dropped = lw.dropped_marks
+    if lw.dropped_marks:
+        coverage.mark_degraded(lw.affected_items)
+    ts = samples.ts
+    if ts.shape[0] and np.any(np.diff(ts) < 0):
+        order = np.argsort(ts, kind="stable")
+        samples = SampleArrays(
+            ts=ts[order], ip=samples.ip[order], tag=samples.tag[order]
+        )
+        coverage.chunks_repaired += 1
+    coverage.samples_kept = int(samples.ts.shape[0])
+    return _integrate_columns(samples, lw.windows, symtab), coverage

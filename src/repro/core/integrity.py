@@ -1,0 +1,238 @@
+"""Corruption policies, quarantine accounting, and coverage metrics.
+
+Real PEBS deployments produce exactly the failures the paper's hybrid
+tracer must survive: dropped samples when the PEBS buffer overflows,
+truncated shards when a pinned worker dies mid-run, bit rot on the SSD
+the raw stream was dumped to, and clock skew between cores.  This module
+is the shared vocabulary the ingestion pipeline uses to talk about those
+failures:
+
+* a **corruption policy** selects what happens when stored data fails an
+  integrity check — ``strict`` raises (the historical behavior),
+  ``quarantine`` skips the offending chunk and records it, ``repair``
+  drops only the offending records and keeps the rest;
+* a :class:`Defect` describes one detected fault, a :class:`QuarantineLog`
+  collects them for the run;
+* :class:`CoverageStats` turns the accounting into the per-core /
+  per-item coverage metric every degraded report is annotated with, so a
+  user can always see what fraction of windows were diagnosed from
+  complete data.
+
+Nothing here imports the trace-file or integration layers; both import
+this module, which keeps the dependency graph acyclic.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.errors import TraceError
+
+#: Recognised corruption policies, in increasing order of leniency.
+POLICY_STRICT = "strict"
+POLICY_QUARANTINE = "quarantine"
+POLICY_REPAIR = "repair"
+POLICIES = (POLICY_STRICT, POLICY_QUARANTINE, POLICY_REPAIR)
+
+#: Defect kinds a :class:`Defect` may carry.
+KIND_CHECKSUM = "checksum"      # stored crc32 does not match the member bytes
+KIND_LENGTH = "length"          # ts/ip/tag columns of one chunk disagree
+KIND_ORDER = "order"            # timestamps out of order (within or across chunks)
+KIND_MISSING = "missing"        # a chunk member is absent (truncated container)
+KIND_UNREADABLE = "unreadable"  # a member exists but cannot be decoded
+KIND_SWITCH = "switch"          # switch marks dropped by lenient pairing
+KIND_SHARD = "shard"            # a whole core-shard failed permanently
+
+
+def check_policy(policy: str) -> str:
+    """Validate a policy string; returns it for chaining."""
+    if policy not in POLICIES:
+        raise TraceError(
+            f"on_corruption must be one of {', '.join(POLICIES)}, got {policy!r}"
+        )
+    return policy
+
+
+def member_crc(arr: np.ndarray) -> int:
+    """crc32 of a member's raw bytes — the v3 container's checksum field."""
+    return zlib.crc32(np.ascontiguousarray(arr).tobytes()) & 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class Defect:
+    """One detected fault.  Picklable: shards report defects across processes.
+
+    ``records_lost`` counts samples for sample-chunk defects and marks for
+    switch defects; ``-1`` means the loss could not be measured (e.g. a
+    missing member in a pre-v3 container that stores no per-chunk row
+    counts).  ``ts_lo``/``ts_hi`` bound the affected timestamp span when
+    it is known, which is what lets coverage name the affected items; a
+    ``None`` bound is unbounded on that side.
+    """
+
+    core: int
+    kind: str
+    member: str | None
+    detail: str
+    records_lost: int = 0
+    ts_lo: int | None = None
+    ts_hi: int | None = None
+
+    def describe(self) -> str:
+        where = f"core {self.core}" + (f" [{self.member}]" if self.member else "")
+        lost = (
+            "loss unknown"
+            if self.records_lost < 0
+            else f"{self.records_lost} record(s) lost"
+        )
+        return f"{where}: {self.kind} — {self.detail} ({lost})"
+
+
+class QuarantineLog:
+    """Append-only collection of the defects one ingestion run survived."""
+
+    def __init__(self) -> None:
+        self.defects: list[Defect] = []
+
+    def record(self, defect: Defect) -> None:
+        self.defects.append(defect)
+
+    def extend(self, defects: list[Defect]) -> None:
+        self.defects.extend(defects)
+
+    def __bool__(self) -> bool:
+        return bool(self.defects)
+
+    def __len__(self) -> int:
+        return len(self.defects)
+
+    def for_core(self, core: int) -> list[Defect]:
+        return [d for d in self.defects if d.core == core]
+
+    def _lost(self, kinds: tuple[str, ...]) -> int:
+        return sum(
+            d.records_lost for d in self.defects
+            if d.kind in kinds and d.records_lost > 0
+        )
+
+    @property
+    def samples_lost(self) -> int:
+        return self._lost((KIND_CHECKSUM, KIND_LENGTH, KIND_ORDER, KIND_MISSING, KIND_UNREADABLE))
+
+    @property
+    def marks_lost(self) -> int:
+        return self._lost((KIND_SWITCH,))
+
+    def summary(self) -> str:
+        """Human-readable run summary (the CLI prints this to stderr)."""
+        if not self.defects:
+            return "quarantine: no defects"
+        lines = [
+            f"quarantine: {len(self.defects)} defect(s), "
+            f"{self.samples_lost} sample(s) and {self.marks_lost} switch mark(s) lost"
+        ]
+        lines.extend("  " + d.describe() for d in self.defects)
+        return "\n".join(lines)
+
+
+@dataclass
+class CoverageStats:
+    """Per-core degradation accounting behind the coverage metric.
+
+    ``degraded_items`` are items whose windows overlap lost data — their
+    estimates were diagnosed from incomplete evidence.  ``unknown_extent``
+    is set when data was lost whose timestamp span could not be recovered
+    (then no per-item statement is possible and every item on the core is
+    treated as degraded).
+    """
+
+    core: int
+    samples_kept: int = 0
+    samples_dropped: int = 0
+    chunks_kept: int = 0
+    chunks_dropped: int = 0
+    chunks_repaired: int = 0
+    switch_marks: int = 0
+    switch_marks_dropped: int = 0
+    degraded_items: tuple[int, ...] = ()
+    unknown_extent: bool = False
+    shard_failed: bool = False
+    retries: int = 0
+
+    @property
+    def sample_coverage(self) -> float:
+        """Fraction of stored samples that survived into the integration."""
+        if self.shard_failed:
+            return 0.0
+        total = self.samples_kept + self.samples_dropped
+        return self.samples_kept / total if total else 1.0
+
+    @property
+    def window_coverage(self) -> float:
+        """Fraction of switch marks that paired into usable windows."""
+        if self.shard_failed:
+            return 0.0
+        if self.switch_marks == 0:
+            return 1.0
+        return 1.0 - self.switch_marks_dropped / self.switch_marks
+
+    @property
+    def complete(self) -> bool:
+        """True iff every window on this core was diagnosed from complete data."""
+        return (
+            not self.shard_failed
+            and not self.unknown_extent
+            and self.samples_dropped == 0
+            and self.switch_marks_dropped == 0
+        )
+
+    def is_item_complete(self, item_id: int) -> bool:
+        """Whether one item's diagnosis used only complete data."""
+        if self.shard_failed or self.unknown_extent:
+            return False
+        return item_id not in self.degraded_items
+
+    def mark_degraded(self, items) -> None:
+        """Add item ids to the degraded set (keeps the tuple sorted-unique)."""
+        merged = set(self.degraded_items)
+        merged.update(int(i) for i in items)
+        self.degraded_items = tuple(sorted(merged))
+
+    def copy(self) -> "CoverageStats":
+        return replace(self)
+
+
+def degraded_items_for_span(
+    windows, ts_lo: int | None, ts_hi: int | None
+) -> list[int]:
+    """Item ids whose windows intersect a lost [ts_lo, ts_hi] span.
+
+    ``windows`` is a :class:`~repro.core.records.WindowColumns`; ``None``
+    bounds are unbounded, matching :class:`Defect` span semantics.
+    """
+    if len(windows) == 0:
+        return []
+    mask = np.ones(len(windows), dtype=bool)
+    if ts_lo is not None:
+        mask &= windows.t_end >= ts_lo
+    if ts_hi is not None:
+        mask &= windows.t_start <= ts_hi
+    return sorted(set(windows.item_id[mask].tolist()))
+
+
+# Re-exported so users configuring pipelines only need this module.
+__all__ = [
+    "POLICIES",
+    "POLICY_STRICT",
+    "POLICY_QUARANTINE",
+    "POLICY_REPAIR",
+    "check_policy",
+    "member_crc",
+    "Defect",
+    "QuarantineLog",
+    "CoverageStats",
+    "degraded_items_for_span",
+]

@@ -245,6 +245,148 @@ def build_windows_from_arrays(
     ).to_windows()
 
 
+@dataclass(frozen=True)
+class LenientWindows:
+    """Outcome of best-effort pairing over a possibly-corrupt switch log.
+
+    ``affected_items`` are the items whose marks were dropped or whose
+    window boundaries had to be guessed — their residency windows are not
+    trustworthy ground truth and degraded reports flag them.
+    """
+
+    windows: WindowColumns
+    total_marks: int
+    dropped_marks: int
+    affected_items: tuple[int, ...]
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of switch marks that paired into usable windows."""
+        if self.total_marks == 0:
+            return 1.0
+        return 1.0 - self.dropped_marks / self.total_marks
+
+
+def pair_switch_columns_lenient(
+    core_id: int,
+    ts: np.ndarray,
+    item: np.ndarray,
+    kind_codes: np.ndarray,
+    *,
+    start_code: int = 0,
+    end_code: int = 1,
+) -> LenientWindows:
+    """Best-effort column pairing for corrupt or lossy switch logs.
+
+    Well-formed logs take the same vectorised fast path as
+    :func:`pair_switch_columns` and report zero drops.  Malformed logs
+    fall back to the :func:`build_windows_lenient` policy (an END with no
+    open START is dropped; a START over an open item drops the open one;
+    a dangling START is dropped), extended for *corrupt* — not merely
+    lossy — data: a window whose end precedes its start, or that overlaps
+    the previous window after sorting, is dropped too.  Every drop is
+    charged to the item(s) involved so coverage can name them.
+    """
+    n = int(ts.shape[0])
+    empty = np.empty(0, dtype=np.int64)
+    if n == 0:
+        return LenientWindows(
+            WindowColumns(item_id=empty, t_start=empty.copy(), t_end=empty.copy()),
+            total_marks=0,
+            dropped_marks=0,
+            affected_items=(),
+        )
+    ts = np.asarray(ts, dtype=np.int64)
+    item = np.asarray(item, dtype=np.int64)
+    kind_codes = np.asarray(kind_codes)
+    strictly_valid = (
+        n % 2 == 0
+        and bool(np.all(kind_codes[0::2] == start_code))
+        and bool(np.all(kind_codes[1::2] == end_code))
+        and bool(np.all(item[0::2] == item[1::2]))
+        and bool(np.all(ts[1::2] >= ts[0::2]))
+        and bool(np.all(ts[2::2] >= ts[1:-1:2]))
+    )
+    if strictly_valid:
+        return LenientWindows(
+            WindowColumns(
+                item_id=item[0::2].copy(), t_start=ts[0::2].copy(), t_end=ts[1::2].copy()
+            ),
+            total_marks=n,
+            dropped_marks=0,
+            affected_items=(),
+        )
+    win_item: list[int] = []
+    win_start: list[int] = []
+    win_end: list[int] = []
+    dropped = 0
+    affected: set[int] = set()
+    open_item: int | None = None
+    open_ts = 0
+    for t, it, code in zip(ts.tolist(), item.tolist(), kind_codes.tolist()):
+        if code == start_code:
+            if open_item is not None:
+                dropped += 1  # the open item's END was evidently lost
+                affected.add(open_item)
+            open_item = it
+            open_ts = t
+        else:
+            if open_item == it:
+                if t < open_ts:  # corrupt timestamp: window ends before it starts
+                    dropped += 2
+                    affected.add(it)
+                else:
+                    win_item.append(it)
+                    win_start.append(open_ts)
+                    win_end.append(t)
+                open_item = None
+            else:
+                dropped += 1
+                affected.add(it)
+                if open_item is not None:
+                    # A mismatched END also invalidates the open window.
+                    dropped += 1
+                    affected.add(open_item)
+                    open_item = None
+    if open_item is not None:
+        dropped += 1
+        affected.add(open_item)
+    cols = WindowColumns(
+        item_id=np.asarray(win_item, dtype=np.int64),
+        t_start=np.asarray(win_start, dtype=np.int64),
+        t_end=np.asarray(win_end, dtype=np.int64),
+    )
+    # Overlap pruning: corrupt timestamps can pair into windows that
+    # overlap after sorting, which the integration cannot accept.  Keep
+    # the earlier-starting window, drop each later one that intrudes.
+    if len(cols):
+        order = np.argsort(cols.t_start, kind="stable")
+        items_s = cols.item_id[order]
+        starts_s = cols.t_start[order]
+        ends_s = cols.t_end[order]
+        keep = np.ones(len(cols), dtype=bool)
+        last_end = None
+        for i in range(len(cols)):
+            if last_end is not None and int(starts_s[i]) < last_end:
+                keep[i] = False
+                dropped += 2
+                affected.add(int(items_s[i]))
+            else:
+                last_end = int(ends_s[i])
+        if not np.all(keep):
+            cols = WindowColumns(
+                item_id=items_s[keep], t_start=starts_s[keep], t_end=ends_s[keep]
+            )
+        else:
+            cols = WindowColumns(item_id=items_s, t_start=starts_s, t_end=ends_s)
+    return LenientWindows(
+        windows=cols,
+        total_marks=n,
+        dropped_marks=dropped,
+        affected_items=tuple(sorted(affected)),
+    )
+
+
 def build_windows_lenient(records: SwitchRecords) -> tuple[list[ItemWindow], int]:
     """Best-effort pairing for *lossy* switch logs.
 

@@ -31,7 +31,7 @@ import multiprocessing.pool
 import os
 import pathlib
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -40,6 +40,21 @@ from repro.core.hybrid import (
     _group_min_max_count,
     finalize_window_groups,
     merge_traces,
+)
+from repro.core.integrity import (
+    KIND_CHECKSUM,
+    KIND_LENGTH,
+    KIND_MISSING,
+    KIND_ORDER,
+    KIND_SHARD,
+    KIND_UNREADABLE,
+    POLICY_REPAIR,
+    POLICY_STRICT,
+    CoverageStats,
+    Defect,
+    QuarantineLog,
+    check_policy,
+    degraded_items_for_span,
 )
 from repro.core.online import OnlineDiagnoser
 from repro.core.records import (
@@ -51,7 +66,7 @@ from repro.core.records import (
 )
 from repro.core.symbols import UNKNOWN, SymbolTable
 from repro.core.tracefile import TraceReader
-from repro.errors import IntegrationError, TraceError
+from repro.errors import IntegrationError, ShardError, TraceError
 from repro.machine.pebs import SampleArrays
 
 #: Default samples per chunk (~1.5 MB of raw columns at 24 B/sample).
@@ -84,10 +99,23 @@ class StreamingIntegrator:
     """
 
     def __init__(
-        self, symtab: SymbolTable, windows: list[ItemWindow] | WindowColumns
+        self,
+        symtab: SymbolTable,
+        windows: list[ItemWindow] | WindowColumns,
+        *,
+        tolerate_reorder: bool = False,
     ) -> None:
         self.symtab = symtab
         self.windows = windows
+        #: Accept chunks that are internally sorted but arrive out of
+        #: order relative to earlier chunks (the repair policy's handling
+        #: of shuffled storage).  The (window, function) merge is
+        #: order-independent, so :meth:`finalize` stays bitwise-identical
+        #: to one-shot integration; only :meth:`drain_completed`'s
+        #: "complete" notion degrades (a late chunk may add samples to an
+        #: item already handed out).
+        self.tolerate_reorder = tolerate_reorder
+        self._reordered = False
         if isinstance(windows, WindowColumns):
             self._starts, self._ends, self._win_items = windows.as_sorted_arrays()
         else:
@@ -145,11 +173,21 @@ class StreamingIntegrator:
         n = int(ts.shape[0])
         if n == 0:
             return
-        if np.any(np.diff(ts) < 0) or (
-            self._last_ts is not None and int(ts[0]) < self._last_ts
-        ):
+        if np.any(np.diff(ts) < 0):
+            # Disorder *within* a chunk is always corruption (the reader's
+            # repair policy drops such records before feeding).
             raise IntegrationError("sample timestamps must be sorted")
-        self._last_ts = int(ts[-1])
+        if self._last_ts is not None and int(ts[0]) < self._last_ts:
+            if not self.tolerate_reorder:
+                raise IntegrationError("sample timestamps must be sorted")
+            # An out-of-order chunk can touch windows already retired;
+            # bring the retired state back and stop retiring — from here
+            # on, no window index is guaranteed to be behind the stream.
+            self._reordered = True
+            self._collapse()
+        self._last_ts = (
+            int(ts[-1]) if self._last_ts is None else max(self._last_ts, int(ts[-1]))
+        )
         self._total += n
         if self._starts.shape[0] == 0:
             self._unmapped += n
@@ -172,8 +210,10 @@ class StreamingIntegrator:
         # Window indices are non-decreasing in time, so every future
         # sample lands in a window >= this chunk's last one: state below
         # it is final.  Retiring it keeps the per-chunk merge bounded by
-        # the chunk, not by everything carried so far.
-        self._retire((int(uniq[-1]) // self._nfn) * self._nfn)
+        # the chunk, not by everything carried so far.  Once a reorder has
+        # been observed that invariant is gone, so retirement stops.
+        if not self._reordered:
+            self._retire((int(uniq[-1]) // self._nfn) * self._nfn)
 
     def _merge_groups(
         self,
@@ -325,6 +365,8 @@ class IngestStats:
     wall_s: float
     #: Resolved worker backend: "inline" (workers=1), "thread", "process".
     pool: str = "inline"
+    #: Cores whose shards failed permanently (partial-result merge).
+    failed_cores: tuple[int, ...] = ()
 
     @property
     def mb_per_s(self) -> float:
@@ -337,30 +379,94 @@ class IngestStats:
 
 @dataclass
 class IngestResult:
-    """Merged trace + per-core shards + throughput stats."""
+    """Merged trace + per-core shards + throughput stats.
+
+    ``quarantine`` and ``coverage`` carry the degradation accounting of a
+    lenient run; under the default strict policy the log is empty and
+    every core's coverage is complete.
+    """
 
     trace: HybridTrace
     per_core: dict[int, HybridTrace]
     stats: IngestStats
+    quarantine: QuarantineLog = field(default_factory=QuarantineLog)
+    coverage: dict[int, CoverageStats] = field(default_factory=dict)
+
+
+#: Defect kinds whose ts spans localise lost *samples* (not switch marks).
+_SAMPLE_KINDS = (KIND_CHECKSUM, KIND_LENGTH, KIND_ORDER, KIND_MISSING, KIND_UNREADABLE)
+
+
+def _stream_core(
+    reader: TraceReader,
+    core: int,
+    chunk_size: int | None,
+    policy: str,
+    quarantine: QuarantineLog,
+    coverage: CoverageStats,
+    diagnoser: OnlineDiagnoser | None = None,
+    record_bytes: int = DEFAULT_RECORD_BYTES,
+) -> tuple[HybridTrace, int]:
+    """Stream-integrate one core under a corruption policy.
+
+    The single code path behind both the sequential loop and the worker
+    shard: windows are paired (leniently when the policy allows), sample
+    chunks are validated/repaired by the reader, and every defect's
+    timestamp span is mapped to the item windows it overlaps so
+    ``coverage.degraded_items`` names exactly the items whose numbers
+    rest on incomplete data.
+    """
+    windows = reader.switch_window_columns(
+        core, policy=policy, quarantine=quarantine, coverage=coverage
+    )
+    integ = StreamingIntegrator(
+        reader.symtab, windows, tolerate_reorder=(policy == POLICY_REPAIR)
+    )
+    chunks = 0
+    for chunk in reader.iter_sample_chunks(
+        core, chunk_size, policy=policy, quarantine=quarantine, coverage=coverage
+    ):
+        integ.feed(chunk)
+        chunks += 1
+        if diagnoser is not None:
+            for done in integ.drain_completed():
+                diagnoser.observe_item(
+                    done.item_id, done.breakdown, done.n_samples * record_bytes
+                )
+    if diagnoser is not None:
+        for done in integ.drain_completed(final=True):
+            diagnoser.observe_item(
+                done.item_id, done.breakdown, done.n_samples * record_bytes
+            )
+    trace = integ.finalize()
+    for d in quarantine.for_core(core):
+        if d.kind in _SAMPLE_KINDS:
+            if d.ts_lo is None and d.ts_hi is None and d.records_lost != 0:
+                coverage.unknown_extent = True
+            else:
+                coverage.mark_degraded(
+                    degraded_items_for_span(windows, d.ts_lo, d.ts_hi)
+                )
+    return trace, chunks
 
 
 def _integrate_core_shard(
-    path: str, core: int, chunk_size: int | None
-) -> tuple[int, HybridTrace, int]:
+    path: str, core: int, chunk_size: int | None, policy: str = POLICY_STRICT
+) -> tuple[int, HybridTrace, int, list[Defect], CoverageStats]:
     """Worker: stream-integrate one core's shard of a container.
 
     Module-level so it pickles into a multiprocessing pool; each worker
-    opens its own reader and touches only its core's members.
+    opens its own reader and touches only its core's members.  Defects
+    and coverage travel back with the shard result so the parent can fold
+    them into the run-wide accounting.
     """
     with TraceReader(path) as reader:
-        integ = StreamingIntegrator(
-            reader.symtab, reader.switch_window_columns(core)
+        quarantine = QuarantineLog()
+        coverage = CoverageStats(core=core)
+        trace, chunks = _stream_core(
+            reader, core, chunk_size, policy, quarantine, coverage
         )
-        chunks = 0
-        for chunk in reader.iter_sample_chunks(core, chunk_size):
-            integ.feed(chunk)
-            chunks += 1
-        return core, integ.finalize(), chunks
+        return core, trace, chunks, quarantine.defects, coverage
 
 
 def replay_into(
@@ -406,6 +512,126 @@ def _use_threads(pool: str) -> bool:
     raise TraceError(f"pool must be 'auto', 'thread' or 'process', got {pool!r}")
 
 
+def _make_pool(n_procs: int, threads: bool):
+    """Build a worker pool; returns (pool, cleanup) — cleanup kills it.
+
+    ``cleanup`` uses ``terminate()`` rather than ``close()``/``join()``
+    deliberately: a hung worker never finishes its task, so a graceful
+    shutdown would hang the parent with it.  Terminating a process pool
+    kills the workers outright; terminating a ThreadPool abandons its
+    daemon threads (they cannot be killed, but they no longer block
+    anything).
+    """
+    if threads:
+        p = multiprocessing.pool.ThreadPool(processes=n_procs)
+        return p, p.terminate
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX hosts
+        ctx = multiprocessing.get_context("spawn")
+    # Freeze the parent heap before forking: without this, the first
+    # garbage collection in each child touches every inherited object and
+    # copy-on-write duplicates the whole parent heap per worker.
+    gc.collect()
+    gc.freeze()
+    p = ctx.Pool(processes=n_procs)
+
+    def cleanup() -> None:
+        p.terminate()
+        gc.unfreeze()
+
+    return p, cleanup
+
+
+def _shard_round(
+    jobs: list[tuple[int, tuple]],
+    n_procs: int,
+    threads: bool,
+    shard_timeout: float | None,
+    shard_fn,
+) -> tuple[dict[int, tuple], dict[int, str], dict[int, str]]:
+    """Run one attempt of every shard job in a fresh pool.
+
+    Returns ``(done, retryable, permanent)`` keyed by core.  A
+    :class:`~repro.errors.TraceError` is *permanent*: it is deterministic
+    (the stored bytes will not change on retry).  Timeouts and anything
+    else (a worker killed by the OOM killer surfaces as a pool error) are
+    *retryable*.  The pool is terminated at the end of the round either
+    way, which is what reclaims workers hung past their timeout.
+    """
+    done: dict[int, tuple] = {}
+    retryable: dict[int, str] = {}
+    permanent: dict[int, str] = {}
+    pool_obj, cleanup = _make_pool(n_procs, threads)
+    try:
+        handles = [
+            (core, pool_obj.apply_async(shard_fn, args)) for core, args in jobs
+        ]
+        for core, handle in handles:
+            try:
+                done[core] = handle.get(shard_timeout)
+            except multiprocessing.TimeoutError:
+                retryable[core] = (
+                    f"shard for core {core} exceeded its {shard_timeout:g}s timeout"
+                )
+            except TraceError as exc:
+                permanent[core] = f"{type(exc).__name__}: {exc}"
+            except Exception as exc:  # worker/pool infrastructure failure
+                retryable[core] = f"{type(exc).__name__}: {exc}"
+    finally:
+        cleanup()
+    return done, retryable, permanent
+
+
+def _run_supervised(
+    jobs: list[tuple[int, tuple]],
+    n_procs: int,
+    threads: bool,
+    shard_timeout: float | None,
+    max_retries: int,
+    retry_backoff_s: float,
+    shard_fn,
+) -> tuple[dict[int, tuple], dict[int, str], dict[int, int]]:
+    """Drive shard jobs to completion with bounded retries and backoff.
+
+    ``max_retries`` bounds the *re*-attempts after the first try.  Each
+    round runs in a fresh pool so a worker hung in round N cannot occupy
+    a slot in round N+1.  Returns ``(results, failures, retries)`` keyed
+    by core; a core appears in exactly one of the first two.
+    """
+    results: dict[int, tuple] = {}
+    failures: dict[int, str] = {}
+    retries: dict[int, int] = {}
+    outstanding = list(jobs)
+    attempt = 0
+    while outstanding:
+        done, retryable, permanent = _shard_round(
+            outstanding,
+            min(n_procs, len(outstanding)),
+            threads,
+            shard_timeout,
+            shard_fn,
+        )
+        results.update(done)
+        failures.update(permanent)
+        if not retryable:
+            break
+        attempt += 1
+        if attempt > max_retries:
+            failures.update(
+                {
+                    core: msg + f" (gave up after {max_retries} retries)"
+                    for core, msg in retryable.items()
+                }
+            )
+            break
+        for core in retryable:
+            retries[core] = attempt
+        outstanding = [(c, a) for c, a in outstanding if c in retryable]
+        time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
+    return results, failures, retries
+
+
 def ingest_trace(
     path: str | pathlib.Path,
     *,
@@ -415,6 +641,11 @@ def ingest_trace(
     pool: str = "auto",
     diagnoser: OnlineDiagnoser | None = None,
     record_bytes: int = DEFAULT_RECORD_BYTES,
+    on_corruption: str = POLICY_STRICT,
+    shard_timeout: float | None = None,
+    max_retries: int = 2,
+    retry_backoff_s: float = 0.05,
+    _shard_fn=None,
 ) -> IngestResult:
     """Stream-integrate a trace container and merge the per-core shards.
 
@@ -426,69 +657,115 @@ def ingest_trace(
     the moment its windows complete, i.e. diagnosis runs while ingesting.
     After a parallel ingest the diagnoser is fed by replaying the merged
     trace in item-completion order instead.
+
+    Fault tolerance:
+
+    * ``on_corruption`` selects the corruption policy applied to every
+      chunk and switch log — ``"strict"`` raises on the first defect,
+      ``"quarantine"`` skips defective chunks, ``"repair"`` drops only
+      the offending records where possible.  Defects and per-core
+      coverage come back on the :class:`IngestResult`.
+    * ``shard_timeout`` bounds each parallel shard's wall time;
+      ``max_retries`` re-attempts timed-out or crashed shards (with
+      exponential backoff starting at ``retry_backoff_s``) in a fresh
+      pool, so a hung worker cannot stall the run.  Retries apply only to
+      nondeterministic failures — a corrupt shard fails the same way
+      every time and is not retried.
+    * A shard that fails permanently fails the run under ``"strict"``;
+      under a lenient policy the remaining shards still merge, the lost
+      core is reported in ``stats.failed_cores`` with a
+      :class:`~repro.core.integrity.Defect` in the quarantine log, and
+      its coverage is marked ``shard_failed``.  Only when *every* shard
+      fails does a lenient run raise :class:`~repro.errors.ShardError`.
+
+    ``_shard_fn`` swaps the shard worker (fault-injection tests).
     """
     if workers < 1:
         raise TraceError(f"workers must be >= 1, got {workers}")
+    check_policy(on_corruption)
+    if shard_timeout is not None and shard_timeout <= 0:
+        raise TraceError(f"shard_timeout must be > 0, got {shard_timeout}")
+    if max_retries < 0:
+        raise TraceError(f"max_retries must be >= 0, got {max_retries}")
     threads = _use_threads(pool)  # validate `pool` before doing any work
+    strict = on_corruption == POLICY_STRICT
+    shard_fn = _shard_fn if _shard_fn is not None else _integrate_core_shard
     t0 = time.perf_counter()
     path = str(path)
     per_core: dict[int, HybridTrace] = {}
+    quarantine = QuarantineLog()
+    coverage: dict[int, CoverageStats] = {}
+    shard_failures: dict[int, str] = {}
+    retries: dict[int, int] = {}
     total_chunks = 0
     if workers == 1:
         with TraceReader(path) as reader:
             use_cores = cores if cores is not None else reader.sample_cores
             for core in use_cores:
-                integ = StreamingIntegrator(
-                    reader.symtab, reader.switch_window_columns(core)
-                )
-                for chunk in reader.iter_sample_chunks(core, chunk_size):
-                    integ.feed(chunk)
-                    total_chunks += 1
-                    if diagnoser is not None:
-                        for done in integ.drain_completed():
-                            diagnoser.observe_item(
-                                done.item_id,
-                                done.breakdown,
-                                done.n_samples * record_bytes,
-                            )
-                if diagnoser is not None:
-                    for done in integ.drain_completed(final=True):
-                        diagnoser.observe_item(
-                            done.item_id,
-                            done.breakdown,
-                            done.n_samples * record_bytes,
-                        )
-                per_core[core] = integ.finalize()
+                cov = CoverageStats(core=core)
+                try:
+                    trace, chunks = _stream_core(
+                        reader,
+                        core,
+                        chunk_size,
+                        on_corruption,
+                        quarantine,
+                        cov,
+                        diagnoser=diagnoser,
+                        record_bytes=record_bytes,
+                    )
+                except TraceError as exc:
+                    if strict:
+                        raise
+                    # Lenient sequential run: a core the policy could not
+                    # salvage degrades like a permanently failed shard.
+                    shard_failures[core] = f"{type(exc).__name__}: {exc}"
+                    coverage[core] = cov
+                    continue
+                per_core[core] = trace
+                coverage[core] = cov
+                total_chunks += chunks
     else:
         with TraceReader(path) as reader:
             use_cores = cores if cores is not None else reader.sample_cores
             for core in use_cores:  # fail fast on unknown cores
                 reader._check_core(core)
         n_procs = min(workers, max(len(use_cores), 1))
-        jobs = [(path, core, chunk_size) for core in use_cores]
-        if threads:
-            with multiprocessing.pool.ThreadPool(processes=n_procs) as p:
-                parts = p.starmap(_integrate_core_shard, jobs)
-        else:
-            try:
-                ctx = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX hosts
-                ctx = multiprocessing.get_context("spawn")
-            # Freeze the parent heap before forking: without this, the
-            # first garbage collection in each child touches every
-            # inherited object and copy-on-write duplicates the whole
-            # parent heap per worker.
-            gc.collect()
-            gc.freeze()
-            try:
-                with ctx.Pool(processes=n_procs) as p:
-                    parts = p.starmap(_integrate_core_shard, jobs)
-            finally:
-                gc.unfreeze()
-        for core, trace, chunks in parts:
+        jobs = [
+            (core, (path, core, chunk_size, on_corruption)) for core in use_cores
+        ]
+        results, shard_failures, retries = _run_supervised(
+            jobs, n_procs, threads, shard_timeout, max_retries, retry_backoff_s,
+            shard_fn,
+        )
+        for core, trace, chunks, defects, cov in results.values():
             per_core[core] = trace
+            coverage[core] = cov
+            cov.retries = retries.get(core, 0)
+            quarantine.extend(defects)
             total_chunks += chunks
+    for core, msg in sorted(shard_failures.items()):
+        if strict:
+            raise ShardError(f"shard for core {core} failed permanently: {msg}")
+        quarantine.record(
+            Defect(
+                core=core,
+                kind=KIND_SHARD,
+                member=None,
+                detail=f"shard failed permanently: {msg}",
+                records_lost=-1,
+            )
+        )
+        cov = coverage.setdefault(core, CoverageStats(core=core))
+        cov.shard_failed = True
+        cov.unknown_extent = True
+        cov.retries = retries.get(core, 0)
     if not per_core:
+        if shard_failures:
+            raise ShardError(
+                f"every shard of {path} failed permanently: "
+                + "; ".join(f"core {c}: {m}" for c, m in sorted(shard_failures.items()))
+            )
         raise TraceError(f"trace file {path} has no sampled cores to ingest")
     merged = merge_traces([per_core[c] for c in sorted(per_core)])
     if diagnoser is not None and workers > 1:
@@ -504,5 +781,12 @@ def ingest_trace(
         chunk_size=chunk_size if chunk_size is not None else 0,
         wall_s=wall,
         pool="inline" if workers == 1 else ("thread" if threads else "process"),
+        failed_cores=tuple(sorted(shard_failures)),
     )
-    return IngestResult(trace=merged, per_core=per_core, stats=stats)
+    return IngestResult(
+        trace=merged,
+        per_core=per_core,
+        stats=stats,
+        quarantine=quarantine,
+        coverage=coverage,
+    )

@@ -7,7 +7,7 @@ columns and switch records, plus the symbol table and free-form
 metadata.  Loading gives everything needed to rerun the integration,
 diagnosis, or call-graph guessing without the original process.
 
-Two layouts share the container:
+Three layouts share the container:
 
 * **flat** (format version 1, still written when ``chunk_size`` is not
   given): one member per sample column per core.
@@ -18,38 +18,66 @@ Two layouts share the container:
   behind :mod:`repro.core.streaming`.  The paper's data-rate analysis
   (Section IV-C3: 106–270 MB/s per core) is why this matters: a
   production trace does not fit in memory.
+* **checksummed** (format version 3): either layout plus a per-member
+  crc32 map and per-chunk row counts in the header, so a reader can
+  detect bit rot, torn writes, and truncation *before* integrating — and,
+  under a lenient corruption policy, skip or repair the damage instead of
+  aborting (see :mod:`repro.core.integrity`).
 
-:func:`load_trace` reads both layouts; files written by version-1 code
-load unchanged.
+:func:`load_trace` and :class:`TraceReader` read all three layouts;
+files written by version-1 or version-2 code load unchanged.
 """
 
 from __future__ import annotations
 
+import bisect
 import json
 import pathlib
+import zipfile
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.hybrid import HybridTrace, integrate
+from repro.core.integrity import (
+    KIND_CHECKSUM,
+    KIND_LENGTH,
+    KIND_MISSING,
+    KIND_ORDER,
+    KIND_SWITCH,
+    KIND_UNREADABLE,
+    POLICY_REPAIR,
+    POLICY_STRICT,
+    CoverageStats,
+    Defect,
+    QuarantineLog,
+    check_policy,
+    member_crc,
+)
 from repro.core.records import (
     ItemWindow,
     SwitchRecords,
     WindowColumns,
     pair_switch_columns,
+    pair_switch_columns_lenient,
 )
 from repro.core.symbols import SymbolTable
-from repro.errors import TraceError
+from repro.errors import CorruptionError, TraceError
 from repro.machine.pebs import SampleArrays
 from repro.runtime.actions import SwitchKind
 
 #: Format version written into every file; bumped on layout changes.
 #: Version 1 = flat per-core sample columns; version 2 adds the chunked
-#: layout.  Readers accept 1..FORMAT_VERSION.
-FORMAT_VERSION = 2
+#: layout; version 3 adds the crc32 member checksums and per-chunk row
+#: counts.  Readers accept 1..FORMAT_VERSION.
+FORMAT_VERSION = 3
 
 _KIND_CODE = {SwitchKind.ITEM_START: 0, SwitchKind.ITEM_END: 1}
 _CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
+
+#: Exceptions np.load / npz member access raise on damaged containers.
+_READ_ERRORS = (OSError, ValueError, EOFError, zipfile.BadZipFile, zlib.error)
 
 
 def _symbol_arrays(symtab: SymbolTable) -> dict[str, np.ndarray]:
@@ -73,14 +101,17 @@ def save_trace(
     *,
     chunk_size: int | None = None,
     compress: bool = True,
+    checksums: bool = True,
 ) -> None:
     """Write one trace container.
 
-    ``chunk_size`` selects the version-2 chunked layout (each core's
-    sample columns split into members of at most ``chunk_size`` samples);
-    ``None`` keeps the flat layout that version-1 readers understand.
+    ``chunk_size`` selects the chunked layout (each core's sample columns
+    split into members of at most ``chunk_size`` samples); ``None`` keeps
+    the flat layout that version-1 readers understand.
     ``compress=False`` writes a stored (uncompressed) zip — at the
     paper's per-core data rates, zlib becomes the ingest bottleneck.
+    ``checksums=False`` omits the version-3 crc32 map (readers then skip
+    checksum validation, as for files written by older versions).
     """
     if chunk_size is not None and chunk_size < 1:
         raise TraceError(f"chunk_size must be >= 1, got {chunk_size}")
@@ -90,30 +121,53 @@ def save_trace(
         "sample_cores": sorted(samples_by_core),
         "switch_cores": sorted(switches_by_core),
         "meta": meta or {},
+        "chunk_rows": {},
     }
     if chunk_size is not None:
         header["chunk_size"] = chunk_size
         header["sample_chunks"] = {}
-    arrays.update(_symbol_arrays(symtab))
+    data_members: list[str] = []
     for core, s in samples_by_core.items():
         if chunk_size is None:
             arrays[f"core{core}_sample_ts"] = s.ts
             arrays[f"core{core}_sample_ip"] = s.ip
             arrays[f"core{core}_sample_tag"] = s.tag
+            data_members += [
+                f"core{core}_sample_ts",
+                f"core{core}_sample_ip",
+                f"core{core}_sample_tag",
+            ]
+            header["chunk_rows"][str(core)] = [len(s)]
         else:
             n_chunks = 0
+            rows: list[int] = []
             for k, chunk in enumerate(s.iter_chunks(chunk_size)):
                 arrays[f"core{core}_s{k}_ts"] = chunk.ts
                 arrays[f"core{core}_s{k}_ip"] = chunk.ip
                 arrays[f"core{core}_s{k}_tag"] = chunk.tag
+                data_members += [
+                    f"core{core}_s{k}_ts",
+                    f"core{core}_s{k}_ip",
+                    f"core{core}_s{k}_tag",
+                ]
+                rows.append(len(chunk))
                 n_chunks = k + 1
             header["sample_chunks"][str(core)] = n_chunks
+            header["chunk_rows"][str(core)] = rows
     for core, r in switches_by_core.items():
         arrays[f"core{core}_switch_ts"] = r.ts
         arrays[f"core{core}_switch_item"] = r.item
         arrays[f"core{core}_switch_kind"] = np.asarray(
             [_KIND_CODE[k] for k in r.kinds], dtype=np.int8
         )
+        data_members += [
+            f"core{core}_switch_ts",
+            f"core{core}_switch_item",
+            f"core{core}_switch_kind",
+        ]
+    arrays.update(_symbol_arrays(symtab))
+    if checksums:
+        header["crc32"] = {name: member_crc(arrays[name]) for name in data_members}
     arrays["header_json"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     ).copy()
@@ -155,14 +209,17 @@ def _open_container(path: str | pathlib.Path):
     """np.load + header parse shared by load_trace and TraceReader."""
     try:
         data = np.load(str(path), allow_pickle=False)
-    except Exception as exc:
+    except _READ_ERRORS as exc:
+        # Narrowed deliberately: KeyboardInterrupt and MemoryError must
+        # propagate during ingestion instead of masquerading as a corrupt
+        # file.
         raise TraceError(f"cannot read trace file {path}: {exc}") from exc
     if "header_json" not in data:
         data.close()
         raise TraceError(f"{path} is not a repro trace file (no header)")
     try:
         header = json.loads(bytes(data["header_json"]).decode("utf-8"))
-    except Exception as exc:
+    except ValueError as exc:  # covers UnicodeDecodeError and JSONDecodeError
         data.close()
         raise TraceError(f"{path} has a corrupt header: {exc}") from exc
     version = header.get("version")
@@ -187,7 +244,7 @@ def _load_symtab(data) -> SymbolTable:
 def _sample_chunk_keys(header: dict, core: int) -> list[tuple[str, str, str]]:
     """Member-name triples (ts, ip, tag) for one core, in chunk order."""
     chunks = header.get("sample_chunks")
-    if chunks is None:  # flat layout (v1, or v2 without chunking)
+    if chunks is None:  # flat layout (v1, or later versions without chunking)
         return [
             (
                 f"core{core}_sample_ts",
@@ -201,16 +258,67 @@ def _sample_chunk_keys(header: dict, core: int) -> list[tuple[str, str, str]]:
     ]
 
 
-def load_trace(path: str | pathlib.Path) -> TraceFile:
-    """Read a container written by :func:`save_trace` (any layout)."""
+def _monotone_keep_mask(ts: np.ndarray) -> np.ndarray:
+    """Mask keeping a longest non-decreasing subsequence of ``ts``.
+
+    The repair policy's record-level surgery: records outside some
+    longest non-decreasing subsequence are the minimal set whose removal
+    restores sample order, so a single flipped timestamp costs exactly
+    one record rather than the tail (or head) of the chunk.
+    """
+    n = int(ts.shape[0])
+    tails: list[int] = []       # last value of the best subsequence per length
+    tails_idx: list[int] = []   # index of that value
+    prev = np.full(n, -1, dtype=np.int64)
+    for i, v in enumerate(ts.tolist()):
+        j = bisect.bisect_right(tails, v)
+        if j == len(tails):
+            tails.append(v)
+            tails_idx.append(i)
+        else:
+            tails[j] = v
+            tails_idx[j] = i
+        if j > 0:
+            prev[i] = tails_idx[j - 1]
+    keep = np.zeros(n, dtype=bool)
+    i = tails_idx[-1] if tails_idx else -1
+    while i != -1:
+        keep[i] = True
+        i = int(prev[i])
+    return keep
+
+
+def load_trace(
+    path: str | pathlib.Path, *, verify_checksums: bool = True
+) -> TraceFile:
+    """Read a container written by :func:`save_trace` (any layout).
+
+    When the file carries the version-3 crc32 map, every data member is
+    verified against it; a mismatch raises
+    :class:`~repro.errors.CorruptionError`.  ``verify_checksums=False``
+    skips that (e.g. to salvage what loads from a damaged file — for a
+    policy-driven alternative use :class:`TraceReader` with
+    :mod:`repro.core.streaming`).
+    """
     data, header = _open_container(path)
+    crc_map = (header.get("crc32") or {}) if verify_checksums else {}
+
+    def _member(key: str) -> np.ndarray:
+        arr = data[key]
+        want = crc_map.get(key)
+        if want is not None and member_crc(arr) != int(want):
+            raise CorruptionError(
+                f"{path}: member {key} fails its crc32 check (stored {want})"
+            )
+        return arr
+
     with data:
         symtab = _load_symtab(data)
         samples: dict[int, SampleArrays] = {}
         for core in header["sample_cores"]:
             try:
                 parts = [
-                    SampleArrays(ts=data[kt], ip=data[ki], tag=data[kg])
+                    SampleArrays(ts=_member(kt), ip=_member(ki), tag=_member(kg))
                     for kt, ki, kg in _sample_chunk_keys(header, core)
                 ]
             except KeyError as exc:
@@ -231,10 +339,14 @@ def load_trace(path: str | pathlib.Path) -> TraceFile:
         switches: dict[int, SwitchRecords] = {}
         for core in header["switch_cores"]:
             kinds = [
-                _CODE_KIND[int(c)] for c in data[f"core{core}_switch_kind"].tolist()
+                _CODE_KIND[int(c)]
+                for c in _member(f"core{core}_switch_kind").tolist()
             ]
             switches[core] = SwitchRecords.from_arrays(
-                core, data[f"core{core}_switch_ts"], data[f"core{core}_switch_item"], kinds
+                core,
+                _member(f"core{core}_switch_ts"),
+                _member(f"core{core}_switch_item"),
+                kinds,
             )
     return TraceFile(
         symtab=symtab, meta=header["meta"], _samples=samples, _switches=switches
@@ -247,11 +359,20 @@ class TraceReader:
     Unlike :func:`load_trace`, which materialises every core's columns,
     a reader parses only the header and symbol table up front and hands
     out sample *chunks* on demand — npz members are decompressed
-    individually, so a chunked (version-2) file never needs more than one
-    chunk of one core in memory.  Flat files are supported for backward
+    individually, so a chunked file never needs more than one chunk of
+    one core in memory.  Flat files are supported for backward
     compatibility, but their per-core columns are decompressed whole on
     first access (the best a v1 layout allows); chunk iteration then
     slices views.
+
+    Per-chunk integrity checks (missing members, column-length agreement,
+    crc32 when the v3 map is present, timestamp monotonicity) run on
+    every access; the ``policy`` argument of the data methods selects
+    what a failed check does — ``"strict"`` raises, ``"quarantine"``
+    skips the chunk and records a :class:`~repro.core.integrity.Defect`,
+    ``"repair"`` drops only the offending records where the corruption
+    can be localised (falling back to quarantining the chunk where it
+    cannot).
 
     Use as a context manager, or call :meth:`close`.
     """
@@ -264,6 +385,7 @@ class TraceReader:
         self.version: int = self._header["version"]
         #: Chunk size the file was written with (None for flat layouts).
         self.stored_chunk_size: int | None = self._header.get("chunk_size")
+        self._crc: dict = self._header.get("crc32") or {}
 
     # -- lifecycle -------------------------------------------------------
     def close(self) -> None:
@@ -293,49 +415,372 @@ class TraceReader:
             raise TraceError(f"trace file has no switch records for core {core}")
         return int(self._npz[f"core{core}_switch_ts"].shape[0])
 
+    def _chunk_rows(self, core: int) -> list[int] | None:
+        """Stored per-chunk row counts (v3), or None for older files."""
+        rows = self._header.get("chunk_rows")
+        if rows is None:
+            return None
+        got = rows.get(str(core))
+        return [int(r) for r in got] if got is not None else None
+
     # -- data ------------------------------------------------------------
-    def iter_sample_chunks(self, core: int, chunk_size: int | None = None):
-        """Yield one core's samples as bounded chunks, in time order.
+    def iter_sample_chunks(
+        self,
+        core: int,
+        chunk_size: int | None = None,
+        *,
+        policy: str = POLICY_STRICT,
+        quarantine: QuarantineLog | None = None,
+        coverage: CoverageStats | None = None,
+    ):
+        """Yield one core's samples as bounded, integrity-checked chunks.
 
         ``chunk_size`` re-slices stored chunks (or a flat column) into
         pieces of at most that many samples; ``None`` yields the file's
         own chunking (the whole column for flat files).
+
+        Under ``"repair"``, chunks that are internally sorted but start
+        before the previous chunk's end are yielded as-is (no data is
+        lost); the consumer must tolerate out-of-order chunks — feed them
+        to a :class:`~repro.core.streaming.StreamingIntegrator` built
+        with ``tolerate_reorder=True``.  ``quarantine`` and ``coverage``
+        collect the defect and coverage accounting when given.
         """
+        check_policy(policy)
         self._check_core(core)
         if chunk_size is not None and chunk_size < 1:
             raise TraceError(f"chunk_size must be >= 1, got {chunk_size}")
-        for kt, ki, kg in _sample_chunk_keys(self._header, core):
-            try:
-                stored = SampleArrays(
-                    ts=self._npz[kt], ip=self._npz[ki], tag=self._npz[kg]
-                )
-            except KeyError as exc:
-                raise TraceError(
-                    f"{self.path} is truncated: missing sample member {exc}"
-                ) from exc
+        quarantine = quarantine if quarantine is not None else QuarantineLog()
+        coverage = coverage if coverage is not None else CoverageStats(core=core)
+        for stored in self._validated_chunks(core, policy, quarantine, coverage):
             if chunk_size is None:
                 yield stored
             else:
                 yield from stored.iter_chunks(chunk_size)
 
-    def switch_window_columns(self, core: int) -> WindowColumns:
+    def _load_members(
+        self, names: tuple[str, str, str]
+    ) -> tuple[list[np.ndarray] | None, str, str]:
+        """Load a chunk's column members; (arrays, defect_kind, detail)."""
+        out = []
+        for name in names:
+            try:
+                out.append(self._npz[name])
+            except KeyError:
+                return None, KIND_MISSING, f"member {name} is absent"
+            except _READ_ERRORS as exc:
+                return None, KIND_UNREADABLE, f"member {name}: {exc}"
+        return out, "", ""
+
+    def _validated_chunks(
+        self,
+        core: int,
+        policy: str,
+        quarantine: QuarantineLog,
+        coverage: CoverageStats,
+    ):
+        """Generator behind :meth:`iter_sample_chunks`: one stored chunk a time."""
+        expected_rows = self._chunk_rows(core)
+        prev_last: int | None = None
+        for idx, names in enumerate(_sample_chunk_keys(self._header, core)):
+            n_expected = (
+                expected_rows[idx]
+                if expected_rows is not None and idx < len(expected_rows)
+                else -1
+            )
+            arrays, kind, detail = self._load_members(names)
+            if arrays is None:
+                if policy == POLICY_STRICT:
+                    raise CorruptionError(
+                        f"{self.path} is truncated or unreadable: {detail}"
+                    )
+                # Nothing to repair when the bytes are gone: both lenient
+                # policies drop the chunk.  Without its timestamps the
+                # affected span is open-ended from the previous chunk on.
+                quarantine.record(
+                    Defect(
+                        core=core,
+                        kind=kind,
+                        member=names[0],
+                        detail=detail + " (chunk dropped)",
+                        records_lost=n_expected,
+                        ts_lo=prev_last,
+                        ts_hi=None,
+                    )
+                )
+                coverage.chunks_dropped += 1
+                if n_expected >= 0:
+                    coverage.samples_dropped += n_expected
+                else:
+                    coverage.unknown_extent = True
+                continue
+            ts, ip, tag = arrays
+            chunk, ok = self._check_chunk(
+                core, names, ts, ip, tag, n_expected, policy,
+                prev_last, quarantine, coverage,
+            )
+            if not ok:
+                continue
+            if len(chunk):
+                last = int(chunk.ts[-1])
+                prev_last = last if prev_last is None else max(prev_last, last)
+            yield chunk
+
+    def _check_chunk(
+        self,
+        core: int,
+        names: tuple[str, str, str],
+        ts: np.ndarray,
+        ip: np.ndarray,
+        tag: np.ndarray,
+        n_expected: int,
+        policy: str,
+        prev_last: int | None,
+        quarantine: QuarantineLog,
+        coverage: CoverageStats,
+    ) -> tuple[SampleArrays, bool]:
+        """Validate one stored chunk; returns (chunk, keep)."""
+        member = names[0]
+
+        def drop(kind: str, detail: str, lost: int, lo, hi) -> tuple[SampleArrays, bool]:
+            quarantine.record(
+                Defect(
+                    core=core, kind=kind, member=member,
+                    detail=detail + " (chunk dropped)",
+                    records_lost=lost, ts_lo=lo, ts_hi=hi,
+                )
+            )
+            coverage.chunks_dropped += 1
+            if lost >= 0:
+                coverage.samples_dropped += lost
+            else:
+                coverage.unknown_extent = True
+            return SampleArrays(ts=ts, ip=ip, tag=tag), False
+
+        # 1. Column lengths must agree (torn write / partial member).
+        lens = (int(ts.shape[0]), int(ip.shape[0]), int(tag.shape[0]))
+        repaired = False
+        if len(set(lens)) != 1:
+            m = min(lens)
+            n_stored = n_expected if n_expected >= 0 else max(lens)
+            detail = f"column lengths disagree {lens}"
+            if policy == POLICY_STRICT:
+                raise CorruptionError(f"{self.path} [{member}]: {detail}")
+            span_lo = int(ts[m]) if int(ts.shape[0]) > m else prev_last
+            span_hi = int(ts[-1]) if int(ts.shape[0]) > m else None
+            if policy == POLICY_REPAIR and m > 0:
+                quarantine.record(
+                    Defect(
+                        core=core, kind=KIND_LENGTH, member=member,
+                        detail=detail + f" (truncated to {m} aligned records)",
+                        records_lost=max(n_stored - m, 0),
+                        ts_lo=span_lo, ts_hi=span_hi,
+                    )
+                )
+                coverage.samples_dropped += max(n_stored - m, 0)
+                coverage.chunks_repaired += 1
+                ts, ip, tag = ts[:m], ip[:m], tag[:m]
+                repaired = True
+            else:
+                return drop(
+                    KIND_LENGTH, detail, n_stored,
+                    int(ts[0]) if len(ts) else prev_last,
+                    int(ts[-1]) if len(ts) else None,
+                )
+
+        # 2. crc32 vs the v3 map (absent for older files -> skipped).
+        bad_crc = [
+            name
+            for name, arr in zip(names, (ts, ip, tag))
+            if not repaired
+            and name in self._crc
+            and member_crc(arr) != int(self._crc[name])
+        ]
+        # 3. Timestamp monotonicity within the chunk.
+        unsorted = bool(ts.shape[0]) and bool(np.any(np.diff(ts) < 0))
+
+        if bad_crc and not unsorted:
+            # Corruption that cannot be localised to records: the flipped
+            # bits left the timestamps ordered (or hit ip/tag), so no
+            # record can be singled out — even repair drops the chunk.
+            detail = f"crc32 mismatch in {', '.join(bad_crc)}"
+            if policy == POLICY_STRICT:
+                raise CorruptionError(f"{self.path} [{member}]: {detail}")
+            return drop(
+                KIND_CHECKSUM, detail, len(ts),
+                int(ts.min()) if len(ts) else prev_last,
+                int(ts.max()) if len(ts) else None,
+            )
+        if unsorted:
+            detail = "timestamps out of order within chunk" + (
+                f" (crc32 mismatch in {', '.join(bad_crc)})" if bad_crc else ""
+            )
+            if policy == POLICY_STRICT:
+                raise CorruptionError(f"{self.path} [{member}]: {detail}")
+            if policy != POLICY_REPAIR:
+                return drop(
+                    KIND_ORDER, detail, len(ts), int(ts.min()), int(ts.max())
+                )
+            # Repair: drop the minimal record set whose removal restores
+            # order (a flipped timestamp localises itself by breaking it).
+            keep = _monotone_keep_mask(ts)
+            lost = int(np.count_nonzero(~keep))
+            lo, hi = self._dropped_span(ts, keep, prev_last)
+            quarantine.record(
+                Defect(
+                    core=core, kind=KIND_ORDER, member=member,
+                    detail=detail + f" ({lost} offending record(s) dropped)",
+                    records_lost=lost, ts_lo=lo, ts_hi=hi,
+                )
+            )
+            coverage.samples_dropped += lost
+            coverage.chunks_repaired += 1
+            ts, ip, tag = ts[keep], ip[keep], tag[keep]
+            repaired = True
+
+        # 4. Cross-chunk order: a chunk starting before the previous
+        #    chunk's end means the chunks were stored out of order.
+        if (
+            len(ts)
+            and prev_last is not None
+            and int(ts[0]) < prev_last
+        ):
+            detail = (
+                f"chunk starts at {int(ts[0])}, before previous chunk end {prev_last}"
+            )
+            if policy == POLICY_STRICT:
+                raise CorruptionError(f"{self.path} [{member}]: {detail}")
+            if policy != POLICY_REPAIR:
+                return drop(KIND_ORDER, detail, len(ts), int(ts[0]), int(ts[-1]))
+            # Repair: nothing is corrupt inside the chunk — yield it and
+            # let a reorder-tolerant integrator merge it (no data lost).
+
+        if repaired:
+            coverage.samples_kept += len(ts)
+        else:
+            coverage.chunks_kept += 1
+            coverage.samples_kept += len(ts)
+        return SampleArrays(ts=ts, ip=ip, tag=tag), True
+
+    @staticmethod
+    def _dropped_span(
+        ts: np.ndarray, keep: np.ndarray, prev_last: int | None
+    ) -> tuple[int | None, int | None]:
+        """Trustworthy ts bounds around dropped records (for Defect spans).
+
+        Dropped records carry corrupt timestamps, so the span is taken
+        from their nearest *kept* neighbours instead.
+        """
+        kept_pos = np.nonzero(keep)[0]
+        lo: int | None = None
+        hi: int | None = None
+        open_hi = False
+        for i in np.nonzero(~keep)[0].tolist():
+            left = kept_pos[kept_pos < i]
+            right = kept_pos[kept_pos > i]
+            lo_i = int(ts[left[-1]]) if len(left) else prev_last
+            if lo_i is not None:
+                lo = lo_i if lo is None else min(lo, lo_i)
+            if len(right):
+                hi_i = int(ts[right[0]])
+                hi = hi_i if hi is None else max(hi, hi_i)
+            else:
+                open_hi = True
+        return lo, (None if open_hi else hi)
+
+    def _switch_arrays(
+        self, core: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if core not in self._header["switch_cores"]:
+            raise TraceError(f"trace file has no switch records for core {core}")
+        return (
+            self._npz[f"core{core}_switch_ts"],
+            self._npz[f"core{core}_switch_item"],
+            self._npz[f"core{core}_switch_kind"],
+        )
+
+    def switch_window_columns(
+        self,
+        core: int,
+        *,
+        policy: str = POLICY_STRICT,
+        quarantine: QuarantineLog | None = None,
+        coverage: CoverageStats | None = None,
+    ) -> WindowColumns:
         """Per-item residency windows for one core, as column arrays.
 
         Switch logs are two records per data-item — small next to the
         sample stream — so they are read whole; the pairing itself avoids
         the per-record state machine on well-formed logs, and the column
         form never materialises per-window Python objects.
+
+        Under a lenient ``policy``, malformed logs (duplicated or dropped
+        marks, corrupt timestamps) go through best-effort pairing: every
+        window returned is a genuinely paired START/END, dropped marks
+        are recorded in ``quarantine``, and the affected items land in
+        ``coverage.degraded_items``.
         """
-        if core not in self._header["switch_cores"]:
-            raise TraceError(f"trace file has no switch records for core {core}")
-        return pair_switch_columns(
+        check_policy(policy)
+        quarantine = quarantine if quarantine is not None else QuarantineLog()
+        coverage = coverage if coverage is not None else CoverageStats(core=core)
+        ts, item, kinds = self._switch_arrays(core)
+        crc_bad = [
+            name
+            for name, arr in zip(
+                (
+                    f"core{core}_switch_ts",
+                    f"core{core}_switch_item",
+                    f"core{core}_switch_kind",
+                ),
+                (ts, item, kinds),
+            )
+            if name in self._crc and member_crc(arr) != int(self._crc[name])
+        ]
+        if crc_bad:
+            detail = f"crc32 mismatch in {', '.join(crc_bad)}"
+            if policy == POLICY_STRICT:
+                raise CorruptionError(f"{self.path}: switch log for core {core}: {detail}")
+            quarantine.record(
+                Defect(
+                    core=core, kind=KIND_CHECKSUM, member=crc_bad[0],
+                    detail=detail + " (lenient pairing applied)",
+                    records_lost=0,
+                )
+            )
+        if policy == POLICY_STRICT:
+            return pair_switch_columns(
+                core,
+                ts,
+                item,
+                kinds,
+                start_code=_KIND_CODE[SwitchKind.ITEM_START],
+                end_code=_KIND_CODE[SwitchKind.ITEM_END],
+            )
+        lw = pair_switch_columns_lenient(
             core,
-            self._npz[f"core{core}_switch_ts"],
-            self._npz[f"core{core}_switch_item"],
-            self._npz[f"core{core}_switch_kind"],
+            ts,
+            item,
+            kinds,
             start_code=_KIND_CODE[SwitchKind.ITEM_START],
             end_code=_KIND_CODE[SwitchKind.ITEM_END],
         )
+        coverage.switch_marks += lw.total_marks
+        coverage.switch_marks_dropped += lw.dropped_marks
+        if lw.dropped_marks:
+            coverage.mark_degraded(lw.affected_items)
+            quarantine.record(
+                Defect(
+                    core=core,
+                    kind=KIND_SWITCH,
+                    member=f"core{core}_switch_ts",
+                    detail=(
+                        f"{lw.dropped_marks} of {lw.total_marks} switch mark(s) "
+                        f"unpaired (items {', '.join(map(str, lw.affected_items))})"
+                    ),
+                    records_lost=lw.dropped_marks,
+                )
+            )
+        return lw.windows
 
     def switch_windows(self, core: int) -> list[ItemWindow]:
         """Per-item residency windows for one core, as objects."""
@@ -343,17 +788,9 @@ class TraceReader:
 
     def switches(self, core: int) -> SwitchRecords:
         """One core's switch log as a :class:`SwitchRecords` object."""
-        if core not in self._header["switch_cores"]:
-            raise TraceError(f"trace file has no switch records for core {core}")
-        kinds = [
-            _CODE_KIND[int(c)] for c in self._npz[f"core{core}_switch_kind"].tolist()
-        ]
-        return SwitchRecords.from_arrays(
-            core,
-            self._npz[f"core{core}_switch_ts"],
-            self._npz[f"core{core}_switch_item"],
-            kinds,
-        )
+        ts, item, kind_codes = self._switch_arrays(core)
+        kinds = [_CODE_KIND[int(c)] for c in kind_codes.tolist()]
+        return SwitchRecords.from_arrays(core, ts, item, kinds)
 
 
 def save_session(
@@ -364,6 +801,7 @@ def save_session(
     *,
     chunk_size: int | None = None,
     compress: bool = True,
+    checksums: bool = True,
 ) -> None:
     """Persist a :class:`~repro.session.TraceSession` (samples + switches)."""
     samples = {c: u.finalize() for c, u in session.units.items()}
@@ -378,4 +816,5 @@ def save_session(
         meta,
         chunk_size=chunk_size,
         compress=compress,
+        checksums=checksums,
     )

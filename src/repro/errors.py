@@ -37,6 +37,14 @@ class IntegrationError(TraceError):
     """Hybrid sample/instrumentation integration failed."""
 
 
+class CorruptionError(TraceError):
+    """Stored trace data failed an integrity check (checksum, length, order)."""
+
+
+class ShardError(TraceError):
+    """A worker shard failed permanently during parallel ingestion."""
+
+
 class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
 

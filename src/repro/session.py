@@ -64,11 +64,14 @@ class TraceSession:
         *,
         chunk_size: int | None = None,
         compress: bool = True,
+        checksums: bool = True,
     ) -> None:
         """Persist samples + switches to a trace container.
 
-        ``chunk_size`` writes the version-2 chunked layout that
-        :mod:`repro.core.streaming` ingests with bounded memory.
+        ``chunk_size`` writes the chunked layout that
+        :mod:`repro.core.streaming` ingests with bounded memory;
+        ``checksums`` controls the version-3 per-chunk CRCs that let
+        readers detect bit rot.
         """
         if self.symtab is None:
             raise ConfigError("session has no symbol table; use save_session()")
@@ -81,6 +84,7 @@ class TraceSession:
             meta=meta,
             chunk_size=chunk_size,
             compress=compress,
+            checksums=checksums,
         )
 
 

@@ -1,0 +1,7 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the fault-injection harness: it corrupts
+saved trace containers (bit flips, truncation, shuffled chunks, switch-log
+damage) and provides misbehaving shard workers (hangs, transient crashes)
+so the fault-tolerance layer can be exercised deterministically.
+"""

@@ -1,0 +1,309 @@
+"""Fault injection for trace containers and shard workers.
+
+Every fault the ingestion pipeline claims to survive is injectable here,
+against a real saved container, so tests assert each corruption policy's
+exact behavior instead of trusting code inspection:
+
+* storage faults — :func:`flip_sample_bit` (bit rot; checksums left
+  stale on purpose), :func:`truncate_chunks` (torn write),
+  :func:`misalign_columns` (partial column), :func:`shuffle_chunks`
+  (out-of-order writer);
+* semantic faults — :func:`drop_switch_records` /
+  :func:`duplicate_switch_records` (log-buffer overrun, double marking);
+* worker faults — :func:`hang_then_integrate` /
+  :func:`flaky_then_integrate`, module-level so ``functools.partial`` of
+  them pickles into a process pool, for ``ingest_trace``'s ``_shard_fn``
+  hook.
+
+Storage faults rewrite the ``.npz`` in place via :func:`rewrite_container`.
+``refresh_checksums`` distinguishes the two corruption families: bit rot
+happens *after* the checksum was computed (leave it stale, the mismatch is
+the point), while writer bugs — shuffled chunks, duplicated marks —
+produce self-consistent files whose *content* is wrong (refresh, so only
+the semantic fault is visible).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from repro.core.integrity import member_crc
+from repro.core.streaming import _integrate_core_shard
+
+_HEADER = "header_json"
+_SAMPLE_COLS = ("ts", "ip", "tag")
+_SWITCH_COLS = ("ts", "item", "kind")
+
+
+def read_container(path: str | pathlib.Path) -> tuple[dict[str, np.ndarray], dict]:
+    """All members (minus the header) plus the parsed header dict."""
+    with np.load(str(path), allow_pickle=False) as data:
+        arrays = {k: data[k].copy() for k in data.files if k != _HEADER}
+        header = json.loads(bytes(data[_HEADER]).decode("utf-8"))
+    return arrays, header
+
+
+def write_container(
+    path: str | pathlib.Path, arrays: dict[str, np.ndarray], header: dict
+) -> None:
+    """Reassemble a container from mutated members (uncompressed)."""
+    out = dict(arrays)
+    out[_HEADER] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    ).copy()
+    np.savez(str(path), **out)
+
+
+def rewrite_container(
+    path: str | pathlib.Path, mutate, *, refresh_checksums: bool = False
+) -> None:
+    """Apply ``mutate(arrays, header)`` to a saved container, in place.
+
+    With ``refresh_checksums`` the header's crc32 map is recomputed from
+    the mutated members (simulating a buggy-but-checksumming writer);
+    without it, stale checksums expose the mutation as bit rot.
+    """
+    arrays, header = read_container(path)
+    mutate(arrays, header)
+    if refresh_checksums and "crc32" in header:
+        header["crc32"] = {
+            name: member_crc(arrays[name])
+            for name in header["crc32"]
+            if name in arrays
+        }
+    write_container(path, arrays, header)
+
+
+def sample_member(header: dict, core: int, chunk: int, column: str) -> str:
+    """Resolve a sample member name for either container layout."""
+    if "sample_chunks" in header:
+        return f"core{core}_s{chunk}_{column}"
+    return f"core{core}_sample_{column}"
+
+
+# ---------------------------------------------------------------------------
+# Storage faults
+
+
+def flip_sample_bit(
+    path: str | pathlib.Path,
+    core: int,
+    *,
+    chunk: int = 0,
+    column: str = "ts",
+    index: int = 0,
+    bit: int = 60,
+) -> None:
+    """Bit rot: flip one bit of one stored sample value.
+
+    Checksums are deliberately left stale — the crc32 mismatch is what a
+    reader is supposed to notice.  Flipping a high bit of a ``ts`` value
+    also breaks monotonicity, which is what lets the repair policy
+    localise the damage to that single record.
+    """
+
+    def mutate(arrays: dict, header: dict) -> None:
+        name = sample_member(header, core, chunk, column)
+        arr = arrays[name].copy()
+        arr[index] ^= np.int64(1) << np.int64(bit)
+        arrays[name] = arr
+
+    rewrite_container(path, mutate)
+
+
+def flip_switch_bit(
+    path: str | pathlib.Path,
+    core: int,
+    *,
+    column: str = "ts",
+    index: int = 0,
+    bit: int = 60,
+) -> None:
+    """Bit rot in the switch log (checksums left stale)."""
+
+    def mutate(arrays: dict, header: dict) -> None:
+        name = f"core{core}_switch_{column}"
+        arr = arrays[name].copy()
+        arr[index] ^= arr.dtype.type(1) << arr.dtype.type(bit)
+        arrays[name] = arr
+
+    rewrite_container(path, mutate)
+
+
+def truncate_chunks(
+    path: str | pathlib.Path, core: int, *, n_chunks: int = 1
+) -> None:
+    """Torn write: the last ``n_chunks`` chunk members never hit the disk.
+
+    The header still claims them (the writer died after the directory
+    update), so a reader sees missing members — the classic truncated
+    container.
+    """
+
+    def mutate(arrays: dict, header: dict) -> None:
+        total = int(header["sample_chunks"][str(core)])
+        for k in range(total - n_chunks, total):
+            for col in _SAMPLE_COLS:
+                arrays.pop(f"core{core}_s{k}_{col}", None)
+
+    rewrite_container(path, mutate)
+
+
+def misalign_columns(
+    path: str | pathlib.Path,
+    core: int,
+    *,
+    chunk: int = 0,
+    column: str = "ip",
+    drop: int = 1,
+    refresh_checksums: bool = True,
+) -> None:
+    """Partial column: one of a chunk's three columns lost its tail.
+
+    Checksums are refreshed by default so the *length* disagreement is
+    the only fault the reader sees (pass ``refresh_checksums=False`` to
+    stack a checksum mismatch on top).
+    """
+
+    def mutate(arrays: dict, header: dict) -> None:
+        name = sample_member(header, core, chunk, column)
+        arrays[name] = arrays[name][:-drop]
+
+    rewrite_container(path, mutate, refresh_checksums=refresh_checksums)
+
+
+def shuffle_chunks(
+    path: str | pathlib.Path,
+    core: int,
+    *,
+    order: list[int] | None = None,
+    refresh_checksums: bool = True,
+) -> None:
+    """Out-of-order writer: permute one core's stored chunks.
+
+    Default permutation swaps the first two chunks.  Each chunk stays
+    internally intact (and, by default, correctly checksummed): the fault
+    is purely cross-chunk ordering, which is what lets the repair policy
+    recover it losslessly.
+    """
+
+    def mutate(arrays: dict, header: dict) -> None:
+        total = int(header["sample_chunks"][str(core)])
+        perm = list(order) if order is not None else [1, 0] + list(range(2, total))
+        if sorted(perm) != list(range(total)):
+            raise ValueError(f"order must permute range({total}), got {perm}")
+        old = {
+            k: {c: arrays[f"core{core}_s{k}_{c}"] for c in _SAMPLE_COLS}
+            for k in range(total)
+        }
+        for new_k, old_k in enumerate(perm):
+            for c in _SAMPLE_COLS:
+                arrays[f"core{core}_s{new_k}_{c}"] = old[old_k][c]
+        rows = header.get("chunk_rows", {}).get(str(core))
+        if rows is not None:
+            header["chunk_rows"][str(core)] = [rows[k] for k in perm]
+
+    rewrite_container(path, mutate, refresh_checksums=refresh_checksums)
+
+
+# ---------------------------------------------------------------------------
+# Semantic faults (switch log)
+
+
+def _edit_switch_log(path, core, edit, refresh_checksums: bool) -> None:
+    def mutate(arrays: dict, header: dict) -> None:
+        names = [f"core{core}_switch_{c}" for c in _SWITCH_COLS]
+        cols = [arrays[n] for n in names]
+        for n, col in zip(names, edit(cols)):
+            arrays[n] = col
+
+    rewrite_container(path, mutate, refresh_checksums=refresh_checksums)
+
+
+def drop_switch_records(
+    path: str | pathlib.Path,
+    core: int,
+    indices: list[int],
+    *,
+    refresh_checksums: bool = True,
+) -> None:
+    """Log-buffer overrun: the given switch records were never written."""
+
+    def edit(cols):
+        n = int(cols[0].shape[0])
+        keep = np.ones(n, dtype=bool)
+        keep[np.asarray(indices, dtype=np.int64)] = False
+        return [c[keep] for c in cols]
+
+    _edit_switch_log(path, core, edit, refresh_checksums)
+
+
+def duplicate_switch_records(
+    path: str | pathlib.Path,
+    core: int,
+    index: int,
+    *,
+    refresh_checksums: bool = True,
+) -> None:
+    """Double marking: one switch record appears twice in a row."""
+
+    def edit(cols):
+        return [np.insert(c, index, c[index]) for c in cols]
+
+    _edit_switch_log(path, core, edit, refresh_checksums)
+
+
+# ---------------------------------------------------------------------------
+# Worker faults — module-level so functools.partial of them pickles into a
+# process pool (fork pickles functions by reference).
+
+
+def hang_then_integrate(
+    path: str,
+    core: int,
+    chunk_size: int | None,
+    policy: str,
+    hang_cores: tuple[int, ...] = (),
+    sleep_s: float = 600.0,
+):
+    """Shard worker that hangs on selected cores (supervision tests).
+
+    The sleep stands in for a worker stuck in a dead spin or lost I/O;
+    the supervisor's per-shard timeout must reclaim it.
+    """
+    if core in hang_cores:
+        time.sleep(sleep_s)
+    return _integrate_core_shard(path, core, chunk_size, policy)
+
+
+def flaky_then_integrate(
+    path: str,
+    core: int,
+    chunk_size: int | None,
+    policy: str,
+    marker_dir: str = "",
+    fail_cores: tuple[int, ...] = (),
+    fail_times: int = 1,
+):
+    """Shard worker that crashes transiently, then succeeds on retry.
+
+    Attempts are counted with ``O_EXCL`` marker files in ``marker_dir``
+    because the counting must survive process boundaries: each attempt
+    may run in a different pool worker.
+    """
+    if core in fail_cores:
+        for attempt in range(1, fail_times + 1):
+            marker = os.path.join(marker_dir, f"core{core}.attempt{attempt}")
+            try:
+                os.close(os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+            except FileExistsError:
+                continue  # this attempt already burned on an earlier call
+            raise RuntimeError(
+                f"injected transient failure for core {core} (attempt {attempt})"
+            )
+    return _integrate_core_shard(path, core, chunk_size, policy)

@@ -1,0 +1,201 @@
+"""Storage faults on sample chunks: bit rot, truncation, misalignment, shuffle.
+
+Every fault class is asserted against all three corruption policies:
+strict raises, quarantine skips the chunk with exact coverage accounting,
+repair drops only the offending records (or falls back to quarantining
+when the damage cannot be localised) and leaves every unaffected item's
+numbers bitwise-identical to the clean run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hybrid import traces_equal
+from repro.core.integrity import KIND_CHECKSUM, KIND_LENGTH, KIND_MISSING, KIND_ORDER
+from repro.core.streaming import ingest_trace
+from repro.errors import CorruptionError
+from repro.testing import faults
+from tests.faults.conftest import CHUNK, ITEMS_PER_CORE, SAMPLES_PER_CORE, item_of_window
+
+
+def ingest(path, policy="strict"):
+    return ingest_trace(path, workers=1, chunk_size=CHUNK, on_corruption=policy)
+
+
+def assert_items_match_clean(result, clean, skip=()):
+    """Every item outside ``skip`` has a breakdown identical to the clean run."""
+    for item in clean.trace.items():
+        if item in skip:
+            continue
+        assert result.trace.breakdown(item) == clean.trace.breakdown(item), item
+
+
+# -- bit flip in a timestamp (localisable: breaks monotonicity) -------------
+
+
+def flip_ts(path):
+    # Chunk 2 covers windows 8..11; sample index 16 is window 10's first
+    # sample.  Bit 60 makes the value enormous -> order break right there.
+    faults.flip_sample_bit(path, 0, chunk=2, column="ts", index=16, bit=60)
+
+
+def test_bitflip_ts_strict_raises(trace_copy):
+    flip_ts(trace_copy)
+    with pytest.raises(CorruptionError):
+        ingest(trace_copy)
+
+
+def test_bitflip_ts_quarantine_skips_chunk(trace_copy, clean_result):
+    flip_ts(trace_copy)
+    res = ingest(trace_copy, "quarantine")
+    cov = res.coverage[0]
+    assert cov.chunks_dropped == 1
+    assert cov.samples_dropped == CHUNK
+    assert cov.sample_coverage == pytest.approx(
+        (SAMPLES_PER_CORE - CHUNK) / SAMPLES_PER_CORE
+    )
+    assert not cov.complete
+    assert len(res.quarantine) == 1
+    assert res.quarantine.defects[0].kind == KIND_ORDER
+    assert res.quarantine.samples_lost == CHUNK
+    # The untouched core is bitwise-identical and fully covered.
+    assert res.coverage[1].complete
+    assert traces_equal(res.per_core[1], clean_result.per_core[1])
+    # The dropped chunk's items are flagged.
+    assert cov.degraded_items
+    assert set(cov.degraded_items) <= {item_of_window(w) for w in range(24)}
+
+
+def test_bitflip_ts_repair_drops_one_record(trace_copy, clean_result):
+    flip_ts(trace_copy)
+    res = ingest(trace_copy, "repair")
+    cov = res.coverage[0]
+    assert cov.samples_dropped == 1
+    assert cov.chunks_repaired == 1
+    assert cov.chunks_dropped == 0
+    # The flipped record sat in window 10; the affected span is bounded
+    # by its kept neighbours, whose left edge is window 9's last sample —
+    # so windows 9 and 10's items are (conservatively) flagged.
+    assert cov.degraded_items == (item_of_window(9), item_of_window(10))
+    # Every other item's numbers are identical to the clean run...
+    assert_items_match_clean(res, clean_result, skip=cov.degraded_items)
+    # ...and window 9's flag is indeed conservative: the dropped record
+    # was not one of its samples, so its numbers did not actually move.
+    assert res.trace.breakdown(item_of_window(9)) == clean_result.trace.breakdown(
+        item_of_window(9)
+    )
+    assert res.coverage[1].complete
+
+
+# -- bit flip in an ip (unlocalisable: order stays intact) -------------------
+
+
+@pytest.mark.parametrize("policy", ["quarantine", "repair"])
+def test_bitflip_ip_drops_chunk_even_under_repair(trace_copy, clean_result, policy):
+    faults.flip_sample_bit(trace_copy, 0, chunk=1, column="ip", index=5, bit=10)
+    res = ingest(trace_copy, policy)
+    cov = res.coverage[0]
+    # Nothing singles out the flipped record, so repair cannot do better
+    # than quarantine here: the whole chunk goes.
+    assert cov.chunks_dropped == 1
+    assert cov.chunks_repaired == 0
+    assert cov.samples_dropped == CHUNK
+    assert res.quarantine.defects[0].kind == KIND_CHECKSUM
+    # Chunk 1 holds windows 4..7 -> items of those windows are degraded;
+    # core 1 is untouched.
+    degraded = {item_of_window(w) for w in range(4, 8)}
+    assert degraded <= set(cov.degraded_items)
+    assert traces_equal(res.per_core[1], clean_result.per_core[1])
+
+
+def test_bitflip_ip_strict_raises(trace_copy):
+    faults.flip_sample_bit(trace_copy, 0, chunk=1, column="ip", index=5, bit=10)
+    with pytest.raises(CorruptionError):
+        ingest(trace_copy)
+
+
+# -- truncation (missing trailing chunk members) -----------------------------
+
+
+def test_truncation_strict_raises(trace_copy):
+    faults.truncate_chunks(trace_copy, 0, n_chunks=1)
+    with pytest.raises(CorruptionError):
+        ingest(trace_copy)
+
+
+@pytest.mark.parametrize("policy", ["quarantine", "repair"])
+def test_truncation_loss_is_measured_exactly(trace_copy, clean_result, policy):
+    faults.truncate_chunks(trace_copy, 0, n_chunks=1)
+    res = ingest(trace_copy, policy)
+    cov = res.coverage[0]
+    # v3 stores per-chunk row counts, so the loss is exact, not unknown.
+    assert cov.samples_dropped == CHUNK
+    assert cov.chunks_dropped == 1
+    assert not cov.unknown_extent
+    defect = res.quarantine.defects[0]
+    assert defect.kind == KIND_MISSING
+    assert defect.records_lost == CHUNK
+    # The lost chunk held windows 20..23; their items are degraded, and
+    # an item whose windows all ended earlier is not.
+    assert {item_of_window(w) for w in range(20, 24)} <= set(cov.degraded_items)
+    assert item_of_window(0) not in cov.degraded_items
+    assert_items_match_clean(res, clean_result, skip=cov.degraded_items)
+
+
+# -- misaligned columns (torn write inside one chunk) ------------------------
+
+
+def test_misalign_strict_raises(trace_copy):
+    faults.misalign_columns(trace_copy, 0, chunk=0, column="ip", drop=3)
+    with pytest.raises(CorruptionError):
+        ingest(trace_copy)
+
+
+def test_misalign_quarantine_drops_chunk(trace_copy):
+    faults.misalign_columns(trace_copy, 0, chunk=0, column="ip", drop=3)
+    res = ingest(trace_copy, "quarantine")
+    cov = res.coverage[0]
+    assert cov.chunks_dropped == 1
+    assert cov.samples_dropped == CHUNK
+    assert res.quarantine.defects[0].kind == KIND_LENGTH
+
+
+def test_misalign_repair_truncates_to_aligned_records(trace_copy, clean_result):
+    faults.misalign_columns(trace_copy, 0, chunk=0, column="ip", drop=3)
+    res = ingest(trace_copy, "repair")
+    cov = res.coverage[0]
+    assert cov.chunks_repaired == 1
+    assert cov.samples_dropped == 3
+    # The lost tail records were window 3's last samples.
+    assert cov.degraded_items == (item_of_window(3),)
+    assert_items_match_clean(res, clean_result, skip=cov.degraded_items)
+
+
+# -- shuffled chunks (out-of-order writer) -----------------------------------
+
+
+def test_shuffle_strict_raises(trace_copy):
+    faults.shuffle_chunks(trace_copy, 0)
+    with pytest.raises(CorruptionError):
+        ingest(trace_copy)
+
+
+def test_shuffle_repair_is_lossless(trace_copy, clean_result):
+    faults.shuffle_chunks(trace_copy, 0)
+    res = ingest(trace_copy, "repair")
+    # Each chunk is internally intact; a reorder-tolerant merge recovers
+    # the exact clean result with nothing quarantined.
+    assert len(res.quarantine) == 0
+    assert res.coverage[0].complete
+    assert traces_equal(res.trace, clean_result.trace)
+
+
+def test_shuffle_quarantine_drops_displaced_chunk(trace_copy, clean_result):
+    faults.shuffle_chunks(trace_copy, 0)
+    res = ingest(trace_copy, "quarantine")
+    cov = res.coverage[0]
+    assert cov.chunks_dropped == 1
+    assert cov.samples_dropped == CHUNK
+    assert res.quarantine.defects[0].kind == KIND_ORDER
+    assert traces_equal(res.per_core[1], clean_result.per_core[1])

@@ -1,0 +1,104 @@
+"""Backward compatibility: v1/v2 goldens under every policy, v3 round-trip.
+
+The golden containers on disk were written by the version-1 (flat) and
+version-2 (chunked) code and are never regenerated; the fault-tolerant
+reader must keep reproducing ``golden_expected.json`` from them under
+every corruption policy, with nothing quarantined.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.integrity import POLICIES
+from repro.core.streaming import ingest_trace
+from repro.core.tracefile import TraceReader, load_trace, save_trace
+from repro.errors import CorruptionError
+from repro.testing import faults
+from tests.faults.conftest import build_fixture_trace
+
+DATA = pathlib.Path(__file__).resolve().parents[1] / "data"
+EXPECTED = json.loads((DATA / "golden_expected.json").read_text())
+GOLDENS = ("golden_a", "golden_b", "golden_c")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("name", GOLDENS)
+def test_goldens_reproduce_under_every_policy(name, policy):
+    res = ingest_trace(
+        DATA / f"{name}.npz", workers=1, chunk_size=64, on_corruption=policy
+    )
+    merged = EXPECTED[name]["merged"]
+    assert res.trace.items() == merged["items"]
+    for item, breakdown in merged["breakdowns"].items():
+        assert res.trace.breakdown(int(item)) == breakdown
+    # A clean pre-v3 file has no checksums and no defects: every policy
+    # must agree it is complete.
+    assert len(res.quarantine) == 0
+    assert all(cov.complete for cov in res.coverage.values())
+
+
+def test_pre_v3_files_keep_their_version():
+    with TraceReader(DATA / "golden_c.npz") as reader:
+        assert reader.version == 2
+        assert "crc32" not in reader._header
+
+
+def test_v3_roundtrip_and_checksum_verification(tmp_path):
+    path = tmp_path / "v3.npz"
+    build_fixture_trace(path)
+    with TraceReader(path) as reader:
+        assert reader.version == 3
+        assert reader._header["crc32"]
+        assert reader._header["chunk_rows"]
+    # Clean v3 file loads under full verification.
+    tf = load_trace(path)
+    assert tf.sample_cores == [0, 1]
+    # Bit rot is caught by load_trace...
+    faults.flip_sample_bit(path, 0, chunk=0, column="ip", index=1, bit=5)
+    with pytest.raises(CorruptionError):
+        load_trace(path)
+    # ...unless verification is explicitly waived (salvage mode).
+    tf = load_trace(path, verify_checksums=False)
+    assert tf.sample_cores == [0, 1]
+
+
+def test_checksums_can_be_omitted(tmp_path):
+    path = tmp_path / "nocrc.npz"
+    build_fixture_trace(path, checksums=False)
+    with TraceReader(path) as reader:
+        assert reader.version == 3
+        assert "crc32" not in reader._header
+    # Without a crc map, a flipped ip goes unnoticed (documented trade).
+    faults.flip_sample_bit(path, 0, chunk=0, column="ip", index=1, bit=5)
+    load_trace(path)
+
+
+def test_flat_v3_layout_supports_policies(tmp_path):
+    # The flat (unchunked) layout also carries checksums in v3.
+    from repro.core.records import SwitchRecords
+    from repro.core.symbols import SymbolTable
+    from repro.machine.pebs import SampleArrays
+    from repro.runtime.actions import SwitchKind
+    import numpy as np
+
+    symtab = SymbolTable.from_ranges({"f": (0x100, 0x200)})
+    rec = SwitchRecords(0)
+    rec.append(10, 1, SwitchKind.ITEM_START)
+    rec.append(100, 1, SwitchKind.ITEM_END)
+    samples = SampleArrays(
+        ts=np.asarray([20, 30, 40], dtype=np.int64),
+        ip=np.asarray([0x110, 0x120, 0x130], dtype=np.int64),
+        tag=np.full(3, -1, dtype=np.int64),
+    )
+    path = tmp_path / "flat.npz"
+    save_trace(path, {0: samples}, {0: rec}, symtab)
+    faults.flip_sample_bit(path, 0, column="ts", index=1, bit=60)
+    with pytest.raises(CorruptionError):
+        ingest_trace(path, workers=1)
+    res = ingest_trace(path, workers=1, on_corruption="repair")
+    assert res.coverage[0].samples_dropped == 1
+    assert res.coverage[0].samples_kept == 2

@@ -1,0 +1,111 @@
+"""Semantic faults in the switch log: dropped, duplicated, and rotten marks.
+
+The fixture log is strictly alternating START/END (48 marks on core 0:
+mark ``2w`` starts window ``w``, mark ``2w+1`` ends it), so each fault's
+blast radius is known exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.integrity import KIND_SWITCH
+from repro.core.streaming import ingest_trace
+from repro.errors import CorruptionError, TraceError
+from repro.testing import faults
+from tests.faults.conftest import CHUNK, N_WINDOWS, item_of_window
+
+N_MARKS = 2 * N_WINDOWS
+
+
+def ingest(path, policy="strict"):
+    return ingest_trace(path, workers=1, chunk_size=CHUNK, on_corruption=policy)
+
+
+def assert_others_match_clean(result, clean, skip):
+    for item in clean.trace.items():
+        if item in skip:
+            continue
+        assert result.trace.breakdown(item) == clean.trace.breakdown(item), item
+
+
+# -- dropped END mark (log-buffer overrun) -----------------------------------
+
+
+def drop_end_of_window_3(path):
+    faults.drop_switch_records(path, 0, [7])  # mark 7 = END of window 3
+
+
+def test_dropped_mark_strict_raises(trace_copy):
+    drop_end_of_window_3(trace_copy)
+    with pytest.raises(TraceError):
+        ingest(trace_copy)
+
+
+@pytest.mark.parametrize("policy", ["quarantine", "repair"])
+def test_dropped_mark_lenient_flags_item(trace_copy, clean_result, policy):
+    drop_end_of_window_3(trace_copy)
+    res = ingest(trace_copy, policy)
+    cov = res.coverage[0]
+    # Window 3's START is unmatchable once its END is gone: one mark of
+    # the 47 surviving ones is dropped by pairing, charged to item 4.
+    assert cov.switch_marks == N_MARKS - 1
+    assert cov.switch_marks_dropped == 1
+    assert cov.window_coverage == pytest.approx(1 - 1 / (N_MARKS - 1))
+    assert item_of_window(3) in cov.degraded_items
+    assert any(d.kind == KIND_SWITCH for d in res.quarantine.defects)
+    # Window 3's samples lose their window and become unmapped; every
+    # other item keeps its exact clean numbers.
+    assert_others_match_clean(res, clean_result, skip={item_of_window(3)})
+    assert res.coverage[1].complete
+
+
+# -- duplicated START mark (double marking) ----------------------------------
+
+
+def test_duplicated_mark_strict_raises(trace_copy):
+    faults.duplicate_switch_records(trace_copy, 0, 4)  # START of window 2
+    with pytest.raises(TraceError):
+        ingest(trace_copy)
+
+
+@pytest.mark.parametrize("policy", ["quarantine", "repair"])
+def test_duplicated_mark_lenient_flags_item(trace_copy, clean_result, policy):
+    faults.duplicate_switch_records(trace_copy, 0, 4)
+    res = ingest(trace_copy, policy)
+    cov = res.coverage[0]
+    # The duplicate START supersedes the open one (same timestamp, same
+    # item), so the paired window is unchanged — but the log was damaged
+    # and the item is flagged.
+    assert cov.switch_marks == N_MARKS + 1
+    assert cov.switch_marks_dropped == 1
+    assert item_of_window(2) in cov.degraded_items
+    # Here even the flagged item's numbers survive bit for bit.
+    assert_others_match_clean(res, clean_result, skip=set())
+
+
+# -- bit rot in the switch log (corrupt timestamp) ---------------------------
+
+
+def rot_start_of_window_4(path):
+    # Bit 60 on window 4's START timestamp -> a window that ends before
+    # it starts; lenient pairing must drop that window, not invent one.
+    faults.flip_switch_bit(path, 0, column="ts", index=8, bit=60)
+
+
+def test_switch_bitrot_strict_raises(trace_copy):
+    rot_start_of_window_4(trace_copy)
+    with pytest.raises(CorruptionError):
+        ingest(trace_copy)
+
+
+@pytest.mark.parametrize("policy", ["quarantine", "repair"])
+def test_switch_bitrot_lenient_drops_window(trace_copy, clean_result, policy):
+    rot_start_of_window_4(trace_copy)
+    res = ingest(trace_copy, policy)
+    cov = res.coverage[0]
+    assert cov.switch_marks == N_MARKS
+    assert cov.switch_marks_dropped == 2  # both marks of window 4
+    assert item_of_window(4) in cov.degraded_items
+    assert_others_match_clean(res, clean_result, skip={item_of_window(4)})
+    assert res.coverage[1].complete

@@ -137,5 +137,5 @@ class TestErrors:
         bad = tmp_path / "bad.npz"
         bad.write_bytes(b"nope")
         rc = main(["info", str(bad)])
-        assert rc == 2
-        assert "error:" in capsys.readouterr().err
+        assert rc == 3  # trace-data problems are distinct from usage errors
+        assert "trace error:" in capsys.readouterr().err

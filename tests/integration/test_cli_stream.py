@@ -111,17 +111,67 @@ class TestStreamReport:
 
 
 class TestStreamErrors:
+    # Trace-data problems exit 3 ("trace error:"), other package errors
+    # exit 2 — scripts can tell damaged data from a wrong invocation.
+
     def test_truncated_file_clean_error(self, chunked_trace, workdir):
         raw = chunked_trace.read_bytes()
         (workdir / "trunc.npz").write_bytes(raw[: len(raw) // 3])
         proc = repro_cmd("report", "trunc.npz", "--stream", cwd=workdir)
-        assert proc.returncode == 2
-        assert proc.stderr.startswith("error:")
+        assert proc.returncode == 3
+        assert proc.stderr.startswith("trace error:")
         assert "Traceback" not in proc.stderr
 
     def test_not_a_trace_file_clean_error(self, workdir):
         (workdir / "junk.npz").write_bytes(b"not a zip at all")
         proc = repro_cmd("report", "junk.npz", "--stream", cwd=workdir)
-        assert proc.returncode == 2
-        assert proc.stderr.startswith("error:")
+        assert proc.returncode == 3
+        assert proc.stderr.startswith("trace error:")
         assert "Traceback" not in proc.stderr
+
+    def test_bad_policy_is_a_usage_error(self, chunked_trace, workdir):
+        proc = repro_cmd(
+            "report", "chunked.npz", "--stream", "--on-corruption", "ignore",
+            cwd=workdir,
+        )
+        assert proc.returncode == 2  # argparse usage error, not exit 3
+
+
+class TestCorruptionPolicies:
+    @pytest.fixture(scope="class")
+    def corrupt_trace(self, chunked_trace, workdir):
+        import shutil
+        import sys as _sys
+
+        _sys.path.insert(0, SRC)
+        try:
+            from repro.testing import faults
+        finally:
+            _sys.path.remove(SRC)
+        path = workdir / "corrupt.npz"
+        shutil.copyfile(chunked_trace, path)
+        # Core 1 is sampleapp's worker (core 0, the dispatcher, has no
+        # samples); flip a timestamp bit in its first chunk.
+        faults.flip_sample_bit(path, 1, chunk=0, column="ts", index=5, bit=60)
+        return path
+
+    def test_strict_exits_3(self, corrupt_trace, workdir):
+        proc = repro_cmd("report", "corrupt.npz", "--stream", cwd=workdir)
+        assert proc.returncode == 3
+        assert proc.stderr.startswith("trace error:")
+
+    @pytest.mark.parametrize("policy", ["quarantine", "repair"])
+    def test_lenient_reports_with_quarantine_summary(
+        self, corrupt_trace, workdir, policy
+    ):
+        proc = repro_cmd(
+            "report", "corrupt.npz", "--stream", "--on-corruption", policy,
+            "--core", "1",
+            cwd=workdir,
+        )
+        assert proc.returncode == 0, proc.stderr
+        # Table still renders; defect accounting goes to stderr only.
+        assert "data-items" in proc.stdout
+        assert "core 1 coverage" in proc.stdout
+        assert "quarantine" in proc.stderr
+        assert "incomplete data" in proc.stdout
