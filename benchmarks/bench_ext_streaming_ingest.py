@@ -40,6 +40,7 @@ from repro.core.streaming import StreamingIntegrator, _use_threads, ingest_trace
 from repro.core.symbols import SymbolTable
 from repro.core.tracefile import TraceReader, load_trace, save_trace
 from repro.machine.pebs import SampleArrays
+from repro.obs.metrics import MetricsRegistry
 from repro.runtime.actions import SwitchKind
 
 N_ITEMS = int(os.environ.get("REPRO_BENCH_STREAM_ITEMS", "80000"))
@@ -112,9 +113,26 @@ def _timed(fn, repeat=3) -> float:
     return statistics.median(walls)
 
 
-def test_streaming_ingest_throughput(trace_path, report, benchmark):
+def test_streaming_ingest_throughput(trace_path, report, bench_point, benchmark):
     n_samples = N_CORES * N_ITEMS * SAMPLES_PER_ITEM
     mb = n_samples * SAMPLE_BYTES / 1e6
+
+    # Timings flow through the telemetry registry: the table below, the
+    # appended trajectory point, and any scrape of this registry all read
+    # the same gauges.
+    reg = MetricsRegistry()
+
+    def record_wall(config: str, wall: float) -> None:
+        reg.gauge(
+            "repro_bench_streaming_wall_seconds",
+            "Median wall time of one bench configuration",
+            config=config,
+        ).set(wall)
+        reg.gauge(
+            "repro_bench_streaming_mb_per_second",
+            "Sample-column throughput of one bench configuration",
+            config=config,
+        ).set(mb / wall)
 
     # Correctness first, untimed: every configuration must reproduce the
     # one-shot integration bit for bit.
@@ -126,6 +144,7 @@ def test_streaming_ingest_throughput(trace_path, report, benchmark):
     gc.collect()
 
     base_wall = _timed(lambda: _one_shot(trace_path))
+    record_wall("one-shot", base_wall)
 
     rows = [
         [
@@ -142,6 +161,7 @@ def test_streaming_ingest_throughput(trace_path, report, benchmark):
             lambda cs=chunk_size: ingest_trace(trace_path, chunk_size=cs, workers=1)
         )
         chunk_walls[chunk_size] = wall
+        record_wall(f"chunk={chunk_size},workers=1", wall)
         rows.append(
             [
                 f"stream chunk={chunk_size} workers=1",
@@ -158,6 +178,7 @@ def test_streaming_ingest_throughput(trace_path, report, benchmark):
         )
         worker_walls[workers] = wall
         pool = "thread" if _use_threads("auto") else "process"
+        record_wall(f"chunk=65536,workers={workers}", wall)
         rows.append(
             [
                 f"stream chunk=65536 workers={workers} ({pool})",
@@ -174,6 +195,7 @@ def test_streaming_ingest_throughput(trace_path, report, benchmark):
             trace_path, chunk_size=65_536, workers=4, pool="process"
         )
     )
+    record_wall("chunk=65536,workers=4,pool=process", proc_wall)
     rows.append(
         [
             "stream chunk=65536 workers=4 (process)",
@@ -195,6 +217,28 @@ def test_streaming_ingest_throughput(trace_path, report, benchmark):
         ),
     )
     report("ext_streaming_ingest", text)
+
+    # The trajectory point is derived from the registry gauges, not from
+    # the local variables — what lands in BENCH_streaming.json is exactly
+    # what a telemetry scrape of this run would have reported.
+    walls = {
+        dict(g.labels)["config"]: g.value
+        for g in reg.collect()
+        if g.name == "repro_bench_streaming_wall_seconds"
+    }
+    bench_point(
+        "streaming",
+        {
+            "bench": "ext_streaming_ingest",
+            "n_cores": N_CORES,
+            "n_items": N_ITEMS,
+            "samples_per_item": SAMPLES_PER_ITEM,
+            "sample_mb": round(mb, 3),
+            "full_scale": FULL_SCALE,
+            "host_cpus": os.cpu_count(),
+            "wall_seconds": walls,
+        },
+    )
 
     if FULL_SCALE:
         assert base_wall / worker_walls[1] >= 2.0

@@ -11,6 +11,8 @@ tables inline; they are always written to the results directory).
 
 from __future__ import annotations
 
+import datetime
+import json
 import pathlib
 
 import pytest
@@ -31,6 +33,29 @@ def report():
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
 
     return write
+
+
+@pytest.fixture(scope="session")
+def bench_point():
+    """Appender: bench_point(name, point) grows the perf trajectory.
+
+    Points accumulate in ``benchmarks/results/BENCH_<name>.json`` (a JSON
+    list, one entry per run) so successive runs — CI smoke or full-scale —
+    build a comparable timing history instead of overwriting each other.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def append(name: str, point: dict) -> None:
+        path = RESULTS_DIR / f"BENCH_{name}.json"
+        points = json.loads(path.read_text()) if path.exists() else []
+        stamped = dict(point)
+        stamped["recorded_at"] = datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(timespec="seconds")
+        points.append(stamped)
+        path.write_text(json.dumps(points, indent=2) + "\n")
+
+    return append
 
 
 @pytest.fixture(scope="session")

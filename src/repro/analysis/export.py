@@ -22,6 +22,28 @@ from repro.errors import TraceError
 from repro.machine.pebs import SampleArrays
 
 
+def chrome_doc(events: list[dict]) -> dict:
+    """Wrap trace events in the envelope every exporter here shares.
+
+    Both the workload exporter below and the self-telemetry span
+    exporter (:mod:`repro.obs.spans`) emit into this same structure, so
+    a workload trace and the tracer's own spans open identically in
+    Perfetto / ``chrome://tracing``.
+    """
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def thread_name_event(pid: int, tid: int, name: str) -> dict:
+    """The metadata event that names one row of the trace viewer."""
+    return {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": tid,
+        "args": {"name": name},
+    }
+
+
 def to_chrome_trace(
     traces_by_core: dict[int, HybridTrace],
     samples_by_core: dict[int, SampleArrays] | None = None,
@@ -44,15 +66,7 @@ def to_chrome_trace(
 
     events: list[dict] = []
     for core, trace in sorted(traces_by_core.items()):
-        events.append(
-            {
-                "name": "thread_name",
-                "ph": "M",
-                "pid": 1,
-                "tid": core,
-                "args": {"name": f"core {core}"},
-            }
-        )
+        events.append(thread_name_event(1, core, f"core {core}"))
         for w in trace.windows:
             events.append(
                 {
@@ -100,7 +114,7 @@ def to_chrome_trace(
                         "ts": cyc_to_us(int(ts)),
                     }
                 )
-    return {"traceEvents": events, "displayTimeUnit": "ms"}
+    return chrome_doc(events)
 
 
 def write_chrome_trace(

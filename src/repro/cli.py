@@ -18,6 +18,7 @@ Run ``python -m repro.cli <command> --help`` for per-command options.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 
 from repro.analysis.reporting import format_table
@@ -204,8 +205,13 @@ def _report_streamed(args) -> int:
         max_retries=args.max_retries,
     )
     if result.quarantine:
-        # Defect accounting goes to stderr: stdout stays parseable.
-        print(result.quarantine.summary(), file=sys.stderr)
+        from repro.obs.instrumented import publish_quarantine
+
+        # Defect accounting goes to stderr: stdout stays parseable.  The
+        # summary text is rendered from telemetry counters (fed to the
+        # active registry when --telemetry is on), so the stderr text and
+        # any exported quarantine metrics cannot disagree.
+        print(publish_quarantine(result.quarantine), file=sys.stderr)
     if args.core is not None:
         core = args.core
     else:
@@ -278,6 +284,12 @@ def cmd_export(args) -> int:
     return 0
 
 
+def cmd_monitor(args) -> int:
+    from repro.obs.monitor import run_monitor
+
+    return run_monitor(args.tracefile, args)
+
+
 def cmd_callgraph(args) -> int:
     tf = load_trace(args.tracefile)
     core = _pick_core(tf, args.core)
@@ -297,6 +309,30 @@ def cmd_callgraph(args) -> int:
             )
         )
     return 0
+
+
+#: Exit-code contract, shown in `repro report --help` and the README.
+EXIT_CODE_EPILOG = """\
+exit codes:
+  0  success
+  2  usage or package error (bad invocation, unknown workload, ...)
+  3  trace-data error (corruption, malformed records, failed shards)
+"""
+
+
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write the tracer's own metrics here (.json, or Prometheus text)",
+    )
+    p.add_argument(
+        "--trace-spans",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome trace of the tracer's own pipeline stages (.json)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -331,13 +367,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit the v3 per-chunk CRCs (bit rot then goes undetected)",
     )
+    _add_telemetry_args(p_run)
     p_run.set_defaults(func=cmd_run)
 
     p_info = sub.add_parser("info", help="show trace file contents")
     p_info.add_argument("tracefile")
     p_info.set_defaults(func=cmd_info)
 
-    p_rep = sub.add_parser("report", help="per-item per-function breakdown")
+    p_rep = sub.add_parser(
+        "report",
+        help="per-item per-function breakdown",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     p_rep.add_argument("tracefile")
     p_rep.add_argument("--core", type=int, default=None)
     p_rep.add_argument("--diagnose", action="store_true")
@@ -390,7 +432,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=2,
         help="stream: retries for timed-out or crashed shards",
     )
+    _add_telemetry_args(p_rep)
     p_rep.set_defaults(func=cmd_report)
+
+    p_mon = sub.add_parser(
+        "monitor", help="live dashboard while stream-ingesting a trace file"
+    )
+    p_mon.add_argument("tracefile")
+    p_mon.add_argument(
+        "--interval", type=float, default=0.5, help="seconds between repaints"
+    )
+    p_mon.add_argument("--chunk-size", type=int, default=65536)
+    p_mon.add_argument(
+        "--on-corruption", choices=list(POLICIES), default="quarantine"
+    )
+    p_mon.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="also write the final metrics here (.json, or Prometheus text)",
+    )
+    p_mon.set_defaults(func=cmd_monitor)
 
     p_exp = sub.add_parser("export", help="export to viewer formats")
     p_exp.add_argument("tracefile")
@@ -424,10 +486,46 @@ EXIT_REPRO_ERROR = 2
 EXIT_TRACE_ERROR = 3
 
 
+@contextlib.contextmanager
+def _telemetry_scope(args):
+    """Install registry/recorder per the --telemetry/--trace-spans flags.
+
+    Dumps land on exit even when the command fails partway: a corrupt
+    trace's partial telemetry is exactly what one wants to look at.
+    Commands without the flags (and `monitor`, which manages its own
+    registry) pass through untouched.
+    """
+    telemetry = getattr(args, "telemetry", None) if args.command != "monitor" else None
+    spans_out = getattr(args, "trace_spans", None)
+    if not telemetry and not spans_out:
+        yield
+        return
+    from repro.obs.metrics import MetricsRegistry, use_registry
+    from repro.obs.spans import SpanRecorder, use_recorder
+
+    with contextlib.ExitStack() as stack:
+        reg = None
+        rec = None
+        if telemetry:
+            reg = MetricsRegistry()
+            stack.enter_context(use_registry(reg))
+        if spans_out:
+            rec = SpanRecorder()
+            stack.enter_context(use_recorder(rec))
+        try:
+            yield
+        finally:
+            if reg is not None:
+                reg.dump(telemetry)
+            if rec is not None:
+                rec.write(spans_out)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
-        return args.func(args)
+        with _telemetry_scope(args):
+            return args.func(args)
     except TraceError as exc:
         print(f"trace error: {exc}", file=sys.stderr)
         return EXIT_TRACE_ERROR

@@ -38,6 +38,7 @@ from repro.core.records import (
 from repro.core.symbols import UNKNOWN, SymbolTable
 from repro.errors import IntegrationError
 from repro.machine.pebs import SampleArrays
+from repro.obs.spans import span
 from repro.runtime.actions import SwitchKind
 
 
@@ -402,11 +403,12 @@ def integrate(
     at that instant the marking function has already recorded the new
     item's start.
     """
-    windows = build_windows(switches)
-    ts = samples.ts
-    if ts.shape[0] and np.any(np.diff(ts) < 0):
-        raise IntegrationError("sample timestamps must be sorted")
-    return _integrate_columns(samples, windows, symtab)
+    with span("integrate.core", core=switches.core_id, samples=int(samples.ts.shape[0])):
+        windows = build_windows(switches)
+        ts = samples.ts
+        if ts.shape[0] and np.any(np.diff(ts) < 0):
+            raise IntegrationError("sample timestamps must be sorted")
+        return _integrate_columns(samples, windows, symtab)
 
 
 def _integrate_columns(

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.core.records import SwitchRecords
 from repro.machine.core import SimCore
+from repro.obs.instrumented import pipeline as _obs
 from repro.runtime.actions import SwitchKind
 from repro.runtime.thread import AppThread
 from repro.units import ns_to_cycles
@@ -90,6 +91,7 @@ class MarkingTracer:
         # before its cost is paid (the paper's log(d.id, timestamp)).
         self.records_for_core(core.core_id).append(core.clock, item_id, kind)
         self.calls += 1
+        _obs().marks.inc()
         cost = self.cost_cycles
         if self.buffer_records is not None:
             n = self._buffered.get(core.core_id, 0) + 1

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import TraceError
+from repro.obs.instrumented import pipeline as _obs
 
 
 @dataclass
@@ -110,10 +111,15 @@ class OnlineDiagnoser:
             self._stats.setdefault(fn, _Welford()).update(float(breakdown.get(fn, 0)))
         self.items_observed += 1
         dumped = trigger is not None
+        ins = _obs()
+        ins.online_items.inc()
         if dumped:
             self.bytes_dumped += raw_bytes
+            ins.online_dumped.inc()
+            ins.online_bytes_dumped.inc(raw_bytes)
         else:
             self.bytes_discarded += raw_bytes
+            ins.online_bytes_discarded.inc(raw_bytes)
         decision = ItemDecision(
             item_id=item_id, dumped=dumped, trigger_fn=trigger, raw_bytes=raw_bytes
         )

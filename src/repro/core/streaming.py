@@ -68,6 +68,8 @@ from repro.core.symbols import UNKNOWN, SymbolTable
 from repro.core.tracefile import TraceReader
 from repro.errors import IntegrationError, ShardError, TraceError
 from repro.machine.pebs import SampleArrays
+from repro.obs.instrumented import pipeline as _obs
+from repro.obs.spans import span
 
 #: Default samples per chunk (~1.5 MB of raw columns at 24 B/sample).
 DEFAULT_CHUNK_SIZE = 65536
@@ -169,10 +171,23 @@ class StreamingIntegrator:
         """Consume one chunk (must continue the core's time order)."""
         if self._result is not None:
             raise IntegrationError("cannot feed a finalized StreamingIntegrator")
+        ins = _obs()
+        if ins.enabled:
+            t0 = time.perf_counter()
+            try:
+                self._feed(chunk, ins)
+            finally:
+                ins.feed_seconds.observe(time.perf_counter() - t0)
+        else:
+            self._feed(chunk, ins)
+
+    def _feed(self, chunk: SampleArrays, ins) -> None:
         ts = chunk.ts
         n = int(ts.shape[0])
         if n == 0:
             return
+        ins.integ_samples.inc(n)
+        ins.integ_chunks.inc()
         if np.any(np.diff(ts) < 0):
             # Disorder *within* a chunk is always corruption (the reader's
             # repair policy drops such records before feeding).
@@ -184,6 +199,7 @@ class StreamingIntegrator:
             # bring the retired state back and stop retiring — from here
             # on, no window index is guaranteed to be behind the stream.
             self._reordered = True
+            ins.reorder_events.inc()
             self._collapse()
         self._last_ts = (
             int(ts[-1]) if self._last_ts is None else max(self._last_ts, int(ts[-1]))
@@ -326,6 +342,8 @@ class StreamingIntegrator:
                 )
             )
             self._emitted.add(item)
+        if out:
+            _obs().windows_closed.inc(len(out))
         return out
 
     # -- result ----------------------------------------------------------
@@ -416,29 +434,32 @@ def _stream_core(
     ``coverage.degraded_items`` names exactly the items whose numbers
     rest on incomplete data.
     """
-    windows = reader.switch_window_columns(
-        core, policy=policy, quarantine=quarantine, coverage=coverage
-    )
+    with span("ingest.windows", core=core):
+        windows = reader.switch_window_columns(
+            core, policy=policy, quarantine=quarantine, coverage=coverage
+        )
     integ = StreamingIntegrator(
         reader.symtab, windows, tolerate_reorder=(policy == POLICY_REPAIR)
     )
     chunks = 0
-    for chunk in reader.iter_sample_chunks(
-        core, chunk_size, policy=policy, quarantine=quarantine, coverage=coverage
-    ):
-        integ.feed(chunk)
-        chunks += 1
-        if diagnoser is not None:
-            for done in integ.drain_completed():
-                diagnoser.observe_item(
-                    done.item_id, done.breakdown, done.n_samples * record_bytes
-                )
+    with span("ingest.stream", core=core):
+        for chunk in reader.iter_sample_chunks(
+            core, chunk_size, policy=policy, quarantine=quarantine, coverage=coverage
+        ):
+            integ.feed(chunk)
+            chunks += 1
+            if diagnoser is not None:
+                for done in integ.drain_completed():
+                    diagnoser.observe_item(
+                        done.item_id, done.breakdown, done.n_samples * record_bytes
+                    )
     if diagnoser is not None:
         for done in integ.drain_completed(final=True):
             diagnoser.observe_item(
                 done.item_id, done.breakdown, done.n_samples * record_bytes
             )
-    trace = integ.finalize()
+    with span("ingest.finalize", core=core):
+        trace = integ.finalize()
     for d in quarantine.for_core(core):
         if d.kind in _SAMPLE_KINDS:
             if d.ts_lo is None and d.ts_hi is None and d.records_lost != 0:
@@ -562,6 +583,8 @@ def _shard_round(
     done: dict[int, tuple] = {}
     retryable: dict[int, str] = {}
     permanent: dict[int, str] = {}
+    ins = _obs()
+    t_round = time.perf_counter()
     pool_obj, cleanup = _make_pool(n_procs, threads)
     try:
         handles = [
@@ -570,6 +593,7 @@ def _shard_round(
         for core, handle in handles:
             try:
                 done[core] = handle.get(shard_timeout)
+                ins.shard_wait.observe(time.perf_counter() - t_round)
             except multiprocessing.TimeoutError:
                 retryable[core] = (
                     f"shard for core {core} exceeded its {shard_timeout:g}s timeout"
@@ -602,16 +626,18 @@ def _run_supervised(
     results: dict[int, tuple] = {}
     failures: dict[int, str] = {}
     retries: dict[int, int] = {}
+    ins = _obs()
     outstanding = list(jobs)
     attempt = 0
     while outstanding:
-        done, retryable, permanent = _shard_round(
-            outstanding,
-            min(n_procs, len(outstanding)),
-            threads,
-            shard_timeout,
-            shard_fn,
-        )
+        with span("ingest.round", attempt=attempt, shards=len(outstanding)):
+            done, retryable, permanent = _shard_round(
+                outstanding,
+                min(n_procs, len(outstanding)),
+                threads,
+                shard_timeout,
+                shard_fn,
+            )
         results.update(done)
         failures.update(permanent)
         if not retryable:
@@ -627,8 +653,12 @@ def _run_supervised(
             break
         for core in retryable:
             retries[core] = attempt
+        ins.shard_retries.inc(len(retryable))
+        ins.pool_restarts.inc()
         outstanding = [(c, a) for c, a in outstanding if c in retryable]
-        time.sleep(retry_backoff_s * (2 ** (attempt - 1)))
+        backoff = retry_backoff_s * (2 ** (attempt - 1))
+        ins.backoff_seconds.inc(backoff)
+        time.sleep(backoff)
     return results, failures, retries
 
 
@@ -697,6 +727,7 @@ def ingest_trace(
     coverage: dict[int, CoverageStats] = {}
     shard_failures: dict[int, str] = {}
     retries: dict[int, int] = {}
+    chunks_by_core: dict[int, int] = {}
     total_chunks = 0
     if workers == 1:
         with TraceReader(path) as reader:
@@ -704,16 +735,17 @@ def ingest_trace(
             for core in use_cores:
                 cov = CoverageStats(core=core)
                 try:
-                    trace, chunks = _stream_core(
-                        reader,
-                        core,
-                        chunk_size,
-                        on_corruption,
-                        quarantine,
-                        cov,
-                        diagnoser=diagnoser,
-                        record_bytes=record_bytes,
-                    )
+                    with span("ingest.core", core=core):
+                        trace, chunks = _stream_core(
+                            reader,
+                            core,
+                            chunk_size,
+                            on_corruption,
+                            quarantine,
+                            cov,
+                            diagnoser=diagnoser,
+                            record_bytes=record_bytes,
+                        )
                 except TraceError as exc:
                     if strict:
                         raise
@@ -724,6 +756,7 @@ def ingest_trace(
                     continue
                 per_core[core] = trace
                 coverage[core] = cov
+                chunks_by_core[core] = chunks
                 total_chunks += chunks
     else:
         with TraceReader(path) as reader:
@@ -743,6 +776,7 @@ def ingest_trace(
             coverage[core] = cov
             cov.retries = retries.get(core, 0)
             quarantine.extend(defects)
+            chunks_by_core[core] = chunks
             total_chunks += chunks
     for core, msg in sorted(shard_failures.items()):
         if strict:
@@ -767,11 +801,24 @@ def ingest_trace(
                 + "; ".join(f"core {c}: {m}" for c, m in sorted(shard_failures.items()))
             )
         raise TraceError(f"trace file {path} has no sampled cores to ingest")
-    merged = merge_traces([per_core[c] for c in sorted(per_core)])
+    with span("ingest.merge", cores=len(per_core)):
+        merged = merge_traces([per_core[c] for c in sorted(per_core)])
     if diagnoser is not None and workers > 1:
         replay_into(diagnoser, merged, record_bytes=record_bytes)
     wall = time.perf_counter() - t0
     n_samples = sum(t.total_samples for t in per_core.values())
+    # Shard-level totals are published by the parent from the collected
+    # results, so they are correct even when the shards ran in a process
+    # pool whose in-child counter updates died with the workers.
+    ins = _obs()
+    ins.ingest_samples.inc(n_samples)
+    ins.ingest_chunks.inc(total_chunks)
+    ins.ingest_wall.set(wall)
+    ins.ingest_workers.set(workers)
+    ins.shard_failures.inc(len(shard_failures))
+    for core, trace in per_core.items():
+        ins.shard_samples(core).inc(trace.total_samples)
+        ins.shard_chunks(core).inc(chunks_by_core.get(core, 0))
     stats = IngestStats(
         cores=tuple(sorted(per_core)),
         chunks=total_chunks,

@@ -65,6 +65,7 @@ from repro.core.records import (
 from repro.core.symbols import SymbolTable
 from repro.errors import CorruptionError, TraceError
 from repro.machine.pebs import SampleArrays
+from repro.obs.instrumented import pipeline as _obs
 from repro.runtime.actions import SwitchKind
 
 #: Format version written into every file; bumped on layout changes.
@@ -480,6 +481,7 @@ class TraceReader:
         coverage: CoverageStats,
     ):
         """Generator behind :meth:`iter_sample_chunks`: one stored chunk a time."""
+        ins = _obs()
         expected_rows = self._chunk_rows(core)
         prev_last: int | None = None
         for idx, names in enumerate(_sample_chunk_keys(self._header, core)):
@@ -509,12 +511,17 @@ class TraceReader:
                     )
                 )
                 coverage.chunks_dropped += 1
+                ins.chunks_quarantined.inc()
                 if n_expected >= 0:
                     coverage.samples_dropped += n_expected
+                    ins.samples_dropped.inc(n_expected)
                 else:
                     coverage.unknown_extent = True
                 continue
             ts, ip, tag = arrays
+            ins.bytes_read.inc(
+                int(ts.nbytes) + int(ip.nbytes) + int(tag.nbytes)
+            )
             chunk, ok = self._check_chunk(
                 core, names, ts, ip, tag, n_expected, policy,
                 prev_last, quarantine, coverage,
@@ -541,6 +548,7 @@ class TraceReader:
     ) -> tuple[SampleArrays, bool]:
         """Validate one stored chunk; returns (chunk, keep)."""
         member = names[0]
+        ins = _obs()
 
         def drop(kind: str, detail: str, lost: int, lo, hi) -> tuple[SampleArrays, bool]:
             quarantine.record(
@@ -551,8 +559,10 @@ class TraceReader:
                 )
             )
             coverage.chunks_dropped += 1
+            ins.chunks_quarantined.inc()
             if lost >= 0:
                 coverage.samples_dropped += lost
+                ins.samples_dropped.inc(lost)
             else:
                 coverage.unknown_extent = True
             return SampleArrays(ts=ts, ip=ip, tag=tag), False
@@ -579,6 +589,8 @@ class TraceReader:
                 )
                 coverage.samples_dropped += max(n_stored - m, 0)
                 coverage.chunks_repaired += 1
+                ins.samples_dropped.inc(max(n_stored - m, 0))
+                ins.chunks_repaired.inc()
                 ts, ip, tag = ts[:m], ip[:m], tag[:m]
                 repaired = True
             else:
@@ -596,6 +608,8 @@ class TraceReader:
             and name in self._crc
             and member_crc(arr) != int(self._crc[name])
         ]
+        if bad_crc:
+            ins.crc_failures.inc(len(bad_crc))
         # 3. Timestamp monotonicity within the chunk.
         unsorted = bool(ts.shape[0]) and bool(np.any(np.diff(ts) < 0))
 
@@ -635,6 +649,8 @@ class TraceReader:
             )
             coverage.samples_dropped += lost
             coverage.chunks_repaired += 1
+            ins.samples_dropped.inc(lost)
+            ins.chunks_repaired.inc()
             ts, ip, tag = ts[keep], ip[keep], tag[keep]
             repaired = True
 
@@ -660,6 +676,7 @@ class TraceReader:
         else:
             coverage.chunks_kept += 1
             coverage.samples_kept += len(ts)
+            ins.chunks_validated.inc()
         return SampleArrays(ts=ts, ip=ip, tag=tag), True
 
     @staticmethod
@@ -737,6 +754,7 @@ class TraceReader:
             if name in self._crc and member_crc(arr) != int(self._crc[name])
         ]
         if crc_bad:
+            _obs().crc_failures.inc(len(crc_bad))
             detail = f"crc32 mismatch in {', '.join(crc_bad)}"
             if policy == POLICY_STRICT:
                 raise CorruptionError(f"{self.path}: switch log for core {core}: {detail}")
@@ -767,6 +785,7 @@ class TraceReader:
         coverage.switch_marks += lw.total_marks
         coverage.switch_marks_dropped += lw.dropped_marks
         if lw.dropped_marks:
+            _obs().marks_dropped.inc(lw.dropped_marks)
             coverage.mark_degraded(lw.affected_items)
             quarantine.record(
                 Defect(

@@ -31,6 +31,7 @@ import numpy as np
 from repro.errors import ConfigError
 from repro.machine.config import MachineSpec
 from repro.machine.events import HWEvent, pebs_supports
+from repro.obs.instrumented import pipeline as _obs
 from repro.units import ns_to_cycles
 
 #: Tag-register value meaning "no data-item ID parked in the register".
@@ -139,6 +140,8 @@ class PEBSUnit:
         cost of sampling stretches the sampled function's observed elapsed
         time exactly as a real microcode assist would.
         """
+        ins = _obs()
+        ins.pebs_samples.inc(int(len(timestamps)))
         extra = 0
         for t in timestamps:
             now = int(t) + extra
@@ -149,6 +152,7 @@ class PEBSUnit:
             self._buffered += 1
             if self._buffered >= self.spec.pebs_buffer_records:
                 records = self.spec.pebs_buffer_records
+                ins.pebs_buffer_fills.inc()
                 if self.config.double_buffered:
                     extra += self._switch_cycles
                     if now < self._drain_busy_until:
@@ -157,6 +161,7 @@ class PEBSUnit:
                         stall = self._drain_busy_until - now
                         extra += stall
                         self.stall_cycles += stall
+                        ins.pebs_stall_cycles.inc(stall)
                     self._drain_busy_until = (
                         max(now, self._drain_busy_until)
                         + self._drain_cost_cycles(records)

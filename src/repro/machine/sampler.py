@@ -26,6 +26,7 @@ from repro.errors import ConfigError
 from repro.machine.config import MachineSpec
 from repro.machine.events import HWEvent
 from repro.machine.pebs import SampleArrays
+from repro.obs.instrumented import pipeline as _obs
 from repro.units import ns_to_cycles
 
 
@@ -75,7 +76,9 @@ class SoftwareSampler:
         positions within the same block by the handler time already spent —
         the target thread really was suspended for that long.
         """
+        ins = _obs()
         extra = 0
+        serviced = 0
         min_gap = max(self._handler_cycles, self._throttle_gap)
         for t in timestamps:
             t = int(t) + extra
@@ -86,7 +89,12 @@ class SoftwareSampler:
             self._ip.append(ip)
             self._tag.append(tag)
             self._busy_until = t + min_gap
+            serviced += 1
             extra += self._handler_cycles
+        if serviced:
+            ins.sw_samples.inc(serviced)
+        if serviced < len(timestamps):
+            ins.sw_dropped.inc(int(len(timestamps)) - serviced)
         return extra
 
     # -- host-side access --------------------------------------------------

@@ -1,0 +1,73 @@
+"""Self-telemetry: the tracer's own pipeline, observable.
+
+The paper argues you cannot diagnose a high-throughput system without
+low-overhead per-stage visibility; this package turns that argument on
+the reproduction itself.  Three modules:
+
+* :mod:`repro.obs.metrics` — counter/gauge/histogram primitives with a
+  process-wide thread-safe registry, HDR-style log-bucketed latency
+  histograms, and Prometheus-text + JSON exporters;
+* :mod:`repro.obs.spans` — nestable span tracing with per-span wall and
+  CPU time, a bounded ring-buffer recorder, and Chrome-trace export;
+* :mod:`repro.obs.instrumented` — the instrument bundle the pipeline's
+  hot paths poke, plus the quarantine-summary publication that keeps
+  stderr text and exported counters identical.
+
+Telemetry is **off by default**: the null registry / absent recorder
+make every instrumented call a no-op (< 5 % overhead budget, enforced
+by tests).  The CLI enables it via ``--telemetry`` / ``--trace-spans``
+/ ``repro monitor``; library users install their own::
+
+    from repro.obs import MetricsRegistry, use_registry
+
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        ingest_trace(path)
+    print(reg.to_prometheus())
+"""
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    TelemetryError,
+    get_registry,
+    parse_prometheus_text,
+    set_registry,
+    use_registry,
+)
+from repro.obs.spans import (
+    SpanRecord,
+    SpanRecorder,
+    get_recorder,
+    set_recorder,
+    span,
+    use_recorder,
+)
+from repro.obs.instrumented import PipelineInstruments, pipeline, publish_quarantine
+
+__all__ = [
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "TelemetryError",
+    "get_registry",
+    "parse_prometheus_text",
+    "set_registry",
+    "use_registry",
+    "SpanRecord",
+    "SpanRecorder",
+    "get_recorder",
+    "set_recorder",
+    "span",
+    "use_recorder",
+    "PipelineInstruments",
+    "pipeline",
+    "publish_quarantine",
+]

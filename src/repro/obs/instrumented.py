@@ -1,0 +1,233 @@
+"""The pipeline's instrument bundle: every metric the tracer emits about itself.
+
+Instrumented modules do not talk to the registry directly; they call
+:func:`pipeline` and poke the returned bundle::
+
+    from repro.obs.instrumented import pipeline
+
+    ins = pipeline()
+    ins.integ_samples.inc(n)
+
+The bundle is rebuilt (and cached) whenever the active registry changes,
+so the same call sites serve three modes with no branching:
+
+* **disabled** (default): the bundle holds the shared null instrument —
+  every ``inc``/``observe`` is an empty method call;
+* **enabled in-process** (CLI ``--telemetry``, ``repro monitor``): real
+  instruments on the installed registry, updated live;
+* **enabled across a thread pool**: same registry, same instruments —
+  all instrument mutation is lock-protected.
+
+Process pools are the documented exception: a forked worker's counters
+die with it, so :func:`repro.core.streaming.ingest_trace` publishes
+shard-level totals from the results it collects in the parent
+(`repro_ingest_*`), while the live low-level counters
+(`repro_integrator_*`, `repro_integrity_*`) reflect whatever ran in the
+publishing process.  With the CLI's default sequential ingest the two
+families agree exactly — the acceptance tests pin that.
+
+:func:`publish_quarantine` is the single source of the CLI's quarantine
+summary: it folds a :class:`~repro.core.integrity.QuarantineLog` into
+counters and renders the stderr text **from those counter values**, so
+the text and the exported metrics cannot disagree.
+"""
+
+from __future__ import annotations
+
+from repro.core.integrity import QuarantineLog
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+
+class PipelineInstruments:
+    """Pre-resolved instruments for the hot paths (one dict lookup each
+    at build time, plain attribute access afterwards)."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._registry = registry
+        self.enabled = registry.enabled
+        c, g, h = registry.counter, registry.gauge, registry.histogram
+        # -- ingest supervision (published by the parent process) --------
+        self.ingest_samples = c(
+            "repro_ingest_samples_total", "Samples integrated by ingest_trace runs"
+        )
+        self.ingest_chunks = c(
+            "repro_ingest_chunks_total", "Sample chunks consumed by ingest_trace runs"
+        )
+        self.ingest_wall = g(
+            "repro_ingest_wall_seconds", "Wall time of the most recent ingest run"
+        )
+        self.ingest_workers = g(
+            "repro_ingest_workers", "Worker count of the most recent ingest run"
+        )
+        self.shard_wait = h(
+            "repro_ingest_shard_wait_seconds",
+            "Per-shard wall time from round start to result collection",
+        )
+        self.shard_retries = c(
+            "repro_ingest_shard_retries_total", "Shard attempts beyond the first"
+        )
+        self.shard_failures = c(
+            "repro_ingest_shard_failures_total", "Shards that failed permanently"
+        )
+        self.backoff_seconds = c(
+            "repro_ingest_backoff_seconds_total", "Time slept between retry rounds"
+        )
+        self.pool_restarts = c(
+            "repro_ingest_pool_restarts_total",
+            "Fresh worker pools built for retry rounds after the first",
+        )
+        # -- reader / integrity (live, per validated chunk) --------------
+        self.chunks_validated = c(
+            "repro_integrity_chunks_validated_total",
+            "Sample chunks that passed every integrity check",
+        )
+        self.chunks_quarantined = c(
+            "repro_integrity_chunks_quarantined_total",
+            "Sample chunks dropped whole by a lenient policy",
+        )
+        self.chunks_repaired = c(
+            "repro_integrity_chunks_repaired_total",
+            "Sample chunks kept after record-level repair",
+        )
+        self.crc_failures = c(
+            "repro_integrity_crc_failures_total", "Members failing their crc32 check"
+        )
+        self.samples_dropped = c(
+            "repro_integrity_samples_dropped_total",
+            "Samples lost to quarantine or repair",
+        )
+        self.marks_dropped = c(
+            "repro_integrity_marks_dropped_total",
+            "Switch marks dropped by lenient pairing",
+        )
+        self.bytes_read = c(
+            "repro_reader_bytes_read_total", "Raw sample-column bytes decoded"
+        )
+        # -- streaming integrator (live, per feed) -----------------------
+        self.integ_samples = c(
+            "repro_integrator_samples_total", "Samples fed to StreamingIntegrator"
+        )
+        self.integ_chunks = c(
+            "repro_integrator_chunks_total", "Chunks fed to StreamingIntegrator"
+        )
+        self.feed_seconds = h(
+            "repro_integrator_feed_seconds", "Wall time of one feed() call"
+        )
+        self.windows_closed = c(
+            "repro_integrator_windows_closed_total",
+            "Data-items drained as complete by the online hand-off",
+        )
+        self.reorder_events = c(
+            "repro_integrator_reorder_events_total",
+            "Out-of-order chunks absorbed by a reorder-tolerant integrator",
+        )
+        # -- online estimator --------------------------------------------
+        self.online_items = c(
+            "repro_online_items_total", "Items observed by the online diagnoser"
+        )
+        self.online_dumped = c(
+            "repro_online_items_dumped_total", "Items whose raw samples were kept"
+        )
+        self.online_bytes_dumped = c(
+            "repro_online_bytes_dumped_total", "Raw bytes kept by the online policy"
+        )
+        self.online_bytes_discarded = c(
+            "repro_online_bytes_discarded_total", "Raw bytes the online policy saved"
+        )
+        # -- simulated machine / tracer ----------------------------------
+        self.pebs_samples = c(
+            "repro_pebs_samples_total", "Samples emitted by PEBS units"
+        )
+        self.pebs_buffer_fills = c(
+            "repro_pebs_buffer_fills_total",
+            "PEBS buffer overruns (buffer-full drain interrupts)",
+        )
+        self.pebs_stall_cycles = c(
+            "repro_pebs_stall_cycles_total",
+            "Cycles cores stalled waiting for a PEBS buffer drain",
+        )
+        self.sw_samples = c(
+            "repro_sw_samples_total", "Samples serviced by the software sampler"
+        )
+        self.sw_dropped = c(
+            "repro_sw_samples_dropped_total",
+            "Overflows lost while the software handler was busy",
+        )
+        self.marks = c(
+            "repro_marks_total", "Marking-function calls (two per data-item)"
+        )
+
+    # Per-core children resolve through the registry (get-or-create is a
+    # locked dict hit — fine at per-shard and per-chunk frequency).
+    def shard_samples(self, core: int):
+        return self._registry.counter(
+            "repro_ingest_shard_samples_total",
+            "Samples integrated per core-shard",
+            core=str(core),
+        )
+
+    def shard_chunks(self, core: int):
+        return self._registry.counter(
+            "repro_ingest_shard_chunks_total",
+            "Chunks consumed per core-shard",
+            core=str(core),
+        )
+
+
+_cached: PipelineInstruments | None = None
+_cached_registry: MetricsRegistry | None = None
+
+
+def pipeline() -> PipelineInstruments:
+    """The instrument bundle for the active registry (cached per registry)."""
+    global _cached, _cached_registry
+    registry = get_registry()
+    if registry is not _cached_registry:
+        _cached = PipelineInstruments(registry)
+        _cached_registry = registry
+    return _cached  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Quarantine publication: one source for stderr text and exported counters
+
+
+def publish_quarantine(
+    log: QuarantineLog, registry: MetricsRegistry | None = None
+) -> str:
+    """Fold a quarantine log into counters; render the summary *from them*.
+
+    When the active registry is enabled the counters land there (and in
+    any subsequent ``--telemetry`` export); when telemetry is off the
+    same code runs against a private throwaway registry, so the stderr
+    text is byte-identical either way — and always equal to whatever a
+    telemetry export would say.
+    """
+    reg = registry if registry is not None else get_registry()
+    if not reg.enabled:
+        reg = MetricsRegistry()
+    samples_lost = reg.counter(
+        "repro_quarantine_samples_lost_total", "Samples lost across all defects"
+    )
+    marks_lost = reg.counter(
+        "repro_quarantine_marks_lost_total", "Switch marks lost across all defects"
+    )
+    by_kind: dict[str, float] = {}
+    for d in log.defects:
+        kc = reg.counter(
+            "repro_quarantine_defects_total", "Defects survived, by kind", kind=d.kind
+        )
+        kc.inc()
+        by_kind[d.kind] = kc.value
+    samples_lost.inc(log.samples_lost)
+    marks_lost.inc(log.marks_lost)
+    n_defects = int(sum(by_kind.values())) if by_kind else 0
+    if n_defects == 0:
+        return "quarantine: no defects"
+    lines = [
+        f"quarantine: {n_defects} defect(s), "
+        f"{int(samples_lost.value)} sample(s) and "
+        f"{int(marks_lost.value)} switch mark(s) lost"
+    ]
+    lines.extend("  " + d.describe() for d in log.defects)
+    return "\n".join(lines)

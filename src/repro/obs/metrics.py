@@ -1,0 +1,525 @@
+"""Low-overhead metric primitives for the tracer's own pipeline.
+
+The paper's thesis is that a high-throughput system cannot be diagnosed
+without low-overhead per-stage visibility; this module applies that
+standard to the reproduction itself.  Three instrument kinds cover the
+pipeline's needs:
+
+* :class:`Counter` — monotonically increasing totals (samples ingested,
+  chunks quarantined, shard retries);
+* :class:`Gauge` — last-write-wins values (ingest wall time, worker
+  count);
+* :class:`Histogram` — HDR-style *log-bucketed* latency distributions.
+  Bucket boundaries grow geometrically (``2 ** (1/16)`` per bucket, i.e.
+  16 sub-buckets per octave), so any observation is representable with a
+  bounded ~4.4 % relative error using a handful of integer cells instead
+  of storing every observation — the same trick HdrHistogram uses to
+  keep recording O(1) and export O(buckets).
+
+All instruments are process-wide and thread-safe: a mutating operation
+takes the instrument's own lock (never the registry lock), so concurrent
+ingest workers on a thread pool can hammer the same counter without
+losing increments.
+
+The **null registry** is the zero-cost-when-disabled half of the design:
+:func:`get_registry` returns :data:`NULL_REGISTRY` unless a caller
+installed a real one, and the null registry hands out shared no-op
+instruments.  Instrumented code therefore never branches on "is
+telemetry on" — it always calls ``.inc()`` / ``.observe()`` — and pays
+only an attribute lookup plus an empty method call when telemetry is
+off (bounded well under the 5 % overhead budget; see
+``tests/obs/test_instrumented.py``).
+
+Exporters speak the two formats the satellite tooling expects:
+Prometheus text exposition (:meth:`MetricsRegistry.to_prometheus`) and
+JSON (:meth:`MetricsRegistry.to_json`).  :func:`parse_prometheus_text`
+is the tiny validating parser CI uses to check the exposition really is
+well-formed Prometheus text.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from contextlib import contextmanager
+
+from repro.errors import ReproError
+
+#: Sub-buckets per power of two: relative bucket width 2**(1/16)-1 = 4.4%.
+BUCKETS_PER_OCTAVE = 16
+_LOG2_SCALE = BUCKETS_PER_OCTAVE / math.log(2.0)
+
+#: Bucket index used for observations <= 0 (durations can round to zero).
+_ZERO_BUCKET = -(2**31)
+
+
+class TelemetryError(ReproError):
+    """Misuse of the metrics registry (kind conflict, bad name)."""
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _label_key(labels: dict[str, str]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _render_labels(labels: tuple[tuple[str, str], ...]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n"))
+        for k, v in labels
+    )
+    return "{" + body + "}"
+
+
+def _fmt(v: float) -> str:
+    """Prometheus sample-value formatting: integers stay integral."""
+    f = float(v)
+    if f == int(f) and abs(f) < 2**53:
+        return str(int(f))
+    return repr(f)
+
+
+class Counter:
+    """Monotonic counter.  ``inc`` is thread-safe; negative deltas raise."""
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        if delta < 0:
+            raise TelemetryError(f"counter {self.name} cannot decrease ({delta})")
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """Last-write-wins value; also supports inc/dec for level tracking."""
+
+    __slots__ = ("name", "help", "labels", "_lock", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, delta: float = 1.0) -> None:
+        with self._lock:
+            self._value += delta
+
+    def dec(self, delta: float = 1.0) -> None:
+        self.inc(-delta)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Log-bucketed (HDR-style) distribution of non-negative observations.
+
+    Observations land in geometric buckets indexed by
+    ``floor(log2(v) * BUCKETS_PER_OCTAVE)``; recording is a dict
+    increment under the instrument lock.  Quantiles are answered from
+    the bucket counts with a bounded relative error of one bucket width
+    (~4.4 %), clamped to the exact observed min/max.
+    """
+
+    __slots__ = (
+        "name", "help", "labels", "_lock", "_buckets",
+        "_count", "_sum", "_min", "_max",
+    )
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str, labels: tuple[tuple[str, str], ...]):
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._buckets: dict[int, int] = {}
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    @staticmethod
+    def bucket_index(value: float) -> int:
+        if value <= 0.0:
+            return _ZERO_BUCKET
+        return math.floor(math.log(value) * _LOG2_SCALE)
+
+    @staticmethod
+    def bucket_upper(idx: int) -> float:
+        if idx == _ZERO_BUCKET:
+            return 0.0
+        return 2.0 ** ((idx + 1) / BUCKETS_PER_OCTAVE)
+
+    def observe(self, value: float) -> None:
+        v = float(value)
+        idx = self.bucket_index(v)
+        with self._lock:
+            self._buckets[idx] = self._buckets.get(idx, 0) + 1
+            self._count += 1
+            self._sum += v
+            if v < self._min:
+                self._min = v
+            if v > self._max:
+                self._max = v
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def min(self) -> float:
+        return self._min if self._count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` (0..100), within one bucket width."""
+        if not 0.0 <= p <= 100.0:
+            raise TelemetryError(f"percentile must be in [0, 100], got {p}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = p / 100.0 * self._count
+            seen = 0
+            for idx in sorted(self._buckets):
+                seen += self._buckets[idx]
+                if seen >= rank:
+                    if idx == _ZERO_BUCKET:
+                        return max(0.0, self._min)
+                    # Geometric bucket midpoint, clamped to observed range.
+                    mid = 2.0 ** ((idx + 0.5) / BUCKETS_PER_OCTAVE)
+                    return min(max(mid, self._min), self._max)
+            return self._max
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs for Prometheus export."""
+        out: list[tuple[float, int]] = []
+        with self._lock:
+            cum = 0
+            for idx in sorted(self._buckets):
+                cum += self._buckets[idx]
+                out.append((self.bucket_upper(idx), cum))
+        return out
+
+
+class _NullInstrument:
+    """Shared no-op standing in for every instrument kind when disabled."""
+
+    __slots__ = ()
+
+    name = "null"
+    help = ""
+    labels: tuple = ()
+    kind = "null"
+    count = 0
+    sum = 0.0
+    min = 0.0
+    max = 0.0
+    value = 0.0
+
+    def inc(self, delta: float = 1.0) -> None:
+        pass
+
+    def dec(self, delta: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, p: float) -> float:
+        return 0.0
+
+    def cumulative_buckets(self) -> list:
+        return []
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Process-wide, thread-safe get-or-create store of instruments.
+
+    Instruments are identified by ``(name, labels)``; asking twice for
+    the same identity returns the same object, and asking for the same
+    name with a different *kind* raises — a name means one thing.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[tuple[str, tuple[tuple[str, str], ...]], object] = {}
+        self._kinds: dict[str, str] = {}
+        self._help: dict[str, str] = {}
+
+    def _get(self, cls, name: str, help: str, labels: dict[str, str]):
+        if not _NAME_RE.match(name):
+            raise TelemetryError(f"invalid metric name {name!r}")
+        for k in labels:
+            if not _LABEL_NAME_RE.match(str(k)):
+                raise TelemetryError(f"invalid label name {k!r} on {name}")
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is not None:
+                if inst.kind != cls.kind:
+                    raise TelemetryError(
+                        f"metric {name!r} already registered as {inst.kind}, "
+                        f"requested {cls.kind}"
+                    )
+                return inst
+            seen = self._kinds.get(name)
+            if seen is not None and seen != cls.kind:
+                raise TelemetryError(
+                    f"metric {name!r} already registered as {seen}, "
+                    f"requested {cls.kind}"
+                )
+            inst = cls(name, help or self._help.get(name, ""), key[1])
+            self._instruments[key] = inst
+            self._kinds[name] = cls.kind
+            if help:
+                self._help[name] = help
+            return inst
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "", **labels) -> Histogram:
+        return self._get(Histogram, name, help, labels)
+
+    # -- read side -------------------------------------------------------
+    def collect(self) -> list:
+        """All instruments, grouped by name then label set (stable order)."""
+        with self._lock:
+            return [
+                self._instruments[key]
+                for key in sorted(self._instruments, key=lambda k: (k[0], k[1]))
+            ]
+
+    def value(self, name: str, default: float | None = None, **labels) -> float:
+        """Current value of a counter/gauge (tests, dashboards)."""
+        key = (name, _label_key(labels))
+        with self._lock:
+            inst = self._instruments.get(key)
+        if inst is None:
+            if default is not None:
+                return default
+            raise TelemetryError(f"no metric {name!r} with labels {labels}")
+        return inst.value
+
+    # -- exporters -------------------------------------------------------
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format, version 0.0.4."""
+        lines: list[str] = []
+        last_name = None
+        for inst in self.collect():
+            if inst.name != last_name:
+                if inst.help:
+                    lines.append(f"# HELP {inst.name} {inst.help}")
+                lines.append(f"# TYPE {inst.name} {inst.kind}")
+                last_name = inst.name
+            lbl = _render_labels(inst.labels)
+            if inst.kind == "histogram":
+                cum = 0
+                for upper, cum in inst.cumulative_buckets():
+                    le = dict(inst.labels)
+                    le["le"] = _fmt(upper)
+                    lines.append(
+                        f"{inst.name}_bucket{_render_labels(_label_key(le))} {cum}"
+                    )
+                inf = dict(inst.labels)
+                inf["le"] = "+Inf"
+                lines.append(
+                    f"{inst.name}_bucket{_render_labels(_label_key(inf))} {inst.count}"
+                )
+                lines.append(f"{inst.name}_sum{lbl} {_fmt(inst.sum)}")
+                lines.append(f"{inst.name}_count{lbl} {inst.count}")
+            else:
+                lines.append(f"{inst.name}{lbl} {_fmt(inst.value)}")
+        return "\n".join(lines) + "\n"
+
+    def to_json(self) -> dict:
+        """JSON document mirroring the Prometheus exposition."""
+        doc: dict = {"counters": [], "gauges": [], "histograms": []}
+        for inst in self.collect():
+            entry: dict = {"name": inst.name, "labels": dict(inst.labels)}
+            if inst.kind == "histogram":
+                entry.update(
+                    count=inst.count,
+                    sum=inst.sum,
+                    min=inst.min,
+                    max=inst.max,
+                    p50=inst.percentile(50),
+                    p95=inst.percentile(95),
+                    p99=inst.percentile(99),
+                )
+                doc["histograms"].append(entry)
+            elif inst.kind == "gauge":
+                entry["value"] = inst.value
+                doc["gauges"].append(entry)
+            else:
+                entry["value"] = inst.value
+                doc["counters"].append(entry)
+        return doc
+
+    def dump(self, path) -> None:
+        """Write the registry to ``path``: ``.json`` or Prometheus text."""
+        text = (
+            json.dumps(self.to_json(), indent=2) + "\n"
+            if str(path).endswith(".json")
+            else self.to_prometheus()
+        )
+        with open(path, "w") as fh:
+            fh.write(text)
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every instrument request returns the shared no-op.
+
+    ``collect``/exporters see an empty registry, so accidentally
+    exporting a disabled registry produces an empty document rather than
+    lies.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def counter(self, name: str, help: str = "", **labels):  # type: ignore[override]
+        return NULL_INSTRUMENT
+
+    def gauge(self, name: str, help: str = "", **labels):  # type: ignore[override]
+        return NULL_INSTRUMENT
+
+    def histogram(self, name: str, help: str = "", **labels):  # type: ignore[override]
+        return NULL_INSTRUMENT
+
+
+#: The process default: telemetry off, all instruments no-ops.
+NULL_REGISTRY = NullRegistry()
+
+_active: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently installed registry (the null registry by default)."""
+    return _active
+
+
+def set_registry(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` (None restores the null registry); returns the old."""
+    global _active
+    prev = _active
+    _active = registry if registry is not None else NULL_REGISTRY
+    return prev
+
+
+@contextmanager
+def use_registry(registry: MetricsRegistry | None):
+    """Scope helper: install a registry for the duration of a block."""
+    prev = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(prev)
+
+
+# ---------------------------------------------------------------------------
+# Tiny validating parser (CI uses this to check the exposition format)
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^{}]*\})?"
+    r"\s+"
+    r"(?P<value>NaN|[+-]?Inf|[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+))"
+    r"(?:\s+\d+)?$"  # optional timestamp
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def parse_prometheus_text(text: str) -> dict[str, float]:
+    """Parse/validate Prometheus text exposition; sample -> value.
+
+    Keys are ``name{label="v",...}`` with labels sorted (bare ``name``
+    when unlabelled).  Raises :class:`ValueError` on any line that is
+    neither a well-formed comment nor a well-formed sample — this is the
+    CI smoke check that the exporter speaks real Prometheus.
+    """
+    samples: dict[str, float] = {}
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] in ("HELP", "TYPE"):
+                if len(parts) < 3 or not _NAME_RE.match(parts[2]):
+                    raise ValueError(f"line {lineno}: malformed {parts[1]} comment: {raw!r}")
+                if parts[1] == "TYPE" and (len(parts) < 4 or parts[3] not in _TYPES):
+                    raise ValueError(f"line {lineno}: unknown metric type: {raw!r}")
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: not a valid Prometheus sample: {raw!r}")
+        labels = {}
+        if m.group("labels"):
+            body = m.group("labels")[1:-1]
+            pos = 0
+            while pos < len(body):
+                lm = _LABEL_RE.match(body, pos)
+                if lm is None:
+                    raise ValueError(f"line {lineno}: malformed labels: {raw!r}")
+                labels[lm.group(1)] = lm.group(2)
+                pos = lm.end()
+                if pos < len(body):
+                    if body[pos] != ",":
+                        raise ValueError(f"line {lineno}: malformed labels: {raw!r}")
+                    pos += 1
+        key = m.group("name") + _render_labels(_label_key(labels))
+        v = m.group("value")
+        samples[key] = float(v.replace("Inf", "inf"))
+    return samples

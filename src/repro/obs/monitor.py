@@ -1,0 +1,127 @@
+"""Live dashboard over the tracer's own telemetry (`repro monitor`).
+
+The monitor runs a streaming ingest of a trace file on a background
+thread with a real metrics registry installed, and repaints a small
+dashboard from that registry on the foreground thread — the same
+counters `--telemetry` would export, watched live.  Because the refresh
+loop only *reads* the registry (every instrument mutation is
+lock-protected), the ingest thread never waits on the display.
+
+On a TTY each frame redraws in place with ANSI cursor control; when
+stdout is a pipe the monitor prints one plain snapshot per interval, so
+``repro monitor trace.npz | tee log`` degrades gracefully.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+#: Dashboard rows: (label, metric name, is_rate).  Rates are computed
+#: from the delta between consecutive frames.
+_ROWS: list[tuple[str, str, bool]] = [
+    ("samples integrated", "repro_integrator_samples_total", True),
+    ("chunks integrated", "repro_integrator_chunks_total", True),
+    ("windows closed", "repro_integrator_windows_closed_total", True),
+    ("reorder events", "repro_integrator_reorder_events_total", False),
+    ("chunks validated", "repro_integrity_chunks_validated_total", False),
+    ("chunks quarantined", "repro_integrity_chunks_quarantined_total", False),
+    ("chunks repaired", "repro_integrity_chunks_repaired_total", False),
+    ("crc failures", "repro_integrity_crc_failures_total", False),
+    ("bytes read", "repro_reader_bytes_read_total", True),
+    ("shard retries", "repro_ingest_shard_retries_total", False),
+    ("shard failures", "repro_ingest_shard_failures_total", False),
+    ("online items", "repro_online_items_total", True),
+    ("online items dumped", "repro_online_items_dumped_total", False),
+]
+
+
+def _snapshot(reg: MetricsRegistry) -> dict[str, float]:
+    return {name: reg.value(name, default=0.0) for _, name, _ in _ROWS}
+
+
+def render_frame(
+    reg: MetricsRegistry,
+    prev: dict[str, float],
+    dt: float,
+    *,
+    done: bool,
+) -> tuple[str, dict[str, float]]:
+    """One dashboard frame; returns (text, snapshot for the next delta)."""
+    cur = _snapshot(reg)
+    width = max(len(label) for label, _, _ in _ROWS)
+    lines = []
+    for label, name, is_rate in _ROWS:
+        v = cur[name]
+        line = f"  {label:<{width}}  {v:>14,.0f}"
+        if is_rate and dt > 0 and not done:
+            line += f"  ({(v - prev.get(name, 0.0)) / dt:>12,.0f}/s)"
+        lines.append(line)
+    header = "repro monitor — ingest " + ("finished" if done else "running")
+    return header + "\n" + "\n".join(lines), cur
+
+
+def run_monitor(tracefile, args) -> int:
+    """Ingest ``tracefile`` on a worker thread; repaint until it finishes.
+
+    The ingest runs sequentially (``workers=1``) so every low-level
+    counter updates in this process and the dashboard sees it live.
+    Returns 0, or re-raises the ingest error in the caller's thread so
+    the CLI maps it to its usual exit codes.
+    """
+    from repro.core.streaming import ingest_trace
+
+    reg = MetricsRegistry()
+    failure: list[BaseException] = []
+    result: list = []
+
+    def _ingest() -> None:
+        try:
+            result.append(
+                ingest_trace(
+                    tracefile,
+                    chunk_size=args.chunk_size,
+                    workers=1,
+                    on_corruption=args.on_corruption,
+                )
+            )
+        except BaseException as exc:  # noqa: BLE001 — re-raised in main thread
+            failure.append(exc)
+
+    tty = sys.stdout.isatty()
+    prev: dict[str, float] = {}
+    t_prev = time.perf_counter()
+    n_lines = len(_ROWS) + 1
+    with use_registry(reg):
+        worker = threading.Thread(target=_ingest, name="repro-monitor-ingest")
+        worker.start()
+        first = True
+        while True:
+            worker.join(timeout=args.interval)
+            done = not worker.is_alive()
+            now = time.perf_counter()
+            frame, prev = render_frame(reg, prev, now - t_prev, done=done)
+            t_prev = now
+            if tty and not first:
+                # Repaint in place: up over the previous frame, clear down.
+                sys.stdout.write(f"\x1b[{n_lines}A\x1b[0J")
+            sys.stdout.write(frame + "\n")
+            sys.stdout.flush()
+            first = False
+            if done:
+                break
+    if failure:
+        raise failure[0]
+    res = result[0]
+    print(
+        f"ingested {res.stats.samples} samples from "
+        f"{len(res.per_core)} core(s) in {res.stats.wall_s:.2f}s "
+        f"({res.stats.mb_per_s:.1f} MB/s)"
+    )
+    if args.telemetry:
+        reg.dump(args.telemetry)
+        print(f"telemetry written to {args.telemetry}")
+    return 0

@@ -1,0 +1,212 @@
+"""Nestable span tracing for the tracer's own pipeline stages.
+
+Where :mod:`repro.obs.metrics` answers "how many / how fast overall",
+spans answer "where did *this* run's wall time go": every instrumented
+stage (`ingest.trace`, `ingest.core`, `integrate.core`, …) opens a span
+that records wall time (``perf_counter_ns``) **and** CPU time
+(``thread_time_ns``), so a stage that is slow because it waits (queue
+wait, pool fork) is distinguishable from one that is slow because it
+computes — the same waiting-vs-working distinction DepGraph draws for
+multi-core bottlenecks.
+
+Usage::
+
+    with span("ingest.shard", core=3):
+        ...
+
+Spans nest through a per-thread stack (the depth is recorded), and land
+in a fixed-capacity :class:`SpanRecorder` **ring buffer** — recording is
+O(1), memory is bounded, and a long run simply keeps the newest spans,
+counting what it overwrote in :attr:`SpanRecorder.dropped`.
+
+Like the metrics side, span recording is zero-cost-when-disabled: with
+no recorder installed (:func:`set_recorder`), ``span()`` returns a
+context manager whose enter/exit do nothing — no clock reads, no
+allocation beyond the handle.
+
+Export reuses the Chrome trace-event conventions of
+:mod:`repro.analysis.export` (one ``X`` event per span, rows named per
+thread), so the tracer's self-profile opens in the same Perfetto UI as
+the workload traces it produces.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+#: Default ring capacity: bounded, but comfortably above one ingest run's
+#: span count at default chunk sizes.
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    #: ``perf_counter_ns`` at entry (monotonic, process-local).
+    t_start_ns: int
+    wall_ns: int
+    #: CPU time the recording thread spent inside the span.
+    cpu_ns: int
+    thread_id: int
+    #: Nesting depth at entry (0 = top-level span on its thread).
+    depth: int
+    attrs: tuple[tuple[str, str], ...] = ()
+
+
+class SpanRecorder:
+    """Fixed-capacity ring buffer of :class:`SpanRecord`.
+
+    ``record`` overwrites the oldest entry once full; ``spans`` returns
+    the survivors oldest-first; ``dropped`` counts the overwritten.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._buf: list[SpanRecord | None] = [None] * capacity
+        self._pos = 0
+
+    def record(self, rec: SpanRecord) -> None:
+        with self._lock:
+            self._buf[self._pos % self.capacity] = rec
+            self._pos += 1
+
+    def __len__(self) -> int:
+        return min(self._pos, self.capacity)
+
+    @property
+    def total_recorded(self) -> int:
+        return self._pos
+
+    @property
+    def dropped(self) -> int:
+        return max(0, self._pos - self.capacity)
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        with self._lock:
+            if self._pos <= self.capacity:
+                return [r for r in self._buf[: self._pos] if r is not None]
+            head = self._pos % self.capacity
+            return [r for r in self._buf[head:] + self._buf[:head] if r is not None]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._buf = [None] * self.capacity
+            self._pos = 0
+
+    # -- export ----------------------------------------------------------
+    def to_chrome_trace(self) -> dict:
+        """Chrome trace-event JSON of the recorded spans (ts in us)."""
+        # Imported lazily: export pulls in the integration layers, and
+        # this module must stay importable from anywhere in the package
+        # (the machine layer imports obs for its counters).
+        from repro.analysis.export import chrome_doc, thread_name_event
+
+        spans = self.spans
+        events: list[dict] = []
+        tids: dict[int, int] = {}
+        base = min((s.t_start_ns for s in spans), default=0)
+        for s in spans:
+            tid = tids.setdefault(s.thread_id, len(tids))
+            events.append(
+                {
+                    "name": s.name,
+                    "cat": "repro.obs",
+                    "ph": "X",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": (s.t_start_ns - base) / 1_000.0,
+                    "dur": s.wall_ns / 1_000.0,
+                    "args": {
+                        **dict(s.attrs),
+                        "cpu_us": s.cpu_ns / 1_000.0,
+                        "depth": s.depth,
+                    },
+                }
+            )
+        for thread_id, tid in tids.items():
+            events.append(thread_name_event(1, tid, f"thread {thread_id}"))
+        return chrome_doc(events)
+
+    def write(self, path: str | pathlib.Path) -> None:
+        pathlib.Path(path).write_text(json.dumps(self.to_chrome_trace()))
+
+
+_recorder: SpanRecorder | None = None
+_tls = threading.local()
+
+
+def get_recorder() -> SpanRecorder | None:
+    return _recorder
+
+
+def set_recorder(recorder: SpanRecorder | None) -> SpanRecorder | None:
+    """Install (or, with None, remove) the active recorder; returns the old."""
+    global _recorder
+    prev = _recorder
+    _recorder = recorder
+    return prev
+
+
+@contextmanager
+def use_recorder(recorder: SpanRecorder | None):
+    prev = set_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_recorder(prev)
+
+
+class _SpanHandle:
+    """Class-based context manager: cheaper than a generator, and the
+    no-recorder path touches no clocks at all."""
+
+    __slots__ = ("_rec", "_name", "_attrs", "_t0", "_c0", "_depth")
+
+    def __init__(self, rec: SpanRecorder | None, name: str, attrs: dict) -> None:
+        self._rec = rec
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_SpanHandle":
+        if self._rec is None:
+            return self
+        depth = getattr(_tls, "depth", 0)
+        _tls.depth = depth + 1
+        self._depth = depth
+        self._t0 = time.perf_counter_ns()
+        self._c0 = time.thread_time_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        if self._rec is not None:
+            wall = time.perf_counter_ns() - self._t0
+            cpu = time.thread_time_ns() - self._c0
+            _tls.depth = self._depth
+            self._rec.record(
+                SpanRecord(
+                    name=self._name,
+                    t_start_ns=self._t0,
+                    wall_ns=wall,
+                    cpu_ns=cpu,
+                    thread_id=threading.get_ident(),
+                    depth=self._depth,
+                    attrs=tuple((str(k), str(v)) for k, v in self._attrs.items()),
+                )
+            )
+        return False
+
+
+def span(name: str, **attrs) -> _SpanHandle:
+    """Open a span on the active recorder (no-op when none is installed)."""
+    return _SpanHandle(_recorder, name, attrs)

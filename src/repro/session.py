@@ -24,6 +24,7 @@ from repro.machine.config import SKYLAKE_LIKE, MachineSpec
 from repro.machine.events import HWEvent
 from repro.machine.machine import Machine
 from repro.machine.pebs import PEBSConfig, PEBSUnit
+from repro.obs.spans import span
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.thread import AppThread
 
@@ -121,11 +122,13 @@ def trace(
     tracer = MarkingTracer(
         mark_ip=app.mark_ip, cost_ns=mark_cost_ns, freq_ghz=spec.freq_ghz
     )
-    Scheduler(machine, threads, tracer=tracer, lockstep=lockstep).run()
-    traces = {
-        c: integrate(unit.finalize(), tracer.records_for_core(c), app.symtab)
-        for c, unit in units.items()
-    }
+    with span("session.schedule", threads=len(threads), cores=n_cores):
+        Scheduler(machine, threads, tracer=tracer, lockstep=lockstep).run()
+    with span("session.integrate", cores=len(units)):
+        traces = {
+            c: integrate(unit.finalize(), tracer.records_for_core(c), app.symtab)
+            for c, unit in units.items()
+        }
     return TraceSession(
         machine=machine, tracer=tracer, units=units, traces=traces, symtab=app.symtab
     )

@@ -1,0 +1,169 @@
+"""End-to-end CLI telemetry: --telemetry/--trace-spans, monitor, exit codes.
+
+Subprocess tests (same harness as ``test_cli_stream.py``): the telemetry
+flags must export metrics that exactly match the report's own numbers,
+must not change the report output, and `repro monitor` must run a live
+ingest to completion.  The exit-code contract (3 = trace data, 2 = usage)
+is pinned against both the ``--help`` epilog and the README.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import subprocess
+import sys
+
+import pytest
+
+from repro.obs.metrics import parse_prometheus_text
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+SRC = str(REPO / "src")
+GOLDEN = REPO / "tests" / "data" / "golden_a.npz"
+
+
+def repro_cmd(*args: str, cwd) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *args],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+@pytest.fixture(scope="module")
+def workdir(tmp_path_factory):
+    return tmp_path_factory.mktemp("cli_telemetry")
+
+
+def test_report_stream_telemetry_matches_report(workdir):
+    proc = repro_cmd(
+        "report", str(GOLDEN), "--stream", "--telemetry", "out.prom", cwd=workdir
+    )
+    assert proc.returncode == 0, proc.stderr
+    text = (workdir / "out.prom").read_text()
+    samples = parse_prometheus_text(text)  # must be valid Prometheus
+
+    # The ingest report prints its sample count; the exported ingest,
+    # integrator, and integrity counters must all agree with it exactly.
+    m = re.search(r"^\s*samples\s+([\d,]+)\s*$", proc.stdout, re.MULTILINE)
+    assert m, proc.stdout
+    n_samples = int(m.group(1).replace(",", ""))
+    assert samples["repro_ingest_samples_total"] == n_samples
+    assert samples["repro_integrator_samples_total"] == n_samples
+    assert samples['repro_ingest_shard_samples_total{core="0"}'] == n_samples
+    assert samples["repro_integrity_chunks_validated_total"] >= 1
+    assert samples["repro_integrity_chunks_quarantined_total"] == 0
+    assert samples["repro_reader_bytes_read_total"] == n_samples * 24
+    assert samples["repro_integrator_feed_seconds_count"] >= 1
+
+
+def test_telemetry_flag_does_not_change_output(workdir):
+    with_flag = repro_cmd(
+        "report", str(GOLDEN), "--stream", "--telemetry", "t2.prom", cwd=workdir
+    )
+    without = repro_cmd("report", str(GOLDEN), "--stream", cwd=workdir)
+    assert with_flag.returncode == without.returncode == 0
+
+    def stable(out: str) -> str:
+        # Drop the two wall-clock-dependent report lines.
+        return "\n".join(
+            ln
+            for ln in out.splitlines()
+            if "wall time" not in ln and "throughput" not in ln
+        )
+
+    assert stable(with_flag.stdout) == stable(without.stdout)
+    assert with_flag.stderr == without.stderr
+
+
+def test_telemetry_json_export(workdir):
+    proc = repro_cmd(
+        "report", str(GOLDEN), "--stream", "--telemetry", "out.json", cwd=workdir
+    )
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads((workdir / "out.json").read_text())
+    names = {c["name"] for c in doc["counters"]}
+    assert "repro_ingest_samples_total" in names
+    assert any(h["name"] == "repro_integrator_feed_seconds" for h in doc["histograms"])
+
+
+def test_trace_spans_export(workdir):
+    proc = repro_cmd(
+        "report", str(GOLDEN), "--stream", "--trace-spans", "spans.json", cwd=workdir
+    )
+    assert proc.returncode == 0, proc.stderr
+    doc = json.loads((workdir / "spans.json").read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert {"ingest.stream", "ingest.core", "ingest.merge"} <= names
+
+
+def test_run_with_telemetry(workdir):
+    proc = repro_cmd(
+        "run",
+        "--workload", "sampleapp",
+        "--out", "t.npz",
+        "--chunk-size", "128",
+        "--telemetry", "run.prom",
+        cwd=workdir,
+    )
+    assert proc.returncode == 0, proc.stderr
+    samples = parse_prometheus_text((workdir / "run.prom").read_text())
+    m = re.search(r"traced sampleapp: (\d+) samples, (\d+) marking calls", proc.stdout)
+    assert m, proc.stdout
+    assert samples["repro_pebs_samples_total"] == int(m.group(1))
+    assert samples["repro_marks_total"] == int(m.group(2))
+
+
+def test_monitor_runs_to_completion(workdir):
+    proc = repro_cmd(
+        "monitor", str(GOLDEN), "--interval", "0.1", "--telemetry", "mon.prom",
+        cwd=workdir,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "ingest finished" in proc.stdout
+    assert "samples integrated" in proc.stdout
+    samples = parse_prometheus_text((workdir / "mon.prom").read_text())
+    assert samples["repro_integrator_samples_total"] > 0
+
+
+def test_monitor_missing_file_exits_3(workdir):
+    proc = repro_cmd("monitor", "no_such.npz", cwd=workdir)
+    assert proc.returncode == 3
+    assert "trace error" in proc.stderr
+
+
+# -- exit-code contract (docs + behaviour pinned together) -------------------
+
+
+def test_report_help_documents_exit_codes(workdir):
+    proc = repro_cmd("report", "--help", cwd=workdir)
+    assert proc.returncode == 0
+    assert "exit codes:" in proc.stdout
+    assert "3  trace-data error" in proc.stdout
+    assert "2  usage or package error" in proc.stdout
+
+
+def test_readme_documents_exit_codes():
+    readme = (REPO / "README.md").read_text()
+    assert "exits **3** for trace-data problems" in readme
+    assert "**2** for anything else" in readme
+
+
+def test_exit_code_2_for_usage_error(workdir):
+    proc = repro_cmd("report", cwd=workdir)  # missing tracefile operand
+    assert proc.returncode == 2
+
+
+def test_exit_code_3_for_trace_error(workdir):
+    proc = repro_cmd("report", "missing.npz", "--stream", cwd=workdir)
+    assert proc.returncode == 3
+    assert "trace error" in proc.stderr

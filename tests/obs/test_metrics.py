@@ -1,0 +1,195 @@
+"""Unit tests for the metrics primitives, registry, and exporters."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    TelemetryError,
+    get_registry,
+    parse_prometheus_text,
+    use_registry,
+)
+
+
+def test_counter_inc_and_value():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_total", "help")
+    c.inc()
+    c.inc(41)
+    assert c.value == 42
+    assert reg.value("repro_test_total") == 42
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    c = reg.counter("repro_test_total", "help")
+    with pytest.raises(TelemetryError):
+        c.inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    reg = MetricsRegistry()
+    g = reg.gauge("repro_test_gauge", "help")
+    g.set(10)
+    g.inc(5)
+    g.dec(3)
+    assert g.value == 12
+
+
+def test_labeled_children_are_distinct():
+    reg = MetricsRegistry()
+    a = reg.counter("repro_shard_total", "help", core="0")
+    b = reg.counter("repro_shard_total", "help", core="1")
+    a.inc(3)
+    b.inc(7)
+    assert reg.value("repro_shard_total", core="0") == 3
+    assert reg.value("repro_shard_total", core="1") == 7
+    # Same name+labels returns the same instrument.
+    assert reg.counter("repro_shard_total", "help", core="0") is a
+
+
+def test_name_kind_conflict_raises():
+    reg = MetricsRegistry()
+    reg.counter("repro_thing_total", "help")
+    with pytest.raises(TelemetryError):
+        reg.gauge("repro_thing_total", "help")
+
+
+def test_value_unknown_metric():
+    reg = MetricsRegistry()
+    with pytest.raises(TelemetryError):
+        reg.value("repro_absent_total")
+    assert reg.value("repro_absent_total", default=0.0) == 0.0
+
+
+def test_registry_thread_safety():
+    """8 threads x 10k incs on shared instruments: no update lost."""
+    reg = MetricsRegistry()
+    c = reg.counter("repro_contended_total", "help")
+    h = reg.histogram("repro_contended_seconds", "help")
+    n_threads, per_thread = 8, 10_000
+
+    def hammer(tid: int) -> None:
+        lc = reg.counter("repro_contended_total", "help")
+        for i in range(per_thread):
+            lc.inc()
+            h.observe(0.001 * (1 + (i + tid) % 7))
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert c.value == n_threads * per_thread
+    assert h.count == n_threads * per_thread
+
+
+def test_histogram_percentiles_vs_numpy():
+    """Log-bucketed percentiles land within 5% of numpy's exact answer."""
+    rng = np.random.default_rng(7)
+    values = rng.lognormal(mean=-6.0, sigma=1.0, size=5_000)
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_lat_seconds", "help")
+    for v in values:
+        h.observe(float(v))
+    for q in (50, 95, 99):
+        exact = float(np.percentile(values, q))
+        approx = h.percentile(q)
+        assert approx == pytest.approx(exact, rel=0.05), q
+    assert h.min == pytest.approx(values.min())
+    assert h.max == pytest.approx(values.max())
+    assert h.sum == pytest.approx(values.sum(), rel=1e-9)
+
+
+def test_histogram_zero_observations_land_in_zero_bucket():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_lat_seconds", "help")
+    h.observe(0.0)
+    h.observe(0.5)
+    assert h.count == 2
+    assert h.percentile(0) == 0.0
+    assert h.percentile(100) == pytest.approx(0.5)
+
+
+def test_prometheus_round_trip():
+    reg = MetricsRegistry()
+    reg.counter("repro_a_total", "a counter", core="3").inc(5)
+    reg.gauge("repro_b", "a gauge").set(2.5)
+    h = reg.histogram("repro_c_seconds", "a histogram")
+    h.observe(0.004)
+    h.observe(0.019)
+    text = reg.to_prometheus()
+    samples = parse_prometheus_text(text)
+    assert samples['repro_a_total{core="3"}'] == 5
+    assert samples["repro_b"] == 2.5
+    assert samples["repro_c_seconds_count"] == 2
+    assert samples["repro_c_seconds_sum"] == pytest.approx(0.023)
+    # Histogram buckets are cumulative and end at +Inf.
+    assert samples['repro_c_seconds_bucket{le="+Inf"}'] == 2
+
+
+def test_parse_rejects_malformed():
+    for bad in (
+        "repro_x_total 1 2 3\n",
+        "repro x 1\n",
+        'repro_x_total{core="0" 1\n',
+        "# TYPE repro_x_total nonsense\n",
+        'repro_x_total{core=0} 1\n',
+    ):
+        with pytest.raises(ValueError):
+            parse_prometheus_text(bad)
+
+
+def test_json_export_shape():
+    reg = MetricsRegistry()
+    reg.counter("repro_a_total", "a").inc(1)
+    h = reg.histogram("repro_c_seconds", "c")
+    h.observe(0.5)
+    doc = json.loads(json.dumps(reg.to_json()))
+    assert doc["counters"][0]["name"] == "repro_a_total"
+    hist = doc["histograms"][0]
+    assert hist["count"] == 1
+    assert "p99" in hist
+
+
+def test_dump_by_extension(tmp_path):
+    reg = MetricsRegistry()
+    reg.counter("repro_a_total", "a").inc(1)
+    prom, js = tmp_path / "m.prom", tmp_path / "m.json"
+    reg.dump(prom)
+    reg.dump(js)
+    parse_prometheus_text(prom.read_text())
+    assert json.loads(js.read_text())["counters"]
+
+
+def test_null_registry_is_inert():
+    assert isinstance(NULL_REGISTRY, NullRegistry)
+    assert not NULL_REGISTRY.enabled
+    c = NULL_REGISTRY.counter("repro_whatever_total", "help")
+    c.inc(5)
+    c.observe(1.0)
+    c.set(2.0)
+    assert NULL_REGISTRY.collect() == []
+    assert NULL_REGISTRY.to_prometheus().strip() == ""
+
+
+def test_use_registry_restores_previous():
+    assert get_registry() is NULL_REGISTRY
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        assert get_registry() is reg
+        inner = MetricsRegistry()
+        with use_registry(inner):
+            assert get_registry() is inner
+        assert get_registry() is reg
+    assert get_registry() is NULL_REGISTRY

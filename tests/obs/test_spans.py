@@ -1,0 +1,138 @@
+"""Unit tests for span tracing: nesting, ring buffer, Chrome export."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.spans import (
+    SpanRecord,
+    SpanRecorder,
+    get_recorder,
+    set_recorder,
+    span,
+    use_recorder,
+)
+
+
+def test_span_records_wall_and_cpu():
+    rec = SpanRecorder()
+    with use_recorder(rec):
+        with span("work", core=3):
+            sum(range(10_000))
+    (s,) = rec.spans
+    assert s.name == "work"
+    assert s.wall_ns > 0
+    assert s.cpu_ns >= 0
+    assert s.depth == 0
+    assert dict(s.attrs) == {"core": "3"}
+
+
+def test_span_nesting_depths():
+    rec = SpanRecorder()
+    with use_recorder(rec):
+        with span("outer"):
+            with span("mid"):
+                with span("inner"):
+                    pass
+            with span("mid2"):
+                pass
+    by_name = {s.name: s for s in rec.spans}
+    assert by_name["outer"].depth == 0
+    assert by_name["mid"].depth == 1
+    assert by_name["inner"].depth == 2
+    assert by_name["mid2"].depth == 1
+    # Exit order: innermost spans close (and record) first.
+    assert [s.name for s in rec.spans] == ["inner", "mid", "mid2", "outer"]
+
+
+def test_no_recorder_is_noop():
+    assert get_recorder() is None
+    with span("anything", core=1):
+        pass  # must not raise, must not record anywhere
+
+
+def test_ring_buffer_wraparound():
+    rec = SpanRecorder(capacity=8)
+    with use_recorder(rec):
+        for i in range(20):
+            with span(f"s{i}"):
+                pass
+    assert len(rec) == 8
+    assert rec.total_recorded == 20
+    assert rec.dropped == 12
+    # The survivors are the newest 8, oldest-first.
+    assert [s.name for s in rec.spans] == [f"s{i}" for i in range(12, 20)]
+
+
+def test_recorder_clear():
+    rec = SpanRecorder(capacity=4)
+    with use_recorder(rec):
+        with span("a"):
+            pass
+    rec.clear()
+    assert len(rec) == 0
+    assert rec.dropped == 0
+    assert rec.spans == []
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        SpanRecorder(capacity=0)
+
+
+def test_spans_across_threads_record_thread_ids():
+    rec = SpanRecorder()
+    # The barrier keeps all workers alive at once: thread idents are
+    # reused after exit, so distinctness needs concurrent lifetimes.
+    barrier = threading.Barrier(4)
+
+    def work():
+        with span("threaded"):
+            barrier.wait(timeout=30)
+
+    with use_recorder(rec):
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        with span("main"):
+            pass
+    tids = {s.thread_id for s in rec.spans}
+    assert len(rec.spans) == 5
+    assert len(tids) == 5
+
+
+def test_chrome_export_structure(tmp_path):
+    rec = SpanRecorder()
+    with use_recorder(rec):
+        with span("outer", core=0):
+            with span("inner"):
+                pass
+    doc = rec.to_chrome_trace()
+    assert doc["displayTimeUnit"] == "ms"
+    events = doc["traceEvents"]
+    xs = [e for e in events if e["ph"] == "X"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert {e["name"] for e in xs} == {"outer", "inner"}
+    assert metas and metas[0]["name"] == "thread_name"
+    outer = next(e for e in xs if e["name"] == "outer")
+    inner = next(e for e in xs if e["name"] == "inner")
+    assert outer["dur"] >= inner["dur"]
+    assert outer["args"]["core"] == "0"
+    assert inner["args"]["depth"] == 1
+    # write() produces the same document as JSON on disk.
+    out = tmp_path / "spans.json"
+    rec.write(out)
+    assert json.loads(out.read_text())["traceEvents"]
+
+
+def test_set_recorder_returns_previous():
+    rec = SpanRecorder()
+    assert set_recorder(rec) is None
+    assert get_recorder() is rec
+    assert set_recorder(None) is rec
+    assert get_recorder() is None
