@@ -13,7 +13,7 @@ import statistics
 
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.analysis.reporting import format_table
 from repro.workloads.synth import FixedSequenceApp, uniform_items
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.analysis.reporting import format_table
 from repro.machine.events import HWEvent
 from repro.workloads.sampleapp import SampleApp, SampleAppConfig

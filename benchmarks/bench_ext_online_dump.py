@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.analysis.reporting import format_table
 from repro.core.online import OnlineDiagnoser
 from repro.machine.config import SKYLAKE_LIKE

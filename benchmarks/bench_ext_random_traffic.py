@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.acl.app import ACLApp, ACLAppConfig
 from repro.acl.traffic import random_traffic
 from repro.analysis.reporting import format_table

@@ -35,6 +35,7 @@ import pytest
 
 from repro.analysis.reporting import format_table
 from repro.core.hybrid import integrate, merge_traces, traces_equal
+from repro.core.options import IngestOptions
 from repro.core.records import SwitchRecords
 from repro.core.streaming import StreamingIntegrator, _use_threads, ingest_trace
 from repro.core.symbols import SymbolTable
@@ -138,7 +139,9 @@ def test_streaming_ingest_throughput(trace_path, report, bench_point, benchmark)
     # one-shot integration bit for bit.
     reference = _one_shot(trace_path)
     for workers in (1, max(WORKER_COUNTS)):
-        res = ingest_trace(trace_path, chunk_size=65_536, workers=workers)
+        res = ingest_trace(
+            trace_path, options=IngestOptions(chunk_size=65_536, workers=workers)
+        )
         assert traces_equal(res.trace, reference)
     del res, reference
     gc.collect()
@@ -158,7 +161,9 @@ def test_streaming_ingest_throughput(trace_path, report, bench_point, benchmark)
     chunk_walls = {}
     for chunk_size in CHUNK_SIZES:
         wall = _timed(
-            lambda cs=chunk_size: ingest_trace(trace_path, chunk_size=cs, workers=1)
+            lambda cs=chunk_size: ingest_trace(
+                trace_path, options=IngestOptions(chunk_size=cs, workers=1)
+            )
         )
         chunk_walls[chunk_size] = wall
         record_wall(f"chunk={chunk_size},workers=1", wall)
@@ -174,7 +179,9 @@ def test_streaming_ingest_throughput(trace_path, report, bench_point, benchmark)
     worker_walls = {1: chunk_walls[65_536]}
     for workers in WORKER_COUNTS[1:]:
         wall = _timed(
-            lambda w=workers: ingest_trace(trace_path, chunk_size=65_536, workers=w)
+            lambda w=workers: ingest_trace(
+                trace_path, options=IngestOptions(chunk_size=65_536, workers=w)
+            )
         )
         worker_walls[workers] = wall
         pool = "thread" if _use_threads("auto") else "process"
@@ -192,7 +199,8 @@ def test_streaming_ingest_throughput(trace_path, report, bench_point, benchmark)
     # what fork + cross-process shard transport costs (auto avoids it).
     proc_wall = _timed(
         lambda: ingest_trace(
-            trace_path, chunk_size=65_536, workers=4, pool="process"
+            trace_path,
+            options=IngestOptions(chunk_size=65_536, workers=4, pool="process"),
         )
     )
     record_wall("chunk=65536,workers=4,pool=process", proc_wall)
@@ -261,7 +269,9 @@ def test_streaming_ingest_throughput(trace_path, report, bench_point, benchmark)
 
 def test_streaming_matches_one_shot_per_core(trace_path):
     """Per-core shard equality, through the reader (not just merged)."""
-    res = ingest_trace(trace_path, chunk_size=8_192, workers=1)
+    res = ingest_trace(
+        trace_path, options=IngestOptions(chunk_size=8_192, workers=1)
+    )
     tf = load_trace(trace_path)
     for core in tf.sample_cores:
         assert traces_equal(res.per_core[core], tf.integrate(core))

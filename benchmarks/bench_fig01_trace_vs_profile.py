@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.analysis.reporting import format_table
 from repro.core.profilelib import profile_from_trace
 from repro.workloads.synth import FixedItem, FixedSequenceApp

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.analysis.reporting import format_table
 from repro.core.fluctuation import diagnose
 from repro.core.hybrid import integrate

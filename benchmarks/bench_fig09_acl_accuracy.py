@@ -17,7 +17,7 @@ import statistics
 
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.acl.app import ACLApp, ACLAppConfig
 from repro.acl.packets import make_test_stream
 from repro.acl.rules import paper_ruleset

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.acl.app import ACLApp, ACLAppConfig
 from repro.acl.packets import make_test_stream
 from repro.analysis.reporting import format_table

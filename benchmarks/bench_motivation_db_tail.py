@@ -16,7 +16,7 @@ import statistics
 
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.analysis.reporting import format_table
 from repro.core.fluctuation import diagnose
 from repro.core.hybrid import merge_traces

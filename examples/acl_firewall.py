@@ -11,7 +11,7 @@ hybrid tracer watches the ACL core, and reports:
 Run:  python examples/acl_firewall.py        (~15 s: builds 50k rules)
 """
 
-from repro import trace
+from repro.session import trace
 from repro.acl import ACLApp, make_test_stream, paper_ruleset
 from repro.core.overhead import reset_value_for_budget
 from statistics import mean, stdev

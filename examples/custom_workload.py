@@ -14,7 +14,7 @@ Run:  python examples/custom_workload.py
 
 import numpy as np
 
-from repro import trace
+from repro.session import trace
 from repro.core.profilelib import profile_from_trace
 from repro.core.symbols import AddressAllocator
 from repro.machine.block import timed_block

@@ -11,8 +11,9 @@ function* is responsible for each.
 Run:  python examples/database_tail.py
 """
 
-from repro import trace
-from repro.core import diagnose, merge_traces
+from repro.core.fluctuation import diagnose
+from repro.core.hybrid import merge_traces
+from repro.session import trace
 from repro.core.fluctuation import UNATTRIBUTED
 from repro.workloads import DBPoolApp, DBPoolConfig, QueryClass
 

@@ -12,9 +12,12 @@ Run:  python examples/noisy_neighbor.py   (~30 s: real cache simulation)
 
 import statistics
 
-from repro.core import MarkingTracer, integrate
+from repro.core.hybrid import integrate
+from repro.core.instrument import MarkingTracer
 from repro.core.records import build_windows
-from repro.machine import HWEvent, Machine, PEBSConfig
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
 from repro.runtime import Scheduler
 from repro.workloads import ContentionApp, ContentionConfig
 

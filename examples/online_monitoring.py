@@ -9,9 +9,9 @@ samples are kept, with everything else discarded.
 Run:  python examples/online_monitoring.py
 """
 
-from repro import trace
-from repro.core import OnlineDiagnoser
+from repro.core.online import OnlineDiagnoser
 from repro.core.storage import encode_samples
+from repro.session import trace
 from repro.workloads import Query, SampleApp, SampleAppConfig
 
 

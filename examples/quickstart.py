@@ -10,8 +10,7 @@ is where their extra time went.
 Run:  python examples/quickstart.py
 """
 
-from repro import trace
-from repro.core import diagnose
+import repro
 from repro.workloads import SampleApp
 
 US_PER_CYCLE = 1 / 3000.0  # 3 GHz machine
@@ -19,7 +18,7 @@ US_PER_CYCLE = 1 / 3000.0  # 3 GHz machine
 
 def main() -> None:
     app = SampleApp()
-    session = trace(app, reset_value=8000)  # the paper's Fig 8 setting
+    session = repro.record(app, reset_value=8000)  # the paper's Fig 8 setting
     t = session.trace_for(SampleApp.WORKER_CORE)
 
     print("Per-query breakdown (microseconds):")
@@ -33,8 +32,8 @@ def main() -> None:
         print(f"{q.qid:>6} {q.n:>3} {f1:>7.2f} {f2:>7.2f} {f3:>7.2f} {total:>7.2f}")
 
     print("\nDiagnosis (items compared within same-n groups):")
-    for outlier in diagnose(t, app.group_of, threshold=1.5).outliers:
-        print(" ", outlier.describe())
+    for verdict in repro.diagnose(t, group_of=app.group_of).outliers:
+        print(" ", verdict.describe())
 
     unit = session.units[SampleApp.WORKER_CORE]
     print(

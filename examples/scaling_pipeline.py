@@ -17,9 +17,13 @@ from statistics import mean
 from repro.acl.packets import make_test_stream
 from repro.acl.rules import small_ruleset
 from repro.acl.trie import MultiTrieClassifier, TrieCostModel
-from repro.core import MarkingTracer, integrate, merge_traces
+from repro.core.hybrid import integrate, merge_traces
+from repro.core.instrument import MarkingTracer
 from repro.core.symbols import AddressAllocator
-from repro.machine import Block, HWEvent, Machine, PEBSConfig
+from repro.machine.block import Block
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
 from repro.runtime import (
     AppThread,
     Exec,

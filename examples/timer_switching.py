@@ -10,8 +10,12 @@ the ground truth, with **zero instrumentation** in the target.
 Run:  python examples/timer_switching.py
 """
 
-from repro.core import AddressAllocator, integrate_by_tag
-from repro.machine import Block, HWEvent, Machine, PEBSConfig
+from repro.core.registertag import integrate_by_tag
+from repro.core.symbols import AddressAllocator
+from repro.machine.block import Block
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
 from repro.runtime import AppThread, Exec, Scheduler, ULTRuntime, ULTask
 
 

@@ -5,32 +5,62 @@ of High-throughput Software for Multi-core CPUs"* (Akiyama, Hirofuchi,
 Takano; 2018) on a simulated multicore substrate.  See DESIGN.md for the
 system inventory and EXPERIMENTS.md for paper-vs-measured results.
 
-Quick start::
+The supported import surface is the :mod:`repro.api` facade, re-exported
+here::
 
-    from repro import trace
-    from repro.workloads import SampleApp
+    import repro
 
-    app = SampleApp()
-    session = trace(app, reset_value=8000)
-    t = session.trace_for(SampleApp.WORKER_CORE)
-    for qid in t.items():
-        print(qid, t.breakdown(qid))
+    repro.record("acl", out="run.npz")
+    report = repro.diagnose("run.npz")
+    delta = repro.diff("base.npz", "regressed.npz")
+    print(delta.top)
 
-Layers (each fully public):
-
-* :mod:`repro.machine`  — simulated cores, caches, PMU, PEBS, perf-style
-  software sampling.
-* :mod:`repro.runtime`  — pinned threads, SPSC queues, the DES scheduler,
-  user-level threading.
-* :mod:`repro.core`     — the paper's contribution: marking
-  instrumentation, hybrid integration, diagnosis, baselines.
-* :mod:`repro.workloads`, :mod:`repro.acl` — the evaluated applications.
-* :mod:`repro.analysis` — experiment statistics and report rendering.
+Engine layers (:mod:`repro.machine`, :mod:`repro.runtime`,
+:mod:`repro.core`, :mod:`repro.workloads` / :mod:`repro.acl`,
+:mod:`repro.analysis`, :mod:`repro.obs`) remain importable by their full
+module paths for custom assemblies; only the *package-level* re-exports
+of ``repro.core`` and ``repro.machine`` are deprecated (they still work,
+with a :class:`DeprecationWarning` naming the new spelling).
 """
 
+from repro.api import IngestOptions, diagnose, diff, integrate, load, record
 from repro.errors import ReproError
-from repro.session import TraceSession, trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["ReproError", "TraceSession", "trace", "__version__"]
+__all__ = [
+    "IngestOptions",
+    "ReproError",
+    "diagnose",
+    "diff",
+    "integrate",
+    "load",
+    "record",
+    "__version__",
+]
+
+#: Pre-1.1 package-level exports, now behind a deprecation shim.
+_DEPRECATED = {
+    "trace": ("repro.session", "trace", "repro.record()"),
+    "TraceSession": ("repro.session", "TraceSession", "repro.session.TraceSession"),
+}
+
+
+def __getattr__(name: str):
+    if name in _DEPRECATED:
+        import importlib
+        import warnings
+
+        module, attr, new = _DEPRECATED[name]
+        warnings.warn(
+            f"repro.{name} is deprecated; use {new} (or import it from "
+            f"{module})",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__ + list(_DEPRECATED))

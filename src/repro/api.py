@@ -1,0 +1,319 @@
+"""The supported Python surface of the tracer, in five verbs.
+
+::
+
+    import repro.api as repro
+
+    session = repro.record("acl", out="run.npz", items=60)   # trace a workload
+    tf      = repro.load("run.npz")                          # open a container
+    result  = repro.integrate("run.npz")                     # stream-integrate
+    report  = repro.diagnose("run.npz")                      # find outlier items
+    delta   = repro.diff("base.npz", "regressed.npz")        # localize a regression
+
+Everything here is a thin, *stable* wrapper over the engine modules
+(:mod:`repro.session`, :mod:`repro.core.streaming`,
+:mod:`repro.analysis.diagnose`, :mod:`repro.analysis.differential`).
+The deep modules remain importable for unusual assemblies, but the
+package-level re-exports of ``repro.core`` / ``repro.machine`` are
+deprecated in favour of this facade; this module itself never imports
+through a deprecated path, so ``python -W error::DeprecationWarning``
+code can use it freely.
+
+Ingestion knobs travel in one :class:`IngestOptions` object everywhere.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Callable, Hashable, Mapping
+
+from repro.analysis.diagnose import (
+    DiagnosisReport,
+    ItemVerdict,
+    StreamingDiagnoser,
+    diagnose_trace,
+)
+from repro.analysis.differential import DiffReport, diff_traces
+from repro.core.hybrid import HybridTrace
+from repro.core.options import IngestOptions
+from repro.core.streaming import IngestResult, ingest_trace
+from repro.core.tracefile import TraceFile, TraceReader, load_trace
+from repro.errors import ReproError
+from repro.machine.events import resolve_event
+from repro.session import TraceSession
+from repro.session import trace as _run_trace
+from repro.workloads import build_workload
+
+__all__ = [
+    "IngestOptions",
+    "record",
+    "load",
+    "integrate",
+    "diagnose",
+    "diff",
+]
+
+
+def record(
+    workload,
+    *,
+    out: str | pathlib.Path | None = None,
+    items: int = 60,
+    full_rules: bool = False,
+    reset_value: int = 8000,
+    event="uops",
+    sample_cores: list[int] | None = None,
+    double_buffered: bool = False,
+    groups: Mapping[int, Hashable] | None = None,
+    chunk_size: int | None = None,
+    compress: bool = True,
+    checksums: bool = True,
+    meta: dict | None = None,
+) -> TraceSession:
+    """Run a workload under the hybrid tracer; optionally save the trace.
+
+    ``workload`` is a registered name (``"sampleapp"``, ``"nginx"``,
+    ``"acl"``, ``"dbpool"`` — see :func:`repro.workloads.build_workload`)
+    or any app object following the
+    :class:`~repro.session.TraceableApp` convention.  ``event`` accepts
+    an :class:`~repro.machine.events.HWEvent` or a short alias like
+    ``"uops"``.
+
+    When ``out`` is given the trace container is written with metadata
+    the offline verbs understand: the workload name, ``reset_value``,
+    the event, and the item → similarity-group map that
+    :func:`diagnose` baselines within (from the named workload's
+    definition, or ``groups=`` for custom apps).
+    """
+    hw_event = resolve_event(event)
+    if isinstance(workload, str):
+        app, wl_groups = build_workload(
+            workload, items=items, full_rules=full_rules
+        )
+        name = workload
+    else:
+        app, wl_groups = workload, dict(groups or {})
+        name = type(workload).__name__
+    if groups is not None:
+        wl_groups = dict(groups)
+    session = _run_trace(
+        app,
+        sample_cores=sample_cores,
+        reset_value=reset_value,
+        event=hw_event,
+        double_buffered=double_buffered,
+    )
+    if out is not None:
+        full_meta = {
+            "workload": name,
+            "reset_value": reset_value,
+            "event": event if isinstance(event, str) else hw_event.value,
+            "groups": {str(k): str(v) for k, v in wl_groups.items()},
+        }
+        if meta:
+            full_meta.update(meta)
+        session.save(
+            out,
+            meta=full_meta,
+            chunk_size=chunk_size,
+            compress=compress,
+            checksums=checksums,
+        )
+    return session
+
+
+def load(path: str | pathlib.Path) -> TraceFile:
+    """Open a trace container whole (symbols, samples, switches, meta)."""
+    return load_trace(path)
+
+
+def integrate(
+    path: str | pathlib.Path,
+    options: IngestOptions | None = None,
+    *,
+    cores: list[int] | None = None,
+    diagnoser=None,
+) -> IngestResult:
+    """Stream-integrate a container into per-core + merged traces."""
+    return ingest_trace(
+        path,
+        options=options if options is not None else IngestOptions(),
+        cores=cores,
+        diagnoser=diagnoser,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Source plumbing shared by diagnose()/diff()
+
+
+def _meta_of(source) -> dict:
+    if isinstance(source, (str, pathlib.Path)):
+        with TraceReader(source) as reader:
+            return reader.meta
+    if isinstance(source, TraceFile):
+        return source.meta
+    return {}
+
+
+def _pick_core(source, requested: int | None) -> int | None:
+    """Default core: the one with the most switch records (the worker)."""
+    if requested is not None:
+        return requested
+    if isinstance(source, (str, pathlib.Path)):
+        with TraceReader(source) as reader:
+            return max(reader.sample_cores, key=reader.n_switch_records)
+    if isinstance(source, TraceFile):
+        return max(source.sample_cores, key=lambda c: len(source.switches(c)))
+    return None
+
+
+def _groups_from_meta(meta: dict) -> Callable[[int], Hashable] | None:
+    raw = meta.get("groups") or {}
+    if not raw:
+        return None
+    groups = {int(k): v for k, v in raw.items()}
+    return lambda i: groups.get(i, "?")
+
+
+def _one_shot_trace(source, core: int | None) -> HybridTrace:
+    if isinstance(source, HybridTrace):
+        return source
+    if isinstance(source, (str, pathlib.Path)):
+        source = load_trace(source)
+    if isinstance(source, TraceFile):
+        use = core if core is not None else _pick_core(source, None)
+        return source.integrate(use)
+    raise ReproError(
+        f"cannot diagnose a {type(source).__name__}; pass a path, a "
+        "TraceFile, or a HybridTrace"
+    )
+
+
+def diagnose(
+    source,
+    *,
+    group_of: Mapping[int, Hashable] | Callable[[int], Hashable] | None = None,
+    core: int | None = None,
+    stream: bool = False,
+    options: IngestOptions | None = None,
+    method: str = "mad",
+    k_sigma: float = 3.5,
+    min_ratio: float = 1.2,
+    min_samples: int = 2,
+    reset_value: int | None = None,
+    on_verdict: Callable[[ItemVerdict], None] | None = None,
+) -> DiagnosisReport:
+    """Classify every data-item against its group baseline; name culprits.
+
+    ``source`` is a container path, a loaded :class:`TraceFile`, or an
+    already-integrated :class:`HybridTrace`.  The similarity grouping
+    defaults to the ``groups`` map recorded in the container's metadata
+    (see :func:`record`); without either, the whole trace is one group.
+    ``reset_value`` likewise defaults to the recorded one.
+
+    ``stream=True`` ingests the container chunk by chunk and emits
+    verdicts *while streaming* through ``on_verdict`` (running
+    baselines; see :class:`~repro.analysis.diagnose.StreamingDiagnoser`);
+    the returned report is still computed from the finalized trace, so
+    it is identical to the one-shot result on the same data.
+    """
+    meta = _meta_of(source)
+    if group_of is None:
+        group_of = _groups_from_meta(meta)
+    if reset_value is None:
+        rv = meta.get("reset_value")
+        reset_value = int(rv) if rv is not None else None
+    if stream:
+        if isinstance(source, HybridTrace):
+            raise ReproError("stream=True needs a container path, not a trace")
+        path = source if isinstance(source, (str, pathlib.Path)) else None
+        if path is None:
+            raise ReproError("stream=True needs a container path")
+        use_core = _pick_core(path, core)
+        sd = StreamingDiagnoser(
+            group_of,
+            k_sigma=k_sigma,
+            min_ratio=min_ratio,
+            reset_value=reset_value,
+            on_verdict=on_verdict,
+        )
+        result = ingest_trace(
+            path,
+            options=options if options is not None else IngestOptions(),
+            cores=[use_core],
+            diagnoser=sd,
+        )
+        trace = result.per_core[use_core]
+    else:
+        trace = _one_shot_trace(source, core)
+    return diagnose_trace(
+        trace,
+        group_of,
+        method=method,
+        k_sigma=k_sigma,
+        min_ratio=min_ratio,
+        min_samples=min_samples,
+        reset_value=reset_value,
+    )
+
+
+def diff(
+    base,
+    other,
+    *,
+    core: int | None = None,
+    stream: bool = False,
+    options: IngestOptions | None = None,
+    min_samples: int = 2,
+    include_unattributed: bool = True,
+    reset_value: int | None = None,
+) -> DiffReport:
+    """Localize a regression between two runs of the same workload.
+
+    Functions are ranked by per-item excess of ``other`` over ``base``
+    (matched by name, so differing symbol tables are fine);
+    ``report.top`` names the regression.  The analysis core defaults to
+    the busiest core of ``base`` and is applied to both runs;
+    ``reset_value`` defaults to the larger of the runs' recorded values
+    (conservative for the confidence figures).
+
+    ``stream=True`` routes both runs through chunked
+    :func:`~repro.core.streaming.ingest_trace` instead of whole-file
+    loading; the traces — and therefore the report — are identical
+    either way (streaming integration is bitwise-equal to one-shot).
+    """
+    if reset_value is None:
+        values = [
+            int(m["reset_value"])
+            for m in (_meta_of(base), _meta_of(other))
+            if m.get("reset_value") is not None
+        ]
+        reset_value = max(values) if values else None
+    use_core = _pick_core(base, core)
+    if stream:
+        traces = []
+        for source in (base, other):
+            if not isinstance(source, (str, pathlib.Path)):
+                raise ReproError("stream=True needs container paths")
+            result = ingest_trace(
+                source,
+                options=options if options is not None else IngestOptions(),
+                cores=[use_core] if use_core is not None else None,
+            )
+            traces.append(
+                result.per_core[use_core]
+                if use_core is not None
+                else result.trace
+            )
+        base_trace, other_trace = traces
+    else:
+        base_trace = _one_shot_trace(base, use_core)
+        other_trace = _one_shot_trace(other, use_core)
+    return diff_traces(
+        base_trace,
+        other_trace,
+        min_samples=min_samples,
+        include_unattributed=include_unattributed,
+        reset_value=reset_value,
+    )

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli run --workload sampleapp --out trace.npz
     python -m repro.cli info trace.npz
     python -m repro.cli report trace.npz --core 1 --diagnose
+    python -m repro.cli diagnose trace.npz
+    python -m repro.cli diff base.npz regressed.npz
     python -m repro.cli callgraph trace.npz --core 1
 
 Run ``python -m repro.cli <command> --help`` for per-command options.
@@ -25,50 +27,21 @@ from repro.analysis.reporting import format_table
 from repro.core.callgraph import guess_call_edges
 from repro.core.fluctuation import diagnose
 from repro.core.integrity import POLICIES
+from repro.core.options import IngestOptions
 from repro.core.tracefile import load_trace, save_session
 from repro.errors import ReproError, TraceError
-from repro.machine.events import HWEvent
+from repro.machine.events import EVENT_ALIASES as EVENTS
 from repro.session import trace as run_trace
-
-#: Events selectable from the command line.
-EVENTS = {
-    "uops": HWEvent.UOPS_RETIRED_ALL,
-    "insts": HWEvent.INST_RETIRED,
-    "branches": HWEvent.BR_RETIRED,
-    "l3-miss": HWEvent.MEM_LOAD_RETIRED_L3_MISS,
-}
+from repro.workloads import WORKLOADS, build_workload
 
 US = 3000.0  # cycles per microsecond at the default 3 GHz
 
 
 def _build_workload(args):
     """Instantiate the requested workload; returns (app, group_map)."""
-    if args.workload == "sampleapp":
-        from repro.workloads.sampleapp import SampleApp
-
-        app = SampleApp()
-        groups = {q.qid: f"n={q.n}" for q in app.config.queries}
-        return app, groups
-    if args.workload == "nginx":
-        from repro.workloads.nginxmodel import NginxModel, NginxModelConfig
-
-        app = NginxModel(NginxModelConfig(n_requests=args.items))
-        return app, {r: "request" for r in range(1, args.items + 1)}
-    if args.workload == "acl":
-        from repro.acl.app import ACLApp, ACLAppConfig
-        from repro.acl.packets import make_test_stream
-        from repro.acl.rules import paper_ruleset, small_ruleset
-
-        rules = paper_ruleset() if args.full_rules else small_ruleset(8, 8)
-        pkts = make_test_stream(max(1, args.items // 3))
-        app = ACLApp(rules, pkts, config=ACLAppConfig())
-        return app, {p.pkt_id: p.ptype for p in pkts}
-    if args.workload == "dbpool":
-        from repro.workloads.dbpool import DBPoolApp, DBPoolConfig
-
-        app = DBPoolApp(DBPoolConfig(n_queries=args.items))
-        return app, {q.qid: q.qclass.value for q in app.queries}
-    raise ReproError(f"unknown workload {args.workload!r}")
+    return build_workload(
+        args.workload, items=args.items, full_rules=args.full_rules
+    )
 
 
 def cmd_run(args) -> int:
@@ -195,14 +168,9 @@ def _report_streamed(args) -> int:
     diag = OnlineDiagnoser()
     result = ingest_trace(
         args.tracefile,
+        options=IngestOptions.from_args(args),
         cores=[args.core] if args.core is not None else None,
-        chunk_size=args.chunk_size,
-        workers=args.workers,
-        pool=args.pool,
         diagnoser=diag,
-        on_corruption=args.on_corruption,
-        shard_timeout=args.shard_timeout,
-        max_retries=args.max_retries,
     )
     if result.quarantine:
         from repro.obs.instrumented import publish_quarantine
@@ -234,6 +202,92 @@ def _load_meta(path) -> dict:
 
     with TraceReader(path) as reader:
         return reader.meta
+
+
+def cmd_diagnose(args) -> int:
+    """`repro diagnose`: automated outlier classification + attribution."""
+    from repro import api
+
+    meta = _load_meta(args.tracefile)
+    if not meta.get("groups"):
+        print(
+            "note: no group metadata in trace file; treating the whole "
+            "trace as one similarity group",
+            file=sys.stderr,
+        )
+    live = 0
+
+    def _on_verdict(v) -> None:
+        nonlocal live
+        live += 1
+        print(f"[online] {v.describe()}", file=sys.stderr)
+
+    report = api.diagnose(
+        args.tracefile,
+        core=args.core,
+        stream=args.stream,
+        options=IngestOptions.from_args(args),
+        method=args.method,
+        k_sigma=args.k_sigma,
+        min_ratio=args.min_ratio,
+        reset_value=args.reset_value,
+        on_verdict=_on_verdict if args.stream else None,
+    )
+    if args.stream and live:
+        print(f"[online] {live} mid-stream verdict(s) above", file=sys.stderr)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.describe())
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """`repro diff`: localize a regression between two runs."""
+    from repro import api
+
+    report = api.diff(
+        args.base,
+        args.other,
+        core=args.core,
+        stream=args.stream,
+        options=IngestOptions.from_args(args),
+        min_samples=args.min_samples,
+        reset_value=args.reset_value,
+    )
+    if args.json:
+        print(report.to_json())
+        return 0
+    rows = [
+        [
+            d.fn_name,
+            f"{d.base_median_per_item / US:.2f}",
+            f"{d.other_median_per_item / US:.2f}",
+            f"{d.excess_per_item / US:+.2f}",
+            f"{d.confidence:.2f}",
+        ]
+        for d in report.deltas
+    ]
+    print(
+        format_table(
+            ["function", "base (us/item)", "other (us/item)", "delta", "confidence"],
+            rows,
+            title=(
+                f"per-item medians: {report.n_items_base} vs "
+                f"{report.n_items_other} item(s)"
+            ),
+        )
+    )
+    top = report.top
+    if top is None:
+        print("\nno per-item regression found")
+    else:
+        print(
+            f"\ntop excess-time contributor: {top.fn_name} "
+            f"(+{top.excess_per_item / US:.2f} us/item, "
+            f"confidence {top.confidence:.2f})"
+        )
+    return 0
 
 
 def cmd_profile(args) -> int:
@@ -320,6 +374,58 @@ exit codes:
 """
 
 
+def _add_ingest_args(
+    p: argparse.ArgumentParser, *, default_policy: str = "strict"
+) -> None:
+    """The streaming-ingestion flags, one spelling for every command.
+
+    Defaults come from :class:`~repro.core.options.IngestOptions`, and
+    ``IngestOptions.from_args`` turns the parsed namespace back into the
+    dataclass — flag names and Python parameter names cannot drift.
+    """
+    d = IngestOptions()
+    p.add_argument(
+        "--chunk-size",
+        type=int,
+        default=d.chunk_size,
+        help="stream: samples per chunk",
+    )
+    p.add_argument(
+        "--pool",
+        choices=["auto", "thread", "process"],
+        default=d.pool,
+        help="stream: worker backend (auto = processes unless single-CPU)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=d.workers,
+        help="stream: integrate core-shards with this many workers",
+    )
+    p.add_argument(
+        "--on-corruption",
+        choices=list(POLICIES),
+        default=default_policy,
+        help=(
+            "stream: what a failed integrity check does — strict raises, "
+            "quarantine skips the damaged chunk, repair drops only the "
+            "offending records (coverage is reported either way)"
+        ),
+    )
+    p.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=d.shard_timeout,
+        help="stream: seconds before a parallel core-shard is declared hung",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=d.max_retries,
+        help="stream: retries for timed-out or crashed shards",
+    )
+
+
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--telemetry",
@@ -342,9 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_run = sub.add_parser("run", help="run a traced workload, write a trace file")
-    p_run.add_argument(
-        "--workload", choices=["sampleapp", "nginx", "acl", "dbpool"], required=True
-    )
+    p_run.add_argument("--workload", choices=list(WORKLOADS), required=True)
     p_run.add_argument("--out", required=True, help="output trace file (.npz)")
     p_run.add_argument("--reset-value", type=int, default=8000)
     p_run.add_argument("--event", choices=sorted(EVENTS), default="uops")
@@ -392,48 +496,82 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="chunked, bounded-memory ingestion (online estimator rides along)",
     )
-    p_rep.add_argument(
-        "--chunk-size",
-        type=int,
-        default=65536,
-        help="stream: samples per chunk",
-    )
-    p_rep.add_argument(
-        "--pool",
-        choices=["auto", "thread", "process"],
-        default="auto",
-        help="stream: worker backend (auto = processes unless single-CPU)",
-    )
-    p_rep.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="stream: integrate core-shards with this many workers",
-    )
-    p_rep.add_argument(
-        "--on-corruption",
-        choices=list(POLICIES),
-        default="strict",
-        help=(
-            "stream: what a failed integrity check does — strict raises, "
-            "quarantine skips the damaged chunk, repair drops only the "
-            "offending records (coverage is reported either way)"
-        ),
-    )
-    p_rep.add_argument(
-        "--shard-timeout",
-        type=float,
-        default=None,
-        help="stream: seconds before a parallel core-shard is declared hung",
-    )
-    p_rep.add_argument(
-        "--max-retries",
-        type=int,
-        default=2,
-        help="stream: retries for timed-out or crashed shards",
-    )
+    _add_ingest_args(p_rep)
     _add_telemetry_args(p_rep)
     p_rep.set_defaults(func=cmd_report)
+
+    p_diag = sub.add_parser(
+        "diagnose",
+        help="automated outlier classification + per-function attribution",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_diag.add_argument("tracefile")
+    p_diag.add_argument("--core", type=int, default=None)
+    p_diag.add_argument(
+        "--stream",
+        action="store_true",
+        help="chunked ingestion; emit verdicts on stderr as items complete",
+    )
+    p_diag.add_argument(
+        "--method",
+        choices=["mad", "percentile"],
+        default="mad",
+        help="baseline band: median±k·(1.4826·MAD), or a percentile band",
+    )
+    p_diag.add_argument(
+        "--k-sigma",
+        type=float,
+        default=3.5,
+        help="band width in robust sigmas",
+    )
+    p_diag.add_argument(
+        "--min-ratio",
+        type=float,
+        default=1.2,
+        help="band upper edge is at least this multiple of the group median",
+    )
+    p_diag.add_argument(
+        "--reset-value",
+        type=int,
+        default=None,
+        help="sampling period R for confidence (default: from trace metadata)",
+    )
+    p_diag.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_ingest_args(p_diag)
+    _add_telemetry_args(p_diag)
+    p_diag.set_defaults(func=cmd_diagnose)
+
+    p_diff = sub.add_parser(
+        "diff",
+        help="localize a regression between two runs of the same workload",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_diff.add_argument("base", help="baseline trace file")
+    p_diff.add_argument("other", help="regressed/suspect trace file")
+    p_diff.add_argument("--core", type=int, default=None)
+    p_diff.add_argument(
+        "--stream",
+        action="store_true",
+        help="ingest both runs chunked instead of loading them whole",
+    )
+    p_diff.add_argument(
+        "--min-samples",
+        type=int,
+        default=2,
+        help="samples needed before a per-(item, function) estimate counts",
+    )
+    p_diff.add_argument(
+        "--reset-value",
+        type=int,
+        default=None,
+        help="sampling period R for confidence (default: from trace metadata)",
+    )
+    p_diff.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_ingest_args(p_diff)
+    _add_telemetry_args(p_diff)
+    p_diff.set_defaults(func=cmd_diff)
 
     p_mon = sub.add_parser(
         "monitor", help="live dashboard while stream-ingesting a trace file"
@@ -442,10 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_mon.add_argument(
         "--interval", type=float, default=0.5, help="seconds between repaints"
     )
-    p_mon.add_argument("--chunk-size", type=int, default=65536)
-    p_mon.add_argument(
-        "--on-corruption", choices=list(POLICIES), default="quarantine"
-    )
+    _add_ingest_args(p_mon, default_policy="quarantine")
     p_mon.add_argument(
         "--telemetry",
         metavar="PATH",

@@ -1,6 +1,6 @@
 """The paper's contribution: hybrid coarse-instrumentation + PEBS tracing.
 
-Public surface:
+Module map:
 
 * :class:`~repro.core.instrument.MarkingTracer` — the coarse instrumentation
   (a marking function only at data-item switches).
@@ -15,54 +15,64 @@ Public surface:
 * :mod:`~repro.core.registertag` — Section V-A register-tag mapping.
 * :mod:`~repro.core.overhead` — ref [6]-style overhead prediction.
 * :mod:`~repro.core.storage` — trace encoding and data-rate accounting.
+
+The *package-level* re-exports below (``from repro.core import integrate``)
+are deprecated in favour of the :mod:`repro.api` facade — or, for pieces
+the facade does not cover, the defining submodule (``from
+repro.core.hybrid import integrate``).  They keep working for one
+release, each emitting a :class:`DeprecationWarning` naming the new
+spelling.
 """
 
-from repro.core.adaptive import AdaptiveResetController
-from repro.core.callgraph import CallGraphGuess, guess_call_edges
-from repro.core.compare import AccuracyReport, compare_with_truth
-from repro.core.fluctuation import FluctuationReport, diagnose
-from repro.core.fulltrace import FullInstrumentationTracer
-from repro.core.hybrid import HybridTrace, integrate, merge_traces
-from repro.core.instrument import MarkingTracer
-from repro.core.online import OnlineDiagnoser
-from repro.core.overhead import OverheadModel
-from repro.core.profilelib import FunctionProfile, build_profile
-from repro.core.records import (
-    ItemWindow,
-    SwitchRecords,
-    build_windows,
-    build_windows_lenient,
-)
-from repro.core.tracefile import TraceFile, load_trace, save_session, save_trace
-from repro.core.registertag import integrate_by_tag
-from repro.core.symbols import AddressAllocator, SymbolTable
+#: name -> (defining module, attribute, recommended new spelling)
+_EXPORTS = {
+    "AccuracyReport": ("repro.core.compare", "AccuracyReport", None),
+    "AdaptiveResetController": ("repro.core.adaptive", "AdaptiveResetController", None),
+    "AddressAllocator": ("repro.core.symbols", "AddressAllocator", None),
+    "CallGraphGuess": ("repro.core.callgraph", "CallGraphGuess", None),
+    "compare_with_truth": ("repro.core.compare", "compare_with_truth", None),
+    "FluctuationReport": ("repro.core.fluctuation", "FluctuationReport", None),
+    "FullInstrumentationTracer": ("repro.core.fulltrace", "FullInstrumentationTracer", None),
+    "FunctionProfile": ("repro.core.profilelib", "FunctionProfile", None),
+    "HybridTrace": ("repro.core.hybrid", "HybridTrace", None),
+    "ItemWindow": ("repro.core.records", "ItemWindow", None),
+    "MarkingTracer": ("repro.core.instrument", "MarkingTracer", None),
+    "OnlineDiagnoser": ("repro.core.online", "OnlineDiagnoser", None),
+    "OverheadModel": ("repro.core.overhead", "OverheadModel", None),
+    "SwitchRecords": ("repro.core.records", "SwitchRecords", None),
+    "SymbolTable": ("repro.core.symbols", "SymbolTable", None),
+    "TraceFile": ("repro.core.tracefile", "TraceFile", None),
+    "build_profile": ("repro.core.profilelib", "build_profile", None),
+    "build_windows": ("repro.core.records", "build_windows", None),
+    "build_windows_lenient": ("repro.core.records", "build_windows_lenient", None),
+    "diagnose": ("repro.core.fluctuation", "diagnose", "repro.api.diagnose()"),
+    "guess_call_edges": ("repro.core.callgraph", "guess_call_edges", None),
+    "integrate": ("repro.core.hybrid", "integrate", "repro.api.integrate()"),
+    "integrate_by_tag": ("repro.core.registertag", "integrate_by_tag", None),
+    "load_trace": ("repro.core.tracefile", "load_trace", "repro.api.load()"),
+    "merge_traces": ("repro.core.hybrid", "merge_traces", None),
+    "save_session": ("repro.core.tracefile", "save_session", None),
+    "save_trace": ("repro.core.tracefile", "save_trace", None),
+}
 
-__all__ = [
-    "AccuracyReport",
-    "AdaptiveResetController",
-    "AddressAllocator",
-    "CallGraphGuess",
-    "compare_with_truth",
-    "FluctuationReport",
-    "FullInstrumentationTracer",
-    "FunctionProfile",
-    "HybridTrace",
-    "ItemWindow",
-    "MarkingTracer",
-    "OnlineDiagnoser",
-    "OverheadModel",
-    "SwitchRecords",
-    "SymbolTable",
-    "TraceFile",
-    "build_profile",
-    "build_windows",
-    "build_windows_lenient",
-    "diagnose",
-    "guess_call_edges",
-    "integrate",
-    "integrate_by_tag",
-    "load_trace",
-    "merge_traces",
-    "save_session",
-    "save_trace",
-]
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _EXPORTS:
+        import importlib
+        import warnings
+
+        module, attr, new = _EXPORTS[name]
+        spelling = new if new is not None else f"{module}.{attr}"
+        warnings.warn(
+            f"'from repro.core import {name}' is deprecated; use {spelling}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(importlib.import_module(module), attr)
+    raise AttributeError(f"module 'repro.core' has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return list(__all__)

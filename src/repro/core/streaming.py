@@ -31,6 +31,7 @@ import multiprocessing.pool
 import os
 import pathlib
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -57,6 +58,11 @@ from repro.core.integrity import (
     degraded_items_for_span,
 )
 from repro.core.online import OnlineDiagnoser
+from repro.core.options import (
+    DEFAULT_CHUNK_SIZE,
+    DEFAULT_RECORD_BYTES,
+    IngestOptions,
+)
 from repro.core.records import (
     ItemWindow,
     SwitchRecords,
@@ -71,11 +77,9 @@ from repro.machine.pebs import SampleArrays
 from repro.obs.instrumented import pipeline as _obs
 from repro.obs.spans import span
 
-#: Default samples per chunk (~1.5 MB of raw columns at 24 B/sample).
-DEFAULT_CHUNK_SIZE = 65536
-
-#: Default raw PEBS record size for byte accounting (MachineSpec default).
-DEFAULT_RECORD_BYTES = 240
+# DEFAULT_CHUNK_SIZE / DEFAULT_RECORD_BYTES now live in
+# repro.core.options next to IngestOptions; re-exported here for
+# existing importers.
 
 
 @dataclass(frozen=True)
@@ -662,24 +666,73 @@ def _run_supervised(
     return results, failures, retries
 
 
+#: Sentinel distinguishing "not passed" from an explicit default value in
+#: the legacy-keyword shim below.
+_UNSET = object()
+
+#: Legacy per-call keywords of ``ingest_trace`` and the ``IngestOptions``
+#: field each maps to (all identical names; kept explicit for the shim).
+_LEGACY_INGEST_KWARGS = (
+    "chunk_size",
+    "workers",
+    "pool",
+    "record_bytes",
+    "on_corruption",
+    "shard_timeout",
+    "max_retries",
+    "retry_backoff_s",
+)
+
+
+def _resolve_ingest_options(options: IngestOptions | None, legacy: dict) -> IngestOptions:
+    """Fold legacy per-call keywords into an :class:`IngestOptions`.
+
+    Passing any legacy keyword emits a :class:`DeprecationWarning` naming
+    the replacement; mixing them with ``options=`` is an error because
+    there would be two sources of truth for the same knob.
+    """
+    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
+    if not passed:
+        return options if options is not None else IngestOptions()
+    if options is not None:
+        raise TraceError(
+            "pass ingestion settings either via options=IngestOptions(...) or "
+            f"via legacy keywords, not both (got both options= and {sorted(passed)})"
+        )
+    names = ", ".join(sorted(passed))
+    warnings.warn(
+        f"ingest_trace({names}=...) keywords are deprecated; pass "
+        f"options=IngestOptions({names}=...) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return IngestOptions(**passed)
+
+
 def ingest_trace(
     path: str | pathlib.Path,
     *,
+    options: IngestOptions | None = None,
     cores: list[int] | None = None,
-    chunk_size: int | None = DEFAULT_CHUNK_SIZE,
-    workers: int = 1,
-    pool: str = "auto",
     diagnoser: OnlineDiagnoser | None = None,
-    record_bytes: int = DEFAULT_RECORD_BYTES,
-    on_corruption: str = POLICY_STRICT,
-    shard_timeout: float | None = None,
-    max_retries: int = 2,
-    retry_backoff_s: float = 0.05,
+    chunk_size=_UNSET,
+    workers=_UNSET,
+    pool=_UNSET,
+    record_bytes=_UNSET,
+    on_corruption=_UNSET,
+    shard_timeout=_UNSET,
+    max_retries=_UNSET,
+    retry_backoff_s=_UNSET,
     _shard_fn=None,
 ) -> IngestResult:
     """Stream-integrate a trace container and merge the per-core shards.
 
-    ``workers > 1`` fans core-shards out to a worker pool (each worker
+    Ingestion knobs travel in one :class:`~repro.core.options.IngestOptions`
+    object (``options=``); the individual ``chunk_size=``/``workers=``/...
+    keywords are a deprecated spelling of the same fields, shimmed for one
+    release.
+
+    ``options.workers > 1`` fans core-shards out to a worker pool (each worker
     reads only its own core's chunk members); ``pool`` selects processes
     or threads, with ``"auto"`` picking threads on single-CPU hosts where
     process fan-out cannot pay for itself.  With one worker, cores are
@@ -710,14 +763,24 @@ def ingest_trace(
 
     ``_shard_fn`` swaps the shard worker (fault-injection tests).
     """
-    if workers < 1:
-        raise TraceError(f"workers must be >= 1, got {workers}")
-    check_policy(on_corruption)
-    if shard_timeout is not None and shard_timeout <= 0:
-        raise TraceError(f"shard_timeout must be > 0, got {shard_timeout}")
-    if max_retries < 0:
-        raise TraceError(f"max_retries must be >= 0, got {max_retries}")
-    threads = _use_threads(pool)  # validate `pool` before doing any work
+    opts = _resolve_ingest_options(
+        options,
+        {
+            "chunk_size": chunk_size,
+            "workers": workers,
+            "pool": pool,
+            "record_bytes": record_bytes,
+            "on_corruption": on_corruption,
+            "shard_timeout": shard_timeout,
+            "max_retries": max_retries,
+            "retry_backoff_s": retry_backoff_s,
+        },
+    )
+    chunk_size = opts.chunk_size
+    workers = opts.workers
+    record_bytes = opts.record_bytes
+    on_corruption = opts.on_corruption
+    threads = _use_threads(opts.pool)
     strict = on_corruption == POLICY_STRICT
     shard_fn = _shard_fn if _shard_fn is not None else _integrate_core_shard
     t0 = time.perf_counter()
@@ -768,8 +831,8 @@ def ingest_trace(
             (core, (path, core, chunk_size, on_corruption)) for core in use_cores
         ]
         results, shard_failures, retries = _run_supervised(
-            jobs, n_procs, threads, shard_timeout, max_retries, retry_backoff_s,
-            shard_fn,
+            jobs, n_procs, threads, opts.shard_timeout, opts.max_retries,
+            opts.retry_backoff_s, shard_fn,
         )
         for core, trace, chunks, defects, cov in results.values():
             per_core[core] = trace

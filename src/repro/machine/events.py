@@ -52,3 +52,27 @@ PEBS_CAPABLE_EVENTS = frozenset(
 def pebs_supports(event: HWEvent) -> bool:
     """Return True if the simulated PEBS unit can sample on ``event``."""
     return event in PEBS_CAPABLE_EVENTS
+
+
+#: Short spellings accepted wherever an event is named by string — the
+#: CLI's ``--event`` flag, trace metadata, and :func:`repro.api.record`.
+EVENT_ALIASES: dict[str, HWEvent] = {
+    "uops": HWEvent.UOPS_RETIRED_ALL,
+    "insts": HWEvent.INST_RETIRED,
+    "branches": HWEvent.BR_RETIRED,
+    "l3-miss": HWEvent.MEM_LOAD_RETIRED_L3_MISS,
+}
+
+
+def resolve_event(event: "HWEvent | str") -> HWEvent:
+    """Accept an :class:`HWEvent`, an alias ("uops"), or a value string."""
+    if isinstance(event, HWEvent):
+        return event
+    if event in EVENT_ALIASES:
+        return EVENT_ALIASES[event]
+    for e in HWEvent:
+        if e.value == event:
+            return e
+    raise ValueError(
+        f"unknown event {event!r}; aliases: {sorted(EVENT_ALIASES)}"
+    )

@@ -134,6 +134,28 @@ class PipelineInstruments:
         self.online_bytes_discarded = c(
             "repro_online_bytes_discarded_total", "Raw bytes the online policy saved"
         )
+        # -- diagnosis / differential engines ----------------------------
+        self.diag_runs = c(
+            "repro_diagnosis_runs_total", "Batch diagnose_trace invocations"
+        )
+        self.diag_items = c(
+            "repro_diagnosis_items_total", "Items classified by diagnose_trace"
+        )
+        self.diag_outliers = c(
+            "repro_diagnosis_outliers_total",
+            "Items flagged outside their group baseline band",
+        )
+        self.diag_online_verdicts = c(
+            "repro_diagnosis_online_verdicts_total",
+            "Outlier verdicts emitted mid-stream by StreamingDiagnoser",
+        )
+        self.diff_runs = c(
+            "repro_diff_runs_total", "diff_traces invocations"
+        )
+        self.diff_regressions = c(
+            "repro_diff_regressions_total",
+            "Functions found slower per item by diff_traces",
+        )
         # -- simulated machine / tracer ----------------------------------
         self.pebs_samples = c(
             "repro_pebs_samples_total", "Samples emitted by PEBS units"

@@ -72,22 +72,19 @@ def run_monitor(tracefile, args) -> int:
     Returns 0, or re-raises the ingest error in the caller's thread so
     the CLI maps it to its usual exit codes.
     """
+    from repro.core.options import IngestOptions
     from repro.core.streaming import ingest_trace
 
     reg = MetricsRegistry()
     failure: list[BaseException] = []
     result: list = []
+    # Sequential regardless of --workers: the dashboard needs the
+    # low-level counters updating in this process.
+    options = IngestOptions.from_args(args).replace(workers=1)
 
     def _ingest() -> None:
         try:
-            result.append(
-                ingest_trace(
-                    tracefile,
-                    chunk_size=args.chunk_size,
-                    workers=1,
-                    on_corruption=args.on_corruption,
-                )
-            )
+            result.append(ingest_trace(tracefile, options=options))
         except BaseException as exc:  # noqa: BLE001 — re-raised in main thread
             failure.append(exc)
 

@@ -15,6 +15,46 @@ from repro.workloads.dbpool import BufferPool, DBPoolApp, DBPoolConfig, QueryCla
 from repro.workloads.nginxmodel import NginxModel, NginxModelConfig
 from repro.workloads.spec import SPEC_KERNELS, SpecKernel, spec_kernel
 
+#: Workload names buildable by :func:`build_workload` (and the CLI).
+WORKLOADS = ("sampleapp", "nginx", "acl", "dbpool")
+
+
+def build_workload(name: str, *, items: int = 60, full_rules: bool = False):
+    """Instantiate a named workload; returns ``(app, group_map)``.
+
+    ``group_map`` maps item id → similarity key (packet type, query
+    class, ...), the grouping the diagnosis engine baselines within.
+    Shared by the CLI's ``--workload`` flag and :func:`repro.api.record`.
+    """
+    if name == "sampleapp":
+        from repro.workloads.sampleapp import SampleApp
+
+        app = SampleApp()
+        return app, {q.qid: f"n={q.n}" for q in app.config.queries}
+    if name == "nginx":
+        from repro.workloads.nginxmodel import NginxModel, NginxModelConfig
+
+        app = NginxModel(NginxModelConfig(n_requests=items))
+        return app, {r: "request" for r in range(1, items + 1)}
+    if name == "acl":
+        from repro.acl.app import ACLApp, ACLAppConfig
+        from repro.acl.packets import make_test_stream
+        from repro.acl.rules import paper_ruleset, small_ruleset
+
+        rules = paper_ruleset() if full_rules else small_ruleset(8, 8)
+        pkts = make_test_stream(max(1, items // 3))
+        app = ACLApp(rules, pkts, config=ACLAppConfig())
+        return app, {p.pkt_id: p.ptype for p in pkts}
+    if name == "dbpool":
+        from repro.workloads.dbpool import DBPoolApp, DBPoolConfig
+
+        app = DBPoolApp(DBPoolConfig(n_queries=items))
+        return app, {q.qid: q.qclass.value for q in app.queries}
+    from repro.errors import ReproError
+
+    raise ReproError(f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}")
+
+
 __all__ = [
     "BufferPool",
     "ContentionApp",
@@ -30,5 +70,7 @@ __all__ = [
     "SampleAppConfig",
     "SPEC_KERNELS",
     "SpecKernel",
+    "WORKLOADS",
+    "build_workload",
     "spec_kernel",
 ]

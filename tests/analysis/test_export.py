@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.analysis.export import to_chrome_trace, to_csv, write_chrome_trace
 from repro.errors import TraceError
 from repro.workloads.sampleapp import SampleApp

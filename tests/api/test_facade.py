@@ -1,0 +1,146 @@
+"""The facade round-trips, and every deprecated spelling still works.
+
+Two contracts in here:
+
+* ``repro.api`` (and the ``repro`` re-exports) never touch a deprecated
+  path — the whole record → diagnose → diff round-trip runs under
+  ``DeprecationWarning``-as-error.
+* the pre-1.1 spellings (``repro.trace``, ``from repro.core import
+  integrate``, ``from repro.machine import Machine``, legacy
+  ``ingest_trace`` keywords) keep working for one release, each with a
+  warning that names the replacement.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api as api
+from repro.core.options import IngestOptions
+from repro.core.streaming import ingest_trace
+from repro.errors import TraceError
+
+
+@pytest.fixture(scope="module")
+def run_npz(tmp_path_factory):
+    path = tmp_path_factory.mktemp("facade") / "run.npz"
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        api.record("sampleapp", out=path, items=30, reset_value=2000)
+    return path
+
+
+class TestRoundTrip:
+    def test_record_writes_meta(self, run_npz):
+        tf = api.load(run_npz)
+        assert tf.meta["workload"] == "sampleapp"
+        assert tf.meta["reset_value"] == 2000
+        assert tf.meta["event"] == "uops"
+
+    def test_diagnose_diff_clean_under_error_warnings(self, run_npz):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = api.integrate(run_npz)
+            assert result.trace.items()
+            report = api.diagnose(run_npz)
+            assert len(report.verdicts) > 0
+            delta = api.diff(run_npz, run_npz)
+            # A run diffed against itself has no per-item regression.
+            assert delta.top is None or delta.top.excess_per_item == 0
+
+    def test_package_reexports_are_the_facade(self):
+        assert repro.diagnose is api.diagnose
+        assert repro.diff is api.diff
+        assert repro.record is api.record
+        assert repro.IngestOptions is IngestOptions
+
+    def test_diagnose_stream_report_identical(self, run_npz):
+        one_shot = api.diagnose(run_npz)
+        streamed = api.diagnose(run_npz, stream=True)
+        assert streamed.to_json() == one_shot.to_json()
+
+
+class TestDeprecatedSpellings:
+    def test_repro_trace_warns(self):
+        with pytest.warns(DeprecationWarning, match=r"repro\.record\(\)"):
+            fn = repro.trace
+        from repro.session import trace
+
+        assert fn is trace
+
+    def test_core_reexport_warns_with_new_spelling(self):
+        import repro.core as core
+
+        with pytest.warns(DeprecationWarning, match=r"repro\.api\.integrate\(\)"):
+            fn = core.integrate
+        from repro.core.hybrid import integrate as real
+
+        assert fn is real
+
+    def test_machine_reexport_warns(self):
+        import repro.machine as machine
+
+        with pytest.warns(DeprecationWarning, match=r"repro\.machine\.machine"):
+            cls = machine.Machine
+        from repro.machine.machine import Machine
+
+        assert cls is Machine
+
+    def test_unknown_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            repro.no_such_thing  # noqa: B018
+        import repro.core as core
+
+        with pytest.raises(AttributeError):
+            core.no_such_thing  # noqa: B018
+
+    def test_dir_lists_deprecated_names(self):
+        import repro.core as core
+        import repro.machine as machine
+
+        assert "trace" in dir(repro)
+        assert "integrate" in dir(core)
+        assert "Machine" in dir(machine)
+
+
+class TestIngestOptions:
+    def test_legacy_kwargs_warn_and_apply(self, run_npz):
+        with pytest.warns(DeprecationWarning, match=r"IngestOptions\(chunk_size"):
+            result = ingest_trace(run_npz, chunk_size=1024)
+        assert result.trace.items()
+
+    def test_options_object_is_silent(self, run_npz):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            result = ingest_trace(run_npz, options=IngestOptions(chunk_size=1024))
+        assert result.trace.items()
+
+    def test_mixing_options_and_legacy_rejected(self, run_npz):
+        with pytest.raises(TraceError, match="not both"):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                ingest_trace(run_npz, options=IngestOptions(), workers=2)
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"chunk_size": 0},
+            {"workers": 0},
+            {"pool": "carrier-pigeon"},
+            {"on_corruption": "shrug"},
+            {"max_retries": -1},
+            {"record_bytes": 0},
+        ],
+    )
+    def test_validation(self, bad):
+        with pytest.raises(TraceError):
+            IngestOptions(**bad)
+
+    def test_replace(self):
+        opts = IngestOptions().replace(workers=4, on_corruption="quarantine")
+        assert opts.workers == 4 and opts.on_corruption == "quarantine"
+        # and the original default object is untouched (frozen dataclass)
+        assert IngestOptions().workers == 1

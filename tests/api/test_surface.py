@@ -1,0 +1,73 @@
+"""Public-API snapshot: the facade cannot drift without a diff here.
+
+The checked-in ``api_surface.json`` records every facade signature, the
+package ``__all__`` lists, and the :class:`IngestOptions` fields with
+their defaults.  Changing any of them is allowed — but only as a visible
+change to the snapshot file, reviewed like any other contract change.
+
+Regenerate after an intentional change::
+
+    PYTHONPATH=src python tests/api/test_surface.py --write
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+import pathlib
+
+import repro
+import repro.api as api
+from repro.core.options import IngestOptions
+
+SNAPSHOT = pathlib.Path(__file__).with_name("api_surface.json")
+
+#: The five facade verbs whose signatures are frozen.
+VERBS = ("record", "load", "integrate", "diagnose", "diff")
+
+
+def current_surface() -> dict:
+    return {
+        "repro.__all__": sorted(repro.__all__),
+        "repro.api.__all__": list(api.__all__),
+        "signatures": {
+            f"repro.api.{name}": str(inspect.signature(getattr(api, name)))
+            for name in VERBS
+        },
+        "IngestOptions": {
+            f.name: repr(f.default) for f in dataclasses.fields(IngestOptions)
+        },
+    }
+
+
+def test_surface_matches_snapshot():
+    assert SNAPSHOT.exists(), (
+        f"missing {SNAPSHOT}; generate it with "
+        "`python tests/api/test_surface.py --write`"
+    )
+    recorded = json.loads(SNAPSHOT.read_text())
+    current = current_surface()
+    assert current == recorded, (
+        "the public repro.api surface changed without updating the "
+        "snapshot.  If the change is intentional, regenerate with "
+        "`python tests/api/test_surface.py --write` and commit the diff."
+    )
+
+
+def test_facade_verbs_have_docstrings():
+    for name in VERBS:
+        doc = inspect.getdoc(getattr(api, name))
+        assert doc, f"repro.api.{name} lost its docstring"
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--write" in sys.argv:
+        SNAPSHOT.write_text(
+            json.dumps(current_surface(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {SNAPSHOT}")
+    else:
+        print(json.dumps(current_surface(), indent=2, sort_keys=True))

@@ -18,6 +18,7 @@ import pathlib
 import pytest
 
 from repro.core.hybrid import merge_traces, traces_equal
+from repro.core.options import IngestOptions
 from repro.core.streaming import ingest_trace
 from repro.core.tracefile import load_trace
 
@@ -84,7 +85,8 @@ class TestGoldenStreaming:
         merged = merge_traces([one_shot[c] for c in tf.sample_cores])
         for chunk_size in CHUNK_SIZES:
             res = ingest_trace(
-                _trace_path(name), chunk_size=chunk_size, workers=workers
+                _trace_path(name),
+                options=IngestOptions(chunk_size=chunk_size, workers=workers),
             )
             assert sorted(res.per_core) == tf.sample_cores
             for core, t in res.per_core.items():

@@ -7,6 +7,7 @@ import pytest
 
 from repro.core.hybrid import integrate, traces_equal
 from repro.core.online import OnlineDiagnoser
+from repro.core.options import IngestOptions
 from repro.core.records import SwitchRecords, build_windows
 from repro.core.streaming import (
     StreamingIntegrator,
@@ -174,7 +175,7 @@ def container(tmp_path):
 class TestIngestTrace:
     def test_sequential_matches_one_shot(self, container):
         path, one_shot = container
-        res = ingest_trace(path, chunk_size=10, workers=1)
+        res = ingest_trace(path, options=IngestOptions(chunk_size=10, workers=1))
         for core, t in res.per_core.items():
             assert traces_equal(t, one_shot[core])
         assert res.stats.samples == sum(t.total_samples for t in one_shot.values())
@@ -183,8 +184,10 @@ class TestIngestTrace:
     @pytest.mark.parametrize("pool", ["thread", "process", "auto"])
     def test_parallel_matches_sequential(self, container, pool):
         path, _ = container
-        seq = ingest_trace(path, chunk_size=10, workers=1)
-        par = ingest_trace(path, chunk_size=10, workers=2, pool=pool)
+        seq = ingest_trace(path, options=IngestOptions(chunk_size=10, workers=1))
+        par = ingest_trace(
+            path, options=IngestOptions(chunk_size=10, workers=2, pool=pool)
+        )
         assert traces_equal(seq.trace, par.trace)
         assert seq.stats.pool == "inline"
         assert par.stats.pool in ("thread", "process")
@@ -192,11 +195,11 @@ class TestIngestTrace:
     def test_bad_pool_rejected(self, container):
         path, _ = container
         with pytest.raises(TraceError, match="pool"):
-            ingest_trace(path, workers=2, pool="greenlet")
+            ingest_trace(path, options=IngestOptions(workers=2, pool="greenlet"))
 
     def test_core_subset(self, container):
         path, one_shot = container
-        res = ingest_trace(path, cores=[1], chunk_size=10)
+        res = ingest_trace(path, cores=[1], options=IngestOptions(chunk_size=10))
         assert list(res.per_core) == [1]
         assert traces_equal(res.trace, one_shot[1])
 
@@ -205,17 +208,19 @@ class TestIngestTrace:
         with pytest.raises(TraceError, match="core 9"):
             ingest_trace(path, cores=[9])
         with pytest.raises(TraceError, match="core 9"):
-            ingest_trace(path, cores=[9], workers=2)
+            ingest_trace(path, cores=[9], options=IngestOptions(workers=2))
 
     def test_bad_workers_rejected(self, container):
         path, _ = container
         with pytest.raises(TraceError, match="workers"):
-            ingest_trace(path, workers=0)
+            ingest_trace(path, options=IngestOptions(workers=0))
 
     def test_online_diagnoser_sees_every_item_once(self, container):
         path, one_shot = container
         diag = OnlineDiagnoser()
-        ingest_trace(path, chunk_size=10, workers=1, diagnoser=diag)
+        ingest_trace(
+            path, options=IngestOptions(chunk_size=10, workers=1), diagnoser=diag
+        )
         all_items = sorted(
             i for t in one_shot.values() for i in t.items()
         )
@@ -225,13 +230,15 @@ class TestIngestTrace:
     def test_parallel_diagnoser_replay(self, container):
         path, _ = container
         diag = OnlineDiagnoser()
-        res = ingest_trace(path, chunk_size=10, workers=2, diagnoser=diag)
+        res = ingest_trace(
+            path, options=IngestOptions(chunk_size=10, workers=2), diagnoser=diag
+        )
         # Replay feeds the merged view: distinct items, each once.
         assert len(diag.decisions) == len(res.trace.items())
 
     def test_replay_into_orders_by_completion(self, container):
         path, _ = container
-        res = ingest_trace(path, chunk_size=10)
+        res = ingest_trace(path, options=IngestOptions(chunk_size=10))
         diag = OnlineDiagnoser()
         replay_into(diag, res.trace)
         assert len(diag.decisions) == len(res.trace.items())

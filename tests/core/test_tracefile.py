@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import trace
+from repro.session import trace
 from repro.core.tracefile import FORMAT_VERSION, load_trace, save_session, save_trace
 from repro.errors import TraceError
 from repro.workloads.sampleapp import SampleApp
@@ -182,6 +182,7 @@ class TestEdgeCaseCores:
 
     def test_zero_sample_core_integrates_to_empty_trace(self, tmp_path):
         from repro.core.records import SwitchRecords
+        from repro.core.options import IngestOptions
         from repro.core.streaming import ingest_trace
         from repro.runtime.actions import SwitchKind
 
@@ -190,7 +191,7 @@ class TestEdgeCaseCores:
         rec.append(100, 1, SwitchKind.ITEM_END)
         path = tmp_path / "nosamples.npz"
         save_trace(path, {0: self._empty_samples()}, {0: rec}, self._symtab())
-        res = ingest_trace(path, workers=1)
+        res = ingest_trace(path, options=IngestOptions(workers=1))
         t = res.per_core[0]
         # No samples ever landed in the window, so no item surfaces —
         # but ingest succeeds and the core counts as fully covered.

@@ -53,7 +53,7 @@ class TestUnattributed:
         (If the *same* function straddles the stall with samples on both
         sides, its max-minus-min estimate swallows the stall instead —
         the V-B2-style positional limitation.)"""
-        from repro import trace as trace_app
+        from repro.session import trace as trace_app
         from repro.machine.block import Block
         from repro.runtime.actions import Exec, Mark
         from repro.runtime.thread import AppThread

@@ -1,0 +1,165 @@
+"""Regenerate the ACL-trie regression fixtures (`acl_*.npz`).
+
+The paper's Section IV-C1 case study in miniature: the same
+deterministic packet stream classified against the same rule set, with
+only the trie layout changed between the two runs.
+
+* ``acl_base.npz``    — vanilla DPDK build: rules split over at most
+  ``max_tries`` = 8 tries.
+* ``acl_regress.npz`` — the paper's modified build with
+  ``max_rules_per_trie=2``: the 64-rule set lands in 32 tries, so every
+  ``rte_acl_classify`` call walks 4x the tries.
+
+``repro diff acl_base.npz acl_regress.npz`` must name
+``rte_acl_classify`` as the top excess-time contributor with nonzero
+confidence — that verdict, plus the exact figures, is pinned in
+``acl_case_expected.json``.
+
+A third container backs the diagnosis goldens:
+
+* ``acl_spike.npz`` — the regressed build fed a stream of cheap type-C
+  packets with two expensive type-A packets hidden inside, recorded
+  *without* group metadata, so the diagnosis engine has to spot the A
+  packets as outliers against the single-group baseline and attribute
+  their excess to ``rte_acl_classify``.
+
+Usage::
+
+    PYTHONPATH=src python tests/data/make_acl_case.py
+
+Everything is deterministic — reruns are byte-stable, so the fixtures
+can be regenerated at will and diffed.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+HERE = pathlib.Path(__file__).parent
+
+#: Sampling-counter reset value.  352 uops/trie for a type-A walk means
+#: ~5 samples inside a base classify call and ~22 in a regressed one —
+#: dense enough for per-function attribution at ``min_samples=2``.
+RESET_VALUE = 500
+
+#: Packets per Table IV type in the diff stream (A/B/C interleaved).
+PER_TYPE = 8
+
+#: The regression knob: 64 rules / 2 per trie = 32 tries (vs 8 vanilla).
+MAX_RULES_REGRESSED = 2
+
+#: Spike stream: type-C filler with type-A packets at these positions.
+SPIKE_LEN = 22
+SPIKE_POSITIONS = (7, 15)
+
+
+def _record(app, groups, out, case):
+    import repro.api as api
+
+    return api.record(
+        app,
+        out=out,
+        reset_value=RESET_VALUE,
+        groups=groups,
+        chunk_size=512,
+        meta={"workload": "acl", "case": case},
+    )
+
+
+def build_diff_pair():
+    """The base/regressed pair over one interleaved A/B/C stream."""
+    from repro.acl.app import ACLApp, ACLAppConfig
+    from repro.acl.packets import make_test_stream
+    from repro.acl.rules import small_ruleset
+
+    rules = small_ruleset(8, 8)
+    pkts = make_test_stream(PER_TYPE)
+    groups = {p.pkt_id: p.ptype for p in pkts}
+    for case, max_rules, out in (
+        ("base", None, HERE / "acl_base.npz"),
+        ("regress", MAX_RULES_REGRESSED, HERE / "acl_regress.npz"),
+    ):
+        config = ACLAppConfig(max_rules_per_trie=max_rules)
+        app = ACLApp(rules, pkts, config=config)
+        _record(app, groups, out, case)
+    return HERE / "acl_base.npz", HERE / "acl_regress.npz"
+
+
+def build_spike():
+    """The diagnosis fixture: two type-A spikes in a type-C stream."""
+    from repro.acl.app import ACLApp, ACLAppConfig
+    from repro.acl.packets import make_packet
+    from repro.acl.rules import small_ruleset
+
+    pkts = [
+        make_packet("A" if i in SPIKE_POSITIONS else "C", pkt_id=i + 1)
+        for i in range(SPIKE_LEN)
+    ]
+    config = ACLAppConfig(max_rules_per_trie=MAX_RULES_REGRESSED)
+    app = ACLApp(small_ruleset(8, 8), pkts, config=config)
+    # No groups on purpose: the engine must find the spikes with nothing
+    # but the single-group robust baseline.
+    _record(app, {}, HERE / "acl_spike.npz", "spike")
+    return HERE / "acl_spike.npz", [i + 1 for i in SPIKE_POSITIONS]
+
+
+def expected_for(base_path, regress_path, spike_path, spike_ids):
+    """Run the analysis once and pin its verdicts."""
+    import repro.api as api
+
+    delta = api.diff(base_path, regress_path)
+    top = delta.top
+    assert top is not None and top.fn_name == "rte_acl_classify", top
+    assert top.confidence > 0, top
+
+    report = api.diagnose(spike_path, group_of=lambda _i: "all")
+    outliers = sorted(v.item_id for v in report.outliers)
+    assert outliers == spike_ids, (outliers, spike_ids)
+    for v in report.outliers:
+        assert v.culprit == "rte_acl_classify", v
+
+    return {
+        "diff": {
+            "top_fn": top.fn_name,
+            "top_excess_per_item": top.excess_per_item,
+            "top_confidence": top.confidence,
+            "n_items_base": delta.n_items_base,
+            "n_items_other": delta.n_items_other,
+            "base_median_total": delta.base_median_total,
+            "other_median_total": delta.other_median_total,
+            "deltas": [
+                {
+                    "fn": d.fn_name,
+                    "excess_per_item": d.excess_per_item,
+                    "confidence": d.confidence,
+                }
+                for d in delta.regressions[:3]
+            ],
+        },
+        "diagnose_spike": {
+            "outlier_items": outliers,
+            "culprit": "rte_acl_classify",
+            "n_verdicts": len(report.verdicts),
+        },
+    }
+
+
+def main():
+    base_path, regress_path = build_diff_pair()
+    spike_path, spike_ids = build_spike()
+    expected = expected_for(base_path, regress_path, spike_path, spike_ids)
+    out = HERE / "acl_case_expected.json"
+    out.write_text(json.dumps(expected, indent=2, sort_keys=True) + "\n")
+    for p in (base_path, regress_path, spike_path, out):
+        print(f"wrote {p} ({p.stat().st_size:,} bytes)")
+    top = expected["diff"]
+    print(
+        f"top excess-time contributor: {top['top_fn']} "
+        f"(+{top['top_excess_per_item']:,.0f} cycles/item, "
+        f"confidence {top['top_confidence']:.2f})"
+    )
+
+
+if __name__ == "__main__":
+    main()

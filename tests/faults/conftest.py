@@ -21,6 +21,7 @@ import shutil
 import numpy as np
 import pytest
 
+from repro.core.options import IngestOptions
 from repro.core.records import SwitchRecords
 from repro.core.streaming import ingest_trace
 from repro.core.symbols import SymbolTable
@@ -94,7 +95,9 @@ def clean_path(tmp_path_factory):
 
 @pytest.fixture(scope="session")
 def clean_result(clean_path):
-    return ingest_trace(clean_path, workers=1, chunk_size=CHUNK)
+    return ingest_trace(
+        clean_path, options=IngestOptions(workers=1, chunk_size=CHUNK)
+    )
 
 
 @pytest.fixture

@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.hybrid import traces_equal
 from repro.core.integrity import KIND_CHECKSUM, KIND_LENGTH, KIND_MISSING, KIND_ORDER
+from repro.core.options import IngestOptions
 from repro.core.streaming import ingest_trace
 from repro.errors import CorruptionError
 from repro.testing import faults
@@ -20,7 +21,8 @@ from tests.faults.conftest import CHUNK, ITEMS_PER_CORE, SAMPLES_PER_CORE, item_
 
 
 def ingest(path, policy="strict"):
-    return ingest_trace(path, workers=1, chunk_size=CHUNK, on_corruption=policy)
+    opts = IngestOptions(workers=1, chunk_size=CHUNK, on_corruption=policy)
+    return ingest_trace(path, options=opts)
 
 
 def assert_items_match_clean(result, clean, skip=()):

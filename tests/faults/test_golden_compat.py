@@ -14,6 +14,7 @@ import pathlib
 import pytest
 
 from repro.core.integrity import POLICIES
+from repro.core.options import IngestOptions
 from repro.core.streaming import ingest_trace
 from repro.core.tracefile import TraceReader, load_trace, save_trace
 from repro.errors import CorruptionError
@@ -29,7 +30,8 @@ GOLDENS = ("golden_a", "golden_b", "golden_c")
 @pytest.mark.parametrize("name", GOLDENS)
 def test_goldens_reproduce_under_every_policy(name, policy):
     res = ingest_trace(
-        DATA / f"{name}.npz", workers=1, chunk_size=64, on_corruption=policy
+        DATA / f"{name}.npz",
+        options=IngestOptions(workers=1, chunk_size=64, on_corruption=policy),
     )
     merged = EXPECTED[name]["merged"]
     assert res.trace.items() == merged["items"]
@@ -98,7 +100,9 @@ def test_flat_v3_layout_supports_policies(tmp_path):
     save_trace(path, {0: samples}, {0: rec}, symtab)
     faults.flip_sample_bit(path, 0, column="ts", index=1, bit=60)
     with pytest.raises(CorruptionError):
-        ingest_trace(path, workers=1)
-    res = ingest_trace(path, workers=1, on_corruption="repair")
+        ingest_trace(path, options=IngestOptions(workers=1))
+    res = ingest_trace(
+        path, options=IngestOptions(workers=1, on_corruption="repair")
+    )
     assert res.coverage[0].samples_dropped == 1
     assert res.coverage[0].samples_kept == 2

@@ -10,6 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.integrity import KIND_SWITCH
+from repro.core.options import IngestOptions
 from repro.core.streaming import ingest_trace
 from repro.errors import CorruptionError, TraceError
 from repro.testing import faults
@@ -19,7 +20,8 @@ N_MARKS = 2 * N_WINDOWS
 
 
 def ingest(path, policy="strict"):
-    return ingest_trace(path, workers=1, chunk_size=CHUNK, on_corruption=policy)
+    opts = IngestOptions(workers=1, chunk_size=CHUNK, on_corruption=policy)
+    return ingest_trace(path, options=opts)
 
 
 def assert_others_match_clean(result, clean, skip):

@@ -15,6 +15,7 @@ import pytest
 
 from repro.core.hybrid import traces_equal
 from repro.core.integrity import KIND_SHARD
+from repro.core.options import IngestOptions
 from repro.core.streaming import ingest_trace
 from repro.errors import ShardError, TraceError
 from repro.testing.faults import flaky_then_integrate, hang_then_integrate
@@ -22,10 +23,9 @@ from tests.faults.conftest import CHUNK
 
 
 def ingest(path, **kw):
-    kw.setdefault("workers", 2)
-    kw.setdefault("pool", "process")
-    kw.setdefault("chunk_size", CHUNK)
-    return ingest_trace(path, **kw)
+    shard_fn = kw.pop("_shard_fn", None)
+    opts = IngestOptions(workers=2, pool="process", chunk_size=CHUNK).replace(**kw)
+    return ingest_trace(path, options=opts, _shard_fn=shard_fn)
 
 
 def test_hung_worker_strict_raises(clean_path):
@@ -118,10 +118,10 @@ def test_corrupt_shard_is_not_retried(trace_copy, tmp_path):
     assert "CorruptionError" in str(exc_info.value)
 
 
-def test_supervision_parameter_validation(clean_path):
+def test_supervision_parameter_validation():
     with pytest.raises(TraceError):
-        ingest_trace(clean_path, shard_timeout=0)
+        IngestOptions(shard_timeout=0)
     with pytest.raises(TraceError):
-        ingest_trace(clean_path, max_retries=-1)
+        IngestOptions(max_retries=-1)
     with pytest.raises(TraceError):
-        ingest_trace(clean_path, on_corruption="ignore")
+        IngestOptions(on_corruption="ignore")

@@ -1,0 +1,113 @@
+"""CLI front-end of the diagnosis engine: `repro diagnose` / `repro diff`.
+
+Runs against the checked-in ACL-trie regression fixtures (see
+``tests/data/make_acl_case.py``), so no workload simulation happens here
+— these tests pin the *user-visible* contract: stdout wording, ``--json``
+payloads, the exit-code table in ``--help``, and exit 3 on damaged data.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+BASE = str(DATA / "acl_base.npz")
+REGRESS = str(DATA / "acl_regress.npz")
+SPIKE = str(DATA / "acl_spike.npz")
+
+
+class TestDiff:
+    def test_one_shot_names_rte_acl_classify(self, capsys):
+        rc = main(["diff", BASE, REGRESS])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top excess-time contributor: rte_acl_classify" in out
+
+    def test_stream_mode_same_verdict(self, capsys):
+        rc = main(["diff", BASE, REGRESS, "--stream"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "top excess-time contributor: rte_acl_classify" in out
+
+    def test_json_payload(self, capsys):
+        rc = main(["diff", BASE, REGRESS, "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        top = payload["deltas"][0]
+        assert top["fn"] == "rte_acl_classify"
+        assert top["confidence"] > 0
+
+    def test_self_diff_finds_nothing(self, capsys):
+        rc = main(["diff", BASE, BASE])
+        assert rc == 0
+        assert "no per-item regression found" in capsys.readouterr().out
+
+
+class TestDiagnose:
+    def test_spike_flagged_with_culprit(self, capsys):
+        rc = main(["diagnose", SPIKE])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "OUTLIER" in captured.out
+        assert "rte_acl_classify" in captured.out
+        # no groups were recorded for the spike stream on purpose
+        assert "treating the whole trace as one similarity group" in captured.err
+
+    def test_grouped_run_is_calm(self, capsys):
+        rc = main(["diagnose", BASE])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "no outliers" in captured.out
+        assert "similarity group" not in captured.err  # groups came from meta
+
+    def test_stream_emits_online_verdicts(self, capsys):
+        rc = main(["diagnose", SPIKE, "--stream"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "[online]" in captured.err
+        assert "OUTLIER" in captured.out  # final report still printed
+
+    def test_json_payload(self, capsys):
+        rc = main(["diagnose", SPIKE, "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        items = [o["item_id"] for o in payload["outliers"]]
+        assert sorted(items) == [8, 16]
+        assert all(
+            o["attributions"][0]["fn"] == "rte_acl_classify"
+            for o in payload["outliers"]
+        )
+
+    def test_percentile_method(self, capsys):
+        rc = main(["diagnose", SPIKE, "--method", "percentile"])
+        assert rc == 0
+        assert "method=percentile" in capsys.readouterr().out
+
+
+class TestContract:
+    @pytest.mark.parametrize("cmd", ["diagnose", "diff"])
+    def test_help_documents_exit_codes(self, cmd, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main([cmd, "--help"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert "exit codes:" in out
+        assert "3  trace-data error" in out
+
+    def test_damaged_data_exits_3(self, tmp_path, capsys):
+        bad = tmp_path / "bad.npz"
+        bad.write_bytes(b"not a trace at all")
+        assert main(["diagnose", str(bad)]) == 3
+        assert main(["diff", str(bad), BASE]) == 3
+        err = capsys.readouterr().err
+        assert "trace error:" in err
+
+    def test_bad_method_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["diagnose", SPIKE, "--method", "vibes"])
+        assert exc.value.code == 2

@@ -15,6 +15,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
 
 QUICK = {
     "quickstart.py": ["Diagnosis", "f3_compute"],
+    "acl_regression_diff.py": ["rte_acl_classify", "top excess-time contributor"],
     "custom_workload.py": ["visible only in the trace", "handle_io"],
     "timer_switching.py": ["preemptions", "0 marking calls"],
     "online_monitoring.py": ["DUMP", "storage reduction"],

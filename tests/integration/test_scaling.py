@@ -2,9 +2,13 @@
 
 import statistics
 
-from repro.core import MarkingTracer, integrate, merge_traces
+from repro.core.hybrid import integrate, merge_traces
+from repro.core.instrument import MarkingTracer
 from repro.core.symbols import AddressAllocator
-from repro.machine import Block, HWEvent, Machine, PEBSConfig
+from repro.machine.block import Block
+from repro.machine.events import HWEvent
+from repro.machine.machine import Machine
+from repro.machine.pebs import PEBSConfig
 from repro.runtime import (
     AppThread,
     Exec,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import TraceSession, trace
+from repro.session import TraceSession, trace
 from repro.errors import ConfigError
 from repro.machine.events import HWEvent
 from repro.workloads.sampleapp import SampleApp

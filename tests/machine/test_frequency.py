@@ -53,7 +53,7 @@ class TestFrequencyScaling:
             assert iv.mean_cycles / freq == pytest.approx(expected_ns, rel=0.01)
 
     def test_trace_session_uses_spec_frequency(self):
-        from repro import trace
+        from repro.session import trace
         from repro.workloads.synth import FixedSequenceApp, uniform_items
 
         app = FixedSequenceApp(uniform_items(3, {"f": 9000}))

@@ -6,6 +6,7 @@ import time
 
 import pytest
 
+from repro.core.options import IngestOptions
 from repro.core.streaming import ingest_trace
 from repro.core.tracefile import TraceReader, load_trace
 from repro.obs.instrumented import pipeline, publish_quarantine
@@ -37,7 +38,9 @@ def test_pipeline_cache_follows_registry():
 def test_ingest_counters_match_report(fixture_trace):
     reg = MetricsRegistry()
     with use_registry(reg):
-        res = ingest_trace(fixture_trace, workers=1, chunk_size=CHUNK)
+        res = ingest_trace(
+            fixture_trace, options=IngestOptions(workers=1, chunk_size=CHUNK)
+        )
     # Shard totals published by the parent equal the result's accounting...
     assert reg.value("repro_ingest_samples_total") == res.stats.samples
     assert reg.value("repro_ingest_chunks_total") == res.stats.chunks
@@ -65,7 +68,12 @@ def test_quarantined_ingest_counters(fixture_trace, tmp_path):
     faults.flip_sample_bit(path, 0, chunk=2, column="ts", index=16, bit=60)
     reg = MetricsRegistry()
     with use_registry(reg):
-        res = ingest_trace(path, workers=1, chunk_size=CHUNK, on_corruption="quarantine")
+        res = ingest_trace(
+            path,
+            options=IngestOptions(
+                workers=1, chunk_size=CHUNK, on_corruption="quarantine"
+            ),
+        )
     cov = res.coverage[0]
     assert cov.chunks_dropped == 1
     assert reg.value("repro_integrity_chunks_quarantined_total") == 1
@@ -84,7 +92,10 @@ def test_quarantine_text_equals_legacy_summary_and_counters(fixture_trace, tmp_p
     path = tmp_path / "bad.npz"
     shutil.copy(fixture_trace, path)
     faults.flip_sample_bit(path, 0, chunk=1, column="ts", index=5, bit=60)
-    res = ingest_trace(path, workers=1, chunk_size=CHUNK, on_corruption="quarantine")
+    res = ingest_trace(
+        path,
+        options=IngestOptions(workers=1, chunk_size=CHUNK, on_corruption="quarantine"),
+    )
     assert res.quarantine.defects
 
     # Telemetry off: identical to the legacy QuarantineLog.summary().

@@ -3,7 +3,7 @@
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro import trace
+from repro.session import trace
 from repro.workloads.synth import FixedItem, FixedSequenceApp
 
 FN_NAMES = ("alpha", "beta", "gamma")

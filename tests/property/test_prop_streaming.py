@@ -15,6 +15,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.hybrid import integrate, merge_traces, traces_equal
+from repro.core.options import IngestOptions
 from repro.core.records import SwitchRecords
 from repro.core.streaming import StreamingIntegrator, ingest_trace
 from repro.core.symbols import SymbolTable
@@ -95,9 +96,11 @@ def test_merge_traces_order_invariant(shards, seed):
     assert np.array_equal(merged.elapsed, shuffled.elapsed)
     assert np.array_equal(merged.t_first, shuffled.t_first)
     assert np.array_equal(merged.t_last, shuffled.t_last)
-    assert sorted(merged.windows, key=lambda w: (w.t_start, w.item_id)) == sorted(
-        shuffled.windows, key=lambda w: (w.t_start, w.item_id)
-    )
+    # Sort by a total key: two windows may share (t_start, item_id) and
+    # differ only in t_end, and a partial key would make the comparison
+    # input-order dependent.
+    key = lambda w: (w.t_start, w.item_id, w.t_end)  # noqa: E731
+    assert sorted(merged.windows, key=key) == sorted(shuffled.windows, key=key)
 
 
 @pytest.mark.slow
@@ -125,7 +128,9 @@ def test_ingest_trace_file_roundtrip(shards, chunk_size, workers):
         save_trace(
             path, samples_by_core, switches_by_core, SYMTAB, chunk_size=chunk_size
         )
-        res = ingest_trace(path, chunk_size=chunk_size, workers=workers)
+        res = ingest_trace(
+            path, options=IngestOptions(chunk_size=chunk_size, workers=workers)
+        )
     for core, t in res.per_core.items():
         assert traces_equal(t, one_shot[core])
     assert traces_equal(res.trace, merged)
