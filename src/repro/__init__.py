@@ -23,19 +23,30 @@ of ``repro.core`` and ``repro.machine`` are deprecated (they still work,
 with a :class:`DeprecationWarning` naming the new spelling).
 """
 
-from repro.api import IngestOptions, diagnose, diff, integrate, load, record
+from repro.api import (
+    IngestOptions,
+    OverloadPolicy,
+    diagnose,
+    diff,
+    integrate,
+    load,
+    record,
+    recover,
+)
 from repro.errors import ReproError
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "IngestOptions",
+    "OverloadPolicy",
     "ReproError",
     "diagnose",
     "diff",
     "integrate",
     "load",
     "record",
+    "recover",
     "__version__",
 ]
 

@@ -202,6 +202,11 @@ class ItemVerdict:
     excess_cycles: int
     #: Ranked by excess, descending; empty for non-outliers.
     attributions: tuple[FunctionAttribution, ...] = ()
+    #: True when the item's windows overlap data the capture lost (shed
+    #: samples under overload, spans a crash recovery could not salvage):
+    #: the verdict was computed from incomplete evidence and should be
+    #: read as "affected by degraded capture", not misattributed.
+    degraded: bool = False
 
     @property
     def culprit(self) -> str | None:
@@ -215,16 +220,18 @@ class ItemVerdict:
             f"item {self.item_id} (group {self.group!r}): {total_us:.2f} us vs "
             f"baseline {med_us:.2f} us ({self.deviation:+.1f} band-widths)"
         )
+        tail = " [degraded capture]" if self.degraded else ""
         if not self.is_outlier:
-            return head + " — within band"
+            return head + " — within band" + tail
         if not self.attributions:
-            return head + " — OUTLIER, no attributable excess"
+            return head + " — OUTLIER, no attributable excess" + tail
         top = self.attributions[0]
         return (
             head
             + f" — OUTLIER; top contributor {top.fn_name} "
             + f"(+{top.excess_cycles} cycles, {top.share:.0%} of excess, "
             + f"confidence {top.confidence:.2f})"
+            + tail
         )
 
 
@@ -248,6 +255,11 @@ class DiagnosisReport:
         return out
 
     @property
+    def degraded_items(self) -> list[ItemVerdict]:
+        """Verdicts computed from incomplete capture data, item order."""
+        return [v for v in self.verdicts if v.degraded]
+
+    @property
     def fluctuating(self) -> bool:
         return any(v.is_outlier for v in self.verdicts)
 
@@ -268,6 +280,12 @@ class DiagnosisReport:
             lines.append("  " + v.describe(freq_ghz))
         if len(outs) > limit:
             lines.append(f"  ... and {len(outs) - limit} more outlier(s)")
+        n_deg = len(self.degraded_items)
+        if n_deg:
+            lines.append(
+                f"  {n_deg} item(s) overlap lost capture data (shed or "
+                "unrecovered spans); their verdicts are marked degraded"
+            )
         return "\n".join(lines)
 
     def to_json(self) -> str:
@@ -288,6 +306,7 @@ class DiagnosisReport:
                     }
                     for b in self.baselines
                 ],
+                "degraded_items": [v.item_id for v in self.degraded_items],
                 "outliers": [
                     {
                         "item_id": v.item_id,
@@ -296,6 +315,7 @@ class DiagnosisReport:
                         "center_cycles": v.center_cycles,
                         "deviation": v.deviation,
                         "excess_cycles": v.excess_cycles,
+                        "degraded": v.degraded,
                         "attributions": [
                             {
                                 "fn": a.fn_name,
@@ -371,6 +391,7 @@ def diagnose_trace(
     percentile: float = 99.0,
     min_samples: int = 2,
     reset_value: int | None = None,
+    degraded_items: set[int] | None = None,
 ) -> DiagnosisReport:
     """Classify every item against its group baseline; attribute outliers.
 
@@ -388,6 +409,12 @@ def diagnose_trace(
 
     ``reset_value`` (the sampling period R) feeds attribution confidence;
     defaults to :data:`DEFAULT_RESET_VALUE` when unknown.
+
+    ``degraded_items`` marks item ids whose evidence is known-incomplete
+    (their windows overlap samples shed under overload or spans a crash
+    recovery could not salvage).  Their verdicts still classify — the
+    window ground truth survives — but carry ``degraded=True`` so a
+    missing-samples artifact is never misread as attribution.
     """
     if method not in METHODS:
         raise TraceError(f"method must be one of {METHODS}, got {method!r}")
@@ -406,6 +433,12 @@ def diagnose_trace(
 
     items_arr, totals_arr = item_totals(trace.window_columns)
     sampled = set(trace.items())
+    if degraded_items:
+        # A degraded item may have lost *every* sample (a whole shed or
+        # unrecovered span); its window ground truth still classifies it,
+        # and silently dropping it would hide exactly the loss the flag
+        # exists to surface.
+        sampled |= {int(i) for i in degraded_items}
     keep = np.asarray([int(i) in sampled for i in items_arr], dtype=bool)
     items_arr = items_arr[keep]
     totals_arr = totals_arr[keep].astype(np.float64)
@@ -499,6 +532,7 @@ def diagnose_trace(
                 is_outlier=is_out,
                 excess_cycles=max(0, int(round(total - center))),
                 attributions=attrs,
+                degraded=bool(degraded_items) and int(item) in degraded_items,
             )
         )
     ins.diag_items.inc(len(verdicts))

@@ -1,4 +1,4 @@
-"""The supported Python surface of the tracer, in five verbs.
+"""The supported Python surface of the tracer, in six verbs.
 
 ::
 
@@ -9,6 +9,7 @@
     result  = repro.integrate("run.npz")                     # stream-integrate
     report  = repro.diagnose("run.npz")                      # find outlier items
     delta   = repro.diff("base.npz", "regressed.npz")        # localize a regression
+    rec     = repro.recover("run.npz")                       # replay a crash journal
 
 Everything here is a thin, *stable* wrapper over the engine modules
 (:mod:`repro.session`, :mod:`repro.core.streaming`,
@@ -34,23 +35,29 @@ from repro.analysis.diagnose import (
     diagnose_trace,
 )
 from repro.analysis.differential import DiffReport, diff_traces
+from repro.core.durable import RecoveryReport
+from repro.core.durable import recover as _recover_journal
 from repro.core.hybrid import HybridTrace
+from repro.core.integrity import degraded_items_for_span
 from repro.core.options import IngestOptions
 from repro.core.streaming import IngestResult, ingest_trace
 from repro.core.tracefile import TraceFile, TraceReader, load_trace
 from repro.errors import ReproError
 from repro.machine.events import resolve_event
+from repro.machine.overload import OverloadPolicy
 from repro.session import TraceSession
 from repro.session import trace as _run_trace
 from repro.workloads import build_workload
 
 __all__ = [
     "IngestOptions",
+    "OverloadPolicy",
     "record",
     "load",
     "integrate",
     "diagnose",
     "diff",
+    "recover",
 ]
 
 
@@ -69,6 +76,9 @@ def record(
     compress: bool = True,
     checksums: bool = True,
     meta: dict | None = None,
+    durable: bool = False,
+    checkpoint_every_marks: int = 256,
+    overload: OverloadPolicy | None = None,
 ) -> TraceSession:
     """Run a workload under the hybrid tracer; optionally save the trace.
 
@@ -84,8 +94,17 @@ def record(
     the event, and the item → similarity-group map that
     :func:`diagnose` baselines within (from the named workload's
     definition, or ``groups=`` for custom apps).
+
+    ``durable=True`` records through the crash-safe journal
+    (:class:`~repro.core.durable.DurableTraceWriter`, checkpointed every
+    ``checkpoint_every_marks`` switch marks): a kill at any instant
+    leaves a journal :func:`recover` turns into a valid container.
+    Requires ``out``.  ``overload`` opts into overload-graceful capture
+    (see :class:`~repro.machine.overload.OverloadPolicy`).
     """
     hw_event = resolve_event(event)
+    if durable and out is None:
+        raise ReproError("durable=True needs out= (the container to journal)")
     if isinstance(workload, str):
         app, wl_groups = build_workload(
             workload, items=items, full_rules=full_rules
@@ -96,22 +115,26 @@ def record(
         name = type(workload).__name__
     if groups is not None:
         wl_groups = dict(groups)
+    full_meta = {
+        "workload": name,
+        "reset_value": reset_value,
+        "event": event if isinstance(event, str) else hw_event.value,
+        "groups": {str(k): str(v) for k, v in wl_groups.items()},
+    }
+    if meta:
+        full_meta.update(meta)
     session = _run_trace(
         app,
         sample_cores=sample_cores,
         reset_value=reset_value,
         event=hw_event,
         double_buffered=double_buffered,
+        overload=overload,
+        durable_out=out if durable else None,
+        checkpoint_every_marks=checkpoint_every_marks,
+        durable_meta=full_meta if durable else None,
     )
-    if out is not None:
-        full_meta = {
-            "workload": name,
-            "reset_value": reset_value,
-            "event": event if isinstance(event, str) else hw_event.value,
-            "groups": {str(k): str(v) for k, v in wl_groups.items()},
-        }
-        if meta:
-            full_meta.update(meta)
+    if out is not None and not durable:
         session.save(
             out,
             meta=full_meta,
@@ -176,6 +199,30 @@ def _groups_from_meta(meta: dict) -> Callable[[int], Hashable] | None:
     return lambda i: groups.get(i, "?")
 
 
+def _degraded_items(trace: HybridTrace, meta: dict, core: int | None) -> set[int]:
+    """Item ids whose windows overlap capture losses recorded in ``meta``.
+
+    Two metadata blocks describe lost sample data: ``capture.shed_spans``
+    (overload shedding during the run) and ``recovery.lost_spans``
+    (segments a crash recovery could not salvage).  Both are per-core
+    ``[lo, hi]`` timestamp spans with ``None`` meaning unbounded.
+    """
+    spans: list[tuple[int | None, int | None]] = []
+    for block, key in (("capture", "shed_spans"), ("recovery", "lost_spans")):
+        per_core = (meta.get(block) or {}).get(key) or {}
+        for c, pairs in per_core.items():
+            if core is not None and int(c) != int(core):
+                continue
+            spans.extend((lo, hi) for lo, hi in pairs)
+    if not spans:
+        return set()
+    windows = trace.window_columns
+    items: set[int] = set()
+    for lo, hi in spans:
+        items.update(degraded_items_for_span(windows, lo, hi))
+    return items
+
+
 def _one_shot_trace(source, core: int | None) -> HybridTrace:
     if isinstance(source, HybridTrace):
         return source
@@ -217,6 +264,11 @@ def diagnose(
     baselines; see :class:`~repro.analysis.diagnose.StreamingDiagnoser`);
     the returned report is still computed from the finalized trace, so
     it is identical to the one-shot result on the same data.
+
+    When the container records capture losses (samples shed under
+    overload, spans a crash recovery could not salvage), the affected
+    items come back with ``degraded=True`` instead of being silently
+    misattributed from incomplete evidence.
     """
     meta = _meta_of(source)
     if group_of is None:
@@ -224,13 +276,13 @@ def diagnose(
     if reset_value is None:
         rv = meta.get("reset_value")
         reset_value = int(rv) if rv is not None else None
+    use_core = _pick_core(source, core) if not isinstance(source, HybridTrace) else core
     if stream:
         if isinstance(source, HybridTrace):
             raise ReproError("stream=True needs a container path, not a trace")
         path = source if isinstance(source, (str, pathlib.Path)) else None
         if path is None:
             raise ReproError("stream=True needs a container path")
-        use_core = _pick_core(path, core)
         sd = StreamingDiagnoser(
             group_of,
             k_sigma=k_sigma,
@@ -246,7 +298,7 @@ def diagnose(
         )
         trace = result.per_core[use_core]
     else:
-        trace = _one_shot_trace(source, core)
+        trace = _one_shot_trace(source, use_core)
     return diagnose_trace(
         trace,
         group_of,
@@ -255,6 +307,36 @@ def diagnose(
         min_ratio=min_ratio,
         min_samples=min_samples,
         reset_value=reset_value,
+        degraded_items=_degraded_items(trace, meta, use_core) or None,
+    )
+
+
+def recover(
+    source,
+    out: str | pathlib.Path | None = None,
+    *,
+    policy: str = "quarantine",
+    salvage_unsealed: bool = False,
+) -> RecoveryReport:
+    """Replay a crashed capture's recording journal into a valid container.
+
+    ``source`` is the journal directory a durable :func:`record` left
+    behind (``<out>.journal``), or the container path whose journal
+    sibling should be replayed; ``out`` defaults to the path the journal
+    manifest recorded.  The default ``policy="quarantine"`` salvages
+    every sealed segment that validates and reports the rest as
+    :class:`~repro.core.integrity.Defect` records on the returned
+    report's ``quarantine`` log; ``"strict"`` raises on any damage.
+    ``salvage_unsealed`` additionally admits segments that were fully
+    written but never committed to the journal.
+
+    Replay is idempotent and the result loads cleanly under
+    ``--on-corruption strict``; lost sample spans land in the
+    container's ``recovery`` metadata so :func:`diagnose` flags the
+    affected items as degraded.
+    """
+    return _recover_journal(
+        source, out=out, policy=policy, salvage_unsealed=salvage_unsealed
     )
 
 

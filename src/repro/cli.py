@@ -8,6 +8,7 @@ on any machine, long after the run.
 Usage::
 
     python -m repro.cli run --workload sampleapp --out trace.npz
+    python -m repro.cli recover trace.npz
     python -m repro.cli info trace.npz
     python -m repro.cli report trace.npz --core 1 --diagnose
     python -m repro.cli diagnose trace.npz
@@ -31,6 +32,7 @@ from repro.core.options import IngestOptions
 from repro.core.tracefile import load_trace, save_session
 from repro.errors import ReproError, TraceError
 from repro.machine.events import EVENT_ALIASES as EVENTS
+from repro.machine.overload import OverloadPolicy
 from repro.session import trace as run_trace
 from repro.workloads import WORKLOADS, build_workload
 
@@ -46,32 +48,59 @@ def _build_workload(args):
 
 def cmd_run(args) -> int:
     app, groups = _build_workload(args)
-    session = run_trace(
-        app,
-        reset_value=args.reset_value,
-        event=EVENTS[args.event],
-        double_buffered=args.double_buffered,
-    )
     meta = {
         "workload": args.workload,
         "reset_value": args.reset_value,
         "event": args.event,
         "groups": {str(k): str(v) for k, v in groups.items()},
     }
-    save_session(
-        args.out,
-        session,
-        app.symtab,
-        meta=meta,
-        chunk_size=args.chunk_size,
-        compress=not args.uncompressed,
-        checksums=not args.no_checksums,
+    overload = OverloadPolicy() if args.overload else None
+    session = run_trace(
+        app,
+        reset_value=args.reset_value,
+        event=EVENTS[args.event],
+        double_buffered=args.double_buffered,
+        overload=overload,
+        durable_out=args.out if args.durable else None,
+        checkpoint_every_marks=args.checkpoint_marks,
+        durable_meta=meta if args.durable else None,
     )
+    if not args.durable:
+        save_session(
+            args.out,
+            session,
+            app.symtab,
+            meta=meta,
+            chunk_size=args.chunk_size,
+            compress=not args.uncompressed,
+            checksums=not args.no_checksums,
+        )
     total = sum(u.sample_count for u in session.units.values())
     print(
         f"traced {args.workload}: {total} samples, "
         f"{session.tracer.calls} marking calls -> {args.out}"
     )
+    if args.durable and session.watchdog is not None:
+        print(
+            f"durable: {session.watchdog.checkpoints} checkpoint(s), "
+            f"{session.watchdog.writer.segments_sealed} segment(s) sealed"
+        )
+    if session.degraded:
+        shed = sum(u.shed_samples for u in session.units.values())
+        errs = session.watchdog.write_errors if session.watchdog else []
+        print(
+            f"warning: capture degraded ({shed} sample(s) shed"
+            + (f"; storage errors: {'; '.join(errs)}" if errs else "")
+            + ") — switch marks are complete, diagnosis will flag "
+            "affected items",
+            file=sys.stderr,
+        )
+        if args.durable and session.recovery_report is None:
+            print(
+                f"warning: container not finalized; run "
+                f"`repro recover {args.out}` to salvage the journal",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -239,6 +268,23 @@ def cmd_diagnose(args) -> int:
         print(report.to_json())
     else:
         print(report.describe())
+    return 0
+
+
+def cmd_recover(args) -> int:
+    """`repro recover`: replay a crashed capture's journal into a container."""
+    from repro import api
+    from repro.obs.instrumented import publish_quarantine
+
+    report = api.recover(
+        args.source,
+        out=args.out,
+        policy=args.on_corruption,
+        salvage_unsealed=args.salvage_unsealed,
+    )
+    if report.quarantine.defects:
+        print(publish_quarantine(report.quarantine), file=sys.stderr)
+    print(report.describe())
     return 0
 
 
@@ -471,8 +517,64 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit the v3 per-chunk CRCs (bit rot then goes undetected)",
     )
+    p_run.add_argument(
+        "--durable",
+        action="store_true",
+        help=(
+            "record through the crash-safe journal: a kill at any instant "
+            "leaves a journal `repro recover` turns into a valid container"
+        ),
+    )
+    p_run.add_argument(
+        "--checkpoint-marks",
+        type=int,
+        default=256,
+        help="durable: seal a checkpoint every N switch marks",
+    )
+    p_run.add_argument(
+        "--overload",
+        action="store_true",
+        help=(
+            "overload-graceful capture: shed samples instead of stalling "
+            "on PEBS buffer overrun, adaptive reset-value backoff"
+        ),
+    )
     _add_telemetry_args(p_run)
     p_run.set_defaults(func=cmd_run)
+
+    p_rec = sub.add_parser(
+        "recover",
+        help="replay a crashed capture's journal into a valid trace file",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_rec.add_argument(
+        "source",
+        help="journal directory (<out>.npz.journal) or the container path",
+    )
+    p_rec.add_argument(
+        "--out",
+        default=None,
+        help="where to write the container (default: the journaled path)",
+    )
+    p_rec.add_argument(
+        "--on-corruption",
+        choices=["strict", "quarantine"],
+        default="quarantine",
+        help=(
+            "what a damaged sealed segment does — strict raises, "
+            "quarantine salvages the rest and reports the loss"
+        ),
+    )
+    p_rec.add_argument(
+        "--salvage-unsealed",
+        action="store_true",
+        help=(
+            "also admit segments that were fully written but never "
+            "committed to the journal (default: report them as lost)"
+        ),
+    )
+    p_rec.set_defaults(func=cmd_recover)
 
     p_info = sub.add_parser("info", help="show trace file contents")
     p_info.add_argument("tracefile")

@@ -1,0 +1,712 @@
+"""Crash-safe trace recording: journaled segments, replayable recovery.
+
+:func:`repro.core.tracefile.save_trace` is all-or-nothing: the container
+exists only once the whole run is over, so a SIGKILL, ENOSPC, or power
+cut mid-capture loses everything.  This module is the durable write path
+that closes that gap (PAPER §IV's overhead discussion assumes
+long-running production captures; a tracer that loses a night's trace to
+one crash is not deployable):
+
+* :class:`DurableTraceWriter` appends **sealed segments** — bounded npz
+  files, each carrying its own header and per-member crc32 — to a
+  journal directory next to the target container.  A segment is written
+  to a temp name, fsync'd, renamed into place, and only then recorded in
+  an fsync'd append-only journal (``journal.jsonl``).  The journal line
+  is the commit point: a process killed at any instant leaves a
+  recoverable prefix of fully-sealed segments.
+* :func:`recover` replays the journal, salvages every sealed segment
+  that still validates, reports everything else through the existing
+  :class:`~repro.core.integrity.Defect` / ``QuarantineLog`` machinery,
+  and assembles a valid version-3 container (atomic temp + rename).
+  Replay is idempotent: running it twice yields the same container
+  content and the same defect report.
+* :meth:`DurableTraceWriter.finalize` **is** that replay run on the
+  writer's own journal — the recovery path is exercised on every clean
+  shutdown, not only after disasters.
+
+The fsync discipline per segment is::
+
+    write seg-N.npz.tmp → fsync(tmp) → rename(tmp, seg-N.npz)
+      → fsync(dir) → append journal line → fsync(journal)
+
+so every kill point loses at most the segment being sealed (reported as
+``unsealed``), never a sealed one.  All syscalls go through a swappable
+:class:`RecorderIO`, which is how the fault suite injects kills, torn
+writes, ENOSPC, and fsync failures at every individual operation.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import json
+import os
+import pathlib
+import shutil
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.integrity import (
+    KIND_CHECKSUM,
+    KIND_MISSING,
+    KIND_SWITCH,
+    KIND_UNREADABLE,
+    KIND_UNSEALED,
+    POLICY_STRICT,
+    Defect,
+    QuarantineLog,
+    member_crc,
+)
+from repro.core.records import SwitchRecords
+from repro.core.symbols import SymbolTable
+from repro.core.tracefile import (
+    _CODE_KIND,
+    _KIND_CODE,
+    _READ_ERRORS,
+    _symbol_arrays,
+    atomic_savez,
+    build_container_members,
+    container_path,
+)
+from repro.errors import CorruptionError, RecoveryError, TraceWriteError
+from repro.machine.pebs import SampleArrays
+from repro.obs.instrumented import pipeline as _obs
+
+#: Journal format version, written into the manifest line.
+JOURNAL_VERSION = 1
+
+#: Suffix appended to the container path to name the journal directory.
+JOURNAL_SUFFIX = ".journal"
+
+_JOURNAL_FILE = "journal.jsonl"
+_SEG_HEADER = "seg_json"
+_SAMPLE_COLS = ("ts", "ip", "tag")
+_SWITCH_COLS = ("ts", "item", "kind")
+
+#: Segment kinds a journal may seal.
+KIND_SEG_MANIFEST = "manifest"
+KIND_SEG_SAMPLES = "samples"
+KIND_SEG_SWITCH = "switch"
+KIND_SEG_META = "meta"
+
+
+def journal_dir_for(path: str | pathlib.Path) -> pathlib.Path:
+    """The journal directory a durable write of ``path`` uses."""
+    final = container_path(path)
+    return final.with_name(final.name + JOURNAL_SUFFIX)
+
+
+class RecorderIO:
+    """The durable writer's syscall surface, one method per kill point.
+
+    The default implementation is the real filesystem; the fault suite
+    substitutes shims (see :mod:`repro.testing.faults`) that kill the
+    process-under-test after N operations, tear writes halfway, or fail
+    with ENOSPC — which is what lets the kill-at-any-offset tests
+    enumerate every crash instant deterministically.
+    """
+
+    def makedirs(self, path: pathlib.Path) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def write_bytes(self, path: pathlib.Path, data: bytes) -> None:
+        with open(path, "wb") as fh:
+            fh.write(data)
+
+    def append_bytes(self, path: pathlib.Path, data: bytes) -> None:
+        with open(path, "ab") as fh:
+            fh.write(data)
+            fh.flush()
+
+    def fsync_path(self, path: pathlib.Path) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def fsync_dir(self, path: pathlib.Path) -> None:
+        # Not delegated through self.fsync_path: each surface method is
+        # exactly one kill point, so shims must see one call per op.
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src: pathlib.Path, dst: pathlib.Path) -> None:
+        os.replace(src, dst)
+
+    def rmtree(self, path: pathlib.Path) -> None:
+        shutil.rmtree(path, ignore_errors=True)
+
+
+def _npz_bytes(arrays: dict[str, np.ndarray]) -> bytes:
+    buf = _io.BytesIO()
+    np.savez(buf, **arrays)
+    return buf.getvalue()
+
+
+def _seg_name(seq: int) -> str:
+    return f"seg-{seq:06d}.npz"
+
+
+def _write_failed(path, exc: OSError) -> TraceWriteError:
+    return TraceWriteError(f"durable recording failed at {path}: {exc}")
+
+
+class DurableTraceWriter:
+    """Append-only, crash-consistent recorder for one capture.
+
+    Parameters
+    ----------
+    path:
+        The container the capture finalizes into (``.npz`` appended when
+        missing, as for :func:`~repro.core.tracefile.save_trace`).
+    symtab, meta:
+        Sealed immediately as segment 0 (the manifest), so *any* crash
+        after construction leaves enough on disk to assemble a loadable
+        container.
+    compress:
+        Compression of the **final** container.  Segments themselves are
+        stored uncompressed — the journal is transient and the capture
+        hot path should not pay zlib.
+    io:
+        Syscall surface; tests substitute fault-injecting shims.
+    """
+
+    def __init__(
+        self,
+        path: str | pathlib.Path,
+        symtab: SymbolTable,
+        meta: dict | None = None,
+        *,
+        compress: bool = True,
+        io: RecorderIO | None = None,
+    ) -> None:
+        self.path = container_path(path)
+        self.dir = journal_dir_for(path)
+        self.compress = compress
+        self._io = io if io is not None else RecorderIO()
+        self._journal = self.dir / _JOURNAL_FILE
+        self._seq = 0
+        self.segments_sealed = 0
+        self.finalized = False
+        try:
+            self._io.makedirs(self.dir)
+        except OSError as exc:
+            raise _write_failed(self.dir, exc) from exc
+        manifest = dict(_symbol_arrays(symtab))
+        self._seal(
+            KIND_SEG_MANIFEST,
+            manifest,
+            extra={
+                "journal_version": JOURNAL_VERSION,
+                "out": str(self.path),
+                "meta": meta or {},
+            },
+        )
+
+    # -- recording ---------------------------------------------------------
+    def append_samples(self, core: int, samples: SampleArrays) -> int:
+        """Seal one core's next chunk of samples; returns the segment seq.
+
+        Chunks must arrive in per-core timestamp order (each PEBS unit
+        appends monotonically, so draining in capture order satisfies
+        this); recovery preserves arrival order per core.
+        """
+        if self.finalized:
+            raise TraceWriteError(f"{self.path}: writer already finalized")
+        arrays = {"ts": samples.ts, "ip": samples.ip, "tag": samples.tag}
+        n = len(samples)
+        extra = {
+            "core": int(core),
+            "rows": n,
+            "ts_lo": int(samples.ts[0]) if n else None,
+            "ts_hi": int(samples.ts[-1]) if n else None,
+        }
+        return self._seal(KIND_SEG_SAMPLES, arrays, extra=extra)
+
+    def append_switches(self, core: int, records: SwitchRecords, start: int = 0) -> int:
+        """Seal a core's switch marks from index ``start`` onward."""
+        if self.finalized:
+            raise TraceWriteError(f"{self.path}: writer already finalized")
+        ts = records.ts[start:]
+        item = records.item[start:]
+        kind = np.asarray(
+            [_KIND_CODE[k] for k in records.kinds[start:]], dtype=np.int8
+        )
+        n = int(ts.shape[0])
+        extra = {
+            "core": int(records.core_id),
+            "rows": n,
+            "ts_lo": int(ts[0]) if n else None,
+            "ts_hi": int(ts[-1]) if n else None,
+        }
+        del core  # the records carry their core id; kept for call symmetry
+        return self._seal(
+            KIND_SEG_SWITCH, {"ts": ts, "item": item, "kind": kind}, extra=extra
+        )
+
+    def append_meta(self, patch: dict) -> int:
+        """Seal a metadata patch (merged over the manifest meta at assembly).
+
+        Checkpoints use this to journal capture-side accounting — shed
+        sample spans, adaptive-R history — so a crash-recovered container
+        still carries the degradation record up to the last checkpoint.
+        """
+        if self.finalized:
+            raise TraceWriteError(f"{self.path}: writer already finalized")
+        payload = np.frombuffer(
+            json.dumps(patch).encode("utf-8"), dtype=np.uint8
+        ).copy()
+        return self._seal(KIND_SEG_META, {"patch": payload}, extra={"rows": 0})
+
+    def finalize(self, extra_meta: dict | None = None) -> "RecoveryReport":
+        """Assemble the final container from the journal; clean up.
+
+        This *is* a :func:`recover` run over the writer's own journal
+        (strict: a clean shutdown that cannot validate its own segments
+        is a bug, not a salvage situation), followed by a ``finalize``
+        journal record and removal of the journal directory.
+        """
+        if self.finalized:
+            raise TraceWriteError(f"{self.path}: writer already finalized")
+        report = recover(
+            self.dir,
+            out=self.path,
+            policy=POLICY_STRICT,
+            extra_meta=extra_meta,
+            _finalizing=True,
+        )
+        line = json.dumps({"op": "finalize", "out": str(self.path)}) + "\n"
+        try:
+            self._io.append_bytes(self._journal, line.encode("utf-8"))
+            self._io.fsync_path(self._journal)
+        except OSError as exc:
+            raise _write_failed(self._journal, exc) from exc
+        _obs().journal_fsyncs.inc()
+        self._io.rmtree(self.dir)
+        self.finalized = True
+        return report
+
+    # -- internals ---------------------------------------------------------
+    def _seal(self, kind: str, arrays: dict[str, np.ndarray], extra: dict) -> int:
+        seq = self._seq
+        record = {"op": "seal", "seq": seq, "kind": kind, "file": _seg_name(seq)}
+        record.update(extra)
+        record["crc"] = {name: member_crc(arr) for name, arr in arrays.items()}
+        seg_arrays = dict(arrays)
+        seg_arrays[_SEG_HEADER] = np.frombuffer(
+            json.dumps(record).encode("utf-8"), dtype=np.uint8
+        ).copy()
+        data = _npz_bytes(seg_arrays)
+        final = self.dir / record["file"]
+        tmp = self.dir / (record["file"] + ".tmp")
+        line = (json.dumps(record) + "\n").encode("utf-8")
+        ins = _obs()
+        try:
+            self._io.write_bytes(tmp, data)
+            self._io.fsync_path(tmp)
+            self._io.replace(tmp, final)
+            self._io.fsync_dir(self.dir)
+            self._io.append_bytes(self._journal, line)
+            self._io.fsync_path(self._journal)
+        except OSError as exc:
+            raise _write_failed(final, exc) from exc
+        ins.segments_sealed.inc()
+        ins.journal_fsyncs.inc()
+        ins.journal_bytes.inc(len(data) + len(line))
+        self._seq += 1
+        self.segments_sealed += 1
+        return seq
+
+
+# ---------------------------------------------------------------------------
+# Recovery
+
+
+@dataclass
+class RecoveryReport:
+    """What one journal replay salvaged, lost, and wrote."""
+
+    out: pathlib.Path | None
+    finalized: bool
+    segments_sealed: int
+    segments_recovered: int
+    segments_lost: int
+    segments_unsealed: int
+    samples_recovered: int
+    samples_lost: int
+    marks_recovered: int
+    marks_lost: int
+    quarantine: QuarantineLog = field(default_factory=QuarantineLog)
+    #: Per-core timestamp spans of lost sample data, ``(lo, hi)`` with
+    #: ``None`` meaning unbounded on that side — the input the diagnosis
+    #: layer uses to flag affected items as degraded.
+    lost_spans: dict[int, list[tuple[int | None, int | None]]] = field(
+        default_factory=dict
+    )
+
+    @property
+    def complete(self) -> bool:
+        """True iff nothing sealed or unsealed was lost."""
+        return (
+            self.segments_lost == 0
+            and self.segments_unsealed == 0
+            and self.samples_lost == 0
+            and self.marks_lost == 0
+        )
+
+    def describe(self) -> str:
+        head = (
+            f"recovered {self.segments_recovered}/{self.segments_sealed} "
+            f"sealed segment(s) -> {self.out}"
+        )
+        if self.complete:
+            return head + " (no loss)"
+        return head + (
+            f"; lost {self.segments_lost} sealed + "
+            f"{self.segments_unsealed} unsealed segment(s), "
+            f"{self.samples_lost} sample(s), {self.marks_lost} switch mark(s)"
+        )
+
+
+def _read_journal(
+    jpath: pathlib.Path,
+) -> tuple[list[dict], bool]:
+    """Parse journal lines; returns (records, torn_tail).
+
+    A torn final line (the process died mid-append) is expected and
+    dropped; any *earlier* unparsable line ends the trusted prefix, since
+    an append-only log is only meaningful up to its first corruption.
+    """
+    try:
+        raw = jpath.read_bytes()
+    except FileNotFoundError:
+        return [], False
+    except OSError as exc:
+        raise RecoveryError(f"cannot read journal {jpath}: {exc}") from exc
+    records: list[dict] = []
+    lines = raw.split(b"\n")
+    torn = False
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rec = json.loads(line.decode("utf-8"))
+            if not isinstance(rec, dict) or "op" not in rec:
+                raise ValueError("not a journal record")
+        except (ValueError, UnicodeDecodeError):
+            torn = True
+            break
+        records.append(rec)
+    return records, torn
+
+
+def _load_segment(
+    path: pathlib.Path, crc: dict | None
+) -> tuple[dict[str, np.ndarray] | None, str, str]:
+    """Load + validate one segment; returns (arrays, defect_kind, detail)."""
+    if not path.exists():
+        return None, KIND_MISSING, f"segment file {path.name} is absent"
+    try:
+        with np.load(str(path), allow_pickle=False) as data:
+            arrays = {k: data[k].copy() for k in data.files if k != _SEG_HEADER}
+    except _READ_ERRORS as exc:
+        return None, KIND_UNREADABLE, f"segment {path.name}: {exc}"
+    if crc:
+        bad = [
+            name
+            for name, want in crc.items()
+            if name not in arrays or member_crc(arrays[name]) != int(want)
+        ]
+        if bad:
+            return (
+                None,
+                KIND_CHECKSUM,
+                f"segment {path.name}: crc32 mismatch in {', '.join(bad)}",
+            )
+    return arrays, "", ""
+
+
+def _orphan_records(
+    jdir: pathlib.Path, sealed_files: set[str]
+) -> list[tuple[pathlib.Path, dict | None]]:
+    """Segment files on disk the journal never sealed, with their embedded
+    headers when readable (a torn file yields ``None``)."""
+    out = []
+    for p in sorted(jdir.glob("seg-*.npz*")):
+        if p.name in sealed_files or p.name == _JOURNAL_FILE:
+            continue
+        header: dict | None = None
+        if p.suffix == ".npz":
+            try:
+                with np.load(str(p), allow_pickle=False) as data:
+                    if _SEG_HEADER in data.files:
+                        header = json.loads(bytes(data[_SEG_HEADER]).decode("utf-8"))
+                        if header is not None and header.get("crc"):
+                            arrays = {
+                                k: data[k] for k in data.files if k != _SEG_HEADER
+                            }
+                            for name, want in header["crc"].items():
+                                if (
+                                    name not in arrays
+                                    or member_crc(arrays[name]) != int(want)
+                                ):
+                                    header["_self_check_failed"] = True
+                                    break
+            except (*_READ_ERRORS, KeyError):
+                header = None
+        out.append((p, header))
+    return out
+
+
+def _decode_switch_kinds(kind_codes: np.ndarray) -> list:
+    return [_CODE_KIND[int(c)] for c in kind_codes.tolist()]
+
+
+def recover(
+    source: str | pathlib.Path,
+    out: str | pathlib.Path | None = None,
+    *,
+    policy: str = "quarantine",
+    salvage_unsealed: bool = False,
+    extra_meta: dict | None = None,
+    _finalizing: bool = False,
+) -> RecoveryReport:
+    """Replay a recording journal into a valid version-3 container.
+
+    ``source`` is the journal directory, or the container path whose
+    ``<path>.journal`` sibling should be replayed.  ``out`` defaults to
+    the final path the manifest recorded.  Under ``policy="strict"`` any
+    damaged sealed segment raises
+    :class:`~repro.errors.CorruptionError`; the default ``"quarantine"``
+    salvages what validates and reports the rest as
+    :class:`~repro.core.integrity.Defect` records.  ``salvage_unsealed``
+    additionally admits segments that were fully written and internally
+    consistent but whose journal line never landed (default: report them
+    as lost, so the journal alone states what the container contains).
+
+    Replay is idempotent — the journal is never modified — and the
+    assembled container loads cleanly under ``--on-corruption strict``.
+    """
+    src = pathlib.Path(source)
+    jdir = src if src.is_dir() else journal_dir_for(src)
+    if not jdir.is_dir():
+        raise RecoveryError(
+            f"no recording journal at {jdir} (nothing to recover; a "
+            "finalized capture removes its journal)"
+        )
+    records, torn = _read_journal(jdir / _JOURNAL_FILE)
+    manifest = next(
+        (r for r in records if r.get("kind") == KIND_SEG_MANIFEST), None
+    )
+    if manifest is None:
+        raise RecoveryError(
+            f"{jdir}: journal has no sealed manifest — the recorder died "
+            "before its first fsync; nothing recoverable"
+        )
+    ins = _obs()
+    ins.recover_runs.inc()
+    quarantine = QuarantineLog()
+    lost_spans: dict[int, list[tuple[int | None, int | None]]] = {}
+    # finalize() replays its own journal *before* appending the finalize
+    # record, so it declares itself via _finalizing instead.
+    finalized = _finalizing or any(r.get("op") == "finalize" for r in records)
+    seals = [r for r in records if r.get("op") == "seal"]
+    sealed_files = {r["file"] for r in seals if "file" in r}
+
+    n_recovered = n_lost = 0
+    samples_rec = samples_lost = marks_rec = marks_lost = 0
+    symtab: SymbolTable | None = None
+    meta: dict = dict(manifest.get("meta") or {})
+    chunks_by_core: dict[int, list[SampleArrays]] = {}
+    switch_parts: dict[int, list[tuple[np.ndarray, np.ndarray, np.ndarray]]] = {}
+
+    def _lose(rec: dict, kind: str, detail: str) -> None:
+        nonlocal n_lost, samples_lost, marks_lost
+        n_lost += 1
+        core = int(rec.get("core", -1))
+        rows = int(rec.get("rows", -1))
+        lo, hi = rec.get("ts_lo"), rec.get("ts_hi")
+        seg_kind = rec.get("kind")
+        if seg_kind == KIND_SEG_SWITCH:
+            kind = KIND_SWITCH
+            if rows > 0:
+                marks_lost += rows
+        elif seg_kind == KIND_SEG_SAMPLES:
+            if rows > 0:
+                samples_lost += rows
+            lost_spans.setdefault(core, []).append((lo, hi))
+        if policy == POLICY_STRICT:
+            raise CorruptionError(f"{jdir}: {detail}")
+        quarantine.record(
+            Defect(
+                core=core,
+                kind=kind,
+                member=rec.get("file"),
+                detail=detail,
+                records_lost=rows,
+                ts_lo=lo,
+                ts_hi=hi,
+            )
+        )
+        ins.segments_lost.inc()
+
+    for rec in seals:
+        arrays, bad_kind, detail = _load_segment(
+            jdir / rec["file"], rec.get("crc")
+        )
+        if arrays is None:
+            _lose(rec, bad_kind, detail)
+            continue
+        n_recovered += 1
+        ins.segments_recovered.inc()
+        seg_kind = rec.get("kind")
+        if seg_kind == KIND_SEG_MANIFEST:
+            symtab = SymbolTable.from_ranges(
+                {
+                    str(name): (int(lo), int(hi))
+                    for name, lo, hi in zip(
+                        arrays["sym_names"], arrays["sym_lo"], arrays["sym_hi"]
+                    )
+                }
+            )
+        elif seg_kind == KIND_SEG_SAMPLES:
+            core = int(rec["core"])
+            chunk = SampleArrays(
+                ts=arrays["ts"], ip=arrays["ip"], tag=arrays["tag"]
+            )
+            chunks_by_core.setdefault(core, []).append(chunk)
+            samples_rec += len(chunk)
+        elif seg_kind == KIND_SEG_SWITCH:
+            core = int(rec["core"])
+            switch_parts.setdefault(core, []).append(
+                (arrays["ts"], arrays["item"], arrays["kind"])
+            )
+            marks_rec += int(arrays["ts"].shape[0])
+        elif seg_kind == KIND_SEG_META:
+            meta.update(json.loads(bytes(arrays["patch"]).decode("utf-8")))
+
+    # Orphans: files the journal never sealed (the crash window).
+    n_unsealed = 0
+    for p, header in _orphan_records(jdir, sealed_files):
+        readable = header is not None and not header.get("_self_check_failed")
+        if salvage_unsealed and readable and header.get("kind") in (
+            KIND_SEG_SAMPLES,
+            KIND_SEG_SWITCH,
+            KIND_SEG_META,
+        ):
+            arrays, _, _ = _load_segment(p, header.get("crc"))
+            if arrays is not None:
+                n_recovered += 1
+                ins.segments_recovered.inc()
+                core = int(header.get("core", -1))
+                if header["kind"] == KIND_SEG_SAMPLES:
+                    chunk = SampleArrays(
+                        ts=arrays["ts"], ip=arrays["ip"], tag=arrays["tag"]
+                    )
+                    chunks_by_core.setdefault(core, []).append(chunk)
+                    samples_rec += len(chunk)
+                elif header["kind"] == KIND_SEG_SWITCH:
+                    switch_parts.setdefault(core, []).append(
+                        (arrays["ts"], arrays["item"], arrays["kind"])
+                    )
+                    marks_rec += int(arrays["ts"].shape[0])
+                else:
+                    meta.update(
+                        json.loads(bytes(arrays["patch"]).decode("utf-8"))
+                    )
+                continue
+        n_unsealed += 1
+        rec = dict(header or {})
+        rec["file"] = p.name
+        detail = (
+            f"segment {p.name} was written but never sealed in the journal"
+            + ("" if readable else " (file torn or unreadable)")
+        )
+        _lose(rec, KIND_UNSEALED, detail)
+        n_lost -= 1  # _lose counts sealed losses; track unsealed separately
+
+    if torn:
+        quarantine.record(
+            Defect(
+                core=-1,
+                kind=KIND_UNSEALED,
+                member=_JOURNAL_FILE,
+                detail="journal tail torn mid-append (expected for a crash; "
+                "the last unsealed segment is accounted above)",
+                records_lost=0,
+            )
+        )
+
+    if symtab is None:
+        raise RecoveryError(
+            f"{jdir}: manifest segment failed validation; cannot rebuild a "
+            "container without the symbol table"
+        )
+
+    switches_by_core: dict[int, SwitchRecords] = {}
+    for core, parts in switch_parts.items():
+        ts = np.concatenate([p[0] for p in parts])
+        item = np.concatenate([p[1] for p in parts])
+        kind_codes = np.concatenate([p[2] for p in parts])
+        switches_by_core[core] = SwitchRecords.from_arrays(
+            core, ts, item, _decode_switch_kinds(kind_codes)
+        )
+
+    if extra_meta:
+        meta.update(extra_meta)
+    if not (finalized and n_lost == 0 and n_unsealed == 0):
+        meta.setdefault("recovery", {})
+        meta["recovery"] = {
+            "finalized": finalized,
+            "segments_recovered": n_recovered,
+            "segments_lost": n_lost,
+            "segments_unsealed": n_unsealed,
+            "samples_lost": samples_lost,
+            "marks_lost": marks_lost,
+            "lost_spans": {
+                str(c): [[lo, hi] for lo, hi in spans]
+                for c, spans in lost_spans.items()
+            },
+        }
+
+    out_path = container_path(out if out is not None else manifest["out"])
+    arrays = build_container_members(
+        # Explicit chunk lists: recovery keeps whatever segment boundaries
+        # survived, so no concatenation of the (possibly huge) stream.
+        {c: chunks for c, chunks in chunks_by_core.items()},
+        switches_by_core,
+        symtab,
+        meta,
+        chunk_size=None,
+        checksums=True,
+    )
+    atomic_savez(out_path, arrays, compress=True)
+    ins.samples_recovered.inc(samples_rec)
+    return RecoveryReport(
+        out=out_path,
+        finalized=finalized,
+        segments_sealed=len(seals),
+        segments_recovered=n_recovered,
+        segments_lost=n_lost,
+        segments_unsealed=n_unsealed,
+        samples_recovered=samples_rec,
+        samples_lost=samples_lost,
+        marks_recovered=marks_rec,
+        marks_lost=marks_lost,
+        quarantine=quarantine,
+        lost_spans=lost_spans,
+    )
+
+
+__all__ = [
+    "DurableTraceWriter",
+    "RecorderIO",
+    "RecoveryReport",
+    "recover",
+    "journal_dir_for",
+    "JOURNAL_VERSION",
+]

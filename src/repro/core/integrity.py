@@ -45,6 +45,7 @@ KIND_MISSING = "missing"        # a chunk member is absent (truncated container)
 KIND_UNREADABLE = "unreadable"  # a member exists but cannot be decoded
 KIND_SWITCH = "switch"          # switch marks dropped by lenient pairing
 KIND_SHARD = "shard"            # a whole core-shard failed permanently
+KIND_UNSEALED = "unsealed"      # a recording segment was written but never sealed
 
 
 def check_policy(policy: str) -> str:
@@ -120,7 +121,10 @@ class QuarantineLog:
 
     @property
     def samples_lost(self) -> int:
-        return self._lost((KIND_CHECKSUM, KIND_LENGTH, KIND_ORDER, KIND_MISSING, KIND_UNREADABLE))
+        return self._lost(
+            (KIND_CHECKSUM, KIND_LENGTH, KIND_ORDER, KIND_MISSING,
+             KIND_UNREADABLE, KIND_UNSEALED)
+        )
 
     @property
     def marks_lost(self) -> int:
@@ -231,6 +235,7 @@ __all__ = [
     "POLICY_REPAIR",
     "check_policy",
     "member_crc",
+    "KIND_UNSEALED",
     "Defect",
     "QuarantineLog",
     "CoverageStats",

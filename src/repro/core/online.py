@@ -68,17 +68,30 @@ class OnlineDiagnoser:
     k_sigma: float = 3.0
     min_baseline: int = 5
     unseen_fn_triggers: bool = True
+    #: Bound on the retained decision log.  A months-long capture feeds
+    #: millions of items; keeping every :class:`ItemDecision` would grow
+    #: without limit, so the oldest entries are evicted (and counted in
+    #: ``decisions_evicted``) once the bound is hit.  The aggregate
+    #: counters (``items_observed``, byte totals) are unaffected by
+    #: eviction.  ``None`` disables the bound.
+    max_decisions: int | None = 100_000
     items_observed: int = 0
     _stats: dict[str, _Welford] = field(default_factory=dict)
     decisions: list[ItemDecision] = field(default_factory=list)
+    decisions_evicted: int = 0
     bytes_dumped: int = 0
     bytes_discarded: int = 0
+    items_dumped: int = 0
 
     def __post_init__(self) -> None:
         if self.k_sigma <= 0:
             raise TraceError(f"k_sigma must be positive, got {self.k_sigma}")
         if self.min_baseline < 1:
             raise TraceError(f"min_baseline must be >= 1, got {self.min_baseline}")
+        if self.max_decisions is not None and self.max_decisions < 1:
+            raise TraceError(
+                f"max_decisions must be >= 1, got {self.max_decisions}"
+            )
 
     def observe_item(
         self, item_id: int, breakdown: dict[str, int], raw_bytes: int
@@ -120,10 +133,19 @@ class OnlineDiagnoser:
         else:
             self.bytes_discarded += raw_bytes
             ins.online_bytes_discarded.inc(raw_bytes)
+        if dumped:
+            self.items_dumped += 1
         decision = ItemDecision(
             item_id=item_id, dumped=dumped, trigger_fn=trigger, raw_bytes=raw_bytes
         )
         self.decisions.append(decision)
+        if (
+            self.max_decisions is not None
+            and len(self.decisions) > self.max_decisions
+        ):
+            del self.decisions[0]
+            self.decisions_evicted += 1
+            ins.online_decisions_dropped.inc()
         return decision
 
     @property
@@ -140,12 +162,16 @@ class OnlineDiagnoser:
         return st.mean if st is not None else 0.0
 
     def summary(self) -> dict:
-        """Policy outcome counters (for ingest reports and logs)."""
-        dumped = sum(1 for d in self.decisions if d.dumped)
+        """Policy outcome counters (for ingest reports and logs).
+
+        Computed from running totals, not the decision log — the log is
+        bounded and may have evicted its oldest entries.
+        """
         return {
             "items_observed": self.items_observed,
-            "items_dumped": dumped,
-            "items_discarded": self.items_observed - dumped,
+            "items_dumped": self.items_dumped,
+            "items_discarded": self.items_observed - self.items_dumped,
+            "decisions_evicted": self.decisions_evicted,
             "bytes_dumped": self.bytes_dumped,
             "bytes_discarded": self.bytes_discarded,
             "reduction_factor": self.reduction_factor,

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import os
 import pathlib
 import zipfile
 import zlib
@@ -63,7 +64,7 @@ from repro.core.records import (
     pair_switch_columns_lenient,
 )
 from repro.core.symbols import SymbolTable
-from repro.errors import CorruptionError, TraceError
+from repro.errors import CorruptionError, TraceError, TraceWriteError
 from repro.machine.pebs import SampleArrays
 from repro.obs.instrumented import pipeline as _obs
 from repro.runtime.actions import SwitchKind
@@ -93,29 +94,80 @@ def _symbol_arrays(symtab: SymbolTable) -> dict[str, np.ndarray]:
     }
 
 
-def save_trace(
-    path: str | pathlib.Path,
-    samples_by_core: dict[int, SampleArrays],
+def container_path(path: str | pathlib.Path) -> pathlib.Path:
+    """The on-disk name a container write lands at.
+
+    Mirrors ``np.savez``'s historical behaviour of appending ``.npz`` to
+    extension-less names, so the atomic write path names the same file
+    the legacy direct write did.
+    """
+    p = pathlib.Path(path)
+    return p if p.name.endswith(".npz") else p.with_name(p.name + ".npz")
+
+
+#: OS error numbers worth naming in a TraceWriteError message.
+_ERRNO_HINTS = {
+    28: "disk full (ENOSPC)",
+    13: "permission denied (EACCES)",
+    30: "read-only filesystem (EROFS)",
+    122: "quota exceeded (EDQUOT)",
+}
+
+
+def _write_error(path, exc: OSError) -> TraceWriteError:
+    hint = _ERRNO_HINTS.get(exc.errno or 0)
+    what = f"{hint}: {exc}" if hint else str(exc)
+    return TraceWriteError(f"cannot write trace file {path}: {what}")
+
+
+def atomic_savez(
+    path: str | pathlib.Path, arrays: dict[str, np.ndarray], *, compress: bool
+) -> pathlib.Path:
+    """Durably write an npz container: temp file + fsync + ``os.replace``.
+
+    A crash at any instant leaves either the previous file intact or the
+    new one complete — never a truncated container.  Parent directories
+    are created, and storage failures surface as
+    :class:`~repro.errors.TraceWriteError` instead of a raw ``OSError``.
+    Returns the final path (``.npz`` appended when missing, matching
+    ``np.savez``).
+    """
+    final = container_path(path)
+    tmp = final.with_name(final.name + ".tmp")
+    writer = np.savez_compressed if compress else np.savez
+    try:
+        if final.parent and not final.parent.exists():
+            final.parent.mkdir(parents=True, exist_ok=True)
+        with open(tmp, "wb") as fh:
+            writer(fh, **arrays)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, final)
+    except OSError as exc:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise _write_error(final, exc) from exc
+    return final
+
+
+def build_container_members(
+    samples_by_core: dict[int, "SampleArrays | list[SampleArrays]"],
     switches_by_core: dict[int, SwitchRecords],
     symtab: SymbolTable,
-    meta: dict | None = None,
+    meta: dict | None,
     *,
-    chunk_size: int | None = None,
-    compress: bool = True,
-    checksums: bool = True,
-) -> None:
-    """Write one trace container.
+    chunk_size: int | None,
+    checksums: bool,
+) -> dict[str, np.ndarray]:
+    """Assemble the member dict of one v3 container (header included).
 
-    ``chunk_size`` selects the chunked layout (each core's sample columns
-    split into members of at most ``chunk_size`` samples); ``None`` keeps
-    the flat layout that version-1 readers understand.
-    ``compress=False`` writes a stored (uncompressed) zip — at the
-    paper's per-core data rates, zlib becomes the ingest bottleneck.
-    ``checksums=False`` omits the version-3 crc32 map (readers then skip
-    checksum validation, as for files written by older versions).
+    A core's samples may be a single :class:`SampleArrays` (chunked by
+    ``chunk_size``, or flat when it is ``None``) or an explicit list of
+    chunks — the form journal recovery produces, where chunk boundaries
+    are whatever segments survived and need not share a size.
     """
-    if chunk_size is not None and chunk_size < 1:
-        raise TraceError(f"chunk_size must be >= 1, got {chunk_size}")
     arrays: dict[str, np.ndarray] = {}
     header: dict = {
         "version": FORMAT_VERSION,
@@ -124,12 +176,14 @@ def save_trace(
         "meta": meta or {},
         "chunk_rows": {},
     }
-    if chunk_size is not None:
-        header["chunk_size"] = chunk_size
+    pre_chunked = any(isinstance(s, list) for s in samples_by_core.values())
+    if chunk_size is not None or pre_chunked:
+        if chunk_size is not None:
+            header["chunk_size"] = chunk_size
         header["sample_chunks"] = {}
     data_members: list[str] = []
     for core, s in samples_by_core.items():
-        if chunk_size is None:
+        if chunk_size is None and not isinstance(s, list):
             arrays[f"core{core}_sample_ts"] = s.ts
             arrays[f"core{core}_sample_ip"] = s.ip
             arrays[f"core{core}_sample_tag"] = s.tag
@@ -140,9 +194,10 @@ def save_trace(
             ]
             header["chunk_rows"][str(core)] = [len(s)]
         else:
+            chunks = s if isinstance(s, list) else s.iter_chunks(chunk_size)
             n_chunks = 0
             rows: list[int] = []
-            for k, chunk in enumerate(s.iter_chunks(chunk_size)):
+            for k, chunk in enumerate(chunks):
                 arrays[f"core{core}_s{k}_ts"] = chunk.ts
                 arrays[f"core{core}_s{k}_ip"] = chunk.ip
                 arrays[f"core{core}_s{k}_tag"] = chunk.tag
@@ -172,8 +227,46 @@ def save_trace(
     arrays["header_json"] = np.frombuffer(
         json.dumps(header).encode("utf-8"), dtype=np.uint8
     ).copy()
-    writer = np.savez_compressed if compress else np.savez
-    writer(str(path), **arrays)
+    return arrays
+
+
+def save_trace(
+    path: str | pathlib.Path,
+    samples_by_core: dict[int, SampleArrays],
+    switches_by_core: dict[int, SwitchRecords],
+    symtab: SymbolTable,
+    meta: dict | None = None,
+    *,
+    chunk_size: int | None = None,
+    compress: bool = True,
+    checksums: bool = True,
+) -> None:
+    """Write one trace container.
+
+    ``chunk_size`` selects the chunked layout (each core's sample columns
+    split into members of at most ``chunk_size`` samples); ``None`` keeps
+    the flat layout that version-1 readers understand.
+    ``compress=False`` writes a stored (uncompressed) zip — at the
+    paper's per-core data rates, zlib becomes the ingest bottleneck.
+    ``checksums=False`` omits the version-3 crc32 map (readers then skip
+    checksum validation, as for files written by older versions).
+
+    The write is atomic (temp file + ``os.replace``), parent directories
+    are created, and storage failures raise
+    :class:`~repro.errors.TraceWriteError` — an interrupted re-save never
+    truncates an existing good trace.
+    """
+    if chunk_size is not None and chunk_size < 1:
+        raise TraceError(f"chunk_size must be >= 1, got {chunk_size}")
+    arrays = build_container_members(
+        samples_by_core,
+        switches_by_core,
+        symtab,
+        meta,
+        chunk_size=chunk_size,
+        checksums=checksums,
+    )
+    atomic_savez(path, arrays, compress=compress)
 
 
 @dataclass

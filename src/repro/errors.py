@@ -41,6 +41,19 @@ class CorruptionError(TraceError):
     """Stored trace data failed an integrity check (checksum, length, order)."""
 
 
+class TraceWriteError(TraceError):
+    """Writing trace data to storage failed (ENOSPC, EACCES, torn write).
+
+    Wraps the underlying :class:`OSError` so CLI users get exit code 3
+    ("your storage failed") instead of a raw traceback, and so recording
+    layers can degrade gracefully instead of dying mid-capture.
+    """
+
+
+class RecoveryError(TraceError):
+    """A recording journal cannot be replayed into a usable container."""
+
+
 class ShardError(TraceError):
     """A worker shard failed permanently during parallel ingestion."""
 

@@ -12,6 +12,7 @@ from repro.errors import ConfigError
 from repro.machine.cache import CacheHierarchy, SetAssocCache
 from repro.machine.config import SKYLAKE_LIKE, MachineSpec
 from repro.machine.core import SimCore
+from repro.machine.overload import AdaptiveResetController, OverloadPolicy
 from repro.machine.pebs import PEBSConfig, PEBSUnit
 from repro.machine.pmu import CounterConfig
 from repro.machine.sampler import SoftwareSampler, SoftwareSamplerConfig
@@ -59,11 +60,31 @@ class Machine:
             raise ConfigError(f"no core {core_id} on a {len(self.cores)}-core machine")
 
     # -- sampler attachment -------------------------------------------------
-    def attach_pebs(self, core_id: int, config: PEBSConfig) -> PEBSUnit:
-        """Enable PEBS on one core; returns the unit holding its samples."""
+    def attach_pebs(
+        self,
+        core_id: int,
+        config: PEBSConfig,
+        overload: OverloadPolicy | None = None,
+    ) -> PEBSUnit:
+        """Enable PEBS on one core; returns the unit holding its samples.
+
+        ``overload`` opts the unit into overload-graceful capture: shed
+        the just-filled buffer instead of stalling the core, and (when
+        the policy enables it) adaptively back the reset value off under
+        sustained overflow, restoring it with hysteresis once the drain
+        catches up.
+        """
         core = self.core(core_id)
         unit = PEBSUnit(config, self.spec)
         core.pmu.add_counter(CounterConfig(config.event, config.reset_value), unit)
+        if overload is not None:
+            unit.overload = overload
+            if overload.adaptive_reset:
+                unit.controller = AdaptiveResetController(
+                    overload,
+                    config.reset_value,
+                    lambda r, pmu=core.pmu, sink=unit: pmu.set_reset_value(sink, r),
+                )
         self._pebs_units.setdefault(core_id, []).append(unit)
         return unit
 

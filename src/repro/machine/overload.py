@@ -1,0 +1,147 @@
+"""Overload-graceful capture: bounded shedding + adaptive reset backoff.
+
+The paper's overhead analysis (Section IV-C3) assumes the capture side
+keeps up with the sample stream; under burst load a real PEBS deployment
+does not — the buffer fills faster than the helper drains it, and the
+choices are to stall the traced program (distorting the very
+fluctuations being measured) or to drop data.  This module makes the
+drop path *honest* and *bounded*:
+
+* :class:`OverloadPolicy` configures what a PEBS unit does when its
+  spare buffer fills before the previous drain completed: **shed** the
+  just-filled buffer (never stall, never touch switch marks — samples
+  are statistically redundant, marks are not), and account every shed
+  sample with its timestamp span so diagnosis can flag the affected
+  items as degraded instead of silently misattributing them.
+* :class:`AdaptiveResetController` implements reset-value backoff: under
+  sustained overflow pressure it raises R multiplicatively (fewer
+  samples per second → the drain catches up), and restores it toward
+  the configured base with hysteresis once the unit has stayed calm —
+  so a transient burst does not permanently coarsen the sample rate,
+  and an oscillating load does not flap R every buffer.
+
+Both are observable: shed samples land in the
+``repro_overload_samples_shed_total`` counter and per-unit
+``shed_spans``; every R change lands in
+``repro_overload_r_adjustments_total`` and the unit's ``r_history``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.obs.instrumented import pipeline as _obs
+
+
+@dataclass(frozen=True)
+class OverloadPolicy:
+    """How a capture unit behaves when it cannot keep up.
+
+    Parameters
+    ----------
+    shed_on_stall:
+        When the spare PEBS buffer fills before the previous drain
+        finished, drop that buffer's records (with span accounting)
+        instead of stalling the traced core.  Stalling perturbs the
+        measurement; shedding degrades it honestly.
+    adaptive_reset:
+        Enable reset-value backoff (the controller below).
+    raise_after_fills:
+        Consecutive *pressured* buffer fills (fills that shed or would
+        have stalled) before R is raised — one bad buffer is a burst,
+        several in a row are sustained overflow.
+    raise_factor:
+        Multiplier applied to R on each raise.
+    restore_after_calm:
+        Consecutive calm buffer fills (drain finished in time) before
+        one restore step — the hysteresis that stops R from flapping.
+    max_reset_multiple:
+        Cap on R as a multiple of the configured base value.
+    """
+
+    shed_on_stall: bool = True
+    adaptive_reset: bool = True
+    raise_after_fills: int = 2
+    raise_factor: float = 2.0
+    restore_after_calm: int = 4
+    max_reset_multiple: int = 64
+
+    def __post_init__(self) -> None:
+        if self.raise_after_fills < 1:
+            raise ConfigError(
+                f"raise_after_fills must be >= 1, got {self.raise_after_fills}"
+            )
+        if self.raise_factor <= 1.0:
+            raise ConfigError(
+                f"raise_factor must be > 1, got {self.raise_factor}"
+            )
+        if self.restore_after_calm < 1:
+            raise ConfigError(
+                f"restore_after_calm must be >= 1, got {self.restore_after_calm}"
+            )
+        if self.max_reset_multiple < 1:
+            raise ConfigError(
+                f"max_reset_multiple must be >= 1, got {self.max_reset_multiple}"
+            )
+
+
+class AdaptiveResetController:
+    """Reset-value backoff for one counter: raise under pressure, restore
+    with hysteresis.
+
+    The controller never talks to the PMU directly; it is handed a
+    ``set_reset`` callback (bound by :meth:`Machine.attach_pebs <repro.machine.machine.Machine.attach_pebs>`)
+    so the same logic drives simulated and — in principle — real
+    counters.
+    """
+
+    def __init__(
+        self,
+        policy: OverloadPolicy,
+        base_reset_value: int,
+        set_reset: Callable[[int], None],
+    ) -> None:
+        self.policy = policy
+        self.base = base_reset_value
+        self.current = base_reset_value
+        self._set_reset = set_reset
+        self._pressure = 0
+        self._calm = 0
+        self.adjustments = 0
+        #: ``(virtual_ts, new_reset_value)`` for every change, in order.
+        self.history: list[tuple[int, int]] = []
+
+    def on_buffer_fill(self, now: int, pressured: bool) -> None:
+        """Feed one buffer-fill event; may adjust R via the callback."""
+        if not self.policy.adaptive_reset:
+            return
+        if pressured:
+            self._calm = 0
+            self._pressure += 1
+            if self._pressure >= self.policy.raise_after_fills:
+                self._pressure = 0
+                cap = self.base * self.policy.max_reset_multiple
+                new = min(int(self.current * self.policy.raise_factor), cap)
+                if new > self.current:
+                    self._apply(now, new)
+        else:
+            self._pressure = 0
+            if self.current > self.base:
+                self._calm += 1
+                if self._calm >= self.policy.restore_after_calm:
+                    self._calm = 0
+                    new = max(int(self.current / self.policy.raise_factor), self.base)
+                    if new < self.current:
+                        self._apply(now, new)
+
+    def _apply(self, now: int, new: int) -> None:
+        self.current = new
+        self._set_reset(new)
+        self.adjustments += 1
+        self.history.append((int(now), int(new)))
+        _obs().r_adjustments.inc()
+
+
+__all__ = ["OverloadPolicy", "AdaptiveResetController"]

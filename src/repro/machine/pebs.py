@@ -105,7 +105,15 @@ class SampleArrays:
 
 
 class PEBSUnit:
-    """Per-core PEBS machinery: buffer, assist cost, drain interrupts."""
+    """Per-core PEBS machinery: buffer, assist cost, drain interrupts.
+
+    ``overload`` (an :class:`~repro.machine.overload.OverloadPolicy`) and
+    ``controller`` (an
+    :class:`~repro.machine.overload.AdaptiveResetController`) are bound
+    by :meth:`Machine.attach_pebs <repro.machine.machine.Machine.attach_pebs>`
+    when overload-graceful capture is requested; both default to off,
+    preserving the historical stall-on-overrun behaviour.
+    """
 
     def __init__(self, config: PEBSConfig, spec: MachineSpec) -> None:
         if not spec.pebs_has_timestamps:
@@ -128,6 +136,16 @@ class PEBSUnit:
         self._drain_busy_until = 0
         #: Cycles the core stalled waiting for the spare buffer.
         self.stall_cycles = 0
+        #: Overload handling (bound by Machine.attach_pebs; see class doc).
+        self.overload = None
+        self.controller = None
+        #: Samples shed by the overload policy, and their [lo, hi]
+        #: timestamp spans — the degraded-capture record diagnosis uses.
+        self.shed_samples = 0
+        self.shed_spans: list[tuple[int, int]] = []
+        #: Samples [0, barrier) are durably checkpointed and must never be
+        #: shed (the watchdog advances this after each sealed delta).
+        self.checkpoint_barrier = 0
         self._finalized: SampleArrays | None = None
 
     # -- OverflowSink protocol -------------------------------------------
@@ -155,22 +173,49 @@ class PEBSUnit:
                 ins.pebs_buffer_fills.inc()
                 if self.config.double_buffered:
                     extra += self._switch_cycles
-                    if now < self._drain_busy_until:
-                        # The spare filled before the previous drain
-                        # finished: stall until the drained buffer frees.
-                        stall = self._drain_busy_until - now
-                        extra += stall
-                        self.stall_cycles += stall
-                        ins.pebs_stall_cycles.inc(stall)
-                    self._drain_busy_until = (
-                        max(now, self._drain_busy_until)
-                        + self._drain_cost_cycles(records)
-                    )
+                    pressured = now < self._drain_busy_until
+                    if pressured and self.overload is not None and (
+                        self.overload.shed_on_stall
+                    ):
+                        # Shed: the spare filled while the previous drain
+                        # was still running.  Discard the full buffer
+                        # (with span accounting) instead of stalling the
+                        # traced core — degrade the data, not the
+                        # measurement.
+                        self._shed(records)
+                    else:
+                        if pressured:
+                            # The spare filled before the previous drain
+                            # finished: stall until the buffer frees.
+                            stall = self._drain_busy_until - now
+                            extra += stall
+                            self.stall_cycles += stall
+                            ins.pebs_stall_cycles.inc(stall)
+                        self._drain_busy_until = (
+                            max(now, self._drain_busy_until)
+                            + self._drain_cost_cycles(records)
+                        )
+                        self._account_drain(records)
+                    if self.controller is not None:
+                        self.controller.on_buffer_fill(now, pressured)
                 else:
                     extra += self._drain_cost_cycles(records)
-                self._account_drain(records)
+                    self._account_drain(records)
                 self._buffered = 0
         return extra
+
+    def _shed(self, records: int) -> None:
+        """Drop the just-filled buffer's samples (never below the
+        durability barrier — sealed samples are already on disk)."""
+        n = min(records, len(self._ts) - self.checkpoint_barrier)
+        if n > 0:
+            self.shed_spans.append((self._ts[-n], self._ts[-1]))
+            del self._ts[-n:]
+            del self._ip[-n:]
+            del self._tag[-n:]
+            self.shed_samples += n
+            self._finalized = None
+            _obs().overflow_drops.inc(n)
 
     # -- host-side access --------------------------------------------------
     def flush(self) -> int:
@@ -195,6 +240,20 @@ class PEBSUnit:
     @property
     def sample_count(self) -> int:
         return len(self._ts)
+
+    def snapshot_since(self, start: int) -> SampleArrays:
+        """Copy of the samples appended at index ``start`` onward.
+
+        The watchdog's checkpoint delta: per-core appends are monotone in
+        virtual time, so ``[start:]`` is a valid sorted chunk without
+        re-sorting (and without disturbing the live lists — capture
+        continues while the copy is sealed).
+        """
+        return SampleArrays(
+            ts=np.asarray(self._ts[start:], dtype=np.int64),
+            ip=np.asarray(self._ip[start:], dtype=np.int64),
+            tag=np.asarray(self._tag[start:], dtype=np.int64),
+        )
 
     def _drain_cost_cycles(self, records: int) -> int:
         kb = records * self.spec.pebs_record_bytes / 1024.0

@@ -69,6 +69,23 @@ class PMU:
         """Program a counter; counting starts with the next executed block."""
         self._counters.append(_CounterState(config, sink))
 
+    def set_reset_value(self, sink: OverflowSink, reset_value: int) -> None:
+        """Reprogram the reset value of the counter feeding ``sink``.
+
+        This is the adaptive-backoff hook: under sustained overflow the
+        overload controller raises R mid-run (and later restores it).
+        Takes effect from the next overflow — the in-flight countdown
+        (``remaining``) is deliberately left alone, exactly as rewriting
+        the reset MSR on real hardware leaves the live counter register.
+        """
+        if reset_value < 1:
+            raise ConfigError(f"reset value must be >= 1, got {reset_value}")
+        for state in self._counters:
+            if state.sink is sink:
+                state.config = CounterConfig(state.config.event, reset_value)
+                return
+        raise ConfigError("no counter is attached to that sink")
+
     @property
     def counter_count(self) -> int:
         return len(self._counters)

@@ -41,12 +41,18 @@ class SoftwareSamplerConfig:
     event: HWEvent
     reset_value: int
     throttle_max_rate_hz: float | None = None
+    #: Bound on retained samples (None = unbounded, the historical
+    #: behaviour).  A long overloaded run must not grow the sample lists
+    #: without limit; overflows past the bound are dropped *and counted*.
+    capacity: int | None = None
 
     def __post_init__(self) -> None:
         if self.reset_value < 1:
             raise ConfigError(f"reset value must be >= 1, got {self.reset_value}")
         if self.throttle_max_rate_hz is not None and self.throttle_max_rate_hz <= 0:
             raise ConfigError("throttle_max_rate_hz must be positive when set")
+        if self.capacity is not None and self.capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {self.capacity}")
 
 
 class SoftwareSampler:
@@ -79,11 +85,23 @@ class SoftwareSampler:
         ins = _obs()
         extra = 0
         serviced = 0
+        busy_drops = 0
+        capacity_drops = 0
+        cap = self.config.capacity
         min_gap = max(self._handler_cycles, self._throttle_gap)
         for t in timestamps:
             t = int(t) + extra
             if t < self._busy_until:
                 self.dropped += 1
+                busy_drops += 1
+                continue
+            if cap is not None and len(self._ts) >= cap:
+                # The retained-sample bound is hit: the handler still runs
+                # (the interrupt fired) but the record is discarded.
+                self.dropped += 1
+                capacity_drops += 1
+                self._busy_until = t + min_gap
+                extra += self._handler_cycles
                 continue
             self._ts.append(t)
             self._ip.append(ip)
@@ -93,8 +111,12 @@ class SoftwareSampler:
             extra += self._handler_cycles
         if serviced:
             ins.sw_samples.inc(serviced)
-        if serviced < len(timestamps):
-            ins.sw_dropped.inc(int(len(timestamps)) - serviced)
+        if busy_drops:
+            ins.sw_dropped.inc(busy_drops)
+            ins.sw_drop_reason("busy").inc(busy_drops)
+        if capacity_drops:
+            ins.sw_dropped.inc(capacity_drops)
+            ins.sw_drop_reason("capacity").inc(capacity_drops)
         return extra
 
     # -- host-side access --------------------------------------------------

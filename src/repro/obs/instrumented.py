@@ -178,6 +178,50 @@ class PipelineInstruments:
         self.marks = c(
             "repro_marks_total", "Marking-function calls (two per data-item)"
         )
+        # -- durable recording / crash recovery --------------------------
+        self.segments_sealed = c(
+            "repro_durable_segments_sealed_total",
+            "Journal segments durably sealed (fsync'd journal commit)",
+        )
+        self.journal_fsyncs = c(
+            "repro_durable_journal_fsyncs_total",
+            "fsync calls issued on the recording journal",
+        )
+        self.journal_bytes = c(
+            "repro_durable_journal_bytes_total",
+            "Bytes written to journal segments and the journal log",
+        )
+        self.checkpoints = c(
+            "repro_durable_checkpoints_total",
+            "Periodic watchdog checkpoints sealed during capture",
+        )
+        self.recover_runs = c(
+            "repro_recover_runs_total", "Journal replay (recovery) invocations"
+        )
+        self.segments_recovered = c(
+            "repro_recover_segments_total",
+            "Sealed segments salvaged into a container by recovery",
+        )
+        self.segments_lost = c(
+            "repro_recover_segments_lost_total",
+            "Journal segments lost (damaged sealed or never sealed)",
+        )
+        self.samples_recovered = c(
+            "repro_recover_samples_total", "Samples salvaged by journal replay"
+        )
+        # -- overload handling (capture-side graceful degradation) --------
+        self.overflow_drops = c(
+            "repro_overload_samples_shed_total",
+            "Samples shed by bounded capture buffers under overload",
+        )
+        self.r_adjustments = c(
+            "repro_overload_r_adjustments_total",
+            "Adaptive reset-value changes (raise under overflow, restore)",
+        )
+        self.online_decisions_dropped = c(
+            "repro_online_decisions_dropped_total",
+            "Oldest online decisions evicted by the bounded decision log",
+        )
 
     # Per-core children resolve through the registry (get-or-create is a
     # locked dict hit — fine at per-shard and per-chunk frequency).
@@ -193,6 +237,13 @@ class PipelineInstruments:
             "repro_ingest_shard_chunks_total",
             "Chunks consumed per core-shard",
             core=str(core),
+        )
+
+    def sw_drop_reason(self, reason: str):
+        return self._registry.counter(
+            "repro_sw_samples_dropped_by_reason_total",
+            "Software-sampler drops broken down by cause",
+            reason=reason,
         )
 
 

@@ -19,11 +19,13 @@ from typing import Protocol
 from repro.core.hybrid import HybridTrace, integrate
 from repro.core.instrument import MarkingTracer
 from repro.core.symbols import SymbolTable
-from repro.errors import ConfigError
+from repro.errors import ConfigError, TraceWriteError
 from repro.machine.config import SKYLAKE_LIKE, MachineSpec
 from repro.machine.events import HWEvent
 from repro.machine.machine import Machine
+from repro.machine.overload import OverloadPolicy
 from repro.machine.pebs import PEBSConfig, PEBSUnit
+from repro.obs.instrumented import pipeline as _obs
 from repro.obs.spans import span
 from repro.runtime.scheduler import Scheduler
 from repro.runtime.thread import AppThread
@@ -39,6 +41,140 @@ class TraceableApp(Protocol):
         ...
 
 
+def capture_meta_for_units(units: dict[int, PEBSUnit]) -> dict:
+    """Degraded-capture accounting for a set of PEBS units, as trace meta.
+
+    Empty when nothing was shed and R never moved, so clean captures keep
+    clean metadata.  The ``capture.shed_spans`` entry is what lets
+    diagnosis mark items overlapping a shed span as degraded instead of
+    misattributing their missing samples as fast execution.
+    """
+    shed_spans = {
+        str(c): [[int(lo), int(hi)] for lo, hi in u.shed_spans]
+        for c, u in units.items()
+        if u.shed_spans
+    }
+    r_history = {
+        str(c): [[int(t), int(r)] for t, r in u.controller.history]
+        for c, u in units.items()
+        if u.controller is not None and u.controller.history
+    }
+    if not shed_spans and not r_history:
+        return {}
+    return {
+        "capture": {
+            "degraded": bool(shed_spans),
+            "shed_samples": int(sum(u.shed_samples for u in units.values())),
+            "shed_spans": shed_spans,
+            "r_history": r_history,
+        }
+    }
+
+
+class SessionWatchdog:
+    """Periodic durable checkpoints + storage-failure degradation.
+
+    Wraps the real tracer as the scheduler's ``InstrumentationHook``: the
+    mark stream doubles as the watchdog's clock (no wall-clock timers in
+    a virtual-time simulation), so every ``every_marks`` switch marks the
+    accumulated sample/switch deltas are sealed into the recording
+    journal.  A process killed between checkpoints loses at most one
+    checkpoint interval — and :func:`repro.core.durable.recover` says
+    exactly which spans.
+
+    Storage failure mid-capture (ENOSPC on a checkpoint) **degrades**
+    instead of dying: checkpointing is disabled, the error is kept in
+    ``write_errors``, and capture continues in memory — samples may later
+    be shed under overload, switch marks never are.
+    """
+
+    def __init__(
+        self,
+        tracer: MarkingTracer,
+        writer,
+        units: dict[int, PEBSUnit],
+        every_marks: int = 256,
+    ) -> None:
+        if every_marks < 1:
+            raise ConfigError(f"every_marks must be >= 1, got {every_marks}")
+        self.tracer = tracer
+        self.writer = writer
+        self.units = units
+        self.every_marks = every_marks
+        self._since = 0
+        self._sample_idx: dict[int, int] = {c: 0 for c in units}
+        self._switch_idx: dict[int, int] = {c: 0 for c in units}
+        self._sample_seals: dict[int, int] = {}
+        self._switch_seals: dict[int, int] = {}
+        self.checkpoints = 0
+        self.degraded = False
+        self.write_errors: list[str] = []
+
+    # -- InstrumentationHook ---------------------------------------------
+    def on_mark(self, thread, core, kind, item_id):
+        out = self.tracer.on_mark(thread, core, kind, item_id)
+        self._since += 1
+        if (
+            self.writer is not None
+            and not self.degraded
+            and self._since >= self.every_marks
+        ):
+            self._since = 0
+            self.checkpoint()
+        return out
+
+    def on_fn_enter(self, thread, core, fn_ip):
+        return self.tracer.on_fn_enter(thread, core, fn_ip)
+
+    def on_fn_leave(self, thread, core, fn_ip):
+        return self.tracer.on_fn_leave(thread, core, fn_ip)
+
+    def _sealed_any(self, core: int) -> bool:
+        return bool(self._sample_seals.get(core))
+
+    # -- checkpointing ----------------------------------------------------
+    def checkpoint(self, final: bool = False) -> bool:
+        """Seal every core's delta since the last checkpoint.
+
+        ``final`` additionally seals *empty* segments for cores that
+        never produced data, so the recovered container declares the same
+        core set a direct :func:`~repro.core.tracefile.save_session`
+        would.  Returns True when the checkpoint was durably sealed;
+        False when storage failed (the session is then degraded, not
+        dead).
+        """
+        try:
+            for c, unit in self.units.items():
+                n = unit.sample_count
+                if n > self._sample_idx[c] or (final and not self._sealed_any(c)):
+                    self.writer.append_samples(
+                        c, unit.snapshot_since(self._sample_idx[c])
+                    )
+                    self._sample_idx[c] = n
+                    self._sample_seals[c] = self._sample_seals.get(c, 0) + 1
+                    # Sealed samples are on disk; overload shedding must
+                    # not touch them.
+                    unit.checkpoint_barrier = n
+                records = self.tracer.records_for_core(c)
+                k = len(records)
+                if k > self._switch_idx[c] or (
+                    final and not self._switch_seals.get(c)
+                ):
+                    self.writer.append_switches(c, records, start=self._switch_idx[c])
+                    self._switch_idx[c] = k
+                    self._switch_seals[c] = self._switch_seals.get(c, 0) + 1
+            patch = capture_meta_for_units(self.units)
+            if patch:
+                self.writer.append_meta(patch)
+            self.checkpoints += 1
+            _obs().checkpoints.inc()
+            return True
+        except TraceWriteError as exc:
+            self.degraded = True
+            self.write_errors.append(str(exc))
+            return False
+
+
 @dataclass
 class TraceSession:
     """Everything produced by one traced run."""
@@ -50,6 +186,22 @@ class TraceSession:
     #: Symbol table of the traced app (set by :func:`trace`); lets the
     #: session persist itself without the workload object at hand.
     symtab: SymbolTable | None = None
+    #: Watchdog of a durable capture (None for plain in-memory runs).
+    watchdog: SessionWatchdog | None = None
+    #: finalize() report of a durable capture (None when not durable, or
+    #: when finalize itself failed — see ``watchdog.write_errors``).
+    recovery_report: object | None = None
+
+    def capture_meta(self) -> dict:
+        """Degraded-capture accounting (shed spans, R history) as meta."""
+        return capture_meta_for_units(self.units)
+
+    @property
+    def degraded(self) -> bool:
+        """True when capture shed samples or lost its durable storage."""
+        if any(u.shed_samples for u in self.units.values()):
+            return True
+        return self.watchdog is not None and self.watchdog.degraded
 
     def trace_for(self, core_id: int) -> HybridTrace:
         """The integrated trace of one sampled core."""
@@ -78,11 +230,14 @@ class TraceSession:
             raise ConfigError("session has no symbol table; use save_session()")
         from repro.core.tracefile import save_session
 
+        merged = dict(meta or {})
+        for key, value in self.capture_meta().items():
+            merged.setdefault(key, value)
         save_session(
             path,
             self,
             self.symtab,
-            meta=meta,
+            meta=merged,
             chunk_size=chunk_size,
             compress=compress,
             checksums=checksums,
@@ -99,6 +254,10 @@ def trace(
     mark_cost_ns: float = 200.0,
     double_buffered: bool = False,
     lockstep: bool = False,
+    overload: OverloadPolicy | None = None,
+    durable_out=None,
+    checkpoint_every_marks: int = 256,
+    durable_meta: dict | None = None,
 ) -> TraceSession:
     """Run ``app`` with instrumentation + PEBS and integrate per core.
 
@@ -106,6 +265,16 @@ def trace(
     (the paper enables PEBS on all relevant cores simultaneously).
     ``lockstep`` interleaves threads action-by-action in virtual time —
     required when threads interact through shared cache state.
+
+    ``overload`` opts into overload-graceful capture (shed samples under
+    sustained PEBS overflow instead of stalling, adaptive reset-value
+    backoff).  ``durable_out`` records through a journaled
+    :class:`~repro.core.durable.DurableTraceWriter` at that path: a
+    :class:`SessionWatchdog` checkpoints every ``checkpoint_every_marks``
+    switch marks, so a kill at any instant leaves a journal that
+    ``repro recover`` turns into a valid container.  Storage failures
+    mid-run degrade the session (``session.degraded``) instead of
+    raising.
     """
     threads = app.threads()
     if not threads:
@@ -115,20 +284,49 @@ def trace(
     cores = sample_cores if sample_cores is not None else [t.core_id for t in threads]
     units = {
         c: machine.attach_pebs(
-            c, PEBSConfig(event, reset_value, double_buffered=double_buffered)
+            c,
+            PEBSConfig(event, reset_value, double_buffered=double_buffered),
+            overload=overload,
         )
         for c in cores
     }
     tracer = MarkingTracer(
         mark_ip=app.mark_ip, cost_ns=mark_cost_ns, freq_ghz=spec.freq_ghz
     )
+    watchdog: SessionWatchdog | None = None
+    hook = tracer
+    if durable_out is not None:
+        from repro.core.durable import DurableTraceWriter
+
+        writer = DurableTraceWriter(durable_out, app.symtab, durable_meta)
+        watchdog = SessionWatchdog(
+            tracer, writer, units, every_marks=checkpoint_every_marks
+        )
+        hook = watchdog
     with span("session.schedule", threads=len(threads), cores=n_cores):
-        Scheduler(machine, threads, tracer=tracer, lockstep=lockstep).run()
+        Scheduler(machine, threads, tracer=hook, lockstep=lockstep).run()
+    recovery_report = None
+    if watchdog is not None and not watchdog.degraded:
+        # Seal the tail and finalize: the journal becomes the container.
+        if watchdog.checkpoint(final=True):
+            try:
+                recovery_report = watchdog.writer.finalize(
+                    extra_meta=capture_meta_for_units(units)
+                )
+            except TraceWriteError as exc:
+                watchdog.degraded = True
+                watchdog.write_errors.append(str(exc))
     with span("session.integrate", cores=len(units)):
         traces = {
             c: integrate(unit.finalize(), tracer.records_for_core(c), app.symtab)
             for c, unit in units.items()
         }
     return TraceSession(
-        machine=machine, tracer=tracer, units=units, traces=traces, symtab=app.symtab
+        machine=machine,
+        tracer=tracer,
+        units=units,
+        traces=traces,
+        symtab=app.symtab,
+        watchdog=watchdog,
+        recovery_report=recovery_report,
     )

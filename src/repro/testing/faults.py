@@ -13,7 +13,14 @@ exact behavior instead of trusting code inspection:
 * worker faults — :func:`hang_then_integrate` /
   :func:`flaky_then_integrate`, module-level so ``functools.partial`` of
   them pickles into a process pool, for ``ingest_trace``'s ``_shard_fn``
-  hook.
+  hook;
+* writer faults — shims over the durable recorder's
+  :class:`~repro.core.durable.RecorderIO` syscall surface:
+  :class:`CrashingIO` (SIGKILL before operation N, optionally tearing a
+  write halfway), :class:`ENOSPCIO` (disk fills after a byte budget),
+  :class:`FsyncFailingIO` (fsync starts failing with EIO).  Run a
+  scenario once against :class:`CountingIO` to learn how many kill
+  points it has; the kill-at-any-offset suite then enumerates them all.
 
 Storage faults rewrite the ``.npz`` in place via :func:`rewrite_container`.
 ``refresh_checksums`` distinguishes the two corruption families: bit rot
@@ -25,6 +32,7 @@ the semantic fault is visible).
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import pathlib
@@ -32,6 +40,7 @@ import time
 
 import numpy as np
 
+from repro.core.durable import RecorderIO
 from repro.core.integrity import member_crc
 from repro.core.streaming import _integrate_core_shard
 
@@ -256,6 +265,156 @@ def duplicate_switch_records(
         return [np.insert(c, index, c[index]) for c in cols]
 
     _edit_switch_log(path, core, edit, refresh_checksums)
+
+
+# ---------------------------------------------------------------------------
+# Writer-side faults: shims over the durable recorder's syscall surface.
+
+
+class SimulatedCrash(BaseException):
+    """Stands in for SIGKILL in the kill-at-any-offset tests.
+
+    A ``BaseException`` on purpose: nothing in the write path may catch
+    it (a real SIGKILL runs no handlers), so the writer is abandoned in
+    exactly the state the interrupted syscall left on disk.
+    """
+
+
+class CountingIO(RecorderIO):
+    """Real filesystem I/O that counts every syscall-surface operation.
+
+    ``ops`` after a clean scenario run is the number of distinct kill
+    points that scenario has; ``log`` records ``(op, filename)`` pairs
+    for debugging a failing kill index.
+    """
+
+    def __init__(self) -> None:
+        self.ops = 0
+        self.log: list[tuple[str, str]] = []
+
+    def _tick(self, op: str, path) -> None:
+        self.ops += 1
+        self.log.append((op, pathlib.Path(path).name))
+
+    def makedirs(self, path):
+        self._tick("makedirs", path)
+        super().makedirs(path)
+
+    def write_bytes(self, path, data):
+        self._tick("write_bytes", path)
+        super().write_bytes(path, data)
+
+    def append_bytes(self, path, data):
+        self._tick("append_bytes", path)
+        super().append_bytes(path, data)
+
+    def fsync_path(self, path):
+        self._tick("fsync_path", path)
+        super().fsync_path(path)
+
+    def fsync_dir(self, path):
+        self._tick("fsync_dir", path)
+        super().fsync_dir(path)
+
+    def replace(self, src, dst):
+        self._tick("replace", src)
+        super().replace(src, dst)
+
+    def rmtree(self, path):
+        self._tick("rmtree", path)
+        super().rmtree(path)
+
+
+class CrashingIO(CountingIO):
+    """Kill the process *before* syscall-surface operation ``kill_at``.
+
+    Operations ``0 .. kill_at-1`` complete normally; operation
+    ``kill_at`` raises :class:`SimulatedCrash` instead of running.  With
+    ``torn=True`` a killed ``write_bytes``/``append_bytes`` first lands
+    the leading half of its payload — the torn-file state a real kill
+    mid-``write(2)`` leaves behind.
+    """
+
+    def __init__(self, kill_at: int, *, torn: bool = False) -> None:
+        super().__init__()
+        self.kill_at = kill_at
+        self.torn = torn
+
+    def _tick(self, op: str, path) -> None:
+        if self.ops >= self.kill_at:
+            raise SimulatedCrash(f"killed before op {self.ops} ({op} {path})")
+        super()._tick(op, path)
+
+    def write_bytes(self, path, data):
+        self._maybe_tear(path, data, append=False)
+        super().write_bytes(path, data)
+
+    def append_bytes(self, path, data):
+        self._maybe_tear(path, data, append=True)
+        super().append_bytes(path, data)
+
+    def _maybe_tear(self, path, data, *, append: bool) -> None:
+        if self.torn and self.ops == self.kill_at and len(data) > 1:
+            half = data[: len(data) // 2]
+            mode = "ab" if append else "wb"
+            with open(path, mode) as fh:
+                fh.write(half)
+
+
+class ENOSPCIO(CountingIO):
+    """The disk fills after ``capacity_bytes`` of journal/segment writes.
+
+    The over-budget write raises ``OSError(ENOSPC)`` without touching
+    the file, the way a full filesystem fails an ``O_APPEND`` write —
+    the durable writer must surface it as a typed
+    :class:`~repro.errors.TraceWriteError`.
+    """
+
+    def __init__(self, capacity_bytes: int) -> None:
+        super().__init__()
+        self.capacity_bytes = capacity_bytes
+        self.bytes_written = 0
+
+    def _charge(self, path, n: int) -> None:
+        if self.bytes_written + n > self.capacity_bytes:
+            raise OSError(errno.ENOSPC, os.strerror(errno.ENOSPC), str(path))
+        self.bytes_written += n
+
+    def write_bytes(self, path, data):
+        self._charge(path, len(data))
+        super().write_bytes(path, data)
+
+    def append_bytes(self, path, data):
+        self._charge(path, len(data))
+        super().append_bytes(path, data)
+
+
+class FsyncFailingIO(CountingIO):
+    """``fsync`` starts failing with EIO after ``ok_fsyncs`` successes.
+
+    Models a dying disk (or an fsync-gate like a full thin-provisioned
+    volume): data writes still appear to succeed, but durability
+    barriers do not — the writer must refuse to report such a segment as
+    sealed.
+    """
+
+    def __init__(self, ok_fsyncs: int) -> None:
+        super().__init__()
+        self.ok_fsyncs = ok_fsyncs
+        self.fsyncs = 0
+
+    def _fail_or_count(self, path) -> None:
+        if self.fsyncs >= self.ok_fsyncs:
+            raise OSError(errno.EIO, os.strerror(errno.EIO), str(path))
+        self.fsyncs += 1
+
+    def fsync_path(self, path):
+        self._fail_or_count(path)
+        super().fsync_path(path)
+
+    def fsync_dir(self, path):
+        self._fail_or_count(path)
+        super().fsync_dir(path)
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,100 @@
+"""End-to-end CLI coverage for durable capture and `repro recover`.
+
+Everything runs in-process through :func:`repro.cli.main` so exit codes
+and stdout/stderr wiring are asserted exactly as a shell would see them:
+
+* ``run --durable`` journals the capture, finalizes into a container
+  that passes strict streaming validation, and removes the journal;
+* a crashed durable capture (simulated via the fault shims) is turned
+  into a valid container by ``recover``, with the quarantine published
+  on stderr and exit code 0 — degraded data is a *reported* success;
+* ``recover`` on a path with no journal is a trace error (exit 3), and
+  an unwritable ``--out`` is exit 3 from ``run`` as well.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.durable import journal_dir_for
+from repro.testing.faults import CrashingIO, SimulatedCrash
+from tests.faults.test_recover import drive_scenario
+
+
+@pytest.fixture()
+def crashed_capture(tmp_path):
+    """A durable capture killed mid-seal: journal present, no container."""
+    out = tmp_path / "crashed.npz"
+    with pytest.raises(SimulatedCrash):
+        drive_scenario(out, CrashingIO(30))
+    assert journal_dir_for(out).is_dir()
+    assert not out.exists()
+    return out
+
+
+def test_run_durable_finalizes_and_cleans_up(tmp_path, capsys):
+    out = tmp_path / "t.npz"
+    rc = main(
+        ["run", "--workload", "sampleapp", "--items", "30", "--durable",
+         "--out", str(out)]
+    )
+    assert rc == 0
+    assert out.exists()
+    assert not journal_dir_for(out).exists(), "clean finalize keeps no journal"
+    assert "durable" in capsys.readouterr().out
+    # The finalized container is a first-class citizen downstream.
+    assert main(["report", str(out), "--stream", "--on-corruption", "strict"]) == 0
+
+
+def test_run_durable_overload_roundtrip(tmp_path):
+    out = tmp_path / "t.npz"
+    rc = main(
+        ["run", "--workload", "sampleapp", "--items", "30", "--durable",
+         "--overload", "--double-buffered", "--out", str(out)]
+    )
+    assert rc == 0
+    assert main(["diagnose", str(out)]) == 0
+
+
+def test_recover_crashed_capture(crashed_capture, capsys):
+    rc = main(["recover", str(crashed_capture)])
+    captured = capsys.readouterr()
+    assert rc == 0
+    assert "recovered" in captured.out
+    assert crashed_capture.exists()
+    # The recovered container passes the strictest read path we have.
+    assert main(
+        ["report", str(crashed_capture), "--stream", "--on-corruption", "strict"]
+    ) == 0
+
+
+def test_recover_accepts_journal_dir_and_custom_out(crashed_capture, tmp_path):
+    elsewhere = tmp_path / "salvaged" / "t.npz"
+    rc = main(
+        ["recover", str(journal_dir_for(crashed_capture)), "--out", str(elsewhere)]
+    )
+    assert rc == 0
+    assert elsewhere.exists()
+
+
+def test_recover_is_repeatable(crashed_capture):
+    assert main(["recover", str(crashed_capture)]) == 0
+    assert main(["recover", str(crashed_capture)]) == 0
+
+
+def test_recover_without_journal_is_exit_3(tmp_path, capsys):
+    rc = main(["recover", str(tmp_path / "never-recorded.npz")])
+    assert rc == 3
+    assert "no recording journal" in capsys.readouterr().err
+
+
+def test_run_unwritable_out_is_exit_3(tmp_path, capsys):
+    blocker = tmp_path / "blocker"
+    blocker.write_text("a file, not a directory")
+    rc = main(
+        ["run", "--workload", "sampleapp", "--items", "10",
+         "--out", str(blocker / "t.npz")]
+    )
+    assert rc == 3
+    assert "cannot write trace file" in capsys.readouterr().err

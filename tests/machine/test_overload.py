@@ -1,0 +1,237 @@
+"""Overload-graceful capture: shedding, backoff hysteresis, accounting.
+
+The contract under test (ISSUE: "under sustained PEBS overflow the
+capture layer keeps switch-mark loss at zero and accounts 100% of shed
+samples"):
+
+* a pressured double-buffered PEBS unit with an
+  :class:`~repro.machine.overload.OverloadPolicy` sheds whole buffers
+  instead of stalling, every shed sample is counted and span-tracked,
+  and the durability barrier is never crossed;
+* :class:`~repro.machine.overload.AdaptiveResetController` raises R only
+  under *sustained* pressure, caps it, and restores toward base with
+  hysteresis — no flapping on an oscillating load;
+* the software sampler's bounded buffer counts busy and capacity drops
+  separately, and the registry totals match the unit's own counters
+  exactly (nothing shed goes unaccounted).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import MachineSpec
+from repro.machine.events import HWEvent
+from repro.machine.overload import AdaptiveResetController, OverloadPolicy
+from repro.machine.pebs import PEBSConfig, PEBSUnit
+from repro.machine.sampler import SoftwareSampler, SoftwareSamplerConfig
+from repro.obs.metrics import MetricsRegistry, use_registry
+
+EVENT = HWEvent.UOPS_RETIRED_ALL
+
+#: Tiny buffer + slow drain: the second buffer always fills while the
+#: first drain is still running, i.e. sustained overflow pressure.
+PRESSURED_SPEC = MachineSpec(
+    pebs_buffer_records=4, pebs_drain_base_ns=1_000_000.0
+)
+
+
+def _unit(policy: OverloadPolicy | None, spec: MachineSpec = PRESSURED_SPEC):
+    unit = PEBSUnit(PEBSConfig(EVENT, 1000, double_buffered=True), spec)
+    unit.overload = policy
+    return unit
+
+
+def _overflows(unit: PEBSUnit, n: int, start: int = 0, gap: int = 10) -> int:
+    ts = np.arange(start, start + n * gap, gap, dtype=np.int64)
+    return unit.on_overflows(ts, ip=0x1000, tag=7)
+
+
+# ---------------------------------------------------------------------------
+# AdaptiveResetController
+
+
+def _controller(policy: OverloadPolicy, base: int = 1000):
+    calls: list[int] = []
+    ctl = AdaptiveResetController(policy, base, calls.append)
+    return ctl, calls
+
+
+def test_controller_raises_only_under_sustained_pressure():
+    ctl, calls = _controller(OverloadPolicy(raise_after_fills=2))
+    ctl.on_buffer_fill(10, pressured=True)
+    assert calls == [], "one pressured fill is a burst, not overload"
+    ctl.on_buffer_fill(20, pressured=True)
+    assert calls == [2000]
+    assert ctl.current == 2000
+    assert ctl.history == [(20, 2000)]
+
+
+def test_controller_calm_fill_resets_the_pressure_streak():
+    ctl, calls = _controller(OverloadPolicy(raise_after_fills=2))
+    for now, pressured in ((1, True), (2, False), (3, True), (4, False)):
+        ctl.on_buffer_fill(now, pressured)
+    assert calls == [], "alternating load must not raise R"
+
+
+def test_controller_caps_at_max_reset_multiple():
+    ctl, calls = _controller(
+        OverloadPolicy(raise_after_fills=1, raise_factor=4.0, max_reset_multiple=8)
+    )
+    for now in range(10):
+        ctl.on_buffer_fill(now, pressured=True)
+    assert ctl.current == 8000, "R must cap at base * max_reset_multiple"
+    assert calls == [4000, 8000], "reaching the cap stops further raises"
+
+
+def test_controller_restores_with_hysteresis():
+    ctl, calls = _controller(
+        OverloadPolicy(raise_after_fills=1, restore_after_calm=3)
+    )
+    ctl.on_buffer_fill(0, pressured=True)
+    assert ctl.current == 2000
+    ctl.on_buffer_fill(1, pressured=False)
+    ctl.on_buffer_fill(2, pressured=False)
+    assert ctl.current == 2000, "restore needs restore_after_calm calm fills"
+    ctl.on_buffer_fill(3, pressured=False)
+    assert ctl.current == 1000
+    # Already at base: further calm fills change nothing.
+    for now in range(4, 10):
+        ctl.on_buffer_fill(now, pressured=False)
+    assert ctl.current == 1000
+    assert calls == [2000, 1000]
+
+
+def test_controller_disabled_is_inert():
+    ctl, calls = _controller(OverloadPolicy(adaptive_reset=False))
+    for now in range(8):
+        ctl.on_buffer_fill(now, pressured=True)
+    assert calls == [] and ctl.current == 1000 and ctl.history == []
+
+
+def test_policy_validates_its_knobs():
+    with pytest.raises(ConfigError):
+        OverloadPolicy(raise_after_fills=0)
+    with pytest.raises(ConfigError):
+        OverloadPolicy(raise_factor=1.0)
+    with pytest.raises(ConfigError):
+        OverloadPolicy(restore_after_calm=0)
+    with pytest.raises(ConfigError):
+        OverloadPolicy(max_reset_multiple=0)
+
+
+# ---------------------------------------------------------------------------
+# PEBSUnit shedding
+
+
+def test_pressured_unit_sheds_instead_of_stalling():
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        unit = _unit(OverloadPolicy(adaptive_reset=False))
+        _overflows(unit, 16)
+    # First buffer drains (nothing was busy yet); the drain is so slow
+    # that every later fill is pressured and shed whole.
+    assert unit.sample_count == 4
+    assert unit.shed_samples == 12
+    assert unit.stall_cycles == 0, "shedding must never stall the core"
+    assert len(unit.shed_spans) == 3
+    # 100% accounting: retained + shed == everything captured, and the
+    # registry total equals the unit's own counter.
+    assert unit.sample_count + unit.shed_samples == 16
+    assert reg.value("repro_overload_samples_shed_total") == unit.shed_samples
+    for lo, hi in unit.shed_spans:
+        assert lo <= hi
+    # Spans are in capture order.
+    assert [s[0] for s in unit.shed_spans] == sorted(s[0] for s in unit.shed_spans)
+
+
+def test_without_policy_the_unit_stalls_as_before():
+    unit = _unit(None)
+    _overflows(unit, 16)
+    assert unit.shed_samples == 0
+    assert unit.sample_count == 16
+    assert unit.stall_cycles > 0, "historical behaviour: stall, keep data"
+
+
+def test_shed_never_crosses_the_checkpoint_barrier():
+    unit = _unit(OverloadPolicy(adaptive_reset=False))
+    _overflows(unit, 4)  # first fill: drains, drain now busy for ages
+    assert unit.sample_count == 4
+    # Pretend the watchdog sealed 6 samples (the 4 above + 2 of the next
+    # buffer once they arrive): those indices are on disk and immutable.
+    unit.checkpoint_barrier = 6
+    _overflows(unit, 4, start=1_000)
+    assert unit.sample_count == 6, "only samples past the barrier may shed"
+    assert unit.shed_samples == 2
+    assert unit.finalize().ts.shape[0] == 6
+
+
+def test_sustained_pressure_raises_r_then_calm_restores():
+    unit = _unit(OverloadPolicy(raise_after_fills=2))
+    applied: list[int] = []
+    unit.controller = AdaptiveResetController(
+        OverloadPolicy(raise_after_fills=2), 1000, applied.append
+    )
+    _overflows(unit, 24)
+    # Fill 1 calm, fills 2..6 pressured: two raises (after fills 3 and 5).
+    assert applied == [2000, 4000]
+    assert unit.controller.current == 4000
+    assert unit.controller.adjustments == 2
+
+
+# ---------------------------------------------------------------------------
+# SoftwareSampler bounded buffer
+
+
+def _sw(config: SoftwareSamplerConfig) -> SoftwareSampler:
+    return SoftwareSampler(config, MachineSpec())
+
+
+def test_sampler_capacity_bound_counts_drops():
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        sampler = _sw(SoftwareSamplerConfig(EVENT, 1000, capacity=3))
+        ts = np.arange(0, 8_000_000, 1_000_000, dtype=np.int64)
+        sampler.on_overflows(ts, ip=0x2000, tag=1)
+    assert sampler.sample_count == 3
+    assert sampler.dropped == 5
+    assert reg.value("repro_sw_samples_dropped_total") == 5
+    assert (
+        reg.value("repro_sw_samples_dropped_by_reason_total", reason="capacity")
+        == 5
+    )
+
+
+def test_sampler_busy_and_capacity_reasons_sum_to_total():
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        # A throttle far above the handler time floors the service rate,
+        # so back-to-back overflows drop as "busy"; the capacity bound
+        # then drops what the handler *could* service.
+        sampler = _sw(
+            SoftwareSamplerConfig(
+                EVENT, 1000, throttle_max_rate_hz=1000.0, capacity=2
+            )
+        )
+        ts = np.arange(0, 10 * 1_000, 1_000, dtype=np.int64)
+        sampler.on_overflows(ts, ip=0x2000, tag=1)
+        ts2 = np.arange(10**10, 10**10 + 4 * 10**7, 10**7, dtype=np.int64)
+        sampler.on_overflows(ts2, ip=0x2000, tag=1)
+    busy = reg.value("repro_sw_samples_dropped_by_reason_total", reason="busy")
+    capacity = reg.value(
+        "repro_sw_samples_dropped_by_reason_total", reason="capacity"
+    )
+    assert busy > 0 and capacity > 0
+    assert busy + capacity == sampler.dropped
+    assert reg.value("repro_sw_samples_dropped_total") == sampler.dropped
+    assert sampler.sample_count == 2
+
+
+def test_sampler_unbounded_by_default():
+    sampler = _sw(SoftwareSamplerConfig(EVENT, 1000))
+    ts = np.arange(0, 50 * 10**6, 10**6, dtype=np.int64)
+    sampler.on_overflows(ts, ip=0x2000, tag=1)
+    assert sampler.sample_count == 50
+    assert sampler.dropped == 0
