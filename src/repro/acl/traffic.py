@@ -44,13 +44,18 @@ class TrafficMix:
 def random_traffic(
     n_packets: int,
     mix: TrafficMix = TrafficMix(),
-    seed: int = 7,
+    seed: int | np.random.Generator = 7,
     first_id: int = 1,
 ) -> list[Packet]:
-    """Draw ``n_packets`` random packets against the Table III structure."""
+    """Draw ``n_packets`` random packets against the Table III structure.
+
+    ``seed`` accepts either an integer or an already-constructed
+    :class:`numpy.random.Generator`, so callers threading one generator
+    through a whole workload build (``repro run --seed``) can share it.
+    """
     if n_packets < 1:
         raise ACLError("need at least one packet")
-    rng = np.random.default_rng(seed)
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
     src_net = parse_ipv4("192.168.10.0")
     dst_net = parse_ipv4("192.168.11.0")
     out: list[Packet] = []

@@ -77,6 +77,12 @@ class DiffReport:
     base_median_total: float
     other_median_total: float
     reset_value: int
+    #: Items per run whose windows overlap capture losses (shed samples,
+    #: unrecovered journal spans); their evidence is incomplete, so every
+    #: delta's confidence is discounted by the intact fraction of both
+    #: runs rather than presented at full strength.
+    n_degraded_base: int = 0
+    n_degraded_other: int = 0
 
     @property
     def regressions(self) -> list[FunctionDelta]:
@@ -99,6 +105,12 @@ class DiffReport:
             f"{self.n_items_other} item(s); median total "
             f"{self.base_median_total:.0f} -> {self.other_median_total:.0f} cycles"
         ]
+        if self.n_degraded_base or self.n_degraded_other:
+            lines.append(
+                f"  degraded capture: {self.n_degraded_base} baseline / "
+                f"{self.n_degraded_other} other item(s) overlap lost data; "
+                "confidences discounted"
+            )
         top = self.top
         if top is None:
             lines.append("  no per-item regression found")
@@ -122,6 +134,8 @@ class DiffReport:
                 "base_median_total": self.base_median_total,
                 "other_median_total": self.other_median_total,
                 "reset_value": self.reset_value,
+                "n_degraded_base": self.n_degraded_base,
+                "n_degraded_other": self.n_degraded_other,
                 "deltas": [
                     {
                         "fn": d.fn_name,
@@ -187,6 +201,8 @@ def diff_traces(
     min_samples: int = 2,
     include_unattributed: bool = True,
     reset_value: int | None = None,
+    degraded_base: set[int] | None = None,
+    degraded_other: set[int] | None = None,
 ) -> DiffReport:
     """Rank functions by per-item excess of ``other`` over ``base``.
 
@@ -198,6 +214,13 @@ def diff_traces(
     ``reset_value`` is the sampling period R behind the confidence
     figures; when the runs used different R values pass the larger
     (conservative) one.
+
+    ``degraded_base`` / ``degraded_other`` are item ids whose windows
+    overlap capture losses (shed samples under overload, spans a crash
+    recovery could not salvage).  Missing samples depress a function's
+    apparent cost, so a degraded side biases the comparison; every
+    delta's confidence is multiplied by the intact item fraction of both
+    runs so the report can never be *more* confident on worse evidence.
     """
     R = reset_value if reset_value is not None else DEFAULT_RESET_VALUE
     b_items, b_vec, b_n, b_totals = _per_item_matrix(
@@ -210,6 +233,9 @@ def diff_traces(
         raise TraceError("diff_traces needs at least one item in each trace")
     n_b = int(b_items.shape[0])
     n_o = int(o_items.shape[0])
+    n_deg_b = len(set(degraded_base or ()) & set(b_items.tolist()))
+    n_deg_o = len(set(degraded_other or ()) & set(o_items.tolist()))
+    intact = (1.0 - n_deg_b / n_b) * (1.0 - n_deg_o / n_o)
 
     deltas: list[FunctionDelta] = []
     for name in sorted(set(b_vec) | set(o_vec)):
@@ -233,7 +259,7 @@ def diff_traces(
                 base_total_cycles=int(bv.sum()) if bv is not None else 0,
                 other_total_cycles=int(ov.sum()) if ov is not None else 0,
                 n_samples=o_n.get(name, b_n.get(name, 0)),
-                confidence=sample_confidence(excess, max(1, int(dens)), R)
+                confidence=intact * sample_confidence(excess, max(1, int(dens)), R)
                 if dens > 0
                 else 0.0,
             )
@@ -246,6 +272,8 @@ def diff_traces(
         base_median_total=float(np.median(b_totals)),
         other_median_total=float(np.median(o_totals)),
         reset_value=R,
+        n_degraded_base=n_deg_b,
+        n_degraded_other=n_deg_o,
     )
     ins = _obs()
     ins.diff_runs.inc()

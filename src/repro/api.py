@@ -67,6 +67,7 @@ def record(
     out: str | pathlib.Path | None = None,
     items: int = 60,
     full_rules: bool = False,
+    seed: int | None = None,
     reset_value: int = 8000,
     event="uops",
     sample_cores: list[int] | None = None,
@@ -95,6 +96,13 @@ def record(
     :func:`diagnose` baselines within (from the named workload's
     definition, or ``groups=`` for custom apps).
 
+    ``seed`` threads one :class:`numpy.random.Generator` seed through a
+    *named* workload's randomness (see
+    :func:`repro.workloads.build_workload`), making the run
+    bit-reproducible; it is recorded in the container metadata.  It is
+    ignored for pre-built app objects, whose randomness was already
+    drawn at construction.
+
     ``durable=True`` records through the crash-safe journal
     (:class:`~repro.core.durable.DurableTraceWriter`, checkpointed every
     ``checkpoint_every_marks`` switch marks): a kill at any instant
@@ -107,7 +115,7 @@ def record(
         raise ReproError("durable=True needs out= (the container to journal)")
     if isinstance(workload, str):
         app, wl_groups = build_workload(
-            workload, items=items, full_rules=full_rules
+            workload, items=items, full_rules=full_rules, seed=seed
         )
         name = workload
     else:
@@ -121,6 +129,8 @@ def record(
         "event": event if isinstance(event, str) else hw_event.value,
         "groups": {str(k): str(v) for k, v in wl_groups.items()},
     }
+    if seed is not None:
+        full_meta["seed"] = int(seed)
     if meta:
         full_meta.update(meta)
     session = _run_trace(
@@ -350,6 +360,7 @@ def diff(
     min_samples: int = 2,
     include_unattributed: bool = True,
     reset_value: int | None = None,
+    allow_degraded_baseline: bool = False,
 ) -> DiffReport:
     """Localize a regression between two runs of the same workload.
 
@@ -360,15 +371,24 @@ def diff(
     ``reset_value`` defaults to the larger of the runs' recorded values
     (conservative for the confidence figures).
 
+    Items whose windows overlap capture losses (shed spans, unrecovered
+    journal spans, per the containers' metadata) discount every delta's
+    confidence.  A baseline whose items are *all* degraded cannot anchor
+    a comparison at all — missing samples read as "this function got
+    cheaper", inverting the verdict — so it is refused with
+    :class:`~repro.errors.ReproError` unless ``allow_degraded_baseline``
+    is set.
+
     ``stream=True`` routes both runs through chunked
     :func:`~repro.core.streaming.ingest_trace` instead of whole-file
     loading; the traces — and therefore the report — are identical
     either way (streaming integration is bitwise-equal to one-shot).
     """
+    base_meta, other_meta = _meta_of(base), _meta_of(other)
     if reset_value is None:
         values = [
             int(m["reset_value"])
-            for m in (_meta_of(base), _meta_of(other))
+            for m in (base_meta, other_meta)
             if m.get("reset_value") is not None
         ]
         reset_value = max(values) if values else None
@@ -392,10 +412,24 @@ def diff(
     else:
         base_trace = _one_shot_trace(base, use_core)
         other_trace = _one_shot_trace(other, use_core)
+    degraded_base = _degraded_items(base_trace, base_meta, use_core)
+    degraded_other = _degraded_items(other_trace, other_meta, use_core)
+    base_items = {int(w.item_id) for w in base_trace.windows}
+    if base_items and degraded_base >= base_items and not allow_degraded_baseline:
+        raise ReproError(
+            "baseline capture is fully degraded: every one of its "
+            f"{len(base_items)} item(s) overlaps shed or lost sample spans, "
+            "so it cannot anchor a differential comparison (missing samples "
+            "would read as the regression's opposite). Re-record the "
+            "baseline, or pass allow_degraded_baseline=True "
+            "(--allow-degraded-baseline) to force the comparison."
+        )
     return diff_traces(
         base_trace,
         other_trace,
         min_samples=min_samples,
         include_unattributed=include_unattributed,
         reset_value=reset_value,
+        degraded_base=degraded_base,
+        degraded_other=degraded_other,
     )

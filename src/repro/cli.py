@@ -42,7 +42,10 @@ US = 3000.0  # cycles per microsecond at the default 3 GHz
 def _build_workload(args):
     """Instantiate the requested workload; returns (app, group_map)."""
     return build_workload(
-        args.workload, items=args.items, full_rules=args.full_rules
+        args.workload,
+        items=args.items,
+        full_rules=args.full_rules,
+        seed=args.seed,
     )
 
 
@@ -54,6 +57,8 @@ def cmd_run(args) -> int:
         "event": args.event,
         "groups": {str(k): str(v) for k, v in groups.items()},
     }
+    if args.seed is not None:
+        meta["seed"] = args.seed
     overload = OverloadPolicy() if args.overload else None
     session = run_trace(
         app,
@@ -300,7 +305,15 @@ def cmd_diff(args) -> int:
         options=IngestOptions.from_args(args),
         min_samples=args.min_samples,
         reset_value=args.reset_value,
+        allow_degraded_baseline=args.allow_degraded_baseline,
     )
+    if report.n_degraded_base or report.n_degraded_other:
+        print(
+            f"warning: degraded capture — {report.n_degraded_base} baseline / "
+            f"{report.n_degraded_other} other item(s) overlap shed or lost "
+            "sample spans; confidences are discounted",
+            file=sys.stderr,
+        )
     if args.json:
         print(report.to_json())
         return 0
@@ -334,6 +347,47 @@ def cmd_diff(args) -> int:
             f"confidence {top.confidence:.2f})"
         )
     return 0
+
+
+def cmd_verify_attribution(args) -> int:
+    """`repro verify-attribution`: score the diagnoser on a known-cause grid."""
+    import json as _json
+    import pathlib
+
+    from repro.testing.matrix import compare_scorecards, run_matrix
+
+    scorecard = run_matrix(grid=args.grid, seed=args.seed)
+    print(scorecard.describe())
+    if args.json:
+        pathlib.Path(args.json).write_text(scorecard.to_json())
+        print(f"scorecard written to {args.json}")
+    failed = False
+    if scorecard.hit_rate < args.min_hit_rate:
+        print(
+            f"FAIL: hit rate {scorecard.hit_rate:.0%} below required "
+            f"{args.min_hit_rate:.0%}",
+            file=sys.stderr,
+        )
+        failed = True
+    if args.golden:
+        golden = _json.loads(pathlib.Path(args.golden).read_text())
+        problems = compare_scorecards(scorecard.to_stable_dict(), golden)
+        if problems:
+            print(
+                f"FAIL: scorecard diverges from golden {args.golden}:",
+                file=sys.stderr,
+            )
+            for p in problems:
+                print(f"  {p}", file=sys.stderr)
+            print(
+                "  (if the change is intentional, regenerate with "
+                f"`repro verify-attribution --json {args.golden}`)",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            print(f"scorecard matches golden {args.golden}")
+    return EXIT_REPRO_ERROR if failed else 0
 
 
 def cmd_profile(args) -> int:
@@ -499,6 +553,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--reset-value", type=int, default=8000)
     p_run.add_argument("--event", choices=sorted(EVENTS), default="uops")
     p_run.add_argument("--items", type=int, default=60, help="workload size")
+    p_run.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help=(
+            "seed the workload's randomness (one numpy Generator threads "
+            "through it) for a bit-reproducible run; recorded in metadata"
+        ),
+    )
     p_run.add_argument("--full-rules", action="store_true", help="ACL: the 50k-rule Table III set")
     p_run.add_argument("--double-buffered", action="store_true")
     p_run.add_argument(
@@ -671,9 +734,53 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampling period R for confidence (default: from trace metadata)",
     )
     p_diff.add_argument("--json", action="store_true", help="machine-readable output")
+    p_diff.add_argument(
+        "--allow-degraded-baseline",
+        action="store_true",
+        help=(
+            "force the comparison even when every baseline item overlaps "
+            "shed or lost sample spans (normally refused: missing samples "
+            "would read as the regression's opposite)"
+        ),
+    )
     _add_ingest_args(p_diff)
     _add_telemetry_args(p_diff)
     p_diff.set_defaults(func=cmd_diff)
+
+    p_ver = sub.add_parser(
+        "verify-attribution",
+        help=(
+            "run the known-root-cause interference matrix and score the "
+            "diagnoser's attributions against ground truth"
+        ),
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_ver.add_argument(
+        "--grid",
+        default="smoke",
+        help="cell grid to run (default: the checked-in CI smoke grid)",
+    )
+    p_ver.add_argument("--seed", type=int, default=0, help="matrix workload seed")
+    p_ver.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="write the scorecard JSON here (also how the golden is regenerated)",
+    )
+    p_ver.add_argument(
+        "--golden",
+        metavar="PATH",
+        default=None,
+        help="compare against a checked-in scorecard; any divergence fails",
+    )
+    p_ver.add_argument(
+        "--min-hit-rate",
+        type=float,
+        default=0.9,
+        help="fail below this fraction of correctly-attributed cells",
+    )
+    p_ver.set_defaults(func=cmd_verify_attribution)
 
     p_mon = sub.add_parser(
         "monitor", help="live dashboard while stream-ingesting a trace file"

@@ -62,5 +62,9 @@ class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
 
 
+class InterferenceError(WorkloadError):
+    """An interference injector cannot attach to the given workload."""
+
+
 class ACLError(WorkloadError):
     """ACL rule set or classifier construction failed."""

@@ -1,0 +1,62 @@
+"""Calibrated interference injection + machine-geometry sweeps.
+
+* :mod:`repro.interference.injectors` — the four injector mechanisms and
+  the uniform :func:`~repro.interference.injectors.inject` API;
+* :mod:`repro.interference.targets` — small matrix workloads with
+  declared ground-truth injection points;
+* :mod:`repro.interference.sweep` — SMTcheck-style sweeps recovering
+  cache capacities, queue depth and the sampler saturation floor from
+  observed performance cliffs.
+
+Together they give the attribution matrix
+(:mod:`repro.testing.matrix`) workload × injector × intensity cells
+whose root cause is known by construction.
+"""
+
+from repro.interference.injectors import (
+    DEGRADED_CAPTURE,
+    INJECTORS,
+    STALL_SYMBOL,
+    THRASH_SYMBOL,
+    CacheThrashInjector,
+    CoreStallInjector,
+    InjectedWorkload,
+    Injector,
+    QueueSaturationInjector,
+    SamplerOverloadInjector,
+    inject,
+    make_injector,
+)
+from repro.interference.sweep import (
+    CacheSweepResult,
+    QueueSweepResult,
+    SamplerSweepResult,
+    sweep_cache_geometry,
+    sweep_queue_depth,
+    sweep_sampler_saturation,
+)
+from repro.interference.targets import TARGETS, TargetBundle, build_target
+
+__all__ = [
+    "CacheSweepResult",
+    "CacheThrashInjector",
+    "CoreStallInjector",
+    "DEGRADED_CAPTURE",
+    "INJECTORS",
+    "InjectedWorkload",
+    "Injector",
+    "QueueSaturationInjector",
+    "QueueSweepResult",
+    "STALL_SYMBOL",
+    "SamplerOverloadInjector",
+    "SamplerSweepResult",
+    "TARGETS",
+    "THRASH_SYMBOL",
+    "TargetBundle",
+    "build_target",
+    "inject",
+    "make_injector",
+    "sweep_cache_geometry",
+    "sweep_queue_depth",
+    "sweep_sampler_saturation",
+]

@@ -1,0 +1,581 @@
+"""Calibrated, composable interference injectors.
+
+Validating a fluctuation diagnoser needs workloads whose root cause is
+known *by construction* (the way DepGraph validates waiting-dependency
+localization against injected blocking).  Each injector here perturbs a
+workload through exactly one mechanism of the simulated machine —
+
+* :class:`CoreStallInjector` — lock-style stalls: extra retired work at a
+  dedicated ``__interference_stall`` symbol inside selected item windows;
+* :class:`QueueSaturationInjector` — SW-queue saturation: drags the
+  declared consumer thread so the bounded ring fills and the producer's
+  items spend their time spinning for a free slot (backpressure);
+* :class:`CacheThrashInjector` — shared-LLC thrash: a streaming aggressor
+  thread on a spare core evicting the victim's working set;
+* :class:`SamplerOverloadInjector` — capture-side pressure: shrinks the
+  PEBS buffer and slows the drain so the overload policy sheds samples —
+
+each parameterized by one ``intensity`` knob in [0, 1], attachable to any
+workload following the :class:`~repro.session.TraceableApp` convention
+via the uniform :func:`inject` API.  Intensity 0 is always a no-op: the
+wrapped app and capture are bitwise-identical to an uninjected run.
+
+Injection that needs workload knowledge (which function is the cache
+victim, which thread consumes the queue) reads the app's declared
+``injection_points`` / ``queue_consumer`` / ``spare_core`` attributes
+(see :mod:`repro.interference.targets`); mechanisms that need none
+(stall, sampler overload) attach to anything.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.symbols import SymbolTable
+from repro.errors import InterferenceError
+from repro.machine.block import LINE_BYTES, Block, MemRef, timed_block
+from repro.machine.config import SKYLAKE_LIKE, MachineSpec
+from repro.machine.events import HWEvent
+from repro.machine.overload import OverloadPolicy
+from repro.runtime.actions import Exec, IdleUntil, Mark, Pop, SwitchKind
+from repro.runtime.thread import AppThread
+
+#: Symbol the stall injector retires its extra work at — the checkable
+#: ground-truth culprit for core-stall cells.
+STALL_SYMBOL = "__interference_stall"
+
+#: Symbol of the cache-thrash aggressor's streaming scan.
+THRASH_SYMBOL = "__interference_thrash"
+
+#: Expected-cause token for capture-side injectors: the right diagnosis
+#: is "this data is degraded", not any function name.
+DEGRADED_CAPTURE = "degraded-capture"
+
+
+def extend_symtab(
+    symtab: SymbolTable, names: list[str], size: int = 0x400
+) -> tuple[SymbolTable, dict[str, int]]:
+    """A new table with extra ranges appended after the app's last symbol.
+
+    SymbolTable is immutable after build, so injectors that retire work at
+    their own symbol rebuild the table; the original ranges are untouched,
+    keeping every app ip valid in the extended table.
+    """
+    ranges = {s.name: (s.lo, s.hi) for s in symtab}
+    base = max(hi for _, hi in ranges.values())
+    ips: dict[str, int] = {}
+    for name in names:
+        if name in ranges:
+            raise InterferenceError(
+                f"symbol {name!r} already exists; is the app already injected?"
+            )
+        ranges[name] = (base, base + size)
+        ips[name] = base
+        base += size
+    return SymbolTable.from_ranges(ranges), ips
+
+
+class WrappedApp:
+    """Proxy presenting an injected view of an app.
+
+    Overrides ``symtab`` and ``threads()``; everything else (``mark_ip``,
+    ``group_of``, ``machine_spec``, declared injection points, ...)
+    forwards to the wrapped app.  ``transform`` receives the inner app's
+    fresh thread list on every ``threads()`` call and returns the
+    replacement list, so per-run state (completion counters, wrapper
+    generators) is rebuilt per run exactly like app bodies are.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        symtab: SymbolTable | None = None,
+        transform: Callable[[list[AppThread]], list[AppThread]] | None = None,
+    ) -> None:
+        self._inner = inner
+        self._symtab = symtab if symtab is not None else inner.symtab
+        self._transform = transform
+
+    @property
+    def symtab(self) -> SymbolTable:
+        return self._symtab
+
+    def threads(self) -> list[AppThread]:
+        threads = self._inner.threads()
+        return self._transform(threads) if self._transform is not None else threads
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class _Completion:
+    """Shared flag the aggressor polls: all victim threads finished."""
+
+    def __init__(self, n_threads: int) -> None:
+        self.remaining = n_threads
+
+    def mark_done(self) -> None:
+        self.remaining -= 1
+
+    @property
+    def done(self) -> bool:
+        return self.remaining <= 0
+
+
+def _watched(gen, completion: _Completion):
+    """Forward a body unchanged, flipping ``completion`` on exhaustion."""
+    try:
+        yield from gen
+    finally:
+        completion.mark_done()
+
+
+# ---------------------------------------------------------------------------
+# Injector base
+
+
+@dataclass(frozen=True)
+class Injector:
+    """One interference mechanism with a single intensity knob.
+
+    ``wrap`` returns the app to trace (the original object when the
+    intensity rounds to no perturbation).  ``environment`` returns
+    :func:`repro.session.trace` kwargs that must be *identical across
+    intensities* (cache model on, lockstep, machine spec) so baseline and
+    injected runs execute on the same machine; ``pressure_kwargs``
+    returns the intensity-dependent capture kwargs (empty for timeline
+    injectors, the overload spec for capture-side ones).
+    """
+
+    name: str = "injector"
+    #: "function" when ground truth is a symbol name; "capture" when the
+    #: right diagnosis is degraded data rather than a culprit function.
+    kind: str = "function"
+
+    def wrap(self, app: Any, intensity: float, rng: np.random.Generator) -> Any:
+        return app
+
+    def environment(self, app: Any) -> dict:
+        return {}
+
+    def pressure_kwargs(self, app: Any, intensity: float) -> dict:
+        return {}
+
+    def expected_cause(self, app: Any) -> str:
+        if self.kind == "capture":
+            return DEGRADED_CAPTURE
+        declared = getattr(app, "injection_points", {}).get(self.name)
+        if declared is None:
+            raise InterferenceError(
+                f"workload {type(app).__name__} declares no expected cause "
+                f"for injector {self.name!r} (injection_points)"
+            )
+        return str(declared)
+
+    def _base_spec(self, app: Any) -> MachineSpec:
+        spec_fn = getattr(app, "machine_spec", None)
+        return spec_fn() if callable(spec_fn) else SKYLAKE_LIKE
+
+
+# ---------------------------------------------------------------------------
+# Core stalls
+
+
+def _stall_body(gen, stride: int, stall_cycles: int, stall_ip: int):
+    """Forward a body, retiring a stall block inside every stride-th item.
+
+    The stall goes right after ``ITEM_START`` so its cycles land inside
+    the item's window and its samples carry :data:`STALL_SYMBOL` — the
+    exact signature a lock-convoy or interrupt storm leaves in the paper's
+    per-item traces.  Item selection is positional (every ``stride``-th
+    start), so the *same* items are hit at every intensity: measured
+    interference is monotone in intensity by construction.
+    """
+    send = None
+    count = 0
+    while True:
+        try:
+            action = gen.send(send)
+        except StopIteration:
+            return
+        send = yield action
+        if isinstance(action, Mark) and action.kind is SwitchKind.ITEM_START:
+            if count % stride == 0:
+                yield Exec(timed_block(stall_ip, stall_cycles))
+            count += 1
+
+
+@dataclass(frozen=True)
+class CoreStallInjector(Injector):
+    """Lock-style core stalls inside item windows.
+
+    ``duty`` is the fraction of items hit (1.0 = sustained, every item —
+    the shape a run-to-run regression diff sees; ~0.25 = bursty — the
+    within-run fluctuation shape diagnosis sees).  The stall length is
+    ``intensity * max_stall_cycles``.
+    """
+
+    name: str = "core-stall"
+    max_stall_cycles: int = 30_000
+    duty: float = 1.0
+
+    def wrap(self, app: Any, intensity: float, rng: np.random.Generator) -> Any:
+        cycles = int(round(intensity * self.max_stall_cycles))
+        if cycles <= 0:
+            return app
+        symtab, ips = extend_symtab(app.symtab, [STALL_SYMBOL])
+        stride = max(1, int(round(1.0 / self.duty)))
+        stall_ip = ips[STALL_SYMBOL]
+
+        def transform(threads: list[AppThread]) -> list[AppThread]:
+            return [
+                AppThread(
+                    t.name,
+                    t.core_id,
+                    (lambda t=t: _stall_body(t.start(), stride, cycles, stall_ip)),
+                    t.poll_ip,
+                )
+                for t in threads
+            ]
+
+        return WrappedApp(app, symtab=symtab, transform=transform)
+
+
+# ---------------------------------------------------------------------------
+# SW-queue saturation
+
+
+def _drag_body(gen, delay: int, period: int, burst_len: int, poll_ip: int):
+    """Forward the consumer's body, dragging selected pops.
+
+    After every ``period``-th pop (for ``burst_len`` consecutive pops)
+    the consumer retires ``delay`` extra cycles before asking for the
+    next item.  The bounded ring upstream fills, and the *producer* —
+    whose items are the ones being measured — blocks in its push path,
+    spinning at its own poll symbol: genuine backpressure, observable
+    exactly where a saturated DPDK ring shows up.
+    """
+    send = None
+    count = 0
+    while True:
+        try:
+            action = gen.send(send)
+        except StopIteration:
+            return
+        send = yield action
+        if isinstance(action, Pop) and send is not None:
+            if count % period < burst_len:
+                yield Exec(timed_block(poll_ip, delay))
+            count += 1
+
+
+@dataclass(frozen=True)
+class QueueSaturationInjector(Injector):
+    """Saturate the app's bounded SW queue by dragging its consumer.
+
+    Needs the workload to declare ``queue_consumer`` (the consuming
+    thread's name) and an ``injection_points["queue-saturation"]`` entry
+    naming the producer-side symbol where backpressure spin time lands.
+    ``period``/``burst_len`` shape the drag: period 1 = sustained
+    saturation (every pop), larger periods = bursts whose backpressure
+    hits only the items produced during them.
+    """
+
+    name: str = "queue-saturation"
+    max_delay_cycles: int = 18_000
+    period: int = 1
+    burst_len: int = 1
+
+    def wrap(self, app: Any, intensity: float, rng: np.random.Generator) -> Any:
+        consumer = getattr(app, "queue_consumer", None)
+        if consumer is None:
+            raise InterferenceError(
+                f"workload {type(app).__name__} declares no queue_consumer; "
+                "queue-saturation needs to know which thread drains the ring"
+            )
+        delay = int(round(intensity * self.max_delay_cycles))
+        if delay <= 0:
+            return app
+        period, burst_len = self.period, self.burst_len
+
+        def transform(threads: list[AppThread]) -> list[AppThread]:
+            if not any(t.name == consumer for t in threads):
+                raise InterferenceError(
+                    f"declared queue_consumer {consumer!r} not among threads "
+                    f"{[t.name for t in threads]}"
+                )
+            return [
+                t
+                if t.name != consumer
+                else AppThread(
+                    t.name,
+                    t.core_id,
+                    (lambda t=t: _drag_body(t.start(), delay, period, burst_len, t.poll_ip)),
+                    t.poll_ip,
+                )
+                for t in threads
+            ]
+
+        return WrappedApp(app, transform=transform)
+
+
+# ---------------------------------------------------------------------------
+# Shared-LLC cache thrash
+
+
+def _thrash_body(
+    completion: _Completion,
+    base: int,
+    region_lines: int,
+    lines_per_block: int,
+    blocks_per_burst: int,
+    uops_per_block: int,
+    mlp: int,
+    idle_cycles: int,
+    ip: int,
+):
+    offset = 0
+    # Hard cap so a mis-configured run can never spin forever.
+    for _ in range(2_000_000):
+        if completion.done:
+            return
+        outcome = None
+        for _ in range(blocks_per_burst):
+            count = min(lines_per_block, region_lines - offset)
+            outcome = yield Exec(
+                Block(
+                    ip=ip,
+                    uops=uops_per_block,
+                    mem=MemRef(base + offset * LINE_BYTES, count, LINE_BYTES),
+                    mem_mlp=mlp,
+                )
+            )
+            offset = (offset + count) % region_lines
+        if idle_cycles > 0 and outcome is not None:
+            yield IdleUntil(outcome.end + idle_cycles)
+
+
+@dataclass(frozen=True)
+class CacheThrashInjector(Injector):
+    """Streaming aggressor on a spare core evicting the shared LLC.
+
+    A burst inserts ``intensity * 2 * llc_lines`` lines (crossing the LRU
+    cliff at full intensity), then idles ``idle_cycles`` — set 0 or small
+    for sustained pressure, large for bursty fluctuations.  Requires the
+    cache model (``environment`` turns on ``with_caches`` + ``lockstep``,
+    pinned to the app's declared machine spec so baseline and injected
+    runs share cache geometry); the victim's memory-touching function is
+    the declared ground truth (``injection_points["cache-thrash"]``).
+    """
+
+    name: str = "cache-thrash"
+    lines_per_block: int = 256
+    uops_per_block: int = 512
+    mlp: int = 16
+    #: 0 = sustained streaming; large values give bursty fluctuations.
+    idle_cycles: int = 0
+    #: Aggressor streaming-region size as a multiple of the LLC.
+    region_factor: int = 8
+
+    def environment(self, app: Any) -> dict:
+        # Event swapping (paper Section V-D): a memory-stalled walk
+        # retires few uops while it waits on DRAM, so a uops-driven
+        # sampler barely samples the very function the thrash slows
+        # down (PEBS cannot count bare cycles at all).  Sampling on
+        # retired memory loads keeps the sample count per walk fixed
+        # while the *gaps* stretch with the stalls, so ``t_last -
+        # t_first`` tracks the DRAM time.
+        return {
+            "with_caches": True,
+            "lockstep": True,
+            "spec": self._base_spec(app),
+            "event": HWEvent.MEM_LOAD_RETIRED_ALL,
+            "reset_value": 128,
+        }
+
+    def wrap(self, app: Any, intensity: float, rng: np.random.Generator) -> Any:
+        spec = self._base_spec(app)
+        llc_lines = spec.llc.size_bytes // LINE_BYTES
+        blocks_full = max(1, math.ceil(2 * llc_lines / self.lines_per_block))
+        blocks = int(round(intensity * blocks_full))
+        if blocks <= 0:
+            return app
+        symtab, ips = extend_symtab(app.symtab, [THRASH_SYMBOL])
+        thrash_ip = ips[THRASH_SYMBOL]
+        threads = app.threads()
+        spare = getattr(app, "spare_core", None)
+        if spare is None:
+            spare = max(t.core_id for t in threads) + 1
+        if any(t.core_id == spare for t in threads):
+            raise InterferenceError(
+                f"spare core {spare} already hosts an app thread"
+            )
+        region_lines = self.region_factor * llc_lines
+        cfg = (
+            0xA000_0000,
+            region_lines,
+            self.lines_per_block,
+            blocks,
+            self.uops_per_block,
+            self.mlp,
+            self.idle_cycles,
+            thrash_ip,
+        )
+
+        def transform(threads: list[AppThread]) -> list[AppThread]:
+            completion = _Completion(len(threads))
+            wrapped = [
+                AppThread(
+                    t.name,
+                    t.core_id,
+                    (lambda t=t, c=completion: _watched(t.start(), c)),
+                    t.poll_ip,
+                )
+                for t in threads
+            ]
+            wrapped.append(
+                AppThread(
+                    "__interference_thrash",
+                    spare,
+                    (lambda c=completion: _thrash_body(c, *cfg)),
+                    thrash_ip,
+                )
+            )
+            return wrapped
+
+        return WrappedApp(app, symtab=symtab, transform=transform)
+
+
+# ---------------------------------------------------------------------------
+# Sampler / PEBS overload
+
+
+@dataclass(frozen=True)
+class SamplerOverloadInjector(Injector):
+    """Capture-side interference: overload the PEBS drain path.
+
+    Shrinks the PEBS buffer and scales the drain latency with intensity
+    so buffers fill before the previous drain finished and the overload
+    policy sheds them.  The app timeline is untouched (``wrap`` is the
+    identity); the correct diagnosis of an affected cell is *degraded
+    capture* — shed spans recorded, overlapping items flagged — never a
+    confident function-level misattribution.
+    """
+
+    name: str = "sampler-overload"
+    kind: str = "capture"
+    buffer_records: int = 16
+    drain_ns_max: float = 20_000.0
+    policy: OverloadPolicy = field(default_factory=OverloadPolicy)
+
+    def environment(self, app: Any) -> dict:
+        return {
+            "spec": self._base_spec(app),
+            "double_buffered": True,
+            "overload": self.policy,
+        }
+
+    def pressure_kwargs(self, app: Any, intensity: float) -> dict:
+        if intensity <= 0:
+            return {}
+        base = self._base_spec(app)
+        return {
+            "spec": replace(
+                base,
+                pebs_buffer_records=self.buffer_records,
+                pebs_drain_base_ns=base.pebs_drain_base_ns
+                + intensity * self.drain_ns_max,
+            )
+        }
+
+
+# ---------------------------------------------------------------------------
+# The uniform entry point
+
+
+@dataclass(frozen=True)
+class InjectedWorkload:
+    """One (workload, injector, intensity) attachment, ready to trace."""
+
+    app: Any
+    base_app: Any
+    injector: Injector
+    intensity: float
+    #: kwargs for :func:`repro.session.trace` — environment + pressure.
+    trace_kwargs: dict
+    #: environment-only kwargs: what a fair baseline run must use.
+    baseline_kwargs: dict
+    expected_cause: str
+
+    def record(self, **overrides):
+        """Trace the injected app (``trace_kwargs`` + overrides)."""
+        from repro.session import trace
+
+        return trace(self.app, **{**self.trace_kwargs, **overrides})
+
+    def record_baseline(self, **overrides):
+        """Trace the *uninjected* app under the identical environment."""
+        from repro.session import trace
+
+        return trace(self.base_app, **{**self.baseline_kwargs, **overrides})
+
+
+def inject(
+    workload: Any,
+    injector: Injector,
+    intensity: float,
+    seed: int = 0,
+) -> InjectedWorkload:
+    """Attach ``injector`` at ``intensity`` ∈ [0, 1] to ``workload``.
+
+    Returns an :class:`InjectedWorkload` bundling the wrapped app, the
+    capture kwargs the injector needs, and the expected root cause —
+    everything the attribution matrix scores a cell with.  At intensity 0
+    the app object is returned unwrapped and the pressure kwargs are
+    empty, so the traced run is bitwise-identical to an uninjected run
+    under the same environment (the no-op calibration property).
+
+    Note: injectors may re-wire the workload's threads; build a fresh
+    workload object per injection rather than re-injecting one instance.
+    """
+    if not 0.0 <= intensity <= 1.0:
+        raise InterferenceError(
+            f"intensity must be in [0, 1], got {intensity}"
+        )
+    rng = np.random.default_rng(int(seed))
+    app = injector.wrap(workload, float(intensity), rng)
+    env = injector.environment(workload)
+    kwargs = {**env, **injector.pressure_kwargs(workload, float(intensity))}
+    return InjectedWorkload(
+        app=app,
+        base_app=workload,
+        injector=injector,
+        intensity=float(intensity),
+        trace_kwargs=kwargs,
+        baseline_kwargs=env,
+        expected_cause=injector.expected_cause(workload),
+    )
+
+
+#: Injector registry: name -> class with calibrated defaults.
+INJECTORS: dict[str, type[Injector]] = {
+    "core-stall": CoreStallInjector,
+    "queue-saturation": QueueSaturationInjector,
+    "cache-thrash": CacheThrashInjector,
+    "sampler-overload": SamplerOverloadInjector,
+}
+
+
+def make_injector(name: str, **params) -> Injector:
+    """Instantiate a registered injector by name."""
+    try:
+        cls = INJECTORS[name]
+    except KeyError:
+        raise InterferenceError(
+            f"unknown injector {name!r}; known: {', '.join(sorted(INJECTORS))}"
+        )
+    return cls(**params)

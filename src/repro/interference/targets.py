@@ -1,0 +1,254 @@
+"""Matrix target workloads: small apps with declared injection points.
+
+The attribution matrix needs workloads that are fast, bit-reproducible
+(one seeded :class:`numpy.random.Generator` drives all their randomness)
+and honest about where each interference mechanism should show up:
+
+* ``uniform`` — single thread, three fixed-cost functions with ±2 %
+  jitter; the cleanest substrate for stall and sampler cells;
+* ``pipeline`` — producer → bounded SPSC ring → consumer; items are
+  marked on the *producer*, so ring backpressure lands inside item
+  windows at the producer's ``tx_ring_wait`` poll symbol;
+* ``memwalk`` — a worker whose per-item table walk sweeps a region
+  larger than its private L2 but resident in a (scaled) shared LLC;
+  each item re-warms the region, so an LLC-thrash burst makes the next
+  item(s) pay DRAM latency in ``mw_table_walk``.
+
+Every target declares ``injection_points`` (injector name → expected
+root cause), the attributes injectors introspect (``queue_consumer``,
+``spare_core``, ``machine_spec``), and ``victim_core`` (the core whose
+trace the matrix diagnoses).  They are also registered as CLI workloads
+(``repro run --workload uniform ...``) via
+:func:`repro.workloads.build_workload`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.symbols import AddressAllocator, SymbolTable
+from repro.errors import WorkloadError
+from repro.interference.injectors import DEGRADED_CAPTURE, STALL_SYMBOL
+from repro.machine.block import LINE_BYTES, Block, MemRef, timed_block
+from repro.machine.config import CacheLevelSpec, MachineSpec
+from repro.runtime.actions import Exec, FnEnter, FnLeave, Mark, Pop, Push, SwitchKind
+from repro.runtime.queue import SPSCQueue
+from repro.runtime.thread import AppThread
+from repro.workloads.synth import FixedSequenceApp, jittered_items
+
+#: Per-function cycles of the uniform target's three stages.
+UNIFORM_FN_CYCLES = {"u_parse": 5_000, "u_transform": 9_000, "u_emit": 4_000}
+
+
+class UniformApp(FixedSequenceApp):
+    """Near-identical items on one core: the cleanest attribution substrate."""
+
+    def __init__(self, n_items: int = 48, seed: int = 0) -> None:
+        rng = np.random.default_rng([int(seed), 1])
+        super().__init__(
+            jittered_items(n_items, UNIFORM_FN_CYCLES, jitter=0.02, rng=rng)
+        )
+        self.injection_points = {
+            "core-stall": STALL_SYMBOL,
+            "sampler-overload": DEGRADED_CAPTURE,
+        }
+
+    def group_of(self, item_id: int) -> str:
+        return "item"
+
+
+class PipelineApp:
+    """Producer → bounded ring → consumer; marks on the producer.
+
+    The producer prepares an item (``tx_prepare``), pushes it, and closes
+    the item's window — so when the ring is full the push's spin time at
+    ``tx_ring_wait`` (the producer's poll symbol) is charged inside the
+    window.  The consumer drains at a service rate faster than the
+    producer's inter-item time, so the ring never fills without injected
+    interference.
+    """
+
+    PRODUCER_CORE = 0
+    CONSUMER_CORE = 1
+
+    def __init__(
+        self, n_items: int = 48, seed: int = 0, queue_capacity: int = 3
+    ) -> None:
+        if n_items < 1:
+            raise WorkloadError("need at least one item")
+        rng = np.random.default_rng([int(seed), 2])
+        alloc = AddressAllocator()
+        self.tx_prepare_ip = alloc.add("tx_prepare")
+        self.tx_ring_wait_ip = alloc.add("tx_ring_wait")
+        self.rx_drain_ip = alloc.add("rx_drain")
+        self.rx_process_ip = alloc.add("rx_process")
+        self.mark_ip = alloc.add("__mark")
+        self.symtab: SymbolTable = alloc.table()
+        self.n_items = n_items
+        self.queue = SPSCQueue("pipe", capacity=queue_capacity)
+        self._prepare_cycles = [
+            max(1, int(round(5_000 * (1.0 + 0.02 * (2.0 * float(rng.random()) - 1.0)))))
+            for _ in range(n_items)
+        ]
+        self._process_cycles = 3_000
+        #: Thread the queue-saturation injector drags.
+        self.queue_consumer = "pipe-rx"
+        self.injection_points = {
+            "queue-saturation": "tx_ring_wait",
+            "core-stall": STALL_SYMBOL,
+            "sampler-overload": DEGRADED_CAPTURE,
+        }
+
+    def _producer(self):
+        for i in range(1, self.n_items + 1):
+            yield Mark(SwitchKind.ITEM_START, i)
+            yield FnEnter(self.tx_prepare_ip)
+            yield Exec(timed_block(self.tx_prepare_ip, self._prepare_cycles[i - 1]))
+            yield FnLeave(self.tx_prepare_ip)
+            yield Push(self.queue, i)
+            yield Mark(SwitchKind.ITEM_END, i)
+        yield Push(self.queue, None)
+
+    def _consumer(self):
+        while True:
+            item = yield Pop(self.queue)
+            if item is None:
+                return
+            yield Exec(timed_block(self.rx_process_ip, self._process_cycles))
+
+    def threads(self) -> list[AppThread]:
+        return [
+            AppThread("pipe-tx", self.PRODUCER_CORE, self._producer, self.tx_ring_wait_ip),
+            AppThread("pipe-rx", self.CONSUMER_CORE, self._consumer, self.rx_drain_ip),
+        ]
+
+    def group_of(self, item_id: int) -> str:
+        return "pkt"
+
+
+class MemWalkApp:
+    """Per-item table walk over a region sized between L2 and the LLC.
+
+    Every item walks the whole region, so the working set is re-warmed
+    per item: alone, every item after the warm-up prelude hits the
+    (scaled) LLC; after a thrash burst the next item pays DRAM for every
+    line — the paper's Section V-D shape with exactly one culprit,
+    ``mw_table_walk``.  The warm-up walk runs before the first item mark,
+    outside all windows.
+    """
+
+    VICTIM_CORE = 0
+    #: Where the cache-thrash aggressor goes.
+    spare_core = 1
+
+    REGION_BYTES = 64 * 1024
+    _WALK_CHUNK_LINES = 256
+
+    def __init__(self, n_items: int = 40, seed: int = 0) -> None:
+        if n_items < 1:
+            raise WorkloadError("need at least one item")
+        rng = np.random.default_rng([int(seed), 3])
+        alloc = AddressAllocator()
+        self.loop_ip = alloc.add("mw_loop")
+        self.process_ip = alloc.add("mw_process")
+        self.walk_ip = alloc.add("mw_table_walk")
+        self.warmup_ip = alloc.add("mw_warmup")
+        self.mark_ip = alloc.add("__mark")
+        self.symtab: SymbolTable = alloc.table()
+        self.n_items = n_items
+        self.region_base = 0x4000_0000
+        self._base_uops = [
+            max(1, int(round(8_000 * (1.0 + 0.02 * (2.0 * float(rng.random()) - 1.0)))))
+            for _ in range(n_items)
+        ]
+        self.injection_points = {
+            "cache-thrash": "mw_table_walk",
+            "core-stall": STALL_SYMBOL,
+            "sampler-overload": DEGRADED_CAPTURE,
+        }
+
+    def machine_spec(self) -> MachineSpec:
+        """Scaled-down geometry: region > L2, region < LLC, cheap to thrash."""
+        return MachineSpec(
+            l1=CacheLevelSpec(16 * 1024, 8, 4),
+            l2=CacheLevelSpec(32 * 1024, 8, 12),
+            llc=CacheLevelSpec(128 * 1024, 16, 42),
+        )
+
+    def _walk_blocks(self, ip: int):
+        region_lines = self.REGION_BYTES // LINE_BYTES
+        for first in range(0, region_lines, self._WALK_CHUNK_LINES):
+            count = min(self._WALK_CHUNK_LINES, region_lines - first)
+            yield Block(
+                ip=ip,
+                uops=count * 4,
+                mem=MemRef(
+                    base=self.region_base + first * LINE_BYTES,
+                    count=count,
+                    stride=LINE_BYTES,
+                ),
+                branches=count // 8,
+                mem_mlp=2,
+            )
+
+    def _victim(self):
+        for block in self._walk_blocks(self.warmup_ip):
+            yield Exec(block)
+        for item in range(1, self.n_items + 1):
+            yield Mark(SwitchKind.ITEM_START, item)
+            yield FnEnter(self.process_ip)
+            yield Exec(
+                Block(ip=self.process_ip, uops=self._base_uops[item - 1], branches=100)
+            )
+            yield FnLeave(self.process_ip)
+            yield FnEnter(self.walk_ip)
+            for block in self._walk_blocks(self.walk_ip):
+                yield Exec(block)
+            yield FnLeave(self.walk_ip)
+            yield Mark(SwitchKind.ITEM_END, item)
+
+    def threads(self) -> list[AppThread]:
+        return [AppThread("memwalk", self.VICTIM_CORE, self._victim, self.loop_ip)]
+
+    def group_of(self, item_id: int) -> str:
+        return "walk"
+
+
+@dataclass(frozen=True)
+class TargetBundle:
+    """One freshly-built matrix target plus its analysis handles."""
+
+    name: str
+    app: Any
+    #: item id -> similarity group (what ``record`` stores in meta).
+    groups: dict[int, str]
+    #: Core whose trace the matrix diagnoses (the marking thread's core).
+    victim_core: int
+
+
+#: Matrix target registry: name -> (factory, default item count).
+_TARGETS = {
+    "uniform": (UniformApp, 48),
+    "pipeline": (PipelineApp, 48),
+    "memwalk": (MemWalkApp, 40),
+}
+
+#: Names of the registered matrix targets.
+TARGETS = tuple(sorted(_TARGETS))
+
+
+def build_target(name: str, *, items: int | None = None, seed: int = 0) -> TargetBundle:
+    """Build a fresh matrix target; same (name, items, seed) → same app."""
+    try:
+        factory, default_items = _TARGETS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown matrix target {name!r}; known: {', '.join(TARGETS)}"
+        )
+    n = default_items if items is None else items
+    app = factory(n_items=n, seed=seed)
+    groups = {i: app.group_of(i) for i in range(1, n + 1)}
+    return TargetBundle(name=name, app=app, groups=groups, victim_core=0)

@@ -1,0 +1,374 @@
+"""Known-root-cause attribution matrix: score the diagnoser end-to-end.
+
+The validation strategy (DepGraph-style): run a grid of
+workload × injector × intensity cells whose root cause is known *by
+construction* (see :mod:`repro.interference`), feed every captured trace
+through the very analysis paths users run —
+:func:`~repro.analysis.diagnose.diagnose_trace` for within-run
+fluctuations, :func:`~repro.analysis.differential.diff_traces` for
+run-to-run regressions — and check the named cause against ground truth.
+
+Cell modes map to how each analysis is meant to be used:
+
+* ``burst`` — sparse interference (a minority of items hit); the
+  diagnoser must flag outliers and its excess-weighted attribution vote
+  must name the injected symbol;
+* ``sustained`` — every item hit; a baseline run under the *identical*
+  environment is recorded and ``diff_traces`` must rank the injected
+  symbol as the top regression;
+* ``capture`` — the interference is in the capture path, not the
+  timeline; the only correct diagnosis is *degraded capture* (shed spans
+  recorded, affected items flagged), never a confident function name;
+* ``control`` — intensity 0 under the same environment; the diagnoser
+  must stay silent (no outliers).
+
+The result is a :class:`Scorecard` whose JSON form contains only
+run-to-run-stable fields (names, counts, booleans, the hit rate) so it
+can be checked in as a golden regression artifact and gated in CI via
+``repro verify-attribution``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.analysis.diagnose import DiagnosisReport, diagnose_trace
+from repro.analysis.differential import diff_traces
+from repro.core.integrity import degraded_items_for_span
+from repro.errors import InterferenceError
+from repro.interference.injectors import DEGRADED_CAPTURE, inject, make_injector
+from repro.interference.targets import build_target
+
+#: Diagnosed-cause token for a cell where the analysis saw nothing.
+NO_CAUSE = "none"
+
+#: Default sampling period of matrix captures (cells whose injector
+#: pins its own environment reset value override it).
+MATRIX_RESET_VALUE = 2000
+
+
+@dataclass(frozen=True)
+class MatrixCell:
+    """One workload × injector × intensity grid point."""
+
+    workload: str
+    injector: str
+    intensity: float
+    #: "burst" | "sustained" | "capture" | "control" (see module doc).
+    mode: str
+    #: Injector construction parameters (shape of the interference).
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: Item-count override for this cell (None: the target's default).
+    items: int | None = None
+
+    MODES = ("burst", "sustained", "capture", "control")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise InterferenceError(
+                f"cell mode must be one of {self.MODES}, got {self.mode!r}"
+            )
+        if self.mode == "control" and self.intensity != 0.0:
+            raise InterferenceError("control cells must have intensity 0")
+
+    @property
+    def label(self) -> str:
+        return f"{self.workload}×{self.injector}@{self.intensity:g}/{self.mode}"
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """Ground truth vs diagnosis for one executed cell."""
+
+    cell: MatrixCell
+    expected: str
+    diagnosed: str
+    correct: bool
+    n_outliers: int
+    #: Items the diagnosis flagged as resting on incomplete evidence.
+    n_degraded_items: int
+    #: Capture shed samples during the run.
+    shed: bool
+    detail: str
+
+    def to_stable_dict(self) -> dict:
+        """Only fields that are bit-stable across runs of the same code."""
+        return {
+            "workload": self.cell.workload,
+            "injector": self.cell.injector,
+            "intensity": self.cell.intensity,
+            "mode": self.cell.mode,
+            "expected": self.expected,
+            "diagnosed": self.diagnosed,
+            "correct": self.correct,
+            "n_outliers": self.n_outliers,
+            "n_degraded_items": self.n_degraded_items,
+            "shed": self.shed,
+        }
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    """All cell results of one matrix run, plus aggregate rates."""
+
+    grid: str
+    seed: int
+    results: tuple[CellResult, ...]
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_correct(self) -> int:
+        return sum(1 for r in self.results if r.correct)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.n_correct / self.n_cells if self.results else 0.0
+
+    @property
+    def by_injector(self) -> dict[str, float]:
+        hits: dict[str, list[int]] = defaultdict(list)
+        for r in self.results:
+            hits[r.cell.injector].append(int(r.correct))
+        return {k: sum(v) / len(v) for k, v in sorted(hits.items())}
+
+    def to_stable_dict(self) -> dict:
+        return {
+            "grid": self.grid,
+            "seed": self.seed,
+            "n_cells": self.n_cells,
+            "n_correct": self.n_correct,
+            "hit_rate": round(self.hit_rate, 4),
+            "by_injector": {
+                k: round(v, 4) for k, v in self.by_injector.items()
+            },
+            "cells": [r.to_stable_dict() for r in self.results],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_stable_dict(), indent=2) + "\n"
+
+    def describe(self) -> str:
+        lines = [
+            f"attribution matrix [{self.grid}]: "
+            f"{self.n_correct}/{self.n_cells} cells correct "
+            f"({self.hit_rate:.0%})"
+        ]
+        for name, rate in self.by_injector.items():
+            lines.append(f"  {name:18s} {rate:.0%}")
+        for r in self.results:
+            mark = "ok " if r.correct else "MISS"
+            lines.append(
+                f"  [{mark}] {r.cell.label:42s} expected={r.expected} "
+                f"diagnosed={r.diagnosed} ({r.detail})"
+            )
+        return "\n".join(lines)
+
+
+def attribution_vote(report: DiagnosisReport) -> str:
+    """The diagnosis' overall named cause: excess-weighted culprit vote.
+
+    Each outlier item contributes its per-function excess attributions;
+    the function holding the most excess across all outliers is what the
+    diagnosis, read as a whole, blames — robust against a single
+    marginal item whose partial overlap with the interference splits its
+    excess with the stall pseudo-function.
+    """
+    weight: dict[str, int] = defaultdict(int)
+    for verdict in report.verdicts:
+        if not verdict.is_outlier:
+            continue
+        for attribution in verdict.attributions:
+            weight[attribution.fn_name] += attribution.excess_cycles
+    if not weight:
+        return NO_CAUSE
+    return min(weight.items(), key=lambda kv: (-kv[1], kv[0]))[0]
+
+
+def smoke_grid() -> list[MatrixCell]:
+    """The checked-in CI grid: every injector at ≥2 intensities over the
+    three matrix targets, each with a zero-intensity control."""
+    burst_stall = {"duty": 0.25}
+    burst_queue = {"max_delay_cycles": 120_000, "period": 24}
+    sustained_queue = {"max_delay_cycles": 36_000}
+    burst_thrash = {"idle_cycles": 400_000}
+    return [
+        # uniform: single-core, near-identical items.
+        MatrixCell("uniform", "core-stall", 0.5, "burst", burst_stall),
+        MatrixCell("uniform", "core-stall", 1.0, "burst", burst_stall),
+        MatrixCell("uniform", "sampler-overload", 0.7, "capture"),
+        MatrixCell("uniform", "sampler-overload", 1.0, "capture"),
+        MatrixCell("uniform", "core-stall", 0.0, "control"),
+        # pipeline: producer -> bounded ring -> consumer.
+        MatrixCell("pipeline", "queue-saturation", 0.5, "sustained", sustained_queue),
+        MatrixCell("pipeline", "queue-saturation", 1.0, "sustained", sustained_queue),
+        MatrixCell("pipeline", "queue-saturation", 1.0, "burst", burst_queue),
+        MatrixCell("pipeline", "core-stall", 1.0, "sustained"),
+        MatrixCell("pipeline", "queue-saturation", 0.0, "control"),
+        # memwalk: LLC-resident working set, one memory-bound function.
+        MatrixCell("memwalk", "cache-thrash", 0.6, "burst", burst_thrash),
+        MatrixCell("memwalk", "cache-thrash", 1.0, "burst", burst_thrash),
+        MatrixCell("memwalk", "cache-thrash", 1.0, "sustained", items=28),
+        MatrixCell("memwalk", "core-stall", 0.7, "burst", burst_stall),
+        MatrixCell("memwalk", "cache-thrash", 0.0, "control"),
+    ]
+
+
+GRIDS = {"smoke": smoke_grid}
+
+
+def _capture_degraded_items(session, trace, core: int) -> set[int]:
+    """Item ids whose windows overlap this session's shed spans."""
+    spans = (session.capture_meta().get("capture") or {}).get("shed_spans") or {}
+    items: set[int] = set()
+    for c, pairs in spans.items():
+        if int(c) != core:
+            continue
+        for lo, hi in pairs:
+            items.update(degraded_items_for_span(trace.window_columns, lo, hi))
+    return items
+
+
+def _run_cell(
+    cell: MatrixCell,
+    seed: int,
+    baselines: dict,
+) -> CellResult:
+    target = build_target(cell.workload, items=cell.items, seed=seed)
+    injector = make_injector(cell.injector, **dict(cell.params))
+    injected = inject(target.app, injector, cell.intensity, seed=seed)
+    core = target.victim_core
+    overrides: dict[str, Any] = {"sample_cores": [core]}
+    if "reset_value" not in injected.trace_kwargs:
+        overrides["reset_value"] = MATRIX_RESET_VALUE
+    reset_value = injected.trace_kwargs.get(
+        "reset_value", MATRIX_RESET_VALUE
+    )
+    session = injected.record(**overrides)
+    trace = session.trace_for(core)
+    degraded = _capture_degraded_items(session, trace, core)
+    expected = NO_CAUSE if cell.mode == "control" else injected.expected_cause
+
+    if cell.mode == "sustained":
+        key = (cell.workload, cell.injector, cell.items, frozenset(cell.params))
+        if key not in baselines:
+            baselines[key] = injected.record_baseline(**overrides).trace_for(core)
+        diff = diff_traces(
+            baselines[key],
+            trace,
+            reset_value=reset_value,
+            degraded_other=degraded,
+        )
+        diagnosed = diff.top.fn_name if diff.top is not None else NO_CAUSE
+        return CellResult(
+            cell=cell,
+            expected=expected,
+            diagnosed=diagnosed,
+            correct=diagnosed == expected,
+            n_outliers=0,
+            n_degraded_items=len(degraded),
+            shed=session.degraded,
+            detail=(
+                f"diff excess {diff.top.excess_per_item:.0f} cy/item"
+                if diff.top is not None
+                else "no regression"
+            ),
+        )
+
+    report = diagnose_trace(
+        trace,
+        target.groups,
+        reset_value=reset_value,
+        degraded_items=degraded or None,
+    )
+    n_outliers = sum(1 for v in report.verdicts if v.is_outlier)
+    n_degraded = sum(1 for v in report.verdicts if v.degraded)
+
+    if cell.mode == "capture":
+        # Correct means the capture honestly reports its losses: samples
+        # shed, affected items flagged — not a confident function name.
+        degraded_seen = session.degraded and n_degraded > 0
+        diagnosed = DEGRADED_CAPTURE if degraded_seen else NO_CAUSE
+        return CellResult(
+            cell=cell,
+            expected=expected,
+            diagnosed=diagnosed,
+            correct=diagnosed == expected,
+            n_outliers=n_outliers,
+            n_degraded_items=n_degraded,
+            shed=session.degraded,
+            detail=f"{n_degraded} item(s) flagged degraded",
+        )
+
+    diagnosed = attribution_vote(report)
+    if cell.mode == "control":
+        correct = n_outliers == 0
+        diagnosed = NO_CAUSE if correct else diagnosed
+    else:  # burst
+        correct = n_outliers > 0 and diagnosed == expected
+    return CellResult(
+        cell=cell,
+        expected=expected,
+        diagnosed=diagnosed,
+        correct=correct,
+        n_outliers=n_outliers,
+        n_degraded_items=n_degraded,
+        shed=session.degraded,
+        detail=f"{n_outliers} outlier(s)",
+    )
+
+
+def run_matrix(
+    cells: list[MatrixCell] | None = None,
+    *,
+    grid: str = "smoke",
+    seed: int = 0,
+) -> Scorecard:
+    """Execute a cell grid and score every diagnosis against ground truth.
+
+    Baseline runs for ``sustained`` cells are recorded once per
+    (workload, injector, params) under the injector's environment kwargs
+    and shared across intensities — exactly the healthy-run reuse a
+    practitioner's regression workflow has.
+    """
+    if cells is None:
+        try:
+            cells = GRIDS[grid]()
+        except KeyError:
+            raise InterferenceError(
+                f"unknown grid {grid!r}; known: {', '.join(sorted(GRIDS))}"
+            )
+    baselines: dict = {}
+    results = [_run_cell(cell, seed, baselines) for cell in cells]
+    return Scorecard(grid=grid, seed=seed, results=tuple(results))
+
+
+def compare_scorecards(current: dict, golden: dict) -> list[str]:
+    """Differences between two stable-dict scorecards (empty = match)."""
+    problems: list[str] = []
+    for key in ("grid", "n_cells", "n_correct", "hit_rate"):
+        if current.get(key) != golden.get(key):
+            problems.append(
+                f"{key}: golden {golden.get(key)!r} != current {current.get(key)!r}"
+            )
+    cur_cells = current.get("cells") or []
+    gold_cells = golden.get("cells") or []
+    if len(cur_cells) != len(gold_cells):
+        problems.append(
+            f"cell count: golden {len(gold_cells)} != current {len(cur_cells)}"
+        )
+        return problems
+    for i, (c, g) in enumerate(zip(cur_cells, gold_cells)):
+        for key in sorted(set(c) | set(g)):
+            if c.get(key) != g.get(key):
+                problems.append(
+                    f"cell {i} ({g.get('workload')}×{g.get('injector')}"
+                    f"@{g.get('intensity')}/{g.get('mode')}) {key}: "
+                    f"golden {g.get(key)!r} != current {c.get(key)!r}"
+                )
+    return problems

@@ -16,16 +16,30 @@ from repro.workloads.nginxmodel import NginxModel, NginxModelConfig
 from repro.workloads.spec import SPEC_KERNELS, SpecKernel, spec_kernel
 
 #: Workload names buildable by :func:`build_workload` (and the CLI).
-WORKLOADS = ("sampleapp", "nginx", "acl", "dbpool")
+#: ``uniform``/``pipeline``/``memwalk`` are the interference-matrix
+#: targets (see :mod:`repro.interference.targets`).
+WORKLOADS = ("sampleapp", "nginx", "acl", "dbpool", "uniform", "pipeline", "memwalk")
 
 
-def build_workload(name: str, *, items: int = 60, full_rules: bool = False):
+def build_workload(
+    name: str, *, items: int = 60, full_rules: bool = False, seed: int | None = None
+):
     """Instantiate a named workload; returns ``(app, group_map)``.
 
     ``group_map`` maps item id → similarity key (packet type, query
     class, ...), the grouping the diagnosis engine baselines within.
     Shared by the CLI's ``--workload`` flag and :func:`repro.api.record`.
+
+    ``seed`` threads one :class:`numpy.random.Generator` seed through the
+    workload's randomness, making the build bit-reproducible: nginx and
+    dbpool re-seed their config, acl draws its packet stream from
+    :func:`repro.acl.traffic.random_traffic` with it, and the matrix
+    targets jitter their items from it.  ``seed=None`` keeps each
+    workload's historical default (sampleapp is fully deterministic and
+    ignores it).
     """
+    import dataclasses
+
     if name == "sampleapp":
         from repro.workloads.sampleapp import SampleApp
 
@@ -34,7 +48,10 @@ def build_workload(name: str, *, items: int = 60, full_rules: bool = False):
     if name == "nginx":
         from repro.workloads.nginxmodel import NginxModel, NginxModelConfig
 
-        app = NginxModel(NginxModelConfig(n_requests=items))
+        cfg = NginxModelConfig(n_requests=items)
+        if seed is not None:
+            cfg = dataclasses.replace(cfg, seed=seed)
+        app = NginxModel(cfg)
         return app, {r: "request" for r in range(1, items + 1)}
     if name == "acl":
         from repro.acl.app import ACLApp, ACLAppConfig
@@ -42,14 +59,29 @@ def build_workload(name: str, *, items: int = 60, full_rules: bool = False):
         from repro.acl.rules import paper_ruleset, small_ruleset
 
         rules = paper_ruleset() if full_rules else small_ruleset(8, 8)
-        pkts = make_test_stream(max(1, items // 3))
+        if seed is not None:
+            from repro.acl.traffic import random_traffic
+
+            pkts = random_traffic(max(1, items), seed=seed)
+        else:
+            pkts = make_test_stream(max(1, items // 3))
         app = ACLApp(rules, pkts, config=ACLAppConfig())
         return app, {p.pkt_id: p.ptype for p in pkts}
     if name == "dbpool":
         from repro.workloads.dbpool import DBPoolApp, DBPoolConfig
 
-        app = DBPoolApp(DBPoolConfig(n_queries=items))
+        cfg = DBPoolConfig(n_queries=items)
+        if seed is not None:
+            cfg = dataclasses.replace(cfg, seed=seed)
+        app = DBPoolApp(cfg)
         return app, {q.qid: q.qclass.value for q in app.queries}
+    if name in ("uniform", "pipeline", "memwalk"):
+        # Imported lazily: repro.interference.targets itself imports
+        # workload modules, so a top-level import would be circular.
+        from repro.interference.targets import build_target
+
+        target = build_target(name, items=items, seed=0 if seed is None else seed)
+        return target.app, target.groups
     from repro.errors import ReproError
 
     raise ReproError(f"unknown workload {name!r}; known: {', '.join(WORKLOADS)}")

@@ -83,10 +83,26 @@ class ContentionApp:
     AGGRESSOR_CORE = 1
 
     def __init__(
-        self, config: ContentionConfig = ContentionConfig(), with_aggressor: bool = True
+        self,
+        config: ContentionConfig = ContentionConfig(),
+        with_aggressor: bool = True,
+        rng=None,
     ) -> None:
         self.config = config
         self.with_aggressor = with_aggressor
+        # Walk offsets are drawn once here (not in the body) so threads()
+        # can be called repeatedly without consuming generator state: the
+        # same seeded rng always yields the same bit-identical run.
+        region_lines = config.victim_region_bytes // LINE_BYTES
+        if rng is None:
+            self._walk_offsets = [
+                (item * config.victim_lines_per_item) % region_lines
+                for item in range(1, config.n_items + 1)
+            ]
+        else:
+            self._walk_offsets = [
+                int(rng.integers(0, region_lines)) for _ in range(config.n_items)
+            ]
         alloc = AddressAllocator()
         self.victim_poll_ip = alloc.add("victim_loop")
         self.process_ip = alloc.add("process_packet")
@@ -116,8 +132,9 @@ class ContentionApp:
                 Block(ip=self.process_ip, uops=cfg.victim_base_uops, branches=200)
             )
             yield FnLeave(self.process_ip)
-            # The table walk: a rotating window over the victim's region.
-            first = (item * cfg.victim_lines_per_item) % region_lines
+            # The table walk: a window over the victim's region (rotating
+            # by default, randomised when the app was built with an rng).
+            first = self._walk_offsets[item - 1]
             count = min(cfg.victim_lines_per_item, region_lines - first)
             yield FnEnter(self.walk_ip)
             yield Exec(

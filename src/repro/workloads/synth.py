@@ -72,3 +72,33 @@ def uniform_items(
         raise WorkloadError("need at least one item")
     steps = tuple(fn_cycles.items())
     return [FixedItem(item_id=first_id + i, steps=steps) for i in range(n_items)]
+
+
+def jittered_items(
+    n_items: int,
+    fn_cycles: dict[str, int],
+    jitter: float = 0.02,
+    rng=None,
+    first_id: int = 1,
+) -> list[FixedItem]:
+    """n near-identical items: each step's cycles jittered by ±``jitter``.
+
+    ``rng`` is a :class:`numpy.random.Generator`; passing the same seeded
+    generator reproduces the exact item list bit-for-bit, which is what
+    the interference attribution matrix relies on.  ``rng=None`` or
+    ``jitter=0`` degrades to :func:`uniform_items`.
+    """
+    if n_items < 1:
+        raise WorkloadError("need at least one item")
+    if not 0.0 <= jitter < 1.0:
+        raise WorkloadError(f"jitter must be in [0, 1), got {jitter}")
+    if rng is None or jitter == 0.0:
+        return uniform_items(n_items, fn_cycles, first_id=first_id)
+    items = []
+    for i in range(n_items):
+        steps = tuple(
+            (fn, max(1, int(round(c * (1.0 + jitter * (2.0 * float(rng.random()) - 1.0))))))
+            for fn, c in fn_cycles.items()
+        )
+        items.append(FixedItem(item_id=first_id + i, steps=steps))
+    return items

@@ -1,0 +1,144 @@
+"""Differential diagnosis under degraded capture.
+
+A run whose capture shed samples (overload) or lost spans (crash) reads
+as *cheaper* than it was — the missing samples shrink the apparent
+function costs.  These tests pin the contract: degraded items discount
+every delta's confidence (never inflate it), the verdict name is
+unchanged, and a fully-degraded baseline is refused outright unless the
+caller forces it.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro.api as api
+import repro.cli as cli
+from repro.analysis.differential import diff_traces
+from repro.errors import ReproError
+from tests.analysis.test_diagnose import build_trace
+
+#: Capture meta that marks the whole timeline of core 0 as shed — the
+#: deterministic way to make a container read as fully degraded.
+FULLY_SHED = {"capture": {"shed_spans": {"0": [[None, None]]}}}
+
+
+def flat_items(n, dur=1000, f1=(100, 300)):
+    return [(i, dur, {"f0": (10, 60, 4), "f1": (f1[0], f1[1], 4)}) for i in range(n)]
+
+
+def regressed_pair():
+    base = build_trace(flat_items(6))
+    other = build_trace(flat_items(6, dur=1400, f1=(100, 700)))
+    return base, other
+
+
+class TestDiffTracesDiscount:
+    def test_degraded_other_discounts_confidence_not_verdict(self):
+        base, other = regressed_pair()
+        clean = diff_traces(base, other, reset_value=100)
+        degraded = diff_traces(
+            base, other, reset_value=100, degraded_other={0, 1, 2}
+        )
+        assert degraded.top.fn_name == clean.top.fn_name == "f1"
+        assert degraded.n_degraded_other == 3
+        assert 0 < degraded.top.confidence < clean.top.confidence
+        # Every function's confidence is discounted by the same intact
+        # fraction — worse evidence can never *raise* confidence.
+        for c, d in zip(clean.deltas, degraded.deltas):
+            assert d.confidence <= c.confidence
+
+    def test_degraded_base_discounts_too(self):
+        base, other = regressed_pair()
+        clean = diff_traces(base, other, reset_value=100)
+        degraded = diff_traces(
+            base, other, reset_value=100, degraded_base={0, 1}
+        )
+        assert degraded.n_degraded_base == 2
+        assert degraded.top.confidence < clean.top.confidence
+
+    def test_only_items_present_in_trace_count(self):
+        base, other = regressed_pair()
+        report = diff_traces(
+            base, other, reset_value=100, degraded_other={0, 99, 123}
+        )
+        assert report.n_degraded_other == 1
+
+    def test_fields_survive_json_and_describe(self):
+        base, other = regressed_pair()
+        report = diff_traces(
+            base, other, reset_value=100, degraded_base={0}, degraded_other={1, 2}
+        )
+        payload = json.loads(report.to_json())
+        assert payload["n_degraded_base"] == 1
+        assert payload["n_degraded_other"] == 2
+        assert "degraded capture" in report.describe()
+        assert "degraded capture" not in diff_traces(
+            base, other, reset_value=100
+        ).describe()
+
+
+class TestApiRefusal:
+    @pytest.fixture()
+    def runs(self, tmp_path):
+        healthy = tmp_path / "healthy.npz"
+        shed = tmp_path / "shed.npz"
+        api.record("uniform", out=healthy, items=6, sample_cores=[0], seed=1)
+        api.record(
+            "uniform",
+            out=shed,
+            items=6,
+            sample_cores=[0],
+            seed=1,
+            meta=FULLY_SHED,
+        )
+        return healthy, shed
+
+    def test_fully_degraded_baseline_is_refused(self, runs):
+        healthy, shed = runs
+        with pytest.raises(ReproError, match="fully degraded"):
+            api.diff(shed, healthy)
+
+    def test_refusal_names_the_override(self, runs):
+        healthy, shed = runs
+        with pytest.raises(ReproError, match="allow_degraded_baseline"):
+            api.diff(shed, healthy)
+
+    def test_override_runs_with_discounted_confidence(self, runs):
+        healthy, shed = runs
+        report = api.diff(shed, healthy, allow_degraded_baseline=True)
+        assert report.n_degraded_base == report.n_items_base
+        assert all(d.confidence == 0.0 for d in report.deltas)
+
+    def test_degraded_other_is_not_refused(self, runs):
+        healthy, shed = runs
+        report = api.diff(healthy, shed)
+        assert report.n_degraded_other == report.n_items_other
+
+
+class TestCliExitCodes:
+    def make_runs(self, tmp_path):
+        healthy = str(tmp_path / "healthy.npz")
+        shed = str(tmp_path / "shed.npz")
+        rc = cli.main(
+            ["run", "--workload", "uniform", "--out", healthy, "--items", "6"]
+        )
+        assert rc == 0
+        api.record(
+            "uniform", out=shed, items=6, sample_cores=[0], meta=FULLY_SHED
+        )
+        return healthy, shed
+
+    def test_degraded_baseline_exits_with_repro_error(self, tmp_path, capsys):
+        healthy, shed = self.make_runs(tmp_path)
+        assert cli.main(["diff", shed, healthy]) == cli.EXIT_REPRO_ERROR
+        assert "fully degraded" in capsys.readouterr().err
+
+    def test_allow_flag_passes_and_warns(self, tmp_path, capsys):
+        healthy, shed = self.make_runs(tmp_path)
+        rc = cli.main(["diff", shed, healthy, "--allow-degraded-baseline"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "degraded" in captured.err

@@ -1,0 +1,198 @@
+"""Injector mechanics: the uniform inject() API and each mechanism's
+contract — declared ground truth, zero-intensity no-op, the shape of the
+perturbation it introduces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InterferenceError
+from repro.interference import (
+    DEGRADED_CAPTURE,
+    INJECTORS,
+    STALL_SYMBOL,
+    THRASH_SYMBOL,
+    CacheThrashInjector,
+    CoreStallInjector,
+    QueueSaturationInjector,
+    SamplerOverloadInjector,
+    build_target,
+    inject,
+    make_injector,
+)
+from repro.interference.injectors import extend_symtab
+from repro.workloads.synth import FixedSequenceApp, uniform_items
+
+
+def trace_columns(session, core=0):
+    """All arrays that define a captured trace, for bitwise comparison."""
+    tr = session.trace_for(core)
+    cols = [tr.item_ids, tr.fn_idx, tr.elapsed, tr.t_first, tr.t_last, tr.n_samples]
+    return cols, [(x.item_id, x.t_start, x.t_end) for x in tr.windows]
+
+
+def assert_traces_equal(a, b):
+    ca, wa = trace_columns(a)
+    cb, wb = trace_columns(b)
+    assert wa == wb
+    for x, y in zip(ca, cb):
+        np.testing.assert_array_equal(x, y)
+
+
+class TestInjectAPI:
+    def test_intensity_out_of_range_raises(self):
+        target = build_target("uniform", items=4)
+        with pytest.raises(InterferenceError, match="intensity"):
+            inject(target.app, CoreStallInjector(), 1.5)
+        with pytest.raises(InterferenceError, match="intensity"):
+            inject(target.app, CoreStallInjector(), -0.1)
+
+    def test_zero_intensity_returns_unwrapped_app(self):
+        target = build_target("uniform", items=4)
+        injected = inject(target.app, CoreStallInjector(), 0.0)
+        assert injected.app is target.app
+        assert injected.expected_cause == STALL_SYMBOL
+
+    def test_registry_round_trip(self):
+        for name in INJECTORS:
+            assert make_injector(name).name == name
+        with pytest.raises(InterferenceError, match="unknown injector"):
+            make_injector("cosmic-rays")
+
+    def test_undeclared_injection_point_raises(self):
+        app = FixedSequenceApp(uniform_items(3, {"f": 100}))
+        with pytest.raises(InterferenceError, match="injection_points"):
+            inject(app, CoreStallInjector(), 0.5)
+
+    @pytest.mark.parametrize("name", sorted(INJECTORS))
+    def test_zero_intensity_trace_is_bitwise_identical(self, name):
+        """The no-op calibration property, per injector, on its home target."""
+        home = {
+            "core-stall": "uniform",
+            "sampler-overload": "uniform",
+            "queue-saturation": "pipeline",
+            "cache-thrash": "memwalk",
+        }[name]
+        injector = make_injector(name)
+        injected = inject(build_target(home, items=6).app, injector, 0.0)
+        plain = inject(build_target(home, items=6).app, injector, 0.0)
+        assert_traces_equal(
+            injected.record(sample_cores=[0], reset_value=4000),
+            plain.record_baseline(sample_cores=[0], reset_value=4000),
+        )
+
+
+class TestCoreStall:
+    def test_stall_symbol_appended_and_originals_kept(self):
+        target = build_target("uniform", items=4)
+        injected = inject(target.app, CoreStallInjector(), 1.0)
+        names = {s.name for s in injected.app.symtab}
+        assert STALL_SYMBOL in names
+        assert {s.name for s in target.app.symtab} <= names
+
+    def test_stall_lands_inside_item_windows(self):
+        target = build_target("uniform", items=6)
+        injected = inject(target.app, CoreStallInjector(max_stall_cycles=30_000), 1.0)
+        session = injected.record(sample_cores=[0], reset_value=2000)
+        tr = session.trace_for(0)
+        stall = [
+            tr.elapsed_cycles(i, STALL_SYMBOL) for i in range(1, 7)
+        ]
+        assert all(s > 20_000 for s in stall), stall
+
+    def test_duty_selects_every_stride_th_item(self):
+        target = build_target("uniform", items=8)
+        injected = inject(
+            target.app, CoreStallInjector(max_stall_cycles=30_000, duty=0.25), 1.0
+        )
+        tr = injected.record(sample_cores=[0], reset_value=2000).trace_for(0)
+        hit = [i for i in range(1, 9) if tr.elapsed_cycles(i, STALL_SYMBOL) > 0]
+        assert hit == [1, 5]
+
+    def test_extend_symtab_rejects_duplicate(self):
+        target = build_target("uniform", items=2)
+        extended, _ = extend_symtab(target.app.symtab, [STALL_SYMBOL])
+        with pytest.raises(InterferenceError, match="already"):
+            extend_symtab(extended, [STALL_SYMBOL])
+
+
+class TestQueueSaturation:
+    def test_needs_declared_consumer(self):
+        app = FixedSequenceApp(uniform_items(3, {"f": 100}))
+        app.injection_points = {"queue-saturation": "f"}
+        with pytest.raises(InterferenceError, match="queue_consumer"):
+            inject(app, QueueSaturationInjector(), 0.5)
+
+    def test_backpressure_lands_on_producer_poll_symbol(self):
+        target = build_target("pipeline", items=24)
+        injected = inject(
+            target.app, QueueSaturationInjector(max_delay_cycles=36_000), 1.0
+        )
+        tr = injected.record(sample_cores=[0], reset_value=2000).trace_for(0)
+        spins = [tr.elapsed_cycles(i, "tx_ring_wait") for i in range(1, 25)]
+        assert sum(1 for s in spins if s > 5_000) > 12, spins
+
+    def test_expected_cause_is_declared_producer_symbol(self):
+        target = build_target("pipeline", items=4)
+        injected = inject(target.app, QueueSaturationInjector(), 0.5)
+        assert injected.expected_cause == "tx_ring_wait"
+
+
+class TestCacheThrash:
+    def test_aggressor_thread_joins_on_spare_core(self):
+        target = build_target("memwalk", items=4)
+        injected = inject(target.app, CacheThrashInjector(), 1.0)
+        threads = injected.app.threads()
+        names = {t.name: t.core_id for t in threads}
+        assert THRASH_SYMBOL in names
+        assert names[THRASH_SYMBOL] == target.app.spare_core
+        assert THRASH_SYMBOL in {s.name for s in injected.app.symtab}
+
+    def test_environment_pins_cache_model_and_event(self):
+        target = build_target("memwalk", items=4)
+        injector = CacheThrashInjector()
+        env = injector.environment(target.app)
+        assert env["with_caches"] and env["lockstep"]
+        assert env["spec"] == target.app.machine_spec()
+        # Intensity must not change the environment (fair baselines).
+        assert injector.pressure_kwargs(target.app, 0.9) == {}
+
+    def test_victim_walk_slows_under_thrash(self):
+        target = build_target("memwalk", items=6)
+        injected = inject(target.app, CacheThrashInjector(idle_cycles=0), 1.0)
+        hot = injected.record(sample_cores=[0]).trace_for(0)
+        base_target = build_target("memwalk", items=6)
+        base = (
+            inject(base_target.app, CacheThrashInjector(idle_cycles=0), 1.0)
+            .record_baseline(sample_cores=[0])
+            .trace_for(0)
+        )
+        hot_walk = np.median([hot.elapsed_cycles(i, "mw_table_walk") for i in range(1, 7)])
+        base_walk = np.median([base.elapsed_cycles(i, "mw_table_walk") for i in range(1, 7)])
+        assert hot_walk > 2 * base_walk, (hot_walk, base_walk)
+
+
+class TestSamplerOverload:
+    def test_wrap_is_identity_and_cause_is_degraded_capture(self):
+        target = build_target("uniform", items=4)
+        injected = inject(target.app, SamplerOverloadInjector(), 1.0)
+        assert injected.app is target.app
+        assert injected.expected_cause == DEGRADED_CAPTURE
+
+    def test_pressure_scales_drain_latency_with_intensity(self):
+        target = build_target("uniform", items=4)
+        injector = SamplerOverloadInjector()
+        lo = injector.pressure_kwargs(target.app, 0.5)["spec"]
+        hi = injector.pressure_kwargs(target.app, 1.0)["spec"]
+        assert hi.pebs_drain_base_ns > lo.pebs_drain_base_ns
+        assert lo.pebs_buffer_records == hi.pebs_buffer_records == 16
+
+    def test_full_intensity_sheds_and_degrades(self):
+        target = build_target("uniform", items=48)
+        injected = inject(target.app, SamplerOverloadInjector(), 1.0)
+        session = injected.record(sample_cores=[0], reset_value=2000)
+        assert session.degraded
+        assert sum(u.shed_samples for u in session.units.values()) > 0
+        spans = (session.capture_meta().get("capture") or {}).get("shed_spans")
+        assert spans and spans.get("0")

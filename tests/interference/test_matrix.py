@@ -1,0 +1,158 @@
+"""Attribution matrix: cell validation, scoring, golden stability.
+
+The full smoke grid (the CI gate) runs under ``@pytest.mark.slow``; the
+fast tests exercise the machinery on one- and two-cell grids.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import InterferenceError
+from repro.testing.matrix import (
+    GRIDS,
+    NO_CAUSE,
+    MatrixCell,
+    attribution_vote,
+    compare_scorecards,
+    run_matrix,
+    smoke_grid,
+)
+
+GOLDEN = Path(__file__).parent.parent / "data" / "attribution_scorecard.json"
+
+
+def fake_report(*verdicts):
+    return SimpleNamespace(verdicts=list(verdicts))
+
+
+def verdict(is_outlier, attributions=()):
+    return SimpleNamespace(
+        is_outlier=is_outlier,
+        attributions=[
+            SimpleNamespace(fn_name=name, excess_cycles=cycles)
+            for name, cycles in attributions
+        ],
+    )
+
+
+class TestMatrixCell:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(InterferenceError, match="mode"):
+            MatrixCell("uniform", "core-stall", 0.5, "steady")
+
+    def test_control_must_be_zero_intensity(self):
+        with pytest.raises(InterferenceError, match="control"):
+            MatrixCell("uniform", "core-stall", 0.5, "control")
+        MatrixCell("uniform", "core-stall", 0.0, "control")  # fine
+
+    def test_label_is_human_readable(self):
+        cell = MatrixCell("pipeline", "queue-saturation", 0.5, "sustained")
+        assert cell.label == "pipeline×queue-saturation@0.5/sustained"
+
+
+class TestAttributionVote:
+    def test_excess_weighted_argmax_across_outliers(self):
+        report = fake_report(
+            verdict(True, [("walk", 5_000), ("(unattributed/stall)", 7_000)]),
+            verdict(True, [("walk", 40_000)]),
+            verdict(False, [("noise", 1_000_000)]),  # non-outliers don't vote
+        )
+        assert attribution_vote(report) == "walk"
+
+    def test_no_outliers_means_no_cause(self):
+        assert attribution_vote(fake_report(verdict(False))) == NO_CAUSE
+
+    def test_ties_break_by_name(self):
+        report = fake_report(verdict(True, [("b", 100), ("a", 100)]))
+        assert attribution_vote(report) == "a"
+
+
+class TestRunMatrix:
+    def test_two_cell_grid_scores_burst_and_control(self):
+        cells = [
+            MatrixCell(
+                "uniform", "core-stall", 1.0, "burst", {"duty": 0.25}, items=12
+            ),
+            MatrixCell("uniform", "core-stall", 0.0, "control", items=12),
+        ]
+        card = run_matrix(cells, seed=0)
+        assert card.n_cells == 2
+        assert card.n_correct == 2
+        burst, control = card.results
+        assert burst.diagnosed == "__interference_stall"
+        assert burst.n_outliers > 0
+        assert control.diagnosed == NO_CAUSE
+        assert control.n_outliers == 0
+        assert card.by_injector == {"core-stall": 1.0}
+
+    def test_unknown_grid_raises(self):
+        with pytest.raises(InterferenceError, match="unknown grid"):
+            run_matrix(grid="full-send")
+
+    def test_stable_dict_round_trips_through_json(self):
+        cells = [MatrixCell("uniform", "core-stall", 0.0, "control", items=6)]
+        card = run_matrix(cells, seed=0)
+        assert json.loads(card.to_json()) == card.to_stable_dict()
+        assert "attribution matrix" in card.describe()
+
+
+class TestCompareScorecards:
+    def make(self):
+        return {
+            "grid": "smoke",
+            "n_cells": 2,
+            "n_correct": 2,
+            "hit_rate": 1.0,
+            "cells": [
+                {"workload": "uniform", "injector": "core-stall",
+                 "intensity": 1.0, "mode": "burst", "correct": True},
+                {"workload": "uniform", "injector": "core-stall",
+                 "intensity": 0.0, "mode": "control", "correct": True},
+            ],
+        }
+
+    def test_identical_scorecards_match(self):
+        assert compare_scorecards(self.make(), self.make()) == []
+
+    def test_detects_aggregate_and_cell_tampering(self):
+        tampered = self.make()
+        tampered["n_correct"] = 1
+        tampered["cells"][1]["correct"] = False
+        problems = compare_scorecards(tampered, self.make())
+        assert any("n_correct" in p for p in problems)
+        assert any("cell 1" in p and "correct" in p for p in problems)
+
+    def test_detects_cell_count_drift(self):
+        shrunk = self.make()
+        shrunk["cells"] = shrunk["cells"][:1]
+        assert any("cell count" in p for p in compare_scorecards(shrunk, self.make()))
+
+
+class TestSmokeGrid:
+    def test_grid_shape_meets_coverage_floor(self):
+        """Every injector at >=2 intensities, >=3 workloads, a control per
+        workload — the ISSUE's smoke-grid contract."""
+        cells = smoke_grid()
+        assert GRIDS["smoke"] is smoke_grid
+        workloads = {c.workload for c in cells}
+        assert len(workloads) >= 3
+        nonzero = {
+            (c.injector, c.intensity) for c in cells if c.intensity > 0
+        }
+        for injector in ("core-stall", "queue-saturation", "cache-thrash",
+                         "sampler-overload"):
+            assert len({i for inj, i in nonzero if inj == injector}) >= 2, injector
+        controls = {c.workload for c in cells if c.mode == "control"}
+        assert controls == workloads
+
+    @pytest.mark.slow
+    def test_full_smoke_grid_matches_golden(self):
+        card = run_matrix(grid="smoke", seed=0)
+        assert card.hit_rate >= 0.9
+        golden = json.loads(GOLDEN.read_text())
+        assert compare_scorecards(card.to_stable_dict(), golden) == []

@@ -1,0 +1,69 @@
+"""Geometry sweeps: each probe must recover the ground-truth machine
+parameter it stresses, end to end through the public execution surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InterferenceError
+from repro.interference.sweep import (
+    SMALL_GEOMETRY,
+    sweep_cache_geometry,
+    sweep_queue_depth,
+    sweep_sampler_saturation,
+)
+
+
+class TestCacheSweep:
+    def test_recovers_all_three_capacities(self):
+        result = sweep_cache_geometry(SMALL_GEOMETRY)
+        assert result.estimates == {
+            "l1": SMALL_GEOMETRY.l1.size_bytes,
+            "l2": SMALL_GEOMETRY.l2.size_bytes,
+            "llc": SMALL_GEOMETRY.llc.size_bytes,
+        }
+
+    def test_curve_is_monotone_and_cliffs_are_jumps(self):
+        result = sweep_cache_geometry(SMALL_GEOMETRY)
+        cpa = result.cycles_per_access
+        assert all(b >= a for a, b in zip(cpa, cpa[1:]))
+        assert len(result.cliffs) >= 3
+        assert all(c.jump > 0.3 for c in result.cliffs)
+
+    def test_describe_names_recovered_levels(self):
+        text = sweep_cache_geometry(SMALL_GEOMETRY).describe()
+        for name in ("l1", "l2", "llc"):
+            assert f"recovered {name}" in text
+
+
+class TestQueueSweep:
+    @pytest.mark.parametrize("capacity", [1, 3, 8])
+    def test_recovers_exact_ring_capacity(self, capacity):
+        assert sweep_queue_depth(capacity).recovered_depth == capacity
+
+    def test_unbounded_queue_never_blocks(self):
+        result = sweep_queue_depth(None)
+        assert result.recovered_depth is None
+        assert "unbounded" in result.describe()
+
+    def test_rejects_degenerate_probe(self):
+        with pytest.raises(InterferenceError, match="max_pushes"):
+            sweep_queue_depth(4, max_pushes=1)
+
+
+class TestSamplerSweep:
+    def test_achieved_interval_floors_at_handler_cost(self):
+        result = sweep_sampler_saturation()
+        # Large R: the interval tracks the requested period (retirement
+        # time dominates).  Small R: it floors at the handler cost and
+        # stops following R — a 4x change in R moves it by <20%.
+        assert result.achieved[200_000] > 2 * result.achieved[2_000]
+        assert result.achieved[8_000] < 1.2 * result.achieved[2_000]
+        assert result.floor_cycles == min(result.achieved.values())
+        # The paper's Fig 4 saturation: ~10 us at 3 GHz.
+        assert 20_000 < result.floor_cycles < 40_000
+
+    def test_achieved_interval_is_monotone_in_r(self):
+        result = sweep_sampler_saturation()
+        ordered = [result.achieved[r] for r in sorted(result.achieved)]
+        assert all(b >= a for a, b in zip(ordered, ordered[1:]))

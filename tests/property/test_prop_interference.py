@@ -1,0 +1,121 @@
+"""Property tests: injector calibration invariants.
+
+Two contracts every calibrated injector owes the matrix:
+
+* **zero is nothing** — intensity 0 must leave the captured trace
+  bitwise identical to an uninjected baseline, for any seed;
+* **more is never less** — both the measured interference (total item
+  window cycles) and the diagnoser's correct-outlier count are monotone
+  non-decreasing in intensity.
+
+Recordings are deterministic, so each (injector, intensity) point is
+simulated once and cached; hypothesis explores the *pairs*.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.diagnose import diagnose_trace
+from repro.interference import (
+    INJECTORS,
+    STALL_SYMBOL,
+    build_target,
+    inject,
+    make_injector,
+)
+
+INTENSITIES = (0.0, 0.25, 0.5, 0.75, 1.0)
+
+#: Per-injector home target and burst-style params that keep the median
+#: intact (so outlier detection stays meaningful at every intensity).
+CASES = {
+    "core-stall": (
+        "uniform",
+        12,
+        {"duty": 0.25, "max_stall_cycles": 30_000},
+        STALL_SYMBOL,
+    ),
+    "queue-saturation": (
+        "pipeline",
+        18,
+        {"max_delay_cycles": 120_000, "period": 6},
+        "tx_ring_wait",
+    ),
+}
+
+
+@lru_cache(maxsize=None)
+def run_point(injector_name: str, intensity: float) -> tuple[int, int]:
+    """(total window cycles, correct-outlier count) at one intensity."""
+    workload, items, params, expected = CASES[injector_name]
+    target = build_target(workload, items=items)
+    injected = inject(target.app, make_injector(injector_name, **params), intensity)
+    core = target.victim_core
+    trace = injected.record(sample_cores=[core], reset_value=2000).trace_for(core)
+    total = sum(w.t_end - w.t_start for w in trace.windows)
+    report = diagnose_trace(trace, target.groups, reset_value=2000)
+    hits = sum(
+        1 for v in report.verdicts if v.is_outlier and v.culprit == expected
+    )
+    return int(total), hits
+
+
+@lru_cache(maxsize=None)
+def zero_vs_baseline(injector_name: str, seed: int):
+    home = {
+        "core-stall": "uniform",
+        "sampler-overload": "uniform",
+        "queue-saturation": "pipeline",
+        "cache-thrash": "memwalk",
+    }[injector_name]
+
+    def columns(session, core):
+        tr = session.trace_for(core)
+        return (
+            [(w.item_id, w.t_start, w.t_end) for w in tr.windows],
+            [tr.item_ids, tr.fn_idx, tr.elapsed, tr.t_first, tr.t_last, tr.n_samples],
+        )
+
+    target = build_target(home, items=5, seed=seed)
+    injected = inject(target.app, make_injector(injector_name), 0.0, seed=seed)
+    clean = inject(
+        build_target(home, items=5, seed=seed).app,
+        make_injector(injector_name),
+        0.0,
+        seed=seed,
+    )
+    core = target.victim_core
+    kwargs = {"sample_cores": [core], "reset_value": 4000}
+    return columns(injected.record(**kwargs), core), columns(
+        clean.record_baseline(**kwargs), core
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    name=st.sampled_from(sorted(INJECTORS)),
+    seed=st.integers(min_value=0, max_value=3),
+)
+def test_zero_intensity_is_bitwise_noop(name, seed):
+    (w_inj, c_inj), (w_base, c_base) = zero_vs_baseline(name, seed)
+    assert w_inj == w_base
+    for a, b in zip(c_inj, c_base):
+        np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    name=st.sampled_from(sorted(CASES)),
+    pair=st.tuples(st.sampled_from(INTENSITIES), st.sampled_from(INTENSITIES)),
+)
+def test_interference_and_hit_count_monotone_in_intensity(name, pair):
+    lo, hi = min(pair), max(pair)
+    total_lo, hits_lo = run_point(name, lo)
+    total_hi, hits_hi = run_point(name, hi)
+    assert total_hi >= total_lo
+    assert hits_hi >= hits_lo

@@ -1,0 +1,83 @@
+"""Seeded workload construction: one Generator seed threads through every
+randomized workload, making builds — and recorded captures — reproducible."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.api as api
+import repro.cli as cli
+from repro.workloads import build_workload
+
+
+def trace_fingerprint(session, core=0):
+    tr = session.trace_for(core)
+    return (
+        [(w.item_id, w.t_start, w.t_end) for w in tr.windows],
+        tr.item_ids.tolist(),
+        tr.elapsed.tolist(),
+    )
+
+
+class TestBuildWorkloadSeed:
+    @pytest.mark.parametrize("name", ["nginx", "acl", "dbpool", "uniform"])
+    def test_same_seed_same_build(self, name):
+        app_a, groups_a = build_workload(name, items=9, seed=7)
+        app_b, groups_b = build_workload(name, items=9, seed=7)
+        assert groups_a == groups_b
+        assert [s.name for s in app_a.symtab] == [s.name for s in app_b.symtab]
+
+    def test_acl_seed_changes_traffic(self):
+        app_a, _ = build_workload("acl", items=30, seed=1)
+        app_b, _ = build_workload("acl", items=30, seed=2)
+        heads = lambda app: [
+            (p.src_addr, p.dst_addr, p.src_port, p.dst_port) for p in app.packets
+        ]
+        assert heads(app_a) != heads(app_b)
+        app_c, _ = build_workload("acl", items=30, seed=1)
+        assert heads(app_a) == heads(app_c)
+
+    def test_dbpool_seed_changes_query_mix(self):
+        app_a, _ = build_workload("dbpool", items=40, seed=1)
+        app_b, _ = build_workload("dbpool", items=40, seed=2)
+        assert [q.qclass for q in app_a.queries] != [
+            q.qclass for q in app_b.queries
+        ]
+
+
+class TestRecordSeed:
+    def test_same_seed_reproduces_the_capture(self, tmp_path):
+        a = api.record("nginx", items=8, sample_cores=[0], seed=3)
+        b = api.record("nginx", items=8, sample_cores=[0], seed=3)
+        assert trace_fingerprint(a) == trace_fingerprint(b)
+
+    def test_different_seed_changes_the_capture(self):
+        a = api.record("nginx", items=8, sample_cores=[0], seed=3)
+        b = api.record("nginx", items=8, sample_cores=[0], seed=4)
+        assert trace_fingerprint(a) != trace_fingerprint(b)
+
+    def test_seed_lands_in_capture_meta(self, tmp_path):
+        out = tmp_path / "seeded.npz"
+        api.record("uniform", out=out, items=6, sample_cores=[0], seed=11)
+        meta = api.load(out).meta
+        assert meta["seed"] == 11
+
+    def test_unseeded_meta_has_no_seed(self, tmp_path):
+        out = tmp_path / "unseeded.npz"
+        api.record("uniform", out=out, items=6, sample_cores=[0])
+        assert "seed" not in api.load(out).meta
+
+
+class TestCliSeed:
+    def test_run_seed_flag_is_recorded_and_reproducible(self, tmp_path):
+        a = str(tmp_path / "a.npz")
+        b = str(tmp_path / "b.npz")
+        for out in (a, b):
+            rc = cli.main(
+                ["run", "--workload", "nginx", "--out", out,
+                 "--items", "8", "--seed", "5"]
+            )
+            assert rc == 0
+        ta, tb = api.load(a), api.load(b)
+        assert ta.meta["seed"] == 5
+        assert ta.samples(0).ts.tolist() == tb.samples(0).ts.tolist()
