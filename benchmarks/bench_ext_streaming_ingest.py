@@ -37,7 +37,8 @@ from repro.analysis.reporting import format_table
 from repro.core.hybrid import integrate, merge_traces, traces_equal
 from repro.core.options import IngestOptions
 from repro.core.records import SwitchRecords
-from repro.core.streaming import StreamingIntegrator, _use_threads, ingest_trace
+from repro.core.shardpool import use_threads
+from repro.core.streaming import StreamingIntegrator, ingest_trace
 from repro.core.symbols import SymbolTable
 from repro.core.tracefile import TraceReader, load_trace, save_trace
 from repro.machine.pebs import SampleArrays
@@ -184,7 +185,7 @@ def test_streaming_ingest_throughput(trace_path, report, bench_point, benchmark)
             )
         )
         worker_walls[workers] = wall
-        pool = "thread" if _use_threads("auto") else "process"
+        pool = "thread" if use_threads("auto") else "process"
         record_wall(f"chunk=65536,workers={workers}", wall)
         rows.append(
             [

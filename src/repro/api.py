@@ -1,4 +1,4 @@
-"""The supported Python surface of the tracer, in six verbs.
+"""The supported Python surface of the tracer, in eight verbs.
 
 ::
 
@@ -10,6 +10,8 @@
     report  = repro.diagnose("run.npz")                      # find outlier items
     delta   = repro.diff("base.npz", "regressed.npz")        # localize a regression
     rec     = repro.recover("run.npz")                       # replay a crash journal
+    rep     = repro.push("run.npz", "run-1", "unix:/s")      # ship to the daemon
+    store   = repro.open_store("traces/")                    # the multi-run store
 
 Everything here is a thin, *stable* wrapper over the engine modules
 (:mod:`repro.session`, :mod:`repro.core.streaming`,
@@ -58,6 +60,8 @@ __all__ = [
     "diagnose",
     "diff",
     "recover",
+    "open_store",
+    "push",
 ]
 
 
@@ -361,6 +365,7 @@ def diff(
     include_unattributed: bool = True,
     reset_value: int | None = None,
     allow_degraded_baseline: bool = False,
+    store: str | pathlib.Path | None = None,
 ) -> DiffReport:
     """Localize a regression between two runs of the same workload.
 
@@ -383,7 +388,14 @@ def diff(
     :func:`~repro.core.streaming.ingest_trace` instead of whole-file
     loading; the traces — and therefore the report — are identical
     either way (streaming integration is bitwise-equal to one-shot).
+
+    ``store`` resolves ``base``/``other`` as run ids in an ingestion
+    store (see :func:`open_store`) instead of container paths.
     """
+    if store is not None:
+        trace_store = open_store(store)
+        base = trace_store.path_for(str(base))
+        other = trace_store.path_for(str(other))
     base_meta, other_meta = _meta_of(base), _meta_of(other)
     if reset_value is None:
         values = [
@@ -433,3 +445,30 @@ def diff(
         degraded_base=degraded_base,
         degraded_other=degraded_other,
     )
+
+
+def open_store(root: str | pathlib.Path):
+    """Open (or create) a multi-run ingestion store.
+
+    The store is what :func:`serve` compacts pushed runs into; committed
+    runs are queryable by id — ``diff("good", "bad", store=root)``.
+    Imported lazily so the one-shot pipeline stays asyncio-free.
+    """
+    from repro.service.store import TraceStore
+
+    return TraceStore(root)
+
+
+def push(
+    source: str | pathlib.Path,
+    run_id: str,
+    addr: str,
+    *,
+    options: IngestOptions | None = None,
+):
+    """Push a recording journal or finished container to an ingestion
+    daemon at ``addr`` (``unix:<path>`` or ``host:port``); returns the
+    :class:`~repro.service.client.PushReport`."""
+    from repro.service.client import push_journal
+
+    return push_journal(source, run_id, addr, options=options)

@@ -30,10 +30,11 @@ from repro.core.fluctuation import diagnose
 from repro.core.integrity import POLICIES
 from repro.core.options import IngestOptions
 from repro.core.tracefile import load_trace, save_session
-from repro.errors import ReproError, TraceError
+from repro.errors import ReproError, SignalInterrupt, TraceError
 from repro.machine.events import EVENT_ALIASES as EVENTS
 from repro.machine.overload import OverloadPolicy
 from repro.session import trace as run_trace
+from repro.signals import exit_status, raise_on_signals
 from repro.workloads import WORKLOADS, build_workload
 
 US = 3000.0  # cycles per microsecond at the default 3 GHz
@@ -60,16 +61,22 @@ def cmd_run(args) -> int:
     if args.seed is not None:
         meta["seed"] = args.seed
     overload = OverloadPolicy() if args.overload else None
-    session = run_trace(
-        app,
-        reset_value=args.reset_value,
-        event=EVENTS[args.event],
-        double_buffered=args.double_buffered,
-        overload=overload,
-        durable_out=args.out if args.durable else None,
-        checkpoint_every_marks=args.checkpoint_marks,
-        durable_meta=meta if args.durable else None,
-    )
+    # Durable runs trap SIGINT/SIGTERM: the signal unwinds into trace(),
+    # which seals the tail and finalizes, so ^C costs nothing captured.
+    # Non-durable runs keep the default disposition — there is nothing
+    # on disk worth a graceful path.
+    signal_scope = raise_on_signals() if args.durable else contextlib.nullcontext()
+    with signal_scope:
+        session = run_trace(
+            app,
+            reset_value=args.reset_value,
+            event=EVENTS[args.event],
+            double_buffered=args.double_buffered,
+            overload=overload,
+            durable_out=args.out if args.durable else None,
+            checkpoint_every_marks=args.checkpoint_marks,
+            durable_meta=meta if args.durable else None,
+        )
     if not args.durable:
         save_session(
             args.out,
@@ -106,6 +113,13 @@ def cmd_run(args) -> int:
                 f"`repro recover {args.out}` to salvage the journal",
                 file=sys.stderr,
             )
+    if session.interrupted is not None:
+        print(
+            f"interrupted by signal {session.interrupted}; partial run "
+            f"finalized to {args.out}",
+            file=sys.stderr,
+        )
+        return 128 + session.interrupted
     return 0
 
 
@@ -297,9 +311,16 @@ def cmd_diff(args) -> int:
     """`repro diff`: localize a regression between two runs."""
     from repro import api
 
+    base, other = args.base, args.other
+    if args.store:
+        from repro.service.store import TraceStore
+
+        store = TraceStore(args.store)
+        base = store.path_for(base)
+        other = store.path_for(other)
     report = api.diff(
-        args.base,
-        args.other,
+        base,
+        other,
         core=args.core,
         stream=args.stream,
         options=IngestOptions.from_args(args),
@@ -345,6 +366,136 @@ def cmd_diff(args) -> int:
             f"\ntop excess-time contributor: {top.fn_name} "
             f"(+{top.excess_per_item / US:.2f} us/item, "
             f"confidence {top.confidence:.2f})"
+        )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """`repro serve`: the fleet-scale trace ingestion daemon."""
+    import asyncio
+
+    from repro.service.daemon import DaemonConfig, IngestDaemon
+    from repro.service.store import TraceStore
+
+    config = DaemonConfig(
+        capacity=args.capacity,
+        credits=args.credits,
+        max_frame_bytes=args.max_frame_bytes,
+        options=IngestOptions.from_args(args),
+    )
+    store = TraceStore(args.store, options=config.options)
+
+    async def serve() -> int:
+        daemon = IngestDaemon(store, config)
+        actions = await daemon.start()
+        for run, action in sorted(actions.items()):
+            print(f"recovered {run}: {action}")
+        if args.socket:
+            await daemon.serve_unix(args.socket)
+            where = f"unix:{args.socket}"
+        else:
+            await daemon.serve_tcp(args.host, args.port)
+            where = f"{args.host}:{args.port}"
+        print(f"ingest daemon listening on {where} (store: {store.root})")
+        sys.stdout.flush()
+        loop = asyncio.get_running_loop()
+        stop: asyncio.Future = loop.create_future()
+
+        def _graceful(signum: int) -> None:
+            if not stop.done():
+                stop.set_result(signum)
+
+        import signal as _signal
+
+        for signum in (_signal.SIGINT, _signal.SIGTERM):
+            loop.add_signal_handler(signum, _graceful, signum)
+        done, _ = await asyncio.wait(
+            {stop, daemon.crashed}, return_when=asyncio.FIRST_COMPLETED
+        )
+        if daemon.crashed in done and daemon.crashed.exception() is not None:
+            raise daemon.crashed.exception()
+        signum = stop.result()
+        print(
+            f"signal {signum}: draining admitted segments and shutting down",
+            file=sys.stderr,
+        )
+        await daemon.shutdown()
+        return 0
+
+    return asyncio.run(serve())
+
+
+def cmd_push(args) -> int:
+    """`repro push`: ship a journal or container to the daemon."""
+    from repro.service.client import push_journal
+
+    run_id = args.run
+    if run_id is None:
+        import pathlib
+
+        p = pathlib.Path(args.source)
+        run_id = p.stem if p.suffix else p.name
+    report = push_journal(
+        args.source,
+        run_id,
+        args.addr,
+        options=IngestOptions.from_args(args),
+        reply_timeout=args.timeout,
+    )
+    if report.already_committed:
+        print(f"run {report.run} already committed")
+    else:
+        print(
+            f"pushed {report.run}: {report.sent} segment(s) sent "
+            f"({report.skipped} skipped, {report.acked} acked, "
+            f"{report.resent} resent, {report.credit_stalls} credit "
+            f"stall(s))"
+        )
+    if report.nacked:
+        sheds = ", ".join(f"{k}: {v}" for k, v in sorted(report.nacked.items()))
+        print(f"backpressure: {sheds}", file=sys.stderr)
+    if report.committed_path:
+        print(f"committed -> {report.committed_path}")
+    return 0 if report.committed else EXIT_TRACE_ERROR
+
+
+def cmd_runs(args) -> int:
+    """`repro runs`: what the store holds (committed, open, quarantined)."""
+    from repro.service.store import TraceStore
+
+    store = TraceStore(args.store)
+    rows = []
+    for run_id, entry in store.catalog().items():
+        rows.append(
+            [
+                run_id,
+                "committed",
+                str(entry.get("segments", "?")),
+                str(entry.get("samples", "?")),
+                entry.get("file", "?"),
+            ]
+        )
+    backlog = set(store.compaction_backlog())
+    for run_id in store.open_runs():
+        state = "finished (compaction pending)" if run_id in backlog else "open"
+        rows.append([run_id, state, "-", "-", "-"])
+    qdir = store.root / "quarantine"
+    n_quarantined = sum(1 for _ in qdir.glob("*.reason")) if qdir.is_dir() else 0
+    if not rows:
+        print(f"store {store.root}: no runs")
+    else:
+        print(
+            format_table(
+                ["run", "state", "segments", "samples", "container"],
+                rows,
+                title=f"store {store.root}",
+            )
+        )
+    if n_quarantined:
+        print(
+            f"\n{n_quarantined} quarantined item(s) in {qdir} — inspect "
+            "the .reason files",
+            file=sys.stderr,
         )
     return 0
 
@@ -735,6 +886,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_diff.add_argument("--json", action="store_true", help="machine-readable output")
     p_diff.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help=(
+            "resolve base/other as run ids in this ingestion store "
+            "(see `repro serve`) instead of file paths"
+        ),
+    )
+    p_diff.add_argument(
         "--allow-degraded-baseline",
         action="store_true",
         help=(
@@ -746,6 +906,78 @@ def build_parser() -> argparse.ArgumentParser:
     _add_ingest_args(p_diff)
     _add_telemetry_args(p_diff)
     p_diff.set_defaults(func=cmd_diff)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the trace ingestion daemon over a multi-run store",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_serve.add_argument(
+        "--store", required=True, help="store root directory (created if missing)"
+    )
+    p_serve.add_argument(
+        "--socket", default=None, help="listen on this unix socket path"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7071, help="TCP port (ignored with --socket)"
+    )
+    p_serve.add_argument(
+        "--capacity",
+        type=int,
+        default=128,
+        help="admission queue depth — segments held in RAM at most",
+    )
+    p_serve.add_argument(
+        "--credits",
+        type=int,
+        default=8,
+        help="per-producer credit window (max unacked segments in flight)",
+    )
+    p_serve.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=64 * 1024 * 1024,
+        help="reject any frame larger than this",
+    )
+    _add_ingest_args(p_serve)
+    _add_telemetry_args(p_serve)
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_push = sub.add_parser(
+        "push",
+        help="push a recording journal or finished container to the daemon",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_push.add_argument(
+        "source", help="journal directory (crashed/open capture) or .npz container"
+    )
+    p_push.add_argument(
+        "--addr",
+        required=True,
+        help="daemon address: unix:<path> or host:port",
+    )
+    p_push.add_argument(
+        "--run",
+        default=None,
+        help="run id in the store (default: derived from the source name)",
+    )
+    p_push.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="seconds to wait for each daemon reply",
+    )
+    _add_ingest_args(p_push)
+    p_push.set_defaults(func=cmd_push)
+
+    p_runs = sub.add_parser(
+        "runs", help="list the runs held by an ingestion store"
+    )
+    p_runs.add_argument("--store", required=True, help="store root directory")
+    p_runs.set_defaults(func=cmd_runs)
 
     p_ver = sub.add_parser(
         "verify-attribution",
@@ -870,6 +1102,10 @@ def main(argv: list[str] | None = None) -> int:
     try:
         with _telemetry_scope(args):
             return args.func(args)
+    except SignalInterrupt as exc:
+        # A trapped signal that unwound past the graceful paths: exit
+        # with the shell's death-by-signal convention.
+        return exit_status(exc)
     except TraceError as exc:
         print(f"trace error: {exc}", file=sys.stderr)
         return EXIT_TRACE_ERROR

@@ -404,6 +404,17 @@ def _read_journal(
     return records, torn
 
 
+def read_journal(jdir: str | pathlib.Path) -> tuple[list[dict], bool]:
+    """Parse a journal directory's log; returns (records, torn_tail).
+
+    Public entry point for consumers that walk a journal without
+    replaying it — the ingestion service ships sealed segments listed
+    here over the wire.  A torn final line is expected after a crash and
+    reported via the flag, never as an error.
+    """
+    return _read_journal(pathlib.Path(jdir) / _JOURNAL_FILE)
+
+
 def _load_segment(
     path: pathlib.Path, crc: dict | None
 ) -> tuple[dict[str, np.ndarray] | None, str, str]:
@@ -707,6 +718,7 @@ __all__ = [
     "RecorderIO",
     "RecoveryReport",
     "recover",
+    "read_journal",
     "journal_dir_for",
     "JOURNAL_VERSION",
 ]

@@ -5,9 +5,10 @@ spellings: ``ingest_trace(chunk_size=..., workers=..., pool=...)`` in
 Python, ``--chunk-size --workers --pool`` on the CLI, and ad-hoc subsets
 in ``repro monitor`` and the benchmarks.  :class:`IngestOptions` is the
 single canonical form: the facade (:mod:`repro.api`), the CLI (via
-:meth:`IngestOptions.from_args`) and :func:`repro.core.streaming.ingest_trace`
-all accept exactly this object.  The old per-call keywords still work
-for one release through a deprecation shim on ``ingest_trace``.
+:meth:`IngestOptions.from_args`), :func:`repro.core.streaming.ingest_trace`
+and the ingestion daemon (:mod:`repro.service`) all accept exactly this
+object.  The per-call keyword shim on ``ingest_trace`` served its one
+release and has been removed.
 """
 
 from __future__ import annotations

@@ -25,13 +25,8 @@ stream — so window state is built whole per core; only samples stream.
 
 from __future__ import annotations
 
-import gc
-import multiprocessing
-import multiprocessing.pool
-import os
 import pathlib
 import time
-import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,6 +65,7 @@ from repro.core.records import (
     build_windows,
     windows_as_arrays,
 )
+from repro.core.shardpool import run_supervised, use_threads
 from repro.core.symbols import UNKNOWN, SymbolTable
 from repro.core.tracefile import TraceReader
 from repro.errors import IntegrationError, ShardError, TraceError
@@ -522,215 +518,20 @@ def replay_into(
         )
 
 
-def _use_threads(pool: str) -> bool:
-    if pool == "thread":
-        return True
-    if pool == "process":
-        return False
-    if pool == "auto":
-        # With a single CPU the process pool is pure overhead: forking,
-        # shipping shard results between address spaces, and faulting in
-        # copy-on-write pages can never be repaid by parallelism that
-        # does not exist.  Threads share the address space, and the hot
-        # numpy ops release the GIL, so they also scale on real hosts.
-        return (os.cpu_count() or 1) < 2
-    raise TraceError(f"pool must be 'auto', 'thread' or 'process', got {pool!r}")
-
-
-def _make_pool(n_procs: int, threads: bool):
-    """Build a worker pool; returns (pool, cleanup) — cleanup kills it.
-
-    ``cleanup`` uses ``terminate()`` rather than ``close()``/``join()``
-    deliberately: a hung worker never finishes its task, so a graceful
-    shutdown would hang the parent with it.  Terminating a process pool
-    kills the workers outright; terminating a ThreadPool abandons its
-    daemon threads (they cannot be killed, but they no longer block
-    anything).
-    """
-    if threads:
-        p = multiprocessing.pool.ThreadPool(processes=n_procs)
-        return p, p.terminate
-    try:
-        ctx = multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX hosts
-        ctx = multiprocessing.get_context("spawn")
-    # Freeze the parent heap before forking: without this, the first
-    # garbage collection in each child touches every inherited object and
-    # copy-on-write duplicates the whole parent heap per worker.
-    gc.collect()
-    gc.freeze()
-    p = ctx.Pool(processes=n_procs)
-
-    def cleanup() -> None:
-        p.terminate()
-        gc.unfreeze()
-
-    return p, cleanup
-
-
-def _shard_round(
-    jobs: list[tuple[int, tuple]],
-    n_procs: int,
-    threads: bool,
-    shard_timeout: float | None,
-    shard_fn,
-) -> tuple[dict[int, tuple], dict[int, str], dict[int, str]]:
-    """Run one attempt of every shard job in a fresh pool.
-
-    Returns ``(done, retryable, permanent)`` keyed by core.  A
-    :class:`~repro.errors.TraceError` is *permanent*: it is deterministic
-    (the stored bytes will not change on retry).  Timeouts and anything
-    else (a worker killed by the OOM killer surfaces as a pool error) are
-    *retryable*.  The pool is terminated at the end of the round either
-    way, which is what reclaims workers hung past their timeout.
-    """
-    done: dict[int, tuple] = {}
-    retryable: dict[int, str] = {}
-    permanent: dict[int, str] = {}
-    ins = _obs()
-    t_round = time.perf_counter()
-    pool_obj, cleanup = _make_pool(n_procs, threads)
-    try:
-        handles = [
-            (core, pool_obj.apply_async(shard_fn, args)) for core, args in jobs
-        ]
-        for core, handle in handles:
-            try:
-                done[core] = handle.get(shard_timeout)
-                ins.shard_wait.observe(time.perf_counter() - t_round)
-            except multiprocessing.TimeoutError:
-                retryable[core] = (
-                    f"shard for core {core} exceeded its {shard_timeout:g}s timeout"
-                )
-            except TraceError as exc:
-                permanent[core] = f"{type(exc).__name__}: {exc}"
-            except Exception as exc:  # worker/pool infrastructure failure
-                retryable[core] = f"{type(exc).__name__}: {exc}"
-    finally:
-        cleanup()
-    return done, retryable, permanent
-
-
-def _run_supervised(
-    jobs: list[tuple[int, tuple]],
-    n_procs: int,
-    threads: bool,
-    shard_timeout: float | None,
-    max_retries: int,
-    retry_backoff_s: float,
-    shard_fn,
-) -> tuple[dict[int, tuple], dict[int, str], dict[int, int]]:
-    """Drive shard jobs to completion with bounded retries and backoff.
-
-    ``max_retries`` bounds the *re*-attempts after the first try.  Each
-    round runs in a fresh pool so a worker hung in round N cannot occupy
-    a slot in round N+1.  Returns ``(results, failures, retries)`` keyed
-    by core; a core appears in exactly one of the first two.
-    """
-    results: dict[int, tuple] = {}
-    failures: dict[int, str] = {}
-    retries: dict[int, int] = {}
-    ins = _obs()
-    outstanding = list(jobs)
-    attempt = 0
-    while outstanding:
-        with span("ingest.round", attempt=attempt, shards=len(outstanding)):
-            done, retryable, permanent = _shard_round(
-                outstanding,
-                min(n_procs, len(outstanding)),
-                threads,
-                shard_timeout,
-                shard_fn,
-            )
-        results.update(done)
-        failures.update(permanent)
-        if not retryable:
-            break
-        attempt += 1
-        if attempt > max_retries:
-            failures.update(
-                {
-                    core: msg + f" (gave up after {max_retries} retries)"
-                    for core, msg in retryable.items()
-                }
-            )
-            break
-        for core in retryable:
-            retries[core] = attempt
-        ins.shard_retries.inc(len(retryable))
-        ins.pool_restarts.inc()
-        outstanding = [(c, a) for c, a in outstanding if c in retryable]
-        backoff = retry_backoff_s * (2 ** (attempt - 1))
-        ins.backoff_seconds.inc(backoff)
-        time.sleep(backoff)
-    return results, failures, retries
-
-
-#: Sentinel distinguishing "not passed" from an explicit default value in
-#: the legacy-keyword shim below.
-_UNSET = object()
-
-#: Legacy per-call keywords of ``ingest_trace`` and the ``IngestOptions``
-#: field each maps to (all identical names; kept explicit for the shim).
-_LEGACY_INGEST_KWARGS = (
-    "chunk_size",
-    "workers",
-    "pool",
-    "record_bytes",
-    "on_corruption",
-    "shard_timeout",
-    "max_retries",
-    "retry_backoff_s",
-)
-
-
-def _resolve_ingest_options(options: IngestOptions | None, legacy: dict) -> IngestOptions:
-    """Fold legacy per-call keywords into an :class:`IngestOptions`.
-
-    Passing any legacy keyword emits a :class:`DeprecationWarning` naming
-    the replacement; mixing them with ``options=`` is an error because
-    there would be two sources of truth for the same knob.
-    """
-    passed = {k: v for k, v in legacy.items() if v is not _UNSET}
-    if not passed:
-        return options if options is not None else IngestOptions()
-    if options is not None:
-        raise TraceError(
-            "pass ingestion settings either via options=IngestOptions(...) or "
-            f"via legacy keywords, not both (got both options= and {sorted(passed)})"
-        )
-    names = ", ".join(sorted(passed))
-    warnings.warn(
-        f"ingest_trace({names}=...) keywords are deprecated; pass "
-        f"options=IngestOptions({names}=...) instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return IngestOptions(**passed)
-
-
 def ingest_trace(
     path: str | pathlib.Path,
     *,
     options: IngestOptions | None = None,
     cores: list[int] | None = None,
     diagnoser: OnlineDiagnoser | None = None,
-    chunk_size=_UNSET,
-    workers=_UNSET,
-    pool=_UNSET,
-    record_bytes=_UNSET,
-    on_corruption=_UNSET,
-    shard_timeout=_UNSET,
-    max_retries=_UNSET,
-    retry_backoff_s=_UNSET,
     _shard_fn=None,
 ) -> IngestResult:
     """Stream-integrate a trace container and merge the per-core shards.
 
     Ingestion knobs travel in one :class:`~repro.core.options.IngestOptions`
-    object (``options=``); the individual ``chunk_size=``/``workers=``/...
-    keywords are a deprecated spelling of the same fields, shimmed for one
-    release.
+    object (``options=``).  The individual ``chunk_size=``/``workers=``/...
+    keywords were a deprecated spelling shimmed for one release and have
+    been removed; passing them now raises :class:`TypeError`.
 
     ``options.workers > 1`` fans core-shards out to a worker pool (each worker
     reads only its own core's chunk members); ``pool`` selects processes
@@ -763,24 +564,12 @@ def ingest_trace(
 
     ``_shard_fn`` swaps the shard worker (fault-injection tests).
     """
-    opts = _resolve_ingest_options(
-        options,
-        {
-            "chunk_size": chunk_size,
-            "workers": workers,
-            "pool": pool,
-            "record_bytes": record_bytes,
-            "on_corruption": on_corruption,
-            "shard_timeout": shard_timeout,
-            "max_retries": max_retries,
-            "retry_backoff_s": retry_backoff_s,
-        },
-    )
+    opts = options if options is not None else IngestOptions()
     chunk_size = opts.chunk_size
     workers = opts.workers
     record_bytes = opts.record_bytes
     on_corruption = opts.on_corruption
-    threads = _use_threads(opts.pool)
+    threads = use_threads(opts.pool)
     strict = on_corruption == POLICY_STRICT
     shard_fn = _shard_fn if _shard_fn is not None else _integrate_core_shard
     t0 = time.perf_counter()
@@ -830,7 +619,7 @@ def ingest_trace(
         jobs = [
             (core, (path, core, chunk_size, on_corruption)) for core in use_cores
         ]
-        results, shard_failures, retries = _run_supervised(
+        results, shard_failures, retries = run_supervised(
             jobs, n_procs, threads, opts.shard_timeout, opts.max_retries,
             opts.retry_backoff_s, shard_fn,
         )

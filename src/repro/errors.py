@@ -58,6 +58,38 @@ class ShardError(TraceError):
     """A worker shard failed permanently during parallel ingestion."""
 
 
+class ProtocolError(TraceError):
+    """A shard-protocol frame is malformed, truncated, or corrupt.
+
+    Raised by the wire layer (:mod:`repro.service.protocol`) — a frame
+    that fails any structural or checksum test is rejected whole; no
+    partially-decoded payload ever reaches the ingestion path.
+    """
+
+
+class StoreError(TraceError):
+    """The multi-run trace store refused an operation (unknown run,
+    invalid run id, inconsistent catalog)."""
+
+
+class RunCommittedError(StoreError):
+    """A producer tried to append to (or re-push) an already-committed
+    run — accepting it would make a duplicate run visible to ``diff``."""
+
+
+class SignalInterrupt(ReproError):
+    """A termination signal (SIGTERM) arrived mid-capture.
+
+    Raised *by our own signal handler* so the capture path can finalize
+    the durable journal before exiting; carries the signal number for
+    the conventional ``128 + signum`` exit code.
+    """
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum
+
+
 class WorkloadError(ReproError):
     """A workload was configured with invalid parameters."""
 

@@ -222,6 +222,54 @@ class PipelineInstruments:
             "repro_online_decisions_dropped_total",
             "Oldest online decisions evicted by the bounded decision log",
         )
+        # -- ingestion service (daemon + multi-run store) -----------------
+        self.svc_queue_depth = g(
+            "repro_service_queue_depth",
+            "Segments currently waiting on the daemon's admission queue",
+        )
+        self.svc_queue_capacity = g(
+            "repro_service_queue_capacity",
+            "Admission queue capacity of the running daemon",
+        )
+        self.svc_connections = g(
+            "repro_service_connections", "Open producer connections"
+        )
+        self.svc_credits_outstanding = g(
+            "repro_service_credits_outstanding",
+            "Sum of unspent credits across producer windows",
+        )
+        self.svc_segments_admitted = c(
+            "repro_service_segments_admitted_total",
+            "Segments durably sealed into run journals by the daemon",
+        )
+        self.svc_segments_deduped = c(
+            "repro_service_segments_deduped_total",
+            "Idempotent duplicate segments (resends after a lost ACK)",
+        )
+        self.svc_runs_committed = c(
+            "repro_service_runs_committed_total",
+            "Runs compacted and committed to the store catalog",
+        )
+        self.svc_runs_quarantined = c(
+            "repro_service_runs_quarantined_total",
+            "Run journals compaction refused and moved to quarantine",
+        )
+        self.svc_compaction_lag = g(
+            "repro_service_compaction_lag_runs",
+            "Finished runs whose compaction has not committed yet",
+        )
+        self.svc_compaction_seconds = h(
+            "repro_service_compaction_seconds",
+            "Wall time of one run compaction (journal replay to commit)",
+        )
+        self.svc_protocol_errors = c(
+            "repro_service_protocol_errors_total",
+            "Connections dropped for malformed or corrupt frames",
+        )
+        self.svc_storage_errors = c(
+            "repro_service_storage_errors_total",
+            "Store writes that failed and degraded to a storage NACK",
+        )
 
     # Per-core children resolve through the registry (get-or-create is a
     # locked dict hit — fine at per-shard and per-chunk frequency).
@@ -243,6 +291,13 @@ class PipelineInstruments:
         return self._registry.counter(
             "repro_sw_samples_dropped_by_reason_total",
             "Software-sampler drops broken down by cause",
+            reason=reason,
+        )
+
+    def svc_nacks(self, reason: str):
+        return self._registry.counter(
+            "repro_service_nacks_total",
+            "Segments NACKed by the ingestion daemon, by reason",
             reason=reason,
         )
 

@@ -1,0 +1,38 @@
+"""Fleet-scale trace ingestion: daemon, store, shard protocol, clients.
+
+The one-shot :func:`repro.core.streaming.ingest_trace` assumes a whole
+container sitting on local disk.  This package is the long-running side
+of the same pipeline — the shape the ROADMAP's fleet deployment needs:
+
+* :mod:`repro.service.protocol` — the framed shard protocol.  The wire
+  unit is PR 5's sealed journal segment (header record + raw npz bytes),
+  so durability semantics do not change between disk and network.
+* :mod:`repro.service.sources` — pluggable segment sources: walk a
+  journal directory, re-segment a finalized container, an in-memory
+  queue, or an async byte stream.
+* :mod:`repro.service.store` — the crash-safe multi-run trace store
+  (per-run journals in the durable-writer format, an fsync'd append-only
+  catalog as the commit point, idempotent startup recovery).
+* :mod:`repro.service.daemon` — the asyncio ingestion daemon: admission
+  queue with high/low watermarks, per-producer credit windows,
+  shed-with-NACK (never stall), supervised compaction.
+* :mod:`repro.service.client` — a producer that pushes a journal and
+  honours credits, NACK backoff, and resume-after-crash.
+"""
+
+from repro.service.client import PushReport, push_journal
+from repro.service.daemon import DaemonConfig, IngestDaemon
+from repro.service.protocol import Frame, FrameDecoder, decode_frame, encode_frame
+from repro.service.store import TraceStore
+
+__all__ = [
+    "DaemonConfig",
+    "Frame",
+    "FrameDecoder",
+    "IngestDaemon",
+    "PushReport",
+    "TraceStore",
+    "decode_frame",
+    "encode_frame",
+    "push_journal",
+]

@@ -1,0 +1,329 @@
+"""The producer side of the shard protocol: push a journal, honour credits.
+
+:func:`push_segments` is the protocol state machine; everything else is
+packaging — :func:`push_journal` walks a journal directory (or
+re-segments a finalized container) and drives the machine over a
+transport, retrying NACKs with exponential backoff and surviving a lost
+ACK through the daemon's idempotent dedupe.
+
+The client's obligations under the backpressure contract:
+
+* never more unACKed segments in flight than the granted credit window;
+* a ``retry: true`` NACK re-queues the segment and backs off
+  (exponentially per consecutive NACK, reset on any ACK);
+* a ``retry: false`` NACK is final for that segment (and for
+  ``duplicate-run`` / ``poison-run``, for the whole push).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pathlib
+import tempfile
+from dataclasses import dataclass, field
+
+from repro.core.options import IngestOptions
+from repro.errors import ProtocolError, TraceError
+from repro.service.protocol import (
+    KIND_ACK,
+    KIND_COMMITTED,
+    KIND_CREDIT,
+    KIND_ERROR,
+    KIND_FINISH,
+    KIND_HELLO,
+    KIND_NACK,
+    KIND_SEGMENT,
+    KIND_WELCOME,
+    Frame,
+    encode_frame,
+)
+from repro.service.sources import (
+    StreamSource,
+    iter_journal_segments,
+    journal_from_container,
+)
+
+
+@dataclass
+class PushReport:
+    """What one push attempt did, in shed-accounting detail."""
+
+    run: str
+    #: SEGMENT frames actually sent (excludes segments skipped via the
+    #: WELCOME ``have`` resume hint).
+    sent: int = 0
+    #: Segments the daemon skipped for us (already sealed server-side).
+    skipped: int = 0
+    acked: int = 0
+    #: NACK count by reason — the client half of the shed ledger.
+    nacked: dict[str, int] = field(default_factory=dict)
+    #: Re-sends of segments that were NACKed with ``retry: true``.
+    resent: int = 0
+    #: Times the send loop stalled with zero credits and work pending.
+    credit_stalls: int = 0
+    #: Segments refused permanently (``retry: false``), by seq.
+    rejected: list[int] = field(default_factory=list)
+    committed: bool = False
+    #: True when the daemon reported the run already committed at HELLO.
+    already_committed: bool = False
+    committed_path: str | None = None
+
+    @property
+    def nacks_total(self) -> int:
+        return sum(self.nacked.values())
+
+    def _count_nack(self, reason: str) -> None:
+        self.nacked[reason] = self.nacked.get(reason, 0) + 1
+
+
+async def push_segments(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    run_id: str,
+    segments,
+    *,
+    reply_timeout: float = 30.0,
+    nack_backoff_s: float = 0.01,
+    max_backoff_s: float = 1.0,
+    max_resends_per_segment: int = 16,
+) -> PushReport:
+    """Drive one run's segments through an open connection.
+
+    ``segments`` is an iterable of ``(record, data)`` pairs in seal
+    order.  Returns the :class:`PushReport`; raises
+    :class:`~repro.errors.TraceError` (carrying ``.report``) if the
+    connection dies, the daemon refuses the run, any segment is refused
+    permanently, or a segment keeps being shed past
+    ``max_resends_per_segment`` — a committed run is always complete.
+    """
+    report = PushReport(run=run_id)
+    src = StreamSource(reader)
+
+    def fail(message: str) -> TraceError:
+        exc = TraceError(f"push of run {run_id!r}: {message}")
+        exc.report = report  # partial accounting for the caller
+        return exc
+
+    async def reply() -> Frame:
+        try:
+            return await asyncio.wait_for(src.__anext__(), reply_timeout)
+        except StopAsyncIteration:
+            raise fail(
+                "daemon closed the connection before the run committed"
+            ) from None
+        except asyncio.TimeoutError:
+            raise fail(
+                f"no reply from daemon within {reply_timeout:g}s"
+            ) from None
+
+    writer.write(encode_frame(Frame(KIND_HELLO, {"run": run_id})))
+    await writer.drain()
+    first = await reply()
+    if first.kind == KIND_COMMITTED:
+        report.committed = True
+        report.already_committed = True
+        report.committed_path = first.meta.get("path")
+        return report
+    if first.kind == KIND_ERROR:
+        raise fail(f"refused: {first.meta.get('reason')}")
+    if first.kind != KIND_WELCOME:
+        raise ProtocolError(
+            f"expected WELCOME after HELLO, got {first.kind_name}"
+        )
+    credits = int(first.meta.get("credits", 1))
+    have = set(first.meta.get("have", []))
+
+    pending: list[tuple[dict, bytes]] = []
+    for record, data in segments:
+        if record.get("seq") in have:
+            report.skipped += 1
+        else:
+            pending.append((record, data))
+    outstanding: dict[int, tuple[dict, bytes]] = {}
+    resends: dict[int, int] = {}
+    backoff = nack_backoff_s
+    fatal: str | None = None
+
+    def send_one() -> None:
+        nonlocal credits
+        record, data = pending.pop(0)
+        outstanding[record["seq"]] = (record, data)
+        credits -= 1
+        report.sent += 1
+        writer.write(encode_frame(Frame(KIND_SEGMENT, record, data)))
+
+    while (pending or outstanding) and fatal is None:
+        while credits > 0 and pending:
+            send_one()
+        await writer.drain()
+        if not outstanding and pending:
+            # Shed so hard we hold nothing in flight: window is closed.
+            report.credit_stalls += 1
+        frame = await reply()
+        if frame.kind == KIND_ACK:
+            seq = frame.meta.get("seq")
+            if outstanding.pop(seq, None) is not None:
+                report.acked += 1
+            credits += int(frame.meta.get("credit", 0))
+            backoff = nack_backoff_s
+        elif frame.kind == KIND_CREDIT:
+            credits += int(frame.meta.get("credit", 0))
+        elif frame.kind == KIND_NACK:
+            reason = frame.meta.get("reason", "unknown")
+            report._count_nack(reason)
+            credits += int(frame.meta.get("credit", 0))
+            seq = frame.meta.get("seq")
+            item = outstanding.pop(seq, None) if seq is not None else None
+            if frame.meta.get("retry", False):
+                if item is not None:
+                    resends[seq] = resends.get(seq, 0) + 1
+                    if resends[seq] > max_resends_per_segment:
+                        raise fail(
+                            f"segment {seq} shed {resends[seq]} times "
+                            f"({reason}); giving up"
+                        )
+                    pending.append(item)
+                    report.resent += 1
+                # Back off before flooding again: the daemon shed us.
+                await asyncio.sleep(backoff)
+                backoff = min(backoff * 2, max_backoff_s)
+            else:
+                if seq is not None:
+                    report.rejected.append(seq)
+                if reason in ("duplicate-run", "poison-run"):
+                    fatal = reason
+        elif frame.kind == KIND_ERROR:
+            raise fail(f"aborted by daemon: {frame.meta.get('reason')}")
+        else:
+            raise ProtocolError(
+                f"unexpected {frame.kind_name} frame during push"
+            )
+
+    if fatal == "duplicate-run":
+        report.committed = True
+        report.already_committed = True
+        return report
+    if fatal is not None:
+        raise fail(f"failed: {fatal}")
+    if report.rejected:
+        # A committed run must be complete: with segments permanently
+        # refused (poison), finishing would either quarantine the whole
+        # run or commit a hole.  Leave the run open and resumable; the
+        # producer repairs and re-pushes (the daemon's have-set skips
+        # everything already sealed).
+        raise fail(
+            f"segment(s) {sorted(report.rejected)} permanently refused; "
+            "run left open for a repaired re-push"
+        )
+
+    writer.write(encode_frame(Frame(KIND_FINISH, {"run": run_id})))
+    await writer.drain()
+    while True:
+        frame = await reply()
+        if frame.kind == KIND_COMMITTED:
+            report.committed = True
+            report.committed_path = frame.meta.get("path")
+            return report
+        if frame.kind == KIND_CREDIT:
+            continue  # late watermark flush; harmless
+        if frame.kind == KIND_NACK:
+            reason = frame.meta.get("reason", "unknown")
+            report._count_nack(reason)
+            if frame.meta.get("retry", False):
+                # storage trouble server-side: the finish marker (or the
+                # re-finish) will land on a later attempt.
+                raise fail(f"daemon could not commit ({reason}); retry later")
+            raise fail(f"refused at finish: {reason}")
+        if frame.kind == KIND_ERROR:
+            raise fail(f"aborted at finish: {frame.meta.get('reason')}")
+        raise ProtocolError(
+            f"unexpected {frame.kind_name} frame while awaiting commit"
+        )
+
+
+async def open_transport(
+    addr: str,
+) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+    """Open a client connection to ``unix:<path>`` or ``host:port``."""
+    try:
+        if addr.startswith("unix:"):
+            return await asyncio.open_unix_connection(addr[len("unix:") :])
+        host, sep, port = addr.rpartition(":")
+        if not sep or not port.isdigit():
+            raise TraceError(
+                f"cannot parse daemon address {addr!r} (need unix:<path> or "
+                "host:port)"
+            )
+        return await asyncio.open_connection(host or "127.0.0.1", int(port))
+    except OSError as exc:
+        raise TraceError(
+            f"cannot connect to ingest daemon at {addr!r}: {exc}"
+        ) from exc
+
+
+async def push_source(
+    source: str | pathlib.Path,
+    run_id: str,
+    *,
+    addr: str | None = None,
+    streams: tuple | None = None,
+    options: IngestOptions | None = None,
+    reply_timeout: float = 30.0,
+) -> PushReport:
+    """Push a journal directory *or* finalized container as ``run_id``.
+
+    Exactly one of ``addr`` (a transport address) or ``streams`` (an
+    already-open reader/writer pair, e.g. from
+    :meth:`~repro.service.daemon.IngestDaemon.connect`) must be given.
+    """
+    source = pathlib.Path(source)
+    if (addr is None) == (streams is None):
+        raise TraceError("pass exactly one of addr= or streams=")
+    with tempfile.TemporaryDirectory(prefix="repro-push-") as tmp:
+        if source.is_dir():
+            jdir = source
+        else:
+            jdir = journal_from_container(source, tmp, options=options)
+        segments = iter_journal_segments(jdir)
+        if streams is not None:
+            reader, writer = streams
+        else:
+            reader, writer = await open_transport(addr)
+        try:
+            return await push_segments(
+                reader, writer, run_id, segments, reply_timeout=reply_timeout
+            )
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - transport teardown
+                pass
+
+
+def push_journal(
+    source: str | pathlib.Path,
+    run_id: str,
+    addr: str,
+    *,
+    options: IngestOptions | None = None,
+    reply_timeout: float = 30.0,
+) -> PushReport:
+    """Synchronous wrapper: push ``source`` to the daemon at ``addr``."""
+    return asyncio.run(
+        push_source(
+            source,
+            run_id,
+            addr=addr,
+            options=options,
+            reply_timeout=reply_timeout,
+        )
+    )
+
+
+__all__ = [
+    "PushReport",
+    "open_transport",
+    "push_journal",
+    "push_segments",
+    "push_source",
+]

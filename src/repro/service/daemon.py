@@ -1,0 +1,535 @@
+"""The asyncio ingestion daemon: admission control over the trace store.
+
+One single-threaded event loop runs three kinds of task:
+
+* **connection tasks** (one per producer) parse frames off the wire and
+  either answer instantly (HELLO, credit policing, shed NACKs) or place
+  work on the admission queue.  They never touch the store's write path,
+  so a producer dying mid-segment cannot corrupt anything — its torn
+  frame fails the crc and the connection is refused further input.
+* the **store task** drains the admission queue one segment at a time,
+  seals each into the run journal via
+  :meth:`~repro.service.store.TraceStore.append_segment`, and only then
+  ACKs — the ACK is a durability receipt, not a delivery receipt.
+* **compaction tasks** (one per finishing run) replay the run journal
+  into the committed container under the shard-pool supervision
+  discipline (:func:`~repro.core.shardpool.supervised_call`).
+
+Backpressure mirrors :mod:`repro.machine.overload`'s shed-don't-stall
+policy, one layer up: the admission queue is bounded, a SEGMENT that
+finds it full is NACKed immediately (never buffered, never blocked on),
+and per-producer credit windows throttle the floods before they reach
+the queue — ACKs stop granting credit above the high watermark and a
+CREDIT frame restores the withheld window once the queue drains below
+the low watermark.  Every rejection is counted by reason, so shed
+accounting is exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from dataclasses import dataclass, field
+
+from repro.core.options import IngestOptions
+from repro.core.shardpool import supervised_call
+from repro.errors import (
+    CorruptionError,
+    ProtocolError,
+    RunCommittedError,
+    StoreError,
+    TraceError,
+    TraceWriteError,
+)
+from repro.obs.instrumented import pipeline as _obs
+from repro.service.protocol import (
+    KIND_ACK,
+    KIND_COMMITTED,
+    KIND_CREDIT,
+    KIND_ERROR,
+    KIND_FINISH,
+    KIND_HELLO,
+    KIND_NACK,
+    KIND_SEGMENT,
+    KIND_WELCOME,
+    MAX_FRAME_BYTES,
+    Frame,
+    encode_frame,
+)
+from repro.service.sources import StreamSource
+from repro.service.store import TraceStore
+
+#: NACK reasons (the shed-accounting vocabulary).
+NACK_OVERLOADED = "overloaded"  # admission queue full: shed, retry later
+NACK_NO_CREDIT = "no-credit"  # producer overran its credit window
+NACK_POISON = "poison"  # segment failed validation: never retry
+NACK_DUPLICATE_RUN = "duplicate-run"  # run already committed
+NACK_POISON_RUN = "poison-run"  # run journal cannot compact
+NACK_STORAGE = "storage"  # store write failed (ENOSPC...): retry
+NACK_SHUTTING_DOWN = "shutting-down"  # daemon is draining
+
+
+@dataclass
+class DaemonConfig:
+    """Knobs of one daemon instance (all bounded-resource policy)."""
+
+    #: Admission queue capacity — the only place segments queue in RAM.
+    capacity: int = 128
+    #: Queue depth above which ACKs stop granting credit back.
+    high_watermark: int | None = None
+    #: Queue depth at or below which withheld credits are restored.
+    low_watermark: int | None = None
+    #: Per-producer credit window (max unACKed segments in flight).
+    credits: int = 8
+    #: Per-frame size ceiling enforced on every connection.
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    #: Artificial per-segment store delay (tests: a slow consumer).
+    drain_delay_s: float = 0.0
+    #: Compaction supervision (PR 2 discipline: retries + backoff).
+    compact_max_retries: int = 2
+    compact_backoff_s: float = 0.05
+    #: Ingestion knobs threaded through to the store / sources.
+    options: IngestOptions = field(default_factory=IngestOptions)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise StoreError(f"capacity must be >= 1, got {self.capacity}")
+        if self.high_watermark is None:
+            self.high_watermark = max(1, (self.capacity * 3) // 4)
+        if self.low_watermark is None:
+            self.low_watermark = self.capacity // 4
+        if not 0 <= self.low_watermark < self.high_watermark <= self.capacity:
+            raise StoreError(
+                "watermarks must satisfy 0 <= low < high <= capacity, got "
+                f"low={self.low_watermark} high={self.high_watermark} "
+                f"capacity={self.capacity}"
+            )
+        if self.credits < 1:
+            raise StoreError(f"credits must be >= 1, got {self.credits}")
+
+
+class _Conn:
+    """Per-producer connection state (owned by the event loop)."""
+
+    __slots__ = ("writer", "run", "credits", "withheld", "closed")
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self.writer = writer
+        self.run: str | None = None
+        self.credits = 0
+        self.withheld = 0
+        self.closed = False
+
+    def send(self, frame: Frame) -> None:
+        """Queue one frame for transmit (single write; no await).
+
+        Both the connection task and the store task reply on the same
+        writer; issuing exactly one ``write()`` per frame keeps the
+        byte stream frame-aligned without cross-task locking.
+        """
+        if not self.closed and not self.writer.is_closing():
+            self.writer.write(encode_frame(frame))
+
+
+class IngestDaemon:
+    """Admission control + durability receipts over a :class:`TraceStore`."""
+
+    def __init__(self, store: TraceStore, config: DaemonConfig | None = None) -> None:
+        self.store = store
+        self.config = config if config is not None else DaemonConfig()
+        self._queue: asyncio.Queue | None = None
+        self._store_task: asyncio.Task | None = None
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._compactions: dict[str, asyncio.Task] = {}
+        self._conns: set[_Conn] = set()
+        self._servers: list[asyncio.base_events.Server] = []
+        self._accepting = False
+        #: Resolves with the fatal exception if any daemon task dies
+        #: unexpectedly — the chaos harness's kill detector.
+        self.crashed: asyncio.Future | None = None
+
+    # -- lifecycle -------------------------------------------------------
+    async def start(self) -> dict[str, str]:
+        """Recover the store, then begin accepting work.
+
+        Returns the recovery actions (run id → what recovery did), so a
+        restarting operator sees exactly what the crash left behind.
+        """
+        if self._queue is not None:
+            raise StoreError("daemon already started")
+        self.crashed = asyncio.get_running_loop().create_future()
+        actions = self.store.recover_store()
+        self._queue = asyncio.Queue(maxsize=self.config.capacity)
+        self._store_task = asyncio.create_task(
+            self._store_loop(), name="ingest-store"
+        )
+        self._store_task.add_done_callback(self._task_died)
+        self._accepting = True
+        ins = _obs()
+        ins.svc_queue_capacity.set(self.config.capacity)
+        ins.svc_compaction_lag.set(len(self.store.compaction_backlog()))
+        return actions
+
+    def _task_died(self, task: asyncio.Task) -> None:
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None and self.crashed is not None and not self.crashed.done():
+            self.crashed.set_exception(exc)
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop admitting, seal what was accepted, stop.
+
+        Every segment that was ever ACKed is sealed before this returns;
+        segments still on the queue are sealed too (they were admitted).
+        In-flight compactions complete.  New SEGMENTs are NACKed
+        ``shutting-down`` from the moment this is called.
+        """
+        self._accepting = False
+        for server in self._servers:
+            server.close()
+        if self._queue is not None and self._store_task is not None:
+            if not self._store_task.done():
+                # Drain what was admitted — but a store task that dies
+                # mid-drain can never finish the join, so race them.
+                join = asyncio.ensure_future(self._queue.join())
+                await asyncio.wait(
+                    {join, self._store_task}, return_when=asyncio.FIRST_COMPLETED
+                )
+                if not join.done():
+                    join.cancel()
+            if not self._store_task.done():
+                self._store_task.cancel()
+                try:
+                    await self._store_task
+                except asyncio.CancelledError:
+                    pass
+        for task in list(self._compactions.values()):
+            try:
+                await task
+            except BaseException:
+                # A SimulatedCrash (chaos kill) is a BaseException on
+                # purpose; the crash already surfaced via self.crashed.
+                pass
+        for conn in list(self._conns):
+            conn.closed = True
+            try:
+                conn.writer.close()
+            except Exception:  # pragma: no cover - transport teardown
+                pass
+        conn_tasks = list(self._conn_tasks)
+        for task in conn_tasks:
+            task.cancel()
+        if conn_tasks:
+            await asyncio.gather(*conn_tasks, return_exceptions=True)
+        if self.crashed is not None and not self.crashed.done():
+            self.crashed.cancel()
+
+    # -- transports ------------------------------------------------------
+    async def serve_unix(self, path: str) -> None:
+        server = await asyncio.start_unix_server(self._accept, path=path)
+        self._servers.append(server)
+
+    async def serve_tcp(self, host: str, port: int) -> None:
+        server = await asyncio.start_server(self._accept, host=host, port=port)
+        self._servers.append(server)
+
+    def _accept(self, reader, writer) -> None:
+        task = asyncio.create_task(self.handle_connection(reader, writer))
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        task.add_done_callback(self._task_died)
+
+    async def connect(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """An in-process connection (tests, same-process producers).
+
+        Returns the client side of a socketpair whose server side is
+        already being served by this daemon.
+        """
+        import socket
+
+        s_client, s_server = socket.socketpair()
+        c_reader, c_writer = await asyncio.open_connection(sock=s_client)
+        s_reader, s_writer = await asyncio.open_connection(sock=s_server)
+        self._accept(s_reader, s_writer)
+        return c_reader, c_writer
+
+    # -- connection protocol ---------------------------------------------
+    async def handle_connection(self, reader, writer) -> None:
+        conn = _Conn(writer)
+        self._conns.add(conn)
+        ins = _obs()
+        ins.svc_connections.set(len(self._conns))
+        src = StreamSource(reader, max_frame_bytes=self.config.max_frame_bytes)
+        try:
+            async for frame in src:
+                await self._handle_frame(conn, frame)
+                if self._queue is not None and self._queue.full():
+                    # The producer raced ahead of the drain; yield so the
+                    # store task gets scheduled between frames.
+                    await asyncio.sleep(0)
+        except ProtocolError as exc:
+            # The stream is untrusted from here on: report and hang up.
+            conn.send(Frame(KIND_ERROR, {"reason": str(exc)}))
+            ins.svc_protocol_errors.inc()
+        except (ConnectionError, OSError):  # producer vanished mid-read
+            pass
+        finally:
+            conn.closed = True
+            self._conns.discard(conn)
+            ins.svc_connections.set(len(self._conns))
+            self._publish_credits()
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - transport teardown
+                pass
+
+    async def _handle_frame(self, conn: _Conn, frame: Frame) -> None:
+        if frame.kind == KIND_HELLO:
+            self._on_hello(conn, frame)
+        elif frame.kind == KIND_SEGMENT:
+            self._on_segment(conn, frame)
+        elif frame.kind == KIND_FINISH:
+            await self._on_finish(conn, frame)
+        else:
+            raise ProtocolError(
+                f"unexpected {frame.kind_name} frame from a producer"
+            )
+
+    def _on_hello(self, conn: _Conn, frame: Frame) -> None:
+        if conn.run is not None:
+            raise ProtocolError("second HELLO on one connection")
+        run_id = frame.meta.get("run")
+        try:
+            if self.store.committed(run_id):
+                # Idempotent success: the producer's previous push made it
+                # all the way; tell it so instead of forking the run.
+                conn.send(
+                    Frame(
+                        KIND_COMMITTED,
+                        {"run": run_id, "path": str(self.store.path_for(run_id))},
+                    )
+                )
+                return
+        except StoreError as exc:
+            conn.send(Frame(KIND_ERROR, {"reason": str(exc)}))
+            return
+        conn.run = run_id
+        conn.credits = self.config.credits
+        self._publish_credits()
+        conn.send(
+            Frame(
+                KIND_WELCOME,
+                {
+                    "credits": conn.credits,
+                    "have": sorted(self.store.sealed_seqs(run_id)),
+                },
+            )
+        )
+
+    def _on_segment(self, conn: _Conn, frame: Frame) -> None:
+        if conn.run is None:
+            raise ProtocolError("SEGMENT before HELLO")
+        seq = frame.meta.get("seq")
+        ins = _obs()
+        if not self._accepting:
+            # credit=1: the daemon never consumed the credit the client
+            # spent to send this frame — hand it straight back so the
+            # client's window stays whole (the daemon's ledger is
+            # untouched; both sides net out even).
+            self._nack(conn, seq, NACK_SHUTTING_DOWN, retry=True, credit=1)
+            return
+        if conn.credits <= 0:
+            # Credit overrun: the producer is flooding past its window.
+            # credit=0 — by this ledger the client had nothing to spend,
+            # and a compliant client never reaches this branch.
+            self._nack(conn, seq, NACK_NO_CREDIT, retry=True, credit=0)
+            return
+        try:
+            self._queue.put_nowait((conn, frame))
+        except asyncio.QueueFull:
+            # Shed, don't stall: the segment is rejected *now* with the
+            # credit intact, exactly like overload.py sheds a PEBS fill
+            # rather than blocking the core.
+            self._nack(conn, seq, NACK_OVERLOADED, retry=True, credit=1)
+            return
+        conn.credits -= 1
+        self._publish_credits()
+        ins.svc_queue_depth.set(self._queue.qsize())
+
+    async def _on_finish(self, conn: _Conn, frame: Frame) -> None:
+        if conn.run is None:
+            raise ProtocolError("FINISH before HELLO")
+        # FINISH rides the queue so it orders behind this producer's
+        # admitted segments.  It is exempt from credits and from shedding
+        # (it carries no payload to shed) — an awaited put is a bounded
+        # wait, since the store task is the consumer.
+        await self._queue.put((conn, frame))
+
+    def _nack(
+        self, conn: _Conn, seq, reason: str, *, retry: bool, credit: int
+    ) -> None:
+        meta = {"reason": reason, "retry": retry, "credit": credit}
+        if seq is not None:
+            meta["seq"] = seq
+        conn.send(Frame(KIND_NACK, meta))
+        _obs().svc_nacks(reason).inc()
+
+    def _publish_credits(self) -> None:
+        _obs().svc_credits_outstanding.set(
+            sum(c.credits for c in self._conns if c.run is not None)
+        )
+
+    # -- the store task --------------------------------------------------
+    async def _store_loop(self) -> None:
+        while True:
+            conn, frame = await self._queue.get()
+            try:
+                if self.config.drain_delay_s:
+                    await asyncio.sleep(self.config.drain_delay_s)
+                if frame.kind == KIND_SEGMENT:
+                    self._admit(conn, frame)
+                else:  # FINISH
+                    self._finish(conn, frame)
+            finally:
+                self._queue.task_done()
+            ins = _obs()
+            ins.svc_queue_depth.set(self._queue.qsize())
+            if self._queue.qsize() <= self.config.low_watermark:
+                self._flush_credits()
+
+    def _admit(self, conn: _Conn, frame: Frame) -> None:
+        """Seal one admitted segment; the ACK is the durability receipt."""
+        run_id = conn.run
+        seq = frame.meta.get("seq")
+        ins = _obs()
+        try:
+            fresh = self.store.append_segment(run_id, frame.meta, frame.body)
+        except CorruptionError as exc:
+            # Poison shard: preserve the bytes for forensics, refuse the
+            # segment permanently.  The journal was never touched.
+            self.store.quarantine_segment(run_id, seq, frame.body, str(exc))
+            self._return_credit(conn)
+            self._nack(conn, seq, NACK_POISON, retry=False, credit=1)
+            return
+        except RunCommittedError:
+            self._return_credit(conn)
+            self._nack(conn, seq, NACK_DUPLICATE_RUN, retry=False, credit=1)
+            return
+        except TraceWriteError:
+            # Storage failed (ENOSPC, EIO).  The seal discipline leaves at
+            # most a tmp/renamed orphan which a resend overwrites; degrade
+            # to NACK so the producer backs off and retries.
+            ins.svc_storage_errors.inc()
+            self._return_credit(conn)
+            self._nack(conn, seq, NACK_STORAGE, retry=True, credit=1)
+            return
+        if fresh:
+            ins.svc_segments_admitted.inc()
+        else:
+            ins.svc_segments_deduped.inc()
+        self._ack(conn, seq)
+
+    def _ack(self, conn: _Conn, seq) -> None:
+        """ACK a sealed segment, granting the credit back — unless the
+        queue is above the high watermark, in which case it is withheld
+        until :meth:`_flush_credits` sees the queue drain."""
+        if self._queue.qsize() >= self.config.high_watermark:
+            credit = 0
+            conn.withheld += 1
+        else:
+            credit = 1
+            conn.credits += 1
+        conn.send(Frame(KIND_ACK, {"seq": seq, "credit": credit}))
+        self._publish_credits()
+
+    def _return_credit(self, conn: _Conn) -> None:
+        """A consumed credit comes straight back on segment-level NACKs
+        (the matching NACK frame carries ``credit: 1`` for the client's
+        window) — a rejected segment must not shrink the window."""
+        conn.credits += 1
+        self._publish_credits()
+
+    def _flush_credits(self) -> None:
+        """Below the low watermark: restore every withheld credit."""
+        for conn in self._conns:
+            if conn.withheld > 0 and not conn.closed:
+                conn.credits += conn.withheld
+                conn.send(Frame(KIND_CREDIT, {"credit": conn.withheld}))
+                conn.withheld = 0
+        self._publish_credits()
+
+    def _finish(self, conn: _Conn, frame: Frame) -> None:
+        run_id = conn.run
+        ins = _obs()
+        try:
+            self.store.finish_run(run_id)
+        except RunCommittedError:
+            self._nack(conn, None, NACK_DUPLICATE_RUN, retry=False, credit=0)
+            return
+        except StoreError as exc:
+            conn.send(Frame(KIND_ERROR, {"reason": str(exc)}))
+            return
+        except TraceWriteError:
+            ins.svc_storage_errors.inc()
+            self._nack(conn, None, NACK_STORAGE, retry=True, credit=0)
+            return
+        if run_id not in self._compactions:
+            task = asyncio.create_task(
+                self._compact(conn, run_id), name=f"compact-{run_id}"
+            )
+            self._compactions[run_id] = task
+            task.add_done_callback(self._task_died)
+            ins.svc_compaction_lag.set(len(self._compactions))
+
+    async def _compact(self, conn: _Conn, run_id: str) -> None:
+        """Supervised compaction of one finished run."""
+        cfg = self.config
+        ins = _obs()
+        loop = asyncio.get_running_loop()
+        t0 = loop.time()
+        try:
+            out = supervised_call(
+                functools.partial(self.store.compact_run, run_id),
+                max_retries=cfg.compact_max_retries,
+                retry_backoff_s=cfg.compact_backoff_s,
+                label=f"compaction of run {run_id}",
+            )
+        except (CorruptionError, StoreError) as exc:
+            # Deterministic failure: the journal itself is bad.  Get it
+            # out of the ingest path; the bytes survive for forensics.
+            self.store.quarantine_run(run_id, str(exc))
+            ins.svc_runs_quarantined.inc()
+            self._nack(conn, None, NACK_POISON_RUN, retry=False, credit=0)
+            return
+        except TraceWriteError:
+            # Storage trouble (ENOSPC): the finish marker is durable, so
+            # the *next* startup recovery compacts this run — defer, do
+            # not quarantine a good journal for a full disk.
+            ins.svc_storage_errors.inc()
+            self._nack(conn, None, NACK_STORAGE, retry=True, credit=0)
+            return
+        finally:
+            self._compactions.pop(run_id, None)
+            ins.svc_compaction_lag.set(len(self._compactions))
+        ins.svc_runs_committed.inc()
+        ins.svc_compaction_seconds.observe(loop.time() - t0)
+        conn.send(
+            Frame(
+                KIND_COMMITTED,
+                {"run": run_id, "path": str(out)},
+            )
+        )
+
+
+__all__ = [
+    "DaemonConfig",
+    "IngestDaemon",
+    "NACK_OVERLOADED",
+    "NACK_NO_CREDIT",
+    "NACK_POISON",
+    "NACK_POISON_RUN",
+    "NACK_DUPLICATE_RUN",
+    "NACK_STORAGE",
+    "NACK_SHUTTING_DOWN",
+]

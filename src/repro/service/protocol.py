@@ -1,0 +1,243 @@
+"""The framed shard protocol: segments on the wire, checked whole.
+
+One frame is::
+
+    +----+---+----+---------+-------+ +---------+------+-----------+
+    | RS | v | k  | paylen  | crc32 | | metalen | meta |   body    |
+    +----+---+----+---------+-------+ +---------+------+-----------+
+      2b  1b  1b     4b        4b        4b       JSON    raw bytes
+    `------------ header ----------'  `--------- payload ---------'
+
+The crc32 covers the header prefix (magic, version, kind, paylen) *and*
+the payload — a bit flip in the kind byte must not silently retype a
+frame — so truncation, bit flips, and torn writes all fail the same
+structural test and raise the same typed
+:class:`~repro.errors.ProtocolError` — a frame is accepted whole or
+rejected whole, never partially decoded.  ``meta`` is a JSON object (for
+a SEGMENT frame it *is* the sealed-segment journal record from
+:mod:`repro.core.durable`); ``body`` carries the raw npz bytes.
+
+The framing is transport-agnostic: :func:`encode_frame` /
+:func:`decode_frame` work on ``bytes``, and :class:`FrameDecoder` turns
+any chunked byte stream (socket reads, file slices, queue items) into
+whole frames.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import ProtocolError
+
+#: First bytes of every frame ("Repro Shard").
+MAGIC = b"RS"
+
+#: Wire format version; bumped on any incompatible framing change.
+PROTOCOL_VERSION = 1
+
+#: Hard ceiling on one frame's payload.  A segment is a bounded chunk
+#: (~1.5 MB of raw columns at the default chunk size), so anything near
+#: this limit is a corrupt length field, not a real segment — rejecting
+#: it here is what makes a bit-flipped length harmless instead of an
+#: attempted multi-gigabyte allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">2sBBII")
+#: The crc-protected leading fields of the header (everything but crc).
+_PREFIX = struct.Struct(">2sBBI")
+_META_LEN = struct.Struct(">I")
+
+# Frame kinds.  Client → daemon: HELLO, SEGMENT, FINISH.  Daemon →
+# client: WELCOME, ACK, NACK, CREDIT, COMMITTED, ERROR.
+KIND_HELLO = 1
+KIND_WELCOME = 2
+KIND_SEGMENT = 3
+KIND_ACK = 4
+KIND_NACK = 5
+KIND_CREDIT = 6
+KIND_FINISH = 7
+KIND_COMMITTED = 8
+KIND_ERROR = 9
+
+KIND_NAMES = {
+    KIND_HELLO: "HELLO",
+    KIND_WELCOME: "WELCOME",
+    KIND_SEGMENT: "SEGMENT",
+    KIND_ACK: "ACK",
+    KIND_NACK: "NACK",
+    KIND_CREDIT: "CREDIT",
+    KIND_FINISH: "FINISH",
+    KIND_COMMITTED: "COMMITTED",
+    KIND_ERROR: "ERROR",
+}
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    kind: int
+    meta: dict = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def kind_name(self) -> str:
+        return KIND_NAMES.get(self.kind, f"kind-{self.kind}")
+
+
+def encode_frame(frame: Frame, *, max_frame_bytes: int = MAX_FRAME_BYTES) -> bytes:
+    """Serialize a frame; raises :class:`ProtocolError` on bad input."""
+    if frame.kind not in KIND_NAMES:
+        raise ProtocolError(f"cannot encode unknown frame kind {frame.kind}")
+    try:
+        meta = json.dumps(frame.meta, separators=(",", ":")).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"frame meta is not JSON-serializable: {exc}") from exc
+    payload = _META_LEN.pack(len(meta)) + meta + frame.body
+    if len(payload) > max_frame_bytes:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit"
+        )
+    prefix = _PREFIX.pack(MAGIC, PROTOCOL_VERSION, frame.kind, len(payload))
+    crc = zlib.crc32(payload, zlib.crc32(prefix))
+    return prefix + struct.pack(">I", crc) + payload
+
+
+def _decode_payload(kind: int, payload: bytes) -> Frame:
+    if len(payload) < _META_LEN.size:
+        raise ProtocolError("frame payload shorter than its meta-length prefix")
+    (meta_len,) = _META_LEN.unpack_from(payload)
+    if meta_len > len(payload) - _META_LEN.size:
+        raise ProtocolError(
+            f"frame meta length {meta_len} exceeds payload "
+            f"({len(payload) - _META_LEN.size} bytes after prefix)"
+        )
+    raw_meta = payload[_META_LEN.size : _META_LEN.size + meta_len]
+    try:
+        meta = json.loads(raw_meta.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"frame meta is not valid JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError(
+            f"frame meta must be a JSON object, got {type(meta).__name__}"
+        )
+    return Frame(kind=kind, meta=meta, body=payload[_META_LEN.size + meta_len :])
+
+
+def _check_header(data: bytes) -> tuple[int, int, int]:
+    """Validate a frame header; returns (kind, payload_len, crc32)."""
+    magic, version, kind, paylen, crc = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported protocol version {version} (speaking {PROTOCOL_VERSION})"
+        )
+    if kind not in KIND_NAMES:
+        raise ProtocolError(f"unknown frame kind {kind}")
+    if paylen > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame payload length {paylen} exceeds the {MAX_FRAME_BYTES}-byte limit"
+        )
+    if paylen < _META_LEN.size:
+        raise ProtocolError("frame payload shorter than its meta-length prefix")
+    return kind, paylen, crc
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Decode exactly one frame occupying all of ``data``."""
+    if len(data) < _HEADER.size:
+        raise ProtocolError(
+            f"truncated frame: {len(data)} bytes, header needs {_HEADER.size}"
+        )
+    kind, paylen, crc = _check_header(data)
+    payload = data[_HEADER.size :]
+    if len(payload) != paylen:
+        raise ProtocolError(
+            f"truncated frame: header announces {paylen} payload bytes, "
+            f"got {len(payload)}"
+        )
+    if zlib.crc32(payload, zlib.crc32(data[: _PREFIX.size])) != crc:
+        raise ProtocolError("frame failed its crc32 check")
+    return _decode_payload(kind, payload)
+
+
+class FrameDecoder:
+    """Incremental decoder: arbitrary byte chunks in, whole frames out.
+
+    Feed it whatever the transport delivers; it buffers across frame
+    boundaries and yields each frame only once fully received and
+    crc-verified.  Any structural violation raises
+    :class:`ProtocolError` immediately — after that the stream is
+    untrusted and the decoder refuses further input.
+    """
+
+    def __init__(self, max_frame_bytes: int = MAX_FRAME_BYTES) -> None:
+        self._buf = bytearray()
+        self._max = max_frame_bytes
+        self._poisoned = False
+
+    @property
+    def buffered_bytes(self) -> int:
+        return len(self._buf)
+
+    def feed(self, data: bytes) -> list[Frame]:
+        """Absorb ``data``; return every frame completed by it."""
+        if self._poisoned:
+            raise ProtocolError("decoder already rejected this stream")
+        self._buf.extend(data)
+        frames: list[Frame] = []
+        try:
+            while len(self._buf) >= _HEADER.size:
+                kind, paylen, crc = _check_header(bytes(self._buf[: _HEADER.size]))
+                if paylen > self._max:
+                    raise ProtocolError(
+                        f"frame payload length {paylen} exceeds this decoder's "
+                        f"{self._max}-byte limit"
+                    )
+                total = _HEADER.size + paylen
+                if len(self._buf) < total:
+                    break
+                payload = bytes(self._buf[_HEADER.size : total])
+                prefix_crc = zlib.crc32(bytes(self._buf[: _PREFIX.size]))
+                if zlib.crc32(payload, prefix_crc) != crc:
+                    raise ProtocolError("frame failed its crc32 check")
+                frames.append(_decode_payload(kind, payload))
+                del self._buf[:total]
+        except ProtocolError:
+            self._poisoned = True
+            raise
+        return frames
+
+    def finish(self) -> None:
+        """Declare end-of-stream; trailing partial bytes are an error."""
+        if self._buf:
+            self._poisoned = True
+            raise ProtocolError(
+                f"stream ended mid-frame with {len(self._buf)} undecoded byte(s)"
+            )
+
+
+__all__ = [
+    "Frame",
+    "FrameDecoder",
+    "decode_frame",
+    "encode_frame",
+    "MAGIC",
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "KIND_HELLO",
+    "KIND_WELCOME",
+    "KIND_SEGMENT",
+    "KIND_ACK",
+    "KIND_NACK",
+    "KIND_CREDIT",
+    "KIND_FINISH",
+    "KIND_COMMITTED",
+    "KIND_ERROR",
+    "KIND_NAMES",
+]

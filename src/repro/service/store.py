@@ -1,0 +1,522 @@
+"""Crash-safe multi-run trace store behind the ingestion daemon.
+
+Layout under the store root::
+
+    catalog.jsonl                  append-only commit log (fsync'd)
+    runs/<run-id>/journal/         PR 5 journal dir while the run is open
+    runs/<run-id>/trace.npz        compacted v3 container once committed
+    quarantine/<run-id>/           journals compaction refused (poison)
+
+Durability is two nested commit points, both inherited from
+:mod:`repro.core.durable`:
+
+* **Segment commit** — a pushed segment is validated against its own
+  crc *before* anything touches disk, then sealed with the exact
+  write→fsync→rename→fsync(dir)→journal-append→fsync discipline of
+  :class:`~repro.core.durable.DurableTraceWriter`.  The daemon ACKs only
+  after this returns, so *ACKed ⊆ journal-sealed*: a kill at any instant
+  loses at most a segment that was never acknowledged.
+* **Run commit** — compaction replays the run's journal through
+  :func:`~repro.core.durable.recover` (atomic temp + rename) and then
+  appends one fsync'd line to ``catalog.jsonl``.  The catalog line is
+  when the run becomes visible to ``repro diff``; a crash anywhere
+  before it re-runs compaction idempotently on the next start, a crash
+  after it only re-deletes the leftover journal.
+
+Every syscall the store issues goes through the swappable
+:class:`~repro.core.durable.RecorderIO`, so the chaos suite can
+enumerate and kill at every single operation offset.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import json
+import pathlib
+import re
+
+import numpy as np
+
+from repro.core.durable import (
+    KIND_SEG_MANIFEST,
+    KIND_SEG_META,
+    KIND_SEG_SAMPLES,
+    KIND_SEG_SWITCH,
+    RecorderIO,
+    _seg_name,
+    read_journal,
+    recover,
+)
+from repro.core.integrity import POLICY_STRICT, member_crc
+from repro.core.options import IngestOptions
+from repro.core.tracefile import _READ_ERRORS
+from repro.errors import (
+    CorruptionError,
+    RecoveryError,
+    RunCommittedError,
+    StoreError,
+    TraceWriteError,
+)
+from repro.obs.instrumented import pipeline as _obs
+
+_JOURNAL_FILE = "journal.jsonl"
+_CATALOG_FILE = "catalog.jsonl"
+_SEG_HEADER = "seg_json"
+_SEG_KINDS = (KIND_SEG_MANIFEST, KIND_SEG_SAMPLES, KIND_SEG_SWITCH, KIND_SEG_META)
+
+#: Run ids become directory names; this shape excludes separators,
+#: dotfiles, and anything a shell or URL would mangle.
+RUN_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def check_run_id(run_id: str) -> str:
+    if not isinstance(run_id, str) or not RUN_ID_RE.match(run_id):
+        raise StoreError(
+            f"invalid run id {run_id!r} (need 1-64 chars of [A-Za-z0-9._-], "
+            "not starting with a separator or dot)"
+        )
+    return run_id
+
+
+def _crc_signature(record: dict) -> str:
+    """A segment's identity for idempotence: its member crcs, canonical."""
+    return json.dumps(record.get("crc") or {}, sort_keys=True)
+
+
+def validate_segment(record: dict, data: bytes) -> None:
+    """Admission check: the bytes must prove the record's claims.
+
+    Raises :class:`~repro.errors.CorruptionError` (the poison-shard
+    path) on any mismatch; nothing is written before this passes, so a
+    poison segment can never enter a run journal.
+    """
+    if not isinstance(record, dict) or record.get("op") != "seal":
+        raise CorruptionError("segment record is not a seal record")
+    seq = record.get("seq")
+    if not isinstance(seq, int) or seq < 0:
+        raise CorruptionError(f"segment record has invalid seq {seq!r}")
+    if record.get("kind") not in _SEG_KINDS:
+        raise CorruptionError(
+            f"segment record has unknown kind {record.get('kind')!r}"
+        )
+    if record.get("file") != _seg_name(seq):
+        # Also forecloses path traversal: the stored name is derived,
+        # never taken from the wire.
+        raise CorruptionError(
+            f"segment record file {record.get('file')!r} does not match "
+            f"its seq (expected {_seg_name(seq)})"
+        )
+    crc = record.get("crc")
+    if not isinstance(crc, dict) or not crc:
+        raise CorruptionError("segment record carries no member crcs")
+    try:
+        with np.load(_io.BytesIO(data), allow_pickle=False) as npz:
+            arrays = {k: npz[k] for k in npz.files if k != _SEG_HEADER}
+    except _READ_ERRORS as exc:
+        raise CorruptionError(f"segment bytes are not a loadable npz: {exc}") from exc
+    bad = [
+        name
+        for name, want in crc.items()
+        if name not in arrays or member_crc(arrays[name]) != int(want)
+    ]
+    if bad:
+        raise CorruptionError(
+            f"segment {record['file']}: crc32 mismatch in {', '.join(sorted(bad))}"
+        )
+
+
+class TraceStore:
+    """The daemon's durable state: per-run journals + commit catalog."""
+
+    def __init__(
+        self,
+        root: str | pathlib.Path,
+        *,
+        io: RecorderIO | None = None,
+        options: IngestOptions | None = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.options = options if options is not None else IngestOptions()
+        self._io = io if io is not None else RecorderIO()
+        self._catalog = self.root / _CATALOG_FILE
+        #: run id -> {seq: crc signature} for every open run journal,
+        #: loaded lazily; the dedupe map behind idempotent re-push.
+        self._seals: dict[str, dict[int, str]] = {}
+        self._committed: dict[str, dict] | None = None
+        try:
+            self._io.makedirs(self.root / "runs")
+            self._io.makedirs(self.root / "quarantine")
+        except OSError as exc:
+            raise TraceWriteError(f"cannot create store at {self.root}: {exc}") from exc
+
+    # -- paths -----------------------------------------------------------
+    def run_dir(self, run_id: str) -> pathlib.Path:
+        return self.root / "runs" / check_run_id(run_id)
+
+    def journal_dir(self, run_id: str) -> pathlib.Path:
+        return self.run_dir(run_id) / "journal"
+
+    def container_path(self, run_id: str) -> pathlib.Path:
+        return self.run_dir(run_id) / "trace.npz"
+
+    # -- catalog ---------------------------------------------------------
+    def _read_catalog(self) -> tuple[dict[str, dict], bool]:
+        """Parse the catalog; returns (entries, torn_tail)."""
+        try:
+            raw = self._catalog.read_bytes()
+        except FileNotFoundError:
+            return {}, False
+        except OSError as exc:
+            raise StoreError(f"cannot read catalog {self._catalog}: {exc}") from exc
+        entries: dict[str, dict] = {}
+        torn = False
+        for line in raw.split(b"\n"):
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line.decode("utf-8"))
+                if not isinstance(rec, dict) or "run" not in rec:
+                    raise ValueError("not a catalog record")
+            except (ValueError, UnicodeDecodeError):
+                # A torn tail is the expected shape of a crash mid-append;
+                # recovery rewrites the file before appending again.
+                torn = True
+                break
+            entries.setdefault(rec["run"], rec)
+        return entries, torn
+
+    def catalog(self) -> dict[str, dict]:
+        """Committed runs (cached; invalidated by commits/recovery)."""
+        if self._committed is None:
+            self._committed, _ = self._read_catalog()
+        return self._committed
+
+    def committed(self, run_id: str) -> bool:
+        return check_run_id(run_id) in self.catalog()
+
+    def runs(self) -> list[str]:
+        """Every committed run id, in commit order."""
+        return list(self.catalog())
+
+    def path_for(self, run_id: str) -> pathlib.Path:
+        """The committed container for ``run_id`` (for ``repro diff``)."""
+        if not self.committed(run_id):
+            known = ", ".join(self.runs()) or "(none)"
+            raise StoreError(
+                f"run {run_id!r} is not committed in {self.root} "
+                f"(committed runs: {known})"
+            )
+        return self.container_path(run_id)
+
+    def _append_catalog(self, entry: dict) -> None:
+        line = (json.dumps(entry, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            self._io.append_bytes(self._catalog, line)
+            self._io.fsync_path(self._catalog)
+        except OSError as exc:
+            raise TraceWriteError(
+                f"cannot commit run to catalog {self._catalog}: {exc}"
+            ) from exc
+        if self._committed is not None:
+            self._committed.setdefault(entry["run"], entry)
+
+    def _rewrite_catalog(self, entries: dict[str, dict]) -> None:
+        """Atomically rewrite a catalog whose tail was torn by a crash.
+
+        Appending after a torn (newline-less) tail would fuse two records
+        into one unparsable line, so recovery compacts first.
+        """
+        tmp = self._catalog.with_name(_CATALOG_FILE + ".tmp")
+        data = "".join(
+            json.dumps(e, sort_keys=True) + "\n" for e in entries.values()
+        ).encode("utf-8")
+        try:
+            self._io.write_bytes(tmp, data)
+            self._io.fsync_path(tmp)
+            self._io.replace(tmp, self._catalog)
+            self._io.fsync_dir(self.root)
+        except OSError as exc:
+            raise TraceWriteError(
+                f"cannot rewrite torn catalog {self._catalog}: {exc}"
+            ) from exc
+        self._committed = dict(entries)
+
+    # -- segment admission ----------------------------------------------
+    def _load_seals(self, run_id: str) -> dict[int, str]:
+        if run_id not in self._seals:
+            records, _torn = read_journal(self.journal_dir(run_id))
+            self._seals[run_id] = {
+                r["seq"]: _crc_signature(r)
+                for r in records
+                if r.get("op") == "seal" and isinstance(r.get("seq"), int)
+            }
+        return self._seals[run_id]
+
+    def sealed_seqs(self, run_id: str) -> set[int]:
+        """Seqs already durably sealed for an open run (resume hint)."""
+        if self.committed(run_id):
+            return set()
+        if not self.journal_dir(run_id).is_dir():
+            return set()
+        return set(self._load_seals(run_id))
+
+    def finished(self, run_id: str) -> bool:
+        """True once the run journal carries its finish marker."""
+        records, _ = read_journal(self.journal_dir(run_id))
+        return any(r.get("op") == "finalize" for r in records)
+
+    def append_segment(self, run_id: str, record: dict, data: bytes) -> bool:
+        """Validate + durably seal one pushed segment.
+
+        Returns ``True`` when the segment was newly sealed, ``False``
+        for an idempotent duplicate (same seq, same crcs — the resend
+        after a lost ACK).  Raises :class:`CorruptionError` for poison
+        (bytes failing their own crcs, or a seq resent with *different*
+        content) and :class:`RunCommittedError` when the run is already
+        visible to ``diff`` — accepting more would fork it.
+        """
+        check_run_id(run_id)
+        if self.committed(run_id):
+            raise RunCommittedError(
+                f"run {run_id!r} is already committed; a re-push would "
+                "create a duplicate run"
+            )
+        validate_segment(record, data)
+        seals = self._load_seals(run_id)
+        seq = record["seq"]
+        sig = _crc_signature(record)
+        if seq in seals:
+            if seals[seq] != sig:
+                raise CorruptionError(
+                    f"run {run_id!r} seq {seq} resent with different content "
+                    "(conflicting producer or corrupted resend)"
+                )
+            return False
+        jdir = self.journal_dir(run_id)
+        final = jdir / record["file"]
+        tmp = jdir / (record["file"] + ".tmp")
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        ins = _obs()
+        try:
+            self._io.makedirs(jdir)
+            self._io.write_bytes(tmp, data)
+            self._io.fsync_path(tmp)
+            self._io.replace(tmp, final)
+            self._io.fsync_dir(jdir)
+            self._io.append_bytes(jdir / _JOURNAL_FILE, line)
+            self._io.fsync_path(jdir / _JOURNAL_FILE)
+        except OSError as exc:
+            raise TraceWriteError(
+                f"store {self.root}: sealing {run_id}/{record['file']} "
+                f"failed: {exc}"
+            ) from exc
+        seals[seq] = sig
+        ins.segments_sealed.inc()
+        ins.journal_fsyncs.inc()
+        ins.journal_bytes.inc(len(data) + len(line))
+        return True
+
+    # -- run completion --------------------------------------------------
+    def finish_run(self, run_id: str) -> None:
+        """Durably mark a run complete (the producer sent FINISH).
+
+        After this line lands, startup recovery knows the run must be
+        compacted even if the daemon dies before compaction starts.
+        Idempotent; raises :class:`RunCommittedError` once committed.
+        """
+        check_run_id(run_id)
+        if self.committed(run_id):
+            raise RunCommittedError(f"run {run_id!r} is already committed")
+        jdir = self.journal_dir(run_id)
+        if not jdir.is_dir():
+            raise StoreError(f"run {run_id!r} has no journal to finish")
+        if self.finished(run_id):
+            return
+        line = (
+            json.dumps({"op": "finalize", "out": str(self.container_path(run_id))})
+            + "\n"
+        ).encode("utf-8")
+        try:
+            self._io.append_bytes(jdir / _JOURNAL_FILE, line)
+            self._io.fsync_path(jdir / _JOURNAL_FILE)
+        except OSError as exc:
+            raise TraceWriteError(
+                f"store {self.root}: finishing run {run_id!r} failed: {exc}"
+            ) from exc
+        _obs().journal_fsyncs.inc()
+
+    def compact_run(self, run_id: str) -> pathlib.Path:
+        """Replay a finished run's journal into its committed container.
+
+        Strict replay — every sealed segment was validated at admission,
+        so a segment failing now means the store's own disk corrupted it,
+        which must surface, not be salvaged silently.  Idempotent at
+        every crash point: recover() writes atomically, the catalog
+        append dedupes, and the journal removal is last.
+        """
+        check_run_id(run_id)
+        if self.committed(run_id):
+            # Crash landed between catalog append and journal cleanup.
+            self._io.rmtree(self.journal_dir(run_id))
+            return self.container_path(run_id)
+        jdir = self.journal_dir(run_id)
+        out = self.container_path(run_id)
+        try:
+            report = recover(jdir, out=out, policy=POLICY_STRICT, _finalizing=True)
+        except RecoveryError as exc:
+            raise StoreError(
+                f"run {run_id!r} cannot be compacted: {exc}"
+            ) from exc
+        self._append_catalog(
+            {
+                "run": run_id,
+                "file": str(out.relative_to(self.root)),
+                "segments": report.segments_recovered,
+                "samples": report.samples_recovered,
+                "marks": report.marks_recovered,
+            }
+        )
+        self._io.rmtree(jdir)
+        self._seals.pop(run_id, None)
+        return out
+
+    def quarantine_segment(
+        self, run_id: str, seq, data: bytes, reason: str
+    ) -> pathlib.Path:
+        """Preserve a poison segment's bytes for forensics.
+
+        The segment never entered the run journal (validation rejected
+        it before any write), so this is pure evidence capture — the run
+        itself stays healthy.  Best-effort durability: no fsync chain, a
+        crash may lose the evidence but never store state.
+        """
+        check_run_id(run_id)
+        tag = f"{seq:06d}" if isinstance(seq, int) and seq >= 0 else "unknown"
+        dest = self.root / "quarantine" / f"{run_id}.seg-{tag}.npz"
+        try:
+            self._io.makedirs(dest.parent)
+            self._io.write_bytes(dest, data)
+            self._io.write_bytes(
+                dest.with_suffix(".reason"), (reason + "\n").encode("utf-8")
+            )
+        except OSError as exc:
+            raise TraceWriteError(
+                f"store {self.root}: quarantining segment {seq} of run "
+                f"{run_id!r} failed: {exc}"
+            ) from exc
+        return dest
+
+    def quarantine_run(self, run_id: str, reason: str) -> pathlib.Path:
+        """Move a poisoned run's journal out of the ingest path.
+
+        The bytes are preserved for forensics; the run can never commit.
+        """
+        check_run_id(run_id)
+        qdir = self.root / "quarantine" / run_id
+        jdir = self.journal_dir(run_id)
+        try:
+            self._io.makedirs(qdir.parent)
+            if jdir.is_dir():
+                self._io.rmtree(qdir)
+                self._io.replace(jdir, qdir)
+            self._io.write_bytes(
+                qdir.parent / f"{run_id}.reason",
+                (reason + "\n").encode("utf-8"),
+            )
+        except OSError as exc:
+            raise TraceWriteError(
+                f"store {self.root}: quarantining run {run_id!r} failed: {exc}"
+            ) from exc
+        self._seals.pop(run_id, None)
+        return qdir
+
+    # -- startup recovery ------------------------------------------------
+    def open_runs(self) -> list[str]:
+        """Uncommitted runs that still hold a journal (resumable)."""
+        out = []
+        runs_dir = self.root / "runs"
+        if runs_dir.is_dir():
+            for d in sorted(runs_dir.iterdir()):
+                if (d / "journal").is_dir() and d.name not in self.catalog():
+                    out.append(d.name)
+        return out
+
+    def compaction_backlog(self) -> list[str]:
+        """Finished-but-uncommitted runs (what recovery must compact)."""
+        return [r for r in self.open_runs() if self.finished(r)]
+
+    def recover_store(self) -> dict[str, str]:
+        """Idempotent startup replay; returns {run_id: action} taken.
+
+        Rules, in order, for every run directory found on disk:
+
+        * catalog says committed → the journal (if any survives) is a
+          leftover of a crash after the commit point: delete it;
+        * journal carries the finish marker → the producer was done:
+          compact and commit now;
+        * otherwise → an open run; leave the journal for the producer to
+          resume (stray ``.tmp`` files are pre-rename garbage and are
+          swept).
+        """
+        self._seals.clear()
+        self._committed = None
+        entries, torn = self._read_catalog()
+        if torn:
+            self._rewrite_catalog(entries)
+        self._committed = entries
+        actions: dict[str, str] = {}
+        runs_dir = self.root / "runs"
+        if not runs_dir.is_dir():
+            return actions
+        for d in sorted(runs_dir.iterdir()):
+            run_id = d.name
+            if not RUN_ID_RE.match(run_id):
+                continue
+            jdir = d / "journal"
+            if run_id in entries:
+                if jdir.is_dir():
+                    self._io.rmtree(jdir)
+                    actions[run_id] = "cleaned"
+                continue
+            if not jdir.is_dir():
+                continue
+            if self.finished(run_id):
+                try:
+                    self.compact_run(run_id)
+                    actions[run_id] = "compacted"
+                except (StoreError, CorruptionError) as exc:
+                    self.quarantine_run(run_id, str(exc))
+                    actions[run_id] = "quarantined"
+            else:
+                for tmp in jdir.glob("*.tmp"):
+                    try:
+                        tmp.unlink()
+                    except OSError:  # pragma: no cover - best-effort sweep
+                        pass
+                records, torn = read_journal(jdir)
+                if torn:
+                    # The run will be appended to when its producer
+                    # resumes; appending after a newline-less torn tail
+                    # would fuse two records, so compact the log now.
+                    self._rewrite_journal(jdir, records)
+                actions[run_id] = "resumable"
+        return actions
+
+    def _rewrite_journal(self, jdir: pathlib.Path, records: list[dict]) -> None:
+        jpath = jdir / _JOURNAL_FILE
+        tmp = jdir / (_JOURNAL_FILE + ".tmp")
+        data = "".join(json.dumps(r, sort_keys=True) + "\n" for r in records).encode(
+            "utf-8"
+        )
+        try:
+            self._io.write_bytes(tmp, data)
+            self._io.fsync_path(tmp)
+            self._io.replace(tmp, jpath)
+            self._io.fsync_dir(jdir)
+        except OSError as exc:
+            raise TraceWriteError(
+                f"cannot rewrite torn journal {jpath}: {exc}"
+            ) from exc
+
+
+__all__ = ["TraceStore", "check_run_id", "validate_segment", "RUN_ID_RE"]

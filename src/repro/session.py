@@ -16,10 +16,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol
 
-from repro.core.hybrid import HybridTrace, integrate
+from repro.core.hybrid import HybridTrace, integrate, integrate_degraded
 from repro.core.instrument import MarkingTracer
 from repro.core.symbols import SymbolTable
-from repro.errors import ConfigError, TraceWriteError
+from repro.errors import ConfigError, SignalInterrupt, TraceWriteError
 from repro.machine.config import SKYLAKE_LIKE, MachineSpec
 from repro.machine.events import HWEvent
 from repro.machine.machine import Machine
@@ -191,6 +191,11 @@ class TraceSession:
     #: finalize() report of a durable capture (None when not durable, or
     #: when finalize itself failed — see ``watchdog.write_errors``).
     recovery_report: object | None = None
+    #: Signal number that cut the run short, or None for a full run.  An
+    #: interrupted durable session is still finalized: everything traced
+    #: up to the signal is in the container, marked ``interrupted`` in
+    #: its meta.
+    interrupted: int | None = None
 
     def capture_meta(self) -> dict:
         """Degraded-capture accounting (shed spans, R history) as meta."""
@@ -303,24 +308,46 @@ def trace(
             tracer, writer, units, every_marks=checkpoint_every_marks
         )
         hook = watchdog
-    with span("session.schedule", threads=len(threads), cores=n_cores):
-        Scheduler(machine, threads, tracer=hook, lockstep=lockstep).run()
+    interrupted: int | None = None
+    try:
+        with span("session.schedule", threads=len(threads), cores=n_cores):
+            Scheduler(machine, threads, tracer=hook, lockstep=lockstep).run()
+    except (SignalInterrupt, KeyboardInterrupt) as exc:
+        if watchdog is None:
+            # Nothing durable to save: let the signal unwind normally.
+            raise
+        # Graceful interrupt of a durable capture: stop tracing here,
+        # seal and finalize what exists.  The partial run is a valid
+        # container, marked interrupted in its meta.
+        interrupted = int(getattr(exc, "signum", 0)) or None
     recovery_report = None
     if watchdog is not None and not watchdog.degraded:
         # Seal the tail and finalize: the journal becomes the container.
         if watchdog.checkpoint(final=True):
+            extra = capture_meta_for_units(units)
+            if interrupted is not None:
+                extra = dict(extra)
+                extra["interrupted"] = {"signum": interrupted}
             try:
-                recovery_report = watchdog.writer.finalize(
-                    extra_meta=capture_meta_for_units(units)
-                )
+                recovery_report = watchdog.writer.finalize(extra_meta=extra)
             except TraceWriteError as exc:
                 watchdog.degraded = True
                 watchdog.write_errors.append(str(exc))
     with span("session.integrate", cores=len(units)):
-        traces = {
-            c: integrate(unit.finalize(), tracer.records_for_core(c), app.symtab)
-            for c, unit in units.items()
-        }
+        if interrupted is None:
+            traces = {
+                c: integrate(unit.finalize(), tracer.records_for_core(c), app.symtab)
+                for c, unit in units.items()
+            }
+        else:
+            # The signal cut items mid-window (dangling STARTs): pair
+            # what genuinely paired, count the cut marks as degraded.
+            traces = {}
+            for c, unit in units.items():
+                tr, _coverage = integrate_degraded(
+                    unit.finalize(), tracer.records_for_core(c), app.symtab
+                )
+                traces[c] = tr
     return TraceSession(
         machine=machine,
         tracer=tracer,
@@ -329,4 +356,5 @@ def trace(
         symtab=app.symtab,
         watchdog=watchdog,
         recovery_report=recovery_report,
+        interrupted=interrupted,
     )

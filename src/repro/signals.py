@@ -1,0 +1,60 @@
+"""Turning SIGINT/SIGTERM into exceptions a capture can finalize under.
+
+A durable capture must not lose its journal tail to a ^C: the seal
+discipline means everything checkpointed so far is already safe, but the
+delta since the last checkpoint — and the finalize marker that turns the
+journal into a container — only land if the interrupt unwinds as an
+exception instead of killing the process mid-write.
+
+:func:`raise_on_signals` installs handlers that raise
+:class:`~repro.errors.SignalInterrupt` in the main thread, restoring the
+previous handlers on exit.  :func:`trace` catches it for durable
+sessions (final checkpoint + finalize, session marked interrupted); the
+CLI converts it into the conventional ``128 + signum`` exit status.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+
+from repro.errors import SignalInterrupt
+
+#: The signals a graceful run traps by default.
+GRACEFUL_SIGNALS = (signal.SIGINT, signal.SIGTERM)
+
+
+@contextlib.contextmanager
+def raise_on_signals(signums=GRACEFUL_SIGNALS):
+    """Within the block, the given signals raise :class:`SignalInterrupt`.
+
+    Handlers are installed only when running in the main thread (signal
+    handling is a main-thread privilege in Python); elsewhere the block
+    is a no-op and the default disposition stands.  Previous handlers are
+    always restored, even when the block exits by exception.
+    """
+
+    def _handler(signum, frame):
+        raise SignalInterrupt(signum)
+
+    previous = {}
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, _handler)
+    except ValueError:  # not the main thread: leave dispositions alone
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+        previous = {}
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)
+
+
+def exit_status(exc: SignalInterrupt) -> int:
+    """The shell convention for death-by-signal: ``128 + signum``."""
+    return 128 + int(exc.signum)
+
+
+__all__ = ["GRACEFUL_SIGNALS", "exit_status", "raise_on_signals"]

@@ -107,22 +107,17 @@ class TestDeprecatedSpellings:
 
 
 class TestIngestOptions:
-    def test_legacy_kwargs_warn_and_apply(self, run_npz):
-        with pytest.warns(DeprecationWarning, match=r"IngestOptions\(chunk_size"):
-            result = ingest_trace(run_npz, chunk_size=1024)
-        assert result.trace.items()
+    def test_legacy_kwargs_removed(self, run_npz):
+        # The one-release legacy shim is gone: raw per-call keywords are
+        # now an ordinary TypeError, not a DeprecationWarning.
+        with pytest.raises(TypeError):
+            ingest_trace(run_npz, chunk_size=1024)
 
     def test_options_object_is_silent(self, run_npz):
         with warnings.catch_warnings():
             warnings.simplefilter("error", DeprecationWarning)
             result = ingest_trace(run_npz, options=IngestOptions(chunk_size=1024))
         assert result.trace.items()
-
-    def test_mixing_options_and_legacy_rejected(self, run_npz):
-        with pytest.raises(TraceError, match="not both"):
-            with warnings.catch_warnings():
-                warnings.simplefilter("ignore", DeprecationWarning)
-                ingest_trace(run_npz, options=IngestOptions(), workers=2)
 
     @pytest.mark.parametrize(
         "bad",

@@ -1,0 +1,121 @@
+"""End-to-end CLI coverage for the ingestion service verbs.
+
+``repro serve`` runs as a real subprocess (it owns an event loop and
+signal handlers); ``push``/``runs``/``diff`` drive it in-process through
+:func:`repro.cli.main` so exit codes and output are asserted exactly as
+a shell would see them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+import repro
+from repro.cli import main
+from tests.faults.conftest import build_fixture_trace
+
+SRC = str(pathlib.Path(repro.__file__).parents[1])
+
+
+@pytest.fixture(scope="module")
+def container(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-serve") / "clean.npz"
+    build_fixture_trace(path)
+    return path
+
+
+@pytest.fixture()
+def server(tmp_path):
+    """A live `repro serve` subprocess on a unix socket."""
+    sock = tmp_path / "ingest.sock"
+    store = tmp_path / "store"
+    env = dict(os.environ, PYTHONPATH=SRC)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--socket",
+            str(sock),
+            "--store",
+            str(store),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    line = ""
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if "listening" in line or proc.poll() is not None:
+            break
+    assert "listening" in line, f"daemon never came up: {proc.stderr.read()}"
+    try:
+        yield proc, f"unix:{sock}", store
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(10)
+
+
+def test_serve_push_runs_diff_shutdown(server, container, capsys):
+    proc, addr, store = server
+
+    assert main(["push", str(container), "--addr", addr, "--run", "r1"]) == 0
+    out = capsys.readouterr().out
+    assert "pushed r1" in out and "committed ->" in out
+
+    # Idempotent: the same run pushed again is a no-op success.
+    assert main(["push", str(container), "--addr", addr, "--run", "r1"]) == 0
+    assert "already committed" in capsys.readouterr().out
+
+    assert main(["push", str(container), "--addr", addr, "--run", "r2"]) == 0
+    capsys.readouterr()
+
+    assert main(["runs", "--store", str(store)]) == 0
+    table = capsys.readouterr().out
+    assert "r1" in table and "r2" in table and "committed" in table
+
+    # The store is diffable by run id — the whole point of ingestion.
+    assert main(["diff", "r1", "r2", "--store", str(store)]) == 0
+    capsys.readouterr()
+
+    proc.send_signal(signal.SIGTERM)
+    assert proc.wait(30) == 0
+    assert "draining" in proc.stderr.read()
+
+    # The daemon is gone but the store is plain files: still queryable.
+    assert main(["runs", "--store", str(store)]) == 0
+    assert "r1" in capsys.readouterr().out
+
+
+def test_push_to_dead_daemon_is_a_trace_error(tmp_path, container, capsys):
+    rc = main(
+        ["push", str(container), "--addr", f"unix:{tmp_path}/nope.sock"]
+    )
+    assert rc == 3
+    assert "cannot connect" in capsys.readouterr().err
+
+
+def test_push_bad_address_is_a_trace_error(container, capsys):
+    assert main(["push", str(container), "--addr", "not-an-addr"]) == 3
+    assert "cannot parse" in capsys.readouterr().err
+
+
+def test_diff_unknown_run_names_the_known(server, container, capsys):
+    proc, addr, store = server
+    assert main(["push", str(container), "--addr", addr, "--run", "r1"]) == 0
+    capsys.readouterr()
+    assert main(["diff", "r1", "ghost", "--store", str(store)]) == 3
+    err = capsys.readouterr().err
+    assert "ghost" in err and "r1" in err

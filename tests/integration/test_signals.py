@@ -1,0 +1,155 @@
+"""Graceful SIGINT/SIGTERM: a durable run finalizes what it captured.
+
+The contract: a trapped signal unwinds into :func:`repro.session.trace`,
+which seals the tail checkpoint, finalizes the container with an
+``interrupted`` marker in its meta, and the CLI exits ``128 + signum``
+(the shell's death-by-signal convention) — ^C costs nothing captured.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+import repro
+from repro.cli import main
+from repro.core.instrument import MarkingTracer
+from repro.errors import SignalInterrupt
+from repro.session import trace
+from repro.signals import GRACEFUL_SIGNALS, exit_status, raise_on_signals
+from repro.testing.faults import read_container
+from repro.workloads import build_workload
+
+SRC = str(pathlib.Path(repro.__file__).parents[1])
+
+
+class TestRaiseOnSignals:
+    @pytest.mark.parametrize("signum", sorted(GRACEFUL_SIGNALS))
+    def test_traps_to_typed_exception(self, signum):
+        before = signal.getsignal(signum)
+        with pytest.raises(SignalInterrupt) as ei:
+            with raise_on_signals():
+                os.kill(os.getpid(), signum)
+                time.sleep(5)  # the signal interrupts this sleep
+        assert ei.value.signum == signum
+        assert signal.getsignal(signum) is before  # handler restored
+
+    def test_exit_status_is_shell_convention(self):
+        assert exit_status(SignalInterrupt(signal.SIGINT)) == 130
+        assert exit_status(SignalInterrupt(signal.SIGTERM)) == 143
+
+    def test_noop_off_main_thread(self):
+        """Worker threads cannot install handlers; the scope degrades."""
+        result = {}
+
+        def worker():
+            with raise_on_signals():
+                result["ok"] = True
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        assert result == {"ok": True}
+
+
+class TestDurableInterrupt:
+    def test_trace_finalizes_partial_run(self, tmp_path, monkeypatch):
+        """A signal mid-capture still yields a valid, marked container."""
+        out = tmp_path / "interrupted.npz"
+        app, _ = build_workload("sampleapp", items=40)
+        calls = {"n": 0}
+        orig = MarkingTracer.on_mark
+
+        def bomb(self, *a, **k):
+            calls["n"] += 1
+            if calls["n"] == 9:  # mid-item, mid-window: the worst moment
+                raise SignalInterrupt(signal.SIGTERM)
+            return orig(self, *a, **k)
+
+        monkeypatch.setattr(MarkingTracer, "on_mark", bomb)
+        session = trace(app, durable_out=out, durable_meta={"k": "v"})
+        assert session.interrupted == signal.SIGTERM
+        assert out.is_file()
+        _arrays, header = read_container(out)
+        assert header["meta"]["interrupted"] == {"signum": signal.SIGTERM}
+
+    def test_interrupted_container_ingests_with_repair(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        out = tmp_path / "interrupted.npz"
+        app, _ = build_workload("sampleapp", items=40)
+        calls = {"n": 0}
+        orig = MarkingTracer.on_mark
+
+        def bomb(self, *a, **k):
+            calls["n"] += 1
+            if calls["n"] == 10:
+                raise SignalInterrupt(signal.SIGINT)
+            return orig(self, *a, **k)
+
+        monkeypatch.setattr(MarkingTracer, "on_mark", bomb)
+        trace(app, durable_out=out, durable_meta={})
+        # The dangling item the signal cut is repairable, not fatal.
+        rc = main(["report", str(out), "--stream", "--on-corruption", "repair"])
+        capsys.readouterr()
+        assert rc == 0
+
+    def test_non_durable_trace_reraises(self, monkeypatch):
+        """Without a journal there is nothing to finalize: propagate."""
+        app, _ = build_workload("sampleapp", items=40)
+        orig = MarkingTracer.on_mark
+        calls = {"n": 0}
+
+        def bomb(self, *a, **k):
+            calls["n"] += 1
+            if calls["n"] == 9:
+                raise SignalInterrupt(signal.SIGINT)
+            return orig(self, *a, **k)
+
+        monkeypatch.setattr(MarkingTracer, "on_mark", bomb)
+        with pytest.raises(SignalInterrupt):
+            trace(app)
+
+
+class TestCliSubprocess:
+    def test_sigint_exits_130_with_finalized_container(self, tmp_path):
+        out = tmp_path / "t.npz"
+        env = dict(os.environ, PYTHONPATH=SRC)
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "run",
+                "--workload",
+                "sampleapp",
+                "--items",
+                "100000",
+                "--durable",
+                "--out",
+                str(out),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        time.sleep(2.0)
+        proc.send_signal(signal.SIGINT)
+        rc = proc.wait(60)
+        stdout = proc.stdout.read()
+        if rc == 0:  # machine fast enough to finish before the signal
+            assert out.is_file()
+            return
+        assert rc == 130, proc.stderr.read()
+        assert "interrupted by signal 2" in stdout
+        assert out.is_file(), "partial run was not finalized"
+        _arrays, header = read_container(out)
+        assert header["meta"]["interrupted"] == {"signum": signal.SIGINT}

@@ -1,0 +1,109 @@
+"""Property tests for the shard protocol framing.
+
+The wire invariant: every frame round-trips exactly, and every damaged
+byte stream — truncated anywhere, any byte flipped, any garbage prefix —
+is rejected with the typed :class:`~repro.errors.ProtocolError`, never a
+mis-decoded frame and never an untyped exception.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    KIND_NAMES,
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+)
+
+_json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.text(max_size=40),
+)
+
+_metas = st.dictionaries(
+    st.text(min_size=1, max_size=16),
+    st.one_of(_json_scalars, st.lists(_json_scalars, max_size=5)),
+    max_size=6,
+)
+
+_frames = st.builds(
+    Frame,
+    kind=st.sampled_from(sorted(KIND_NAMES)),
+    meta=_metas,
+    body=st.binary(max_size=2048),
+)
+
+
+@given(frame=_frames)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_exact(frame):
+    assert decode_frame(encode_frame(frame)) == frame
+
+
+@given(frame=_frames, cut=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=200, deadline=None)
+def test_truncation_rejected(frame, cut):
+    wire = encode_frame(frame)
+    cut = cut % len(wire)  # strictly shorter than the frame
+    with pytest.raises(ProtocolError):
+        decode_frame(wire[:cut])
+
+
+@given(
+    frame=_frames,
+    pos=st.integers(min_value=0, max_value=10**6),
+    bit=st.integers(min_value=0, max_value=7),
+)
+@settings(max_examples=200, deadline=None)
+def test_bitflip_rejected_or_detected(frame, pos, bit):
+    """A flipped bit anywhere must never alter the decoded frame silently.
+
+    Almost every flip raises :class:`ProtocolError` (magic, version,
+    kind, length, or the payload crc); the one legal survivor is a flip
+    inside the crc field itself colliding with recomputation, which
+    cannot happen for a single-bit flip — so the assertion is strict.
+    """
+    wire = bytearray(encode_frame(frame))
+    wire[pos % len(wire)] ^= 1 << bit
+    with pytest.raises(ProtocolError):
+        decode_frame(bytes(wire))
+
+
+@given(frames=st.lists(_frames, min_size=1, max_size=6), data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_stream_reassembly_any_chunking(frames, data):
+    """FrameDecoder yields the same frames however the stream is split."""
+    wire = b"".join(encode_frame(f) for f in frames)
+    dec = FrameDecoder()
+    got = []
+    i = 0
+    while i < len(wire):
+        step = data.draw(
+            st.integers(min_value=1, max_value=len(wire) - i), label="chunk"
+        )
+        got.extend(dec.feed(wire[i : i + step]))
+        i += step
+    dec.finish()
+    assert got == frames
+
+
+@given(frame=_frames, junk=st.binary(min_size=1, max_size=16))
+@settings(max_examples=100, deadline=None)
+def test_interframe_garbage_poisons_stream(frame, junk):
+    """Garbage between frames fails structurally and poisons the decoder."""
+    wire = encode_frame(frame)
+    dec = FrameDecoder()
+    assert dec.feed(wire) == [frame]
+    with pytest.raises(ProtocolError):
+        # Junk either fails the header checks outright or announces a
+        # frame that never completes; finish() catches the latter.
+        dec.feed(junk + wire)
+        dec.finish()

@@ -1,0 +1,194 @@
+"""Chaos harness: kill the daemon at every store operation offset.
+
+The contract under test is the ACK: once a producer holds an ACK for a
+segment, no kill — at *any* syscall-surface operation, torn writes
+included — may lose that segment, and no sequence of crashes and
+re-pushes may ever commit the same run twice.
+
+Phase 1 runs the full scenario over :class:`CountingIO` to learn the
+exact operation count T, then every offset in ``range(T)`` is killed
+with :class:`CrashingIO` (the enumeration is what "every journaled op
+offset" means).  A second pass replays 200 seeded random offsets with
+torn half-writes.  After each kill the daemon restarts on the same
+store root with healthy IO, recovery replays the journal, and the
+producer re-pushes; the run must commit exactly once with the same
+content a crash-free run produces.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.durable import RecorderIO, recover
+from repro.core.integrity import POLICY_STRICT
+from repro.service.daemon import DaemonConfig, IngestDaemon
+from repro.service.protocol import (
+    KIND_ACK,
+    KIND_COMMITTED,
+    KIND_FINISH,
+    KIND_HELLO,
+    KIND_SEGMENT,
+    KIND_WELCOME,
+    Frame,
+    encode_frame,
+)
+from repro.service.sources import StreamSource
+from repro.service.store import TraceStore
+from repro.testing.faults import CountingIO, CrashingIO, SimulatedCrash
+from tests.service.conftest import run_async
+
+RUN = "r1"
+
+
+class DaemonDied(Exception):
+    """The kill fired inside a daemon task; the client observed it."""
+
+
+@pytest.fixture(scope="module")
+def reference(journal_dir, tmp_path_factory):
+    """Counts a crash-free replay recovers (the content oracle)."""
+    out = tmp_path_factory.mktemp("chaos-ref") / "ref.npz"
+    return recover(journal_dir, out=out, policy=POLICY_STRICT, _finalizing=True)
+
+
+async def crashy_scenario(root, io, segments):
+    """One sealed-segment push against a daemon that may die mid-op.
+
+    Sequential on purpose — one segment in flight at a time keeps the
+    kill-offset → protocol-state mapping deterministic.  Returns
+    ``(acked_seqs, committed)`` with whatever was achieved before the
+    kill (everything, when ``io`` never fires).
+    """
+    acked: set[int] = set()
+    daemon = None
+    try:
+        store = TraceStore(root, io=io)
+        daemon = IngestDaemon(store, DaemonConfig())
+        await daemon.start()
+        reader, writer = await daemon.connect()
+        src = StreamSource(reader)
+
+        async def reply(timeout=20.0):
+            nxt = asyncio.ensure_future(src.__anext__())
+            await asyncio.wait(
+                {nxt, daemon.crashed},
+                return_when=asyncio.FIRST_COMPLETED,
+                timeout=timeout,
+            )
+            if daemon.crashed.done():
+                nxt.cancel()
+                raise DaemonDied(daemon.crashed.exception())
+            if not nxt.done():
+                nxt.cancel()
+                raise AssertionError("daemon hung without crashing")
+            try:
+                return nxt.result()
+            except StopAsyncIteration:
+                raise DaemonDied("connection closed") from None
+
+        writer.write(encode_frame(Frame(KIND_HELLO, {"run": RUN})))
+        await writer.drain()
+        first = await reply()
+        if first.kind == KIND_COMMITTED:
+            return acked, True
+        assert first.kind == KIND_WELCOME
+        have = set(first.meta.get("have", []))
+        acked |= have  # sealed in a previous life: same durability claim
+        for rec, data in segments:
+            if rec["seq"] in have:
+                continue
+            writer.write(encode_frame(Frame(KIND_SEGMENT, rec, data)))
+            await writer.drain()
+            frame = await reply()
+            assert frame.kind == KIND_ACK, frame.kind_name
+            acked.add(frame.meta["seq"])
+        writer.write(encode_frame(Frame(KIND_FINISH, {"run": RUN})))
+        await writer.drain()
+        frame = await reply()
+        assert frame.kind == KIND_COMMITTED, frame.kind_name
+        return acked, True
+    except (SimulatedCrash, DaemonDied, ConnectionError, OSError):
+        return acked, False
+    finally:
+        if daemon is not None:
+            try:
+                await daemon.shutdown()
+            except SimulatedCrash:  # a kill inside shutdown's own drain
+                pass
+
+
+def assert_no_acked_loss(root, acked, committed):
+    """The core invariant, checked BEFORE any re-push can mask a loss."""
+    probe = TraceStore(root)  # read-only probes; no recovery side effects
+    if probe.committed(RUN):
+        return  # the whole run is in the container, catalog-visible
+    assert not committed, "client saw COMMITTED but the catalog lost the run"
+    sealed = probe.sealed_seqs(RUN)
+    lost = acked - sealed
+    assert not lost, f"ACKed segments lost by the kill: {sorted(lost)}"
+
+
+def assert_committed_exactly_once(root, reference):
+    raw = (root / "catalog.jsonl").read_bytes().splitlines()
+    entries = [json.loads(line) for line in raw if line.strip()]
+    assert [e["run"] for e in entries] == [RUN], "duplicate or missing run"
+    entry = entries[0]
+    assert entry["segments"] == reference.segments_recovered
+    assert entry["samples"] == reference.samples_recovered
+    assert entry["marks"] == reference.marks_recovered
+    store = TraceStore(root)
+    assert store.recover_store() == {}, "recovery not idempotent after commit"
+    # The committed container is strict-loadable, not just present.
+    with np.load(store.path_for(RUN), allow_pickle=False) as npz:
+        assert npz.files
+
+
+def kill_then_recover(root, segments, reference, kill_at, torn):
+    acked, committed = run_async(
+        crashy_scenario(root, CrashingIO(kill_at, torn=torn), segments)
+    )
+    assert_no_acked_loss(root, acked, committed)
+    # Restart on healthy storage: recovery + re-push must always land.
+    acked2, committed2 = run_async(
+        crashy_scenario(root, RecorderIO(), segments)
+    )
+    assert committed2, f"re-push after kill_at={kill_at} did not commit"
+    assert_committed_exactly_once(root, reference)
+
+
+@pytest.fixture(scope="module")
+def total_ops(segments, tmp_path_factory):
+    """Learn T: the clean scenario's exact operation count."""
+    root = tmp_path_factory.mktemp("chaos-count") / "store"
+    io = CountingIO()
+    acked, committed = run_async(crashy_scenario(root, io, segments))
+    assert committed and len(acked) == len(segments)
+    return io.ops
+
+
+def test_clean_scenario_is_the_whole_surface(total_ops, segments):
+    """Sanity: T covers init, every seal chain, finish, and compaction."""
+    assert total_ops > 7 * len(segments)
+
+
+def test_kill_at_every_op_offset(segments, reference, total_ops, tmp_path):
+    for kill_at in range(total_ops):
+        kill_then_recover(
+            tmp_path / f"k{kill_at}", segments, reference, kill_at, torn=False
+        )
+
+
+def test_kill_at_200_seeded_random_offsets_with_torn_writes(
+    segments, reference, total_ops, tmp_path
+):
+    rng = np.random.default_rng(20260807)
+    for i in range(200):
+        kill_at = int(rng.integers(0, total_ops))
+        torn = bool(rng.integers(0, 2))
+        kill_then_recover(
+            tmp_path / f"r{i}", segments, reference, kill_at, torn=torn
+        )

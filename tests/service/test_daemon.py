@@ -1,0 +1,363 @@
+"""IngestDaemon end-to-end: admission, backpressure, failure modes."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import TraceError
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.service.client import push_segments, push_source
+from repro.service.daemon import DaemonConfig
+from repro.service.protocol import (
+    KIND_ACK,
+    KIND_HELLO,
+    KIND_NACK,
+    KIND_SEGMENT,
+    KIND_WELCOME,
+    Frame,
+    encode_frame,
+)
+from repro.service.sources import StreamSource
+from tests.service.conftest import corrupt_covered_member, run_async
+
+NACKS = "repro_service_nacks_total"
+
+
+@pytest.fixture
+def registry():
+    with use_registry(MetricsRegistry()) as reg:
+        yield reg
+
+
+async def started(daemon):
+    await daemon.start()
+    return daemon
+
+
+class TestHappyPath:
+    def test_single_producer_commits(self, daemon_factory, journal_dir, segments):
+        async def scenario():
+            store, daemon = daemon_factory()
+            await daemon.start()
+            try:
+                report = await push_source(
+                    journal_dir, "r1", streams=await daemon.connect()
+                )
+            finally:
+                await daemon.shutdown()
+            return store, report
+
+        store, report = run_async(scenario())
+        assert report.committed and not report.already_committed
+        assert report.sent == report.acked == len(segments)
+        assert report.skipped == 0 and report.nacks_total == 0
+        assert store.committed("r1")
+        assert report.committed_path == str(store.path_for("r1"))
+
+    def test_second_push_is_idempotent(self, daemon_factory, journal_dir):
+        async def scenario():
+            store, daemon = daemon_factory()
+            await daemon.start()
+            try:
+                first = await push_source(
+                    journal_dir, "r1", streams=await daemon.connect()
+                )
+                second = await push_source(
+                    journal_dir, "r1", streams=await daemon.connect()
+                )
+            finally:
+                await daemon.shutdown()
+            return first, second
+
+        first, second = run_async(scenario())
+        assert first.committed and not first.already_committed
+        assert second.committed and second.already_committed
+        assert second.sent == 0
+
+    def test_resumed_push_skips_sealed_segments(
+        self, daemon_factory, journal_dir, segments
+    ):
+        async def scenario():
+            store, daemon = daemon_factory()
+            # A previous push sealed a prefix before its producer died.
+            for rec, data in segments[:4]:
+                store.append_segment("r1", rec, data)
+            await daemon.start()
+            try:
+                report = await push_source(
+                    journal_dir, "r1", streams=await daemon.connect()
+                )
+            finally:
+                await daemon.shutdown()
+            return store, report
+
+        store, report = run_async(scenario())
+        assert report.skipped == 4
+        assert report.sent == len(segments) - 4
+        assert report.committed and store.committed("r1")
+
+
+class TestBackpressure:
+    def test_two_times_overload_sheds_with_exact_accounting(
+        self, daemon_factory, segments, registry
+    ):
+        """4 producers into a queue sized for ~half their flood: every
+        run still commits, and shed accounting balances on both sides."""
+        config = DaemonConfig(capacity=4, credits=8, drain_delay_s=0.002)
+
+        async def scenario():
+            store, daemon = daemon_factory(config)
+            await daemon.start()
+            try:
+                pushes = []
+                for i in range(4):
+                    reader, writer = await daemon.connect()
+                    pushes.append(
+                        push_segments(
+                            reader,
+                            writer,
+                            f"run{i}",
+                            segments,
+                            nack_backoff_s=0.001,
+                        )
+                    )
+                reports = await asyncio.gather(*pushes)
+            finally:
+                await daemon.shutdown()
+            return store, reports
+
+        store, reports = run_async(scenario(), timeout=120)
+        for i, report in enumerate(reports):
+            assert report.committed, f"run{i} did not commit"
+            assert store.committed(f"run{i}")
+            assert report.acked == len(segments)
+            # Every SEGMENT frame got exactly one reply: ACK or shed NACK,
+            # and every shed was resent — the ledger balances exactly.
+            shed = report.nacked.get("overloaded", 0)
+            assert report.sent == report.acked + shed
+            assert report.resent == shed
+            assert set(report.nacked) <= {"overloaded"}
+        total_shed = sum(r.nacked.get("overloaded", 0) for r in reports)
+        assert total_shed > 0, "overload scenario never actually shed"
+        assert registry.value(NACKS, reason="overloaded") == total_shed
+
+    def test_credit_overrun_is_policed(self, daemon_factory, segments):
+        """A client flooding past its window gets no-credit NACKs that do
+        NOT grant credit back (the window never had it to spend)."""
+        config = DaemonConfig(capacity=64, credits=2, drain_delay_s=0.2)
+
+        async def scenario():
+            store, daemon = daemon_factory(config)
+            await daemon.start()
+            try:
+                reader, writer = await daemon.connect()
+                src = StreamSource(reader)
+                writer.write(encode_frame(Frame(KIND_HELLO, {"run": "r1"})))
+                welcome = await src.__anext__()
+                assert welcome.kind == KIND_WELCOME
+                assert welcome.meta["credits"] == 2
+                for rec, data in segments[:3]:  # one past the window
+                    writer.write(encode_frame(Frame(KIND_SEGMENT, rec, data)))
+                await writer.drain()
+                first = await asyncio.wait_for(src.__anext__(), 5)
+                writer.close()
+            finally:
+                await daemon.shutdown()
+            return first
+
+        first = run_async(scenario())
+        assert first.kind == KIND_NACK
+        assert first.meta["reason"] == "no-credit"
+        assert first.meta["retry"] is True
+        assert first.meta["credit"] == 0
+        assert first.meta["seq"] == 2
+
+
+class TestFailureModes:
+    def test_poison_segment_quarantined_run_resumable(
+        self, daemon_factory, segments, registry
+    ):
+        poison_seq = segments[2][0]["seq"]
+        damaged = list(segments)
+        damaged[2] = (
+            segments[2][0],
+            corrupt_covered_member(*segments[2]),
+        )
+
+        async def scenario():
+            store, daemon = daemon_factory()
+            await daemon.start()
+            try:
+                with pytest.raises(TraceError, match="permanently refused") as ei:
+                    await push_segments(
+                        *(await daemon.connect()), "r1", damaged
+                    )
+                # The producer repairs the segment and re-pushes.
+                repaired = await push_segments(
+                    *(await daemon.connect()), "r1", segments
+                )
+            finally:
+                await daemon.shutdown()
+            return store, ei.value.report, repaired
+
+        store, report, repaired = run_async(scenario())
+        assert report.rejected == [poison_seq]
+        assert report.nacked.get("poison") == 1
+        assert not report.committed
+        evidence = store.root / "quarantine" / f"r1.seg-{poison_seq:06d}.npz"
+        assert evidence.is_file()
+        assert "crc32 mismatch" in evidence.with_suffix(".reason").read_text()
+        assert repaired.committed
+        assert repaired.skipped == len(segments) - 1  # only the hole resent
+        assert repaired.sent == 1
+        assert store.committed("r1")
+        assert registry.value(NACKS, reason="poison") == 1
+
+    def test_run_committed_mid_push_is_nacked_fatal(
+        self, daemon_factory, segments
+    ):
+        async def scenario():
+            store, daemon = daemon_factory()
+            await daemon.start()
+            try:
+                reader, writer = await daemon.connect()
+                src = StreamSource(reader)
+                writer.write(encode_frame(Frame(KIND_HELLO, {"run": "r1"})))
+                assert (await src.__anext__()).kind == KIND_WELCOME
+                # Another path commits the run while this push is idle.
+                for rec, data in segments:
+                    store.append_segment("r1", rec, data)
+                store.finish_run("r1")
+                store.compact_run("r1")
+                rec, data = segments[0]
+                writer.write(encode_frame(Frame(KIND_SEGMENT, rec, data)))
+                await writer.drain()
+                nack = await asyncio.wait_for(src.__anext__(), 5)
+                writer.close()
+            finally:
+                await daemon.shutdown()
+            return nack
+
+        nack = run_async(scenario())
+        assert nack.kind == KIND_NACK
+        assert nack.meta["reason"] == "duplicate-run"
+        assert nack.meta["retry"] is False
+
+    def test_enospc_degrades_to_storage_nacks(
+        self, daemon_factory, segments, registry
+    ):
+        from repro.testing.faults import ENOSPCIO
+
+        budget = sum(len(d) for _, d in segments[:3])
+
+        async def scenario():
+            store, daemon = daemon_factory(io=ENOSPCIO(budget))
+            await daemon.start()
+            try:
+                with pytest.raises(TraceError, match="giving up") as ei:
+                    await push_segments(
+                        *(await daemon.connect()),
+                        "r1",
+                        segments,
+                        nack_backoff_s=0.001,
+                        max_backoff_s=0.01,
+                        max_resends_per_segment=3,
+                    )
+            finally:
+                await daemon.shutdown()
+            return store, ei.value.report
+
+        store, report = run_async(scenario())
+        assert report.nacked.get("storage", 0) >= 3
+        assert not report.committed
+        assert store.catalog() == {}  # nothing half-committed
+        assert "r1" in store.open_runs()  # resumable once space returns
+        assert report.acked == len(store.sealed_seqs("r1"))
+        assert registry.value(NACKS, reason="storage") >= 3
+        assert registry.value("repro_service_storage_errors_total") >= 3
+
+    def test_producer_crash_mid_segment_leaves_run_healthy(
+        self, daemon_factory, journal_dir, segments, registry
+    ):
+        async def scenario():
+            store, daemon = daemon_factory()
+            await daemon.start()
+            try:
+                reader, writer = await daemon.connect()
+                src = StreamSource(reader)
+                writer.write(encode_frame(Frame(KIND_HELLO, {"run": "r1"})))
+                assert (await src.__anext__()).kind == KIND_WELCOME
+                rec, data = segments[0]
+                wire = encode_frame(Frame(KIND_SEGMENT, rec, data))
+                writer.write(wire[: len(wire) // 2])  # torn frame...
+                await writer.drain()
+                writer.close()  # ...then the producer dies
+                await asyncio.sleep(0.05)
+                # A fresh producer pushes the same run to completion.
+                report = await push_source(
+                    journal_dir, "r1", streams=await daemon.connect()
+                )
+            finally:
+                await daemon.shutdown()
+            return store, report
+
+        store, report = run_async(scenario())
+        assert report.committed
+        assert store.committed("r1")
+        assert registry.value("repro_service_protocol_errors_total") == 1
+
+    def test_graceful_shutdown_seals_everything_admitted(
+        self, daemon_factory, segments
+    ):
+        config = DaemonConfig(capacity=64, credits=8, drain_delay_s=0.02)
+
+        async def scenario():
+            store, daemon = daemon_factory(config)
+            await daemon.start()
+            reader, writer = await daemon.connect()
+            src = StreamSource(reader)
+            writer.write(encode_frame(Frame(KIND_HELLO, {"run": "r1"})))
+            assert (await src.__anext__()).kind == KIND_WELCOME
+            sent = [rec["seq"] for rec, _ in segments[:5]]
+            for rec, data in segments[:5]:
+                writer.write(encode_frame(Frame(KIND_SEGMENT, rec, data)))
+            await writer.drain()
+            await asyncio.sleep(0.03)  # let the conn task queue them
+            await daemon.shutdown()  # drain must seal all five
+            return store, set(sent)
+
+        store, sent = run_async(scenario())
+        assert store.sealed_seqs("r1") >= sent
+        assert "r1" in store.open_runs()  # no FINISH: open, resumable
+
+    def test_segments_after_drain_starts_are_shed_credit_neutral(
+        self, daemon_factory, segments
+    ):
+        async def scenario():
+            store, daemon = daemon_factory()
+            await daemon.start()
+            try:
+                reader, writer = await daemon.connect()
+                src = StreamSource(reader)
+                writer.write(encode_frame(Frame(KIND_HELLO, {"run": "r1"})))
+                assert (await src.__anext__()).kind == KIND_WELCOME
+                daemon._accepting = False  # drain has begun
+                rec, data = segments[0]
+                writer.write(encode_frame(Frame(KIND_SEGMENT, rec, data)))
+                await writer.drain()
+                nack = await asyncio.wait_for(src.__anext__(), 5)
+                writer.close()
+            finally:
+                await daemon.shutdown()
+            return store, nack
+
+        store, nack = run_async(scenario())
+        assert nack.kind == KIND_NACK
+        assert nack.meta["reason"] == "shutting-down"
+        assert nack.meta["retry"] is True
+        # The daemon never consumed the credit, so it hands it back:
+        # the client's window must not shrink during a drain.
+        assert nack.meta["credit"] == 1
+        assert store.sealed_seqs("r1") == set()

@@ -1,0 +1,147 @@
+"""The shard protocol's framing: exact, typed, and paranoid."""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.service.protocol import (
+    KIND_ACK,
+    KIND_HELLO,
+    KIND_NAMES,
+    KIND_SEGMENT,
+    MAGIC,
+    PROTOCOL_VERSION,
+    Frame,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("kind", sorted(KIND_NAMES))
+    def test_every_kind(self, kind):
+        frame = Frame(kind, {"run": "r1", "seq": 3}, b"payload" * 10)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_empty_meta_and_body(self):
+        frame = Frame(KIND_HELLO)
+        assert decode_frame(encode_frame(frame)) == frame
+
+    def test_binary_body_preserved(self):
+        body = bytes(range(256)) * 3
+        out = decode_frame(encode_frame(Frame(KIND_SEGMENT, {}, body)))
+        assert out.body == body
+
+    def test_kind_name(self):
+        assert Frame(KIND_ACK).kind_name == "ACK"
+
+
+class TestEncodeRejects:
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(Frame(99))
+
+    def test_unserializable_meta(self):
+        with pytest.raises(ProtocolError):
+            encode_frame(Frame(KIND_HELLO, {"x": object()}))
+
+    def test_oversize(self):
+        frame = Frame(KIND_SEGMENT, {}, b"x" * 100)
+        with pytest.raises(ProtocolError, match="exceeds"):
+            encode_frame(frame, max_frame_bytes=50)
+
+
+class TestDecodeRejects:
+    def wire(self, frame=None):
+        return encode_frame(frame or Frame(KIND_HELLO, {"run": "r"}, b"abc"))
+
+    def test_truncated_every_length(self):
+        data = self.wire()
+        for cut in range(len(data)):
+            with pytest.raises(ProtocolError):
+                decode_frame(data[:cut])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ProtocolError):
+            decode_frame(self.wire() + b"x")
+
+    def test_bad_magic(self):
+        data = bytearray(self.wire())
+        data[0] ^= 0xFF
+        with pytest.raises(ProtocolError, match="magic"):
+            decode_frame(bytes(data))
+
+    def test_bad_version(self):
+        data = bytearray(self.wire())
+        data[2] = PROTOCOL_VERSION + 1
+        with pytest.raises(ProtocolError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_unknown_kind_on_wire(self):
+        data = bytearray(self.wire())
+        data[3] = 99
+        with pytest.raises(ProtocolError, match="kind"):
+            decode_frame(bytes(data))
+
+    def test_payload_bitflip_fails_crc(self):
+        data = bytearray(self.wire())
+        data[-1] ^= 0x01  # last body byte
+        with pytest.raises(ProtocolError, match="crc"):
+            decode_frame(bytes(data))
+
+    def test_meta_must_be_object(self):
+        import zlib
+
+        meta = json.dumps([1, 2]).encode()
+        payload = struct.pack(">I", len(meta)) + meta
+        prefix = MAGIC + struct.pack(">BBI", PROTOCOL_VERSION, KIND_HELLO, len(payload))
+        crc = zlib.crc32(payload, zlib.crc32(prefix))
+        with pytest.raises(ProtocolError, match="object"):
+            decode_frame(prefix + struct.pack(">I", crc) + payload)
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time(self):
+        frames = [
+            Frame(KIND_HELLO, {"run": "a"}),
+            Frame(KIND_SEGMENT, {"seq": 0}, b"\x00" * 999),
+            Frame(KIND_ACK, {"seq": 0, "credit": 1}),
+        ]
+        wire = b"".join(encode_frame(f) for f in frames)
+        dec = FrameDecoder()
+        got = []
+        for i in range(len(wire)):
+            got.extend(dec.feed(wire[i : i + 1]))
+        assert got == frames
+        dec.finish()  # nothing buffered
+
+    def test_coalesced_feed(self):
+        frames = [Frame(KIND_HELLO, {"n": i}) for i in range(5)]
+        wire = b"".join(encode_frame(f) for f in frames)
+        dec = FrameDecoder()
+        assert dec.feed(wire) == frames
+
+    def test_finish_mid_frame_raises(self):
+        wire = encode_frame(Frame(KIND_SEGMENT, {"seq": 1}, b"body"))
+        dec = FrameDecoder()
+        assert dec.feed(wire[: len(wire) // 2]) == []
+        with pytest.raises(ProtocolError):
+            dec.finish()
+
+    def test_poisoned_decoder_refuses_more_input(self):
+        dec = FrameDecoder()
+        with pytest.raises(ProtocolError):
+            dec.feed(b"XX" + b"\x00" * 20)
+        with pytest.raises(ProtocolError):
+            dec.feed(encode_frame(Frame(KIND_HELLO)))
+
+    def test_oversize_frame_rejected_early(self):
+        dec = FrameDecoder(max_frame_bytes=64)
+        wire = encode_frame(Frame(KIND_SEGMENT, {}, b"y" * 256))
+        with pytest.raises(ProtocolError):
+            dec.feed(wire)
