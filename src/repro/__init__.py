@@ -24,6 +24,7 @@ with a :class:`DeprecationWarning` naming the new spelling).
 """
 
 from repro.api import (
+    AnomalyConfig,
     IngestOptions,
     OverloadPolicy,
     diagnose,
@@ -38,6 +39,7 @@ from repro.errors import ReproError
 __version__ = "1.2.0"
 
 __all__ = [
+    "AnomalyConfig",
     "IngestOptions",
     "OverloadPolicy",
     "ReproError",

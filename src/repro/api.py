@@ -47,11 +47,15 @@ from repro.core.tracefile import TraceFile, TraceReader, load_trace
 from repro.errors import ReproError
 from repro.machine.events import resolve_event
 from repro.machine.overload import OverloadPolicy
+from repro.obs.anomaly import AnomalyConfig, AnomalyEvent, AnomalyLog
 from repro.session import TraceSession
 from repro.session import trace as _run_trace
 from repro.workloads import build_workload
 
 __all__ = [
+    "AnomalyConfig",
+    "AnomalyEvent",
+    "AnomalyLog",
     "IngestOptions",
     "OverloadPolicy",
     "record",
@@ -84,6 +88,9 @@ def record(
     durable: bool = False,
     checkpoint_every_marks: int = 256,
     overload: OverloadPolicy | None = None,
+    anomaly: AnomalyConfig | None = None,
+    flight_dir: str | pathlib.Path | None = None,
+    flight_capacity: int = 16,
 ) -> TraceSession:
     """Run a workload under the hybrid tracer; optionally save the trace.
 
@@ -113,10 +120,24 @@ def record(
     leaves a journal :func:`recover` turns into a valid container.
     Requires ``out``.  ``overload`` opts into overload-graceful capture
     (see :class:`~repro.machine.overload.OverloadPolicy`).
+
+    ``anomaly`` (an enabled :class:`~repro.obs.anomaly.AnomalyConfig`)
+    turns on the online invariant checkers; violations land on
+    ``session.anomalies``.  ``flight_dir`` additionally arms the flight
+    recorder: recent capture checkpoints ride a bounded in-memory ring
+    of ``flight_capacity`` segments, and an anomaly at or above
+    ``anomaly.trigger_severity`` seals it into a tagged incident bundle
+    under ``flight_dir`` (``session.flight.incidents``) that
+    :func:`diagnose` and :func:`push` consume like any container.
     """
     hw_event = resolve_event(event)
     if durable and out is None:
         raise ReproError("durable=True needs out= (the container to journal)")
+    if flight_dir is not None and (anomaly is None or not anomaly.enabled):
+        raise ReproError(
+            "flight_dir needs an enabled anomaly config (nothing would "
+            "trigger the recorder)"
+        )
     if isinstance(workload, str):
         app, wl_groups = build_workload(
             workload, items=items, full_rules=full_rules, seed=seed
@@ -147,6 +168,9 @@ def record(
         durable_out=out if durable else None,
         checkpoint_every_marks=checkpoint_every_marks,
         durable_meta=full_meta if durable else None,
+        anomaly=anomaly,
+        flight_dir=flight_dir,
+        flight_capacity=flight_capacity,
     )
     if out is not None and not durable:
         session.save(

@@ -51,6 +51,8 @@ def _build_workload(args):
 
 
 def cmd_run(args) -> int:
+    from repro.obs.anomaly import AnomalyConfig
+
     app, groups = _build_workload(args)
     meta = {
         "workload": args.workload,
@@ -61,6 +63,9 @@ def cmd_run(args) -> int:
     if args.seed is not None:
         meta["seed"] = args.seed
     overload = OverloadPolicy() if args.overload else None
+    anomaly = AnomalyConfig.from_args(args)
+    if args.flight_dir is not None and not anomaly.enabled:
+        raise ReproError("--flight-dir needs --anomaly (nothing would trigger it)")
     # Durable runs trap SIGINT/SIGTERM: the signal unwinds into trace(),
     # which seals the tail and finalizes, so ^C costs nothing captured.
     # Non-durable runs keep the default disposition — there is nothing
@@ -76,6 +81,9 @@ def cmd_run(args) -> int:
             durable_out=args.out if args.durable else None,
             checkpoint_every_marks=args.checkpoint_marks,
             durable_meta=meta if args.durable else None,
+            anomaly=anomaly if anomaly.enabled else None,
+            flight_dir=args.flight_dir,
+            flight_capacity=args.flight_capacity,
         )
     if not args.durable:
         save_session(
@@ -97,6 +105,13 @@ def cmd_run(args) -> int:
             f"durable: {session.watchdog.checkpoints} checkpoint(s), "
             f"{session.watchdog.writer.segments_sealed} segment(s) sealed"
         )
+    if session.anomalies is not None and session.anomalies.total:
+        counts = ", ".join(
+            f"{k}: {v}" for k, v in sorted(session.anomalies.counts.items())
+        )
+        print(f"anomalies: {session.anomalies.total} ({counts})", file=sys.stderr)
+    if session.flight is not None and session.flight.incidents:
+        print(session.flight.describe(), file=sys.stderr)
     if session.degraded:
         shed = sum(u.shed_samples for u in session.units.values())
         errs = session.watchdog.write_errors if session.watchdog else []
@@ -374,6 +389,7 @@ def cmd_serve(args) -> int:
     """`repro serve`: the fleet-scale trace ingestion daemon."""
     import asyncio
 
+    from repro.obs.anomaly import AnomalyConfig
     from repro.service.daemon import DaemonConfig, IngestDaemon
     from repro.service.store import TraceStore
 
@@ -382,6 +398,7 @@ def cmd_serve(args) -> int:
         credits=args.credits,
         max_frame_bytes=args.max_frame_bytes,
         options=IngestOptions.from_args(args),
+        anomaly=AnomalyConfig.from_args(args),
     )
     store = TraceStore(args.store, options=config.options)
 
@@ -464,6 +481,23 @@ def cmd_runs(args) -> int:
     from repro.service.store import TraceStore
 
     store = TraceStore(args.store)
+    if args.json:
+        import json as _json
+
+        # Stable machine-readable schema: one record per committed run
+        # with exactly these keys (pinned by an integration test).
+        records = [
+            {
+                "run": run_id,
+                "segments": entry.get("segments"),
+                "bytes": entry.get("bytes"),
+                "committed_at": entry.get("committed_at"),
+                "interrupted": bool(entry.get("interrupted", False)),
+            }
+            for run_id, entry in store.catalog().items()
+        ]
+        print(_json.dumps({"store": str(store.root), "runs": records}, indent=2))
+        return 0
     rows = []
     for run_id, entry in store.catalog().items():
         rows.append(
@@ -590,9 +624,45 @@ def cmd_export(args) -> int:
 
 
 def cmd_monitor(args) -> int:
+    import pathlib
+
     from repro.obs.monitor import run_monitor
 
+    # Fail fast, before a dashboard thread spins up: a missing or
+    # unreadable trace file is an invocation problem (exit 2), not a
+    # trace-data problem (exit 3).
+    path = pathlib.Path(args.tracefile)
+    if not path.is_file():
+        raise ReproError(f"cannot monitor {path}: no such trace file")
+    try:
+        with open(path, "rb"):
+            pass
+    except OSError as exc:
+        raise ReproError(f"cannot monitor {path}: {exc}")
     return run_monitor(args.tracefile, args)
+
+
+def cmd_fleet(args) -> int:
+    """`repro fleet`: health rollup of every committed run in a store."""
+    from repro.obs.heatmap import fleet_rollup, render_fleet
+    from repro.service.store import TraceStore
+
+    store = TraceStore(args.store)
+    rows = fleet_rollup(store)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps({"store": str(store.root), "runs": rows}, indent=2))
+        return 0
+    print(render_fleet(rows, title=f"fleet rollup: {store.root}"))
+    flagged = [r for r in rows if r.get("incident") or r.get("anomalies")]
+    if flagged:
+        print(
+            f"\n{len(flagged)} run(s) with anomalies or incidents — "
+            "inspect with `repro monitor <container>`",
+            file=sys.stderr,
+        )
+    return 0
 
 
 def cmd_callgraph(args) -> int:
@@ -677,6 +747,36 @@ def _add_ingest_args(
     )
 
 
+def _add_anomaly_args(p: argparse.ArgumentParser) -> None:
+    """Online invariant-checker flags (mirrors AnomalyConfig.from_args)."""
+    p.add_argument(
+        "--anomaly",
+        action="store_true",
+        help="enable the online invariant checkers (off by default: zero cost)",
+    )
+    p.add_argument(
+        "--anomaly-checkers",
+        default=None,
+        metavar="KINDS",
+        help=(
+            "comma-separated checker kinds to run (default: all; see "
+            "`repro.obs.anomaly.ALL_KINDS`)"
+        ),
+    )
+    p.add_argument(
+        "--anomaly-log-capacity",
+        type=int,
+        default=None,
+        help="ring capacity of the anomaly event log (default 256)",
+    )
+    p.add_argument(
+        "--anomaly-severity",
+        default=None,
+        choices=["info", "warning", "critical"],
+        help="flight-recorder trigger severity (default critical)",
+    )
+
+
 def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--telemetry",
@@ -752,6 +852,24 @@ def build_parser() -> argparse.ArgumentParser:
             "overload-graceful capture: shed samples instead of stalling "
             "on PEBS buffer overrun, adaptive reset-value backoff"
         ),
+    )
+    _add_anomaly_args(p_run)
+    p_run.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "arm the flight recorder: recent capture checkpoints ride a "
+            "bounded in-memory ring, and an anomaly at or above "
+            "--anomaly-severity seals it into a tagged incident bundle "
+            "here (requires --anomaly)"
+        ),
+    )
+    p_run.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=16,
+        help="flight ring capacity in sealed segments (default 16)",
     )
     _add_telemetry_args(p_run)
     p_run.set_defaults(func=cmd_run)
@@ -942,6 +1060,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reject any frame larger than this",
     )
     _add_ingest_args(p_serve)
+    _add_anomaly_args(p_serve)
     _add_telemetry_args(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
@@ -977,6 +1096,14 @@ def build_parser() -> argparse.ArgumentParser:
         "runs", help="list the runs held by an ingestion store"
     )
     p_runs.add_argument("--store", required=True, help="store root directory")
+    p_runs.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "machine-readable output: one record per committed run with "
+            "run, segments, bytes, committed_at, interrupted"
+        ),
+    )
     p_runs.set_defaults(func=cmd_runs)
 
     p_ver = sub.add_parser(
@@ -1022,6 +1149,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--interval", type=float, default=0.5, help="seconds between repaints"
     )
     _add_ingest_args(p_mon, default_policy="quarantine")
+    _add_anomaly_args(p_mon)
+    p_mon.add_argument(
+        "--no-heatmap",
+        action="store_true",
+        help="skip the per-core × time heatmap after ingest finishes",
+    )
+    p_mon.add_argument(
+        "--buckets",
+        type=int,
+        default=48,
+        help="heatmap time buckets (terminal columns used)",
+    )
     p_mon.add_argument(
         "--telemetry",
         metavar="PATH",
@@ -1029,6 +1168,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the final metrics here (.json, or Prometheus text)",
     )
     p_mon.set_defaults(func=cmd_monitor)
+
+    p_fleet = sub.add_parser(
+        "fleet",
+        help="health rollup of every committed run in an ingestion store",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_fleet.add_argument("--store", required=True, help="store root directory")
+    p_fleet.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_fleet.set_defaults(func=cmd_fleet)
 
     p_exp = sub.add_parser("export", help="export to viewer formats")
     p_exp.add_argument("tracefile")

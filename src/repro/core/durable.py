@@ -713,10 +713,170 @@ def recover(
     )
 
 
+# ---------------------------------------------------------------------------
+# Flight-recorder segment ring
+
+
+@dataclass
+class _RingSamples:
+    core: int
+    samples: SampleArrays
+
+
+@dataclass
+class _RingSwitches:
+    core: int
+    ts: np.ndarray
+    item: np.ndarray
+    kinds: list
+
+
+class SegmentRing:
+    """Bounded in-memory ring of recent capture segments.
+
+    The flight-recorder counterpart of :class:`DurableTraceWriter`: it
+    accepts the same checkpoint deltas (``append_samples`` /
+    ``append_switches`` / ``append_meta``) but retains only the newest
+    ``capacity`` data segments, evicting the oldest — and *counting*
+    what fell off, so a sealed incident bundle says exactly which spans
+    its history no longer covers.  Metadata patches are tiny and
+    load-bearing (shed spans, degradation flags); they are merged and
+    kept whole, never evicted.
+
+    :meth:`seal_incident` replays the retained segments through a fresh
+    :class:`DurableTraceWriter` and finalizes it, producing a valid
+    version-3 container with the triggering anomaly stamped into its
+    meta — consumable by ``repro diagnose`` and ``repro push`` like any
+    other trace.
+    """
+
+    def __init__(
+        self,
+        symtab: SymbolTable,
+        meta: dict | None = None,
+        *,
+        capacity: int = 16,
+    ) -> None:
+        if capacity < 1:
+            raise TraceWriteError(f"ring capacity must be >= 1, got {capacity}")
+        self.symtab = symtab
+        self.meta = dict(meta or {})
+        self.capacity = capacity
+        self._entries: list = []
+        self._meta_patch: dict = {}
+        self.appended_segments = 0
+        self.evicted_segments = 0
+        self.evicted_samples = 0
+        self.evicted_marks = 0
+        #: Per-core ``[lo, hi]`` timestamp spans of evicted sample data —
+        #: the incident bundle's "history starts here" record.
+        self.evicted_spans: dict[int, list[list[int]]] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- writer-compatible surface ----------------------------------------
+    def append_samples(self, core: int, samples: SampleArrays) -> int:
+        seq = self.appended_segments
+        self._entries.append(_RingSamples(core=int(core), samples=samples))
+        self.appended_segments += 1
+        self._evict()
+        return seq
+
+    def append_switches(self, core: int, records: SwitchRecords, start: int = 0) -> int:
+        seq = self.appended_segments
+        # Materialize the delta: the tracer keeps appending to
+        # ``records``, so a live slice taken at seal time would cover a
+        # different range than the checkpoint that produced it.
+        self._entries.append(
+            _RingSwitches(
+                core=int(records.core_id),
+                ts=records.ts[start:].copy(),
+                item=records.item[start:].copy(),
+                kinds=list(records.kinds[start:]),
+            )
+        )
+        del core  # the records carry their core id; kept for call symmetry
+        self.appended_segments += 1
+        self._evict()
+        return seq
+
+    def append_meta(self, patch: dict) -> int:
+        _deep_merge(self._meta_patch, patch)
+        return -1
+
+    def _evict(self) -> None:
+        while len(self._entries) > self.capacity:
+            gone = self._entries.pop(0)
+            self.evicted_segments += 1
+            if isinstance(gone, _RingSamples):
+                n = len(gone.samples)
+                self.evicted_samples += n
+                if n:
+                    self.evicted_spans.setdefault(gone.core, []).append(
+                        [int(gone.samples.ts[0]), int(gone.samples.ts[-1])]
+                    )
+            else:
+                self.evicted_marks += int(gone.ts.shape[0])
+
+    def eviction_summary(self) -> dict:
+        return {
+            "segments": self.evicted_segments,
+            "samples": self.evicted_samples,
+            "marks": self.evicted_marks,
+            "spans": {str(c): s for c, s in self.evicted_spans.items()},
+        }
+
+    # -- sealing -----------------------------------------------------------
+    def seal_incident(
+        self,
+        path: str | pathlib.Path,
+        incident: dict,
+        *,
+        io: RecorderIO | None = None,
+        compress: bool = True,
+    ) -> RecoveryReport:
+        """Write the ring's contents as a tagged incident container.
+
+        ``incident`` lands under the container's ``incident`` meta key,
+        alongside a ``flightrec`` block recording what the bounded ring
+        had already evicted.  Raises
+        :class:`~repro.errors.TraceWriteError` on storage failure, like
+        any durable write.
+        """
+        writer = DurableTraceWriter(
+            path, self.symtab, self.meta, compress=compress, io=io
+        )
+        for entry in self._entries:
+            if isinstance(entry, _RingSamples):
+                writer.append_samples(entry.core, entry.samples)
+            else:
+                writer.append_switches(
+                    entry.core,
+                    SwitchRecords.from_arrays(
+                        entry.core, entry.ts, entry.item, entry.kinds
+                    ),
+                )
+        patch = dict(self._meta_patch)
+        patch["incident"] = dict(incident)
+        patch["flightrec"] = self.eviction_summary()
+        writer.append_meta(patch)
+        return writer.finalize()
+
+
+def _deep_merge(dst: dict, src: dict) -> None:
+    for key, value in src.items():
+        if isinstance(value, dict) and isinstance(dst.get(key), dict):
+            _deep_merge(dst[key], value)
+        else:
+            dst[key] = value
+
+
 __all__ = [
     "DurableTraceWriter",
     "RecorderIO",
     "RecoveryReport",
+    "SegmentRing",
     "recover",
     "read_journal",
     "journal_dir_for",

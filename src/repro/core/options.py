@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.core.integrity import check_policy
 from repro.errors import TraceError
+from repro.obs.anomaly import AnomalyConfig
 
 #: Default samples per chunk (~1.5 MB of raw columns at 24 B/sample).
 DEFAULT_CHUNK_SIZE = 65536
@@ -53,6 +54,8 @@ class IngestOptions:
     retry_backoff_s: float = 0.05
     #: Raw PEBS record size used for byte accounting.
     record_bytes: int = DEFAULT_RECORD_BYTES
+    #: Online invariant checking (off by default: zero-cost when disabled).
+    anomaly: AnomalyConfig = AnomalyConfig()
 
     def __post_init__(self) -> None:
         if self.chunk_size is not None and self.chunk_size < 1:
@@ -74,6 +77,10 @@ class IngestOptions:
             )
         if self.record_bytes < 1:
             raise TraceError(f"record_bytes must be >= 1, got {self.record_bytes}")
+        if not isinstance(self.anomaly, AnomalyConfig):
+            raise TraceError(
+                f"anomaly must be an AnomalyConfig, got {type(self.anomaly).__name__}"
+            )
 
     def replace(self, **changes) -> "IngestOptions":
         """A copy with the given fields changed (validated again)."""
@@ -95,4 +102,5 @@ class IngestOptions:
             on_corruption=getattr(args, "on_corruption", defaults.on_corruption),
             shard_timeout=getattr(args, "shard_timeout", defaults.shard_timeout),
             max_retries=getattr(args, "max_retries", defaults.max_retries),
+            anomaly=AnomalyConfig.from_args(args),
         )

@@ -70,6 +70,13 @@ from repro.core.symbols import UNKNOWN, SymbolTable
 from repro.core.tracefile import TraceReader
 from repro.errors import IntegrationError, ShardError, TraceError
 from repro.machine.pebs import SampleArrays
+from repro.obs.anomaly import (
+    AnomalyLog,
+    CoverageChecker,
+    IngestCheckers,
+    KIND_LOW_COVERAGE,
+    build_ingest_checkers,
+)
 from repro.obs.instrumented import pipeline as _obs
 from repro.obs.spans import span
 
@@ -409,6 +416,9 @@ class IngestResult:
     stats: IngestStats
     quarantine: QuarantineLog = field(default_factory=QuarantineLog)
     coverage: dict[int, CoverageStats] = field(default_factory=dict)
+    #: Invariant violations observed while streaming (None unless
+    #: ``options.anomaly.enabled``).
+    anomalies: AnomalyLog | None = None
 
 
 #: Defect kinds whose ts spans localise lost *samples* (not switch marks).
@@ -424,6 +434,7 @@ def _stream_core(
     coverage: CoverageStats,
     diagnoser: OnlineDiagnoser | None = None,
     record_bytes: int = DEFAULT_RECORD_BYTES,
+    checkers: IngestCheckers | None = None,
 ) -> tuple[HybridTrace, int]:
     """Stream-integrate one core under a corruption policy.
 
@@ -441,6 +452,10 @@ def _stream_core(
     integ = StreamingIntegrator(
         reader.symtab, windows, tolerate_reorder=(policy == POLICY_REPAIR)
     )
+    if checkers is not None:
+        # The integrator already holds the paired windows as sorted
+        # start/end columns — exactly what the mark-gap invariant needs.
+        checkers.check_windows(integ._starts, integ._ends)
     chunks = 0
     with span("ingest.stream", core=core):
         for chunk in reader.iter_sample_chunks(
@@ -448,6 +463,8 @@ def _stream_core(
         ):
             integ.feed(chunk)
             chunks += 1
+            if checkers is not None:
+                checkers.observe_chunk(chunk.ts)
             if diagnoser is not None:
                 for done in integ.drain_completed():
                     diagnoser.observe_item(
@@ -468,6 +485,8 @@ def _stream_core(
                 coverage.mark_degraded(
                     degraded_items_for_span(windows, d.ts_lo, d.ts_hi)
                 )
+    if checkers is not None:
+        checkers.check_coverage(coverage)
     return trace, chunks
 
 
@@ -581,6 +600,7 @@ def ingest_trace(
     retries: dict[int, int] = {}
     chunks_by_core: dict[int, int] = {}
     total_chunks = 0
+    anomalies = AnomalyLog(opts.anomaly.log_capacity) if opts.anomaly.enabled else None
     if workers == 1:
         with TraceReader(path) as reader:
             use_cores = cores if cores is not None else reader.sample_cores
@@ -597,6 +617,9 @@ def ingest_trace(
                             cov,
                             diagnoser=diagnoser,
                             record_bytes=record_bytes,
+                            checkers=build_ingest_checkers(
+                                anomalies, opts.anomaly, core
+                            ),
                         )
                 except TraceError as exc:
                     if strict:
@@ -646,6 +669,12 @@ def ingest_trace(
         cov.shard_failed = True
         cov.unknown_extent = True
         cov.retries = retries.get(core, 0)
+    if anomalies is not None and workers > 1 and opts.anomaly.wants(KIND_LOW_COVERAGE):
+        # Workers cannot share the parent's log; the in-stream checkers
+        # need workers=1 (repro monitor forces it), but the end-of-shard
+        # coverage invariant replays here from the collected stats.
+        for core in sorted(coverage):
+            CoverageChecker(anomalies, opts.anomaly).check(coverage[core])
     if not per_core:
         if shard_failures:
             raise ShardError(
@@ -688,4 +717,5 @@ def ingest_trace(
         stats=stats,
         quarantine=quarantine,
         coverage=coverage,
+        anomalies=anomalies,
     )

@@ -40,7 +40,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.hybrid import HybridTrace, integrate
+from repro.core.hybrid import HybridTrace, integrate, integrate_degraded
 from repro.core.integrity import (
     KIND_CHECKSUM,
     KIND_LENGTH,
@@ -294,8 +294,25 @@ class TraceFile:
         except KeyError:
             raise TraceError(f"trace file has no switch records for core {core}")
 
-    def integrate(self, core: int) -> HybridTrace:
-        """Run the paper's integration for one core, offline."""
+    def integrate(self, core: int, *, lenient: bool | None = None) -> HybridTrace:
+        """Run the paper's integration for one core, offline.
+
+        ``lenient=None`` (the default) auto-detects: containers sealed
+        *mid-run* — flight-recorder incident bundles (``incident`` meta)
+        and signal-interrupted durable sessions (``interrupted`` meta) —
+        necessarily cut items in flight, leaving dangling START marks
+        that strict integration rejects.  Those route through
+        :func:`~repro.core.hybrid.integrate_degraded`, which pairs what
+        genuinely paired and drops the cut marks.  Pass ``lenient=True``
+        / ``False`` to force either path.
+        """
+        if lenient is None:
+            lenient = "incident" in self.meta or "interrupted" in self.meta
+        if lenient:
+            trace, _coverage = integrate_degraded(
+                self.samples(core), self.switches(core), self.symtab
+            )
+            return trace
         return integrate(self.samples(core), self.switches(core), self.symtab)
 
 

@@ -146,6 +146,9 @@ class PEBSUnit:
         #: Samples [0, barrier) are durably checkpointed and must never be
         #: shed (the watchdog advances this after each sealed delta).
         self.checkpoint_barrier = 0
+        #: Optional online observer ``shed_listener(lo, hi, n)`` called
+        #: the instant a span is shed (the shed-burst anomaly checker).
+        self.shed_listener = None
         self._finalized: SampleArrays | None = None
 
     # -- OverflowSink protocol -------------------------------------------
@@ -209,13 +212,16 @@ class PEBSUnit:
         durability barrier — sealed samples are already on disk)."""
         n = min(records, len(self._ts) - self.checkpoint_barrier)
         if n > 0:
-            self.shed_spans.append((self._ts[-n], self._ts[-1]))
+            lo, hi = self._ts[-n], self._ts[-1]
+            self.shed_spans.append((lo, hi))
             del self._ts[-n:]
             del self._ip[-n:]
             del self._tag[-n:]
             self.shed_samples += n
             self._finalized = None
             _obs().overflow_drops.inc(n)
+            if self.shed_listener is not None:
+                self.shed_listener(lo, hi, n)
 
     # -- host-side access --------------------------------------------------
     def flush(self) -> int:

@@ -72,6 +72,10 @@ class SoftwareSampler:
         self._ip: list[int] = []
         self._tag: list[int] = []
         self.dropped = 0
+        #: Optional online observer ``drop_listener(serviced, dropped)``
+        #: called per overflow block — a live sample-rate-collapse signal
+        #: (the achieved rate flooring of Fig 4, observed as it happens).
+        self.drop_listener = None
         self._finalized: SampleArrays | None = None
 
     # -- OverflowSink protocol -------------------------------------------
@@ -117,6 +121,8 @@ class SoftwareSampler:
         if capacity_drops:
             ins.sw_dropped.inc(capacity_drops)
             ins.sw_drop_reason("capacity").inc(capacity_drops)
+        if self.drop_listener is not None and (busy_drops or capacity_drops):
+            self.drop_listener(serviced, busy_drops + capacity_drops)
         return extra
 
     # -- host-side access --------------------------------------------------

@@ -11,7 +11,14 @@ the reproduction itself.  Three modules:
   CPU time, a bounded ring-buffer recorder, and Chrome-trace export;
 * :mod:`repro.obs.instrumented` — the instrument bundle the pipeline's
   hot paths poke, plus the quarantine-summary publication that keeps
-  stderr text and exported counters identical.
+  stderr text and exported counters identical;
+* :mod:`repro.obs.anomaly` — online invariant checkers over the live
+  capture/ingest paths, emitting typed :class:`AnomalyEvent` records
+  into a bounded :class:`AnomalyLog`;
+* :mod:`repro.obs.flightrec` — the anomaly-triggered flight recorder
+  that seals recent capture checkpoints into incident bundles;
+* :mod:`repro.obs.heatmap` — per-core × time terminal heatmaps and the
+  fleet health rollup.
 
 Telemetry is **off by default**: the null registry / absent recorder
 make every instrumented call a no-op (< 5 % overhead budget, enforced
@@ -47,9 +54,34 @@ from repro.obs.spans import (
     span,
     use_recorder,
 )
+from repro.obs.anomaly import (
+    ALL_KINDS,
+    AnomalyConfig,
+    AnomalyEvent,
+    AnomalyLog,
+    severity_rank,
+)
 from repro.obs.instrumented import PipelineInstruments, pipeline, publish_quarantine
 
+
+def __getattr__(name: str):
+    # flightrec reaches down into repro.core.durable, which itself pokes
+    # the telemetry registry — importing it eagerly here would close an
+    # import cycle.  Resolve its names on first use instead.
+    if name in ("FlightRecorder", "Incident"):
+        from repro.obs import flightrec
+
+        return getattr(flightrec, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
+    "ALL_KINDS",
+    "AnomalyConfig",
+    "AnomalyEvent",
+    "AnomalyLog",
+    "FlightRecorder",
+    "Incident",
+    "severity_rank",
     "NULL_REGISTRY",
     "Counter",
     "Gauge",

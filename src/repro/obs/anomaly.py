@@ -1,0 +1,619 @@
+"""Online invariant checkers over the live capture and ingest paths.
+
+The paper diagnoses fluctuations *after* the fact; the scheduler-bug
+study that motivates this module showed the complementary tool: an
+**online sanity checker** that catches invariant violations the moment
+they happen, cheap enough to leave on.  Six invariants are checked:
+
+``idle-core-while-items-queue``
+    A core busy-polls a queue while items sit queued — the produce/
+    consume rates have diverged (the paper's Fig 6 failure mode).
+``switch-mark-gap``
+    The gap between consecutive item windows on a core dwarfs the
+    typical inter-item gap: the pipeline stalled between items.
+``sample-rate-collapse``
+    A core's achieved sample rate falls to a fraction of its own
+    running rate — capture is losing resolution exactly when it is
+    needed (the Fig 4 phenomenon, observed online).
+``coverage-below-threshold``
+    Corruption/shedding accounting says too little of a core's data
+    survived for its numbers to be trusted.
+``shed-span-burst``
+    The overload-graceful PEBS buffer shed several spans in quick
+    succession — sustained capture overload, not a blip.
+``credit-window-starvation``
+    The ingestion daemon withheld a producer's credits for many
+    consecutive ACKs: backpressure has hardened into starvation.
+
+Each violation is a typed :class:`AnomalyEvent` (kind, severity, core,
+window, evidence) appended to a bounded, thread-safe
+:class:`AnomalyLog`.  Subscribers (the flight recorder) see events
+synchronously; everything is off by default and costs nothing until
+:class:`AnomalyConfig` enables it — the same <5 % budget discipline as
+the telemetry registry, enforced by tests.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field, replace as _dc_replace
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+# -- kinds and severities ---------------------------------------------------
+
+KIND_IDLE_CORE = "idle-core-while-items-queue"
+KIND_MARK_GAP = "switch-mark-gap"
+KIND_RATE_COLLAPSE = "sample-rate-collapse"
+KIND_LOW_COVERAGE = "coverage-below-threshold"
+KIND_SHED_BURST = "shed-span-burst"
+KIND_CREDIT_STARVATION = "credit-window-starvation"
+
+#: Every checker kind, in documentation order.
+ALL_KINDS = (
+    KIND_IDLE_CORE,
+    KIND_MARK_GAP,
+    KIND_RATE_COLLAPSE,
+    KIND_LOW_COVERAGE,
+    KIND_SHED_BURST,
+    KIND_CREDIT_STARVATION,
+)
+
+SEVERITIES = ("info", "warning", "critical")
+
+
+def severity_rank(severity: str) -> int:
+    """Ordinal of a severity name (raises on unknown names)."""
+    try:
+        return SEVERITIES.index(severity)
+    except ValueError:
+        raise ConfigError(
+            f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+        )
+
+
+@dataclass(frozen=True)
+class AnomalyEvent:
+    """One invariant violation, typed and self-describing.
+
+    ``window`` is the virtual-time span the violation covers (``None``
+    when the invariant has no time extent, e.g. end-of-stream coverage).
+    ``evidence`` carries the checker's numbers — enough to re-derive the
+    verdict without the raw trace.
+    """
+
+    kind: str
+    severity: str
+    core: int | None = None
+    window: tuple[int, int] | None = None
+    evidence: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        severity_rank(self.severity)  # validates
+        if self.kind not in ALL_KINDS:
+            raise ConfigError(
+                f"unknown anomaly kind {self.kind!r}; expected one of {ALL_KINDS}"
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "core": self.core,
+            "window": list(self.window) if self.window is not None else None,
+            "evidence": dict(self.evidence),
+        }
+
+    def describe(self) -> str:
+        where = f" core {self.core}" if self.core is not None else ""
+        span = (
+            f" @[{self.window[0]}..{self.window[1]}]"
+            if self.window is not None
+            else ""
+        )
+        return f"[{self.severity}] {self.kind}{where}{span} {self.evidence}"
+
+
+@dataclass(frozen=True)
+class AnomalyConfig:
+    """Per-checker enable/threshold knobs, threaded through IngestOptions.
+
+    ``enabled=False`` (the default) is the master off-switch: no checker
+    object is even constructed, so a disabled run pays nothing.
+    ``checkers`` selects which invariants run; thresholds below tune
+    each one.  ``trigger_severity`` is the flight recorder's seal
+    threshold (events below it only log).
+    """
+
+    enabled: bool = False
+    checkers: tuple[str, ...] = ALL_KINDS
+    log_capacity: int = 256
+    trigger_severity: str = "critical"
+    #: switch-mark-gap: flag gaps > factor x the core's median gap.
+    mark_gap_factor: float = 8.0
+    #: switch-mark-gap: need at least this many windows for a median.
+    min_gap_windows: int = 8
+    #: sample-rate-collapse: flag chunks whose rate < ratio x running rate.
+    rate_collapse_ratio: float = 0.25
+    #: sample-rate-collapse: chunks of history required before judging.
+    min_rate_chunks: int = 4
+    #: coverage-below-threshold: minimum acceptable sample/window coverage.
+    coverage_threshold: float = 0.9
+    #: shed-span-burst: spans shed since the last event that make a burst.
+    shed_burst_spans: int = 4
+    #: idle-core: cumulative spin cycles on one queue that fire the event.
+    idle_wait_cycles: int = 100_000
+    #: idle-core: items that must be sitting in the queue while spinning.
+    idle_min_depth: int = 1
+    #: credit-window-starvation: consecutive withheld ACKs that fire it.
+    starved_acks: int = 8
+
+    def __post_init__(self) -> None:
+        severity_rank(self.trigger_severity)  # validates
+        for kind in self.checkers:
+            if kind not in ALL_KINDS:
+                raise ConfigError(
+                    f"unknown checker {kind!r}; expected one of {ALL_KINDS}"
+                )
+        if self.log_capacity < 1:
+            raise ConfigError(
+                f"log_capacity must be >= 1, got {self.log_capacity}"
+            )
+        if self.mark_gap_factor <= 1.0:
+            raise ConfigError(
+                f"mark_gap_factor must be > 1, got {self.mark_gap_factor}"
+            )
+        if not 0.0 < self.rate_collapse_ratio < 1.0:
+            raise ConfigError(
+                "rate_collapse_ratio must be in (0, 1), got "
+                f"{self.rate_collapse_ratio}"
+            )
+        if not 0.0 < self.coverage_threshold <= 1.0:
+            raise ConfigError(
+                "coverage_threshold must be in (0, 1], got "
+                f"{self.coverage_threshold}"
+            )
+        for name in (
+            "min_gap_windows",
+            "min_rate_chunks",
+            "shed_burst_spans",
+            "idle_wait_cycles",
+            "idle_min_depth",
+            "starved_acks",
+        ):
+            if getattr(self, name) < 1:
+                raise ConfigError(
+                    f"{name} must be >= 1, got {getattr(self, name)}"
+                )
+
+    def replace(self, **kw) -> "AnomalyConfig":
+        return _dc_replace(self, **kw)
+
+    def wants(self, kind: str) -> bool:
+        return self.enabled and kind in self.checkers
+
+    @classmethod
+    def from_args(cls, args) -> "AnomalyConfig":
+        """Build from CLI args (missing attributes keep their defaults)."""
+        cfg = cls(enabled=bool(getattr(args, "anomaly", False)))
+        checkers = getattr(args, "anomaly_checkers", None)
+        if checkers:
+            names = tuple(c.strip() for c in checkers.split(",") if c.strip())
+            cfg = cfg.replace(checkers=names)
+        capacity = getattr(args, "anomaly_log_capacity", None)
+        if capacity is not None:
+            cfg = cfg.replace(log_capacity=int(capacity))
+        severity = getattr(args, "anomaly_severity", None)
+        if severity is not None:
+            cfg = cfg.replace(trigger_severity=severity)
+        return cfg
+
+
+class AnomalyLog:
+    """Bounded, thread-safe ring of :class:`AnomalyEvent` objects.
+
+    The newest ``capacity`` events are retained; older ones fall off the
+    ring and are *counted* (``dropped``), never silently lost from the
+    accounting.  ``subscribe`` registers a synchronous observer — the
+    flight recorder uses it to seal incident bundles the moment a
+    qualifying event fires.  Emission also feeds the telemetry registry
+    (``repro_anomaly_events_total{kind=...}``) when one is installed.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: deque[AnomalyEvent] = deque()
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._subscribers: list = []
+        self.dropped = 0
+        self.total = 0
+
+    def emit(self, event: AnomalyEvent) -> None:
+        with self._lock:
+            self._events.append(event)
+            aged = len(self._events) > self.capacity
+            if aged:
+                self._events.popleft()
+                self.dropped += 1
+            self._counts[event.kind] = self._counts.get(event.kind, 0) + 1
+            self.total += 1
+            subscribers = list(self._subscribers)
+        from repro.obs.instrumented import pipeline as _obs
+
+        ins = _obs()
+        if ins.enabled:
+            ins.anomaly_events(event.kind).inc()
+            if aged:
+                ins.anomaly_dropped.inc()
+        for fn in subscribers:
+            fn(event)
+
+    def subscribe(self, fn) -> None:
+        """Register ``fn(event)`` to run synchronously on every emit."""
+        with self._lock:
+            self._subscribers.append(fn)
+
+    def events(
+        self, kind: str | None = None, min_severity: str | None = None
+    ) -> list[AnomalyEvent]:
+        with self._lock:
+            out = list(self._events)
+        if kind is not None:
+            out = [e for e in out if e.kind == kind]
+        if min_severity is not None:
+            floor = severity_rank(min_severity)
+            out = [e for e in out if severity_rank(e.severity) >= floor]
+        return out
+
+    @property
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counts)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def summary(self, last: int = 32) -> dict:
+        """JSON-able digest for stamping into trace/incident metadata."""
+        with self._lock:
+            tail = list(self._events)[-last:]
+            return {
+                "total": self.total,
+                "dropped": self.dropped,
+                "counts": dict(self._counts),
+                "events": [e.to_dict() for e in tail],
+            }
+
+
+# -- checkers ---------------------------------------------------------------
+
+#: Bound on events one checker instance emits — a pathological run must
+#: not spend its time formatting anomaly evidence.
+MAX_EVENTS_PER_CHECKER = 8
+
+
+class MarkGapChecker:
+    """switch-mark-gap: inter-window gaps vs. the core's own median."""
+
+    kind = KIND_MARK_GAP
+
+    def __init__(self, log: AnomalyLog, config: AnomalyConfig, core: int) -> None:
+        self.log = log
+        self.config = config
+        self.core = core
+        self.emitted = 0
+
+    def check_windows(self, starts: np.ndarray, ends: np.ndarray) -> None:
+        n = int(starts.shape[0])
+        if n < self.config.min_gap_windows:
+            return
+        order = np.argsort(starts, kind="stable")
+        s, e = starts[order], ends[order]
+        gaps = s[1:] - np.maximum.accumulate(e)[:-1]
+        gaps = np.maximum(gaps, 0)
+        median = float(np.median(gaps))
+        threshold = self.config.mark_gap_factor * max(median, 1.0)
+        for i in np.nonzero(gaps > threshold)[0].tolist():
+            if self.emitted >= MAX_EVENTS_PER_CHECKER:
+                return
+            self.emitted += 1
+            lo = int(np.maximum.accumulate(e)[:-1][i])
+            hi = int(s[1:][i])
+            self.log.emit(
+                AnomalyEvent(
+                    kind=self.kind,
+                    severity="warning",
+                    core=self.core,
+                    window=(lo, hi),
+                    evidence={
+                        "gap_cycles": int(gaps[i]),
+                        "median_gap_cycles": median,
+                        "factor": self.config.mark_gap_factor,
+                    },
+                )
+            )
+
+
+class RateCollapseChecker:
+    """sample-rate-collapse: per-chunk rate vs. the core's running rate."""
+
+    kind = KIND_RATE_COLLAPSE
+
+    def __init__(self, log: AnomalyLog, config: AnomalyConfig, core: int) -> None:
+        self.log = log
+        self.config = config
+        self.core = core
+        self.emitted = 0
+        self._chunks = 0
+        self._total_samples = 0
+        self._total_span = 0
+
+    def observe_chunk(self, ts: np.ndarray) -> None:
+        n = int(ts.shape[0])
+        if n < 2:
+            return
+        span = int(ts[-1]) - int(ts[0])
+        if span <= 0:
+            return
+        rate = n / span
+        if (
+            self._chunks >= self.config.min_rate_chunks
+            and self._total_span > 0
+            and self.emitted < MAX_EVENTS_PER_CHECKER
+        ):
+            baseline = self._total_samples / self._total_span
+            if rate < self.config.rate_collapse_ratio * baseline:
+                self.emitted += 1
+                self.log.emit(
+                    AnomalyEvent(
+                        kind=self.kind,
+                        severity="warning",
+                        core=self.core,
+                        window=(int(ts[0]), int(ts[-1])),
+                        evidence={
+                            "chunk_rate": rate,
+                            "running_rate": baseline,
+                            "ratio": rate / baseline,
+                            "threshold": self.config.rate_collapse_ratio,
+                        },
+                    )
+                )
+        self._chunks += 1
+        self._total_samples += n
+        self._total_span += span
+
+
+class CoverageChecker:
+    """coverage-below-threshold: end-of-stream integrity accounting."""
+
+    kind = KIND_LOW_COVERAGE
+
+    def __init__(self, log: AnomalyLog, config: AnomalyConfig) -> None:
+        self.log = log
+        self.config = config
+        self.emitted = 0
+
+    def check(self, coverage) -> None:
+        if self.emitted >= MAX_EVENTS_PER_CHECKER:
+            return
+        sample_cov = coverage.sample_coverage
+        window_cov = coverage.window_coverage
+        floor = self.config.coverage_threshold
+        if sample_cov >= floor and window_cov >= floor and not coverage.shard_failed:
+            return
+        self.emitted += 1
+        self.log.emit(
+            AnomalyEvent(
+                kind=self.kind,
+                severity="critical",
+                core=coverage.core,
+                window=None,
+                evidence={
+                    "sample_coverage": sample_cov,
+                    "window_coverage": window_cov,
+                    "threshold": floor,
+                    "shard_failed": bool(coverage.shard_failed),
+                    "degraded_items": len(coverage.degraded_items),
+                },
+            )
+        )
+
+
+class ShedBurstChecker:
+    """shed-span-burst: the PEBS unit shed several spans back to back.
+
+    Wired as each unit's ``shed_listener`` so the check runs the moment
+    a span is shed, not at the next checkpoint.
+    """
+
+    kind = KIND_SHED_BURST
+
+    def __init__(self, log: AnomalyLog, config: AnomalyConfig) -> None:
+        self.log = log
+        self.config = config
+        self._spans: dict[int, int] = {}
+        self._burst_lo: dict[int, int] = {}
+        self._shed_samples: dict[int, int] = {}
+        self.emitted = 0
+
+    def on_shed(self, core: int, lo: int, hi: int, n_samples: int) -> None:
+        count = self._spans.get(core, 0) + 1
+        self._spans[core] = count
+        self._shed_samples[core] = self._shed_samples.get(core, 0) + n_samples
+        if count == 1:
+            self._burst_lo[core] = lo
+        if count >= self.config.shed_burst_spans:
+            if self.emitted < MAX_EVENTS_PER_CHECKER:
+                self.emitted += 1
+                self.log.emit(
+                    AnomalyEvent(
+                        kind=self.kind,
+                        severity="warning",
+                        core=core,
+                        window=(self._burst_lo.get(core, lo), hi),
+                        evidence={
+                            "spans": count,
+                            "shed_samples": self._shed_samples.get(core, 0),
+                            "burst_threshold": self.config.shed_burst_spans,
+                        },
+                    )
+                )
+            self._spans[core] = 0
+            self._shed_samples[core] = 0
+
+
+class IdleQueueChecker:
+    """idle-core-while-items-queue: scheduler-side spin accounting.
+
+    The scheduler reports every backpressure/empty-poll spin through
+    :meth:`on_wait`; once a core's cumulative spin on one queue crosses
+    ``idle_wait_cycles`` *while items were queued*, the invariant has
+    been violated for real — one event fires per crossing, critical,
+    because this is the paper's headline produce/consume divergence.
+    """
+
+    kind = KIND_IDLE_CORE
+
+    def __init__(self, log: AnomalyLog, config: AnomalyConfig) -> None:
+        self.log = log
+        self.config = config
+        self._wait: dict[tuple[int, str], int] = {}
+        self._waits_n: dict[tuple[int, str], int] = {}
+        self._lo: dict[tuple[int, str], int] = {}
+        self.emitted = 0
+
+    def on_wait(
+        self, core: int, op: str, queue, wait: int, depth: int, ts: int
+    ) -> None:
+        if wait <= 0 or depth < self.config.idle_min_depth:
+            return
+        key = (core, queue.name)
+        total = self._wait.get(key, 0)
+        if total == 0:
+            self._lo[key] = ts
+        total += wait
+        self._waits_n[key] = self._waits_n.get(key, 0) + 1
+        if total >= self.config.idle_wait_cycles:
+            if self.emitted < MAX_EVENTS_PER_CHECKER:
+                self.emitted += 1
+                self.log.emit(
+                    AnomalyEvent(
+                        kind=self.kind,
+                        severity="critical",
+                        core=core,
+                        window=(self._lo.get(key, ts), ts + wait),
+                        evidence={
+                            "queue": queue.name,
+                            "op": op,
+                            "wait_cycles": total,
+                            "waits": self._waits_n.get(key, 0),
+                            "depth": depth,
+                            "peak_depth": getattr(queue, "peak_depth", 0),
+                            "threshold": self.config.idle_wait_cycles,
+                        },
+                    )
+                )
+            total = 0
+            self._waits_n[key] = 0
+        self._wait[key] = total
+
+
+class CreditStarvationChecker:
+    """credit-window-starvation: daemon-side withheld-ACK accounting."""
+
+    kind = KIND_CREDIT_STARVATION
+
+    def __init__(self, log: AnomalyLog, config: AnomalyConfig) -> None:
+        self.log = log
+        self.config = config
+        self._withheld: dict[str, int] = {}
+        self.emitted = 0
+
+    def on_withheld(self, run: str | None, queue_depth: int, credits: int) -> None:
+        key = run or "?"
+        n = self._withheld.get(key, 0) + 1
+        self._withheld[key] = n
+        if n >= self.config.starved_acks:
+            if self.emitted < MAX_EVENTS_PER_CHECKER:
+                self.emitted += 1
+                self.log.emit(
+                    AnomalyEvent(
+                        kind=self.kind,
+                        severity="critical",
+                        core=None,
+                        window=None,
+                        evidence={
+                            "run": key,
+                            "withheld_acks": n,
+                            "queue_depth": queue_depth,
+                            "credits": credits,
+                            "threshold": self.config.starved_acks,
+                        },
+                    )
+                )
+            self._withheld[key] = 0
+
+    def on_restored(self, run: str | None) -> None:
+        self._withheld[run or "?"] = 0
+
+
+class IngestCheckers:
+    """The ingest-path checker bundle for one core.
+
+    Built only when anomaly checking is enabled, so the streaming loop's
+    only cost when disabled is one ``is not None`` test per call site —
+    the same discipline as the null telemetry registry.
+    """
+
+    __slots__ = ("mark_gap", "rate", "coverage_checker")
+
+    def __init__(self, log: AnomalyLog, config: AnomalyConfig, core: int) -> None:
+        self.mark_gap = (
+            MarkGapChecker(log, config, core)
+            if config.wants(KIND_MARK_GAP)
+            else None
+        )
+        self.rate = (
+            RateCollapseChecker(log, config, core)
+            if config.wants(KIND_RATE_COLLAPSE)
+            else None
+        )
+        self.coverage_checker = (
+            CoverageChecker(log, config)
+            if config.wants(KIND_LOW_COVERAGE)
+            else None
+        )
+
+    def check_windows(self, starts: np.ndarray, ends: np.ndarray) -> None:
+        if self.mark_gap is not None:
+            self.mark_gap.check_windows(starts, ends)
+
+    def observe_chunk(self, ts: np.ndarray) -> None:
+        if self.rate is not None:
+            self.rate.observe_chunk(ts)
+
+    def check_coverage(self, coverage) -> None:
+        if self.coverage_checker is not None:
+            self.coverage_checker.check(coverage)
+
+
+def build_ingest_checkers(
+    log: AnomalyLog | None, config: AnomalyConfig, core: int
+) -> IngestCheckers | None:
+    """Checker bundle for one ingested core, or None when disabled."""
+    if log is None or not config.enabled:
+        return None
+    if not (
+        config.wants(KIND_MARK_GAP)
+        or config.wants(KIND_RATE_COLLAPSE)
+        or config.wants(KIND_LOW_COVERAGE)
+    ):
+        return None
+    return IngestCheckers(log, config, core)

@@ -1,0 +1,325 @@
+"""Per-core × time heatmaps of a trace container, and the fleet rollup.
+
+A fluctuation diagnosis starts with *where to look*: which core, which
+stretch of the run.  The heatmap folds one container into a small
+terminal picture — per core, virtual time bucketed into fixed-width
+cells, one shaded lane each for items completed, samples captured, and
+wait-symbol samples (busy-poll / backpressure spins), plus markers for
+shed spans and anomaly events recorded in the container's metadata.  A
+glance shows "core 0 stalled in its third quarter while core 1's queue
+waits spiked" without integrating anything by hand.
+
+:func:`fleet_rollup` is the same idea one level up: every committed run
+of a :class:`~repro.service.store.TraceStore`, one row each, with
+anomaly and incident counts pulled from the containers' metadata — the
+`repro fleet` verb.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.tracefile import TraceFile, TraceReader, load_trace
+from repro.errors import ReproError
+
+#: Intensity ramp for one heatmap cell (9 levels, space = zero).
+SHADES = " ▁▂▃▄▅▆▇█"
+
+#: Symbols whose samples count as *waiting* rather than working.  A
+#: heuristic over symbol names — the simulator's poll/backpressure
+#: symbols all match, and so do the idiomatic names real profiles use.
+WAIT_SYMBOL_RE = re.compile(r"wait|spin|poll|stall|idle|drain", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class CoreLane:
+    """One core's bucketed activity layers."""
+
+    core: int
+    #: Item windows closing per bucket (throughput shape).
+    items: np.ndarray
+    #: Samples captured per bucket (capture-rate shape).
+    samples: np.ndarray
+    #: Samples landing in wait-ish symbols per bucket.
+    waits: np.ndarray
+    #: True where an overload shed span overlaps the bucket.
+    shed: np.ndarray
+    #: bucket -> anomaly kinds whose event window touches it.
+    anomalies: dict[int, list[str]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class Heatmap:
+    """A container folded into per-core time-bucket lanes."""
+
+    t0: int
+    t1: int
+    buckets: int
+    lanes: tuple[CoreLane, ...]
+    #: Anomaly kinds seen anywhere (legend order).
+    kinds: tuple[str, ...]
+    #: The incident trigger kind, for bundles sealed by the flight
+    #: recorder (None for ordinary containers).
+    incident_kind: str | None = None
+
+
+def _bucket_of(ts: np.ndarray, t0: int, t1: int, buckets: int) -> np.ndarray:
+    span = max(1, t1 - t0)
+    idx = ((ts - t0) * buckets) // span
+    return np.clip(idx, 0, buckets - 1).astype(np.int64)
+
+
+def _bincount(idx: np.ndarray, buckets: int) -> np.ndarray:
+    if idx.shape[0] == 0:
+        return np.zeros(buckets, dtype=np.int64)
+    return np.bincount(idx, minlength=buckets)[:buckets]
+
+
+def build_heatmap(source, *, buckets: int = 48) -> Heatmap:
+    """Fold a container (path or loaded :class:`TraceFile`) into lanes.
+
+    Mid-run-sealed containers (incident bundles, interrupted runs)
+    integrate leniently, so the heatmap never refuses exactly the
+    containers one most wants to look at.
+    """
+    if buckets < 1:
+        raise ReproError(f"heatmap needs buckets >= 1, got {buckets}")
+    tf = source if isinstance(source, TraceFile) else load_trace(source)
+    cores = tf.sample_cores
+    if not cores:
+        raise ReproError("container holds no per-core data to draw")
+    # The time span covers every sample and switch mark of every core.
+    lo: list[int] = []
+    hi: list[int] = []
+    for c in cores:
+        ts = tf.samples(c).ts
+        if ts.shape[0]:
+            lo.append(int(ts[0]))
+            hi.append(int(ts[-1]))
+        sw = tf.switches(c).ts
+        if sw.shape[0]:
+            lo.append(int(sw.min()))
+            hi.append(int(sw.max()))
+    if not lo:
+        raise ReproError("container holds no timestamps to draw")
+    t0, t1 = min(lo), max(hi)
+
+    wait_idx = {
+        i for i, name in enumerate(tf.symtab.names) if WAIT_SYMBOL_RE.search(name)
+    }
+    meta = tf.meta or {}
+    shed_spans = (meta.get("capture") or {}).get("shed_spans") or {}
+    events = list(((meta.get("anomalies") or {}).get("events")) or [])
+    incident = meta.get("incident") or {}
+    trigger = incident.get("trigger")
+    if trigger:
+        events.append(trigger)
+    for ev in (incident.get("anomalies") or {}).get("events") or []:
+        events.append(ev)
+
+    kinds_seen: list[str] = []
+    lanes = []
+    for c in cores:
+        samples = tf.samples(c)
+        sample_buckets = _bucket_of(samples.ts, t0, t1, buckets)
+        sample_lane = _bincount(sample_buckets, buckets)
+        if wait_idx and samples.ts.shape[0]:
+            fidx = tf.symtab.lookup_many(samples.ip)
+            mask = np.isin(fidx, list(wait_idx))
+            wait_lane = _bincount(sample_buckets[mask], buckets)
+        else:
+            wait_lane = np.zeros(buckets, dtype=np.int64)
+        # Items: lenient integration pairs what genuinely paired, so
+        # cut-short containers still draw.
+        trace = tf.integrate(c, lenient=True)
+        ends = np.asarray([w.t_end for w in trace.windows], dtype=np.int64)
+        item_lane = _bincount(_bucket_of(ends, t0, t1, buckets), buckets)
+        shed_lane = np.zeros(buckets, dtype=bool)
+        for pair in shed_spans.get(str(c)) or shed_spans.get(c) or []:
+            s_lo = t0 if pair[0] is None else int(pair[0])
+            s_hi = t1 if pair[1] is None else int(pair[1])
+            b_lo = int(_bucket_of(np.asarray([s_lo]), t0, t1, buckets)[0])
+            b_hi = int(_bucket_of(np.asarray([s_hi]), t0, t1, buckets)[0])
+            shed_lane[b_lo : b_hi + 1] = True
+        marks: dict[int, list[str]] = {}
+        for ev in events:
+            if ev.get("core") is not None and int(ev["core"]) != c:
+                continue
+            kind = ev.get("kind", "?")
+            if kind not in kinds_seen:
+                kinds_seen.append(kind)
+            window = ev.get("window")
+            if window is None:
+                b_range = [buckets - 1]  # no extent: pin at end-of-run
+            else:
+                b_lo = int(_bucket_of(np.asarray([int(window[0])]), t0, t1, buckets)[0])
+                b_hi = int(_bucket_of(np.asarray([int(window[1])]), t0, t1, buckets)[0])
+                b_range = range(b_lo, b_hi + 1)
+            for b in b_range:
+                marks.setdefault(b, [])
+                if kind not in marks[b]:
+                    marks[b].append(kind)
+        lanes.append(
+            CoreLane(
+                core=c,
+                items=item_lane,
+                samples=sample_lane,
+                waits=wait_lane,
+                shed=shed_lane,
+                anomalies=marks,
+            )
+        )
+    return Heatmap(
+        t0=t0,
+        t1=t1,
+        buckets=buckets,
+        lanes=tuple(lanes),
+        kinds=tuple(kinds_seen),
+        incident_kind=(trigger or {}).get("kind") if trigger else None,
+    )
+
+
+def _shade(lane: np.ndarray) -> str:
+    peak = int(lane.max()) if lane.shape[0] else 0
+    if peak <= 0:
+        return " " * lane.shape[0]
+    steps = len(SHADES) - 1
+    out = []
+    for v in lane:
+        out.append(SHADES[0] if v <= 0 else SHADES[1 + min(steps - 1, (int(v) * steps - 1) // peak)])
+    return "".join(out)
+
+
+def _marker_row(lane: CoreLane, kinds: tuple[str, ...]) -> str:
+    cells = []
+    for b in range(lane.shed.shape[0]):
+        tags = lane.anomalies.get(b)
+        if tags:
+            # Letter of the first kind present; '*' when several overlap.
+            cells.append("*" if len(tags) > 1 else tags[0][0].upper())
+        elif lane.shed[b]:
+            cells.append("!")
+        else:
+            cells.append(" ")
+    return "".join(cells)
+
+
+def render_heatmap(hm: Heatmap, *, freq_ghz: float = 3.0) -> str:
+    """The terminal picture: shaded lanes per core plus a legend."""
+    span_us = (hm.t1 - hm.t0) / (freq_ghz * 1000.0)
+    lines = [
+        f"heatmap: {hm.buckets} buckets over {span_us:,.1f} us of virtual time"
+        + (f"  [incident: {hm.incident_kind}]" if hm.incident_kind else "")
+    ]
+    for lane in hm.lanes:
+        lines.append(f"  core {lane.core}")
+        lines.append(f"    items    |{_shade(lane.items)}|  peak {int(lane.items.max())}/bucket")
+        lines.append(f"    samples  |{_shade(lane.samples)}|  peak {int(lane.samples.max())}/bucket")
+        lines.append(f"    waits    |{_shade(lane.waits)}|  peak {int(lane.waits.max())}/bucket")
+        markers = _marker_row(lane, hm.kinds)
+        if markers.strip():
+            lines.append(f"    events   |{markers}|")
+    legend = ["    legend: ! shed span"]
+    for kind in hm.kinds:
+        legend.append(f"{kind[0].upper()} {kind}")
+    if hm.kinds or any(l.shed.any() for l in hm.lanes):
+        lines.append(", ".join(legend))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Fleet rollup (`repro fleet`)
+
+
+def _container_health(path: pathlib.Path) -> dict:
+    """Anomaly/incident/degradation facts from one container's header."""
+    out = {"anomalies": 0, "anomaly_kinds": [], "incident": None, "interrupted": False, "shed": False}
+    try:
+        with TraceReader(path) as reader:
+            meta = reader.meta or {}
+    except Exception:
+        return out
+    incident = meta.get("incident") or {}
+    # Incident bundles carry their anomaly history inside the incident
+    # stamp; ordinary containers carry it at top level.
+    summary = meta.get("anomalies") or incident.get("anomalies") or {}
+    out["anomalies"] = int(summary.get("total") or 0)
+    out["anomaly_kinds"] = sorted((summary.get("counts") or {}).keys())
+    if incident.get("trigger"):
+        out["incident"] = incident["trigger"].get("kind")
+    out["interrupted"] = meta.get("interrupted") is not None
+    out["shed"] = bool((meta.get("capture") or {}).get("shed_spans"))
+    return out
+
+
+def fleet_rollup(store) -> list[dict]:
+    """One row per committed run of a store, newest catalog entry last.
+
+    Each row merges the store catalog's durable facts (segments, bytes,
+    commit time) with health facts read from the container header
+    (anomaly counts, incident trigger, interrupted / shed flags).
+    """
+    rows = []
+    for run_id, entry in store.catalog().items():
+        row = {
+            "run": run_id,
+            "segments": entry.get("segments"),
+            "samples": entry.get("samples"),
+            "bytes": entry.get("bytes"),
+            "committed_at": entry.get("committed_at"),
+            "interrupted": bool(entry.get("interrupted", False)),
+        }
+        row.update(_container_health(store.path_for(run_id)))
+        # The catalog's interrupted flag wins when present (it was
+        # stamped at commit time); older catalogs lack it.
+        if entry.get("interrupted") is not None:
+            row["interrupted"] = bool(entry["interrupted"])
+        rows.append(row)
+    return rows
+
+
+def render_fleet(rows: list[dict], *, title: str = "fleet") -> str:
+    """The `repro fleet` table: one line per run, health at a glance."""
+    from repro.analysis.reporting import format_table
+
+    if not rows:
+        return f"{title}: no committed runs"
+    table_rows = []
+    for r in rows:
+        flags = []
+        if r.get("incident"):
+            flags.append(f"incident:{r['incident']}")
+        if r.get("interrupted"):
+            flags.append("interrupted")
+        if r.get("shed"):
+            flags.append("shed")
+        table_rows.append(
+            [
+                r["run"],
+                str(r.get("segments", "?")),
+                str(r.get("samples", "?")),
+                str(r.get("bytes", "?")),
+                str(r.get("anomalies", 0)),
+                ",".join(r.get("anomaly_kinds") or []) or "-",
+                " ".join(flags) or "-",
+            ]
+        )
+    return format_table(
+        ["run", "segments", "samples", "bytes", "anomalies", "kinds", "flags"],
+        table_rows,
+        title=title,
+    )
+
+
+__all__ = [
+    "CoreLane",
+    "Heatmap",
+    "build_heatmap",
+    "render_heatmap",
+    "fleet_rollup",
+    "render_fleet",
+]

@@ -270,6 +270,15 @@ class PipelineInstruments:
             "repro_service_storage_errors_total",
             "Store writes that failed and degraded to a storage NACK",
         )
+        # -- online invariant checking / flight recorder ------------------
+        self.anomaly_dropped = c(
+            "repro_anomaly_events_dropped_total",
+            "Anomaly events aged off the bounded AnomalyLog ring",
+        )
+        self.flight_incidents = c(
+            "repro_flight_incidents_total",
+            "Incident bundles sealed by the flight recorder",
+        )
 
     # Per-core children resolve through the registry (get-or-create is a
     # locked dict hit — fine at per-shard and per-chunk frequency).
@@ -299,6 +308,13 @@ class PipelineInstruments:
             "repro_service_nacks_total",
             "Segments NACKed by the ingestion daemon, by reason",
             reason=reason,
+        )
+
+    def anomaly_events(self, kind: str):
+        return self._registry.counter(
+            "repro_anomaly_events_total",
+            "Invariant violations observed online, by anomaly kind",
+            kind=kind,
         )
 
 

@@ -118,6 +118,19 @@ def run_monitor(tracefile, args) -> int:
         f"{len(res.per_core)} core(s) in {res.stats.wall_s:.2f}s "
         f"({res.stats.mb_per_s:.1f} MB/s)"
     )
+    if res.anomalies is not None and res.anomalies.total:
+        print(f"\nanomalies during ingest ({res.anomalies.total}):")
+        for ev in res.anomalies.events():
+            print(f"  {ev.describe()}")
+    if not getattr(args, "no_heatmap", False):
+        from repro.obs.heatmap import build_heatmap, render_heatmap
+
+        print()
+        print(
+            render_heatmap(
+                build_heatmap(tracefile, buckets=getattr(args, "buckets", 48))
+            )
+        )
     if args.telemetry:
         reg.dump(args.telemetry)
         print(f"telemetry written to {args.telemetry}")

@@ -70,6 +70,9 @@ class SPSCQueue:
         self._pop_ts: list[int] = []
         self.total_pushed = 0
         self.total_popped = 0
+        #: High-water mark of queued items — the online idle-core checker
+        #: reports it as evidence of how far produce/consume diverged.
+        self.peak_depth = 0
         self.closed = False
 
     def __len__(self) -> int:
@@ -132,6 +135,8 @@ class SPSCQueue:
             )
         self._entries.append(_Entry(avail_ts=ts, item=item))
         self.total_pushed += 1
+        if len(self._entries) > self.peak_depth:
+            self.peak_depth = len(self._entries)
 
     def head_avail_ts(self) -> int | None:
         """Availability timestamp of the head item, or None when empty."""

@@ -81,6 +81,7 @@ class Scheduler:
         tracer: InstrumentationHook | None = None,
         max_actions: int = 50_000_000,
         lockstep: bool = False,
+        wait_probe=None,
     ) -> None:
         """``lockstep=True`` advances exactly one action at a time, always
         on the thread with the smallest core clock.  Queue-only workloads
@@ -102,6 +103,11 @@ class Scheduler:
         self.tracer = tracer
         self.max_actions = max_actions
         self.lockstep = lockstep
+        #: Optional online observer of queue waits: ``on_wait(core, op,
+        #: queue, wait, depth, ts)`` is called for every backpressure /
+        #: empty-poll spin (the idle-core-while-items-queue invariant).
+        #: None (the default) costs nothing on the spin paths.
+        self.wait_probe = wait_probe
         self._total_actions = 0
 
     # -- public -------------------------------------------------------------
@@ -250,6 +256,10 @@ class Scheduler:
         assert ts is not None
         if ts > core.clock:
             # Backpressure: the producer busy-polls for a free slot.
+            if self.wait_probe is not None:
+                self.wait_probe.on_wait(
+                    st.thread.core_id, "push", q, ts - core.clock, len(q), core.clock
+                )
             core.spin_until(ts, st.thread.poll_ip)
         if q.push_cost > 0:
             core.execute(timed_block(st.thread.poll_ip, q.push_cost, self.machine.spec.ipc))
@@ -275,6 +285,16 @@ class Scheduler:
         if avail > core.clock:
             # The consumer spins in its poll loop until the item shows up;
             # PEBS keeps sampling and attributes the spin to poll_ip.
+            if self.wait_probe is not None:
+                # Queued depth is the *consumable* backlog: entries whose
+                # avail_ts has passed.  While the head itself is still in
+                # flight that count is zero by FIFO order — the consumer
+                # is waiting on latency, not on a backlog — so this spin
+                # only becomes an idle-core violation if a checker opts
+                # into depth 0.
+                self.wait_probe.on_wait(
+                    st.thread.core_id, "pop", q, avail - core.clock, 0, core.clock
+                )
             core.spin_until(avail, st.thread.poll_ip)
         if q.pop_cost > 0:
             core.execute(timed_block(st.thread.poll_ip, q.pop_cost, self.machine.spec.ipc))

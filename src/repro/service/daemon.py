@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 
 from repro.core.options import IngestOptions
 from repro.core.shardpool import supervised_call
+from repro.obs.anomaly import AnomalyConfig, AnomalyLog, CreditStarvationChecker
 from repro.errors import (
     CorruptionError,
     ProtocolError,
@@ -90,6 +91,9 @@ class DaemonConfig:
     compact_backoff_s: float = 0.05
     #: Ingestion knobs threaded through to the store / sources.
     options: IngestOptions = field(default_factory=IngestOptions)
+    #: Online invariant checking (credit-window-starvation lives on the
+    #: daemon side; off by default like every anomaly checker).
+    anomaly: AnomalyConfig = field(default_factory=AnomalyConfig)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -147,6 +151,16 @@ class IngestDaemon:
         #: Resolves with the fatal exception if any daemon task dies
         #: unexpectedly — the chaos harness's kill detector.
         self.crashed: asyncio.Future | None = None
+        #: Daemon-side anomaly log (None unless config.anomaly.enabled).
+        acfg = self.config.anomaly
+        self.anomalies: AnomalyLog | None = None
+        self._credit_checker: CreditStarvationChecker | None = None
+        if acfg.enabled:
+            self.anomalies = AnomalyLog(acfg.log_capacity)
+            if acfg.wants(CreditStarvationChecker.kind):
+                self._credit_checker = CreditStarvationChecker(
+                    self.anomalies, acfg
+                )
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> dict[str, str]:
@@ -437,9 +451,15 @@ class IngestDaemon:
         if self._queue.qsize() >= self.config.high_watermark:
             credit = 0
             conn.withheld += 1
+            if self._credit_checker is not None:
+                self._credit_checker.on_withheld(
+                    conn.run, self._queue.qsize(), conn.credits
+                )
         else:
             credit = 1
             conn.credits += 1
+            if self._credit_checker is not None:
+                self._credit_checker.on_restored(conn.run)
         conn.send(Frame(KIND_ACK, {"seq": seq, "credit": credit}))
         self._publish_credits()
 
@@ -457,6 +477,8 @@ class IngestDaemon:
                 conn.credits += conn.withheld
                 conn.send(Frame(KIND_CREDIT, {"credit": conn.withheld}))
                 conn.withheld = 0
+                if self._credit_checker is not None:
+                    self._credit_checker.on_restored(conn.run)
         self._publish_credits()
 
     def _finish(self, conn: _Conn, frame: Frame) -> None:

@@ -34,6 +34,7 @@ import io as _io
 import json
 import pathlib
 import re
+import time
 
 import numpy as np
 
@@ -345,6 +346,25 @@ class TraceStore:
             ) from exc
         _obs().journal_fsyncs.inc()
 
+    @staticmethod
+    def _container_bytes(path: pathlib.Path) -> int | None:
+        """On-disk size of a committed container (None if unreadable)."""
+        try:
+            return path.stat().st_size
+        except OSError:
+            return None
+
+    @staticmethod
+    def _was_interrupted(path: pathlib.Path) -> bool:
+        """Whether the committed container's meta marks a cut-short run."""
+        from repro.core.tracefile import TraceReader
+
+        try:
+            with TraceReader(path) as reader:
+                return reader.meta.get("interrupted") is not None
+        except Exception:
+            return False
+
     def compact_run(self, run_id: str) -> pathlib.Path:
         """Replay a finished run's journal into its committed container.
 
@@ -367,15 +387,17 @@ class TraceStore:
             raise StoreError(
                 f"run {run_id!r} cannot be compacted: {exc}"
             ) from exc
-        self._append_catalog(
-            {
-                "run": run_id,
-                "file": str(out.relative_to(self.root)),
-                "segments": report.segments_recovered,
-                "samples": report.samples_recovered,
-                "marks": report.marks_recovered,
-            }
-        )
+        entry = {
+            "run": run_id,
+            "file": str(out.relative_to(self.root)),
+            "segments": report.segments_recovered,
+            "samples": report.samples_recovered,
+            "marks": report.marks_recovered,
+            "bytes": self._container_bytes(out),
+            "committed_at": time.time(),
+            "interrupted": self._was_interrupted(out),
+        }
+        self._append_catalog(entry)
         self._io.rmtree(jdir)
         self._seals.pop(run_id, None)
         return out

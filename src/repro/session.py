@@ -25,6 +25,14 @@ from repro.machine.events import HWEvent
 from repro.machine.machine import Machine
 from repro.machine.overload import OverloadPolicy
 from repro.machine.pebs import PEBSConfig, PEBSUnit
+from repro.obs.anomaly import (
+    KIND_IDLE_CORE,
+    KIND_SHED_BURST,
+    AnomalyConfig,
+    AnomalyLog,
+    IdleQueueChecker,
+    ShedBurstChecker,
+)
 from repro.obs.instrumented import pipeline as _obs
 from repro.obs.spans import span
 from repro.runtime.scheduler import Scheduler
@@ -94,11 +102,18 @@ class SessionWatchdog:
         writer,
         units: dict[int, PEBSUnit],
         every_marks: int = 256,
+        ring=None,
     ) -> None:
         if every_marks < 1:
             raise ConfigError(f"every_marks must be >= 1, got {every_marks}")
+        if writer is None and ring is None:
+            raise ConfigError("watchdog needs a writer, a segment ring, or both")
         self.tracer = tracer
         self.writer = writer
+        #: Optional :class:`~repro.core.durable.SegmentRing` receiving the
+        #: same checkpoint deltas (flight-recorder mode; in-memory, so its
+        #: appends cannot fail and do not degrade the session).
+        self.ring = ring
         self.units = units
         self.every_marks = every_marks
         self._since = 0
@@ -109,18 +124,20 @@ class SessionWatchdog:
         self.checkpoints = 0
         self.degraded = False
         self.write_errors: list[str] = []
+        #: Optional :class:`~repro.obs.flightrec.FlightRecorder`; armed
+        #: incidents seal right after each periodic checkpoint (the
+        #: post-trigger roll — the triggering window has closed by then).
+        self.flight = None
 
     # -- InstrumentationHook ---------------------------------------------
     def on_mark(self, thread, core, kind, item_id):
         out = self.tracer.on_mark(thread, core, kind, item_id)
         self._since += 1
-        if (
-            self.writer is not None
-            and not self.degraded
-            and self._since >= self.every_marks
-        ):
+        if not self.degraded and self._since >= self.every_marks:
             self._since = 0
             self.checkpoint()
+            if self.flight is not None:
+                self.flight.on_checkpoint()
         return out
 
     def on_fn_enter(self, thread, core, fn_ip):
@@ -147,25 +164,38 @@ class SessionWatchdog:
             for c, unit in self.units.items():
                 n = unit.sample_count
                 if n > self._sample_idx[c] or (final and not self._sealed_any(c)):
-                    self.writer.append_samples(
-                        c, unit.snapshot_since(self._sample_idx[c])
-                    )
+                    delta = unit.snapshot_since(self._sample_idx[c])
+                    if self.ring is not None:
+                        self.ring.append_samples(c, delta)
+                    if self.writer is not None:
+                        self.writer.append_samples(c, delta)
                     self._sample_idx[c] = n
                     self._sample_seals[c] = self._sample_seals.get(c, 0) + 1
-                    # Sealed samples are on disk; overload shedding must
-                    # not touch them.
+                    # Sealed samples are recorded (on disk, or retained by
+                    # the flight ring); overload shedding must not touch
+                    # them.
                     unit.checkpoint_barrier = n
                 records = self.tracer.records_for_core(c)
                 k = len(records)
                 if k > self._switch_idx[c] or (
                     final and not self._switch_seals.get(c)
                 ):
-                    self.writer.append_switches(c, records, start=self._switch_idx[c])
+                    if self.ring is not None:
+                        self.ring.append_switches(
+                            c, records, start=self._switch_idx[c]
+                        )
+                    if self.writer is not None:
+                        self.writer.append_switches(
+                            c, records, start=self._switch_idx[c]
+                        )
                     self._switch_idx[c] = k
                     self._switch_seals[c] = self._switch_seals.get(c, 0) + 1
             patch = capture_meta_for_units(self.units)
             if patch:
-                self.writer.append_meta(patch)
+                if self.ring is not None:
+                    self.ring.append_meta(patch)
+                if self.writer is not None:
+                    self.writer.append_meta(patch)
             self.checkpoints += 1
             _obs().checkpoints.inc()
             return True
@@ -196,6 +226,12 @@ class TraceSession:
     #: up to the signal is in the container, marked ``interrupted`` in
     #: its meta.
     interrupted: int | None = None
+    #: Invariant violations observed live (None unless the run enabled
+    #: anomaly checking via ``trace(anomaly=...)``).
+    anomalies: AnomalyLog | None = None
+    #: Flight recorder of the run (None unless ``trace(flight_dir=...)``);
+    #: ``flight.incidents`` lists the sealed incident bundles.
+    flight: object | None = None
 
     def capture_meta(self) -> dict:
         """Degraded-capture accounting (shed spans, R history) as meta."""
@@ -263,6 +299,9 @@ def trace(
     durable_out=None,
     checkpoint_every_marks: int = 256,
     durable_meta: dict | None = None,
+    anomaly: AnomalyConfig | None = None,
+    flight_dir=None,
+    flight_capacity: int = 16,
 ) -> TraceSession:
     """Run ``app`` with instrumentation + PEBS and integrate per core.
 
@@ -280,6 +319,16 @@ def trace(
     ``repro recover`` turns into a valid container.  Storage failures
     mid-run degrade the session (``session.degraded``) instead of
     raising.
+
+    ``anomaly`` (an enabled :class:`~repro.obs.anomaly.AnomalyConfig`)
+    turns on the online invariant checkers for the run: queue waits feed
+    the idle-core checker, PEBS shed spans feed the shed-burst checker,
+    and violations land in ``session.anomalies``.  ``flight_dir``
+    additionally arms the flight recorder: checkpoints stream into a
+    bounded in-memory :class:`~repro.core.durable.SegmentRing` of
+    ``flight_capacity`` segments, and any anomaly at or above
+    ``anomaly.trigger_severity`` seals the ring into a tagged incident
+    bundle under ``flight_dir`` (see ``session.flight.incidents``).
     """
     threads = app.threads()
     if not threads:
@@ -298,20 +347,62 @@ def trace(
     tracer = MarkingTracer(
         mark_ip=app.mark_ip, cost_ns=mark_cost_ns, freq_ghz=spec.freq_ghz
     )
+    # -- online invariant checking (off by default, zero-cost when off) --
+    acfg = anomaly if anomaly is not None else AnomalyConfig()
+    anomaly_log: AnomalyLog | None = None
+    idle_checker: IdleQueueChecker | None = None
+    if acfg.enabled:
+        anomaly_log = AnomalyLog(acfg.log_capacity)
+        if acfg.wants(KIND_IDLE_CORE):
+            idle_checker = IdleQueueChecker(anomaly_log, acfg)
+        if acfg.wants(KIND_SHED_BURST):
+            shed_checker = ShedBurstChecker(anomaly_log, acfg)
+            for c, unit in units.items():
+                unit.shed_listener = (
+                    lambda lo, hi, n, _c=c: shed_checker.on_shed(_c, lo, hi, n)
+                )
+    flight = None
+    ring = None
+    if flight_dir is not None:
+        from repro.core.durable import SegmentRing
+        from repro.obs.flightrec import FlightRecorder
+
+        ring = SegmentRing(app.symtab, durable_meta, capacity=flight_capacity)
+        flight = FlightRecorder(
+            ring, flight_dir, trigger_severity=acfg.trigger_severity
+        )
+        if anomaly_log is not None:
+            flight.attach(anomaly_log)
     watchdog: SessionWatchdog | None = None
     hook = tracer
-    if durable_out is not None:
-        from repro.core.durable import DurableTraceWriter
+    if durable_out is not None or ring is not None:
+        writer = None
+        if durable_out is not None:
+            from repro.core.durable import DurableTraceWriter
 
-        writer = DurableTraceWriter(durable_out, app.symtab, durable_meta)
+            writer = DurableTraceWriter(durable_out, app.symtab, durable_meta)
         watchdog = SessionWatchdog(
-            tracer, writer, units, every_marks=checkpoint_every_marks
+            tracer, writer, units, every_marks=checkpoint_every_marks, ring=ring
         )
         hook = watchdog
+        if flight is not None:
+            # Seal-on-anomaly must see everything up to the event, not
+            # just up to the last periodic checkpoint — final=True also
+            # declares cores that have produced nothing yet, so the
+            # incident bundle carries the session's full core set.
+            wd = watchdog
+            flight.flush = lambda: wd.checkpoint(final=True)
+            watchdog.flight = flight
     interrupted: int | None = None
     try:
         with span("session.schedule", threads=len(threads), cores=n_cores):
-            Scheduler(machine, threads, tracer=hook, lockstep=lockstep).run()
+            Scheduler(
+                machine,
+                threads,
+                tracer=hook,
+                lockstep=lockstep,
+                wait_probe=idle_checker,
+            ).run()
     except (SignalInterrupt, KeyboardInterrupt) as exc:
         if watchdog is None:
             # Nothing durable to save: let the signal unwind normally.
@@ -320,14 +411,21 @@ def trace(
         # seal and finalize what exists.  The partial run is a valid
         # container, marked interrupted in its meta.
         interrupted = int(getattr(exc, "signum", 0)) or None
+    if flight is not None:
+        # An incident armed after the last periodic checkpoint seals at
+        # end-of-run (its flush checkpoints the tail first).
+        flight.on_checkpoint()
     recovery_report = None
     if watchdog is not None and not watchdog.degraded:
         # Seal the tail and finalize: the journal becomes the container.
-        if watchdog.checkpoint(final=True):
+        if watchdog.checkpoint(final=True) and watchdog.writer is not None:
             extra = capture_meta_for_units(units)
             if interrupted is not None:
                 extra = dict(extra)
                 extra["interrupted"] = {"signum": interrupted}
+            if anomaly_log is not None and anomaly_log.total:
+                extra = dict(extra)
+                extra["anomalies"] = anomaly_log.summary()
             try:
                 recovery_report = watchdog.writer.finalize(extra_meta=extra)
             except TraceWriteError as exc:
@@ -357,4 +455,6 @@ def trace(
         watchdog=watchdog,
         recovery_report=recovery_report,
         interrupted=interrupted,
+        anomalies=anomaly_log,
+        flight=flight,
     )

@@ -1,0 +1,110 @@
+"""`repro monitor` / `repro fleet` / `repro runs --json` CLI contracts."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.core.options import IngestOptions
+from repro.service.sources import iter_journal_segments, journal_from_container
+from repro.service.store import TraceStore
+from tests.faults.conftest import build_fixture_trace
+
+RUNS_JSON_KEYS = {"run", "segments", "bytes", "committed_at", "interrupted"}
+
+
+@pytest.fixture(scope="module")
+def fixture_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli-mon") / "trace.npz"
+    build_fixture_trace(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def committed_store(fixture_trace, tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli-mon") / "store"
+    store = TraceStore(root)
+    jd = journal_from_container(
+        fixture_trace,
+        tmp_path_factory.mktemp("cli-mon-journal"),
+        options=IngestOptions(chunk_size=96),
+    )
+    for rec, data in iter_journal_segments(jd):
+        store.append_segment("run-a", rec, data)
+    store.finish_run("run-a")
+    store.compact_run("run-a")
+    return root
+
+
+class TestMonitor:
+    def test_monitor_renders_dashboard_and_heatmap(self, fixture_trace, capsys):
+        rc = main(["monitor", str(fixture_trace), "--interval", "0.05"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro monitor" in out
+        assert "ingested" in out
+        assert "heatmap:" in out
+        assert "core 0" in out and "core 1" in out
+
+    def test_monitor_no_heatmap_flag(self, fixture_trace, capsys):
+        rc = main(
+            ["monitor", str(fixture_trace), "--interval", "0.05", "--no-heatmap"]
+        )
+        assert rc == 0
+        assert "heatmap:" not in capsys.readouterr().out
+
+    def test_missing_file_exits_2_with_clear_stderr(self, tmp_path, capsys):
+        target = tmp_path / "nope.npz"
+        rc = main(["monitor", str(target)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "no such trace file" in err
+        assert str(target) in err
+
+    def test_directory_target_exits_2(self, tmp_path, capsys):
+        rc = main(["monitor", str(tmp_path)])
+        assert rc == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+
+class TestRunsJson:
+    def test_stable_schema(self, committed_store, capsys):
+        rc = main(["runs", "--store", str(committed_store), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["store"] == str(committed_store)
+        assert len(doc["runs"]) == 1
+        rec = doc["runs"][0]
+        # The schema is a contract: exactly these keys, these shapes.
+        assert set(rec) == RUNS_JSON_KEYS
+        assert rec["run"] == "run-a"
+        assert isinstance(rec["segments"], int) and rec["segments"] > 0
+        assert isinstance(rec["bytes"], int) and rec["bytes"] > 0
+        assert isinstance(rec["committed_at"], float) and rec["committed_at"] > 0
+        assert rec["interrupted"] is False
+
+    def test_empty_store(self, tmp_path, capsys):
+        rc = main(["runs", "--store", str(tmp_path / "empty"), "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["runs"] == []
+
+
+class TestFleet:
+    def test_fleet_table(self, committed_store, capsys):
+        rc = main(["fleet", "--store", str(committed_store)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fleet rollup" in out
+        assert "run-a" in out
+
+    def test_fleet_json(self, committed_store, capsys):
+        rc = main(["fleet", "--store", str(committed_store), "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        row = doc["runs"][0]
+        assert row["run"] == "run-a"
+        assert row["anomalies"] == 0
+        assert row["incident"] is None

@@ -135,10 +135,14 @@ def test_monitor_runs_to_completion(workdir):
     assert samples["repro_integrator_samples_total"] > 0
 
 
-def test_monitor_missing_file_exits_3(workdir):
+def test_monitor_missing_file_exits_2(workdir):
+    # A path that is not a trace file is a usage problem, not trace-data
+    # corruption: monitor probes before ingesting and exits 2 with a
+    # clear message (tests/integration/test_cli_monitor.py pins the
+    # wording).
     proc = repro_cmd("monitor", "no_such.npz", cwd=workdir)
-    assert proc.returncode == 3
-    assert "trace error" in proc.stderr
+    assert proc.returncode == 2
+    assert "no such trace file" in proc.stderr
 
 
 # -- exit-code contract (docs + behaviour pinned together) -------------------

@@ -1,0 +1,114 @@
+"""End-to-end: anomaly fires live -> flight recorder seals -> diagnose.
+
+The full observability loop the PR promises: a queue-saturation burst at
+sustained intensity violates the idle-core invariant *during capture*,
+the armed flight recorder seals the segment ring into a tagged incident
+bundle at the next checkpoint, and `repro diagnose` on that bundle —
+with no access to the full run — attributes the correct root cause.
+The clean twin stays anomaly- and incident-free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.interference.injectors import QueueSaturationInjector, inject
+from repro.interference.targets import PipelineApp
+from repro.obs.anomaly import KIND_IDLE_CORE, AnomalyConfig
+from repro.testing.matrix import attribution_vote
+
+
+def _workload():
+    # Burst-mode saturation: every 24th pop drags 120k cycles, so a few
+    # items see genuine backpressure while the rest stay healthy — the
+    # shape an outlier diagnosis can attribute.
+    return inject(
+        PipelineApp(n_items=48),
+        QueueSaturationInjector(max_delay_cycles=120_000, period=24),
+        intensity=1.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def incident_session(tmp_path_factory):
+    out = tmp_path_factory.mktemp("flight") / "incidents"
+    session = _workload().record(
+        anomaly=AnomalyConfig(enabled=True),
+        flight_dir=out,
+        checkpoint_every_marks=8,
+    )
+    return session
+
+
+def test_anomaly_fires_during_live_capture(incident_session):
+    events = incident_session.anomalies.events(kind=KIND_IDLE_CORE)
+    assert events, incident_session.anomalies.counts
+    assert all(e.severity == "critical" for e in events)
+
+
+def test_flight_recorder_seals_tagged_bundle(incident_session):
+    incidents = incident_session.flight.incidents
+    assert incidents
+    first = incidents[0]
+    assert first.path.exists()
+    assert first.path.name == f"incident-000-{KIND_IDLE_CORE}.npz"
+    assert first.event.kind == KIND_IDLE_CORE
+    tf = api.load(first.path)
+    meta = tf.meta["incident"]
+    assert meta["trigger"]["kind"] == KIND_IDLE_CORE
+    assert meta["anomalies"]["total"] >= 1
+    assert "flightrec" in tf.meta  # what the bounded ring had evicted
+
+
+def test_diagnose_attributes_incident_root_cause(incident_session):
+    wl = _workload()
+    report = api.diagnose(incident_session.flight.incidents[0].path)
+    assert report.outliers, "incident bundle held no attributable outliers"
+    assert attribution_vote(report) == wl.expected_cause == "tx_ring_wait"
+
+
+def test_clean_baseline_is_silent(tmp_path):
+    out = tmp_path / "incidents"
+    session = _workload().record_baseline(
+        anomaly=AnomalyConfig(enabled=True),
+        flight_dir=out,
+        checkpoint_every_marks=8,
+    )
+    assert session.anomalies.total == 0, session.anomalies.counts
+    assert session.flight.incidents == []
+    assert not list(out.glob("*.npz")) if out.exists() else True
+
+
+def test_api_record_guards_flight_without_anomaly(tmp_path):
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        api.record("sampleapp", flight_dir=tmp_path / "inc")
+
+
+class TestCli:
+    def test_run_with_anomaly_flag_clean_workload(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "t.npz"
+        rc = main(["run", "--workload", "sampleapp", "--out", str(out), "--anomaly"])
+        assert rc == 0 and out.exists()
+        assert "anomal" not in capsys.readouterr().err  # clean run: no report
+
+    def test_run_flight_dir_requires_anomaly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "run",
+                "--workload",
+                "sampleapp",
+                "--out",
+                str(tmp_path / "t.npz"),
+                "--flight-dir",
+                str(tmp_path / "inc"),
+            ]
+        )
+        assert rc == 2
+        assert "--anomaly" in capsys.readouterr().err

@@ -1,0 +1,219 @@
+"""Golden anomaly fixtures: one scenario per checker kind.
+
+Each invariant checker gets a scenario engineered to violate exactly
+that invariant — calibrated interference injectors where the violation
+is a capture-path phenomenon, synthetic containers where the ingest-path
+checker needs precise timing control, a daemon scenario for the service
+invariant — plus a clean twin asserting the checker stays quiet on
+healthy input.  These are the fixtures that keep checker thresholds
+honest: a threshold change that mutes a detection or fires on the clean
+twin fails here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.options import IngestOptions
+from repro.core.records import SwitchRecords
+from repro.core.streaming import ingest_trace
+from repro.core.tracefile import save_trace
+from repro.interference.injectors import (
+    QueueSaturationInjector,
+    SamplerOverloadInjector,
+    inject,
+)
+from repro.interference.targets import PipelineApp, build_target
+from repro.machine.pebs import SampleArrays
+from repro.obs.anomaly import (
+    KIND_IDLE_CORE,
+    KIND_LOW_COVERAGE,
+    KIND_MARK_GAP,
+    KIND_RATE_COLLAPSE,
+    KIND_SHED_BURST,
+    AnomalyConfig,
+)
+from repro.runtime.actions import SwitchKind
+from repro.testing import faults
+from tests.faults.conftest import CHUNK, build_fixture_trace, build_symtab
+
+ANOMALY_ON = AnomalyConfig(enabled=True)
+
+
+# -- capture-path kinds (interference injectors) ----------------------------
+
+
+class TestIdleCoreFixture:
+    """Burst queue saturation: the paper's produce/consume divergence."""
+
+    def _workload(self):
+        return inject(
+            PipelineApp(n_items=48),
+            QueueSaturationInjector(max_delay_cycles=120_000, period=24),
+            intensity=1.0,
+        )
+
+    def test_injected_run_fires_idle_core(self):
+        session = self._workload().record(anomaly=ANOMALY_ON)
+        events = session.anomalies.events(kind=KIND_IDLE_CORE)
+        assert events, session.anomalies.counts
+        assert all(e.severity == "critical" for e in events)
+        assert all(e.evidence["wait_cycles"] >= 100_000 for e in events)
+        # The spin is on the producer side of the saturated pipe.
+        assert {e.evidence["queue"] for e in events} == {"pipe"}
+
+    def test_clean_baseline_is_silent(self):
+        session = self._workload().record_baseline(anomaly=ANOMALY_ON)
+        assert session.anomalies.total == 0, session.anomalies.counts
+
+
+class TestShedBurstFixture:
+    """Sampler overload: PEBS buffers shed spans back to back."""
+
+    def _workload(self):
+        return inject(
+            build_target("uniform", items=48).app, SamplerOverloadInjector(), 1.0
+        )
+
+    def test_overloaded_capture_fires_shed_burst(self):
+        session = self._workload().record(
+            sample_cores=[0], reset_value=2000, anomaly=ANOMALY_ON
+        )
+        assert session.degraded  # the injector really overloaded capture
+        events = session.anomalies.events(kind=KIND_SHED_BURST)
+        assert events
+        assert all(e.core == 0 for e in events)
+        assert all(e.evidence["spans"] >= 4 for e in events)
+
+    def test_clean_baseline_is_silent(self):
+        session = self._workload().record_baseline(
+            sample_cores=[0], anomaly=ANOMALY_ON
+        )
+        assert session.anomalies.total == 0, session.anomalies.counts
+
+
+# -- ingest-path kinds (synthetic containers) -------------------------------
+
+
+def _window_trace(path, gaps: list[int]) -> None:
+    """A one-core container with back-to-back windows separated by ``gaps``."""
+    symtab = build_symtab()
+    rec = SwitchRecords(0)
+    ts_list, ip_list = [], []
+    t = 1_000
+    for i, gap in enumerate(gaps):
+        start, end = t, t + 900
+        rec.append(start, i + 1, SwitchKind.ITEM_START)
+        rec.append(end, i + 1, SwitchKind.ITEM_END)
+        for s in range(4):
+            ts_list.append(start + 100 + s * 200)
+            ip_list.append(0x1000 + 0x1000 * (s % 3))
+        t = end + gap
+    samples = SampleArrays(
+        ts=np.asarray(ts_list, dtype=np.int64),
+        ip=np.asarray(ip_list, dtype=np.int64),
+        tag=np.full(len(ts_list), -1, dtype=np.int64),
+    )
+    save_trace(path, {0: samples}, {0: rec}, symtab, chunk_size=CHUNK)
+
+
+def _rate_trace(path, spacings: list[tuple[int, int]]) -> None:
+    """A one-core container of ``(n_samples, cycle_spacing)`` stretches."""
+    symtab = build_symtab()
+    ts_list, ip_list = [], []
+    t = 1_000
+    for n, spacing in spacings:
+        for _ in range(n):
+            ts_list.append(t)
+            ip_list.append(0x2000)
+            t += spacing
+    rec = SwitchRecords(0)
+    rec.append(500, 1, SwitchKind.ITEM_START)
+    rec.append(t + 500, 1, SwitchKind.ITEM_END)
+    samples = SampleArrays(
+        ts=np.asarray(ts_list, dtype=np.int64),
+        ip=np.asarray(ip_list, dtype=np.int64),
+        tag=np.full(len(ts_list), -1, dtype=np.int64),
+    )
+    save_trace(path, {0: samples}, {0: rec}, symtab, chunk_size=CHUNK)
+
+
+def _ingest(path, **anomaly_kw):
+    return ingest_trace(
+        path,
+        options=IngestOptions(
+            workers=1,
+            chunk_size=CHUNK,
+            anomaly=AnomalyConfig(enabled=True, **anomaly_kw),
+        ),
+    )
+
+
+class TestMarkGapFixture:
+    def test_stalled_pipeline_fires_mark_gap(self, tmp_path):
+        path = tmp_path / "gap.npz"
+        # Eleven routine 300-cycle inter-item gaps, one 50k-cycle stall.
+        _window_trace(path, gaps=[300] * 8 + [50_000] + [300] * 3)
+        res = _ingest(path)
+        events = res.anomalies.events(kind=KIND_MARK_GAP)
+        assert len(events) == 1
+        assert events[0].evidence["gap_cycles"] == 50_000
+        # The event window brackets the silent stretch itself.
+        lo, hi = events[0].window
+        assert hi - lo == 50_000
+
+    def test_uniform_gaps_are_silent(self, tmp_path):
+        path = tmp_path / "uniform.npz"
+        _window_trace(path, gaps=[300] * 12)
+        res = _ingest(path)
+        assert res.anomalies.total == 0, res.anomalies.counts
+
+
+class TestRateCollapseFixture:
+    def test_decimated_stretch_fires_rate_collapse(self, tmp_path):
+        path = tmp_path / "collapse.npz"
+        # Four dense chunks build the running rate; the fifth chunk's
+        # spacing is 100x — capture resolution collapsed mid-run.
+        _rate_trace(path, [(4 * CHUNK, 100), (CHUNK, 10_000)])
+        res = _ingest(path)
+        events = res.anomalies.events(kind=KIND_RATE_COLLAPSE)
+        assert events
+        assert all(e.evidence["ratio"] < 0.25 for e in events)
+
+    def test_steady_rate_is_silent(self, tmp_path):
+        path = tmp_path / "steady.npz"
+        _rate_trace(path, [(6 * CHUNK, 100)])
+        res = _ingest(path)
+        assert res.anomalies.total == 0, res.anomalies.counts
+
+
+class TestCoverageFixture:
+    def test_quarantined_chunk_fires_low_coverage(self, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        build_fixture_trace(path)
+        faults.flip_sample_bit(path, 0, chunk=2, column="ts", index=16, bit=60)
+        res = ingest_trace(
+            path,
+            options=IngestOptions(
+                workers=1,
+                chunk_size=CHUNK,
+                on_corruption="quarantine",
+                anomaly=ANOMALY_ON,
+            ),
+        )
+        events = res.anomalies.events(kind=KIND_LOW_COVERAGE)
+        assert len(events) == 1
+        assert events[0].core == 0
+        assert events[0].evidence["sample_coverage"] < 0.9
+
+    def test_clean_fixture_is_silent(self, tmp_path):
+        path = tmp_path / "clean.npz"
+        build_fixture_trace(path)
+        res = _ingest(path)
+        assert res.anomalies.total == 0, res.anomalies.counts
+
+
+# The sixth kind — credit-window-starvation — is a daemon-side invariant;
+# its golden scenario lives with the service harness in
+# tests/service/test_daemon_anomaly.py.

@@ -1,0 +1,400 @@
+"""Online invariant checkers: events, log, each checker, overhead budget."""
+
+from __future__ import annotations
+
+import time
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.core.options import IngestOptions
+from repro.core.streaming import ingest_trace
+from repro.errors import ConfigError
+from repro.obs.anomaly import (
+    ALL_KINDS,
+    KIND_CREDIT_STARVATION,
+    KIND_IDLE_CORE,
+    KIND_LOW_COVERAGE,
+    KIND_MARK_GAP,
+    KIND_RATE_COLLAPSE,
+    KIND_SHED_BURST,
+    MAX_EVENTS_PER_CHECKER,
+    AnomalyConfig,
+    AnomalyEvent,
+    AnomalyLog,
+    CreditStarvationChecker,
+    IdleQueueChecker,
+    MarkGapChecker,
+    RateCollapseChecker,
+    ShedBurstChecker,
+    build_ingest_checkers,
+    severity_rank,
+)
+from repro.testing import faults
+from tests.faults.conftest import CHUNK, build_fixture_trace
+
+
+@pytest.fixture(scope="module")
+def fixture_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("anomaly") / "trace.npz"
+    build_fixture_trace(path)
+    return path
+
+
+# -- events and config ------------------------------------------------------
+
+
+def test_event_validates_kind_and_severity():
+    ev = AnomalyEvent(kind=KIND_IDLE_CORE, severity="critical", core=1)
+    assert ev.to_dict()["kind"] == KIND_IDLE_CORE
+    assert "core 1" in ev.describe()
+    with pytest.raises(ConfigError):
+        AnomalyEvent(kind="no-such-invariant", severity="critical")
+    with pytest.raises(ConfigError):
+        AnomalyEvent(kind=KIND_IDLE_CORE, severity="catastrophic")
+
+
+def test_severity_rank_orders_and_validates():
+    assert severity_rank("info") < severity_rank("warning") < severity_rank("critical")
+    with pytest.raises(ConfigError):
+        severity_rank("mild")
+
+
+def test_config_validation():
+    with pytest.raises(ConfigError):
+        AnomalyConfig(checkers=("bogus",))
+    with pytest.raises(ConfigError):
+        AnomalyConfig(log_capacity=0)
+    with pytest.raises(ConfigError):
+        AnomalyConfig(mark_gap_factor=1.0)
+    with pytest.raises(ConfigError):
+        AnomalyConfig(rate_collapse_ratio=1.5)
+    with pytest.raises(ConfigError):
+        AnomalyConfig(coverage_threshold=0.0)
+    with pytest.raises(ConfigError):
+        AnomalyConfig(starved_acks=0)
+
+
+def test_config_wants_needs_enabled():
+    off = AnomalyConfig()
+    assert not off.wants(KIND_IDLE_CORE)
+    on = AnomalyConfig(enabled=True, checkers=(KIND_IDLE_CORE,))
+    assert on.wants(KIND_IDLE_CORE)
+    assert not on.wants(KIND_MARK_GAP)
+
+
+def test_config_from_args():
+    args = SimpleNamespace(
+        anomaly=True,
+        anomaly_checkers=f"{KIND_IDLE_CORE}, {KIND_SHED_BURST}",
+        anomaly_log_capacity=17,
+        anomaly_severity="warning",
+    )
+    cfg = AnomalyConfig.from_args(args)
+    assert cfg.enabled
+    assert cfg.checkers == (KIND_IDLE_CORE, KIND_SHED_BURST)
+    assert cfg.log_capacity == 17
+    assert cfg.trigger_severity == "warning"
+    # Missing attributes keep defaults (the serve path's bare namespace).
+    bare = AnomalyConfig.from_args(SimpleNamespace())
+    assert not bare.enabled
+    assert bare.checkers == ALL_KINDS
+
+
+# -- the log ----------------------------------------------------------------
+
+
+def _ev(kind=KIND_MARK_GAP, severity="warning", core=0):
+    return AnomalyEvent(kind=kind, severity=severity, core=core)
+
+
+def test_log_bounds_and_counts():
+    log = AnomalyLog(capacity=3)
+    for _ in range(5):
+        log.emit(_ev())
+    assert len(log) == 3
+    assert log.total == 5
+    assert log.dropped == 2
+    assert log.counts == {KIND_MARK_GAP: 5}
+    summary = log.summary(last=2)
+    assert summary["total"] == 5 and summary["dropped"] == 2
+    assert len(summary["events"]) == 2
+
+
+def test_log_filters_by_kind_and_severity():
+    log = AnomalyLog()
+    log.emit(_ev(KIND_MARK_GAP, "warning"))
+    log.emit(_ev(KIND_IDLE_CORE, "critical"))
+    assert [e.kind for e in log.events(kind=KIND_IDLE_CORE)] == [KIND_IDLE_CORE]
+    assert [e.kind for e in log.events(min_severity="critical")] == [KIND_IDLE_CORE]
+    assert len(log.events()) == 2
+
+
+def test_log_subscribers_run_synchronously():
+    log = AnomalyLog()
+    seen = []
+    log.subscribe(seen.append)
+    ev = _ev()
+    log.emit(ev)
+    assert seen == [ev]
+
+
+# -- checkers ---------------------------------------------------------------
+
+
+def test_mark_gap_checker_flags_the_stall():
+    cfg = AnomalyConfig(enabled=True, min_gap_windows=8, mark_gap_factor=8.0)
+    log = AnomalyLog()
+    chk = MarkGapChecker(log, cfg, core=0)
+    # 11 back-to-back windows of 100 cycles, then one after a 5000-cycle hole.
+    starts = np.arange(12, dtype=np.int64) * 110
+    ends = starts + 100
+    starts[11] += 5000
+    ends[11] += 5000
+    chk.check_windows(starts, ends)
+    events = log.events(kind=KIND_MARK_GAP)
+    assert len(events) == 1
+    assert events[0].core == 0
+    assert events[0].evidence["gap_cycles"] > 5000
+
+
+def test_mark_gap_checker_needs_history():
+    cfg = AnomalyConfig(enabled=True, min_gap_windows=8)
+    log = AnomalyLog()
+    chk = MarkGapChecker(log, cfg, core=0)
+    starts = np.asarray([0, 10_000], dtype=np.int64)
+    chk.check_windows(starts, starts + 10)
+    assert log.total == 0
+
+
+def test_rate_collapse_checker():
+    cfg = AnomalyConfig(enabled=True, min_rate_chunks=4, rate_collapse_ratio=0.25)
+    log = AnomalyLog()
+    chk = RateCollapseChecker(log, cfg, core=1)
+    # Four healthy chunks (1 sample / 10 cycles) build the running rate...
+    for i in range(4):
+        chk.observe_chunk(np.arange(32, dtype=np.int64) * 10 + i * 1000)
+    assert log.total == 0
+    # ...then one chunk at 1/1000 of that rate collapses.
+    chk.observe_chunk(np.arange(32, dtype=np.int64) * 10_000 + 50_000)
+    events = log.events(kind=KIND_RATE_COLLAPSE)
+    assert len(events) == 1
+    assert events[0].evidence["ratio"] < 0.25
+
+
+def test_shed_burst_checker_resets_after_firing():
+    cfg = AnomalyConfig(enabled=True, shed_burst_spans=4)
+    log = AnomalyLog()
+    chk = ShedBurstChecker(log, cfg)
+    for i in range(8):
+        chk.on_shed(core=0, lo=i * 100, hi=i * 100 + 50, n_samples=10)
+    events = log.events(kind=KIND_SHED_BURST)
+    assert len(events) == 2  # 8 spans / burst of 4
+    assert events[0].evidence["spans"] == 4
+    assert events[0].evidence["shed_samples"] == 40
+
+
+def test_idle_queue_checker_fires_on_depth_and_cycles():
+    cfg = AnomalyConfig(enabled=True, idle_wait_cycles=1000, idle_min_depth=1)
+    log = AnomalyLog()
+    chk = IdleQueueChecker(log, cfg)
+    q = SimpleNamespace(name="tx_ring", peak_depth=7)
+    # Depth 0 spins never count (pop-side latency is not backlog).
+    for _ in range(100):
+        chk.on_wait(0, "pop", q, wait=500, depth=0, ts=0)
+    assert log.total == 0
+    chk.on_wait(0, "push", q, wait=600, depth=3, ts=100)
+    chk.on_wait(0, "push", q, wait=600, depth=3, ts=800)
+    events = log.events(kind=KIND_IDLE_CORE)
+    assert len(events) == 1
+    assert events[0].severity == "critical"
+    assert events[0].evidence["queue"] == "tx_ring"
+    assert events[0].evidence["wait_cycles"] >= 1000
+
+
+def test_credit_starvation_checker_restores():
+    cfg = AnomalyConfig(enabled=True, starved_acks=4)
+    log = AnomalyLog()
+    chk = CreditStarvationChecker(log, cfg)
+    for _ in range(3):
+        chk.on_withheld("run-a", queue_depth=9, credits=0)
+    chk.on_restored("run-a")  # credits granted: streak broken
+    for _ in range(3):
+        chk.on_withheld("run-a", queue_depth=9, credits=0)
+    assert log.total == 0
+    chk.on_withheld("run-a", queue_depth=9, credits=0)
+    events = log.events(kind=KIND_CREDIT_STARVATION)
+    assert len(events) == 1
+    assert events[0].evidence["withheld_acks"] == 4
+
+
+def test_checkers_bound_their_event_volume():
+    cfg = AnomalyConfig(enabled=True, shed_burst_spans=1)
+    log = AnomalyLog()
+    chk = ShedBurstChecker(log, cfg)
+    for i in range(100):
+        chk.on_shed(core=0, lo=i, hi=i, n_samples=1)
+    assert log.total == MAX_EVENTS_PER_CHECKER
+
+
+def test_build_ingest_checkers_disabled_is_none():
+    log = AnomalyLog()
+    assert build_ingest_checkers(None, AnomalyConfig(enabled=True), 0) is None
+    assert build_ingest_checkers(log, AnomalyConfig(), 0) is None
+    # Enabled but only capture/daemon kinds selected: nothing to do at ingest.
+    only_capture = AnomalyConfig(enabled=True, checkers=(KIND_SHED_BURST,))
+    assert build_ingest_checkers(log, only_capture, 0) is None
+    assert build_ingest_checkers(log, AnomalyConfig(enabled=True), 0) is not None
+
+
+# -- ingest-path integration ------------------------------------------------
+
+
+def test_clean_ingest_is_anomaly_free(fixture_trace):
+    res = ingest_trace(
+        fixture_trace,
+        options=IngestOptions(
+            workers=1, chunk_size=CHUNK, anomaly=AnomalyConfig(enabled=True)
+        ),
+    )
+    assert res.anomalies is not None
+    assert res.anomalies.total == 0, [e.describe() for e in res.anomalies.events()]
+
+
+def test_ingest_without_anomaly_has_no_log(fixture_trace):
+    res = ingest_trace(fixture_trace, options=IngestOptions(workers=1))
+    assert res.anomalies is None
+
+
+def test_quarantined_chunk_fires_coverage_anomaly(fixture_trace, tmp_path):
+    import shutil
+
+    path = tmp_path / "bad.npz"
+    shutil.copy(fixture_trace, path)
+    # One quarantined chunk of six drops coverage to ~0.83 < 0.9.
+    faults.flip_sample_bit(path, 0, chunk=2, column="ts", index=16, bit=60)
+    res = ingest_trace(
+        path,
+        options=IngestOptions(
+            workers=1,
+            chunk_size=CHUNK,
+            on_corruption="quarantine",
+            anomaly=AnomalyConfig(enabled=True),
+        ),
+    )
+    events = res.anomalies.events(kind=KIND_LOW_COVERAGE)
+    assert len(events) == 1
+    assert events[0].core == 0
+    assert events[0].severity == "critical"
+    assert events[0].evidence["sample_coverage"] < 0.9
+
+
+# -- overhead budget --------------------------------------------------------
+
+
+def test_disabled_checkers_overhead_under_budget(fixture_trace):
+    """Anomaly checking off adds < 5% to the integration microbench.
+
+    With ``anomaly.enabled=False`` no checker object is built, so the
+    hot loop's only residue is one ``is not None`` test per call site.
+    Time a generous superset of those guards against the real per-feed
+    cost, same discipline as the telemetry budget test.
+    """
+    from repro.core.streaming import StreamingIntegrator
+    from repro.core.tracefile import TraceReader
+    from tests.faults.conftest import build_symtab
+
+    def best(fn, n=7):
+        walls = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            walls.append(time.perf_counter() - t0)
+        return min(walls)
+
+    with TraceReader(fixture_trace) as reader:
+        chunks = list(reader.iter_sample_chunks(0, CHUNK))
+        cols = reader.switch_window_columns(0)
+    symtab = build_symtab()
+
+    def run():
+        integ = StreamingIntegrator(symtab, cols)
+        for chunk in chunks:
+            integ.feed(chunk)
+        integ.finalize()
+
+    run()  # warm
+    per_feed = best(run) / len(chunks)
+
+    checkers = build_ingest_checkers(None, AnomalyConfig(), 0)
+    assert checkers is None
+    n = 50_000
+
+    def null_guards():
+        for _ in range(n):
+            if checkers is not None:
+                checkers.observe_chunk(None)
+            if checkers is not None:
+                checkers.check_windows(None, None)
+            if checkers is not None:
+                checkers.check_coverage(None)
+
+    per_feed_overhead = best(null_guards, n=3) / n
+    assert per_feed_overhead < 0.05 * per_feed, (per_feed_overhead, per_feed)
+
+
+def test_enabled_checkers_overhead_under_budget(fixture_trace):
+    """Even *enabled*, clean-path checking stays under the 5% budget."""
+    res_plain = ingest_trace(
+        fixture_trace, options=IngestOptions(workers=1, chunk_size=CHUNK)
+    )
+
+    def best(fn, n=7):
+        walls = []
+        for _ in range(n):
+            t0 = time.perf_counter()
+            fn()
+            walls.append(time.perf_counter() - t0)
+        return min(walls)
+
+    from repro.core.streaming import StreamingIntegrator
+    from repro.core.tracefile import TraceReader
+    from tests.faults.conftest import build_symtab
+
+    with TraceReader(fixture_trace) as reader:
+        chunks = list(reader.iter_sample_chunks(0, CHUNK))
+        cols = reader.switch_window_columns(0)
+    symtab = build_symtab()
+
+    def run():
+        integ = StreamingIntegrator(symtab, cols)
+        for chunk in chunks:
+            integ.feed(chunk)
+        integ.finalize()
+
+    run()
+    per_feed = best(run) / len(chunks)
+
+    log = AnomalyLog()
+    bundle = build_ingest_checkers(log, AnomalyConfig(enabled=True), 0)
+    ts = chunks[0].ts if hasattr(chunks[0], "ts") else np.arange(CHUNK) * 100
+    starts = np.arange(16, dtype=np.int64) * 110
+    ends = starts + 100
+
+    # The streaming loop's per-feed checker work is one observe_chunk
+    # call; check_windows and check_coverage run once per *core*.
+    bundle.observe_chunk(ts)  # warm
+    per_feed_overhead = (
+        best(lambda: [bundle.observe_chunk(ts) for _ in range(200)], n=3) / 200
+    )
+    assert per_feed_overhead < 0.05 * per_feed, (per_feed_overhead, per_feed)
+
+    per_core = per_feed * len(chunks)
+    bundle.check_windows(starts, ends)  # warm
+    per_core_overhead = (
+        best(lambda: [bundle.check_windows(starts, ends) for _ in range(50)], n=3) / 50
+    )
+    assert per_core_overhead < 0.05 * per_core, (per_core_overhead, per_core)
+    assert log.total == 0  # the budget was measured on the clean path
+    assert res_plain.stats.samples  # ingest itself sane

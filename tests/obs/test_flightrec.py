@@ -1,0 +1,198 @@
+"""Flight recorder: segment ring, arm/seal semantics, storm guards."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.durable import SegmentRing
+from repro.core.records import SwitchRecords
+from repro.core.tracefile import load_trace
+from repro.errors import ConfigError, TraceWriteError
+from repro.machine.pebs import SampleArrays
+from repro.obs.anomaly import (
+    KIND_IDLE_CORE,
+    KIND_MARK_GAP,
+    AnomalyEvent,
+    AnomalyLog,
+)
+from repro.obs.flightrec import FlightRecorder
+from repro.runtime.actions import SwitchKind
+from tests.faults.conftest import build_symtab
+
+
+def _samples(lo: int, n: int = 8) -> SampleArrays:
+    ts = np.arange(lo, lo + n * 10, 10, dtype=np.int64)
+    return SampleArrays(
+        ts=ts,
+        ip=np.full(n, 0x400100, dtype=np.int64),
+        tag=np.zeros(n, dtype=np.int64),
+    )
+
+
+def _switches(core: int, item: int, lo: int, hi: int) -> SwitchRecords:
+    return SwitchRecords.from_arrays(
+        core,
+        np.asarray([lo, hi], dtype=np.int64),
+        np.asarray([item, item], dtype=np.int64),
+        [SwitchKind.ITEM_START, SwitchKind.ITEM_END],
+    )
+
+
+def _critical(kind=KIND_IDLE_CORE):
+    return AnomalyEvent(kind=kind, severity="critical", core=0, window=(0, 100))
+
+
+# -- the ring ---------------------------------------------------------------
+
+
+def test_ring_bounds_and_counts_evictions():
+    ring = SegmentRing(build_symtab(), capacity=2)
+    for i in range(4):
+        ring.append_samples(0, _samples(i * 1000))
+    assert len(ring) == 2
+    assert ring.appended_segments == 4
+    assert ring.evicted_segments == 2
+    assert ring.evicted_samples == 16
+    # The evicted span record names exactly the history the bundle lost.
+    spans = ring.evicted_spans[0]
+    assert spans[0][0] == 0 and spans[-1][1] == 1070
+
+
+def test_ring_seal_produces_loadable_container(tmp_path):
+    ring = SegmentRing(build_symtab(), meta={"workload": "synthetic"}, capacity=8)
+    ring.append_switches(0, _switches(0, item=1, lo=100, hi=170))
+    ring.append_samples(0, _samples(100))
+    path = tmp_path / "incident.npz"
+    report = ring.seal_incident(path, {"trigger": _critical().to_dict()})
+    assert report.samples_recovered == 8
+    tf = load_trace(path)
+    assert tf.meta["incident"]["trigger"]["kind"] == KIND_IDLE_CORE
+    assert "flightrec" in tf.meta
+    assert tf.meta["workload"] == "synthetic"
+    trace = tf.integrate(0)  # lenient auto-detected from incident meta
+    assert len(trace.windows) == 1
+
+
+def test_ring_meta_patches_survive_eviction(tmp_path):
+    ring = SegmentRing(build_symtab(), capacity=1)
+    ring.append_meta({"capture": {"shed_spans": {"0": [[10, 20]]}}})
+    for i in range(5):
+        ring.append_samples(0, _samples(i * 1000))
+    path = tmp_path / "incident.npz"
+    ring.seal_incident(path, {"trigger": _critical().to_dict()})
+    tf = load_trace(path)
+    assert tf.meta["capture"]["shed_spans"]["0"] == [[10, 20]]
+    assert tf.meta["flightrec"]["segments"] == 4
+
+
+# -- the recorder -----------------------------------------------------------
+
+
+class StubRing:
+    """Records seal calls; optionally fails like a dead disk."""
+
+    def __init__(self, fail: bool = False):
+        self.sealed: list[tuple] = []
+        self.fail = fail
+
+    def seal_incident(self, path, incident):
+        if self.fail:
+            raise TraceWriteError("disk gone")
+        self.sealed.append((path, incident))
+        return object()  # report — the recorder stores it verbatim
+
+
+def test_recorder_validates_config(tmp_path):
+    with pytest.raises(ConfigError):
+        FlightRecorder(StubRing(), tmp_path, trigger_severity="bogus")
+    with pytest.raises(ConfigError):
+        FlightRecorder(StubRing(), tmp_path, max_incidents=0)
+    with pytest.raises(ConfigError):
+        FlightRecorder(StubRing(), tmp_path, cooldown_events=-1)
+
+
+def test_recorder_arms_then_seals_at_checkpoint(tmp_path):
+    ring = StubRing()
+    rec = FlightRecorder(ring, tmp_path, cooldown_events=0)
+    rec.on_event(_critical())
+    # Post-trigger roll: the event arms the recorder but nothing is
+    # sealed until the next checkpoint closes the triggering window.
+    assert ring.sealed == [] and rec.incidents == []
+    incident = rec.on_checkpoint()
+    assert incident is not None
+    assert incident.path.name == f"incident-000-{KIND_IDLE_CORE}.npz"
+    assert ring.sealed[0][1]["trigger"]["kind"] == KIND_IDLE_CORE
+    assert rec.on_checkpoint() is None  # nothing further armed
+
+
+def test_recorder_ignores_events_below_severity(tmp_path):
+    rec = FlightRecorder(StubRing(), tmp_path, trigger_severity="critical")
+    rec.on_event(AnomalyEvent(kind=KIND_MARK_GAP, severity="warning", core=0))
+    assert rec.on_checkpoint() is None
+    assert rec.suppressed == 0  # below threshold is not "suppressed"
+
+
+def test_recorder_suppresses_while_armed_and_cools_down(tmp_path):
+    rec = FlightRecorder(StubRing(), tmp_path, cooldown_events=2)
+    rec.on_event(_critical())
+    rec.on_event(_critical())  # while armed: absorbed
+    assert rec.suppressed == 1
+    assert rec.on_checkpoint() is not None
+    # Two further qualifying events ride the cooldown...
+    rec.on_event(_critical())
+    rec.on_event(_critical())
+    assert rec.on_checkpoint() is None
+    assert rec.suppressed == 3
+    # ...the third arms a new incident.
+    rec.on_event(_critical())
+    incident = rec.on_checkpoint()
+    assert incident is not None
+    assert incident.path.name == f"incident-001-{KIND_IDLE_CORE}.npz"
+
+
+def test_recorder_caps_incidents(tmp_path):
+    rec = FlightRecorder(StubRing(), tmp_path, max_incidents=1, cooldown_events=0)
+    rec.on_event(_critical())
+    assert rec.on_checkpoint() is not None
+    rec.on_event(_critical())
+    assert rec.on_checkpoint() is None
+    assert rec.suppressed == 1
+
+
+def test_recorder_degrades_on_storage_failure(tmp_path):
+    rec = FlightRecorder(StubRing(fail=True), tmp_path, cooldown_events=0)
+    rec.on_event(_critical())
+    assert rec.on_checkpoint() is None
+    assert rec.degraded
+    assert rec.write_errors == ["disk gone"]
+    assert rec.incidents == []
+
+
+def test_recorder_flush_hook_runs_before_seal(tmp_path):
+    ring = StubRing()
+    rec = FlightRecorder(ring, tmp_path)
+    calls = []
+    rec.flush = lambda: calls.append(len(ring.sealed))
+    rec.on_event(_critical())
+    rec.on_checkpoint()
+    assert calls == [0]  # flushed while nothing was sealed yet
+
+
+def test_recorder_attach_subscribes_and_stamps_history(tmp_path):
+    log = AnomalyLog()
+    ring = StubRing()
+    rec = FlightRecorder(ring, tmp_path).attach(log)
+    log.emit(_critical())
+    rec.on_checkpoint()
+    meta = ring.sealed[0][1]
+    assert meta["anomalies"]["total"] == 1
+    assert meta["anomalies"]["counts"] == {KIND_IDLE_CORE: 1}
+
+
+def test_recorder_describe(tmp_path):
+    rec = FlightRecorder(StubRing(), tmp_path)
+    assert "no incidents" in rec.describe()
+    rec.on_event(_critical())
+    rec.on_checkpoint()
+    assert "1 incident(s)" in rec.describe()

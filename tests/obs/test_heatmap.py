@@ -1,0 +1,146 @@
+"""Heatmap lanes, terminal rendering, and the fleet rollup."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.durable import SegmentRing
+from repro.core.options import IngestOptions
+from repro.core.records import SwitchRecords
+from repro.core.tracefile import load_trace
+from repro.errors import ReproError
+from repro.machine.pebs import SampleArrays
+from repro.obs.anomaly import KIND_IDLE_CORE, AnomalyEvent
+from repro.obs.heatmap import (
+    build_heatmap,
+    fleet_rollup,
+    render_fleet,
+    render_heatmap,
+)
+from repro.runtime.actions import SwitchKind
+from repro.service.sources import iter_journal_segments, journal_from_container
+from repro.service.store import TraceStore
+from tests.faults.conftest import build_fixture_trace, build_symtab
+
+
+@pytest.fixture(scope="module")
+def fixture_trace(tmp_path_factory):
+    path = tmp_path_factory.mktemp("heatmap") / "trace.npz"
+    build_fixture_trace(path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def incident_trace(tmp_path_factory):
+    """A small flight-recorder-style bundle with a marked anomaly."""
+    path = tmp_path_factory.mktemp("heatmap") / "incident.npz"
+    ring = SegmentRing(build_symtab(), capacity=8)
+    # One item window per core; core 0 carries the anomaly.
+    for core in (0, 1):
+        ring.append_switches(
+            core,
+            SwitchRecords.from_arrays(
+                core,
+                np.asarray([100, 900], dtype=np.int64),
+                np.asarray([core, core], dtype=np.int64),
+                [SwitchKind.ITEM_START, SwitchKind.ITEM_END],
+            ),
+        )
+        ring.append_samples(
+            core,
+            SampleArrays(
+                ts=np.arange(100, 900, 50, dtype=np.int64),
+                ip=np.full(16, 0x400100, dtype=np.int64),
+                tag=np.zeros(16, dtype=np.int64),
+            ),
+        )
+    trigger = AnomalyEvent(
+        kind=KIND_IDLE_CORE, severity="critical", core=0, window=(400, 600)
+    )
+    ring.seal_incident(path, {"trigger": trigger.to_dict()})
+    return path
+
+
+def test_build_heatmap_lanes(fixture_trace):
+    hm = build_heatmap(fixture_trace, buckets=24)
+    assert hm.buckets == 24
+    assert [lane.core for lane in hm.lanes] == [0, 1]
+    for lane in hm.lanes:
+        assert lane.items.shape == (24,)
+        assert int(lane.samples.sum()) > 0
+        assert int(lane.items.sum()) > 0
+        assert not lane.shed.any()
+    assert hm.incident_kind is None
+    assert hm.t1 > hm.t0
+
+
+def test_build_heatmap_accepts_loaded_tracefile(fixture_trace):
+    tf = load_trace(fixture_trace)
+    hm = build_heatmap(tf, buckets=8)
+    assert len(hm.lanes) == 2
+
+
+def test_build_heatmap_rejects_bad_buckets(fixture_trace):
+    with pytest.raises(ReproError):
+        build_heatmap(fixture_trace, buckets=0)
+
+
+def test_render_heatmap_shape(fixture_trace):
+    hm = build_heatmap(fixture_trace, buckets=16)
+    text = render_heatmap(hm)
+    lines = text.splitlines()
+    assert lines[0].startswith("heatmap: 16 buckets")
+    # Every shaded lane is exactly as wide as the bucket count.
+    for line in lines:
+        if "|" in line:
+            cells = line.split("|")[1]
+            assert len(cells) == 16
+    assert "core 0" in text and "core 1" in text
+
+
+def test_incident_bundle_draws_markers(incident_trace):
+    hm = build_heatmap(incident_trace, buckets=10)
+    assert hm.incident_kind == KIND_IDLE_CORE
+    assert hm.kinds == (KIND_IDLE_CORE,)
+    lane0 = hm.lanes[0]
+    marked = sorted(lane0.anomalies)
+    assert marked  # the trigger window landed on core 0's lane
+    assert all(KIND_IDLE_CORE in lane0.anomalies[b] for b in marked)
+    assert not hm.lanes[1].anomalies  # core 1 stays clean
+    text = render_heatmap(hm)
+    assert f"[incident: {KIND_IDLE_CORE}]" in text
+    assert "events" in text
+    assert f"I {KIND_IDLE_CORE}" in text  # legend
+
+
+# -- fleet rollup -----------------------------------------------------------
+
+
+def _commit_run(store: TraceStore, run_id: str, container, workdir) -> None:
+    jd = journal_from_container(container, workdir, options=IngestOptions(chunk_size=96))
+    for rec, data in iter_journal_segments(jd):
+        store.append_segment(run_id, rec, data)
+    store.finish_run(run_id)
+    store.compact_run(run_id)
+
+
+def test_fleet_rollup_rows(fixture_trace, tmp_path):
+    store = TraceStore(tmp_path / "store")
+    _commit_run(store, "run-a", fixture_trace, tmp_path / "ja")
+    rows = fleet_rollup(store)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["run"] == "run-a"
+    assert row["segments"] > 0
+    assert row["bytes"] > 0
+    assert row["committed_at"] > 0
+    assert row["anomalies"] == 0
+    assert row["incident"] is None
+    assert not row["interrupted"]
+    text = render_fleet(rows)
+    assert "run-a" in text
+
+
+def test_render_fleet_empty():
+    assert "no committed runs" in render_fleet([])

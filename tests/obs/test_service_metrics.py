@@ -1,0 +1,101 @@
+"""The 13 ingestion-service instruments, pinned through the exporter.
+
+The service's gauges/counters are part of the operational contract:
+dashboards and alerts key on these exact names.  This suite pokes every
+instrument, exports the registry as Prometheus text, re-parses it with
+the validating parser, and asserts each sample round-trips — a rename,
+a type change, or an exposition-format regression all fail here.
+"""
+
+from __future__ import annotations
+
+from repro.obs.instrumented import pipeline
+from repro.obs.metrics import MetricsRegistry, parse_prometheus_text, use_registry
+
+#: name -> kind for every service instrument (the PR 7 set, 13 names).
+SERVICE_METRICS = {
+    "repro_service_queue_depth": "gauge",
+    "repro_service_queue_capacity": "gauge",
+    "repro_service_connections": "gauge",
+    "repro_service_credits_outstanding": "gauge",
+    "repro_service_segments_admitted_total": "counter",
+    "repro_service_segments_deduped_total": "counter",
+    "repro_service_runs_committed_total": "counter",
+    "repro_service_runs_quarantined_total": "counter",
+    "repro_service_compaction_lag_runs": "gauge",
+    "repro_service_compaction_seconds": "histogram",
+    "repro_service_protocol_errors_total": "counter",
+    "repro_service_storage_errors_total": "counter",
+    "repro_service_nacks_total": "counter",
+}
+
+
+def _poke_all(ins) -> dict[str, float]:
+    """Drive every service instrument; returns expected plain values."""
+    expected = {}
+    ins.svc_queue_depth.set(7)
+    expected["repro_service_queue_depth"] = 7
+    ins.svc_queue_capacity.set(64)
+    expected["repro_service_queue_capacity"] = 64
+    ins.svc_connections.set(3)
+    expected["repro_service_connections"] = 3
+    ins.svc_credits_outstanding.set(24)
+    expected["repro_service_credits_outstanding"] = 24
+    ins.svc_segments_admitted.inc(15)
+    expected["repro_service_segments_admitted_total"] = 15
+    ins.svc_segments_deduped.inc(2)
+    expected["repro_service_segments_deduped_total"] = 2
+    ins.svc_runs_committed.inc()
+    expected["repro_service_runs_committed_total"] = 1
+    ins.svc_runs_quarantined.inc()
+    expected["repro_service_runs_quarantined_total"] = 1
+    ins.svc_compaction_lag.set(1)
+    expected["repro_service_compaction_lag_runs"] = 1
+    ins.svc_compaction_seconds.observe(0.25)
+    ins.svc_compaction_seconds.observe(0.75)
+    ins.svc_protocol_errors.inc(4)
+    expected["repro_service_protocol_errors_total"] = 4
+    ins.svc_storage_errors.inc()
+    expected["repro_service_storage_errors_total"] = 1
+    ins.svc_nacks("storage").inc(5)
+    expected['repro_service_nacks_total{reason="storage"}'] = 5
+    ins.svc_nacks("corrupt").inc(1)
+    expected['repro_service_nacks_total{reason="corrupt"}'] = 1
+    return expected
+
+
+def test_all_13_service_metrics_round_trip_through_prometheus_text():
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        expected = _poke_all(pipeline())
+    text = reg.to_prometheus()
+
+    # Every pinned name is declared with its pinned type.
+    for name, kind in SERVICE_METRICS.items():
+        assert f"# TYPE {name} {kind}" in text, name
+
+    samples = parse_prometheus_text(text)  # validates the format wholesale
+    for key, value in expected.items():
+        assert samples[key] == value, key
+    # Histogram exposition: _sum/_count plus le-bucketed counts.
+    assert samples["repro_service_compaction_seconds_count"] == 2
+    assert samples["repro_service_compaction_seconds_sum"] == 1.0
+    assert samples['repro_service_compaction_seconds_bucket{le="+Inf"}'] == 2
+
+
+def test_service_metric_names_are_exactly_the_pinned_set():
+    """No 14th service metric sneaks in unpinned, none disappears."""
+    reg = MetricsRegistry()
+    with use_registry(reg):
+        _poke_all(pipeline())
+    exported = {
+        inst.name for inst in reg.collect() if inst.name.startswith("repro_service_")
+    }
+    assert exported == set(SERVICE_METRICS)
+    assert len(SERVICE_METRICS) == 13
+
+
+def test_disabled_registry_exports_no_service_metrics():
+    from repro.obs.metrics import NULL_REGISTRY
+
+    assert NULL_REGISTRY.to_prometheus().strip() == ""

@@ -1,0 +1,59 @@
+"""Golden fixture for the daemon-side invariant: credit-window starvation.
+
+The capture/ingest kinds' golden scenarios live in
+tests/interference/test_anomaly_fixtures.py; this one needs the service
+harness (daemon factory, journal fixture, event loop driver).
+"""
+
+from __future__ import annotations
+
+from repro.obs.anomaly import KIND_CREDIT_STARVATION, AnomalyConfig
+from repro.service.client import push_source
+from repro.service.daemon import DaemonConfig
+from tests.service.conftest import run_async
+
+
+def _push_run(daemon_factory, journal_dir, config):
+    async def scenario():
+        store, daemon = daemon_factory(config)
+        await daemon.start()
+        try:
+            report = await push_source(
+                journal_dir, "r1", streams=await daemon.connect()
+            )
+        finally:
+            await daemon.shutdown()
+        return daemon, report
+
+    return run_async(scenario())
+
+
+def test_hardened_backpressure_fires_starvation(daemon_factory, journal_dir):
+    config = DaemonConfig(
+        capacity=64,
+        credits=8,
+        high_watermark=1,  # almost any queue occupancy withholds credit
+        low_watermark=0,
+        drain_delay_s=0.01,
+        anomaly=AnomalyConfig(enabled=True, starved_acks=3),
+    )
+    daemon, report = _push_run(daemon_factory, journal_dir, config)
+    assert report.committed  # starvation throttles, it does not lose data
+    events = daemon.anomalies.events(kind=KIND_CREDIT_STARVATION)
+    assert events
+    assert all(e.severity == "critical" for e in events)
+    assert all(e.evidence["withheld_acks"] >= 3 for e in events)
+    assert {e.evidence["run"] for e in events} == {"r1"}
+
+
+def test_healthy_watermarks_are_silent(daemon_factory, journal_dir):
+    config = DaemonConfig(anomaly=AnomalyConfig(enabled=True, starved_acks=3))
+    daemon, report = _push_run(daemon_factory, journal_dir, config)
+    assert report.committed
+    assert daemon.anomalies.total == 0, daemon.anomalies.counts
+
+
+def test_anomaly_disabled_builds_no_log(daemon_factory, journal_dir):
+    daemon, report = _push_run(daemon_factory, journal_dir, DaemonConfig())
+    assert report.committed
+    assert daemon.anomalies is None
