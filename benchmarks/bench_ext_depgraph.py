@@ -1,0 +1,104 @@
+"""Extension: wait-edge recording under the <5% overhead budget.
+
+Waiting-dependency diagnosis only works if the wait edges are always
+there, and they are only always there if recording them is cheap enough
+to leave on by default.  This bench runs the lock-convoy workload — the
+worst case for edge volume, since the victim blocks on every item —
+with ``record_waits=True`` (the default) against ``record_waits=False``
+and gates the capture-time ratio at the 5% budget.  It also times the
+analysis side (blocked-by chain extraction over the recorded log) for
+the trajectory, without a gate: extraction is offline.
+
+Sizes are env-tunable for CI smoke: ``REPRO_BENCH_DEPGRAPH_ITEMS``
+(convoy items, default 64).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.analysis.depgraph import blocked_by_chain, window_of_item
+from repro.analysis.reporting import format_table
+from repro.session import trace
+from repro.workloads.contention import LockConvoyApp, LockConvoyConfig
+
+N_ITEMS = int(os.environ.get("REPRO_BENCH_DEPGRAPH_ITEMS", "64"))
+BUDGET = 0.05
+#: Timer-noise headroom: a smoke-scale scheduler run is a few ms, so a
+#: single descheduling blip can swamp the (near-zero) true cost.
+NOISE = 0.03
+
+
+def _best(fn, n=7) -> float:
+    walls = []
+    for _ in range(n):
+        t0 = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - t0)
+    return min(walls)
+
+
+def _capture(record_waits: bool):
+    cfg = LockConvoyConfig(n_items=N_ITEMS)
+    return trace(
+        LockConvoyApp(cfg), sample_cores=[0, 1], record_waits=record_waits
+    )
+
+
+def test_depgraph_overhead_within_budget(report, bench_point):
+    # -- capture path ------------------------------------------------------
+    _capture(True)  # warm
+    rec_off = _best(lambda: _capture(False))
+    rec_on = _best(lambda: _capture(True))
+    rec_ratio = (rec_on - rec_off) / rec_off
+
+    # -- extraction path (offline, no gate) --------------------------------
+    session = _capture(True)
+    victim = LockConvoyApp.VICTIM_CORE
+    tf = session.trace_for(victim)
+    waits = session.wait_log.per_core_columns()
+    n_edges = sum(len(w) for w in waits.values())
+    items = tf.window_columns.item_id
+
+    def extract():
+        for item in items[: min(16, len(items))]:
+            span = window_of_item(tf.window_columns, int(item))
+            chain = blocked_by_chain(
+                waits, victim, *span, symtab=session.symtab
+            )
+            assert chain, "convoy items must show a blocked-by chain"
+
+    extract()  # warm
+    ext_wall = _best(extract)
+
+    rows = [
+        ["capture", f"{rec_off * 1e3:.2f}", f"{rec_on * 1e3:.2f}", f"{rec_ratio:+.2%}"],
+        ["extract x16", "-", f"{ext_wall * 1e3:.2f}", "offline"],
+    ]
+    report(
+        "ext_depgraph_overhead",
+        format_table(
+            ["path", "off (ms)", "on (ms)", "overhead"],
+            rows,
+            title=(
+                f"wait-edge recording overhead "
+                f"({N_ITEMS} convoy items, {n_edges} edges recorded; "
+                f"budget {BUDGET:.0%})"
+            ),
+        ),
+    )
+    bench_point(
+        "depgraph",
+        {
+            "scale": {"convoy_items": N_ITEMS, "edges": n_edges},
+            "capture": {
+                "off_ms": round(rec_off * 1e3, 3),
+                "on_ms": round(rec_on * 1e3, 3),
+                "overhead": round(rec_ratio, 4),
+            },
+            "extract": {"chains16_ms": round(ext_wall * 1e3, 3)},
+            "budget": BUDGET,
+        },
+    )
+    assert rec_ratio < BUDGET + NOISE, (rec_ratio, rec_off, rec_on)

@@ -29,6 +29,7 @@ from repro.api import (
     OverloadPolicy,
     diagnose,
     diff,
+    explain,
     integrate,
     load,
     record,
@@ -45,6 +46,7 @@ __all__ = [
     "ReproError",
     "diagnose",
     "diff",
+    "explain",
     "integrate",
     "load",
     "record",

@@ -38,7 +38,6 @@ Everything batch is vectorised over :class:`~repro.core.records.WindowColumns`
 from __future__ import annotations
 
 import bisect
-import json
 import math
 from dataclasses import dataclass, field
 from typing import Callable, Hashable, Mapping
@@ -207,6 +206,12 @@ class ItemVerdict:
     #: the verdict was computed from incomplete evidence and should be
     #: read as "affected by degraded capture", not misattributed.
     degraded: bool = False
+    #: Waiting-dependency chain of the item's window: hop dicts (see
+    #: :meth:`repro.analysis.depgraph.WaitHop.to_dict`) from the item's
+    #: own core to its true upstream blocker.  Empty when the container
+    #: carries no wait edges or the item never waited — attribution by
+    #: function latency is then the whole story.
+    blocked_by: tuple = ()
 
     @property
     def culprit(self) -> str | None:
@@ -221,6 +226,12 @@ class ItemVerdict:
             f"baseline {med_us:.2f} us ({self.deviation:+.1f} band-widths)"
         )
         tail = " [degraded capture]" if self.degraded else ""
+        if self.blocked_by:
+            hop = self.blocked_by[0]
+            tail += (
+                f" [blocked {hop['wait_cycles']:,} cy on {hop['queue']} "
+                f"({hop['kind']})]"
+            )
         if not self.is_outlier:
             return head + " — within band" + tail
         if not self.attributions:
@@ -288,50 +299,55 @@ class DiagnosisReport:
             )
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """The report's JSON payload (envelope keys are added by
+        :func:`repro.analysis.report.envelope` at serialization time)."""
+        return {
+            "method": self.method,
+            "k_sigma": self.k_sigma,
+            "min_ratio": self.min_ratio,
+            "reset_value": self.reset_value,
+            "baselines": [
+                {
+                    "group": str(b.group),
+                    "n_items": b.n_items,
+                    "center": b.center,
+                    "spread": b.spread,
+                    "lo": b.lo,
+                    "hi": b.hi,
+                }
+                for b in self.baselines
+            ],
+            "degraded_items": [v.item_id for v in self.degraded_items],
+            "outliers": [
+                {
+                    "item_id": v.item_id,
+                    "group": str(v.group),
+                    "total_cycles": v.total_cycles,
+                    "center_cycles": v.center_cycles,
+                    "deviation": v.deviation,
+                    "excess_cycles": v.excess_cycles,
+                    "degraded": v.degraded,
+                    "attributions": [
+                        {
+                            "fn": a.fn_name,
+                            "excess_cycles": a.excess_cycles,
+                            "share": a.share,
+                            "n_samples": a.n_samples,
+                            "confidence": a.confidence,
+                        }
+                        for a in v.attributions
+                    ],
+                    "blocked_by": [dict(h) for h in v.blocked_by],
+                }
+                for v in self.outliers
+            ],
+        }
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "method": self.method,
-                "k_sigma": self.k_sigma,
-                "min_ratio": self.min_ratio,
-                "reset_value": self.reset_value,
-                "baselines": [
-                    {
-                        "group": str(b.group),
-                        "n_items": b.n_items,
-                        "center": b.center,
-                        "spread": b.spread,
-                        "lo": b.lo,
-                        "hi": b.hi,
-                    }
-                    for b in self.baselines
-                ],
-                "degraded_items": [v.item_id for v in self.degraded_items],
-                "outliers": [
-                    {
-                        "item_id": v.item_id,
-                        "group": str(v.group),
-                        "total_cycles": v.total_cycles,
-                        "center_cycles": v.center_cycles,
-                        "deviation": v.deviation,
-                        "excess_cycles": v.excess_cycles,
-                        "degraded": v.degraded,
-                        "attributions": [
-                            {
-                                "fn": a.fn_name,
-                                "excess_cycles": a.excess_cycles,
-                                "share": a.share,
-                                "n_samples": a.n_samples,
-                                "confidence": a.confidence,
-                            }
-                            for a in v.attributions
-                        ],
-                    }
-                    for v in self.outliers
-                ],
-            },
-            indent=2,
-        )
+        from repro.analysis.report import render_json
+
+        return render_json(self.to_dict(), kind="diagnosis")
 
 
 # ---------------------------------------------------------------------------

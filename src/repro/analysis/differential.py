@@ -21,7 +21,6 @@ observed functions), so the per-item hot path never enters Python.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 
 import numpy as np
@@ -83,6 +82,20 @@ class DiffReport:
     #: runs rather than presented at full strength.
     n_degraded_base: int = 0
     n_degraded_other: int = 0
+    #: Median per-item wait cycles in each run (0.0 when neither trace
+    #: carried wait edges — older containers, in-memory diffs).
+    base_wait_median: float = 0.0
+    other_wait_median: float = 0.0
+    #: Regression classification from the wait-vs-code split:
+    #: ``"contention"`` when the median total's growth is mostly wait
+    #: cycles, ``"code"`` when it is mostly function latency, ``"none"``
+    #: when nothing regressed or no wait data was available to split.
+    cause: str = "none"
+
+    @property
+    def wait_excess_per_item(self) -> float:
+        """Growth of the per-item wait median (signed cycles)."""
+        return self.other_wait_median - self.base_wait_median
 
     @property
     def regressions(self) -> list[FunctionDelta]:
@@ -120,37 +133,51 @@ class DiffReport:
                 f"(+{top.excess_per_item:.0f} cycles/item, "
                 f"confidence {top.confidence:.2f})"
             )
+        if self.cause != "none":
+            total_d = self.other_median_total - self.base_median_total
+            lines.append(
+                f"  cause: {self.cause} "
+                f"(wait {self.wait_excess_per_item:+.0f} of "
+                f"{total_d:+.0f} cycles/item growth)"
+            )
         for d in self.deltas[:limit]:
             lines.append("  " + d.describe(freq_ghz))
         if len(self.deltas) > limit:
             lines.append(f"  ... and {len(self.deltas) - limit} more function(s)")
         return "\n".join(lines)
 
+    def to_dict(self) -> dict:
+        """The report's JSON payload (envelope keys are added by
+        :func:`repro.analysis.report.envelope` at serialization time)."""
+        return {
+            "n_items_base": self.n_items_base,
+            "n_items_other": self.n_items_other,
+            "base_median_total": self.base_median_total,
+            "other_median_total": self.other_median_total,
+            "reset_value": self.reset_value,
+            "n_degraded_base": self.n_degraded_base,
+            "n_degraded_other": self.n_degraded_other,
+            "base_wait_median": self.base_wait_median,
+            "other_wait_median": self.other_wait_median,
+            "cause": self.cause,
+            "deltas": [
+                {
+                    "fn": d.fn_name,
+                    "base_median_per_item": d.base_median_per_item,
+                    "other_median_per_item": d.other_median_per_item,
+                    "excess_per_item": d.excess_per_item,
+                    "excess_cycles": d.excess_cycles,
+                    "n_samples": d.n_samples,
+                    "confidence": d.confidence,
+                }
+                for d in self.deltas
+            ],
+        }
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "n_items_base": self.n_items_base,
-                "n_items_other": self.n_items_other,
-                "base_median_total": self.base_median_total,
-                "other_median_total": self.other_median_total,
-                "reset_value": self.reset_value,
-                "n_degraded_base": self.n_degraded_base,
-                "n_degraded_other": self.n_degraded_other,
-                "deltas": [
-                    {
-                        "fn": d.fn_name,
-                        "base_median_per_item": d.base_median_per_item,
-                        "other_median_per_item": d.other_median_per_item,
-                        "excess_per_item": d.excess_per_item,
-                        "excess_cycles": d.excess_cycles,
-                        "n_samples": d.n_samples,
-                        "confidence": d.confidence,
-                    }
-                    for d in self.deltas
-                ],
-            },
-            indent=2,
-        )
+        from repro.analysis.report import render_json
+
+        return render_json(self.to_dict(), kind="diff")
 
 
 def _per_item_matrix(
@@ -194,6 +221,33 @@ def _per_item_matrix(
     return items, vectors, samples, totals
 
 
+#: A run must be at least this factor slower (median total) before the
+#: contention/code classifier calls it a regression at all.
+MIN_REGRESSION_RATIO = 1.02
+
+
+def classify_cause(
+    base_median_total: float,
+    other_median_total: float,
+    base_wait_median: float,
+    other_wait_median: float,
+    *,
+    min_ratio: float = MIN_REGRESSION_RATIO,
+) -> str:
+    """Contention-caused vs code-caused, from the wait/latency split.
+
+    The median total's growth decomposes into growth of wait cycles
+    (recorded wait edges inside item windows) and growth of everything
+    else (function latency).  Whichever part dominates names the cause;
+    sub-``min_ratio`` growth is ``"none"`` — no regression to explain.
+    """
+    if base_median_total <= 0 or other_median_total < base_median_total * min_ratio:
+        return "none"
+    total_delta = other_median_total - base_median_total
+    wait_delta = other_wait_median - base_wait_median
+    return "contention" if wait_delta >= total_delta - wait_delta else "code"
+
+
 def diff_traces(
     base: HybridTrace,
     other: HybridTrace,
@@ -203,6 +257,8 @@ def diff_traces(
     reset_value: int | None = None,
     degraded_base: set[int] | None = None,
     degraded_other: set[int] | None = None,
+    base_item_waits: np.ndarray | None = None,
+    other_item_waits: np.ndarray | None = None,
 ) -> DiffReport:
     """Rank functions by per-item excess of ``other`` over ``base``.
 
@@ -221,6 +277,13 @@ def diff_traces(
     apparent cost, so a degraded side biases the comparison; every
     delta's confidence is multiplied by the intact item fraction of both
     runs so the report can never be *more* confident on worse evidence.
+
+    ``base_item_waits`` / ``other_item_waits`` are per-item wait-cycle
+    totals (see :func:`repro.analysis.depgraph.item_wait_cycles`); when
+    given, the report carries per-run wait medians and a
+    contention-vs-code ``cause`` classification.  Traces without wait
+    data leave ``cause="none"`` — the split cannot be computed, which is
+    different from "no regression".
     """
     R = reset_value if reset_value is not None else DEFAULT_RESET_VALUE
     b_items, b_vec, b_n, b_totals = _per_item_matrix(
@@ -265,15 +328,32 @@ def diff_traces(
             )
         )
     deltas.sort(key=lambda d: d.excess_per_item, reverse=True)
+    base_median_total = float(np.median(b_totals))
+    other_median_total = float(np.median(o_totals))
+    have_waits = base_item_waits is not None or other_item_waits is not None
+
+    def _wait_median(arr) -> float:
+        return float(np.median(np.asarray(arr))) if arr is not None and len(arr) else 0.0
+
+    b_wait = _wait_median(base_item_waits)
+    o_wait = _wait_median(other_item_waits)
+    cause = (
+        classify_cause(base_median_total, other_median_total, b_wait, o_wait)
+        if have_waits
+        else "none"
+    )
     report = DiffReport(
         deltas=tuple(deltas),
         n_items_base=n_b,
         n_items_other=n_o,
-        base_median_total=float(np.median(b_totals)),
-        other_median_total=float(np.median(o_totals)),
+        base_median_total=base_median_total,
+        other_median_total=other_median_total,
         reset_value=R,
         n_degraded_base=n_deg_b,
         n_degraded_other=n_deg_o,
+        base_wait_median=b_wait,
+        other_wait_median=o_wait,
+        cause=cause,
     )
     ins = _obs()
     ins.diff_runs.inc()

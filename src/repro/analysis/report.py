@@ -1,0 +1,64 @@
+"""Versioned report envelopes: one shape for every machine-readable output.
+
+Every ``--json`` surface of the CLI (`diagnose`, `diff`, `runs`,
+`fleet`, `verify-attribution`) used to emit an ad-hoc top-level shape
+with nothing identifying *which* schema or *which* tool version wrote
+it — so consumers had to sniff keys, and a field change was silently
+breaking.  The envelope fixes both with three reserved top-level keys
+added to (never wrapped around) each payload::
+
+    {
+      "schema_version": 1,          # bumped on breaking shape changes
+      "schema": "diagnosis",        # which payload this is
+      "generated_by": "repro 1.2.0",
+      ... the payload's own keys, unchanged ...
+    }
+
+Adding keys preserves every existing consumer that reads payloads by
+top-level key; the snapshot tests in
+``tests/integration/test_json_schemas.py`` pin each schema's key set so
+future changes are deliberate, not accidental.
+"""
+
+from __future__ import annotations
+
+import json
+
+#: Version of every envelope this build writes.  Bump ONLY on breaking
+#: changes to a payload shape (key removal/rename/retyping); additive
+#: keys do not bump it.
+SCHEMA_VERSION = 1
+
+#: Known schema kinds (the ``schema`` envelope key).
+SCHEMAS = ("diagnosis", "diff", "runs", "fleet", "attribution", "explain")
+
+
+def generated_by() -> str:
+    """The ``generated_by`` stamp: package name + version."""
+    from repro import __version__
+
+    return f"repro {__version__}"
+
+
+def envelope(payload: dict, *, kind: str) -> dict:
+    """Return ``payload`` with the envelope keys prepended.
+
+    The payload's own keys win on (unexpected) collision, so an envelope
+    can never corrupt data; the reserved keys come first purely for
+    human readability of the serialized form.
+    """
+    out = {
+        "schema_version": SCHEMA_VERSION,
+        "schema": kind,
+        "generated_by": generated_by(),
+    }
+    out.update(payload)
+    return out
+
+
+def render_json(payload: dict, *, kind: str) -> str:
+    """Serialize an enveloped payload the way every CLI verb does."""
+    return json.dumps(envelope(payload, kind=kind), indent=2)
+
+
+__all__ = ["SCHEMA_VERSION", "SCHEMAS", "generated_by", "envelope", "render_json"]

@@ -1,4 +1,4 @@
-"""The supported Python surface of the tracer, in eight verbs.
+"""The supported Python surface of the tracer, in nine verbs.
 
 ::
 
@@ -8,6 +8,7 @@
     tf      = repro.load("run.npz")                          # open a container
     result  = repro.integrate("run.npz")                     # stream-integrate
     report  = repro.diagnose("run.npz")                      # find outlier items
+    why     = repro.explain("run.npz", 17)                   # blocked-by chain
     delta   = repro.diff("base.npz", "regressed.npz")        # localize a regression
     rec     = repro.recover("run.npz")                       # replay a crash journal
     rep     = repro.push("run.npz", "run-1", "unix:/s")      # ship to the daemon
@@ -27,9 +28,11 @@ Ingestion knobs travel in one :class:`IngestOptions` object everywhere.
 
 from __future__ import annotations
 
+import dataclasses
 import pathlib
 from typing import Callable, Hashable, Mapping
 
+from repro.analysis import depgraph
 from repro.analysis.diagnose import (
     DiagnosisReport,
     ItemVerdict,
@@ -62,6 +65,7 @@ __all__ = [
     "load",
     "integrate",
     "diagnose",
+    "explain",
     "diff",
     "recover",
     "open_store",
@@ -261,6 +265,60 @@ def _degraded_items(trace: HybridTrace, meta: dict, core: int | None) -> set[int
     return items
 
 
+def _waits_of(source) -> dict:
+    """Recorded wait edges of a container keyed by core — ``{}`` when the
+    source predates the optional wait member (v1/v2 containers, journal
+    recoveries, in-memory traces).  Never an error."""
+    if isinstance(source, (str, pathlib.Path)):
+        with TraceReader(source) as reader:
+            return {c: reader.wait_columns(c) for c in reader.wait_cores}
+    if isinstance(source, TraceFile):
+        return {c: source.waits(c) for c in source.wait_cores}
+    return {}
+
+
+def _attach_blocked_by(
+    report: DiagnosisReport, trace: HybridTrace, waits_by_core: dict, core: int | None
+) -> DiagnosisReport:
+    """Attach waiting-dependency chains to every verdict with one.
+
+    A chain is computed over the item's window hull on the analysis
+    core, following blockers across cores (the convoy's upstream); items
+    that never waited keep an empty ``blocked_by``.
+    """
+    if not waits_by_core or core is None:
+        return report
+    windows = trace.window_columns
+    verdicts = []
+    changed = False
+    for v in report.verdicts:
+        span = depgraph.window_of_item(windows, v.item_id)
+        if span is not None:
+            chain = depgraph.blocked_by_chain(
+                waits_by_core, core, span[0], span[1], symtab=trace.symtab
+            )
+            if chain:
+                v = dataclasses.replace(
+                    v, blocked_by=tuple(h.to_dict() for h in chain)
+                )
+                changed = True
+        verdicts.append(v)
+    if not changed:
+        return report
+    return dataclasses.replace(report, verdicts=tuple(verdicts))
+
+
+def _item_waits_for(source, trace: HybridTrace, core: int | None):
+    """Per-item wait-cycle totals of one run, or None without wait data."""
+    if core is None:
+        return None
+    w = _waits_of(source).get(core)
+    if w is None or len(w) == 0:
+        return None
+    _ids, totals = depgraph.item_wait_cycles(w, trace.window_columns)
+    return totals
+
+
 def _one_shot_trace(source, core: int | None) -> HybridTrace:
     if isinstance(source, HybridTrace):
         return source
@@ -307,6 +365,13 @@ def diagnose(
     overload, spans a crash recovery could not salvage), the affected
     items come back with ``degraded=True`` instead of being silently
     misattributed from incomplete evidence.
+
+    When the container carries the optional wait-edge member (see
+    :mod:`repro.runtime.waitedge`), every verdict whose item waited gets
+    a ``blocked_by`` chain — the waiting-dependency path from the item's
+    core through the queue or lock to the function that held it up (see
+    :func:`explain` for the one-item view).  Containers without the
+    member yield empty chains, never an error.
     """
     meta = _meta_of(source)
     if group_of is None:
@@ -337,7 +402,7 @@ def diagnose(
         trace = result.per_core[use_core]
     else:
         trace = _one_shot_trace(source, use_core)
-    return diagnose_trace(
+    report = diagnose_trace(
         trace,
         group_of,
         method=method,
@@ -347,6 +412,79 @@ def diagnose(
         reset_value=reset_value,
         degraded_items=_degraded_items(trace, meta, use_core) or None,
     )
+    return _attach_blocked_by(report, trace, _waits_of(source), use_core)
+
+
+def explain(
+    source,
+    item: int,
+    *,
+    core: int | None = None,
+    group_of: Mapping[int, Hashable] | Callable[[int], Hashable] | None = None,
+    method: str = "mad",
+    k_sigma: float = 3.5,
+    min_ratio: float = 1.2,
+    min_samples: int = 2,
+    reset_value: int | None = None,
+) -> dict:
+    """Why is this item slow?  One item's verdict plus blocked-by chain.
+
+    Runs the same classification as :func:`diagnose` and returns a plain
+    dict for item ``item``: the verdict fields, the function
+    attributions (for outliers), the ``blocked_by`` waiting-dependency
+    chain, and a human-readable ``why`` rendering of it.  The dict
+    carries the versioned report envelope (``schema="explain"``), so it
+    serializes directly.
+
+    Items in containers without recorded wait edges come back with an
+    empty chain and ``why`` saying so — never an error — which keeps the
+    verb valid on v1/v2 containers and journal recoveries.
+    """
+    from repro.analysis.report import envelope
+
+    item = int(item)
+    report = diagnose(
+        source,
+        group_of=group_of,
+        core=core,
+        method=method,
+        k_sigma=k_sigma,
+        min_ratio=min_ratio,
+        min_samples=min_samples,
+        reset_value=reset_value,
+    )
+    verdict = next((v for v in report.verdicts if v.item_id == item), None)
+    if verdict is None:
+        known = sorted(v.item_id for v in report.verdicts)
+        raise ReproError(
+            f"item {item} has no windows in this trace "
+            f"(items: {known[:10]}{'...' if len(known) > 10 else ''})"
+        )
+    chain = [dict(h) for h in verdict.blocked_by]
+    hops = tuple(depgraph.WaitHop(**h) for h in chain)
+    payload = {
+        "item_id": verdict.item_id,
+        "group": str(verdict.group),
+        "total_cycles": verdict.total_cycles,
+        "center_cycles": verdict.center_cycles,
+        "deviation": verdict.deviation,
+        "is_outlier": verdict.is_outlier,
+        "excess_cycles": verdict.excess_cycles,
+        "degraded": verdict.degraded,
+        "attributions": [
+            {
+                "fn": a.fn_name,
+                "excess_cycles": a.excess_cycles,
+                "share": a.share,
+                "n_samples": a.n_samples,
+                "confidence": a.confidence,
+            }
+            for a in verdict.attributions
+        ],
+        "blocked_by": chain,
+        "why": depgraph.describe_chain(hops),
+    }
+    return envelope(payload, kind="explain")
 
 
 def recover(
@@ -415,6 +553,13 @@ def diff(
 
     ``store`` resolves ``base``/``other`` as run ids in an ingestion
     store (see :func:`open_store`) instead of container paths.
+
+    When both containers carry recorded wait edges, the report also
+    splits the regression into contention vs code: ``report.cause`` is
+    ``"contention"`` when the median item's growth is mostly wait cycles
+    (queue backpressure, lock convoys), ``"code"`` when it is mostly
+    function latency, and ``"none"`` when nothing regressed — or when
+    either side lacks wait data to split with.
     """
     if store is not None:
         trace_store = open_store(store)
@@ -468,6 +613,8 @@ def diff(
         reset_value=reset_value,
         degraded_base=degraded_base,
         degraded_other=degraded_other,
+        base_item_waits=_item_waits_for(base, base_trace, use_core),
+        other_item_waits=_item_waits_for(other, other_trace, use_core),
     )
 
 

@@ -271,6 +271,36 @@ def cmd_diagnose(args) -> int:
     """`repro diagnose`: automated outlier classification + attribution."""
     from repro import api
 
+    if args.why is not None:
+        result = api.explain(
+            args.tracefile,
+            args.why,
+            core=args.core,
+            method=args.method,
+            k_sigma=args.k_sigma,
+            min_ratio=args.min_ratio,
+            reset_value=args.reset_value,
+        )
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(result, indent=2))
+            return 0
+        status = "OUTLIER" if result["is_outlier"] else "within band"
+        print(
+            f"item {result['item_id']} (group {result['group']}): "
+            f"{result['total_cycles']:,} cy vs baseline "
+            f"{result['center_cycles']:,.0f} cy "
+            f"({result['deviation']:+.1f} band-widths) — {status}"
+        )
+        for a in result["attributions"][:5]:
+            print(
+                f"  {a['fn']}: +{a['excess_cycles']:,} cy "
+                f"({a['share']:.0%} of excess)"
+            )
+        print(result["why"])
+        return 0
+
     meta = _load_meta(args.tracefile)
     if not meta.get("groups"):
         print(
@@ -381,6 +411,13 @@ def cmd_diff(args) -> int:
             f"\ntop excess-time contributor: {top.fn_name} "
             f"(+{top.excess_per_item / US:.2f} us/item, "
             f"confidence {top.confidence:.2f})"
+        )
+    if report.cause != "none":
+        total_delta = report.other_median_total - report.base_median_total
+        print(
+            f"cause: {report.cause} "
+            f"(wait {report.wait_excess_per_item / US:+.2f} of "
+            f"{total_delta / US:+.2f} us/item growth)"
         )
     return 0
 
@@ -496,7 +533,14 @@ def cmd_runs(args) -> int:
             }
             for run_id, entry in store.catalog().items()
         ]
-        print(_json.dumps({"store": str(store.root), "runs": records}, indent=2))
+        from repro.analysis.report import envelope
+
+        print(
+            _json.dumps(
+                envelope({"store": str(store.root), "runs": records}, kind="runs"),
+                indent=2,
+            )
+        )
         return 0
     rows = []
     for run_id, entry in store.catalog().items():
@@ -544,7 +588,13 @@ def cmd_verify_attribution(args) -> int:
     scorecard = run_matrix(grid=args.grid, seed=args.seed)
     print(scorecard.describe())
     if args.json:
-        pathlib.Path(args.json).write_text(scorecard.to_json())
+        from repro.analysis.report import render_json
+
+        # Envelope at file-write time: Scorecard.to_json itself stays the
+        # bare stable dict (its round-trip is pinned by the matrix tests).
+        pathlib.Path(args.json).write_text(
+            render_json(scorecard.to_stable_dict(), kind="attribution") + "\n"
+        )
         print(f"scorecard written to {args.json}")
     failed = False
     if scorecard.hit_rate < args.min_hit_rate:
@@ -652,7 +702,14 @@ def cmd_fleet(args) -> int:
     if args.json:
         import json as _json
 
-        print(_json.dumps({"store": str(store.root), "runs": rows}, indent=2))
+        from repro.analysis.report import envelope
+
+        print(
+            _json.dumps(
+                envelope({"store": str(store.root), "runs": rows}, kind="fleet"),
+                indent=2,
+            )
+        )
         return 0
     print(render_fleet(rows, title=f"fleet rollup: {store.root}"))
     flagged = [r for r in rows if r.get("incident") or r.get("anomalies")]
@@ -972,6 +1029,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="sampling period R for confidence (default: from trace metadata)",
     )
     p_diag.add_argument("--json", action="store_true", help="machine-readable output")
+    p_diag.add_argument(
+        "--why",
+        type=int,
+        default=None,
+        metavar="ITEM",
+        help=(
+            "explain one item: its verdict plus the blocked-by waiting "
+            "chain (core -> queue/lock -> the function that held it up)"
+        ),
+    )
     _add_ingest_args(p_diag)
     _add_telemetry_args(p_diag)
     p_diag.set_defaults(func=cmd_diagnose)

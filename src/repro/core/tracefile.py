@@ -36,7 +36,7 @@ import os
 import pathlib
 import zipfile
 import zlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -68,6 +68,7 @@ from repro.errors import CorruptionError, TraceError, TraceWriteError
 from repro.machine.pebs import SampleArrays
 from repro.obs.instrumented import pipeline as _obs
 from repro.runtime.actions import SwitchKind
+from repro.runtime.waitedge import WaitColumns
 
 #: Format version written into every file; bumped on layout changes.
 #: Version 1 = flat per-core sample columns; version 2 adds the chunked
@@ -80,6 +81,24 @@ _CODE_KIND = {v: k for k, v in _KIND_CODE.items()}
 
 #: Exceptions np.load / npz member access raise on damaged containers.
 _READ_ERRORS = (OSError, ValueError, EOFError, zipfile.BadZipFile, zlib.error)
+
+#: Column suffixes of the optional per-core wait-edge member set
+#: (``core{c}_wait_<col>``).  The member set is *optional* within format
+#: version 3: containers without it (older writers, journal recovery)
+#: load unchanged, and readers report an empty edge list.
+_WAIT_COLS = (
+    "ts",
+    "cycles",
+    "kind",
+    "queue",
+    "blocker_core",
+    "blocker_ip",
+    "waiter_ip",
+)
+
+
+def _wait_member_names(core: int) -> list[str]:
+    return [f"core{core}_wait_{col}" for col in _WAIT_COLS]
 
 
 def _symbol_arrays(symtab: SymbolTable) -> dict[str, np.ndarray]:
@@ -160,6 +179,7 @@ def build_container_members(
     *,
     chunk_size: int | None,
     checksums: bool,
+    waits_by_core: dict[int, WaitColumns] | None = None,
 ) -> dict[str, np.ndarray]:
     """Assemble the member dict of one v3 container (header included).
 
@@ -167,6 +187,11 @@ def build_container_members(
     ``chunk_size``, or flat when it is ``None``) or an explicit list of
     chunks — the form journal recovery produces, where chunk boundaries
     are whatever segments survived and need not share a size.
+
+    ``waits_by_core`` adds the optional wait-edge member set (one
+    ``core{c}_wait_*`` column group per core plus the shared
+    ``wait_queue_names`` table); readers that predate it skip unknown
+    members, so the format version does not change.
     """
     arrays: dict[str, np.ndarray] = {}
     header: dict = {
@@ -221,6 +246,21 @@ def build_container_members(
             f"core{core}_switch_item",
             f"core{core}_switch_kind",
         ]
+    if waits_by_core:
+        header["wait_cores"] = sorted(waits_by_core)
+        queue_names: tuple[str, ...] = ()
+        for core, w in waits_by_core.items():
+            for col in _WAIT_COLS:
+                name = f"core{core}_wait_{col}"
+                arrays[name] = getattr(w, col)
+                data_members.append(name)
+            queue_names = queue_names or w.queue_names
+        width = max((len(n) for n in queue_names), default=1)
+        # Uncrc'd like the symbol-table members: a small name table whose
+        # damage surfaces as a read error, not silent misattribution.
+        arrays["wait_queue_names"] = np.asarray(
+            list(queue_names), dtype=f"U{max(width, 1)}"
+        )
     arrays.update(_symbol_arrays(symtab))
     if checksums:
         header["crc32"] = {name: member_crc(arrays[name]) for name in data_members}
@@ -240,6 +280,7 @@ def save_trace(
     chunk_size: int | None = None,
     compress: bool = True,
     checksums: bool = True,
+    waits_by_core: dict[int, WaitColumns] | None = None,
 ) -> None:
     """Write one trace container.
 
@@ -265,6 +306,7 @@ def save_trace(
         meta,
         chunk_size=chunk_size,
         checksums=checksums,
+        waits_by_core=waits_by_core,
     )
     atomic_savez(path, arrays, compress=compress)
 
@@ -277,10 +319,23 @@ class TraceFile:
     meta: dict
     _samples: dict[int, SampleArrays]
     _switches: dict[int, SwitchRecords]
+    _waits: dict[int, WaitColumns] = field(default_factory=dict)
 
     @property
     def sample_cores(self) -> list[int]:
         return sorted(self._samples)
+
+    @property
+    def wait_cores(self) -> list[int]:
+        """Cores with recorded wait edges (empty for older containers)."""
+        return sorted(self._waits)
+
+    def waits(self, core: int) -> WaitColumns:
+        """One core's wait edges; empty columns when the container has
+        none (pre-wait-edge writers, journal recovery) — never an error,
+        so blocked-by diagnosis degrades to an empty graph."""
+        got = self._waits.get(core)
+        return got if got is not None else WaitColumns.empty()
 
     def samples(self, core: int) -> SampleArrays:
         try:
@@ -367,6 +422,24 @@ def _sample_chunk_keys(header: dict, core: int) -> list[tuple[str, str, str]]:
         (f"core{core}_s{k}_ts", f"core{core}_s{k}_ip", f"core{core}_s{k}_tag")
         for k in range(int(chunks[str(core)]))
     ]
+
+
+def _read_wait_columns(data, header: dict, core: int, getter) -> WaitColumns:
+    """Load one core's optional wait-edge columns via ``getter``.
+
+    Any missing member degrades to empty columns — the member set is
+    optional by contract, so a partially present one (hand-truncated
+    file, older tooling that rewrote the container) must not make a
+    reader refuse data it can otherwise serve.
+    """
+    if core not in (header.get("wait_cores") or []):
+        return WaitColumns.empty()
+    try:
+        cols = {col: getter(f"core{core}_wait_{col}") for col in _WAIT_COLS}
+        names = tuple(str(n) for n in data["wait_queue_names"])
+    except KeyError:
+        return WaitColumns.empty()
+    return WaitColumns(queue_names=names, **cols)
 
 
 def _monotone_keep_mask(ts: np.ndarray) -> np.ndarray:
@@ -459,8 +532,17 @@ def load_trace(
                 _member(f"core{core}_switch_item"),
                 kinds,
             )
+        waits: dict[int, WaitColumns] = {}
+        for core in header.get("wait_cores") or []:
+            w = _read_wait_columns(data, header, core, _member)
+            if len(w):
+                waits[core] = w
     return TraceFile(
-        symtab=symtab, meta=header["meta"], _samples=samples, _switches=switches
+        symtab=symtab,
+        meta=header["meta"],
+        _samples=samples,
+        _switches=switches,
+        _waits=waits,
     )
 
 
@@ -921,6 +1003,27 @@ class TraceReader:
         kinds = [_CODE_KIND[int(c)] for c in kind_codes.tolist()]
         return SwitchRecords.from_arrays(core, ts, item, kinds)
 
+    @property
+    def wait_cores(self) -> list[int]:
+        """Cores with recorded wait edges (empty for older containers)."""
+        return sorted(self._header.get("wait_cores") or [])
+
+    def wait_columns(self, core: int) -> WaitColumns:
+        """One core's wait edges; empty for containers without the
+        optional member set (never an error)."""
+
+        def _member(key: str) -> np.ndarray:
+            arr = self._npz[key]
+            want = self._crc.get(key)
+            if want is not None and member_crc(arr) != int(want):
+                raise CorruptionError(
+                    f"{self.path}: member {key} fails its crc32 check "
+                    f"(stored {want})"
+                )
+            return arr
+
+        return _read_wait_columns(self._npz, self._header, core, _member)
+
 
 def save_session(
     path: str | pathlib.Path,
@@ -932,11 +1035,15 @@ def save_session(
     compress: bool = True,
     checksums: bool = True,
 ) -> None:
-    """Persist a :class:`~repro.session.TraceSession` (samples + switches)."""
+    """Persist a :class:`~repro.session.TraceSession` (samples + switches,
+    plus the optional wait-edge member set when the session recorded
+    waits)."""
     samples = {c: u.finalize() for c, u in session.units.items()}
     switches = {
         c: session.tracer.records_for_core(c) for c in session.units
     }
+    wait_log = getattr(session, "wait_log", None)
+    waits = wait_log.per_core_columns() if wait_log is not None else None
     save_trace(
         path,
         samples,
@@ -946,4 +1053,5 @@ def save_session(
         chunk_size=chunk_size,
         compress=compress,
         checksums=checksums,
+        waits_by_core=waits or None,
     )

@@ -127,7 +127,23 @@ def build_heatmap(source, *, buckets: int = 48) -> Heatmap:
         samples = tf.samples(c)
         sample_buckets = _bucket_of(samples.ts, t0, t1, buckets)
         sample_lane = _bincount(sample_buckets, buckets)
-        if wait_idx and samples.ts.shape[0]:
+        waits = tf.waits(c)
+        if len(waits):
+            # Recorded wait edges are the ground truth for the wait lane:
+            # each edge contributes at its start bucket, weighted by its
+            # wait cycles normalized to one sample-period-ish unit so the
+            # lane's scale stays comparable to the symbol-derived one.
+            w_buckets = _bucket_of(waits.ts, t0, t1, buckets)
+            weights = np.maximum(waits.cycles, 1).astype(np.float64)
+            unit = max(1.0, float(np.median(weights)))
+            wait_lane = np.round(
+                np.bincount(
+                    w_buckets, weights=weights / unit, minlength=buckets
+                )[:buckets]
+            ).astype(np.int64)
+        elif wait_idx and samples.ts.shape[0]:
+            # Older containers without the wait member: fall back to the
+            # poll/wait-symbol heuristic over the sampled ips, silently.
             fidx = tf.symtab.lookup_many(samples.ip)
             mask = np.isin(fidx, list(wait_idx))
             wait_lane = _bincount(sample_buckets[mask], buckets)

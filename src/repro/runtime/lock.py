@@ -1,0 +1,61 @@
+"""Lock-style mutual exclusion on top of the virtual-time queues.
+
+A lock in the simulated runtime is a one-slot token queue:
+``acquire`` pops the token (blocking, with the scheduler's
+earliest-clock-first wakeup giving real convoy semantics — the thread
+that has waited longest in virtual time wins), ``release`` pushes it
+back at the holder's current clock.  Reusing the queue machinery means
+lock waits inherit everything queues already have: deterministic
+replay, deadlock detection, PEBS samples landing in the waiter's poll
+symbol, and — the point of this module — typed :class:`WaitEdge`
+recording, where the blocker identity is the previous holder's core
+and the function it executed while holding the lock.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.actions import Pop, Push
+from repro.runtime.queue import MPMCQueue
+
+#: The token circulating through a lock's queue; its value is never
+#: inspected, only its presence matters.
+LOCK_TOKEN = object()
+
+
+class SimLock:
+    """A mutex usable from thread bodies via ``yield lock.acquire()``.
+
+    Parameters mirror the queue costs: ``acquire_cost`` / ``release_cost``
+    are the cycles charged for the atomic op itself (uncontended CAS
+    order of magnitude), independent of any contention spin.
+    """
+
+    def __init__(
+        self, name: str, acquire_cost: int = 90, release_cost: int = 90
+    ) -> None:
+        self.name = name
+        self._q = MPMCQueue(
+            f"lock:{name}",
+            capacity=1,
+            push_cost=release_cost,
+            pop_cost=acquire_cost,
+        )
+        self._q.is_lock = True
+        # Prime with the token at t=0: the lock starts free.
+        self._q.push(LOCK_TOKEN, 0)
+
+    @property
+    def queue(self) -> MPMCQueue:
+        """The underlying token queue (exposed for diagnostics)."""
+        return self._q
+
+    def acquire(self) -> Pop:
+        """The action a thread yields to take the lock."""
+        return Pop(self._q)
+
+    def release(self) -> Push:
+        """The action a thread yields to drop the lock."""
+        return Push(self._q, LOCK_TOKEN)
+
+
+__all__ = ["SimLock", "LOCK_TOKEN"]

@@ -46,6 +46,10 @@ class SPSCQueue:
 
     #: Whether the producer/consumer roles are exclusive to one thread.
     exclusive = True
+    #: True for the one-slot token queues backing :class:`repro.runtime.
+    #: lock.SimLock` — their pop waits are typed ``lock``, not
+    #: ``queue-empty``, and their blocker is the previous holder.
+    is_lock = False
 
     def __init__(
         self,
@@ -74,6 +78,13 @@ class SPSCQueue:
         #: reports it as evidence of how far produce/consume diverged.
         self.peak_depth = 0
         self.closed = False
+        #: (core_id, last_fn_ip) of the most recent pusher / popper, kept
+        #: by the scheduler.  This is the *blocker identity* wait edges
+        #: carry: a pop spin blames the last pusher (producer / previous
+        #: lock holder), a push spin blames the last popper (the consumer
+        #: that frees ring slots).  None until the op has happened once.
+        self.last_push_info: tuple[int, int] | None = None
+        self.last_pop_info: tuple[int, int] | None = None
 
     def __len__(self) -> int:
         return len(self._entries)

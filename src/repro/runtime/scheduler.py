@@ -38,6 +38,12 @@ from repro.runtime.actions import (
 )
 from repro.runtime.queue import SPSCQueue
 from repro.runtime.thread import AppThread
+from repro.runtime.waitedge import (
+    WAIT_LOCK,
+    WAIT_PRODUCER,
+    WAIT_QUEUE_EMPTY,
+    WAIT_QUEUE_FULL,
+)
 
 
 class InstrumentationHook(Protocol):
@@ -69,6 +75,13 @@ class _ThreadState:
     pending_action: Action | None = None
     finished: bool = False
     actions_run: int = field(default=0)
+    #: IP of the function this thread most recently entered or left —
+    #: the identity a wait edge records for the *blocking* side.
+    last_fn_ip: int = 0
+    #: Whether the queue was empty when this thread parked on a pop
+    #: (distinguishes a ``queue-empty`` wait from pacing behind an
+    #: in-flight item, typed ``producer``).
+    parked_on_empty: bool = False
 
 
 class Scheduler:
@@ -82,6 +95,7 @@ class Scheduler:
         max_actions: int = 50_000_000,
         lockstep: bool = False,
         wait_probe=None,
+        wait_log=None,
     ) -> None:
         """``lockstep=True`` advances exactly one action at a time, always
         on the thread with the smallest core clock.  Queue-only workloads
@@ -108,6 +122,10 @@ class Scheduler:
         #: empty-poll spin (the idle-core-while-items-queue invariant).
         #: None (the default) costs nothing on the spin paths.
         self.wait_probe = wait_probe
+        #: Optional :class:`~repro.runtime.waitedge.WaitEdgeLog`: every
+        #: blocking spin appends one typed edge (waiter, blocker kind,
+        #: blocker identity, cycles).  None costs nothing.
+        self.wait_log = wait_log
         self._total_actions = 0
 
     # -- public -------------------------------------------------------------
@@ -224,11 +242,16 @@ class Scheduler:
                 if cost > 0:
                     core.execute(timed_block(ip, cost, self.machine.spec.ipc))
         elif isinstance(action, FnEnter):
+            st.last_fn_ip = action.fn_ip
             if self.tracer is not None:
                 cost, ip = self.tracer.on_fn_enter(st.thread, core, action.fn_ip)
                 if cost > 0:
                     core.execute(timed_block(ip, cost, self.machine.spec.ipc))
         elif isinstance(action, FnLeave):
+            # Keep the ip: "the function this thread last retired" is the
+            # identity wait edges blame, and a blocker typically releases
+            # (pushes / unlocks) right *after* leaving its hot function.
+            st.last_fn_ip = action.fn_ip
             if self.tracer is not None:
                 cost, ip = self.tracer.on_fn_leave(st.thread, core, action.fn_ip)
                 if cost > 0:
@@ -260,10 +283,24 @@ class Scheduler:
                 self.wait_probe.on_wait(
                     st.thread.core_id, "push", q, ts - core.clock, len(q), core.clock
                 )
+            if self.wait_log is not None:
+                # The blocking side of a full ring is whoever frees slots.
+                blocker = q.last_pop_info
+                self.wait_log.record(
+                    st.thread.core_id,
+                    core.clock,
+                    WAIT_QUEUE_FULL,
+                    q.name,
+                    ts - core.clock,
+                    blocker[0] if blocker else -1,
+                    blocker[1] if blocker else 0,
+                    st.last_fn_ip,
+                )
             core.spin_until(ts, st.thread.poll_ip)
         if q.push_cost > 0:
             core.execute(timed_block(st.thread.poll_ip, q.push_cost, self.machine.spec.ipc))
         q.push(action.item, core.clock)
+        q.last_push_info = (st.thread.core_id, st.last_fn_ip)
 
     def _do_pop(self, st: _ThreadState, core: Any, action: Pop) -> None:
         """Pops are block-first: the thread parks and the round loop (which
@@ -277,6 +314,7 @@ class Scheduler:
         st.blocked_on = q
         st.blocked_kind = "pop"
         st.pending_action = action
+        st.parked_on_empty = q.empty
 
     def _perform_pop(self, st: _ThreadState, core: Any, action: Pop) -> None:
         q: SPSCQueue = action.queue
@@ -295,7 +333,28 @@ class Scheduler:
                 self.wait_probe.on_wait(
                     st.thread.core_id, "pop", q, avail - core.clock, 0, core.clock
                 )
+            if self.wait_log is not None:
+                if q.is_lock:
+                    kind = WAIT_LOCK
+                elif st.parked_on_empty:
+                    kind = WAIT_QUEUE_EMPTY
+                else:
+                    kind = WAIT_PRODUCER
+                # The blocking side of an empty ring (or a held lock) is
+                # whoever pushed last: the producer / previous holder.
+                blocker = q.last_push_info
+                self.wait_log.record(
+                    st.thread.core_id,
+                    core.clock,
+                    kind,
+                    q.name,
+                    avail - core.clock,
+                    blocker[0] if blocker else -1,
+                    blocker[1] if blocker else 0,
+                    st.last_fn_ip,
+                )
             core.spin_until(avail, st.thread.poll_ip)
         if q.pop_cost > 0:
             core.execute(timed_block(st.thread.poll_ip, q.pop_cost, self.machine.spec.ipc))
         st.send_value = q.pop(core.clock)
+        q.last_pop_info = (st.thread.core_id, st.last_fn_ip)

@@ -232,6 +232,11 @@ class TraceSession:
     #: Flight recorder of the run (None unless ``trace(flight_dir=...)``);
     #: ``flight.incidents`` lists the sealed incident bundles.
     flight: object | None = None
+    #: Typed wait edges recorded by the scheduler (a
+    #: :class:`~repro.runtime.waitedge.WaitEdgeLog`; None when the run
+    #: opted out via ``trace(record_waits=False)``).  Saved into the
+    #: container as an optional member — old readers simply ignore it.
+    wait_log: object | None = None
 
     def capture_meta(self) -> dict:
         """Degraded-capture accounting (shed spans, R history) as meta."""
@@ -302,6 +307,7 @@ def trace(
     anomaly: AnomalyConfig | None = None,
     flight_dir=None,
     flight_capacity: int = 16,
+    record_waits: bool = True,
 ) -> TraceSession:
     """Run ``app`` with instrumentation + PEBS and integrate per core.
 
@@ -319,6 +325,12 @@ def trace(
     ``repro recover`` turns into a valid container.  Storage failures
     mid-run degrade the session (``session.degraded``) instead of
     raising.
+
+    ``record_waits`` (on by default) has the scheduler log one typed
+    :class:`~repro.runtime.waitedge.WaitEdge` per blocking spin — the
+    raw material of blocked-by-chain diagnosis (`repro diagnose --why`).
+    The log rides into saved containers as an optional member; turn it
+    off only to measure its (sub-budget) overhead.
 
     ``anomaly`` (an enabled :class:`~repro.obs.anomaly.AnomalyConfig`)
     turns on the online invariant checkers for the run: queue waits feed
@@ -393,6 +405,11 @@ def trace(
             wd = watchdog
             flight.flush = lambda: wd.checkpoint(final=True)
             watchdog.flight = flight
+    wait_log = None
+    if record_waits:
+        from repro.runtime.waitedge import WaitEdgeLog
+
+        wait_log = WaitEdgeLog()
     interrupted: int | None = None
     try:
         with span("session.schedule", threads=len(threads), cores=n_cores):
@@ -402,6 +419,7 @@ def trace(
                 tracer=hook,
                 lockstep=lockstep,
                 wait_probe=idle_checker,
+                wait_log=wait_log,
             ).run()
     except (SignalInterrupt, KeyboardInterrupt) as exc:
         if watchdog is None:
@@ -457,4 +475,5 @@ def trace(
         interrupted=interrupted,
         anomalies=anomaly_log,
         flight=flight,
+        wait_log=wait_log,
     )

@@ -26,6 +26,7 @@ from repro.errors import WorkloadError
 from repro.machine.block import LINE_BYTES, Block, MemRef
 from repro.machine.config import CacheLevelSpec, MachineSpec
 from repro.runtime.actions import Exec, FnEnter, FnLeave, IdleUntil, Mark, SwitchKind
+from repro.runtime.lock import SimLock
 from repro.runtime.thread import AppThread
 
 
@@ -193,3 +194,93 @@ class ContentionApp:
     def group_of(self, item_id: int) -> str:
         """All victim items are identical — one similarity group."""
         return "packet"
+
+
+@dataclass(frozen=True)
+class LockConvoyConfig:
+    """Shapes of the lock-convoy study.
+
+    Defaults make the hog hold the lock ~30× longer than the victim
+    needs it, so nearly every victim item queues behind a full hog
+    critical section — the convoy the waiting-dependency diagnosis must
+    name (`repro diagnose --why` should blame ``locked_update`` on the
+    hog's core, not any victim code).
+    """
+
+    n_items: int = 24
+    #: Cycles the hog spends inside the critical section per acquisition.
+    hog_hold_uops: int = 60_000
+    #: Cycles the victim spends inside the critical section per item.
+    victim_hold_uops: int = 2_000
+    #: Victim work outside the lock (keeps items non-degenerate).
+    victim_prep_uops: int = 1_500
+    #: Hog pause between acquisitions (lets the victim in sometimes).
+    hog_gap_uops: int = 500
+
+    def __post_init__(self) -> None:
+        if self.n_items < 1:
+            raise WorkloadError("need at least one item")
+        if min(self.hog_hold_uops, self.victim_hold_uops) < 1:
+            raise WorkloadError("critical sections must cost at least one uop")
+
+
+class LockConvoyApp:
+    """Two cores convoying on one lock — the second contention mechanism.
+
+    Unlike :class:`ContentionApp` (cache interference, invisible to any
+    queue), this fluctuation is *waiting*: the victim's items are slow
+    because core 0 holds ``lock:shared`` inside ``locked_update``.  The
+    recorded wait edges let ``repro diagnose --why`` name exactly that.
+    """
+
+    HOG_CORE = 0
+    VICTIM_CORE = 1
+
+    def __init__(self, config: LockConvoyConfig = LockConvoyConfig()) -> None:
+        self.config = config
+        alloc = AddressAllocator()
+        self.poll_ip = alloc.add("convoy_loop")
+        self.hog_ip = alloc.add("locked_update")
+        self.victim_ip = alloc.add("handle_item")
+        self.prep_ip = alloc.add("prepare_item")
+        self.mark_ip = alloc.add("__mark")
+        self.symtab: SymbolTable = alloc.table()
+        self.lock = SimLock("shared")
+        self._victim_done = False
+
+    def _hog(self):
+        cfg = self.config
+        for _ in range(cfg.n_items * 4):
+            if self._victim_done:
+                return
+            yield self.lock.acquire()
+            yield FnEnter(self.hog_ip)
+            yield Exec(Block(ip=self.hog_ip, uops=cfg.hog_hold_uops))
+            yield FnLeave(self.hog_ip)
+            yield self.lock.release()
+            yield Exec(Block(ip=self.poll_ip, uops=cfg.hog_gap_uops))
+
+    def _victim(self):
+        cfg = self.config
+        for item in range(1, cfg.n_items + 1):
+            yield Mark(SwitchKind.ITEM_START, item)
+            yield FnEnter(self.prep_ip)
+            yield Exec(Block(ip=self.prep_ip, uops=cfg.victim_prep_uops))
+            yield FnLeave(self.prep_ip)
+            yield self.lock.acquire()
+            yield FnEnter(self.victim_ip)
+            yield Exec(Block(ip=self.victim_ip, uops=cfg.victim_hold_uops))
+            yield FnLeave(self.victim_ip)
+            yield self.lock.release()
+            yield Mark(SwitchKind.ITEM_END, item)
+        self._victim_done = True
+
+    def threads(self) -> list[AppThread]:
+        return [
+            AppThread("hog", self.HOG_CORE, self._hog, self.poll_ip),
+            AppThread("victim", self.VICTIM_CORE, self._victim, self.poll_ip),
+        ]
+
+    def group_of(self, item_id: int) -> str:
+        """All victim items are identical — one similarity group."""
+        return "item"

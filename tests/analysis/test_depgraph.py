@@ -1,0 +1,267 @@
+"""Unit tests for waiting-dependency graph extraction.
+
+Hand-built :class:`WaitColumns` pin the clipping, grouping, and chain
+semantics that the end-to-end golden tests
+(``tests/integration/test_cli_why.py``) exercise through real traces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.depgraph import (
+    MAX_CHAIN_DEPTH,
+    WaitHop,
+    _overlap_slice,
+    blocked_by_chain,
+    describe_chain,
+    heaviest_wait,
+    item_wait_cycles,
+    window_of_item,
+)
+from repro.core.records import SwitchRecords, WindowColumns, build_windows_lenient
+from repro.core.symbols import AddressAllocator
+from repro.runtime.actions import SwitchKind
+from repro.runtime.waitedge import (
+    WAIT_LOCK,
+    WAIT_QUEUE_EMPTY,
+    WAIT_QUEUE_FULL,
+    WaitColumns,
+)
+
+
+def wc(rows, names=("q0", "q1")) -> WaitColumns:
+    """rows: (ts, cycles, kind, queue, blocker_core, blocker_ip, waiter_ip)."""
+    arr = np.asarray(rows, dtype=np.int64).reshape(-1, 7)
+    return WaitColumns(
+        ts=arr[:, 0],
+        cycles=arr[:, 1],
+        kind=arr[:, 2].astype(np.int8),
+        queue=arr[:, 3].astype(np.int32),
+        blocker_core=arr[:, 4].astype(np.int32),
+        blocker_ip=arr[:, 5],
+        waiter_ip=arr[:, 6],
+        queue_names=names,
+    )
+
+
+def windows(rows) -> WindowColumns:
+    arr = np.asarray(rows, dtype=np.int64).reshape(-1, 3)
+    return WindowColumns(
+        item_id=arr[:, 0], t_start=arr[:, 1], t_end=arr[:, 2]
+    )
+
+
+class TestOverlapSlice:
+    def test_clips_partial_overlap(self):
+        w = wc([(0, 100, WAIT_LOCK, 0, 2, 0, 0)])
+        idx, clipped = _overlap_slice(w, 50, 80)
+        assert idx.tolist() == [0]
+        assert clipped.tolist() == [30]
+
+    def test_excludes_outside_edges(self):
+        w = wc(
+            [
+                (0, 10, WAIT_LOCK, 0, 2, 0, 0),  # ends before window
+                (20, 10, WAIT_LOCK, 0, 2, 0, 0),  # inside
+                (100, 10, WAIT_LOCK, 0, 2, 0, 0),  # starts after window
+            ]
+        )
+        idx, clipped = _overlap_slice(w, 15, 40)
+        assert idx.tolist() == [1]
+        assert clipped.tolist() == [10]
+
+    def test_boundary_touch_is_not_overlap(self):
+        # [0, 10) then window [10, 20): half-open, no shared cycles.
+        w = wc([(0, 10, WAIT_LOCK, 0, 2, 0, 0)])
+        idx, _ = _overlap_slice(w, 10, 20)
+        assert idx.shape[0] == 0
+
+    def test_degenerate_window(self):
+        w = wc([(0, 100, WAIT_LOCK, 0, 2, 0, 0)])
+        idx, _ = _overlap_slice(w, 50, 50)
+        assert idx.shape[0] == 0
+        idx, _ = _overlap_slice(WaitColumns.empty(), 0, 100)
+        assert idx.shape[0] == 0
+
+
+class TestHeaviestWait:
+    def test_grouped_cycles_beat_single_spike(self):
+        # Three 40-cycle waits on q0/core2 vs one 90-cycle wait on q1/core3.
+        w = wc(
+            [
+                (0, 40, WAIT_LOCK, 0, 2, 0x10, 0),
+                (50, 90, WAIT_QUEUE_FULL, 1, 3, 0x20, 0),
+                (150, 40, WAIT_LOCK, 0, 2, 0x10, 0),
+                (200, 40, WAIT_LOCK, 0, 2, 0x10, 0),
+            ]
+        )
+        hop = heaviest_wait(w, 0, 300)
+        assert hop.kind == "lock" and hop.queue == "q0"
+        assert hop.blocker_core == 2
+        assert hop.wait_cycles == 120 and hop.n_edges == 3
+
+    def test_symbolises_blocker_fn(self):
+        alloc = AddressAllocator()
+        ip = alloc.add("hot_fn")
+        hop = heaviest_wait(
+            wc([(0, 10, WAIT_LOCK, 0, 2, ip, 0)]), 0, 100, symtab=alloc.table()
+        )
+        assert hop.blocker_fn == "hot_fn"
+
+    def test_unknown_ip_and_no_symtab_give_question_mark(self):
+        hop = heaviest_wait(wc([(0, 10, WAIT_LOCK, 0, 2, 0, 0)]), 0, 100)
+        assert hop.blocker_fn == "?"
+
+    def test_none_when_nothing_overlaps(self):
+        assert heaviest_wait(wc([(0, 10, 0, 0, 2, 0, 0)]), 500, 600) is None
+
+
+class TestBlockedByChain:
+    def test_two_hop_convoy(self):
+        waits = {
+            1: wc([(0, 100, WAIT_LOCK, 0, 0, 0x10, 0)]),
+            0: wc([(10, 50, WAIT_QUEUE_FULL, 1, 2, 0x20, 0)]),
+        }
+        chain = blocked_by_chain(waits, 1, 0, 200)
+        assert [h.waiter_core for h in chain] == [1, 0]
+        assert chain[0].kind == "lock" and chain[1].kind == "queue-full"
+        assert chain[1].blocker_core == 2
+
+    def test_cycle_terminates(self):
+        waits = {
+            1: wc([(0, 100, WAIT_LOCK, 0, 0, 0, 0)]),
+            0: wc([(0, 100, WAIT_LOCK, 0, 1, 0, 0)]),
+        }
+        chain = blocked_by_chain(waits, 1, 0, 200)
+        # 1 -> 0 -> (1 already visited): exactly two hops.
+        assert [h.waiter_core for h in chain] == [1, 0]
+
+    def test_self_blocking_stops(self):
+        waits = {1: wc([(0, 100, WAIT_LOCK, 0, 1, 0, 0)])}
+        chain = blocked_by_chain(waits, 1, 0, 200)
+        assert len(chain) == 1
+
+    def test_max_depth_caps_chain(self):
+        # 0 -> 1 -> 2 -> ... each core waits on the next.
+        waits = {
+            c: wc([(0, 100, WAIT_LOCK, 0, c + 1, 0, 0)]) for c in range(10)
+        }
+        chain = blocked_by_chain(waits, 0, 0, 200)
+        assert len(chain) == MAX_CHAIN_DEPTH
+        chain = blocked_by_chain(waits, 0, 0, 200, max_depth=2)
+        assert len(chain) == 2
+
+    def test_unknown_blocker_stops(self):
+        waits = {1: wc([(0, 100, WAIT_LOCK, 0, -1, 0, 0)])}
+        chain = blocked_by_chain(waits, 1, 0, 200)
+        assert len(chain) == 1 and chain[0].blocker_core == -1
+
+    def test_no_wait_data_is_empty_never_error(self):
+        assert blocked_by_chain({}, 1, 0, 200) == ()
+        assert blocked_by_chain({2: WaitColumns.empty()}, 2, 0, 200) == ()
+
+
+class TestItemWaitCycles:
+    def test_clipped_totals_per_item(self):
+        w = wc(
+            [
+                (0, 100, WAIT_LOCK, 0, 0, 0, 0),  # spans items 1 and 2
+                (150, 20, WAIT_LOCK, 0, 0, 0, 0),  # inside item 2
+            ]
+        )
+        wins = windows([(1, 0, 60), (2, 60, 200)])
+        ids, totals = item_wait_cycles(w, wins)
+        assert ids.tolist() == [1, 2]
+        assert totals.tolist() == [60, 60]  # 60 | 40 + 20
+
+    def test_split_windows_sum(self):
+        # One item in two windows (timer switching) accumulates both.
+        w = wc([(0, 10, WAIT_LOCK, 0, 0, 0, 0), (50, 10, WAIT_LOCK, 0, 0, 0, 0)])
+        wins = windows([(7, 0, 20), (7, 45, 70)])
+        ids, totals = item_wait_cycles(w, wins)
+        assert ids.tolist() == [7] and totals.tolist() == [20]
+
+    def test_no_windows_and_no_waits(self):
+        ids, totals = item_wait_cycles(wc([(0, 10, 0, 0, 0, 0, 0)]), windows([]))
+        assert ids.shape[0] == 0
+        ids, totals = item_wait_cycles(
+            WaitColumns.empty(), windows([(1, 0, 10)])
+        )
+        assert ids.tolist() == [1] and totals.tolist() == [0]
+
+
+class TestWindowOfItem:
+    def test_hull_of_split_windows(self):
+        wins = windows([(1, 0, 10), (2, 10, 20), (1, 30, 40)])
+        assert window_of_item(wins, 1) == (0, 40)
+        assert window_of_item(wins, 2) == (10, 20)
+
+    def test_absent_item_is_none(self):
+        assert window_of_item(windows([(1, 0, 10)]), 99) is None
+
+
+class TestDescribeChain:
+    def test_empty_chain_names_the_absence(self):
+        assert "no recorded waits" in describe_chain(())
+
+    def test_hops_indent(self):
+        hops = (
+            WaitHop(1, "lock", "lock:a", 0, "f", 100, 2),
+            WaitHop(0, "queue-full", "ring", 2, "g", 50, 1),
+        )
+        text = describe_chain(hops)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "core 1 waited 100 cy on lock:a [lock] <- core 0 in f" in lines[0]
+        assert lines[1].startswith("  blocked by: ")
+
+
+class TestLenientPairing:
+    """Wait edges must compose with lossy/reordered switch marks.
+
+    The edges come from the scheduler, windows from mark pairing; when
+    marks are lost (lenient pairing drops the affected items) the
+    surviving windows still map waits correctly and nothing raises.
+    """
+
+    def _waits(self):
+        return {
+            1: wc(
+                [
+                    (5, 10, WAIT_LOCK, 0, 0, 0, 0),
+                    (25, 10, WAIT_LOCK, 0, 0, 0, 0),
+                    (45, 10, WAIT_LOCK, 0, 0, 0, 0),
+                ]
+            )
+        }
+
+    def test_lossy_log_drops_items_not_correctness(self):
+        S, E = SwitchKind.ITEM_START, SwitchKind.ITEM_END
+        recs = SwitchRecords(0)
+        # Item 1 [0,20), item 2 loses its END, item 3 [40,60) survives.
+        for ts, item, kind in [(0, 1, S), (20, 1, E), (22, 2, S), (40, 3, S), (60, 3, E)]:
+            recs.append(ts, item, kind)
+        wins, dropped = build_windows_lenient(recs)
+        assert dropped == 1
+        cols = WindowColumns.from_windows(wins)
+        ids, totals = item_wait_cycles(self._waits()[1], cols)
+        assert ids.tolist() == [1, 3]
+        assert totals.tolist() == [10, 10]
+        # Chains still extract over the surviving hulls.
+        span = window_of_item(cols, 3)
+        chain = blocked_by_chain(self._waits(), 1, *span)
+        assert chain and chain[0].wait_cycles == 10
+
+    def test_reordered_marks_never_raise(self):
+        S, E = SwitchKind.ITEM_START, SwitchKind.ITEM_END
+        recs = SwitchRecords(0)
+        # END before START (clock skew / lost pair): lenient drops both.
+        for ts, item, kind in [(0, 1, E), (5, 2, S), (20, 2, E)]:
+            recs.append(ts, item, kind)
+        wins, dropped = build_windows_lenient(recs)
+        assert dropped == 1
+        cols = WindowColumns.from_windows(wins)
+        ids, totals = item_wait_cycles(self._waits()[1], cols)
+        assert ids.tolist() == [2]
+        assert window_of_item(cols, 1) is None

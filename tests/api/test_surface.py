@@ -23,8 +23,8 @@ from repro.core.options import IngestOptions
 
 SNAPSHOT = pathlib.Path(__file__).with_name("api_surface.json")
 
-#: The six facade verbs whose signatures are frozen.
-VERBS = ("record", "load", "integrate", "diagnose", "diff", "recover")
+#: The facade verbs whose signatures are frozen.
+VERBS = ("record", "load", "integrate", "diagnose", "diff", "recover", "explain")
 
 
 def current_surface() -> dict:

@@ -1,0 +1,113 @@
+"""The optional wait-edge container member: round-trip + compatibility.
+
+The member set is *optional within format version 3*: containers written
+before it (or with ``record_waits=False``) must load exactly as before
+and answer every wait query with empty columns — never an error.  The
+checked-in ``golden_*.npz`` fixtures predate the member, so they double
+as the backward-compatibility corpus.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.core.tracefile import TraceReader, load_trace
+from repro.runtime.waitedge import WAIT_LOCK
+from repro.session import trace
+from repro.workloads.contention import LockConvoyApp, LockConvoyConfig
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+
+
+@pytest.fixture(scope="module")
+def convoy_session():
+    return trace(LockConvoyApp(LockConvoyConfig(n_items=6)), sample_cores=[0, 1])
+
+
+@pytest.fixture(scope="module")
+def saved(convoy_session, tmp_path_factory):
+    root = tmp_path_factory.mktemp("waits")
+    flat = root / "flat.npz"
+    chunked = root / "chunked.npz"
+    meta = {"workload": "convoy", "reset_value": 8000}
+    convoy_session.save(flat, meta=meta)
+    convoy_session.save(chunked, meta=meta, chunk_size=64)
+    return flat, chunked
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("layout", [0, 1], ids=["flat", "chunked"])
+    def test_load_trace_preserves_columns(self, convoy_session, saved, layout):
+        want = convoy_session.wait_log.per_core_columns()
+        tf = load_trace(saved[layout])
+        assert tf.wait_cores == sorted(want)
+        for core, w in want.items():
+            got = tf.waits(core)
+            assert got.queue_names == w.queue_names
+            for col in ("ts", "cycles", "kind", "queue", "blocker_core",
+                        "blocker_ip", "waiter_ip"):
+                assert np.array_equal(getattr(got, col), getattr(w, col)), col
+                assert getattr(got, col).dtype == getattr(w, col).dtype, col
+
+    @pytest.mark.parametrize("layout", [0, 1], ids=["flat", "chunked"])
+    def test_reader_sees_same_columns(self, convoy_session, saved, layout):
+        want = convoy_session.wait_log.per_core_columns()
+        with TraceReader(saved[layout]) as reader:
+            assert reader.wait_cores == sorted(want)
+            for core, w in want.items():
+                got = reader.wait_columns(core)
+                assert np.array_equal(got.ts, w.ts)
+                assert np.array_equal(got.kind, w.kind)
+                assert got.queue_names == w.queue_names
+
+    def test_victim_edges_survive_as_lock_kind(self, saved):
+        tf = load_trace(saved[0])
+        w = tf.waits(LockConvoyApp.VICTIM_CORE)
+        assert len(w) > 0 and set(w.kind.tolist()) == {WAIT_LOCK}
+
+
+class TestNoMemberCompat:
+    """v1/v2/v3-without-member: absence means empty, never an error."""
+
+    @pytest.mark.parametrize("name", ["golden_a.npz", "golden_b.npz", "golden_c.npz"])
+    def test_pre_wait_goldens_answer_empty(self, name):
+        tf = load_trace(DATA / name)
+        assert tf.wait_cores == []
+        for core in tf.sample_cores:
+            assert len(tf.waits(core)) == 0
+        with TraceReader(DATA / name) as reader:
+            assert reader.wait_cores == []
+            assert len(reader.wait_columns(0)) == 0
+
+    def test_unknown_core_is_empty_even_with_member(self, saved):
+        tf = load_trace(saved[0])
+        assert len(tf.waits(99)) == 0
+
+    def test_diagnose_on_no_member_container(self):
+        report = api.diagnose(DATA / "golden_a.npz")
+        assert all(v.blocked_by == () for v in report.verdicts)
+
+    def test_explain_on_no_member_container(self):
+        report = api.diagnose(DATA / "golden_a.npz")
+        item = report.verdicts[0].item_id
+        result = api.explain(DATA / "golden_a.npz", item)
+        assert result["blocked_by"] == []
+        assert "no recorded waits" in result["why"]
+
+    def test_record_waits_false_writes_no_member(self, tmp_path):
+        session = trace(
+            LockConvoyApp(LockConvoyConfig(n_items=4)),
+            sample_cores=[1],
+            record_waits=False,
+        )
+        out = tmp_path / "off.npz"
+        session.save(out, meta={"workload": "convoy", "reset_value": 8000})
+        tf = load_trace(out)
+        assert tf.wait_cores == []
+        # And the analysis path stays valid end to end.
+        report = api.diagnose(out)
+        assert all(v.blocked_by == () for v in report.verdicts)

@@ -1,0 +1,136 @@
+"""Generator for the waiting-dependency golden fixtures under ``tests/data/``.
+
+Two containers with known blocking structure pin the blocked-by chain
+end to end: ``repro diagnose --why`` (and :func:`repro.api.explain`)
+must name the *true upstream blocker* on each, or the depgraph CI job
+fails.
+
+* ``depgraph_lockconvoy`` — :class:`~repro.workloads.contention.
+  LockConvoyApp`: core 1's items queue behind core 0's long
+  ``locked_update`` critical sections on ``lock:shared``.  The top-1
+  chain hop must be ``lock`` / ``lock:shared`` / core 0 /
+  ``locked_update``.
+* ``depgraph_queuefull`` — a producer marking items and pushing into a
+  2-slot queue drained by a consumer whose ``slow_drain`` takes ~10× the
+  production cost.  The producer's pushes block *inside* the item
+  windows, so the top-1 chain hop must be ``queue-full`` / ``pipe`` /
+  core 1 / ``slow_drain``.
+
+Run ``PYTHONPATH=src python tests/data/make_depgraph_goldens.py`` to
+regenerate the ``.npz`` fixtures and ``depgraph_expected.json``.  The
+simulation is deterministic, so regeneration is only needed when the
+runtime's timing semantics intentionally change.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.core.symbols import AddressAllocator
+from repro.machine.block import Block
+from repro.runtime.actions import Exec, FnEnter, FnLeave, Mark, Pop, Push, SwitchKind
+from repro.runtime.queue import SPSCQueue
+from repro.runtime.thread import AppThread
+from repro.session import trace
+from repro.workloads.contention import LockConvoyApp
+
+DATA_DIR = pathlib.Path(__file__).parent
+
+
+class QueueFullApp:
+    """Producer items stall on a tiny queue behind a slow consumer.
+
+    The push sits *inside* the item window (Mark → prepare → Push →
+    Mark), so every backpressure stall is charged to the item — and the
+    wait edge names the consumer core's ``slow_drain`` as the blocker.
+    """
+
+    PRODUCER_CORE = 0
+    CONSUMER_CORE = 1
+
+    def __init__(self, items: int = 20, capacity: int = 2) -> None:
+        self.items = items
+        alloc = AddressAllocator()
+        self.poll_ip = alloc.add("pipe_loop")
+        self.tx_ip = alloc.add("tx_prepare")
+        self.drain_ip = alloc.add("slow_drain")
+        self.mark_ip = alloc.add("__mark")
+        self.symtab = alloc.table()
+        self.queue = SPSCQueue("pipe", capacity=capacity)
+
+    def _producer(self):
+        for item in range(1, self.items + 1):
+            yield Mark(SwitchKind.ITEM_START, item)
+            yield FnEnter(self.tx_ip)
+            yield Exec(Block(ip=self.tx_ip, uops=2_000))
+            yield FnLeave(self.tx_ip)
+            yield Push(self.queue, item)
+            yield Mark(SwitchKind.ITEM_END, item)
+
+    def _consumer(self):
+        for _ in range(self.items):
+            yield Pop(self.queue)
+            yield FnEnter(self.drain_ip)
+            yield Exec(Block(ip=self.drain_ip, uops=20_000))
+            yield FnLeave(self.drain_ip)
+
+    def threads(self) -> list[AppThread]:
+        return [
+            AppThread("producer", self.PRODUCER_CORE, self._producer, self.poll_ip),
+            AppThread("consumer", self.CONSUMER_CORE, self._consumer, self.poll_ip),
+        ]
+
+    def group_of(self, item_id: int) -> str:
+        return "item"
+
+
+def _record(name: str, app, n_items: int) -> pathlib.Path:
+    session = trace(app, sample_cores=[0, 1])
+    path = DATA_DIR / f"{name}.npz"
+    session.save(
+        path,
+        meta={
+            "workload": name,
+            "reset_value": 8000,
+            "groups": {
+                str(i): app.group_of(i) for i in range(1, n_items + 1)
+            },
+        },
+    )
+    return path
+
+
+def main() -> None:
+    from repro import api
+
+    expected: dict = {}
+    specs = [
+        ("depgraph_lockconvoy", LockConvoyApp(), LockConvoyApp().config.n_items, 1),
+        ("depgraph_queuefull", QueueFullApp(), QueueFullApp().items, 0),
+    ]
+    for name, app, n_items, analysis_core in specs:
+        path = _record(name, app, n_items)
+        item = n_items // 2
+        result = api.explain(path, item, core=analysis_core)
+        if not result["blocked_by"]:
+            raise SystemExit(f"{name}: item {item} recorded no wait chain")
+        expected[name] = {
+            "core": analysis_core,
+            "item": item,
+            "chain": result["blocked_by"],
+            "why": result["why"],
+        }
+        hop = result["blocked_by"][0]
+        print(
+            f"{name}: item {item} blocked {hop['wait_cycles']:,} cy on "
+            f"{hop['queue']} [{hop['kind']}] <- core {hop['blocker_core']} "
+            f"in {hop['blocker_fn']}"
+        )
+    out = DATA_DIR / "depgraph_expected.json"
+    out.write_text(json.dumps(expected, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

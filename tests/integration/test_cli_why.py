@@ -1,0 +1,120 @@
+"""`repro diagnose --why`: the blocked-by chain, end to end on goldens.
+
+The two depgraph fixtures have *known* blocking structure (see
+``tests/data/make_depgraph_goldens.py``): a lock convoy whose victim
+queues behind ``locked_update`` on the hog core, and a producer
+backpressured by a consumer's ``slow_drain``.  The CLI must name the
+true upstream blocker as the top-1 chain hop — the acceptance criterion
+of the waiting-dependency diagnosis.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+
+DATA = pathlib.Path(__file__).parent.parent / "data"
+EXPECTED = json.loads((DATA / "depgraph_expected.json").read_text())
+
+CASES = [
+    ("depgraph_lockconvoy", "lock", "locked_update"),
+    ("depgraph_queuefull", "queue-full", "slow_drain"),
+]
+
+
+@pytest.mark.parametrize("name,kind,blocker_fn", CASES)
+class TestWhy:
+    def test_names_true_upstream_blocker(self, name, kind, blocker_fn, capsys):
+        spec = EXPECTED[name]
+        rc = main(
+            [
+                "diagnose", str(DATA / f"{name}.npz"),
+                "--why", str(spec["item"]), "--core", str(spec["core"]),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        top = spec["chain"][0]
+        assert top["kind"] == kind and top["blocker_fn"] == blocker_fn
+        # The pretty chain names the blocker and its function verbatim.
+        assert f"[{kind}]" in out
+        assert f"core {top['blocker_core']} in {blocker_fn}" in out
+        assert f"item {spec['item']}" in out
+
+    def test_json_matches_expected_chain(self, name, kind, blocker_fn, capsys):
+        spec = EXPECTED[name]
+        rc = main(
+            [
+                "diagnose", str(DATA / f"{name}.npz"),
+                "--why", str(spec["item"]), "--core", str(spec["core"]),
+                "--json",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "explain"
+        assert doc["blocked_by"] == spec["chain"]
+        assert doc["blocked_by"][0]["kind"] == kind
+        assert doc["blocked_by"][0]["blocker_fn"] == blocker_fn
+        assert doc["why"] == spec["why"]
+
+
+class TestWhyErrors:
+    def test_unknown_item_exits_nonzero_with_hint(self, capsys):
+        rc = main(
+            ["diagnose", str(DATA / "depgraph_lockconvoy.npz"), "--why", "9999"]
+        )
+        assert rc != 0
+        err = capsys.readouterr().err
+        assert "9999" in err and "items:" in err
+
+    def test_no_wait_container_reports_absence(self, capsys):
+        # golden_a predates wait edges: --why still answers, naming the
+        # absence instead of erroring (container compatibility).
+        rc = main(["diagnose", str(DATA / "golden_a.npz"), "--why", "1"])
+        assert rc == 0
+        assert "no recorded waits" in capsys.readouterr().out
+
+
+class TestDiffCause:
+    """`repro diff` surfaces the contention/code split in both forms."""
+
+    @pytest.fixture(scope="class")
+    def convoy_pair(self, tmp_path_factory):
+        from repro.session import trace
+        from repro.workloads.contention import LockConvoyApp, LockConvoyConfig
+
+        root = tmp_path_factory.mktemp("diffcause")
+        meta = {"workload": "convoy", "reset_value": 8000}
+        base, bad = root / "base.npz", root / "bad.npz"
+        trace(
+            LockConvoyApp(LockConvoyConfig(n_items=10)), sample_cores=[1]
+        ).save(base, meta=meta)
+        trace(
+            LockConvoyApp(LockConvoyConfig(n_items=10, hog_hold_uops=120_000)),
+            sample_cores=[1],
+        ).save(bad, meta=meta)
+        return base, bad
+
+    def test_pretty_output_names_contention(self, convoy_pair, capsys):
+        base, bad = convoy_pair
+        assert main(["diff", str(base), str(bad)]) == 0
+        out = capsys.readouterr().out
+        assert "cause: contention (wait " in out
+
+    def test_json_cause_matches(self, convoy_pair, capsys):
+        base, bad = convoy_pair
+        assert main(["diff", str(base), str(bad), "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["cause"] == "contention"
+        assert doc["other_wait_median"] > doc["base_wait_median"]
+
+    def test_no_wait_data_prints_no_cause_line(self, capsys):
+        assert main(
+            ["diff", str(DATA / "acl_base.npz"), str(DATA / "acl_regress.npz")]
+        ) == 0
+        assert "cause:" not in capsys.readouterr().out

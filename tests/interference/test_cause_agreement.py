@@ -1,0 +1,115 @@
+"""Contention-vs-code classification scored on the attribution grid.
+
+The sustained cells of the smoke grid have known mechanism *types*: a
+dragged consumer saturating the ring is contention (the victim's growth
+is wait cycles recorded at the blocked push), while a stalled core or a
+thrashed cache is code-side latency (the victim runs the whole time —
+no wait edge anywhere).  ``diff_traces`` fed per-item wait totals must
+agree with that ground truth on at least 90% of the cells.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.depgraph import item_wait_cycles
+from repro.analysis.differential import classify_cause, diff_traces
+from repro.interference.injectors import inject, make_injector
+from repro.interference.targets import build_target
+from repro.testing.matrix import MATRIX_RESET_VALUE, MatrixCell
+
+#: The smoke grid's sustained cells with the *type* of their mechanism.
+SUSTAINED_CELLS = [
+    (
+        MatrixCell(
+            "pipeline", "queue-saturation", 0.5, "sustained",
+            {"max_delay_cycles": 36_000},
+        ),
+        "contention",
+    ),
+    (
+        MatrixCell(
+            "pipeline", "queue-saturation", 1.0, "sustained",
+            {"max_delay_cycles": 36_000},
+        ),
+        "contention",
+    ),
+    (MatrixCell("pipeline", "core-stall", 1.0, "sustained"), "code"),
+    (MatrixCell("memwalk", "cache-thrash", 1.0, "sustained", items=28), "code"),
+]
+
+MIN_AGREEMENT = 0.9
+
+
+def _item_waits(session, core: int) -> np.ndarray:
+    """Per-item wait totals of a recorded session (zeros when none)."""
+    trace = session.trace_for(core)
+    cols = (
+        session.wait_log.per_core_columns().get(core)
+        if session.wait_log is not None
+        else None
+    )
+    n = np.unique(trace.window_columns.item_id).shape[0]
+    if cols is None:
+        return np.zeros(n, dtype=np.int64)
+    _ids, totals = item_wait_cycles(cols, trace.window_columns)
+    return totals
+
+
+def _classify_cell(cell: MatrixCell, seed: int = 0) -> str:
+    target = build_target(cell.workload, items=cell.items, seed=seed)
+    injector = make_injector(cell.injector, **dict(cell.params))
+    injected = inject(target.app, injector, cell.intensity, seed=seed)
+    core = target.victim_core
+    overrides = {"sample_cores": [core]}
+    if "reset_value" not in injected.trace_kwargs:
+        overrides["reset_value"] = MATRIX_RESET_VALUE
+    reset_value = injected.trace_kwargs.get("reset_value", MATRIX_RESET_VALUE)
+    base = injected.record_baseline(**overrides)
+    other = injected.record(**overrides)
+    report = diff_traces(
+        base.trace_for(core),
+        other.trace_for(core),
+        reset_value=reset_value,
+        base_item_waits=_item_waits(base, core),
+        other_item_waits=_item_waits(other, core),
+    )
+    assert report.regressed, f"{cell.label}: injected cell must regress"
+    return report.cause
+
+
+class TestCauseAgreement:
+    def test_sustained_grid_agreement(self):
+        verdicts = {}
+        for cell, expected in SUSTAINED_CELLS:
+            verdicts[cell.label] = (_classify_cell(cell), expected)
+        hits = sum(1 for got, want in verdicts.values() if got == want)
+        agreement = hits / len(verdicts)
+        assert agreement >= MIN_AGREEMENT, (
+            f"cause agreement {agreement:.2f} < {MIN_AGREEMENT}: {verdicts}"
+        )
+
+    def test_saturated_cell_is_contention(self):
+        cell, expected = SUSTAINED_CELLS[1]
+        assert _classify_cell(cell) == expected == "contention"
+
+    def test_stalled_cell_is_code(self):
+        cell, expected = SUSTAINED_CELLS[2]
+        assert _classify_cell(cell) == expected == "code"
+
+
+class TestClassifier:
+    def test_below_growth_floor_is_none(self):
+        assert classify_cause(10_000, 10_100, 0.0, 90.0) == "none"
+        assert classify_cause(0, 5_000, 0.0, 0.0) == "none"
+
+    def test_wait_dominated_growth_is_contention(self):
+        assert classify_cause(10_000, 14_000, 500.0, 3_000.0) == "contention"
+
+    def test_latency_dominated_growth_is_code(self):
+        assert classify_cause(10_000, 14_000, 500.0, 1_500.0) == "code"
+
+    def test_exact_split_favors_contention(self):
+        # wait_delta == half the growth: recorded waiting wins the tie.
+        assert classify_cause(10_000, 12_000, 0.0, 1_000.0) == "contention"

@@ -1,0 +1,209 @@
+"""Wait-edge recording semantics: kinds, blocker identity, opt-out.
+
+The scheduler records one typed edge per *blocking* spin
+(:mod:`repro.runtime.waitedge`); these tests pin who gets blamed for
+each blocker kind — the previous lock holder, the slow consumer of a
+full ring, the producer of an empty one — since the blocked-by chains
+of ``repro diagnose --why`` are only as truthful as these edges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.symbols import AddressAllocator
+from repro.machine.block import Block
+from repro.runtime.actions import Exec, FnEnter, FnLeave, Mark, Pop, Push, SwitchKind
+from repro.runtime.queue import SPSCQueue
+from repro.runtime.thread import AppThread
+from repro.runtime.waitedge import (
+    WAIT_KINDS,
+    WAIT_LOCK,
+    WAIT_PRODUCER,
+    WAIT_QUEUE_EMPTY,
+    WAIT_QUEUE_FULL,
+    WaitColumns,
+    WaitEdgeLog,
+    kind_name,
+)
+from repro.session import trace
+from repro.workloads.contention import LockConvoyApp, LockConvoyConfig
+
+
+class PipeApp:
+    """Tiny SPSC pipeline; thread order controls which side spins.
+
+    ``consumer_first=True`` lets the consumer park on the still-empty
+    queue before the producer has run (a ``queue-empty`` wait);
+    otherwise the producer runs first and the consumer's first pop paces
+    behind an in-flight item (a ``producer`` wait).
+    """
+
+    def __init__(
+        self,
+        items: int = 8,
+        capacity: int = 2,
+        prod_uops: int = 500,
+        cons_uops: int = 8_000,
+        consumer_first: bool = False,
+    ) -> None:
+        self.items = items
+        self.consumer_first = consumer_first
+        alloc = AddressAllocator()
+        self.poll_ip = alloc.add("pipe_poll")
+        self.tx_ip = alloc.add("tx_prepare")
+        self.rx_ip = alloc.add("rx_handle")
+        self.mark_ip = alloc.add("__mark")
+        self.symtab = alloc.table()
+        self.queue = SPSCQueue("pipe", capacity=capacity)
+        self.prod_uops = prod_uops
+        self.cons_uops = cons_uops
+
+    def _producer(self):
+        for item in range(1, self.items + 1):
+            yield FnEnter(self.tx_ip)
+            yield Exec(Block(ip=self.tx_ip, uops=self.prod_uops))
+            yield FnLeave(self.tx_ip)
+            yield Push(self.queue, item)
+
+    def _consumer(self):
+        for item in range(1, self.items + 1):
+            yield Mark(SwitchKind.ITEM_START, item)
+            yield Pop(self.queue)
+            yield FnEnter(self.rx_ip)
+            yield Exec(Block(ip=self.rx_ip, uops=self.cons_uops))
+            yield FnLeave(self.rx_ip)
+            yield Mark(SwitchKind.ITEM_END, item)
+
+    def threads(self) -> list[AppThread]:
+        threads = [
+            AppThread("producer", 0, self._producer, self.poll_ip),
+            AppThread("consumer", 1, self._consumer, self.poll_ip),
+        ]
+        return threads[::-1] if self.consumer_first else threads
+
+
+class TestLockEdges:
+    def test_convoy_blames_previous_holder(self):
+        app = LockConvoyApp(LockConvoyConfig(n_items=6))
+        session = trace(app, sample_cores=[1])
+        cols = session.wait_log.per_core_columns()
+        victim = cols[LockConvoyApp.VICTIM_CORE]
+        assert len(victim) > 0
+        assert set(victim.kind.tolist()) == {WAIT_LOCK}
+        assert victim.queue_names[int(victim.queue[0])] == "lock:shared"
+        # The dominant blocker is the hog's critical section.
+        hog_rows = victim.blocker_core == LockConvoyApp.HOG_CORE
+        assert np.count_nonzero(hog_rows) > 0
+        blamed = {
+            app.symtab.lookup(int(ip))
+            for ip in np.unique(victim.blocker_ip[hog_rows])
+        }
+        assert "locked_update" in blamed
+        # Wait starts carry the victim's clock, ascending per core.
+        assert np.all(np.diff(victim.ts) >= 0)
+        assert np.all(victim.cycles > 0)
+
+    def test_waiter_identity_is_last_fn(self):
+        app = LockConvoyApp(LockConvoyConfig(n_items=6))
+        session = trace(app, sample_cores=[1])
+        victim = session.wait_log.per_core_columns()[LockConvoyApp.VICTIM_CORE]
+        # The victim acquires right after leaving prepare_item.
+        waiters = {
+            app.symtab.lookup(int(ip)) for ip in np.unique(victim.waiter_ip)
+        }
+        assert waiters == {"prepare_item"}
+
+
+class TestQueueEdges:
+    def test_full_ring_blames_slow_consumer(self):
+        app = PipeApp()
+        session = trace(app, sample_cores=[1])
+        producer = session.wait_log.per_core_columns().get(0)
+        assert producer is not None and len(producer) > 0
+        assert set(producer.kind.tolist()) == {WAIT_QUEUE_FULL}
+        assert producer.queue_names[int(producer.queue[0])] == "pipe"
+        # Backpressure is the consumer's fault: it frees ring slots while
+        # (or right after) running rx_handle.  The very first pop happens
+        # before the consumer has entered any function (ip 0 -> None).
+        assert set(producer.blocker_core.tolist()) == {1}
+        blamed = {app.symtab.lookup(int(ip)) for ip in np.unique(producer.blocker_ip)}
+        assert "rx_handle" in blamed
+        assert blamed <= {"rx_handle", None}
+
+    def test_pacing_pop_is_producer_kind(self):
+        app = PipeApp(prod_uops=8_000, cons_uops=500)
+        session = trace(app, sample_cores=[1])
+        consumer = session.wait_log.per_core_columns().get(1)
+        assert consumer is not None and len(consumer) > 0
+        # The ring was never observed empty at park time: the consumer
+        # paces behind in-flight items, not behind a drained queue.
+        assert WAIT_PRODUCER in set(consumer.kind.tolist())
+        assert WAIT_QUEUE_EMPTY not in set(consumer.kind.tolist())
+        assert set(consumer.blocker_core.tolist()) == {0}
+
+    def test_empty_ring_is_queue_empty_kind(self):
+        app = PipeApp(prod_uops=8_000, cons_uops=500, consumer_first=True)
+        session = trace(app, sample_cores=[1])
+        consumer = session.wait_log.per_core_columns().get(1)
+        assert consumer is not None and len(consumer) > 0
+        # The consumer parked before anything was pushed at least once.
+        assert WAIT_QUEUE_EMPTY in set(consumer.kind.tolist())
+        assert set(consumer.blocker_core.tolist()) == {0}
+        blamed = {app.symtab.lookup(int(ip)) for ip in np.unique(consumer.blocker_ip)}
+        assert blamed <= {"tx_prepare"}
+
+
+class TestOptOut:
+    def test_record_waits_false_keeps_session_clean(self, tmp_path):
+        app = PipeApp(items=4)
+        session = trace(app, sample_cores=[1], record_waits=False)
+        assert session.wait_log is None
+        out = tmp_path / "nowaits.npz"
+        session.save(out, meta={"workload": "pipe", "reset_value": 8000})
+        from repro.core.tracefile import load_trace
+
+        tf = load_trace(out)
+        assert tf.wait_cores == []
+        assert len(tf.waits(1)) == 0
+
+    def test_timeline_identical_with_and_without(self):
+        """Recording must observe, never perturb, virtual time."""
+        on = trace(PipeApp(), sample_cores=[1])
+        off = trace(PipeApp(), sample_cores=[1], record_waits=False)
+        w_on = on.trace_for(1).window_columns
+        w_off = off.trace_for(1).window_columns
+        assert np.array_equal(w_on.t_start, w_off.t_start)
+        assert np.array_equal(w_on.t_end, w_off.t_end)
+
+
+class TestLogColumns:
+    def test_dtypes_and_queue_name_interning(self):
+        log = WaitEdgeLog()
+        log.record(1, 100, WAIT_LOCK, "lock:a", 50, 0, 0x10, 0x20)
+        log.record(1, 200, WAIT_QUEUE_FULL, "ring", 30, 2, 0x30, 0x40)
+        log.record(3, 50, WAIT_QUEUE_EMPTY, "ring", 10, -1, 0, 0)
+        assert log.n_edges == 3
+        cols = log.per_core_columns()
+        assert sorted(cols) == [1, 3]
+        w = cols[1]
+        assert w.ts.dtype == np.int64 and w.cycles.dtype == np.int64
+        assert w.kind.dtype == np.int8
+        assert w.queue.dtype == np.int32 and w.blocker_core.dtype == np.int32
+        assert w.blocker_ip.dtype == np.int64 and w.waiter_ip.dtype == np.int64
+        # One shared name table; "ring" interned once across cores.
+        assert w.queue_names == ("lock:a", "ring")
+        assert cols[3].queue_names == ("lock:a", "ring")
+        assert w.queue_names[int(cols[3].queue[0])] == "ring"
+        assert int(cols[3].blocker_core[0]) == -1
+
+    def test_kind_names_stable(self):
+        # Index == on-disk code: reordering WAIT_KINDS is a format break.
+        assert WAIT_KINDS == ("lock", "queue-full", "queue-empty", "producer")
+        assert kind_name(WAIT_LOCK) == "lock"
+        assert kind_name(WAIT_PRODUCER) == "producer"
+        assert kind_name(99) == "?"
+
+    def test_empty_columns(self):
+        w = WaitColumns.empty()
+        assert len(w) == 0 and w.queue_names == ()
