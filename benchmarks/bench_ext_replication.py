@@ -1,0 +1,211 @@
+"""Extension: asynchronous replication under the <5% ingest budget.
+
+Replication only earns its keep if a primary with a follower attached
+ingests at (essentially) the speed of one without: the Replicator ships
+sealed segments *after* the ingest path has ACKed them, so its cost must
+stay off the producer's critical path.  This bench drives the same
+4-producer push against a bare daemon and against one replicating to an
+in-process follower over a unix socket, and gates the ingest-wall ratio
+at the 5% budget.  The replication drain itself — commit to follower
+convergence, bytes verified identical — is timed for the trajectory,
+without a gate: it is asynchronous by design.
+
+Sizes are env-tunable so CI can smoke-test the bench quickly:
+``REPRO_BENCH_REPL_ITEMS`` (data-items per core, default 20000),
+``REPRO_BENCH_REPL_SPI`` (samples per item, default 4),
+``REPRO_BENCH_REPL_REPEATS`` (best-of repeats per config, default 3).
+Acceptance assertions (every run commits, replication never sheds a
+producer, the follower converges byte-identically) hold at every scale.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+
+import pytest
+
+from benchmarks.bench_ext_streaming_ingest import SYMTAB, _make_core
+from repro.analysis.reporting import format_table
+from repro.core.options import IngestOptions
+from repro.core.tracefile import save_trace
+from repro.service.client import push_segments
+from repro.service.daemon import DaemonConfig, IngestDaemon
+from repro.service.sources import iter_journal_segments, journal_from_container
+from repro.service.store import TraceStore
+
+N_ITEMS = int(os.environ.get("REPRO_BENCH_REPL_ITEMS", "20000"))
+SAMPLES_PER_ITEM = int(os.environ.get("REPRO_BENCH_REPL_SPI", "4"))
+REPEATS = int(os.environ.get("REPRO_BENCH_REPL_REPEATS", "3"))
+N_CORES = 2
+N_PRODUCERS = 4
+BUDGET = 0.05
+#: Timer-noise headroom: at smoke scale one descheduling blip can swamp
+#: the (near-zero) true cost, exactly as in the depgraph overhead gate.
+NOISE = 0.05
+
+
+@pytest.fixture(scope="module")
+def segments(tmp_path_factory):
+    samples, switches = {}, {}
+    for core in range(N_CORES):
+        samples[core], switches[core] = _make_core(
+            core, N_ITEMS, SAMPLES_PER_ITEM, seed=177 + core
+        )
+    work = tmp_path_factory.mktemp("repl_bench")
+    path = work / "trace.npz"
+    # Small container chunks => many wire segments: replication cost is
+    # per-segment too (frame encode, follower seal chain), so segment
+    # count is the denominator here just as in the ingest bench.
+    save_trace(path, samples, switches, SYMTAB, chunk_size=4096, compress=False)
+    jdir = journal_from_container(path, work / "journal", options=IngestOptions())
+    return list(iter_journal_segments(jdir))
+
+
+def drive(segments, root, *, replicate: bool):
+    """Push N_PRODUCERS runs; returns (ingest_wall, drain_wall, reports).
+
+    With ``replicate=True`` a follower daemon serves a unix socket in
+    ``root`` and the primary replicates to it (short interval so commit
+    kicks overlap the remaining producers' ingest, the worst case for
+    the budget); ``drain_wall`` then covers last-ACK to full follower
+    convergence, byte-verified.
+    """
+    run_ids = [f"run-{i}" for i in range(N_PRODUCERS)]
+
+    async def scenario():
+        follower = None
+        config = DaemonConfig()
+        if replicate:
+            sock = root / "follower.sock"
+            follower = IngestDaemon(
+                TraceStore(root / "follower"), DaemonConfig()
+            )
+            await follower.start()
+            await follower.serve_unix(str(sock))
+            config = DaemonConfig(
+                replicate_to=(f"unix:{sock}",), sync_interval_s=0.05
+            )
+        store = TraceStore(root / "primary", options=config.options)
+        daemon = IngestDaemon(store, config)
+        await daemon.start()
+        try:
+            pushes = []
+            for run_id in run_ids:
+                reader, writer = await daemon.connect()
+                pushes.append(
+                    push_segments(
+                        reader,
+                        writer,
+                        run_id,
+                        segments,
+                        nack_backoff_s=0.001,
+                        reply_timeout=120.0,
+                    )
+                )
+            t0 = time.perf_counter()
+            reports = await asyncio.gather(*pushes)
+            ingest_wall = time.perf_counter() - t0
+
+            drain_wall = 0.0
+            if replicate:
+                fstore = follower.store
+                t0 = time.perf_counter()
+                while not all(fstore.committed(r) for r in run_ids):
+                    await asyncio.sleep(0.005)
+                drain_wall = time.perf_counter() - t0
+                for run_id in run_ids:
+                    assert (
+                        fstore.container_path(run_id).read_bytes()
+                        == store.container_path(run_id).read_bytes()
+                    ), f"follower copy of {run_id} not byte-identical"
+        finally:
+            await daemon.shutdown()
+            if follower is not None:
+                await follower.shutdown()
+        return ingest_wall, drain_wall, reports
+
+    return asyncio.run(scenario())
+
+
+def _best(segments, tmp_path, tag: str, *, replicate: bool):
+    """Best-of-REPEATS ingest wall (fresh roots: re-push is a no-op)."""
+    best = None
+    for i in range(REPEATS):
+        ingest, drain, reports = drive(
+            segments, tmp_path / f"{tag}{i}", replicate=replicate
+        )
+        assert all(r.committed for r in reports)
+        # Replication must never cost a producer a shed: the follower
+        # traffic rides its own connection, not the admission queue.
+        assert sum(r.nacks_total for r in reports) == 0
+        if best is None or ingest < best[0]:
+            best = (ingest, drain)
+    return best
+
+
+def test_replication_overhead_within_budget(
+    segments, tmp_path, report, bench_point, benchmark
+):
+    n_segs = len(segments)
+    base_wall, _ = _best(segments, tmp_path, "base", replicate=False)
+    repl_wall, drain_wall = _best(segments, tmp_path, "repl", replicate=True)
+    ratio = (repl_wall - base_wall) / base_wall
+
+    rows = [
+        [
+            "bare daemon",
+            f"{base_wall:.3f}",
+            f"{N_PRODUCERS * n_segs / base_wall:.0f}",
+            "-",
+        ],
+        [
+            "replicating to 1 follower",
+            f"{repl_wall:.3f}",
+            f"{N_PRODUCERS * n_segs / repl_wall:.0f}",
+            f"{ratio:+.2%}",
+        ],
+        ["drain to converged follower", f"{drain_wall:.3f}", "-", "async"],
+    ]
+    report(
+        "ext_replication",
+        format_table(
+            ["configuration", "wall s", "segments/s", "ingest overhead"],
+            rows,
+            title=(
+                f"replication overhead: {N_PRODUCERS} producers, "
+                f"{n_segs} segments/run (budget {BUDGET:.0%})"
+            ),
+        ),
+    )
+    bench_point(
+        "replication",
+        {
+            "scale": {
+                "items_per_core": N_ITEMS,
+                "samples_per_item": SAMPLES_PER_ITEM,
+                "cores": N_CORES,
+                "producers": N_PRODUCERS,
+            },
+            "segments_per_run": n_segs,
+            "ingest_wall_s": {
+                "bare": round(base_wall, 4),
+                "replicated": round(repl_wall, 4),
+            },
+            "overhead": round(ratio, 4),
+            "drain_to_converged_s": round(drain_wall, 4),
+            "budget": BUDGET,
+        },
+    )
+    assert ratio < BUDGET + NOISE, (ratio, base_wall, repl_wall)
+
+    # The hot operation for the timing history: one replicated push to
+    # convergence (fresh roots per call — a committed run re-pushed, or
+    # an already-converged follower, would time nothing).
+    counter = iter(range(10**6))
+    benchmark(
+        lambda: drive(
+            segments, tmp_path / f"rep{next(counter)}", replicate=True
+        )
+    )

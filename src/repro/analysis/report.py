@@ -30,7 +30,16 @@ import json
 SCHEMA_VERSION = 1
 
 #: Known schema kinds (the ``schema`` envelope key).
-SCHEMAS = ("diagnosis", "diff", "runs", "fleet", "attribution", "explain")
+SCHEMAS = (
+    "diagnosis",
+    "diff",
+    "runs",
+    "fleet",
+    "attribution",
+    "explain",
+    "sync",
+    "retire",
+)
 
 
 def generated_by() -> str:

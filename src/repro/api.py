@@ -1,4 +1,4 @@
-"""The supported Python surface of the tracer, in nine verbs.
+"""The supported Python surface of the tracer, in eleven verbs.
 
 ::
 
@@ -13,6 +13,8 @@
     rec     = repro.recover("run.npz")                       # replay a crash journal
     rep     = repro.push("run.npz", "run-1", "unix:/s")      # ship to the daemon
     store   = repro.open_store("traces/")                    # the multi-run store
+    srpt    = repro.sync("primary/", "follower/")            # anti-entropy scrub
+    rrpt    = repro.retire("traces/", max_runs=100)          # retention/compaction
 
 Everything here is a thin, *stable* wrapper over the engine modules
 (:mod:`repro.session`, :mod:`repro.core.streaming`,
@@ -70,6 +72,8 @@ __all__ = [
     "recover",
     "open_store",
     "push",
+    "sync",
+    "retire",
 ]
 
 
@@ -636,10 +640,61 @@ def push(
     addr: str,
     *,
     options: IngestOptions | None = None,
+    token: bytes | None = None,
+    seed: int | None = None,
 ):
     """Push a recording journal or finished container to an ingestion
     daemon at ``addr`` (``unix:<path>`` or ``host:port``); returns the
-    :class:`~repro.service.client.PushReport`."""
+    :class:`~repro.service.client.PushReport`.  ``token`` answers the
+    daemon's auth challenge; ``seed`` makes the shed backoff jitter
+    deterministic."""
     from repro.service.client import push_journal
 
-    return push_journal(source, run_id, addr, options=options)
+    return push_journal(source, run_id, addr, token=token, seed=seed, options=options)
+
+
+def sync(
+    src: str | pathlib.Path,
+    dst: str | pathlib.Path,
+    *,
+    verify: bool = True,
+    ledger: bool = True,
+):
+    """Anti-entropy scrub between two stores on one filesystem: diff the
+    catalogs and per-segment crcs, repair ``dst`` from ``src`` (missing
+    runs, corrupted or truncated containers, bad sealed segments).
+    Returns the :class:`~repro.service.replica.SyncReport`; confirmed
+    runs are recorded in ``src``'s replication ledger unless
+    ``ledger=False``.  Imported lazily like :func:`open_store`."""
+    from repro.service.replica import scrub_local
+
+    return scrub_local(src, dst, verify=verify, ledger=ledger)
+
+
+def retire(
+    root: str | pathlib.Path,
+    *,
+    max_age_s: float | None = None,
+    max_runs: int | None = None,
+    max_total_bytes: int | None = None,
+    quorum: int = 0,
+    archive_dir: str | pathlib.Path | None = None,
+    dry_run: bool = False,
+):
+    """Enforce a retention policy on a store: compact cold committed
+    runs into one archived container and drop them from the catalog.
+    A run below its replication ``quorum`` (ledger confirmations) is
+    never retired, whatever the budgets say.  ``dry_run=True`` plans
+    without touching the store.  Returns the
+    :class:`~repro.service.retention.RetireReport`."""
+    from repro.service.retention import RetentionPolicy, retire_runs
+    from repro.service.store import TraceStore
+
+    policy = RetentionPolicy(
+        max_age_s=max_age_s,
+        max_runs=max_runs,
+        max_total_bytes=max_total_bytes,
+        quorum=quorum,
+        archive_dir=str(archive_dir) if archive_dir is not None else None,
+    )
+    return retire_runs(TraceStore(root), policy, dry_run=dry_run)

@@ -430,14 +430,38 @@ def cmd_serve(args) -> int:
     from repro.service.daemon import DaemonConfig, IngestDaemon
     from repro.service.store import TraceStore
 
+    auth_token = None
+    if getattr(args, "auth_token_file", None):
+        import pathlib
+
+        auth_token = (
+            pathlib.Path(args.auth_token_file).read_text().strip().encode("utf-8")
+        )
     config = DaemonConfig(
         capacity=args.capacity,
         credits=args.credits,
         max_frame_bytes=args.max_frame_bytes,
         options=IngestOptions.from_args(args),
         anomaly=AnomalyConfig.from_args(args),
+        auth_token=auth_token,
+        replicate_to=tuple(args.replicate_to or ()),
+        sync_interval_s=args.sync_interval,
+        scrub_every=args.scrub_every,
     )
     store = TraceStore(args.store, options=config.options)
+    if getattr(args, "replica_of", None):
+        # Bootstrap/catch-up: adopt everything the primary store holds
+        # before accepting connections, so a promoted or restarted
+        # follower opens for business already converged.
+        from repro.service.replica import scrub_local
+
+        report = scrub_local(args.replica_of, args.store, ledger=False)
+        print(
+            f"caught up from {args.replica_of}: "
+            f"{report.containers_shipped} container(s), "
+            f"{report.segments_shipped} segment(s), "
+            f"{report.containers_repaired + report.segments_pruned} repair(s)"
+        )
 
     async def serve() -> int:
         daemon = IngestDaemon(store, config)
@@ -481,21 +505,61 @@ def cmd_serve(args) -> int:
 
 def cmd_push(args) -> int:
     """`repro push`: ship a journal or container to the daemon."""
+    import pathlib
+
     from repro.service.client import push_journal
 
     run_id = args.run
     if run_id is None:
-        import pathlib
-
         p = pathlib.Path(args.source)
         run_id = p.stem if p.suffix else p.name
-    report = push_journal(
-        args.source,
-        run_id,
-        args.addr,
-        options=IngestOptions.from_args(args),
-        reply_timeout=args.timeout,
-    )
+    token = args.token.encode("utf-8") if args.token else None
+    if args.follow:
+        import asyncio
+
+        from repro.service.client import follow_journal
+
+        if pathlib.Path(args.source).is_file():
+            raise ReproError(
+                "--follow tails a live journal directory, not a finished "
+                "container"
+            )
+
+        async def tail():
+            import signal as _signal
+
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for signum in (_signal.SIGINT, _signal.SIGTERM):
+                loop.add_signal_handler(signum, stop.set)
+            return await follow_journal(
+                args.source,
+                run_id,
+                addr=args.addr,
+                stop=stop,
+                token=token,
+                seed=args.seed,
+                reply_timeout=args.timeout,
+            )
+
+        report = asyncio.run(tail())
+        if not report.committed:
+            print(
+                f"tail of {report.run} stopped before the capture finalized: "
+                f"{report.acked} segment(s) durable on the daemon, run left "
+                "open for resume",
+                file=sys.stderr,
+            )
+    else:
+        report = push_journal(
+            args.source,
+            run_id,
+            args.addr,
+            options=IngestOptions.from_args(args),
+            reply_timeout=args.timeout,
+            token=token,
+            seed=args.seed,
+        )
     if report.already_committed:
         print(f"run {report.run} already committed")
     else:
@@ -573,6 +637,70 @@ def cmd_runs(args) -> int:
         print(
             f"\n{n_quarantined} quarantined item(s) in {qdir} — inspect "
             "the .reason files",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_sync(args) -> int:
+    """`repro sync`: anti-entropy scrub between two stores on disk."""
+    import json as _json
+
+    from repro.service.replica import scrub_local
+
+    report = scrub_local(
+        args.src,
+        args.dst,
+        verify=not args.no_verify,
+        ledger=not args.no_ledger,
+    )
+    if args.json:
+        from repro.analysis.report import envelope
+
+        print(_json.dumps(envelope(report.to_dict(), kind="sync"), indent=2))
+        return 0
+    repairs = report.containers_repaired + report.segments_pruned
+    print(
+        f"synced {args.src} -> {args.dst}: {report.runs} run(s) walked, "
+        f"{report.confirmed} confirmed, {report.containers_shipped} "
+        f"container(s) shipped, {report.segments_shipped} segment(s) "
+        f"shipped, {repairs} repair(s)"
+    )
+    return 0
+
+
+def cmd_retire(args) -> int:
+    """`repro retire`: enforce retention; archive + drop cold runs."""
+    import json as _json
+
+    from repro.service.retention import RetentionPolicy, retire_runs
+    from repro.service.store import TraceStore
+
+    policy = RetentionPolicy(
+        max_age_s=args.max_age_s,
+        max_runs=args.max_runs,
+        max_total_bytes=args.max_total_bytes,
+        quorum=args.quorum,
+        archive_dir=args.archive_dir,
+    )
+    report = retire_runs(
+        TraceStore(args.store), policy, dry_run=args.dry_run
+    )
+    if args.json:
+        from repro.analysis.report import envelope
+
+        print(_json.dumps(envelope(report.to_dict(), kind="retire"), indent=2))
+        return 0
+    verb = "would retire" if report.dry_run else "retired"
+    print(
+        f"store {args.store}: {verb} {len(report.retired)} run(s)"
+        + (f" -> {report.archive}" if report.archive else "")
+    )
+    for run_id, why in sorted(report.blocked.items()):
+        print(f"kept {run_id}: {why} (replication quorum)", file=sys.stderr)
+    if report.swept:
+        print(
+            f"swept {len(report.swept)} orphan dir(s) from a crashed pass",
             file=sys.stderr,
         )
     return 0
@@ -1126,6 +1254,47 @@ def build_parser() -> argparse.ArgumentParser:
         default=64 * 1024 * 1024,
         help="reject any frame larger than this",
     )
+    p_serve.add_argument(
+        "--replicate-to",
+        action="append",
+        default=[],
+        metavar="ADDR",
+        help=(
+            "replicate committed runs and sealed segments to the follower "
+            "daemon at this address (repeatable; unix:<path> or host:port)"
+        ),
+    )
+    p_serve.add_argument(
+        "--replica-of",
+        default=None,
+        metavar="STORE",
+        help=(
+            "before serving, catch this store up from the given primary "
+            "store directory (bootstrap a follower / promote after a "
+            "primary loss)"
+        ),
+    )
+    p_serve.add_argument(
+        "--auth-token-file",
+        default=None,
+        help=(
+            "require the HMAC challenge/response handshake with the shared "
+            "secret read from this file (also used for outbound "
+            "replication); default: auth off"
+        ),
+    )
+    p_serve.add_argument(
+        "--sync-interval",
+        type=float,
+        default=30.0,
+        help="seconds between replication rounds (commits also trigger one)",
+    )
+    p_serve.add_argument(
+        "--scrub-every",
+        type=int,
+        default=8,
+        help="every Nth replication round re-verifies follower bytes by crc",
+    )
     _add_ingest_args(p_serve)
     _add_anomaly_args(p_serve)
     _add_telemetry_args(p_serve)
@@ -1156,6 +1325,25 @@ def build_parser() -> argparse.ArgumentParser:
         default=30.0,
         help="seconds to wait for each daemon reply",
     )
+    p_push.add_argument(
+        "--follow",
+        action="store_true",
+        help=(
+            "tail a live durable capture's journal: push each segment as "
+            "it seals, FINISH when the capture finalizes, stop on SIGINT"
+        ),
+    )
+    p_push.add_argument(
+        "--token",
+        default=None,
+        help="shared secret answering the daemon's auth challenge",
+    )
+    p_push.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="seed for the jittered backpressure backoff (tests)",
+    )
     _add_ingest_args(p_push)
     p_push.set_defaults(func=cmd_push)
 
@@ -1172,6 +1360,93 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_runs.set_defaults(func=cmd_runs)
+
+    p_sync = sub.add_parser(
+        "sync",
+        help="anti-entropy scrub: diff two stores and repair the follower",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_sync.add_argument(
+        "--from",
+        dest="src",
+        required=True,
+        metavar="STORE",
+        help="source (primary) store root",
+    )
+    p_sync.add_argument(
+        "--to",
+        dest="dst",
+        required=True,
+        metavar="STORE",
+        help="destination (follower) store root, repaired in place",
+    )
+    p_sync.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip crc re-verification of runs both stores already hold",
+    )
+    p_sync.add_argument(
+        "--no-ledger",
+        action="store_true",
+        help="do not record confirmations in the source's replication ledger",
+    )
+    p_sync.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_sync.set_defaults(func=cmd_sync)
+
+    p_retire = sub.add_parser(
+        "retire",
+        help="enforce retention: archive cold committed runs, drop them",
+        epilog=EXIT_CODE_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p_retire.add_argument("--store", required=True, help="store root directory")
+    p_retire.add_argument(
+        "--max-age",
+        dest="max_age_s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="retire runs committed longer ago than this",
+    )
+    p_retire.add_argument(
+        "--max-runs",
+        type=int,
+        default=None,
+        help="keep at most this many committed runs (oldest retire first)",
+    )
+    p_retire.add_argument(
+        "--max-bytes",
+        dest="max_total_bytes",
+        type=int,
+        default=None,
+        help="keep committed containers within this byte budget",
+    )
+    p_retire.add_argument(
+        "--quorum",
+        type=int,
+        default=0,
+        help=(
+            "replica confirmations (replication ledger) a run needs before "
+            "it may be retired; under-replicated runs are never touched"
+        ),
+    )
+    p_retire.add_argument(
+        "--archive-dir",
+        default=None,
+        help="where archives land (default: <store>/archive)",
+    )
+    p_retire.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="plan and report without touching the store",
+    )
+    p_retire.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    p_retire.set_defaults(func=cmd_retire)
 
     p_ver = sub.add_parser(
         "verify-attribution",

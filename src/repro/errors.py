@@ -77,6 +77,17 @@ class RunCommittedError(StoreError):
     run — accepting it would make a duplicate run visible to ``diff``."""
 
 
+class ReplicationError(StoreError):
+    """Replication to (or repair of) a follower store failed permanently:
+    the follower refused a frame with a non-retryable reason, or kept
+    shedding past the bounded resend budget."""
+
+
+class RetentionError(StoreError):
+    """The retention engine refused an operation — most importantly, an
+    attempt to retire a run that has not reached its replication quorum."""
+
+
 class SignalInterrupt(ReproError):
     """A termination signal (SIGTERM) arrived mid-capture.
 

@@ -51,6 +51,7 @@ KIND_RATE_COLLAPSE = "sample-rate-collapse"
 KIND_LOW_COVERAGE = "coverage-below-threshold"
 KIND_SHED_BURST = "shed-span-burst"
 KIND_CREDIT_STARVATION = "credit-window-starvation"
+KIND_REPLICA_LAG = "replica-lag-exceeded"
 
 #: Every checker kind, in documentation order.
 ALL_KINDS = (
@@ -60,6 +61,7 @@ ALL_KINDS = (
     KIND_LOW_COVERAGE,
     KIND_SHED_BURST,
     KIND_CREDIT_STARVATION,
+    KIND_REPLICA_LAG,
 )
 
 SEVERITIES = ("info", "warning", "critical")
@@ -150,6 +152,10 @@ class AnomalyConfig:
     idle_min_depth: int = 1
     #: credit-window-starvation: consecutive withheld ACKs that fire it.
     starved_acks: int = 8
+    #: replica-lag-exceeded: committed-but-unconfirmed runs on one
+    #: follower that fire it (a follower this far behind is effectively
+    #: down — the primary is one disk failure from data loss).
+    replica_lag_runs: int = 8
 
     def __post_init__(self) -> None:
         severity_rank(self.trigger_severity)  # validates
@@ -183,6 +189,7 @@ class AnomalyConfig:
             "idle_wait_cycles",
             "idle_min_depth",
             "starved_acks",
+            "replica_lag_runs",
         ):
             if getattr(self, name) < 1:
                 raise ConfigError(
@@ -562,6 +569,48 @@ class CreditStarvationChecker:
 
     def on_restored(self, run: str | None) -> None:
         self._withheld[run or "?"] = 0
+
+
+class ReplicaLagChecker:
+    """replica-lag-exceeded: a follower too far behind the catalog.
+
+    Fed by the primary daemon's replicator tasks after every sync round
+    with each follower's lag — the number of committed runs the
+    replication ledger has not confirmed on that follower.  Lag at or
+    above the threshold fires one critical event per excursion; the
+    checker re-arms when the follower catches back up below it.
+    """
+
+    kind = KIND_REPLICA_LAG
+
+    def __init__(self, log: AnomalyLog, config: AnomalyConfig) -> None:
+        self.log = log
+        self.config = config
+        self._firing: dict[str, bool] = {}
+        self.emitted = 0
+
+    def on_lag(self, follower: str, lag: int, committed: int) -> None:
+        if lag >= self.config.replica_lag_runs:
+            if not self._firing.get(follower, False):
+                self._firing[follower] = True
+                if self.emitted < MAX_EVENTS_PER_CHECKER:
+                    self.emitted += 1
+                    self.log.emit(
+                        AnomalyEvent(
+                            kind=self.kind,
+                            severity="critical",
+                            core=None,
+                            window=None,
+                            evidence={
+                                "follower": follower,
+                                "lag_runs": lag,
+                                "committed_runs": committed,
+                                "threshold": self.config.replica_lag_runs,
+                            },
+                        )
+                    )
+        else:
+            self._firing[follower] = False
 
 
 class IngestCheckers:

@@ -270,6 +270,40 @@ class PipelineInstruments:
             "repro_service_storage_errors_total",
             "Store writes that failed and degraded to a storage NACK",
         )
+        # -- replication / scrub / retention -------------------------------
+        self.svc_replica_lag = g(
+            "repro_service_replica_lag_runs",
+            "Committed runs not yet confirmed on the slowest follower",
+        )
+        self.svc_replicated_segments = c(
+            "repro_service_replicated_segments_total",
+            "Sealed segments shipped to follower stores",
+        )
+        self.svc_replicated_runs = c(
+            "repro_service_replicated_runs_total",
+            "Committed containers shipped to follower stores",
+        )
+        self.svc_replication_resends = c(
+            "repro_service_replication_resends_total",
+            "Replication frames resent after a retryable follower NACK",
+        )
+        self.svc_scrub_repairs = c(
+            "repro_service_scrub_repairs_total",
+            "Corrupt or missing follower segments/containers repaired "
+            "by the anti-entropy scrub",
+        )
+        self.svc_auth_failures = c(
+            "repro_service_auth_failures_total",
+            "Connections refused for a bad or missing auth token",
+        )
+        self.svc_runs_retired = c(
+            "repro_service_runs_retired_total",
+            "Committed runs retired to cold-storage archives by retention",
+        )
+        self.svc_archived_bytes = c(
+            "repro_service_archived_bytes_total",
+            "Bytes written into cold-storage archive containers",
+        )
         # -- online invariant checking / flight recorder ------------------
         self.anomaly_dropped = c(
             "repro_anomaly_events_dropped_total",

@@ -19,13 +19,17 @@ from __future__ import annotations
 
 import asyncio
 import pathlib
+import random
 import tempfile
 from dataclasses import dataclass, field
 
+from repro.core.durable import read_journal
 from repro.core.options import IngestOptions
 from repro.errors import ProtocolError, TraceError
 from repro.service.protocol import (
     KIND_ACK,
+    KIND_AUTH,
+    KIND_CHALLENGE,
     KIND_COMMITTED,
     KIND_CREDIT,
     KIND_ERROR,
@@ -86,6 +90,9 @@ async def push_segments(
     nack_backoff_s: float = 0.01,
     max_backoff_s: float = 1.0,
     max_resends_per_segment: int = 16,
+    token: bytes | None = None,
+    seed: int | None = None,
+    finish: bool = True,
 ) -> PushReport:
     """Drive one run's segments through an open connection.
 
@@ -95,9 +102,15 @@ async def push_segments(
     connection dies, the daemon refuses the run, any segment is refused
     permanently, or a segment keeps being shed past
     ``max_resends_per_segment`` — a committed run is always complete.
+
+    ``token`` answers an auth CHALLENGE; ``seed`` makes the jittered
+    NACK backoff deterministic; ``finish=False`` seals the segments but
+    leaves the run open (the tail-follow mode pushes incrementally and
+    finishes only after the producer's journal finalizes).
     """
     report = PushReport(run=run_id)
     src = StreamSource(reader)
+    rng = random.Random(seed)
 
     def fail(message: str) -> TraceError:
         exc = TraceError(f"push of run {run_id!r}: {message}")
@@ -119,6 +132,21 @@ async def push_segments(
     writer.write(encode_frame(Frame(KIND_HELLO, {"run": run_id})))
     await writer.drain()
     first = await reply()
+    if first.kind == KIND_CHALLENGE:
+        if token is None:
+            raise fail(
+                "daemon requires authentication and no token was given"
+            )
+        from repro.service.replica import auth_proof
+
+        writer.write(encode_frame(Frame(
+            KIND_AUTH,
+            {"proof": auth_proof(token, first.meta.get("nonce", ""))},
+        )))
+        await writer.drain()
+        first = await reply()
+    if first.kind == KIND_NACK:
+        raise fail(f"refused: {first.meta.get('reason')}")
     if first.kind == KIND_COMMITTED:
         report.committed = True
         report.already_committed = True
@@ -184,8 +212,10 @@ async def push_segments(
                         )
                     pending.append(item)
                     report.resent += 1
-                # Back off before flooding again: the daemon shed us.
-                await asyncio.sleep(backoff)
+                # Back off before flooding again, with seeded jitter so
+                # a fleet of shed producers fans out instead of
+                # re-flooding the daemon in lockstep.
+                await asyncio.sleep(backoff * (0.5 + rng.random()))
                 backoff = min(backoff * 2, max_backoff_s)
             else:
                 if seq is not None:
@@ -216,6 +246,8 @@ async def push_segments(
             "run left open for a repaired re-push"
         )
 
+    if not finish:
+        return report
     writer.write(encode_frame(Frame(KIND_FINISH, {"run": run_id})))
     await writer.drain()
     while True:
@@ -269,6 +301,8 @@ async def push_source(
     streams: tuple | None = None,
     options: IngestOptions | None = None,
     reply_timeout: float = 30.0,
+    token: bytes | None = None,
+    seed: int | None = None,
 ) -> PushReport:
     """Push a journal directory *or* finalized container as ``run_id``.
 
@@ -291,13 +325,110 @@ async def push_source(
             reader, writer = await open_transport(addr)
         try:
             return await push_segments(
-                reader, writer, run_id, segments, reply_timeout=reply_timeout
+                reader,
+                writer,
+                run_id,
+                segments,
+                reply_timeout=reply_timeout,
+                token=token,
+                seed=seed,
             )
         finally:
             try:
                 writer.close()
             except Exception:  # pragma: no cover - transport teardown
                 pass
+
+
+async def follow_journal(
+    jdir: str | pathlib.Path,
+    run_id: str,
+    *,
+    addr: str | None = None,
+    connect=None,
+    poll_interval_s: float = 0.25,
+    stop: asyncio.Event | None = None,
+    token: bytes | None = None,
+    seed: int | None = None,
+    reply_timeout: float = 30.0,
+) -> PushReport:
+    """Tail a live capture's journal, pushing each segment as it seals.
+
+    Polls ``jdir`` and ships newly sealed segments in rounds — each
+    round is an ordinary bounded push over a fresh connection, so the
+    credit window, shed NACKs, and resume-from-have all apply.  Only
+    seal records that made the fsync'd journal are ever read, so a
+    segment the producer is mid-way through writing (or whose seal line
+    is torn) is never pushed — exactly the recovery commit point.  FINISH
+    is sent only after the journal's ``finalize`` record appears; the
+    returned report then carries ``committed=True``.  Setting ``stop``
+    ends the tail after the current round (``committed`` stays False if
+    the producer never finalized).
+
+    Exactly one of ``addr`` or ``connect`` (an async callable returning
+    a reader/writer pair, e.g. a daemon's in-process ``connect``) must
+    be given.
+    """
+    if (addr is None) == (connect is None):
+        raise TraceError("pass exactly one of addr= or connect=")
+    jdir = pathlib.Path(jdir)
+    total = PushReport(run=run_id)
+    pushed: set[int] = set()
+
+    async def round_push(fresh: list[dict], finish: bool) -> PushReport:
+        if connect is not None:
+            reader, writer = await connect()
+        else:
+            reader, writer = await open_transport(addr)
+        try:
+            return await push_segments(
+                reader,
+                writer,
+                run_id,
+                ((rec, (jdir / rec["file"]).read_bytes()) for rec in fresh),
+                reply_timeout=reply_timeout,
+                token=token,
+                seed=seed,
+                finish=finish,
+            )
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - transport teardown
+                pass
+
+    while True:
+        if jdir.is_dir():
+            records, _torn = read_journal(jdir)
+        else:
+            records = []  # capture not started yet; keep tailing
+        seals = [
+            r
+            for r in records
+            if r.get("op") == "seal" and isinstance(r.get("seq"), int)
+        ]
+        finalized = any(r.get("op") == "finalize" for r in records)
+        fresh = [r for r in seals if r["seq"] not in pushed]
+        if fresh or finalized:
+            report = await round_push(fresh, finalized)
+            total.sent += report.sent
+            total.skipped += report.skipped
+            total.acked += report.acked
+            total.resent += report.resent
+            total.credit_stalls += report.credit_stalls
+            for reason, count in report.nacked.items():
+                total.nacked[reason] = total.nacked.get(reason, 0) + count
+            total.rejected.extend(report.rejected)
+            pushed.update(r["seq"] for r in fresh)
+            if report.already_committed:
+                total.already_committed = True
+            if report.committed:
+                total.committed = True
+                total.committed_path = report.committed_path
+                return total
+        if stop is not None and stop.is_set():
+            return total
+        await asyncio.sleep(poll_interval_s)
 
 
 def push_journal(
@@ -307,6 +438,8 @@ def push_journal(
     *,
     options: IngestOptions | None = None,
     reply_timeout: float = 30.0,
+    token: bytes | None = None,
+    seed: int | None = None,
 ) -> PushReport:
     """Synchronous wrapper: push ``source`` to the daemon at ``addr``."""
     return asyncio.run(
@@ -316,12 +449,15 @@ def push_journal(
             addr=addr,
             options=options,
             reply_timeout=reply_timeout,
+            token=token,
+            seed=seed,
         )
     )
 
 
 __all__ = [
     "PushReport",
+    "follow_journal",
     "open_transport",
     "push_journal",
     "push_segments",

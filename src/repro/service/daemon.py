@@ -29,11 +29,18 @@ from __future__ import annotations
 
 import asyncio
 import functools
+import hmac
+import secrets
 from dataclasses import dataclass, field
 
 from repro.core.options import IngestOptions
 from repro.core.shardpool import supervised_call
-from repro.obs.anomaly import AnomalyConfig, AnomalyLog, CreditStarvationChecker
+from repro.obs.anomaly import (
+    AnomalyConfig,
+    AnomalyLog,
+    CreditStarvationChecker,
+    ReplicaLagChecker,
+)
 from repro.errors import (
     CorruptionError,
     ProtocolError,
@@ -45,18 +52,23 @@ from repro.errors import (
 from repro.obs.instrumented import pipeline as _obs
 from repro.service.protocol import (
     KIND_ACK,
+    KIND_AUTH,
+    KIND_CHALLENGE,
     KIND_COMMITTED,
     KIND_CREDIT,
     KIND_ERROR,
     KIND_FINISH,
     KIND_HELLO,
     KIND_NACK,
+    KIND_REPLICATE,
     KIND_SEGMENT,
+    KIND_SYNC_REQ,
     KIND_WELCOME,
     MAX_FRAME_BYTES,
     Frame,
     encode_frame,
 )
+from repro.service.replica import FollowerSessions, Replicator, auth_proof
 from repro.service.sources import StreamSource
 from repro.service.store import TraceStore
 
@@ -68,6 +80,7 @@ NACK_DUPLICATE_RUN = "duplicate-run"  # run already committed
 NACK_POISON_RUN = "poison-run"  # run journal cannot compact
 NACK_STORAGE = "storage"  # store write failed (ENOSPC...): retry
 NACK_SHUTTING_DOWN = "shutting-down"  # daemon is draining
+NACK_UNAUTHORIZED = "unauthorized"  # bad or missing auth token: never retry
 
 
 @dataclass
@@ -94,6 +107,18 @@ class DaemonConfig:
     #: Online invariant checking (credit-window-starvation lives on the
     #: daemon side; off by default like every anomaly checker).
     anomaly: AnomalyConfig = field(default_factory=AnomalyConfig)
+    #: Shared secret for the CHALLENGE/AUTH handshake (None = auth off,
+    #: the compatible default).  With a token set, every connection's
+    #: first frame is answered with a CHALLENGE and nothing is processed
+    #: until a valid HMAC proof arrives.
+    auth_token: bytes | None = None
+    #: Follower addresses this daemon replicates its store to.
+    replicate_to: tuple[str, ...] = ()
+    #: Replicator wake interval (commits also kick it immediately).
+    sync_interval_s: float = 30.0
+    #: Every Nth replication round runs in verify mode — the periodic
+    #: anti-entropy scrub that re-checks follower bytes against crcs.
+    scrub_every: int = 8
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
@@ -110,12 +135,21 @@ class DaemonConfig:
             )
         if self.credits < 1:
             raise StoreError(f"credits must be >= 1, got {self.credits}")
+        if self.scrub_every < 1:
+            raise StoreError(f"scrub_every must be >= 1, got {self.scrub_every}")
+        if isinstance(self.replicate_to, list):
+            self.replicate_to = tuple(self.replicate_to)
+        if isinstance(self.auth_token, str):
+            self.auth_token = self.auth_token.encode("utf-8")
 
 
 class _Conn:
     """Per-producer connection state (owned by the event loop)."""
 
-    __slots__ = ("writer", "run", "credits", "withheld", "closed")
+    __slots__ = (
+        "writer", "run", "credits", "withheld", "closed",
+        "authed", "challenge", "pending_auth",
+    )
 
     def __init__(self, writer: asyncio.StreamWriter) -> None:
         self.writer = writer
@@ -123,6 +157,11 @@ class _Conn:
         self.credits = 0
         self.withheld = 0
         self.closed = False
+        #: Auth handshake state: True once the HMAC proof verified (or
+        #: trivially when the daemon holds no token).
+        self.authed = False
+        self.challenge: str | None = None
+        self.pending_auth: Frame | None = None
 
     def send(self, frame: Frame) -> None:
         """Queue one frame for transmit (single write; no await).
@@ -155,12 +194,23 @@ class IngestDaemon:
         acfg = self.config.anomaly
         self.anomalies: AnomalyLog | None = None
         self._credit_checker: CreditStarvationChecker | None = None
+        self._replica_lag_checker: ReplicaLagChecker | None = None
         if acfg.enabled:
             self.anomalies = AnomalyLog(acfg.log_capacity)
             if acfg.wants(CreditStarvationChecker.kind):
                 self._credit_checker = CreditStarvationChecker(
                     self.anomalies, acfg
                 )
+            if acfg.wants(ReplicaLagChecker.kind):
+                self._replica_lag_checker = ReplicaLagChecker(
+                    self.anomalies, acfg
+                )
+        #: Follower-side replication state (this daemon as a replica).
+        self._followers = FollowerSessions(store)
+        #: Primary-side replication tasks (this daemon as a primary).
+        self.replicators: list[Replicator] = []
+        self._replicator_tasks: list[asyncio.Task] = []
+        self._lag_by_follower: dict[str, int] = {}
 
     # -- lifecycle -------------------------------------------------------
     async def start(self) -> dict[str, str]:
@@ -179,6 +229,19 @@ class IngestDaemon:
         )
         self._store_task.add_done_callback(self._task_died)
         self._accepting = True
+        for addr in self.config.replicate_to:
+            rep = Replicator(
+                self.store,
+                addr,
+                interval_s=self.config.sync_interval_s,
+                scrub_every=self.config.scrub_every,
+                token=self.config.auth_token,
+                on_lag=self._on_replica_lag,
+            )
+            self.replicators.append(rep)
+            task = asyncio.create_task(rep.run(), name=f"replicate-{addr}")
+            task.add_done_callback(self._task_died)
+            self._replicator_tasks.append(task)
         ins = _obs()
         ins.svc_queue_capacity.set(self.config.capacity)
         ins.svc_compaction_lag.set(len(self.store.compaction_backlog()))
@@ -202,6 +265,13 @@ class IngestDaemon:
         self._accepting = False
         for server in self._servers:
             server.close()
+        for rep in self.replicators:
+            await rep.stop()
+        for task in self._replicator_tasks:
+            task.cancel()
+        if self._replicator_tasks:
+            await asyncio.gather(*self._replicator_tasks, return_exceptions=True)
+        self._replicator_tasks.clear()
         if self._queue is not None and self._store_task is not None:
             if not self._store_task.done():
                 # Drain what was admitted — but a store task that dies
@@ -241,8 +311,41 @@ class IngestDaemon:
 
     # -- transports ------------------------------------------------------
     async def serve_unix(self, path: str) -> None:
+        await self._clear_stale_socket(path)
         server = await asyncio.start_unix_server(self._accept, path=path)
         self._servers.append(server)
+
+    @staticmethod
+    async def _clear_stale_socket(path: str) -> None:
+        """Unlink the socket a crashed daemon left behind — but only
+        after probing proves no live daemon is listening on it, so two
+        daemons can never both think they own one path."""
+        import os
+        import stat
+
+        try:
+            mode = os.stat(path).st_mode
+        except FileNotFoundError:
+            return
+        if not stat.S_ISSOCK(mode):
+            raise StoreError(
+                f"refusing to serve on {path}: it exists and is not a socket"
+            )
+        try:
+            _, probe = await asyncio.open_unix_connection(path)
+        except (ConnectionRefusedError, FileNotFoundError):
+            # Nobody home: the previous daemon died without unlinking.
+            try:
+                os.unlink(path)
+            except FileNotFoundError:
+                pass
+            return
+        except OSError as exc:
+            raise StoreError(f"cannot probe socket {path}: {exc}") from exc
+        probe.close()
+        raise StoreError(
+            f"refusing to serve on {path}: a live daemon already listens there"
+        )
 
     async def serve_tcp(self, host: str, port: int) -> None:
         server = await asyncio.start_server(self._accept, host=host, port=port)
@@ -291,6 +394,7 @@ class IngestDaemon:
         finally:
             conn.closed = True
             self._conns.discard(conn)
+            self._followers.discard(conn)
             ins.svc_connections.set(len(self._conns))
             self._publish_credits()
             try:
@@ -299,15 +403,72 @@ class IngestDaemon:
                 pass
 
     async def _handle_frame(self, conn: _Conn, frame: Frame) -> None:
+        if self.config.auth_token is not None and not conn.authed:
+            self._gate_auth(conn, frame)
+            if not conn.authed or conn.pending_auth is None:
+                return
+            frame, conn.pending_auth = conn.pending_auth, None
+        await self._dispatch(conn, frame)
+
+    def _gate_auth(self, conn: _Conn, frame: Frame) -> None:
+        """CHALLENGE/AUTH handshake: nothing is processed before a valid
+        HMAC proof.  The first real frame is stashed and replayed once
+        the proof verifies, so clients pay one extra round trip and zero
+        protocol changes."""
+        if frame.kind != KIND_AUTH:
+            if conn.challenge is not None:
+                raise ProtocolError("expected AUTH after CHALLENGE")
+            conn.challenge = secrets.token_hex(16)
+            conn.pending_auth = frame
+            conn.send(Frame(KIND_CHALLENGE, {"nonce": conn.challenge}))
+            return
+        proof = frame.meta.get("proof")
+        want = auth_proof(self.config.auth_token, conn.challenge or "")
+        if not (
+            conn.challenge is not None
+            and isinstance(proof, str)
+            and hmac.compare_digest(proof, want)
+        ):
+            _obs().svc_auth_failures.inc()
+            self._nack(conn, None, NACK_UNAUTHORIZED, retry=False, credit=0)
+            raise ProtocolError("authentication failed")
+        conn.authed = True
+
+    async def _dispatch(self, conn: _Conn, frame: Frame) -> None:
         if frame.kind == KIND_HELLO:
             self._on_hello(conn, frame)
         elif frame.kind == KIND_SEGMENT:
             self._on_segment(conn, frame)
         elif frame.kind == KIND_FINISH:
             await self._on_finish(conn, frame)
+        elif frame.kind in (KIND_SYNC_REQ, KIND_REPLICATE):
+            self._on_replica_frame(conn, frame)
         else:
             raise ProtocolError(
                 f"unexpected {frame.kind_name} frame from a producer"
+            )
+
+    def _on_replica_frame(self, conn: _Conn, frame: Frame) -> None:
+        """Replication frames ride the admission queue: every follower
+        store write happens on the store task, where the chaos suite can
+        kill it at any IO operation."""
+        if not self._accepting:
+            self._nack(conn, None, NACK_SHUTTING_DOWN, retry=True, credit=0)
+            return
+        try:
+            self._queue.put_nowait((conn, frame))
+        except asyncio.QueueFull:
+            self._nack(conn, None, NACK_OVERLOADED, retry=True, credit=0)
+            return
+        _obs().svc_queue_depth.set(self._queue.qsize())
+
+    def _on_replica_lag(self, addr: str, lag: int) -> None:
+        """Publish the worst per-follower lag; feed the anomaly checker."""
+        self._lag_by_follower[addr] = lag
+        _obs().svc_replica_lag.set(max(self._lag_by_follower.values()))
+        if self._replica_lag_checker is not None:
+            self._replica_lag_checker.on_lag(
+                addr, lag, len(self.store.catalog())
             )
 
     def _on_hello(self, conn: _Conn, frame: Frame) -> None:
@@ -403,6 +564,16 @@ class IngestDaemon:
                     await asyncio.sleep(self.config.drain_delay_s)
                 if frame.kind == KIND_SEGMENT:
                     self._admit(conn, frame)
+                elif frame.kind == KIND_SYNC_REQ:
+                    self._followers.on_sync_req(conn, frame)
+                elif frame.kind == KIND_REPLICATE:
+                    try:
+                        self._followers.on_replicate(conn, frame)
+                    except ProtocolError as exc:
+                        # A malformed replication frame condemns its
+                        # connection, never the store task.
+                        conn.send(Frame(KIND_ERROR, {"reason": str(exc)}))
+                        _obs().svc_protocol_errors.inc()
                 else:  # FINISH
                     self._finish(conn, frame)
             finally:
@@ -542,6 +713,8 @@ class IngestDaemon:
                 {"run": run_id, "path": str(out)},
             )
         )
+        for rep in self.replicators:
+            rep.kick()
 
 
 __all__ = [
@@ -554,4 +727,5 @@ __all__ = [
     "NACK_DUPLICATE_RUN",
     "NACK_STORAGE",
     "NACK_SHUTTING_DOWN",
+    "NACK_UNAUTHORIZED",
 ]

@@ -51,7 +51,13 @@ _PREFIX = struct.Struct(">2sBBI")
 _META_LEN = struct.Struct(">I")
 
 # Frame kinds.  Client → daemon: HELLO, SEGMENT, FINISH.  Daemon →
-# client: WELCOME, ACK, NACK, CREDIT, COMMITTED, ERROR.
+# client: WELCOME, ACK, NACK, CREDIT, COMMITTED, ERROR.  Replication
+# (primary → follower): SYNC_REQ asks for one run's durable state,
+# SYNC_HAVE answers it, REPLICATE ships a sealed segment or a committed
+# container chunk; the follower answers with the ordinary ACK/NACK
+# vocabulary.  CHALLENGE/AUTH are the shared-secret handshake: a daemon
+# holding a token answers the first frame of any session with CHALLENGE
+# and accepts nothing but a valid AUTH proof after it.
 KIND_HELLO = 1
 KIND_WELCOME = 2
 KIND_SEGMENT = 3
@@ -61,6 +67,11 @@ KIND_CREDIT = 6
 KIND_FINISH = 7
 KIND_COMMITTED = 8
 KIND_ERROR = 9
+KIND_SYNC_REQ = 10
+KIND_SYNC_HAVE = 11
+KIND_REPLICATE = 12
+KIND_CHALLENGE = 13
+KIND_AUTH = 14
 
 KIND_NAMES = {
     KIND_HELLO: "HELLO",
@@ -72,6 +83,11 @@ KIND_NAMES = {
     KIND_FINISH: "FINISH",
     KIND_COMMITTED: "COMMITTED",
     KIND_ERROR: "ERROR",
+    KIND_SYNC_REQ: "SYNC_REQ",
+    KIND_SYNC_HAVE: "SYNC_HAVE",
+    KIND_REPLICATE: "REPLICATE",
+    KIND_CHALLENGE: "CHALLENGE",
+    KIND_AUTH: "AUTH",
 }
 
 
@@ -239,5 +255,10 @@ __all__ = [
     "KIND_FINISH",
     "KIND_COMMITTED",
     "KIND_ERROR",
+    "KIND_SYNC_REQ",
+    "KIND_SYNC_HAVE",
+    "KIND_REPLICATE",
+    "KIND_CHALLENGE",
+    "KIND_AUTH",
     "KIND_NAMES",
 ]

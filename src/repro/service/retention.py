@@ -1,0 +1,365 @@
+"""Retention and compaction-to-cold-storage for a multi-run trace store.
+
+A store that only ever grows eventually evicts the traces that matter.
+This module enforces age/count/byte budgets by *retiring* the coldest
+committed runs — compacting them into a single archived container per
+pass — under two hard rules:
+
+* **crash-safe via the journal discipline**: the archive is written
+  tmp → fsync → rename → fsync(dir) *before* any run is touched, and
+  each run's retirement commits as one fsync'd catalog tombstone
+  (:meth:`~repro.service.store.TraceStore.tombstone_run`).  A crash
+  before a run's tombstone leaves it live (the archive holds a harmless
+  extra copy); a crash after leaves an orphan run directory the next
+  pass sweeps.  At no point is the only durable copy of a run at risk.
+* **constitutionally quorum-guarded**: a run whose replication-ledger
+  confirmations (:func:`~repro.service.replica.replica_confirmations`)
+  number fewer than ``RetentionPolicy.quorum`` is never retired — not
+  skipped-with-a-warning, but excluded from the plan itself, however
+  far over budget the store is.  Deleting the primary copy of an
+  un-replicated run would convert an eviction into data loss.
+
+The archive format is deliberately boring: one zip per retirement pass
+(members stored, not recompressed — containers are already npz), holding
+``<run>/trace.npz`` byte-for-byte, ``<run>/entry.json`` (the catalog
+entry), and a ``manifest.json`` with per-run crc32s so a future reader
+can verify an archive without the store that wrote it.
+"""
+
+from __future__ import annotations
+
+import io as _io
+import json
+import pathlib
+import re
+import time
+import zipfile
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import RetentionError, StoreError, TraceWriteError
+from repro.obs.instrumented import pipeline as _obs
+from repro.service.replica import replica_confirmations
+from repro.service.store import TraceStore
+
+_ARCHIVE_RE = re.compile(r"^archive-(\d{6})\.zip$")
+
+#: Fixed member timestamp: archives of identical runs are identical
+#: bytes regardless of when retention ran.
+_EPOCH = (1980, 1, 1, 0, 0, 0)
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Budget knobs plus the quorum rule.  ``None`` disables a budget."""
+
+    #: Retire runs committed longer ago than this many seconds.
+    max_age_s: float | None = None
+    #: Keep at most this many committed runs (oldest retire first).
+    max_runs: int | None = None
+    #: Keep committed containers within this many bytes total.
+    max_total_bytes: int | None = None
+    #: Replica confirmations a run needs before it may be retired.
+    #: 0 = no replication required (single-store deployments).
+    quorum: int = 0
+    #: Where archives land (default: ``<store>/archive``).
+    archive_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        for name in ("max_age_s", "max_runs", "max_total_bytes"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise RetentionError(f"{name} must be >= 0, got {value}")
+        if self.quorum < 0:
+            raise RetentionError(f"quorum must be >= 0, got {self.quorum}")
+
+    @property
+    def bounded(self) -> bool:
+        return any(
+            v is not None
+            for v in (self.max_age_s, self.max_runs, self.max_total_bytes)
+        )
+
+
+@dataclass
+class RetentionPlan:
+    """What a pass would do: who retires, who is protected, and why."""
+
+    retire: list[str] = field(default_factory=list)
+    #: Cold runs the quorum rule protects: run id → "quorum have/need".
+    blocked: dict[str, str] = field(default_factory=dict)
+    kept: int = 0
+    total_bytes: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "retire": list(self.retire),
+            "blocked": dict(self.blocked),
+            "kept": self.kept,
+            "total_bytes": self.total_bytes,
+        }
+
+
+def plan_retention(
+    store: TraceStore,
+    policy: RetentionPolicy,
+    *,
+    now: float | None = None,
+    confirmations: dict[str, set[str]] | None = None,
+) -> RetentionPlan:
+    """Select the cold runs the budgets evict, minus the quorum-blocked.
+
+    Coldness is commit order (the catalog is append-ordered): the oldest
+    committed runs go first, which is also what ``committed_at`` says.
+    Quorum-blocked runs are excluded *before* budget accounting rather
+    than after — their bytes still count against the budget, but nothing
+    else is evicted in their place, so a replication outage degrades to
+    an over-budget store, never to data loss.
+    """
+    plan = RetentionPlan()
+    entries = store.catalog()
+    if not entries or not policy.bounded:
+        plan.kept = len(entries)
+        plan.total_bytes = sum(int(e.get("bytes") or 0) for e in entries.values())
+        return plan
+    now = time.time() if now is None else now
+    order = list(entries)  # commit order, oldest first
+    sizes = {r: int(entries[r].get("bytes") or 0) for r in order}
+    plan.total_bytes = sum(sizes.values())
+
+    cold: list[str] = []
+    cold_set: set[str] = set()
+
+    def mark(run: str) -> None:
+        if run not in cold_set:
+            cold_set.add(run)
+            cold.append(run)
+
+    if policy.max_age_s is not None:
+        cutoff = now - policy.max_age_s
+        for run in order:
+            committed_at = entries[run].get("committed_at")
+            if committed_at is not None and committed_at < cutoff:
+                mark(run)
+    if policy.max_runs is not None and len(order) > policy.max_runs:
+        for run in order[: len(order) - policy.max_runs]:
+            mark(run)
+    if policy.max_total_bytes is not None:
+        excess = plan.total_bytes - policy.max_total_bytes
+        for run in order:
+            if excess <= 0:
+                break
+            if run not in cold_set:
+                excess -= sizes[run]
+            mark(run)
+
+    if policy.quorum > 0:
+        if confirmations is None:
+            confirmations = replica_confirmations(store)
+        for run in cold:
+            have = len(confirmations.get(run, ()))
+            if have < policy.quorum:
+                plan.blocked[run] = f"quorum {have}/{policy.quorum}"
+        cold = [r for r in cold if r not in plan.blocked]
+    plan.retire = cold
+    plan.kept = len(entries) - len(cold)
+    return plan
+
+
+@dataclass
+class RetireReport:
+    """What :func:`retire_runs` actually did."""
+
+    retired: list[str] = field(default_factory=list)
+    blocked: dict[str, str] = field(default_factory=dict)
+    swept: list[str] = field(default_factory=list)
+    archive: str | None = None
+    archived_bytes: int = 0
+    dry_run: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "retired": list(self.retired),
+            "blocked": dict(self.blocked),
+            "swept": list(self.swept),
+            "archive": self.archive,
+            "archived_bytes": self.archived_bytes,
+            "dry_run": self.dry_run,
+        }
+
+
+def _archive_dir(store: TraceStore, policy: RetentionPolicy) -> pathlib.Path:
+    if policy.archive_dir is not None:
+        return pathlib.Path(policy.archive_dir)
+    return store.root / "archive"
+
+
+def _next_archive_path(adir: pathlib.Path) -> pathlib.Path:
+    n = 0
+    if adir.is_dir():
+        for p in adir.iterdir():
+            m = _ARCHIVE_RE.match(p.name)
+            if m:
+                n = max(n, int(m.group(1)) + 1)
+    return adir / f"archive-{n:06d}.zip"
+
+
+def _sweep_orphans(store: TraceStore, report: RetireReport) -> None:
+    """Redo a crashed pass's cleanup: tombstoned dirs still on disk.
+
+    A run directory holding a committed container but no journal and no
+    catalog entry can only be the leftover of a crash between a
+    retirement tombstone and the directory removal (compaction removes
+    the journal *after* its catalog line lands, so a mid-compaction
+    crash always leaves the journal behind).
+    """
+    runs_dir = store.root / "runs"
+    if not runs_dir.is_dir():
+        return
+    for d in sorted(runs_dir.iterdir()):
+        run_id = d.name
+        if (
+            (d / "trace.npz").exists()
+            and not (d / "journal").is_dir()
+            and run_id not in store.catalog()
+        ):
+            store.remove_run_dir(run_id)
+            report.swept.append(run_id)
+
+
+def build_archive(store: TraceStore, runs: list[str]) -> bytes:
+    """Serialize the archive zip for ``runs`` (deterministic bytes)."""
+    manifest: dict = {"format": "repro-archive", "version": 1, "runs": {}}
+    buf = _io.BytesIO()
+    with zipfile.ZipFile(buf, "w", compression=zipfile.ZIP_STORED) as zf:
+        for run_id in runs:
+            entry = store.catalog()[run_id]
+            try:
+                data = store.container_path(run_id).read_bytes()
+            except OSError as exc:
+                raise StoreError(
+                    f"cannot archive run {run_id!r}: container unreadable: "
+                    f"{exc}"
+                ) from exc
+            zf.writestr(
+                zipfile.ZipInfo(f"{run_id}/trace.npz", date_time=_EPOCH), data
+            )
+            zf.writestr(
+                zipfile.ZipInfo(f"{run_id}/entry.json", date_time=_EPOCH),
+                json.dumps(entry, sort_keys=True) + "\n",
+            )
+            manifest["runs"][run_id] = {
+                "crc": zlib.crc32(data),
+                "bytes": len(data),
+                "entry": entry,
+            }
+        zf.writestr(
+            zipfile.ZipInfo("manifest.json", date_time=_EPOCH),
+            json.dumps(manifest, sort_keys=True, indent=2) + "\n",
+        )
+    return buf.getvalue()
+
+
+def retire_runs(
+    store: TraceStore,
+    policy: RetentionPolicy,
+    *,
+    now: float | None = None,
+    dry_run: bool = False,
+) -> RetireReport:
+    """Enforce ``policy``: archive the cold runs, then retire them.
+
+    Order of durability (each step idempotent under a crash + redo):
+
+    1. sweep orphan directories a crashed pass left behind;
+    2. write the archive (tmp → fsync → rename → fsync dir) holding
+       every retiring run's exact container bytes;
+    3. per run: one fsync'd catalog tombstone (the commit point), then
+       remove the run directory.
+
+    Quorum-blocked runs are reported, never touched.
+    """
+    report = RetireReport(dry_run=dry_run)
+    if not dry_run:
+        _sweep_orphans(store, report)
+    plan = plan_retention(store, policy, now=now)
+    report.blocked = plan.blocked
+    if dry_run or not plan.retire:
+        report.retired = list(plan.retire)
+        return report
+
+    adir = _archive_dir(store, policy)
+    data = build_archive(store, plan.retire)
+    path = _next_archive_path(adir)
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        store._io.makedirs(adir)
+        store._io.write_bytes(tmp, data)
+        store._io.fsync_path(tmp)
+        store._io.replace(tmp, path)
+        store._io.fsync_dir(adir)
+    except OSError as exc:
+        raise TraceWriteError(f"cannot write archive {path}: {exc}") from exc
+    try:
+        archive_ref = str(path.relative_to(store.root))
+    except ValueError:
+        archive_ref = str(path)
+    report.archive = str(path)
+    report.archived_bytes = len(data)
+    ins = _obs()
+    ins.svc_archived_bytes.inc(len(data))
+    for run_id in plan.retire:
+        store.tombstone_run(run_id, archive=archive_ref)
+        store.remove_run_dir(run_id)
+        report.retired.append(run_id)
+        ins.svc_runs_retired.inc()
+    return report
+
+
+def read_archive(path: str | pathlib.Path) -> dict:
+    """Load and verify an archive's manifest against its member bytes."""
+    path = pathlib.Path(path)
+    try:
+        with zipfile.ZipFile(path) as zf:
+            manifest = json.loads(zf.read("manifest.json"))
+            for run_id, info in manifest.get("runs", {}).items():
+                data = zf.read(f"{run_id}/trace.npz")
+                if zlib.crc32(data) != info.get("crc"):
+                    raise StoreError(
+                        f"archive {path}: run {run_id!r} fails its "
+                        "manifest crc32"
+                    )
+    except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+        raise StoreError(f"cannot read archive {path}: {exc}") from exc
+    return manifest
+
+
+def extract_run(
+    archive: str | pathlib.Path, run_id: str, out: str | pathlib.Path
+) -> pathlib.Path:
+    """Restore one archived run's container to ``out`` (verified)."""
+    archive = pathlib.Path(archive)
+    out = pathlib.Path(out)
+    manifest = read_archive(archive)
+    if run_id not in manifest.get("runs", {}):
+        raise StoreError(
+            f"archive {archive} does not hold run {run_id!r} "
+            f"(runs: {', '.join(sorted(manifest.get('runs', {}))) or '(none)'})"
+        )
+    with zipfile.ZipFile(archive) as zf:
+        data = zf.read(f"{run_id}/trace.npz")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_bytes(data)
+    return out
+
+
+__all__ = [
+    "RetentionPolicy",
+    "RetentionPlan",
+    "RetireReport",
+    "build_archive",
+    "extract_run",
+    "plan_retention",
+    "read_archive",
+    "retire_runs",
+]

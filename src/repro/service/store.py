@@ -35,6 +35,8 @@ import json
 import pathlib
 import re
 import time
+import uuid
+import zlib
 
 import numpy as np
 
@@ -62,6 +64,7 @@ from repro.obs.instrumented import pipeline as _obs
 
 _JOURNAL_FILE = "journal.jsonl"
 _CATALOG_FILE = "catalog.jsonl"
+_STORE_ID_FILE = "store.id"
 _SEG_HEADER = "seg_json"
 _SEG_KINDS = (KIND_SEG_MANIFEST, KIND_SEG_SAMPLES, KIND_SEG_SWITCH, KIND_SEG_META)
 
@@ -183,7 +186,13 @@ class TraceStore:
                 # recovery rewrites the file before appending again.
                 torn = True
                 break
-            entries.setdefault(rec["run"], rec)
+            if rec.get("op") == "retire":
+                # Retention tombstone: the run moved to cold storage.  A
+                # later commit line for the same id (a deliberate
+                # re-push) makes it live again, so order matters here.
+                entries.pop(rec["run"], None)
+            else:
+                entries.setdefault(rec["run"], rec)
         return entries, torn
 
     def catalog(self) -> dict[str, dict]:
@@ -401,6 +410,151 @@ class TraceStore:
         self._io.rmtree(jdir)
         self._seals.pop(run_id, None)
         return out
+
+    # -- replication support ---------------------------------------------
+    def store_id(self) -> str:
+        """Stable identity of this store (created on first use).
+
+        Followers report it in SYNC_HAVE so the primary's replication
+        ledger counts *stores*, not addresses — a follower reachable
+        over two transports is still one replica toward quorum.
+        """
+        id_path = self.root / _STORE_ID_FILE
+        try:
+            return id_path.read_text().strip()
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            raise StoreError(f"cannot read store id {id_path}: {exc}") from exc
+        new_id = uuid.uuid4().hex
+        try:
+            self._io.write_bytes(id_path, (new_id + "\n").encode("utf-8"))
+            self._io.fsync_path(id_path)
+        except OSError as exc:
+            raise TraceWriteError(
+                f"cannot write store id {id_path}: {exc}"
+            ) from exc
+        return new_id
+
+    def container_crc(self, run_id: str) -> int | None:
+        """crc32 of the committed container's bytes (None if unreadable).
+
+        The anti-entropy scrub compares this across stores: a follower
+        whose committed container fails to match the primary's crc has
+        suffered disk corruption (bit flip, truncation, deletion) and is
+        repaired by re-shipping the primary's bytes.
+        """
+        try:
+            return zlib.crc32(self.container_path(run_id).read_bytes())
+        except OSError:
+            return None
+
+    def adopt_container(self, run_id: str, entry: dict, data: bytes) -> pathlib.Path:
+        """Commit a replicated container verbatim (the follower side).
+
+        The primary ships the committed container's exact bytes plus its
+        catalog entry; adopting both verbatim is what makes a replicated
+        run *byte-identical* across stores — follower-side recompaction
+        would re-zip the members with fresh archive metadata.  Same
+        commit discipline as :meth:`compact_run`: tmp → fsync → rename →
+        fsync(dir), then the fsync'd catalog line is the commit point,
+        and the now-redundant warm journal is deleted last.  Re-adopting
+        (scrub repairing a corrupted container) skips the duplicate
+        catalog line.
+        """
+        check_run_id(run_id)
+        dest = self.container_path(run_id)
+        tmp = dest.with_name(dest.name + ".sync.tmp")
+        try:
+            self._io.makedirs(dest.parent)
+            self._io.write_bytes(tmp, data)
+            self._io.fsync_path(tmp)
+            self._io.replace(tmp, dest)
+            self._io.fsync_dir(dest.parent)
+        except OSError as exc:
+            raise TraceWriteError(
+                f"store {self.root}: adopting replicated container for "
+                f"run {run_id!r} failed: {exc}"
+            ) from exc
+        if not self.committed(run_id):
+            self._append_catalog({**entry, "run": run_id})
+        jdir = self.journal_dir(run_id)
+        if jdir.is_dir():
+            self._io.rmtree(jdir)
+        self._seals.pop(run_id, None)
+        return dest
+
+    def drop_segment(self, run_id: str, seq: int) -> bool:
+        """Forget one sealed segment of an *open* run (scrub repair).
+
+        Used when the sealed bytes on disk no longer pass the crcs their
+        journal record promised: the record is pruned (atomic journal
+        rewrite) and the corrupt file unlinked, so a re-replicated copy
+        can be sealed through the ordinary admission path.  Returns True
+        when a segment was dropped.
+        """
+        check_run_id(run_id)
+        if self.committed(run_id):
+            raise RunCommittedError(
+                f"run {run_id!r} is committed; its segments are part of "
+                "the container now"
+            )
+        jdir = self.journal_dir(run_id)
+        records, _torn = read_journal(jdir)
+        kept = [
+            r
+            for r in records
+            if not (r.get("op") == "seal" and r.get("seq") == seq)
+        ]
+        if len(kept) == len(records):
+            return False
+        self._rewrite_journal(jdir, kept)
+        seg = jdir / _seg_name(seq)
+        try:
+            seg.unlink()
+        except OSError:  # pragma: no cover - already gone
+            pass
+        self._seals.pop(run_id, None)
+        return True
+
+    def tombstone_run(self, run_id: str, *, archive: str) -> None:
+        """Retire a committed run from the catalog (retention commit point).
+
+        One fsync'd append — ``{"run", "op": "retire", "archive"}`` —
+        after which the run is invisible to ``diff``/``runs`` and its
+        authoritative bytes live in the archive.  The caller deletes the
+        run directory *after* this returns; a crash in between leaves an
+        orphan directory the next retention pass sweeps.
+        """
+        check_run_id(run_id)
+        if not self.committed(run_id):
+            raise StoreError(f"run {run_id!r} is not committed; nothing to retire")
+        line = (
+            json.dumps(
+                {"run": run_id, "op": "retire", "archive": archive},
+                sort_keys=True,
+            )
+            + "\n"
+        ).encode("utf-8")
+        try:
+            self._io.append_bytes(self._catalog, line)
+            self._io.fsync_path(self._catalog)
+        except OSError as exc:
+            raise TraceWriteError(
+                f"cannot retire run {run_id!r} in catalog {self._catalog}: {exc}"
+            ) from exc
+        if self._committed is not None:
+            self._committed.pop(run_id, None)
+
+    def remove_run_dir(self, run_id: str) -> None:
+        """Delete a retired run's directory (post-tombstone cleanup)."""
+        check_run_id(run_id)
+        if self.committed(run_id):
+            raise StoreError(
+                f"run {run_id!r} is still committed; tombstone it first"
+            )
+        self._io.rmtree(self.run_dir(run_id))
+        self._seals.pop(run_id, None)
 
     def quarantine_segment(
         self, run_id: str, seq, data: bytes, reason: str

@@ -1,4 +1,4 @@
-"""The 13 ingestion-service instruments, pinned through the exporter.
+"""The 21 ingestion-service instruments, pinned through the exporter.
 
 The service's gauges/counters are part of the operational contract:
 dashboards and alerts key on these exact names.  This suite pokes every
@@ -12,7 +12,8 @@ from __future__ import annotations
 from repro.obs.instrumented import pipeline
 from repro.obs.metrics import MetricsRegistry, parse_prometheus_text, use_registry
 
-#: name -> kind for every service instrument (the PR 7 set, 13 names).
+#: name -> kind for every service instrument (the PR 7 set of 13 plus
+#: the replication/scrub/retention set of 8).
 SERVICE_METRICS = {
     "repro_service_queue_depth": "gauge",
     "repro_service_queue_capacity": "gauge",
@@ -27,6 +28,14 @@ SERVICE_METRICS = {
     "repro_service_protocol_errors_total": "counter",
     "repro_service_storage_errors_total": "counter",
     "repro_service_nacks_total": "counter",
+    "repro_service_replica_lag_runs": "gauge",
+    "repro_service_replicated_segments_total": "counter",
+    "repro_service_replicated_runs_total": "counter",
+    "repro_service_replication_resends_total": "counter",
+    "repro_service_scrub_repairs_total": "counter",
+    "repro_service_auth_failures_total": "counter",
+    "repro_service_runs_retired_total": "counter",
+    "repro_service_archived_bytes_total": "counter",
 }
 
 
@@ -61,10 +70,26 @@ def _poke_all(ins) -> dict[str, float]:
     expected['repro_service_nacks_total{reason="storage"}'] = 5
     ins.svc_nacks("corrupt").inc(1)
     expected['repro_service_nacks_total{reason="corrupt"}'] = 1
+    ins.svc_replica_lag.set(2)
+    expected["repro_service_replica_lag_runs"] = 2
+    ins.svc_replicated_segments.inc(9)
+    expected["repro_service_replicated_segments_total"] = 9
+    ins.svc_replicated_runs.inc(3)
+    expected["repro_service_replicated_runs_total"] = 3
+    ins.svc_replication_resends.inc(4)
+    expected["repro_service_replication_resends_total"] = 4
+    ins.svc_scrub_repairs.inc(2)
+    expected["repro_service_scrub_repairs_total"] = 2
+    ins.svc_auth_failures.inc()
+    expected["repro_service_auth_failures_total"] = 1
+    ins.svc_runs_retired.inc(6)
+    expected["repro_service_runs_retired_total"] = 6
+    ins.svc_archived_bytes.inc(4096)
+    expected["repro_service_archived_bytes_total"] = 4096
     return expected
 
 
-def test_all_13_service_metrics_round_trip_through_prometheus_text():
+def test_all_21_service_metrics_round_trip_through_prometheus_text():
     reg = MetricsRegistry()
     with use_registry(reg):
         expected = _poke_all(pipeline())
@@ -84,7 +109,7 @@ def test_all_13_service_metrics_round_trip_through_prometheus_text():
 
 
 def test_service_metric_names_are_exactly_the_pinned_set():
-    """No 14th service metric sneaks in unpinned, none disappears."""
+    """No 22nd service metric sneaks in unpinned, none disappears."""
     reg = MetricsRegistry()
     with use_registry(reg):
         _poke_all(pipeline())
@@ -92,7 +117,7 @@ def test_service_metric_names_are_exactly_the_pinned_set():
         inst.name for inst in reg.collect() if inst.name.startswith("repro_service_")
     }
     assert exported == set(SERVICE_METRICS)
-    assert len(SERVICE_METRICS) == 13
+    assert len(SERVICE_METRICS) == 21
 
 
 def test_disabled_registry_exports_no_service_metrics():

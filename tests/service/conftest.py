@@ -9,6 +9,7 @@ re-segmented into journal form once per session.
 from __future__ import annotations
 
 import asyncio
+import gc
 import io
 
 import numpy as np
@@ -62,12 +63,29 @@ def corrupt_covered_member(rec, data):
 
 
 def run_async(coro, timeout: float = 60.0):
-    """Drive one service scenario on a fresh event loop (no plugin)."""
+    """Drive one service scenario on a fresh event loop (no plugin).
+
+    The GC discipline is load-bearing: a crashed scenario abandons its
+    socketpair transports in reference cycles, and their finalizers
+    firing from an *implicit* GC pass inside numpy's npz-header ``ast``
+    parse trip CPython 3.11's AST recursion-depth check — a spurious
+    SystemError that kills an innocent daemon store task (or pytest's
+    own compile).  Pinning collection to the scenario boundaries keeps
+    finalizers out of the parser.
+    """
 
     async def bounded():
         return await asyncio.wait_for(coro, timeout)
 
-    return asyncio.run(bounded())
+    gc.collect()
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return asyncio.run(bounded())
+    finally:
+        if was_enabled:
+            gc.enable()
+        gc.collect()
 
 
 @pytest.fixture

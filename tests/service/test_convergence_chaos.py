@@ -1,0 +1,217 @@
+"""Convergence chaos: kill the follower at every replication store op.
+
+The contract is the replication analogue of the ingest ACK contract: no
+kill — at *any* follower store operation, torn writes included — may
+leave the pair unable to converge.  After each kill the follower
+restarts on the same root with healthy IO and one verify-mode sync must
+end with every committed primary run byte-identical on the follower and
+every open run's sealed segments equal.  Phase 1 learns the exact
+follower op count T with :class:`CountingIO`; every offset in
+``range(T)`` is then killed, plus 200 seeded random offsets with torn
+half-writes.  A final property pins retention to the ledger: whatever
+the kill left behind, a quorum-1 retirement never retires a run the
+follower cannot actually serve.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.errors import ReplicationError, TraceError
+from repro.service.daemon import DaemonConfig, IngestDaemon
+from repro.service.replica import replica_confirmations, sync_once
+from repro.service.retention import RetentionPolicy, extract_run, retire_runs
+from repro.service.store import TraceStore
+from repro.testing.faults import CountingIO, CrashingIO, SimulatedCrash
+from tests.service.conftest import run_async
+
+COMMITTED = ("rA", "rB")
+OPEN = "rO"
+
+
+def build_primary(root, segments):
+    store = TraceStore(root)
+    for rid in COMMITTED:
+        for rec, data in segments[:4]:
+            store.append_segment(rid, rec, data)
+        store.finish_run(rid)
+        store.compact_run(rid)
+    for rec, data in segments[:3]:
+        store.append_segment(OPEN, rec, data)
+    return store
+
+
+@pytest.fixture(scope="module")
+def primary_root(segments, tmp_path_factory):
+    root = tmp_path_factory.mktemp("conv-primary") / "store"
+    build_primary(root, segments)
+    return root
+
+
+async def crashy_sync(primary_root, froot, io) -> bool:
+    """One verify-mode sync against a follower that may die mid-op.
+
+    Returns True when the round fully converged (lag 0), False when the
+    kill fired anywhere — follower store construction, daemon startup,
+    or mid-sync.  Either way the follower root is left for inspection.
+    """
+    daemon = None
+    try:
+        store = TraceStore(froot, io=io)
+        daemon = IngestDaemon(store, DaemonConfig())
+        await daemon.start()
+        reader, writer = await daemon.connect()
+        task = asyncio.ensure_future(
+            sync_once(
+                TraceStore(primary_root),
+                reader,
+                writer,
+                verify=True,
+                seed=11,
+                backoff_s=0.001,
+                max_backoff_s=0.01,
+                max_resends=2,
+                reply_timeout=20.0,
+            )
+        )
+        done, _ = await asyncio.wait(
+            {task, daemon.crashed},
+            return_when=asyncio.FIRST_COMPLETED,
+            timeout=30.0,
+        )
+        assert done, "sync hung without converging or crashing"
+        if not task.done():
+            task.cancel()
+        try:
+            report = await task
+        except (
+            asyncio.CancelledError,
+            SimulatedCrash,
+            ReplicationError,
+            TraceError,
+            OSError,
+        ):
+            return False
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+        return report.lag == 0
+    except (SimulatedCrash, ConnectionError, OSError, TraceError):
+        return False
+    finally:
+        if daemon is not None:
+            try:
+                await daemon.shutdown()
+            except SimulatedCrash:  # a kill inside shutdown's own drain
+                pass
+
+
+def assert_converged(primary_root, froot):
+    primary, f = TraceStore(primary_root), TraceStore(froot)
+    for run_id in primary.catalog():
+        assert f.committed(run_id), f"follower lacks committed run {run_id}"
+        assert (
+            f.container_path(run_id).read_bytes()
+            == primary.container_path(run_id).read_bytes()
+        ), f"run {run_id} not byte-identical on the follower"
+        with np.load(f.path_for(run_id), allow_pickle=False) as npz:
+            assert npz.files
+    for run_id in primary.open_runs():
+        assert f.sealed_seqs(run_id) == primary.sealed_seqs(run_id)
+
+
+def kill_then_converge(primary_root, froot, kill_at, torn):
+    run_async(crashy_sync(primary_root, froot, CrashingIO(kill_at, torn=torn)))
+    # Restart on healthy storage: recovery + one verify round must land.
+    converged2 = run_async(crashy_sync(primary_root, froot, None))
+    assert converged2, f"re-sync after kill_at={kill_at} did not converge"
+    assert_converged(primary_root, froot)
+
+
+@pytest.fixture(scope="module")
+def total_ops(primary_root, tmp_path_factory):
+    """Learn T: the clean sync's exact follower store-op count."""
+    froot = tmp_path_factory.mktemp("conv-count") / "f"
+    io = CountingIO()
+    assert run_async(crashy_sync(primary_root, froot, io))
+    assert_converged(primary_root, froot)
+    return io.ops
+
+
+def test_clean_sync_touches_the_whole_follower_surface(total_ops):
+    """Sanity: T covers store init, both adopts, and every segment."""
+    assert total_ops > 10
+
+
+def test_kill_at_every_follower_op_offset(primary_root, total_ops, tmp_path):
+    for kill_at in range(total_ops):
+        kill_then_converge(primary_root, tmp_path / f"k{kill_at}", kill_at, torn=False)
+
+
+def test_kill_at_200_seeded_random_offsets_with_torn_writes(
+    primary_root, total_ops, tmp_path
+):
+    rng = np.random.default_rng(20260807)
+    for i in range(200):
+        kill_at = int(rng.integers(0, total_ops))
+        torn = bool(rng.integers(0, 2))
+        froot = tmp_path / f"r{i}"
+        kill_then_converge(primary_root, froot, kill_at, torn)
+        shutil.rmtree(froot)
+
+
+def test_quorum_retention_never_retires_what_a_kill_left_behind(
+    primary_root, total_ops, tmp_path
+):
+    """No un-replicated run is ever retired, at any kill offset.
+
+    After a kill the primary's ledger holds confirmations for exactly
+    the runs the follower durably adopted before dying.  A quorum-1
+    retirement pass must retire a subset of those — and the follower
+    must actually be able to serve every retired run byte-identically.
+    """
+    rng = np.random.default_rng(20260807 + 1)
+    offsets = sorted({int(rng.integers(0, total_ops)) for _ in range(12)})
+    for kill_at in offsets:
+        proot = tmp_path / f"p{kill_at}"
+        froot = tmp_path / f"f{kill_at}"
+        shutil.copytree(primary_root, proot)
+        # Drop confirmations earlier tests' followers wrote: quorum must
+        # be earned by THIS iteration's follower alone.
+        (proot / "replication.jsonl").unlink(missing_ok=True)
+        original = {
+            r: TraceStore(proot).container_path(r).read_bytes()
+            for r in COMMITTED
+        }
+        run_async(crashy_sync(proot, froot, CrashingIO(kill_at, torn=False)))
+
+        primary = TraceStore(proot)
+        confirmed = replica_confirmations(primary)
+        report = retire_runs(
+            primary, RetentionPolicy(max_runs=0, quorum=1)
+        )
+        assert set(report.retired) <= set(confirmed), (
+            f"kill_at={kill_at}: retired an un-replicated run"
+        )
+        assert set(report.retired) | set(report.blocked) == set(COMMITTED)
+
+        follower = TraceStore(froot)
+        for run_id in report.retired:
+            # The follower holds the only live copy now — it must be
+            # committed there, byte-identical to what the archive kept.
+            assert follower.committed(run_id)
+            assert follower.container_path(run_id).read_bytes() == original[run_id]
+            got = extract_run(report.archive, run_id, tmp_path / "x.npz")
+            assert got.read_bytes() == original[run_id]
+        for run_id in report.blocked:
+            # Quorum-blocked runs stay live and readable on the primary.
+            assert primary.committed(run_id)
+            assert primary.container_path(run_id).read_bytes() == original[run_id]
+        shutil.rmtree(proot)
+        shutil.rmtree(froot)

@@ -1,0 +1,247 @@
+"""Journal tailing (`repro push --follow`) and unix-socket restart.
+
+The tail reuses the journal's commit-point semantics: only seal records
+that made the fsync'd journal are ever pushed — a segment the producer
+is mid-way through writing (torn seal line) never crosses the wire.
+The socket tests pin the crashed-daemon-then-restart path: a dead
+socket file is unlinked and served, a live daemon's socket is never
+clobbered, and a non-socket file is refused.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+import pytest
+
+from repro.errors import StoreError
+from repro.service.client import follow_journal, open_transport, push_segments
+from repro.service.daemon import DaemonConfig, IngestDaemon
+from repro.service.store import TraceStore
+from tests.service.conftest import run_async
+
+RUN = "r1"
+
+
+def feed(jdir, rec, data):
+    """What a live producer leaves behind for one sealed segment."""
+    jdir.mkdir(parents=True, exist_ok=True)
+    (jdir / rec["file"]).write_bytes(data)
+    with (jdir / "journal.jsonl").open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps(rec) + "\n")
+
+
+def feed_torn(jdir, rec, data):
+    """A producer killed mid-seal: segment file full, journal line half."""
+    jdir.mkdir(parents=True, exist_ok=True)
+    (jdir / rec["file"]).write_bytes(data)
+    line = json.dumps(rec)
+    with (jdir / "journal.jsonl").open("a", encoding="utf-8") as fh:
+        fh.write(line[: len(line) // 2])
+
+
+def finalize(jdir):
+    with (jdir / "journal.jsonl").open("a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"op": "finalize", "out": "-"}) + "\n")
+
+
+async def wait_for(pred, timeout=20.0, interval=0.01):
+    loop = asyncio.get_running_loop()
+    deadline = loop.time() + timeout
+    while loop.time() < deadline:
+        if pred():
+            return True
+        await asyncio.sleep(interval)
+    return False
+
+
+class TestFollow:
+    def test_tails_a_live_journal_to_commit(self, tmp_path, segments):
+        jdir = tmp_path / "journal"
+
+        async def scenario():
+            store = TraceStore(tmp_path / "store")
+            daemon = IngestDaemon(store, DaemonConfig())
+            await daemon.start()
+            try:
+                tail = asyncio.ensure_future(follow_journal(
+                    jdir, RUN, connect=daemon.connect, poll_interval_s=0.01
+                ))
+                # The journal directory does not even exist yet: the
+                # tail waits instead of failing.
+                await asyncio.sleep(0.05)
+                assert not tail.done()
+                for rec, data in segments[:2]:
+                    feed(jdir, rec, data)
+                want = {rec["seq"] for rec, _ in segments[:2]}
+                assert await wait_for(
+                    lambda: store.sealed_seqs(RUN) == want
+                ), "tail never shipped the first sealed segments"
+                assert not store.committed(RUN)  # mid-capture: still open
+                for rec, data in segments[2:]:
+                    feed(jdir, rec, data)
+                finalize(jdir)
+                report = await asyncio.wait_for(tail, 30.0)
+                return store, report
+            finally:
+                await daemon.shutdown()
+
+        store, report = run_async(scenario(), timeout=60.0)
+        assert report.committed
+        assert report.acked == len(segments)
+        assert TraceStore(store.root).committed(RUN)
+
+    def test_never_pushes_a_torn_seal(self, tmp_path, segments):
+        jdir = tmp_path / "journal"
+
+        async def scenario():
+            store = TraceStore(tmp_path / "store")
+            daemon = IngestDaemon(store, DaemonConfig())
+            await daemon.start()
+            try:
+                feed(jdir, *segments[0])
+                feed_torn(jdir, *segments[1])
+                stop = asyncio.Event()
+                tail = asyncio.ensure_future(follow_journal(
+                    jdir, RUN, connect=daemon.connect,
+                    poll_interval_s=0.01, stop=stop,
+                ))
+                sealed_seq = segments[0][0]["seq"]
+                torn_seq = segments[1][0]["seq"]
+                assert await wait_for(
+                    lambda: sealed_seq in store.sealed_seqs(RUN)
+                )
+                await asyncio.sleep(0.1)  # plenty of extra poll rounds
+                assert torn_seq not in store.sealed_seqs(RUN), (
+                    "a torn seal line crossed the wire"
+                )
+                stop.set()
+                report = await asyncio.wait_for(tail, 30.0)
+                return store, report
+            finally:
+                await daemon.shutdown()
+
+        store, report = run_async(scenario(), timeout=60.0)
+        assert not report.committed  # stop before finalize leaves it open
+        assert report.acked == 1
+
+    def test_stopped_tail_resumes_from_daemon_have_set(self, tmp_path, segments):
+        jdir = tmp_path / "journal"
+        root = tmp_path / "store"
+
+        async def first_round():
+            store = TraceStore(root)
+            daemon = IngestDaemon(store, DaemonConfig())
+            await daemon.start()
+            try:
+                for rec, data in segments[:3]:
+                    feed(jdir, rec, data)
+                stop = asyncio.Event()
+                tail = asyncio.ensure_future(follow_journal(
+                    jdir, RUN, connect=daemon.connect,
+                    poll_interval_s=0.01, stop=stop,
+                ))
+                assert await wait_for(
+                    lambda: len(store.sealed_seqs(RUN)) == 3
+                )
+                stop.set()
+                return await asyncio.wait_for(tail, 30.0)
+            finally:
+                await daemon.shutdown()
+
+        async def second_round():
+            store = TraceStore(root)
+            daemon = IngestDaemon(store, DaemonConfig())
+            await daemon.start()
+            try:
+                for rec, data in segments[3:]:
+                    feed(jdir, rec, data)
+                finalize(jdir)
+                report = await follow_journal(
+                    jdir, RUN, connect=daemon.connect, poll_interval_s=0.01
+                )
+                return store, report
+            finally:
+                await daemon.shutdown()
+
+        first = run_async(first_round(), timeout=60.0)
+        assert first.acked == 3 and not first.committed
+        store, second = run_async(second_round(), timeout=60.0)
+        assert second.committed
+        # The daemon's have-set (not a local cache) deduplicated rounds:
+        # the fresh tail re-read the whole journal but only shipped news.
+        assert second.skipped == 3
+        assert second.acked == len(segments) - 3
+        assert TraceStore(store.root).committed(RUN)
+
+
+class TestStaleSocket:
+    def test_dead_socket_is_unlinked_and_served(self, tmp_path, segments):
+        sock_path = tmp_path / "repro.sock"
+        # A crashed daemon's leftover: bound socket file, no listener.
+        leftover = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        leftover.bind(str(sock_path))
+        leftover.close()
+        assert sock_path.exists()
+
+        async def scenario():
+            store = TraceStore(tmp_path / "store")
+            daemon = IngestDaemon(store, DaemonConfig())
+            await daemon.start()
+            try:
+                await daemon.serve_unix(str(sock_path))
+                reader, writer = await open_transport(f"unix:{sock_path}")
+                report = await push_segments(reader, writer, RUN, segments)
+                writer.close()
+                return report
+            finally:
+                await daemon.shutdown()
+
+        report = run_async(scenario())
+        assert report.committed
+        assert TraceStore(tmp_path / "store").committed(RUN)
+
+    def test_live_daemon_socket_is_never_clobbered(self, tmp_path, segments):
+        sock_path = tmp_path / "repro.sock"
+
+        async def scenario():
+            store_a = TraceStore(tmp_path / "a")
+            daemon_a = IngestDaemon(store_a, DaemonConfig())
+            await daemon_a.start()
+            await daemon_a.serve_unix(str(sock_path))
+            daemon_b = IngestDaemon(TraceStore(tmp_path / "b"), DaemonConfig())
+            await daemon_b.start()
+            try:
+                with pytest.raises(StoreError, match="live daemon"):
+                    await daemon_b.serve_unix(str(sock_path))
+                # The probe did not disturb daemon A's service.
+                reader, writer = await open_transport(f"unix:{sock_path}")
+                report = await push_segments(reader, writer, RUN, segments)
+                writer.close()
+                return report
+            finally:
+                await daemon_b.shutdown()
+                await daemon_a.shutdown()
+
+        report = run_async(scenario())
+        assert report.committed
+        assert TraceStore(tmp_path / "a").committed(RUN)
+        assert not TraceStore(tmp_path / "b").committed(RUN)
+
+    def test_non_socket_file_is_refused(self, tmp_path):
+        path = tmp_path / "not-a-socket"
+        path.write_text("important data\n")
+
+        async def scenario():
+            daemon = IngestDaemon(TraceStore(tmp_path / "s"), DaemonConfig())
+            await daemon.start()
+            try:
+                with pytest.raises(StoreError, match="not a socket"):
+                    await daemon.serve_unix(str(path))
+            finally:
+                await daemon.shutdown()
+
+        run_async(scenario())
+        assert path.read_text() == "important data\n"  # untouched

@@ -1,0 +1,103 @@
+"""Failover promotion: a scrubbed follower is a drop-in primary.
+
+`repro serve --replica-of` bootstraps a follower with the same local
+scrub `repro sync` runs, so promotion is just pointing clients at the
+follower.  These tests pin the operator-visible half of that promise:
+`repro runs`, `repro fleet`, and `repro diff --store` against the
+promoted follower print byte-identical versioned-schema JSON (modulo
+the store path itself), and the sync/retire verbs speak the same
+envelope as every other ``--json`` surface.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.report import SCHEMA_VERSION
+from repro.cli import main
+from repro.service.replica import scrub_local
+from repro.service.store import TraceStore
+
+RUNS = ("rA", "rB")
+
+
+@pytest.fixture(scope="module")
+def pair(segments, tmp_path_factory):
+    """(primary_root, follower_root): two committed runs, scrubbed over."""
+    base = tmp_path_factory.mktemp("promote")
+    primary = TraceStore(base / "primary")
+    for rid in RUNS:
+        for rec, data in segments:
+            primary.append_segment(rid, rec, data)
+        primary.finish_run(rid)
+        primary.compact_run(rid)
+    # The promotion path: the bootstrap scrub `serve --replica-of` runs.
+    report = scrub_local(base / "primary", base / "follower", ledger=False)
+    assert report.containers_shipped == len(RUNS)
+    return base / "primary", base / "follower"
+
+
+def grab_json(capsys, argv) -> dict:
+    assert main(argv) == 0
+    return json.loads(capsys.readouterr().out)
+
+
+def normalized(doc: dict, root) -> str:
+    """The JSON text with the store's own path factored out."""
+    return json.dumps(doc, sort_keys=True).replace(str(root), "<store>")
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["runs", "--store", "{store}", "--json"],
+        ["fleet", "--store", "{store}", "--json"],
+        ["diff", "rA", "rB", "--store", "{store}", "--json"],
+    ],
+    ids=["runs", "fleet", "diff"],
+)
+def test_promoted_follower_serves_identical_json(pair, capsys, argv):
+    primary, follower = pair
+    fill = lambda root: [a.format(store=str(root)) for a in argv]
+    a = grab_json(capsys, fill(primary))
+    b = grab_json(capsys, fill(follower))
+    assert normalized(a, primary) == normalized(b, follower)
+
+
+def test_sync_json_envelope(pair, tmp_path, capsys):
+    primary, _ = pair
+    doc = grab_json(
+        capsys,
+        ["sync", "--from", str(primary), "--to", str(tmp_path / "f2"), "--json"],
+    )
+    assert doc["schema"] == "sync"
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert doc["containers_shipped"] == len(RUNS)
+    assert doc["lag"] == 0
+
+
+def test_retire_json_envelope(pair, tmp_path, capsys):
+    primary, _ = pair
+    root = tmp_path / "r"
+    report = scrub_local(primary, root, ledger=False)
+    assert report.containers_shipped == len(RUNS)
+    doc = grab_json(
+        capsys,
+        ["retire", "--store", str(root), "--max-runs", "1", "--json"],
+    )
+    assert doc["schema"] == "retire"
+    assert doc["schema_version"] == SCHEMA_VERSION
+    assert doc["retired"] == ["rA"]
+    assert list(TraceStore(root).catalog()) == ["rB"]
+    # Quorum guard through the CLI: nothing confirmed, nothing retired.
+    doc2 = grab_json(
+        capsys,
+        [
+            "retire", "--store", str(root),
+            "--max-runs", "0", "--quorum", "1", "--json",
+        ],
+    )
+    assert doc2["retired"] == []
+    assert doc2["blocked"] == {"rB": "quorum 0/1"}
